@@ -1,0 +1,47 @@
+//! Regenerates the extension/ablation experiments and benchmarks them:
+//! address predictors, node elimination, collapse depth, zero detection
+//! and the basic-block restriction (DESIGN.md §7).
+//!
+//! Full-scale reproduction: `ddsc repro extensions`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddsc_bench::bench_lab_widths;
+use ddsc_experiments::extensions;
+use ddsc_experiments::{Lab, Suite, SuiteConfig};
+
+const LEN: usize = 15_000;
+
+fn bench(c: &mut Criterion) {
+    let mut lab = bench_lab_widths(LEN, &[4, 16]);
+    println!("{}", extensions::render_all(&mut lab));
+
+    let suite = Suite::generate(SuiteConfig {
+        seed: 1996,
+        trace_len: LEN,
+        widths: vec![8],
+    });
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("address_predictors", |b| {
+        b.iter(|| {
+            let lab = Lab::from_suite(suite.clone());
+            criterion::black_box(extensions::address_predictors(&lab))
+        })
+    });
+    group.bench_function("collapse_depth", |b| {
+        b.iter(|| {
+            let lab = Lab::from_suite(suite.clone());
+            criterion::black_box(extensions::collapse_depth(&lab, &[8]))
+        })
+    });
+    group.bench_function("node_elimination", |b| {
+        b.iter(|| {
+            let lab = Lab::from_suite(suite.clone());
+            criterion::black_box(extensions::node_elimination(&lab, &[8]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates Figure 8 (instructions d-collapsed) and benchmarks the computation behind it.
+//!
+//! The artifact rows are printed once at startup (scaled-down lab; the
+//! full-scale reproduction is `ddsc repro fig8`), then Criterion times
+//! the underlying sweep over a pre-generated trace suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddsc_bench::bench_lab_widths;
+use ddsc_experiments::{Lab, Suite, SuiteConfig};
+
+fn suite() -> Suite {
+    Suite::generate(SuiteConfig {
+        seed: 1996,
+        trace_len: 20000,
+        widths: vec![4, 16],
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut lab = bench_lab_widths(20000, &[4, 16]);
+    println!("{}", ddsc_experiments::figures::fig8(&mut lab).render());
+    let suite = suite();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.sample_size(10);
+    group.bench_function("fig8_collapsed", |b| {
+        b.iter(|| {
+            let mut lab = Lab::from_suite(suite.clone());
+            criterion::black_box(ddsc_experiments::figures::fig8(&mut lab));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

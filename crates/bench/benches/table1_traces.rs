@@ -1,0 +1,32 @@
+//! Regenerates Table 1 (benchmark characteristics) and benchmarks trace
+//! generation — the `qpt2` stand-in — per benchmark.
+//!
+//! Full-scale reproduction: `ddsc repro table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddsc_experiments::{Suite, SuiteConfig};
+use ddsc_workloads::Benchmark;
+
+const LEN: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let suite = Suite::generate(SuiteConfig {
+        seed: 1996,
+        trace_len: LEN,
+        widths: vec![4],
+    });
+    println!("{}", ddsc_experiments::tables::table1(&suite).render());
+
+    let mut group = c.benchmark_group("table1_traces");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(LEN as u64));
+    for b in Benchmark::ALL {
+        group.bench_function(b.name(), |bench| {
+            bench.iter(|| criterion::black_box(b.trace(1996, LEN).expect("workload runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates Table 2 (branch characteristics) and benchmarks the 8 KB
+//! McFarling predictor over each benchmark's branch stream.
+//!
+//! Full-scale reproduction: `ddsc repro table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddsc_experiments::{Suite, SuiteConfig};
+use ddsc_predict::{branch_stats, McFarling};
+use ddsc_workloads::Benchmark;
+
+const LEN: usize = 40_000;
+
+fn bench(c: &mut Criterion) {
+    let suite = Suite::generate(SuiteConfig {
+        seed: 1996,
+        trace_len: LEN,
+        widths: vec![4],
+    });
+    println!("{}", ddsc_experiments::tables::table2(&suite).render());
+
+    let mut group = c.benchmark_group("table2_branch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(LEN as u64));
+    for b in Benchmark::ALL {
+        let trace = suite.trace(b).clone();
+        group.bench_function(b.name(), |bench| {
+            bench.iter(|| {
+                criterion::black_box(branch_stats(&trace, &mut McFarling::paper_8kb()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

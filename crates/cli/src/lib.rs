@@ -1,0 +1,391 @@
+//! Implementation of the `ddsc` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `ddsc list` — the benchmark suite;
+//! * `ddsc disasm <bench>` — show the head of a workload's dynamic stream;
+//! * `ddsc trace gen <bench> -o FILE [--len N] [--seed S]` — write a
+//!   binary trace file;
+//! * `ddsc trace info FILE` — instruction-mix statistics of a trace file;
+//! * `ddsc sim <bench> [--config A..E] [--width W] [--len N] [--seed S]`
+//!   — simulate one benchmark and print the result;
+//! * `ddsc repro <artifact>|all|extensions [--len N] [--seed S]` —
+//!   regenerate paper tables/figures;
+//! * `ddsc help`.
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use ddsc_core::{analyze_dataflow, simulate, Latencies, LoadClass, PaperConfig, SimConfig};
+use ddsc_experiments::{extensions, figures, tables, Lab, SuiteConfig};
+use ddsc_trace::io::{read_trace, write_trace};
+use ddsc_workloads::Benchmark;
+
+/// Runs the CLI with the given arguments (excluding the program name);
+/// returns the text to print.
+///
+/// # Errors
+///
+/// Returns a boxed error on bad usage or I/O failure; `main` prints it
+/// and exits nonzero.
+pub fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let mut args = args.iter().map(String::as_str);
+    match args.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(usage()),
+        Some("list") => Ok(list()),
+        Some("disasm") => disasm(&collect(args)),
+        Some("trace") => trace_cmd(&collect(args)),
+        Some("sim") => sim_cmd(&collect(args)),
+        Some("analyze") => analyze_cmd(&collect(args)),
+        Some("repro") => repro_cmd(&collect(args)),
+        Some(other) => Err(format!("unknown command `{other}` (try `ddsc help`)").into()),
+    }
+}
+
+fn collect<'a>(it: impl Iterator<Item = &'a str>) -> Vec<&'a str> {
+    it.collect()
+}
+
+fn usage() -> String {
+    "\
+ddsc — data dependence speculation & collapsing limit study (MICRO-29, 1996)
+
+USAGE:
+  ddsc list
+  ddsc disasm <benchmark>
+  ddsc trace gen <benchmark> -o FILE [--len N] [--seed S]
+  ddsc trace info FILE
+  ddsc sim <benchmark> [--config A|B|C|D|E] [--width W] [--len N] [--seed S]
+  ddsc analyze <benchmark> [--len N] [--seed S]
+  ddsc repro <table1|table2|table3|table4|table5|table6|
+              fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|
+              all|extensions> [--len N] [--seed S] [--widths 4,8,...]
+                             [--out FILE]
+
+Benchmarks: compress espresso eqntott li go ijpeg
+"
+    .to_string()
+}
+
+fn list() -> String {
+    let mut out = String::new();
+    for b in Benchmark::ALL {
+        let _ = writeln!(
+            out,
+            "{:<10} models {:<14} {}",
+            b.name(),
+            b.models(),
+            if b.is_pointer_chasing() {
+                "(pointer chasing)"
+            } else {
+                ""
+            }
+        );
+    }
+    out
+}
+
+fn parse_bench(name: &str) -> Result<Benchmark, Box<dyn Error>> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `ddsc list`)").into())
+}
+
+fn parse_config(label: &str) -> Result<PaperConfig, Box<dyn Error>> {
+    PaperConfig::ALL
+        .into_iter()
+        .find(|c| c.label().eq_ignore_ascii_case(label))
+        .ok_or_else(|| format!("unknown configuration `{label}` (A..E)").into())
+}
+
+fn flag_value<'a>(args: &[&'a str], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|&a| a == flag)
+        .and_then(|i| args.get(i + 1).copied())
+}
+
+fn parse_num<T: std::str::FromStr>(
+    args: &[&str],
+    flag: &str,
+    default: T,
+) -> Result<T, Box<dyn Error>>
+where
+    T::Err: Error + 'static,
+{
+    match flag_value(args, flag) {
+        Some(v) => Ok(v.parse()?),
+        None => Ok(default),
+    }
+}
+
+fn disasm(args: &[&str]) -> Result<String, Box<dyn Error>> {
+    let name = args.first().ok_or("usage: ddsc disasm <benchmark>")?;
+    let bench = parse_bench(name)?;
+    let seed: u64 = parse_num(args, "--seed", 1996)?;
+    let len: usize = parse_num(args, "--len", 64)?;
+    let trace = bench.trace(seed, len).map_err(|e| e.to_string())?;
+    let mut out = format!("first {len} dynamic instructions of {}\n", bench.name());
+    for inst in &trace {
+        let _ = writeln!(out, "{inst}");
+    }
+    Ok(out)
+}
+
+fn trace_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
+    match args.first().copied() {
+        Some("gen") => {
+            let name = args
+                .get(1)
+                .ok_or("usage: ddsc trace gen <benchmark> -o FILE")?;
+            let bench = parse_bench(name)?;
+            let path = flag_value(args, "-o").ok_or("missing -o FILE")?;
+            let len: usize = parse_num(args, "--len", 1_000_000)?;
+            let seed: u64 = parse_num(args, "--seed", 1996)?;
+            let trace = bench.trace(seed, len).map_err(|e| e.to_string())?;
+            let file = File::create(path)?;
+            write_trace(BufWriter::new(file), &trace)?;
+            Ok(format!(
+                "wrote {} instructions of {} to {path}\n",
+                trace.len(),
+                bench.name()
+            ))
+        }
+        Some("info") => {
+            let path = args.get(1).ok_or("usage: ddsc trace info FILE")?;
+            let trace = read_trace(BufReader::new(File::open(path)?))?;
+            Ok(format!(
+                "trace `{}`: {} instructions\n{}",
+                trace.name(),
+                trace.len(),
+                trace.stats()
+            ))
+        }
+        _ => Err("usage: ddsc trace <gen|info> ...".into()),
+    }
+}
+
+fn sim_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
+    let name = args.first().ok_or("usage: ddsc sim <benchmark> [...]")?;
+    let bench = parse_bench(name)?;
+    let config = parse_config(flag_value(args, "--config").unwrap_or("D"))?;
+    let width: u32 = parse_num(args, "--width", 8)?;
+    let len: usize = parse_num(args, "--len", 300_000)?;
+    let seed: u64 = parse_num(args, "--seed", 1996)?;
+
+    let trace = bench.trace(seed, len).map_err(|e| e.to_string())?;
+    let result = simulate(&trace, &SimConfig::paper(config, width));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} | config {} ({}), width {width}",
+        bench.name(),
+        config.label(),
+        config.description()
+    );
+    let _ = writeln!(out, "{result}");
+    let _ = writeln!(
+        out,
+        "branches: {} conditional, {:.1}% predicted correctly",
+        result.branches.cond_branches,
+        result.branches.accuracy_pct().value()
+    );
+    if result.loads.total() > 0 {
+        let _ = writeln!(
+            out,
+            "loads: ready {} / correct {} / incorrect {} / not-predicted {} (%)",
+            result.loads.pct(LoadClass::Ready),
+            result.loads.pct(LoadClass::PredictedCorrect),
+            result.loads.pct(LoadClass::PredictedIncorrect),
+            result.loads.pct(LoadClass::NotPredicted)
+        );
+    }
+    let st = &result.stalls;
+    if st.total() > 0 {
+        let _ = writeln!(
+            out,
+            "stalls: data {} / address {} / memory {} / branch {} / bandwidth {} (% of {:.2} wait cycles/inst)",
+            st.share(st.data),
+            st.share(st.address),
+            st.share(st.memory),
+            st.share(st.branch),
+            st.share(st.bandwidth),
+            st.per_inst()
+        );
+    }
+    if result.collapse.groups() > 0 {
+        let _ = writeln!(
+            out,
+            "collapsed: {:.1}% of instructions, {} groups",
+            result.collapse.collapsed_pct().value(),
+            result.collapse.groups()
+        );
+    }
+    Ok(out)
+}
+
+fn analyze_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
+    let name = args.first().ok_or("usage: ddsc analyze <benchmark> [...]")?;
+    let bench = parse_bench(name)?;
+    let len: usize = parse_num(args, "--len", 300_000)?;
+    let seed: u64 = parse_num(args, "--seed", 1996)?;
+    let trace = bench.trace(seed, len).map_err(|e| e.to_string())?;
+    let a = analyze_dataflow(&trace, &Latencies::default());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "dataflow-limit analysis of {} ({} instructions)", bench.name(), a.instructions);
+    let _ = writeln!(out, "  critical path     : {} cycles", a.critical_path);
+    let _ = writeln!(out, "  dataflow-limit IPC: {:.2}", a.limit_ipc());
+    let _ = writeln!(out, "  true dependences  : {:.2} per instruction", a.deps_per_inst());
+    let _ = writeln!(
+        out,
+        "  dependence spans  : {:.1}% within 8 insts, {:.1}% within 64",
+        100.0 * a.fraction_below(8),
+        100.0 * a.fraction_below(64)
+    );
+    // How much of the limit each machine configuration captures.
+    let _ = writeln!(out, "\nmachine IPC vs. the dataflow limit (width 32):");
+    for cfg in PaperConfig::ALL {
+        let r = simulate(&trace, &SimConfig::paper(cfg, 32));
+        let _ = writeln!(
+            out,
+            "  config {}: {:>6.2} IPC  ({:.0}% of limit)",
+            cfg.label(),
+            r.ipc(),
+            100.0 * r.ipc() / a.limit_ipc().max(1e-9)
+        );
+    }
+    Ok(out)
+}
+
+fn repro_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
+    let what = args.first().copied().unwrap_or("all");
+    let len: usize = parse_num(args, "--len", 300_000)?;
+    let seed: u64 = parse_num(args, "--seed", 1996)?;
+    let widths: Vec<u32> = match flag_value(args, "--widths") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| s.trim().parse::<u32>())
+            .collect::<Result<_, _>>()?,
+        None => SimConfig::PAPER_WIDTHS.to_vec(),
+    };
+    let mut lab = Lab::new(SuiteConfig {
+        seed,
+        trace_len: len,
+        widths,
+    });
+    let out = match what {
+        "all" => ddsc_experiments::render_all(&mut lab),
+        "extensions" => extensions::render_all(&mut lab),
+        "table1" => tables::table1(lab.suite()).render(),
+        "table2" => tables::table2(lab.suite()).render(),
+        "table3" => tables::table3(&mut lab).render(),
+        "table4" => tables::table4(&mut lab).render(),
+        "table5" => tables::table5(&mut lab).render(),
+        "table6" => tables::table6(&mut lab).render(),
+        "fig2" => figures::fig2(&mut lab).render(),
+        "fig3" => figures::fig3(&mut lab).render(),
+        "fig4" => figures::fig4(&mut lab).render(),
+        "fig5" => figures::fig5(&mut lab).render(),
+        "fig6" => figures::fig6(&mut lab).render(),
+        "fig7" => figures::fig7(&mut lab).render(),
+        "fig8" => figures::fig8(&mut lab).render(),
+        "fig9" => figures::fig9(&mut lab).render(),
+        "fig10" => figures::fig10(&mut lab).render(),
+        other => return Err(format!("unknown artifact `{other}`").into()),
+    };
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(path, &out)?;
+        return Ok(format!("wrote {} bytes to {path}\n", out.len()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<String, Box<dyn Error>> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&owned)
+    }
+
+    #[test]
+    fn help_and_list() {
+        assert!(run_strs(&["help"]).unwrap().contains("USAGE"));
+        assert!(run_strs(&[]).unwrap().contains("USAGE"));
+        let l = run_strs(&["list"]).unwrap();
+        for b in Benchmark::ALL {
+            assert!(l.contains(b.name()));
+        }
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        assert!(run_strs(&["bogus"]).is_err());
+        assert!(run_strs(&["sim", "nope"]).is_err());
+        assert!(run_strs(&["repro", "fig99", "--len", "500"]).is_err());
+    }
+
+    #[test]
+    fn sim_produces_a_result() {
+        let out = run_strs(&[
+            "sim", "eqntott", "--config", "D", "--width", "8", "--len", "5000",
+        ])
+        .unwrap();
+        assert!(out.contains("IPC"));
+        assert!(out.contains("collapsed"));
+    }
+
+    #[test]
+    fn trace_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("ddsc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trc");
+        let path = path.to_str().unwrap();
+        let out = run_strs(&["trace", "gen", "compress", "-o", path, "--len", "2000"]).unwrap();
+        assert!(out.contains("2000"));
+        let info = run_strs(&["trace", "info", path]).unwrap();
+        assert!(info.contains("2000 instructions"));
+        assert!(info.contains("cond-branch"));
+    }
+
+    #[test]
+    fn repro_single_artifacts() {
+        let out = run_strs(&["repro", "fig2", "--len", "4000", "--widths", "4"]).unwrap();
+        assert!(out.contains("Figure 2"));
+        let out = run_strs(&["repro", "table2", "--len", "4000", "--widths", "4"]).unwrap();
+        assert!(out.contains("Table 2"));
+    }
+
+    #[test]
+    fn repro_out_writes_a_file() {
+        let dir = std::env::temp_dir().join("ddsc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig2.txt");
+        let path = path.to_str().unwrap();
+        let out = run_strs(&[
+            "repro", "fig2", "--len", "3000", "--widths", "4", "--out", path,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let contents = std::fs::read_to_string(path).unwrap();
+        assert!(contents.contains("Figure 2"));
+    }
+
+    #[test]
+    fn analyze_reports_the_dataflow_limit() {
+        let out = run_strs(&["analyze", "ijpeg", "--len", "5000"]).unwrap();
+        assert!(out.contains("dataflow-limit IPC"));
+        assert!(out.contains("config E"));
+    }
+
+    #[test]
+    fn disasm_prints_instructions() {
+        let out = run_strs(&["disasm", "li"]).unwrap();
+        assert!(out.lines().count() > 10);
+    }
+}

@@ -1,0 +1,17 @@
+//! The `ddsc` binary entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ddsc_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ddsc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Collapsed-sequence pattern frequency tables (Tables 5 and 6).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ddsc_isa::OpType;
+use ddsc_util::stats::Percent;
+
+use crate::expr::MAX_MEMBERS;
+
+/// The op-type sequence of a collapsed group, oldest instruction first —
+/// e.g. `arrr–brc` or `shri–arrr–ldrr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternKey {
+    types: [Option<OpType>; MAX_MEMBERS],
+    len: u8,
+}
+
+impl PatternKey {
+    /// Builds a key from the member op-types in group order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_MEMBERS`] types are supplied.
+    pub fn new(types: &[OpType]) -> Self {
+        assert!(types.len() <= MAX_MEMBERS, "group too large");
+        let mut arr = [None; MAX_MEMBERS];
+        for (slot, &t) in arr.iter_mut().zip(types) {
+            *slot = Some(t);
+        }
+        PatternKey {
+            types: arr,
+            len: types.len() as u8,
+        }
+    }
+
+    /// Number of instructions in the pattern.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether the key holds no members (never produced by collapsing).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The member op-types in order.
+    pub fn types(&self) -> impl Iterator<Item = OpType> + '_ {
+        self.types.iter().flatten().copied()
+    }
+}
+
+impl fmt::Display for PatternKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.types().enumerate() {
+            if i > 0 {
+                f.write_str("-")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A frequency table of collapsed-group patterns.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_collapse::{PatternKey, PatternTable};
+/// use ddsc_isa::{OpType, OperandKind, PatClass};
+///
+/// let arrr = OpType::new(PatClass::Ar, &[OperandKind::Reg, OperandKind::Reg]);
+/// let brc = OpType::new(PatClass::Brc, &[]);
+/// let mut table = PatternTable::new();
+/// table.record(PatternKey::new(&[arrr, brc]));
+/// assert_eq!(table.total(), 1);
+/// assert_eq!(table.top(1)[0].0.to_string(), "arrr-brc");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternTable {
+    counts: BTreeMap<PatternKey, u64>,
+    total: u64,
+}
+
+impl PatternTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PatternTable::default()
+    }
+
+    /// Records one occurrence of a pattern.
+    pub fn record(&mut self, key: PatternKey) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total recorded groups.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct patterns.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count of one pattern.
+    pub fn count(&self, key: &PatternKey) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// The share of one pattern among all recorded groups.
+    pub fn share(&self, key: &PatternKey) -> Percent {
+        Percent::new(self.count(key), self.total)
+    }
+
+    /// The `k` most frequent patterns, most frequent first (ties broken
+    /// by key order for determinism).
+    pub fn top(&self, k: usize) -> Vec<(PatternKey, u64)> {
+        let mut all: Vec<(PatternKey, u64)> = self.counts.iter().map(|(k, &v)| (*k, v)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Iterates over all `(pattern, count)` entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PatternKey, &u64)> {
+        self.counts.iter()
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: &PatternTable) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(*k).or_insert(0) += v;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_isa::{OperandKind, PatClass};
+
+    fn t(class: PatClass, kinds: &[OperandKind]) -> OpType {
+        OpType::new(class, kinds)
+    }
+
+    fn arrr() -> OpType {
+        t(PatClass::Ar, &[OperandKind::Reg, OperandKind::Reg])
+    }
+
+    fn arri() -> OpType {
+        t(PatClass::Ar, &[OperandKind::Reg, OperandKind::Imm])
+    }
+
+    fn brc() -> OpType {
+        t(PatClass::Brc, &[])
+    }
+
+    #[test]
+    fn display_joins_with_dashes() {
+        let key = PatternKey::new(&[arri(), arri(), arri()]);
+        assert_eq!(key.to_string(), "arri-arri-arri");
+    }
+
+    #[test]
+    fn top_sorts_by_count_then_key() {
+        let mut table = PatternTable::new();
+        for _ in 0..5 {
+            table.record(PatternKey::new(&[arrr(), brc()]));
+        }
+        for _ in 0..3 {
+            table.record(PatternKey::new(&[arri(), brc()]));
+        }
+        table.record(PatternKey::new(&[arri(), arri()]));
+        let top = table.top(2);
+        assert_eq!(top[0].0.to_string(), "arrr-brc");
+        assert_eq!(top[0].1, 5);
+        assert_eq!(top[1].0.to_string(), "arri-brc");
+        assert_eq!(table.total(), 9);
+        assert_eq!(table.distinct(), 3);
+    }
+
+    #[test]
+    fn share_is_fraction_of_total() {
+        let mut table = PatternTable::new();
+        table.record(PatternKey::new(&[arrr(), brc()]));
+        table.record(PatternKey::new(&[arri(), brc()]));
+        table.record(PatternKey::new(&[arri(), brc()]));
+        let key = PatternKey::new(&[arri(), brc()]);
+        assert!((table.share(&key).value() - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PatternTable::new();
+        a.record(PatternKey::new(&[arrr(), brc()]));
+        let mut b = PatternTable::new();
+        b.record(PatternKey::new(&[arrr(), brc()]));
+        b.record(PatternKey::new(&[arri(), brc()]));
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(&PatternKey::new(&[arrr(), brc()])), 2);
+    }
+
+    #[test]
+    fn pattern_key_lengths() {
+        assert_eq!(PatternKey::new(&[arrr(), brc()]).len(), 2);
+        assert_eq!(PatternKey::new(&[arrr(), arri(), brc()]).len(), 3);
+        assert!(PatternKey::new(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "group too large")]
+    fn oversized_key_panics() {
+        PatternKey::new(&[arrr(); 5]);
+    }
+}

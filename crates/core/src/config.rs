@@ -1,0 +1,314 @@
+//! Simulator configuration: the paper's machine models A–E.
+
+use std::fmt;
+
+use ddsc_isa::{OpClass, Opcode};
+
+/// Load-speculation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LoadSpecMode {
+    /// No load-speculation; loads wait for their address operands.
+    #[default]
+    Off,
+    /// The paper's realistic mechanism: a two-delta stride table with
+    /// 2-bit confidence gating.
+    Real,
+    /// Every load address predicted correctly (the paper's upper bound).
+    Ideal,
+}
+
+/// Value-speculation mode — the extension studying §1's second form of
+/// d-speculation ("predict ... data values such as those loaded from
+/// memory ... and in general the data result of any instruction").
+/// Off for all paper configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ValueSpecMode {
+    /// No value speculation.
+    #[default]
+    Off,
+    /// Loaded values predicted by a confidence-gated two-delta value
+    /// table; consumers of correctly-predicted loads start immediately.
+    Real,
+    /// Every loaded value predicted correctly (the Figure 1d envelope).
+    Ideal,
+    /// Every register result predicted correctly — the full
+    /// dataflow-limit envelope of "the data result of any instruction".
+    IdealAll,
+}
+
+/// Confidence-counter parameters for the address-prediction table —
+/// §3's "possible variations are currently being explored to determine
+/// even more accurate confidence measurements".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfidenceParams {
+    /// Saturation maximum.
+    pub max: u8,
+    /// Increment on a correct prediction.
+    pub inc: u8,
+    /// Decrement on a wrong prediction.
+    pub dec: u8,
+    /// Predictions are used when the counter value exceeds this.
+    pub threshold: u8,
+}
+
+impl Default for ConfidenceParams {
+    /// The paper's counter: 2-bit, +1 / −2, use when greater than 1.
+    fn default() -> Self {
+        ConfidenceParams {
+            max: 3,
+            inc: 1,
+            dec: 2,
+            threshold: 1,
+        }
+    }
+}
+
+/// Operation latencies in cycles (§4: one cycle, except loads and
+/// multiplies at two and divides at twelve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Latencies {
+    /// Every operation not otherwise listed.
+    pub default: u8,
+    /// Memory loads.
+    pub load: u8,
+    /// Multiplies.
+    pub mul: u8,
+    /// Divides.
+    pub div: u8,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            default: 1,
+            load: 2,
+            mul: 2,
+            div: 12,
+        }
+    }
+}
+
+impl Latencies {
+    /// The latency of one operation.
+    pub fn of(&self, op: Opcode) -> u8 {
+        match op.class() {
+            OpClass::Load => self.load,
+            OpClass::Mul => self.mul,
+            OpClass::Div => self.div,
+            _ => self.default,
+        }
+    }
+}
+
+/// The five machine configurations of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PaperConfig {
+    /// Base superscalar.
+    A,
+    /// Base + real load-speculation.
+    B,
+    /// Base + d-collapsing.
+    C,
+    /// Base + d-collapsing + real load-speculation.
+    D,
+    /// Base + d-collapsing + ideal load-speculation.
+    E,
+}
+
+impl PaperConfig {
+    /// All five configurations in paper order.
+    pub const ALL: [PaperConfig; 5] = [
+        PaperConfig::A,
+        PaperConfig::B,
+        PaperConfig::C,
+        PaperConfig::D,
+        PaperConfig::E,
+    ];
+
+    /// The single-letter label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperConfig::A => "A",
+            PaperConfig::B => "B",
+            PaperConfig::C => "C",
+            PaperConfig::D => "D",
+            PaperConfig::E => "E",
+        }
+    }
+
+    /// A human-readable description.
+    pub fn description(self) -> &'static str {
+        match self {
+            PaperConfig::A => "base",
+            PaperConfig::B => "base + real load-speculation",
+            PaperConfig::C => "base + d-collapsing",
+            PaperConfig::D => "base + d-collapsing + real load-speculation",
+            PaperConfig::E => "base + d-collapsing + ideal load-speculation",
+        }
+    }
+}
+
+impl fmt::Display for PaperConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full simulator configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_core::{PaperConfig, SimConfig};
+///
+/// let d8 = SimConfig::paper(PaperConfig::D, 8);
+/// assert_eq!(d8.issue_width, 8);
+/// assert_eq!(d8.window_size, 16); // §4: window = 2 × issue width
+/// assert!(d8.collapsing);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Maximum instructions issued per cycle.
+    pub issue_width: u32,
+    /// Scheduling-window size (the paper uses twice the issue width).
+    pub window_size: u32,
+    /// Load-speculation mode.
+    pub load_spec: LoadSpecMode,
+    /// Value-speculation mode (extension; Off in every paper config).
+    pub value_spec: ValueSpecMode,
+    /// Whether d-collapsing is enabled.
+    pub collapsing: bool,
+    /// Whether zero-operand detection assists collapsing (ablation).
+    pub zero_detection: bool,
+    /// Largest collapsed group (ablation; 4 = paper default).
+    pub max_collapse_members: usize,
+    /// Operand budget of the collapsing device (ablation; 4 = paper).
+    pub max_collapse_ops: u8,
+    /// Node elimination (Figure 1f) — an extension, off for all paper
+    /// configurations.
+    pub node_elimination: bool,
+    /// Restrict collapsing to within basic blocks (ablation; the paper
+    /// collapses across them).
+    pub collapse_within_block_only: bool,
+    /// Operation latencies.
+    pub latencies: Latencies,
+    /// McFarling predictor size parameter N (13 = the paper's 8 KB).
+    pub predictor_n: u32,
+    /// Stride-table index bits (12 = the paper's 4096 entries).
+    pub stride_bits: u32,
+    /// Address-prediction confidence-counter parameters (ablation).
+    pub confidence: ConfidenceParams,
+    /// Assume every conditional branch predicted correctly (limit-study
+    /// ablation; the paper's §2 notes gains diminish under realistic
+    /// prediction).
+    pub perfect_branches: bool,
+}
+
+impl SimConfig {
+    /// The base superscalar machine (configuration A) at a given issue
+    /// width; window is twice the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_width` is zero.
+    pub fn base(issue_width: u32) -> Self {
+        assert!(issue_width > 0, "issue width must be positive");
+        SimConfig {
+            issue_width,
+            window_size: issue_width * 2,
+            load_spec: LoadSpecMode::Off,
+            value_spec: ValueSpecMode::Off,
+            collapsing: false,
+            zero_detection: true,
+            max_collapse_members: 4,
+            max_collapse_ops: 4,
+            node_elimination: false,
+            collapse_within_block_only: false,
+            latencies: Latencies::default(),
+            predictor_n: 13,
+            stride_bits: 12,
+            confidence: ConfidenceParams::default(),
+            perfect_branches: false,
+        }
+    }
+
+    /// One of the paper's five configurations at a given issue width.
+    pub fn paper(cfg: PaperConfig, issue_width: u32) -> Self {
+        let mut c = SimConfig::base(issue_width);
+        match cfg {
+            PaperConfig::A => {}
+            PaperConfig::B => c.load_spec = LoadSpecMode::Real,
+            PaperConfig::C => c.collapsing = true,
+            PaperConfig::D => {
+                c.collapsing = true;
+                c.load_spec = LoadSpecMode::Real;
+            }
+            PaperConfig::E => {
+                c.collapsing = true;
+                c.load_spec = LoadSpecMode::Ideal;
+            }
+        }
+        c
+    }
+
+    /// The issue widths the paper sweeps (2048 is plotted as "2k").
+    pub const PAPER_WIDTHS: [u32; 5] = [4, 8, 16, 32, 2048];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_isa::Cond;
+
+    #[test]
+    fn paper_latencies() {
+        let l = Latencies::default();
+        assert_eq!(l.of(Opcode::Add), 1);
+        assert_eq!(l.of(Opcode::Ld), 2);
+        assert_eq!(l.of(Opcode::Ldb), 2);
+        assert_eq!(l.of(Opcode::Mul), 2);
+        assert_eq!(l.of(Opcode::Div), 12);
+        assert_eq!(l.of(Opcode::St), 1);
+        assert_eq!(l.of(Opcode::Bcc(Cond::Eq)), 1);
+    }
+
+    #[test]
+    fn configs_set_the_right_mechanisms() {
+        let a = SimConfig::paper(PaperConfig::A, 4);
+        assert!(!a.collapsing);
+        assert_eq!(a.load_spec, LoadSpecMode::Off);
+        let b = SimConfig::paper(PaperConfig::B, 4);
+        assert!(!b.collapsing);
+        assert_eq!(b.load_spec, LoadSpecMode::Real);
+        let c = SimConfig::paper(PaperConfig::C, 4);
+        assert!(c.collapsing);
+        assert_eq!(c.load_spec, LoadSpecMode::Off);
+        let d = SimConfig::paper(PaperConfig::D, 4);
+        assert!(d.collapsing);
+        assert_eq!(d.load_spec, LoadSpecMode::Real);
+        let e = SimConfig::paper(PaperConfig::E, 4);
+        assert!(e.collapsing);
+        assert_eq!(e.load_spec, LoadSpecMode::Ideal);
+    }
+
+    #[test]
+    fn window_is_twice_width() {
+        for w in SimConfig::PAPER_WIDTHS {
+            assert_eq!(SimConfig::base(w).window_size, 2 * w);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for c in PaperConfig::ALL {
+            assert_eq!(c.to_string(), c.label());
+            assert!(!c.description().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "issue width")]
+    fn zero_width_rejected() {
+        SimConfig::base(0);
+    }
+}

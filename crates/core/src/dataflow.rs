@@ -1,0 +1,198 @@
+//! Pure dataflow-limit analysis of a trace.
+//!
+//! Limit studies (Wall; Austin & Sohi, both cited by the paper) anchor
+//! their machine models against the *dataflow limit*: the execution time
+//! of the dynamic dependence graph itself, with no window, bandwidth or
+//! control constraints — §1's "in theory, the minimum execution time of
+//! the program is the length of the longest path through the dependence
+//! graph".
+//!
+//! [`analyze_dataflow`] computes that critical path over true register
+//! and memory dependences with the paper's latencies, plus the
+//! dependence-distance profile that motivates small collapsing windows.
+
+use std::collections::HashMap;
+
+use ddsc_trace::Trace;
+use ddsc_util::Histogram;
+
+use crate::Latencies;
+
+/// Cap for the dependence-distance histogram's unit buckets.
+const DISTANCE_CAP: usize = 64;
+
+/// The dataflow-limit profile of one trace.
+#[derive(Debug, Clone)]
+pub struct DataflowAnalysis {
+    /// Dynamic instructions analysed.
+    pub instructions: u64,
+    /// Latency-weighted length of the longest true-dependence chain.
+    pub critical_path: u64,
+    /// Total true dependences (register + memory).
+    pub dependences: u64,
+    /// Distance (in dynamic instructions) from each instruction to its
+    /// producers.
+    pub dep_distance: Histogram,
+}
+
+impl DataflowAnalysis {
+    /// The dataflow-limit IPC: instructions over the critical path.
+    pub fn limit_ipc(&self) -> f64 {
+        if self.critical_path == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.critical_path as f64
+        }
+    }
+
+    /// Mean number of true dependences per instruction.
+    pub fn deps_per_inst(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.dependences as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction (0..=1) of dependences spanning fewer than `n` dynamic
+    /// instructions.
+    pub fn fraction_below(&self, n: u64) -> f64 {
+        self.dep_distance.fraction_below(n)
+    }
+}
+
+/// Computes the dataflow limit of a trace under the given latencies.
+///
+/// True register dependences and store→load memory dependences (perfect
+/// disambiguation, word-granular) are included; control dependences are
+/// not — this is the envelope all of the paper's machine models sit
+/// below.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_core::{analyze_dataflow, Latencies};
+/// use ddsc_trace::{Trace, TraceInst};
+/// use ddsc_isa::{Opcode, Reg};
+///
+/// // A serial chain of four adds: critical path 4, limit IPC 1.
+/// let mut t = Trace::new("chain");
+/// for i in 0..4 {
+///     t.push(TraceInst::alu(4 * i, Opcode::Add, Reg::new(1), Reg::new(1), None, Some(1), 0));
+/// }
+/// let a = analyze_dataflow(&t, &Latencies::default());
+/// assert_eq!(a.critical_path, 4);
+/// assert!((a.limit_ipc() - 1.0).abs() < 1e-12);
+/// ```
+pub fn analyze_dataflow(trace: &Trace, latencies: &Latencies) -> DataflowAnalysis {
+    let insts = trace.insts();
+    let n = insts.len();
+    // completion[i] = earliest cycle instruction i's result is available.
+    let mut completion = vec![0u64; n];
+    let mut last_writer = [None::<u32>; ddsc_isa::Reg::COUNT];
+    let mut store_map: HashMap<u32, u32> = HashMap::new();
+    let mut critical = 0u64;
+    let mut dependences = 0u64;
+    let mut dep_distance = Histogram::new(DISTANCE_CAP);
+
+    for (i, inst) in insts.iter().enumerate() {
+        let mut start = 0u64;
+        let mut depend = |p: u32| {
+            dependences += 1;
+            dep_distance.record(i as u64 - u64::from(p));
+            completion[p as usize]
+        };
+        for r in inst.reg_sources() {
+            if let Some(p) = last_writer[r.index()] {
+                start = start.max(depend(p));
+            }
+        }
+        if inst.is_load() {
+            if let Some(&s) = store_map.get(&(inst.ea.unwrap_or(0) & !3)) {
+                start = start.max(depend(s));
+            }
+        }
+        let done = start + u64::from(latencies.of(inst.op));
+        completion[i] = done;
+        critical = critical.max(done);
+
+        if let Some(d) = inst.dest {
+            last_writer[d.index()] = Some(i as u32);
+        }
+        if inst.is_store() {
+            store_map.insert(inst.ea.unwrap_or(0) & !3, i as u32);
+        }
+    }
+
+    DataflowAnalysis {
+        instructions: n as u64,
+        critical_path: critical,
+        dependences,
+        dep_distance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_isa::{Opcode, Reg};
+    use ddsc_trace::TraceInst;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn independent_instructions_have_unit_critical_path() {
+        let mut t = Trace::new("indep");
+        for i in 0..10u8 {
+            t.push(TraceInst::alu(0, Opcode::Add, r(i % 7 + 1), Reg::G0, None, Some(1), 0));
+        }
+        let a = analyze_dataflow(&t, &Latencies::default());
+        assert_eq!(a.critical_path, 1);
+        assert!((a.limit_ipc() - 10.0).abs() < 1e-12);
+        assert_eq!(a.dependences, 0);
+    }
+
+    #[test]
+    fn latencies_weight_the_path() {
+        let mut t = Trace::new("divs");
+        for _ in 0..3 {
+            t.push(TraceInst::alu(0, Opcode::Div, r(1), r(1), None, Some(3), 0));
+        }
+        let a = analyze_dataflow(&t, &Latencies::default());
+        assert_eq!(a.critical_path, 36, "three serial divides");
+    }
+
+    #[test]
+    fn memory_dependences_extend_the_path() {
+        let mut t = Trace::new("mem");
+        // store r1 -> [64]; load [64] -> r2; add r2.
+        t.push(TraceInst::alu(0, Opcode::Add, r(1), Reg::G0, None, Some(9), 0));
+        t.push(TraceInst::store(4, Opcode::St, r(1), Reg::G0, None, Some(64), 0, 64));
+        t.push(TraceInst::load(8, Opcode::Ld, r(2), Reg::G0, None, Some(64), 0, 64));
+        t.push(TraceInst::alu(12, Opcode::Add, r(3), r(2), None, Some(1), 0));
+        let a = analyze_dataflow(&t, &Latencies::default());
+        // add(1) -> store(1) -> load(2) -> add(1) = 5.
+        assert_eq!(a.critical_path, 5);
+        assert_eq!(a.dependences, 3);
+    }
+
+    #[test]
+    fn distances_count_dynamic_gaps() {
+        let mut t = Trace::new("gap");
+        t.push(TraceInst::alu(0, Opcode::Add, r(1), Reg::G0, None, Some(1), 0));
+        t.push(TraceInst::alu(4, Opcode::Add, r(2), Reg::G0, None, Some(2), 0));
+        t.push(TraceInst::alu(8, Opcode::Add, r(3), r(1), None, Some(3), 0));
+        let a = analyze_dataflow(&t, &Latencies::default());
+        assert_eq!(a.dep_distance.count(2), 1);
+        assert_eq!(a.fraction_below(3), 1.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let a = analyze_dataflow(&Trace::new("e"), &Latencies::default());
+        assert_eq!(a.limit_ipc(), 0.0);
+        assert_eq!(a.deps_per_inst(), 0.0);
+    }
+}

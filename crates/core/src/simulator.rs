@@ -1,0 +1,1099 @@
+//! The window-based trace-driven limit simulator.
+//!
+//! Methodology follows Wall (§4 of the paper): instructions are fetched
+//! in trace order into a scheduling window that is kept full; each cycle,
+//! up to `issue_width` ready instructions issue (oldest first); an
+//! instruction is ready when all of its live dependences have completed.
+//! Renaming is ideal (dependences are producer→consumer links in the
+//! dynamic trace), memory disambiguation is perfect (a load depends only
+//! on the latest earlier store to the same word), and functional units
+//! are unlimited.
+//!
+//! Mispredicted conditional branches delay all later instructions to the
+//! cycle after the branch issues; correctly predicted branches cost
+//! nothing. Load-speculation removes address-generation dependences from
+//! confidently-predicted loads; d-collapsing rewrites a consumer's
+//! dependence on an in-window, un-issued ALU producer into dependences on
+//! that producer's own sources, within a 4-1 operand budget.
+
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::cmp::Reverse;
+
+use ddsc_collapse::{absorb_slots, can_produce, AbsorbSlot, CollapseOpts, CollapseStats, ExprState};
+use ddsc_predict::{
+    AddressPredictor, DirectionPredictor, McFarling, SatCounter, TwoDeltaStride, TwoDeltaValue,
+    ValuePredictor,
+};
+use ddsc_trace::Trace;
+
+use crate::{
+    BranchRunStats, LoadClass, LoadSpecMode, LoadSpecStats, SimConfig, SimResult, StallStats,
+    ValueSpecMode, ValueSpecStats,
+};
+
+const NOT_DONE: u32 = u32::MAX;
+
+#[derive(Debug, Default)]
+struct DepGroup {
+    /// Unresolved producer indices (producers still in flight).
+    producers: Vec<u32>,
+    /// Max completion cycle among resolved producers.
+    ready: u32,
+}
+
+impl DepGroup {
+    fn add(&mut self, p: u32, completion: &[u32]) {
+        let c = completion[p as usize];
+        if c != NOT_DONE {
+            self.ready = self.ready.max(c);
+        } else if !self.producers.contains(&p) {
+            self.producers.push(p);
+        }
+    }
+
+    fn resolve(&mut self, p: u32, at: u32) -> bool {
+        if let Some(pos) = self.producers.iter().position(|&x| x == p) {
+            self.producers.swap_remove(pos);
+            self.ready = self.ready.max(at);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Non-bypassable dependences: data operands, memory dependence,
+    /// branch constraint. For loads this group excludes address
+    /// generation.
+    main: DepGroup,
+    /// Address-generation dependences (loads only).
+    addr: DepGroup,
+    /// Whether load-speculation lets this load ignore `addr`.
+    bypass_addr: bool,
+    /// Collapse expression state (None for non-pattern ops or when
+    /// collapsing is off).
+    expr: Option<ExprState>,
+    /// Unresolved producers that a *later* consumer could still absorb
+    /// transitively, with their operand slots inside this expression.
+    collapse_deps: Vec<(u32, Vec<AbsorbSlot>)>,
+    latency: u8,
+    entry_cycle: u32,
+    scheduled: bool,
+    /// Edges to in-window consumers: (consumer index, is-addr-group).
+    consumers: Vec<(u32, bool)>,
+    /// How many consumers absorbed this instruction.
+    absorbed_by: u32,
+    /// Total readers of this instruction's result in the whole trace.
+    readers_total: u32,
+    /// Basic-block sequence number (for the within-block ablation).
+    block_id: u32,
+    is_load: bool,
+    pred_conf: bool,
+    pred_correct: bool,
+    /// Attribution metadata: the memory-dependence and branch-constraint
+    /// producers inside `main`, and the readiness of each constraint
+    /// class (for the stall breakdown).
+    mem_dep: Option<u32>,
+    branch_dep: Option<u32>,
+    data_ready: u32,
+    mem_ready: u32,
+    branch_ready: u32,
+}
+
+impl Entry {
+    /// Classifies a resolved `main`-group producer for stall attribution.
+    fn note_main_ready(&mut self, p: u32, at: u32) {
+        if self.mem_dep == Some(p) {
+            self.mem_ready = self.mem_ready.max(at);
+        } else if self.branch_dep == Some(p) {
+            self.branch_ready = self.branch_ready.max(at);
+        } else {
+            self.data_ready = self.data_ready.max(at);
+        }
+    }
+}
+
+impl Entry {
+    fn blocking(&self) -> usize {
+        self.main.producers.len() + if self.bypass_addr { 0 } else { self.addr.producers.len() }
+    }
+
+    fn ready_cycle(&self) -> u32 {
+        let mut r = self.entry_cycle.max(self.main.ready);
+        if !self.bypass_addr {
+            r = r.max(self.addr.ready);
+        }
+        r
+    }
+}
+
+/// Simulates one trace under one configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_core::{simulate, SimConfig};
+/// use ddsc_trace::{Trace, TraceInst};
+/// use ddsc_isa::{Opcode, Reg};
+///
+/// let mut t = Trace::new("two-independent-adds");
+/// t.push(TraceInst::alu(0, Opcode::Add, Reg::new(1), Reg::new(2), None, Some(1), 0));
+/// t.push(TraceInst::alu(4, Opcode::Add, Reg::new(3), Reg::new(4), None, Some(1), 0));
+/// let r = simulate(&t, &SimConfig::base(4));
+/// assert_eq!(r.cycles, 1, "independent instructions issue together");
+/// ```
+pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
+    let insts = trace.insts();
+    let n = insts.len();
+    let opts = CollapseOpts {
+        zero_detection: config.zero_detection,
+        max_members: config.max_collapse_members,
+        max_ops: config.max_collapse_ops,
+    };
+
+    // ---- pass 1: branch prediction in fetch order ----
+    let mut branch_ok = vec![true; n];
+    let mut branches = BranchRunStats::default();
+    {
+        let mut predictor = McFarling::new(config.predictor_n);
+        for (i, inst) in insts.iter().enumerate() {
+            if inst.op.is_cond_branch() {
+                branches.cond_branches += 1;
+                let ok = config.perfect_branches
+                    || predictor.predict_and_train(inst.pc, inst.taken);
+                branch_ok[i] = ok;
+                if !ok {
+                    branches.mispredicted += 1;
+                }
+            }
+        }
+    }
+
+    // ---- pass 2: address prediction in fetch order ----
+    // flags: bit0 = confident, bit1 = correct.
+    let mut load_pred = vec![0u8; n];
+    match config.load_spec {
+        LoadSpecMode::Off => {}
+        LoadSpecMode::Ideal => {
+            for (i, inst) in insts.iter().enumerate() {
+                if inst.is_load() {
+                    load_pred[i] = 0b11;
+                }
+            }
+        }
+        LoadSpecMode::Real => {
+            let conf = config.confidence;
+            let mut table = TwoDeltaStride::with_confidence(
+                config.stride_bits,
+                SatCounter::with_params(conf.max, conf.inc, conf.dec, conf.threshold),
+            );
+            for (i, inst) in insts.iter().enumerate() {
+                if inst.is_load() {
+                    let p = table.access(inst.pc, inst.ea.unwrap_or(0));
+                    load_pred[i] =
+                        u8::from(p.confident) | (u8::from(p.correct) << 1);
+                }
+            }
+        }
+    }
+
+    // ---- pass 2b (extension): value prediction in fetch order ----
+    // value_bypass[i]: consumers of instruction i's result need not wait
+    // for it — the value is (correctly) predicted at dispatch.
+    let mut value_bypass = vec![false; n];
+    let mut values = ValueSpecStats::default();
+    match config.value_spec {
+        ValueSpecMode::Off => {}
+        ValueSpecMode::Ideal => {
+            for (i, inst) in insts.iter().enumerate() {
+                if inst.is_load() && inst.value.is_some() {
+                    value_bypass[i] = true;
+                    values.predicted_correct += 1;
+                }
+            }
+        }
+        ValueSpecMode::IdealAll => {
+            for (i, inst) in insts.iter().enumerate() {
+                if inst.value.is_some() {
+                    value_bypass[i] = true;
+                    if inst.is_load() {
+                        values.predicted_correct += 1;
+                    }
+                }
+            }
+        }
+        ValueSpecMode::Real => {
+            let mut table = TwoDeltaValue::paper_sized();
+            for (i, inst) in insts.iter().enumerate() {
+                if inst.is_load() {
+                    let Some(v) = inst.value else { continue };
+                    let p = table.access(inst.pc, v);
+                    if p.confident && p.correct {
+                        value_bypass[i] = true;
+                        values.predicted_correct += 1;
+                    } else if p.confident {
+                        // Wrong value: consumers replay once the load
+                        // completes — same timing as no speculation.
+                        values.predicted_incorrect += 1;
+                    } else {
+                        values.not_predicted += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- pass 3 (node elimination only): reader counts ----
+    let readers = if config.node_elimination {
+        let mut counts = vec![0u32; n];
+        let mut last_writer = [None::<u32>; ddsc_isa::Reg::COUNT];
+        for (i, inst) in insts.iter().enumerate() {
+            for r in inst.reg_sources() {
+                if let Some(p) = last_writer[r.index()] {
+                    counts[p as usize] += 1;
+                }
+            }
+            if let Some(d) = inst.dest {
+                last_writer[d.index()] = Some(i as u32);
+            }
+        }
+        counts
+    } else {
+        Vec::new()
+    };
+
+    // ---- main timing pass ----
+    let mut completion = vec![NOT_DONE; n];
+    let mut last_writer = [None::<u32>; ddsc_isa::Reg::COUNT];
+    let mut store_map: HashMap<u32, u32> = HashMap::new();
+    let mut window: HashMap<u32, Entry> = HashMap::new();
+    let mut pending: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    let mut ready: BTreeSet<u32> = BTreeSet::new();
+    let mut last_mispred: Option<u32> = None;
+    let mut block_id = 0u32;
+
+    let mut loads = LoadSpecStats::default();
+    let mut stalls = StallStats::default();
+    let mut collapse = CollapseStats::new();
+    let mut participant = vec![0u64; n / 64 + 1];
+    let mut eliminated = 0u64;
+
+    let mut fetch = 0usize;
+    let mut in_window = 0u32;
+    let mut cycle = 0u32;
+    let mut retired = 0usize;
+    let mut last_issue_cycle = 0u32;
+
+    while retired < n {
+        // -- fetch: keep the window full --
+        while in_window < config.window_size && fetch < n {
+            let i = fetch as u32;
+            let inst = &insts[fetch];
+            let is_load = inst.is_load();
+            let mut main = DepGroup::default();
+            let mut addr = DepGroup::default();
+
+            for r in inst.reg_sources() {
+                if let Some(p) = last_writer[r.index()] {
+                    if value_bypass[p as usize] {
+                        // The producer's value is predicted at dispatch;
+                        // this dependence carries no latency.
+                        continue;
+                    }
+                    if is_load {
+                        addr.add(p, &completion);
+                    } else {
+                        main.add(p, &completion);
+                    }
+                }
+            }
+            let mut data_floor = main.ready;
+            let mut mem_dep = None;
+            let mut mem_ready = 0u32;
+            if is_load {
+                if let Some(&s) = store_map.get(&(inst.ea.unwrap_or(0) & !3)) {
+                    main.add(s, &completion);
+                    if completion[s as usize] != NOT_DONE {
+                        mem_ready = completion[s as usize];
+                    } else {
+                        mem_dep = Some(s);
+                    }
+                }
+            }
+            let mut branch_dep = None;
+            let mut branch_ready = 0u32;
+            if let Some(b) = last_mispred {
+                main.add(b, &completion);
+                if completion[b as usize] != NOT_DONE {
+                    branch_ready = completion[b as usize];
+                } else {
+                    branch_dep = Some(b);
+                }
+            }
+
+            // -- d-collapsing at dispatch --
+            let mut expr = if config.collapsing {
+                ExprState::leaf_with(i, inst, &opts)
+                    .filter(|_| inst.op.class().is_collapsible_consumer())
+            } else {
+                None
+            };
+            let mut collapse_deps: Vec<(u32, Vec<AbsorbSlot>)> = Vec::new();
+            if expr.is_some() {
+                // Initial candidates: unresolved producers referenced by
+                // the base instruction through collapsible operands.
+                for group in [&addr, &main] {
+                    for &p in &group.producers {
+                        if let Some(dest) = insts[p as usize].dest {
+                            if can_produce(&insts[p as usize]) {
+                                let slots = absorb_slots(inst, dest);
+                                if !slots.is_empty() {
+                                    collapse_deps.push((p, slots));
+                                }
+                            }
+                        }
+                    }
+                }
+                // Greedy absorb, nearest producer first, until nothing
+                // else fits the device.
+                loop {
+                    let cur = expr.as_ref().expect("expr present in collapse loop");
+                    let mut chosen: Option<(usize, ExprState)> = None;
+                    let mut order: Vec<usize> = (0..collapse_deps.len()).collect();
+                    order.sort_by_key(|&k| Reverse(collapse_deps[k].0));
+                    for k in order {
+                        let (p, ref slots) = collapse_deps[k];
+                        let Some(p_entry) = window.get(&p) else {
+                            continue; // already issued
+                        };
+                        if config.collapse_within_block_only && p_entry.block_id != block_id {
+                            continue;
+                        }
+                        let Some(p_expr) = p_entry.expr.as_ref() else {
+                            continue;
+                        };
+                        if let Some(merged) = cur.absorb_with(p_expr, slots, &opts) {
+                            chosen = Some((k, merged));
+                            break;
+                        }
+                    }
+                    let Some((k, merged)) = chosen else { break };
+                    let (p, slots) = collapse_deps.swap_remove(k);
+                    let occ = slots.len();
+                    // Remove the collapsed dependence and inherit the
+                    // producer's own dependences (leaf availability).
+                    let group = if is_load { &mut addr } else { &mut main };
+                    group.producers.retain(|&x| x != p);
+                    let p_entry = window.get_mut(&p).expect("producer vanished mid-absorb");
+                    p_entry.absorbed_by += 1;
+                    group.ready = group.ready.max(p_entry.main.ready);
+                    if !is_load {
+                        // Inherited leaf availability counts as data
+                        // readiness for the stall breakdown.
+                        data_floor = data_floor.max(p_entry.main.ready);
+                    }
+                    let inherited: Vec<u32> = p_entry.main.producers.clone();
+                    let inherited_slots: Vec<(u32, Vec<AbsorbSlot>)> = p_entry
+                        .collapse_deps
+                        .iter()
+                        .map(|(q, s)| {
+                            let mut rep = Vec::with_capacity(s.len() * occ);
+                            for _ in 0..occ {
+                                rep.extend_from_slice(s);
+                            }
+                            (*q, rep)
+                        })
+                        .collect();
+                    for q in inherited {
+                        group.add(q, &completion);
+                    }
+                    for (q, s) in inherited_slots {
+                        match collapse_deps.iter_mut().find(|(x, _)| *x == q) {
+                            Some((_, existing)) => existing.extend(s),
+                            None => collapse_deps.push((q, s)),
+                        }
+                    }
+                    expr = Some(merged);
+                }
+            }
+
+            let flags = load_pred[fetch];
+            let bypass_addr = is_load
+                && match config.load_spec {
+                    LoadSpecMode::Off => false,
+                    LoadSpecMode::Ideal => true,
+                    LoadSpecMode::Real => flags == 0b11, // confident && correct
+                };
+
+            let entry = Entry {
+                main,
+                addr,
+                bypass_addr,
+                expr,
+                collapse_deps,
+                latency: config.latencies.of(inst.op),
+                entry_cycle: cycle,
+                scheduled: false,
+                consumers: Vec::new(),
+                absorbed_by: 0,
+                readers_total: readers.get(fetch).copied().unwrap_or(0),
+                block_id,
+                is_load,
+                pred_conf: flags & 1 != 0,
+                pred_correct: flags & 2 != 0,
+                mem_dep,
+                branch_dep,
+                data_ready: data_floor,
+                mem_ready,
+                branch_ready,
+            };
+
+            // Register edges on in-window producers.
+            let edges: Vec<(u32, bool)> = entry
+                .addr
+                .producers
+                .iter()
+                .map(|&p| (p, true))
+                .chain(entry.main.producers.iter().map(|&p| (p, false)))
+                .collect();
+            for (p, is_addr) in edges {
+                window
+                    .get_mut(&p)
+                    .expect("unresolved producer must be in window")
+                    .consumers
+                    .push((i, is_addr));
+            }
+
+            let schedulable = entry.blocking() == 0;
+            let rc = entry.ready_cycle();
+            window.insert(i, entry);
+            if schedulable {
+                window.get_mut(&i).expect("just inserted").scheduled = true;
+                pending.push(Reverse((rc, i)));
+            }
+            in_window += 1;
+
+            // Trace-order bookkeeping for later fetches.
+            if let Some(d) = inst.dest {
+                last_writer[d.index()] = Some(i);
+            }
+            if inst.is_store() {
+                store_map.insert(inst.ea.unwrap_or(0) & !3, i);
+            }
+            if inst.op.is_cond_branch() && !branch_ok[fetch] {
+                last_mispred = Some(i);
+            }
+            if inst.op.is_control() {
+                block_id += 1;
+            }
+            fetch += 1;
+        }
+
+        // -- promote pending entries whose ready cycle has arrived --
+        while let Some(&Reverse((rc, idx))) = pending.peek() {
+            if rc <= cycle {
+                pending.pop();
+                ready.insert(idx);
+            } else {
+                break;
+            }
+        }
+
+        // -- issue up to `issue_width`, oldest first --
+        let mut slots_used = 0u32;
+        while slots_used < config.issue_width {
+            let Some(&idx) = ready.first() else { break };
+            ready.remove(&idx);
+            let entry = window.remove(&idx).expect("ready entry must be in window");
+            in_window -= 1;
+            retired += 1;
+
+            // Node elimination: if every reader absorbed this result, the
+            // instruction need not execute at all (Figure 1f). It frees
+            // its window slot without consuming issue bandwidth.
+            let eliminate = config.node_elimination
+                && entry.absorbed_by > 0
+                && entry.absorbed_by == entry.readers_total
+                && can_produce(&insts[idx as usize]);
+            let ct = if eliminate {
+                eliminated += 1;
+                cycle // value is never read; see readers accounting
+            } else {
+                slots_used += 1;
+                last_issue_cycle = cycle;
+                cycle + u32::from(entry.latency)
+            };
+            completion[idx as usize] = ct;
+
+            if !eliminate {
+                // Bottleneck attribution: the wait from window entry to
+                // readiness goes to the dominant constraint; ready to
+                // issue is bandwidth contention.
+                let rc = entry.ready_cycle();
+                stalls.insts += 1;
+                stalls.bandwidth += u64::from(cycle - rc);
+                let wait = rc - entry.entry_cycle;
+                if wait > 0 {
+                    let addr_ready = if entry.bypass_addr { 0 } else { entry.addr.ready };
+                    // Priority for ties: the most external cause first.
+                    let attributed = if entry.branch_ready >= rc {
+                        &mut stalls.branch
+                    } else if entry.mem_ready >= rc {
+                        &mut stalls.memory
+                    } else if addr_ready >= rc {
+                        &mut stalls.address
+                    } else {
+                        &mut stalls.data
+                    };
+                    *attributed += u64::from(wait);
+                }
+                if entry.is_load && config.load_spec != LoadSpecMode::Off {
+                    let t_addr_known = entry.addr.producers.is_empty();
+                    let comparator = if entry.bypass_addr {
+                        cycle
+                    } else {
+                        entry.main.ready.max(entry.entry_cycle)
+                    };
+                    let class = if t_addr_known && entry.addr.ready <= comparator {
+                        LoadClass::Ready
+                    } else if entry.pred_conf && entry.pred_correct {
+                        LoadClass::PredictedCorrect
+                    } else if entry.pred_conf {
+                        LoadClass::PredictedIncorrect
+                    } else {
+                        LoadClass::NotPredicted
+                    };
+                    loads.record(class);
+                }
+                if let Some(expr) = entry.expr.as_ref() {
+                    // A collapse is only *executed* when the interlock is
+                    // real: the consumer issues before some absorbed
+                    // producer's result would have been available. Groups
+                    // whose producers all completed in time issue as
+                    // ordinary instructions and are not counted (the
+                    // dependence rewriting never changed their timing).
+                    let effective = expr.is_collapsed()
+                        && expr.members().any(|(m, _)| {
+                            m != idx && completion[m as usize] > cycle
+                        });
+                    if effective {
+                        collapse.record_group(expr);
+                        participant[idx as usize / 64] |= 1 << (idx % 64);
+                        for (m, _) in expr.members() {
+                            if m != idx && completion[m as usize] > cycle {
+                                participant[m as usize / 64] |= 1 << (m % 64);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Notify in-window consumers.
+            for (cons, is_addr) in entry.consumers {
+                let Some(c) = window.get_mut(&cons) else {
+                    continue; // bypassed load already issued
+                };
+                let resolved = if is_addr {
+                    c.addr.resolve(idx, ct)
+                } else {
+                    let r = c.main.resolve(idx, ct);
+                    if r {
+                        c.note_main_ready(idx, ct);
+                    }
+                    r
+                };
+                if resolved && !c.scheduled && c.blocking() == 0 {
+                    c.scheduled = true;
+                    pending.push(Reverse((c.ready_cycle(), cons)));
+                }
+            }
+        }
+
+        if retired >= n {
+            break;
+        }
+
+        // -- advance time --
+        if !ready.is_empty() || (in_window < config.window_size && fetch < n) {
+            cycle += 1;
+        } else if let Some(&Reverse((rc, _))) = pending.peek() {
+            cycle = rc.max(cycle + 1);
+        } else {
+            cycle += 1;
+            debug_assert!(
+                fetch < n || in_window > 0,
+                "simulator wedged with nothing to do"
+            );
+        }
+    }
+
+    let participants: u64 = participant.iter().map(|w| w.count_ones() as u64).sum();
+    collapse.mark_participants(participants);
+    collapse.set_total(n as u64);
+
+    SimResult {
+        config: *config,
+        instructions: n as u64,
+        cycles: if n == 0 { 0 } else { u64::from(last_issue_cycle) + 1 },
+        loads,
+        values,
+        branches,
+        stalls,
+        collapse,
+        eliminated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_trace::TraceInst;
+    use crate::PaperConfig;
+    use ddsc_isa::{Cond, Opcode, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// A chain of `n` dependent add-immediates on one register.
+    fn dependent_chain(n: usize) -> Trace {
+        let mut t = Trace::new("chain");
+        for i in 0..n {
+            t.push(TraceInst::alu(
+                4 * i as u32,
+                Opcode::Add,
+                r(1),
+                r(1),
+                None,
+                Some(1),
+                0,
+            ));
+        }
+        t
+    }
+
+    /// `n` fully independent adds on distinct registers.
+    fn independent(n: usize) -> Trace {
+        let mut t = Trace::new("indep");
+        for i in 0..n {
+            let reg = r((i % 8 + 1) as u8);
+            t.push(TraceInst::alu(
+                4 * i as u32,
+                Opcode::Add,
+                reg,
+                Reg::G0,
+                None,
+                Some(i as i32 + 1),
+                0,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn independent_instructions_reach_full_width() {
+        let t = independent(4000);
+        for width in [4, 8, 16] {
+            let res = simulate(&t, &SimConfig::base(width));
+            let ipc = res.ipc();
+            assert!(
+                (f64::from(width) - ipc).abs() < 0.1,
+                "width {width}: ipc {ipc}"
+            );
+        }
+    }
+
+    #[test]
+    fn dependent_chain_is_serial_on_the_base_machine() {
+        let t = dependent_chain(1000);
+        let res = simulate(&t, &SimConfig::base(8));
+        assert!((res.ipc() - 1.0).abs() < 0.01, "ipc {}", res.ipc());
+    }
+
+    #[test]
+    fn collapsing_breaks_dependent_chains() {
+        // With 4-1 collapsing, r1 += 1 chains collapse in groups of
+        // three: instruction i depends on i-3, so steady-state IPC is 3.
+        let t = dependent_chain(3000);
+        let res = simulate(&t, &SimConfig::paper(PaperConfig::C, 8));
+        assert!(
+            res.ipc() > 2.7,
+            "collapsed chain should run near IPC 3, got {}",
+            res.ipc()
+        );
+        assert!(res.collapse.collapsed_pct().value() > 90.0);
+    }
+
+    #[test]
+    fn pairs_only_ablation_halves_the_collapse_win() {
+        let t = dependent_chain(3000);
+        let mut cfg = SimConfig::paper(PaperConfig::C, 8);
+        cfg.max_collapse_members = 2;
+        let res = simulate(&t, &cfg);
+        assert!(
+            (res.ipc() - 2.0).abs() < 0.1,
+            "pairs-only chain should run at IPC 2, got {}",
+            res.ipc()
+        );
+    }
+
+    #[test]
+    fn issue_width_caps_ipc() {
+        let t = independent(4000);
+        let res = simulate(&t, &SimConfig::base(4));
+        assert!(res.ipc() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn window_limits_parallelism() {
+        // Alternate a long-latency divide chain with independent work:
+        // a tiny window stalls behind the divide.
+        let mut t = Trace::new("divs");
+        for i in 0..200u32 {
+            t.push(TraceInst::alu(4 * i, Opcode::Div, r(1), r(1), None, Some(3), 0));
+        }
+        let res = simulate(&t, &SimConfig::base(8));
+        // Serial divides: 12 cycles each.
+        assert!(res.ipc() < 0.1, "ipc {}", res.ipc());
+    }
+
+    #[test]
+    fn mispredicted_branches_stall_younger_instructions() {
+        // Random (unpredictable) branches interleaved with independent
+        // work: IPC collapses toward the branch resolution rate.
+        let mut rng = ddsc_util::Pcg32::new(7);
+        let mut t = Trace::new("rand-branches");
+        for i in 0..4000u32 {
+            if i % 4 == 0 {
+                t.push(TraceInst::cond_branch(
+                    0x40,
+                    Opcode::Bcc(Cond::Ne),
+                    rng.chance(1, 2),
+                    0x80,
+                ));
+            } else {
+                t.push(TraceInst::alu(4 * i, Opcode::Add, r((i % 7 + 1) as u8), Reg::G0, None, Some(1), 0));
+            }
+        }
+        let base = simulate(&t, &SimConfig::base(8));
+        // Same trace with perfectly predictable (always-taken) branches.
+        let mut t2 = Trace::new("taken-branches");
+        for i in 0..4000u32 {
+            if i % 4 == 0 {
+                t2.push(TraceInst::cond_branch(0x40, Opcode::Bcc(Cond::Ne), true, 0x80));
+            } else {
+                t2.push(TraceInst::alu(4 * i, Opcode::Add, r((i % 7 + 1) as u8), Reg::G0, None, Some(1), 0));
+            }
+        }
+        let pred = simulate(&t2, &SimConfig::base(8));
+        assert!(
+            pred.ipc() > base.ipc() * 1.2,
+            "predictable {} vs random {}",
+            pred.ipc(),
+            base.ipc()
+        );
+        assert!(base.branches.mispredicted * 3 > base.branches.cond_branches,
+            "random branches should mispredict often");
+    }
+
+    #[test]
+    fn loads_wait_for_matching_stores() {
+        // store to A; load from A; the load must see the store's
+        // completion before issuing.
+        let mut t = Trace::new("mem");
+        t.push(TraceInst::alu(0, Opcode::Add, r(1), Reg::G0, None, Some(64), 0)); // addr
+        t.push(TraceInst::store(4, Opcode::St, r(1), r(1), None, Some(0), 0, 64));
+        t.push(TraceInst::load(8, Opcode::Ld, r(2), r(1), None, Some(0), 0, 64));
+        let res = simulate(&t, &SimConfig::base(8));
+        // add @0, store @1 (addr ready at 1), load @>=2, +2 latency.
+        assert!(res.cycles >= 3, "cycles {}", res.cycles);
+    }
+
+    #[test]
+    fn load_speculation_helps_strided_loads_behind_slow_addresses() {
+        // A "pointer chase" whose node layout happens to be strided:
+        // ld r1, [r1] chains serially on the base machine (2 cycles per
+        // load), but the address stream is perfectly stride-predictable,
+        // so load-speculation breaks the chain completely.
+        let mut t = Trace::new("strided-chase");
+        for i in 0..600u32 {
+            t.push(TraceInst::load(
+                0x20,
+                Opcode::Ld,
+                r(1),
+                r(1),
+                None,
+                Some(0),
+                0,
+                0x1000 + 4 * i,
+            ));
+        }
+        let base = simulate(&t, &SimConfig::paper(PaperConfig::A, 8));
+        let spec = simulate(&t, &SimConfig::paper(PaperConfig::B, 8));
+        assert!(
+            base.ipc() < 0.6,
+            "serial 2-cycle load chain, got {}",
+            base.ipc()
+        );
+        assert!(
+            spec.ipc() > base.ipc() * 4.0,
+            "speculation should win big: base {} spec {}",
+            base.ipc(),
+            spec.ipc()
+        );
+        let s = &spec.loads;
+        assert!(
+            s.predicted_correct > s.total() / 2,
+            "most loads predicted: {s:?}"
+        );
+    }
+
+    #[test]
+    fn ideal_speculation_dominates_real() {
+        let mut rng = ddsc_util::Pcg32::new(3);
+        let mut t = Trace::new("random-loads");
+        for _ in 0..900u32 {
+            t.push(TraceInst::alu(0x10, Opcode::Div, r(1), r(1), None, Some(1), 0));
+            let ea = (rng.next_u32() % 0x10000) & !3;
+            t.push(TraceInst::load(0x20, Opcode::Ld, r(2), r(1), None, Some(ea as i32), 0, ea));
+            t.push(TraceInst::alu(0x30, Opcode::Add, r(3), r(2), None, Some(1), 0));
+        }
+        let real = simulate(&t, &SimConfig::paper(PaperConfig::D, 8));
+        let ideal = simulate(&t, &SimConfig::paper(PaperConfig::E, 8));
+        assert!(ideal.ipc() >= real.ipc(), "ideal {} real {}", ideal.ipc(), real.ipc());
+        assert!(
+            real.loads.not_predicted + real.loads.predicted_incorrect > 0,
+            "random addresses cannot all predict"
+        );
+    }
+
+    #[test]
+    fn compare_branch_pairs_collapse() {
+        let mut t = Trace::new("cmp-brc");
+        for i in 0..300u32 {
+            t.push(TraceInst::alu(4, Opcode::Add, r(1), r(1), None, Some(1), 0));
+            t.push(TraceInst::cmp(8, r(1), None, Some(1000), 0));
+            t.push(TraceInst::cond_branch(12, Opcode::Bcc(Cond::Ne), i != 299, 4));
+        }
+        let res = simulate(&t, &SimConfig::paper(PaperConfig::C, 8));
+        let pairs = res.collapse.pairs();
+        assert!(pairs.total() > 0, "cmp-branch pairs must collapse");
+        let top = pairs.top(3);
+        assert!(
+            top.iter().any(|(k, _)| k.to_string().contains("brc")),
+            "expected a brc pattern among {top:?}"
+        );
+    }
+
+    #[test]
+    fn collapse_distance_counts_intervening_instructions() {
+        // Producer and consumer separated by independent instructions.
+        let mut t = Trace::new("dist");
+        t.push(TraceInst::alu(0, Opcode::Add, r(1), r(2), None, Some(1), 0));
+        for i in 0..3u32 {
+            t.push(TraceInst::alu(4 + 4 * i, Opcode::Add, r((4 + i) as u8), Reg::G0, None, Some(1), 0));
+        }
+        t.push(TraceInst::alu(20, Opcode::Add, r(3), r(1), None, Some(2), 0));
+        let res = simulate(&t, &SimConfig::paper(PaperConfig::C, 8));
+        assert_eq!(res.collapse.distance().count(4), 1, "distance 4 collapse");
+    }
+
+    #[test]
+    fn node_elimination_removes_fully_absorbed_producers() {
+        let t = dependent_chain(2000);
+        let mut cfg = SimConfig::paper(PaperConfig::C, 8);
+        cfg.node_elimination = true;
+        let res = simulate(&t, &cfg);
+        assert!(res.eliminated > 0, "chain producers are fully absorbed");
+        let plain = simulate(&t, &SimConfig::paper(PaperConfig::C, 8));
+        assert!(
+            res.cycles <= plain.cycles,
+            "elimination frees issue slots: {} vs {}",
+            res.cycles,
+            plain.cycles
+        );
+    }
+
+    #[test]
+    fn within_block_ablation_blocks_cross_branch_collapses() {
+        // producer ... branch ... consumer: collapsing across the branch
+        // is legal by default, blocked under the ablation.
+        let mut t = Trace::new("xblock");
+        for _ in 0..200 {
+            t.push(TraceInst::alu(0, Opcode::Add, r(1), r(1), None, Some(1), 0));
+            t.push(TraceInst::cond_branch(4, Opcode::Bcc(Cond::Ne), true, 8));
+            t.push(TraceInst::alu(8, Opcode::Add, r(2), r(1), None, Some(2), 0));
+        }
+        let normal = simulate(&t, &SimConfig::paper(PaperConfig::C, 8));
+        let mut cfg = SimConfig::paper(PaperConfig::C, 8);
+        cfg.collapse_within_block_only = true;
+        let blocked = simulate(&t, &cfg);
+        assert!(
+            normal.collapse.groups() > blocked.collapse.groups(),
+            "cross-block collapses must disappear: {} vs {}",
+            normal.collapse.groups(),
+            blocked.collapse.groups()
+        );
+    }
+
+    #[test]
+    fn ideal_value_speculation_breaks_load_chains() {
+        // ld r1, [r1] pointer chase with random addresses: value
+        // speculation removes the consumer dependence entirely.
+        let mut rng = ddsc_util::Pcg32::new(4);
+        let mut t = Trace::new("chase");
+        for _ in 0..400 {
+            let ea = rng.next_u32() & !3;
+            let mut inst =
+                TraceInst::load(0x20, Opcode::Ld, r(1), r(1), None, Some(0), 0, ea);
+            inst.value = Some(ea.wrapping_add(64));
+            t.push(inst);
+        }
+        let base = simulate(&t, &SimConfig::paper(PaperConfig::A, 8));
+        let mut cfg = SimConfig::paper(PaperConfig::A, 8);
+        cfg.value_spec = crate::ValueSpecMode::Ideal;
+        let spec = simulate(&t, &cfg);
+        assert!(base.ipc() < 0.6, "serial chain, got {}", base.ipc());
+        assert!(
+            spec.ipc() > base.ipc() * 4.0,
+            "value speculation breaks the chain: {} -> {}",
+            base.ipc(),
+            spec.ipc()
+        );
+        assert_eq!(spec.values.predicted_correct, 400);
+    }
+
+    #[test]
+    fn real_value_speculation_learns_invariant_loads() {
+        // The same global is reloaded over and over (value 77), each
+        // time feeding a dependent add: a last-value-style predictor
+        // learns it.
+        let mut t = Trace::new("invariant");
+        for _ in 0..300 {
+            let mut ld = TraceInst::load(0x30, Opcode::Ld, r(2), r(9), None, Some(0), 0, 0x5000);
+            ld.value = Some(77);
+            t.push(ld);
+            t.push(TraceInst::alu(0x34, Opcode::Add, r(3), r(3), Some(r(2)), None, 0));
+        }
+        let mut cfg = SimConfig::paper(PaperConfig::A, 8);
+        cfg.value_spec = crate::ValueSpecMode::Real;
+        let spec = simulate(&t, &cfg);
+        let v = &spec.values;
+        assert!(
+            v.predicted_correct > v.total() / 2,
+            "invariant loads should value-predict: {v:?}"
+        );
+        let base = simulate(&t, &SimConfig::paper(PaperConfig::A, 8));
+        assert!(spec.cycles <= base.cycles);
+    }
+
+    #[test]
+    fn ideal_all_value_speculation_approaches_the_bandwidth_limit() {
+        // With every register result predicted, only branch mispredictions
+        // and bandwidth remain.
+        let t = dependent_chain(2000);
+        let mut cfg = SimConfig::paper(PaperConfig::A, 8);
+        cfg.value_spec = crate::ValueSpecMode::IdealAll;
+        // Chains built by `dependent_chain` carry no `value` field (they
+        // are hand-built records), so attach values first.
+        let mut t2 = Trace::new("valued");
+        for mut inst in t.iter().copied() {
+            inst.value = Some(1);
+            t2.push(inst);
+        }
+        let spec = simulate(&t2, &cfg);
+        assert!(
+            spec.ipc() > 7.5,
+            "all dependences removed, IPC ~ width: {}",
+            spec.ipc()
+        );
+    }
+
+    #[test]
+    fn stall_breakdown_attributes_data_chains() {
+        let t = dependent_chain(1000);
+        let r = simulate(&t, &SimConfig::base(8));
+        let s = &r.stalls;
+        assert!(s.data > 0, "a serial chain waits on data: {s:?}");
+        assert!(
+            s.data > s.branch + s.memory + s.address,
+            "data must dominate: {s:?}"
+        );
+    }
+
+    #[test]
+    fn stall_breakdown_attributes_branch_stalls() {
+        let mut rng = ddsc_util::Pcg32::new(11);
+        let mut t = Trace::new("rand-br");
+        for i in 0..3000u32 {
+            if i % 3 == 0 {
+                t.push(TraceInst::cond_branch(
+                    0x40,
+                    Opcode::Bcc(Cond::Ne),
+                    rng.chance(1, 2),
+                    0x80,
+                ));
+            } else {
+                t.push(TraceInst::alu(4 * i, Opcode::Add, r((i % 7 + 1) as u8), Reg::G0, None, Some(1), 0));
+            }
+        }
+        let s = simulate(&t, &SimConfig::base(8)).stalls;
+        assert!(
+            s.branch > s.data && s.branch > s.memory,
+            "random branches dominate the stalls: {s:?}"
+        );
+    }
+
+    #[test]
+    fn stall_breakdown_attributes_address_stalls() {
+        // Serial pointer chase: every load waits on its address operand.
+        let mut t = Trace::new("chase");
+        for i in 0..800u32 {
+            t.push(TraceInst::load(0x20, Opcode::Ld, r(1), r(1), None, Some(0), 0, 0x1000 + 8 * i));
+        }
+        let s = simulate(&t, &SimConfig::base(8)).stalls;
+        assert!(
+            s.address > s.data && s.address > s.branch,
+            "address generation dominates: {s:?}"
+        );
+    }
+
+    #[test]
+    fn stall_breakdown_attributes_bandwidth() {
+        let t = independent(4000);
+        let s = simulate(&t, &SimConfig::base(4)).stalls;
+        assert!(
+            s.bandwidth > s.data + s.address + s.branch + s.memory,
+            "independent code only waits for slots: {s:?}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let res = simulate(&Trace::new("empty"), &SimConfig::base(4));
+        assert_eq!(res.instructions, 0);
+        assert_eq!(res.cycles, 0);
+        assert_eq!(res.ipc(), 0.0);
+    }
+
+    #[test]
+    fn wide_configuration_runs() {
+        let t = dependent_chain(5000);
+        let res = simulate(&t, &SimConfig::paper(PaperConfig::D, 2048));
+        assert!(res.ipc() > 1.0);
+        assert_eq!(res.instructions, 5000);
+    }
+
+    #[test]
+    fn speedups_are_monotone_across_configs_on_arithmetic_code() {
+        // On a collapsible, predictable workload: A <= C <= E.
+        let t = dependent_chain(2000);
+        let a = simulate(&t, &SimConfig::paper(PaperConfig::A, 8));
+        let c = simulate(&t, &SimConfig::paper(PaperConfig::C, 8));
+        let e = simulate(&t, &SimConfig::paper(PaperConfig::E, 8));
+        assert!(c.ipc() >= a.ipc());
+        assert!(e.ipc() >= c.ipc() * 0.999);
+    }
+}

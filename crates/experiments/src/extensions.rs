@@ -1,0 +1,939 @@
+//! Extension experiments beyond the paper's figures: the ablations its
+//! text calls for and its stated future-work directions.
+//!
+//! * [`address_predictors`] — §6: "there are large benefits to be gained
+//!   if the load-speculation scheme is improved". Compares the paper's
+//!   two-delta stride table against last-address, finite-context and
+//!   hybrid predictors on every benchmark.
+//! * [`node_elimination`] — §1/Figure 1f: eliminating fully-absorbed
+//!   producers.
+//! * [`collapse_depth`] — §5.3: "collapsing greater than 4-1 dependences
+//!   may offer very little performance benefit" — sweeps pairs-only /
+//!   triples / quads.
+//! * [`zero_detection`] — §5.3: the 0-op mechanism's worth.
+//! * [`within_block`] — §5.3: "we may not need to implement across basic
+//!   blocks" — restricts collapsing to within basic blocks.
+//! * [`value_predictors`] / [`value_speculation`] — §1/Figure 1d: the
+//!   paper's *other* d-speculation ("predict data values such as those
+//!   loaded from memory ... and in general the data result of any
+//!   instruction"), which it describes but never evaluates.
+
+use ddsc_core::{simulate, ConfidenceParams, PaperConfig, SimConfig, ValueSpecMode};
+use ddsc_predict::{
+    branch_stats, AddressPredictor, Bimodal, ContextAddr, DirectionPredictor, Gshare, HybridAddr,
+    LastAddr, LastValue, LocalHistory, McFarling, TwoDeltaStride, TwoDeltaValue, ValuePredictor,
+};
+use ddsc_util::stats::harmonic_mean;
+use ddsc_util::TextTable;
+use ddsc_workloads::Benchmark;
+
+use crate::Lab;
+
+/// A configuration factory parameterised by issue width.
+type ConfigFactory = Box<dyn Fn(u32) -> SimConfig>;
+
+/// Address-predictor comparison: confidently-correct prediction rate per
+/// benchmark and predictor.
+#[derive(Debug, Clone)]
+pub struct AddrPredictorComparison {
+    /// Predictor names, in column order.
+    pub predictors: Vec<&'static str>,
+    /// (benchmark, correct-and-confident % per predictor).
+    pub rows: Vec<(Benchmark, Vec<f64>)>,
+}
+
+impl AddrPredictorComparison {
+    /// The rate for one benchmark and predictor name.
+    pub fn rate(&self, b: Benchmark, predictor: &str) -> Option<f64> {
+        let col = self.predictors.iter().position(|&p| p == predictor)?;
+        self.rows
+            .iter()
+            .find(|(x, _)| *x == b)
+            .map(|(_, v)| v[col])
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(self.predictors.iter().map(|s| s.to_string()));
+        let mut t = TextTable::new(header);
+        for (b, rates) in &self.rows {
+            let mut row = vec![b.name().to_string()];
+            row.extend(rates.iter().map(|r| format!("{r:.1}")));
+            t.row(row);
+        }
+        format!("## Extension — address predictors (confident-correct % of loads)\n{t}")
+    }
+}
+
+/// Compares address predictors over each benchmark's load stream.
+pub fn address_predictors(lab: &Lab) -> AddrPredictorComparison {
+    let predictors: Vec<&'static str> = vec!["two-delta", "last-addr", "context", "hybrid"];
+    let rows = lab
+        .suite()
+        .iter()
+        .map(|(b, trace)| {
+            let mut preds: Vec<Box<dyn AddressPredictor>> = vec![
+                Box::new(TwoDeltaStride::paper_default()),
+                Box::new(LastAddr::new(12)),
+                Box::new(ContextAddr::new(12, 16)),
+                Box::new(HybridAddr::new(12, 16)),
+            ];
+            let mut hits = vec![0u64; preds.len()];
+            let mut loads = 0u64;
+            for inst in trace {
+                if inst.is_load() {
+                    loads += 1;
+                    for (k, p) in preds.iter_mut().enumerate() {
+                        let r = p.access(inst.pc, inst.ea.unwrap_or(0));
+                        if r.confident && r.correct {
+                            hits[k] += 1;
+                        }
+                    }
+                }
+            }
+            let rates = hits
+                .iter()
+                .map(|&h| if loads == 0 { 0.0 } else { 100.0 * h as f64 / loads as f64 })
+                .collect();
+            (b, rates)
+        })
+        .collect();
+    AddrPredictorComparison { predictors, rows }
+}
+
+/// A generic ablation result: harmonic-mean IPC per (variant, width).
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// Experiment name.
+    pub title: String,
+    /// Variant labels.
+    pub variants: Vec<String>,
+    /// (width, hmean IPC per variant).
+    pub rows: Vec<(u32, Vec<f64>)>,
+}
+
+impl Ablation {
+    /// The value for one width and variant label.
+    pub fn value(&self, width: u32, variant: &str) -> Option<f64> {
+        let col = self.variants.iter().position(|v| v == variant)?;
+        self.rows.iter().find(|(w, _)| *w == width).map(|(_, v)| v[col])
+    }
+
+    /// Renders the ablation.
+    pub fn render(&self) -> String {
+        let mut header = vec!["width".to_string()];
+        header.extend(self.variants.clone());
+        let mut t = TextTable::new(header);
+        for (w, vals) in &self.rows {
+            let mut row = vec![w.to_string()];
+            row.extend(vals.iter().map(|v| format!("{v:.3}")));
+            t.row(row);
+        }
+        format!("## {} (harmonic-mean IPC, all benchmarks)\n{}", self.title, t)
+    }
+}
+
+fn run_variants(
+    lab: &Lab,
+    title: &str,
+    widths: &[u32],
+    variants: Vec<(String, ConfigFactory)>,
+) -> Ablation {
+    let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
+    let rows = widths
+        .iter()
+        .map(|&w| {
+            let vals = variants
+                .iter()
+                .map(|(_, mk)| {
+                    let cfg = mk(w);
+                    let ipcs: Vec<f64> = lab
+                        .suite()
+                        .iter()
+                        .map(|(_, trace)| simulate(trace, &cfg).ipc())
+                        .collect();
+                    harmonic_mean(&ipcs).unwrap_or(0.0)
+                })
+                .collect();
+            (w, vals)
+        })
+        .collect();
+    Ablation {
+        title: title.to_string(),
+        variants: labels,
+        rows,
+    }
+}
+
+/// Node elimination (Figure 1f) on top of configuration D.
+pub fn node_elimination(lab: &Lab, widths: &[u32]) -> Ablation {
+    run_variants(
+        lab,
+        "Extension — node elimination",
+        widths,
+        vec![
+            (
+                "D".into(),
+                Box::new(|w| SimConfig::paper(PaperConfig::D, w)),
+            ),
+            (
+                "D + elimination".into(),
+                Box::new(|w| {
+                    let mut c = SimConfig::paper(PaperConfig::D, w);
+                    c.node_elimination = true;
+                    c
+                }),
+            ),
+        ],
+    )
+}
+
+/// Collapse-group-depth ablation: pairs only vs. triples vs. the full
+/// paper device (quads via zero detection).
+pub fn collapse_depth(lab: &Lab, widths: &[u32]) -> Ablation {
+    let mk = |members: usize| -> ConfigFactory {
+        Box::new(move |w| {
+            let mut c = SimConfig::paper(PaperConfig::D, w);
+            c.max_collapse_members = members;
+            c
+        })
+    };
+    run_variants(
+        lab,
+        "Ablation — collapse group depth",
+        widths,
+        vec![
+            ("no collapse".into(), Box::new(|w| SimConfig::paper(PaperConfig::B, w))),
+            ("pairs".into(), mk(2)),
+            ("triples".into(), mk(3)),
+            ("quads (paper)".into(), mk(4)),
+        ],
+    )
+}
+
+/// Zero-operand-detection ablation under configuration D.
+pub fn zero_detection(lab: &Lab, widths: &[u32]) -> Ablation {
+    run_variants(
+        lab,
+        "Ablation — zero-operand detection",
+        widths,
+        vec![
+            (
+                "without 0-op".into(),
+                Box::new(|w| {
+                    let mut c = SimConfig::paper(PaperConfig::D, w);
+                    c.zero_detection = false;
+                    c
+                }),
+            ),
+            (
+                "with 0-op (paper)".into(),
+                Box::new(|w| SimConfig::paper(PaperConfig::D, w)),
+            ),
+        ],
+    )
+}
+
+/// Basic-block-restriction ablation: collapsing within basic blocks only
+/// versus across them (the paper's §5.3 cost/benefit question).
+pub fn within_block(lab: &Lab, widths: &[u32]) -> Ablation {
+    run_variants(
+        lab,
+        "Ablation — collapsing across basic blocks",
+        widths,
+        vec![
+            (
+                "within block".into(),
+                Box::new(|w| {
+                    let mut c = SimConfig::paper(PaperConfig::D, w);
+                    c.collapse_within_block_only = true;
+                    c
+                }),
+            ),
+            (
+                "across blocks (paper)".into(),
+                Box::new(|w| SimConfig::paper(PaperConfig::D, w)),
+            ),
+        ],
+    )
+}
+
+/// Value-predictor comparison: confident-correct prediction rate on
+/// *loaded values* per benchmark.
+#[derive(Debug, Clone)]
+pub struct ValuePredictorComparison {
+    /// Predictor names, in column order.
+    pub predictors: Vec<&'static str>,
+    /// (benchmark, correct-and-confident % per predictor).
+    pub rows: Vec<(Benchmark, Vec<f64>)>,
+}
+
+impl ValuePredictorComparison {
+    /// The rate for one benchmark and predictor name.
+    pub fn rate(&self, b: Benchmark, predictor: &str) -> Option<f64> {
+        let col = self.predictors.iter().position(|&p| p == predictor)?;
+        self.rows
+            .iter()
+            .find(|(x, _)| *x == b)
+            .map(|(_, v)| v[col])
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(self.predictors.iter().map(|s| s.to_string()));
+        let mut t = TextTable::new(header);
+        for (b, rates) in &self.rows {
+            let mut row = vec![b.name().to_string()];
+            row.extend(rates.iter().map(|r| format!("{r:.1}")));
+            t.row(row);
+        }
+        format!("## Extension — value predictors (confident-correct % of loaded values)\n{t}")
+    }
+}
+
+/// Compares value predictors over each benchmark's loaded values —
+/// quantifying the value locality the paper cites from Lipasti et al.
+pub fn value_predictors(lab: &Lab) -> ValuePredictorComparison {
+    let predictors: Vec<&'static str> = vec!["last-value", "two-delta-value"];
+    let rows = lab
+        .suite()
+        .iter()
+        .map(|(b, trace)| {
+            let mut preds: Vec<Box<dyn ValuePredictor>> = vec![
+                Box::new(LastValue::new(12)),
+                Box::new(TwoDeltaValue::paper_sized()),
+            ];
+            let mut hits = vec![0u64; preds.len()];
+            let mut loads = 0u64;
+            for inst in trace {
+                if inst.is_load() {
+                    let Some(v) = inst.value else { continue };
+                    loads += 1;
+                    for (k, p) in preds.iter_mut().enumerate() {
+                        let r = p.access(inst.pc, v);
+                        if r.confident && r.correct {
+                            hits[k] += 1;
+                        }
+                    }
+                }
+            }
+            let rates = hits
+                .iter()
+                .map(|&h| if loads == 0 { 0.0 } else { 100.0 * h as f64 / loads as f64 })
+                .collect();
+            (b, rates)
+        })
+        .collect();
+    ValuePredictorComparison { predictors, rows }
+}
+
+/// Value speculation on top of configuration D: realistic load-value
+/// prediction, the ideal load-value envelope (Figure 1d), and the full
+/// "any instruction" dataflow envelope.
+pub fn value_speculation(lab: &Lab, widths: &[u32]) -> Ablation {
+    let mk = |mode: ValueSpecMode| -> ConfigFactory {
+        Box::new(move |w| {
+            let mut c = SimConfig::paper(PaperConfig::D, w);
+            c.value_spec = mode;
+            c
+        })
+    };
+    run_variants(
+        lab,
+        "Extension — value speculation (on top of D)",
+        widths,
+        vec![
+            ("D".into(), mk(ValueSpecMode::Off)),
+            ("D + real LVP".into(), mk(ValueSpecMode::Real)),
+            ("D + ideal loads".into(), mk(ValueSpecMode::Ideal)),
+            ("D + ideal all".into(), mk(ValueSpecMode::IdealAll)),
+        ],
+    )
+}
+
+/// Confidence-counter variations for the address table (§3: "possible
+/// variations are currently being explored to determine even more
+/// accurate confidence measurements"), under configuration D.
+pub fn confidence_sweep(lab: &Lab, widths: &[u32]) -> Ablation {
+    let mk = |label: &str, params: ConfidenceParams| -> (String, ConfigFactory) {
+        (
+            label.to_string(),
+            Box::new(move |w| {
+                let mut c = SimConfig::paper(PaperConfig::D, w);
+                c.confidence = params;
+                c
+            }),
+        )
+    };
+    run_variants(
+        lab,
+        "Ablation — address-prediction confidence counter",
+        widths,
+        vec![
+            mk(
+                "eager (>0, -1)",
+                ConfidenceParams {
+                    max: 3,
+                    inc: 1,
+                    dec: 1,
+                    threshold: 0,
+                },
+            ),
+            mk("paper (>1, -2)", ConfidenceParams::default()),
+            mk(
+                "wary (>2, -2)",
+                ConfidenceParams {
+                    max: 3,
+                    inc: 1,
+                    dec: 2,
+                    threshold: 2,
+                },
+            ),
+            mk(
+                "3-bit (>3, -4)",
+                ConfidenceParams {
+                    max: 7,
+                    inc: 1,
+                    dec: 4,
+                    threshold: 3,
+                },
+            ),
+        ],
+    )
+}
+
+/// Perfect vs. realistic branch prediction (§2: limit studies show
+/// "gains are diminished when using realistic prediction") on the base
+/// and full machines.
+pub fn perfect_branches(lab: &Lab, widths: &[u32]) -> Ablation {
+    let mk = |cfg: PaperConfig, perfect: bool| -> ConfigFactory {
+        Box::new(move |w| {
+            let mut c = SimConfig::paper(cfg, w);
+            c.perfect_branches = perfect;
+            c
+        })
+    };
+    run_variants(
+        lab,
+        "Ablation — branch prediction quality",
+        widths,
+        vec![
+            ("A real".into(), mk(PaperConfig::A, false)),
+            ("A perfect".into(), mk(PaperConfig::A, true)),
+            ("D real".into(), mk(PaperConfig::D, false)),
+            ("D perfect".into(), mk(PaperConfig::D, true)),
+        ],
+    )
+}
+
+/// Window-size decoupling: the paper fixes window = 2 × width; this
+/// sweeps the multiplier at a fixed issue width.
+pub fn window_sweep(lab: &Lab, width: u32) -> Ablation {
+    let mk = |mult: u32| -> ConfigFactory {
+        Box::new(move |w| {
+            let mut c = SimConfig::paper(PaperConfig::D, w);
+            c.window_size = w * mult;
+            c
+        })
+    };
+    let mut a = run_variants(
+        lab,
+        &format!("Ablation — window size at issue width {width}"),
+        &[width],
+        vec![
+            ("1x width".into(), mk(1)),
+            ("2x width (paper)".into(), mk(2)),
+            ("4x width".into(), mk(4)),
+            ("8x width".into(), mk(8)),
+        ],
+    );
+    a.title = format!("Ablation — window size at issue width {width}");
+    a
+}
+
+/// Branch-predictor family comparison at comparable hardware budgets.
+#[derive(Debug, Clone)]
+pub struct BranchPredictorComparison {
+    /// Predictor names, in column order.
+    pub predictors: Vec<&'static str>,
+    /// (benchmark, accuracy % per predictor).
+    pub rows: Vec<(Benchmark, Vec<f64>)>,
+}
+
+impl BranchPredictorComparison {
+    /// The accuracy for one benchmark and predictor name.
+    pub fn accuracy(&self, b: Benchmark, predictor: &str) -> Option<f64> {
+        let col = self.predictors.iter().position(|&p| p == predictor)?;
+        self.rows
+            .iter()
+            .find(|(x, _)| *x == b)
+            .map(|(_, v)| v[col])
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(self.predictors.iter().map(|s| s.to_string()));
+        let mut t = TextTable::new(header);
+        for (b, accs) in &self.rows {
+            let mut row = vec![b.name().to_string()];
+            row.extend(accs.iter().map(|a| format!("{a:.1}")));
+            t.row(row);
+        }
+        format!("## Extension — branch predictors at ~8 KB (accuracy %)\n{t}")
+    }
+}
+
+/// Compares branch-predictor families at roughly the paper's 8 KB budget
+/// (bimodal-only, gshare-only, local-history PAg, and the paper's
+/// McFarling hybrid).
+pub fn branch_predictors(lab: &Lab) -> BranchPredictorComparison {
+    let predictors: Vec<&'static str> = vec!["bimodal", "gshare", "local (PAg)", "mcfarling"];
+    let rows = lab
+        .suite()
+        .iter()
+        .map(|(b, trace)| {
+            let mut accs = Vec::new();
+            let run = |p: &mut dyn DirectionPredictor, accs: &mut Vec<f64>| {
+                let mut correct = 0u64;
+                let mut total = 0u64;
+                for inst in trace {
+                    if inst.op.is_cond_branch() {
+                        total += 1;
+                        if p.predict_and_train(inst.pc, inst.taken) {
+                            correct += 1;
+                        }
+                    }
+                }
+                accs.push(if total == 0 {
+                    0.0
+                } else {
+                    100.0 * correct as f64 / total as f64
+                });
+            };
+            run(&mut Bimodal::new(15), &mut accs); // 32K counters = 8KB
+            run(&mut Gshare::new(15), &mut accs);
+            run(&mut LocalHistory::budget_8kb(), &mut accs);
+            let s = branch_stats(trace, &mut McFarling::paper_8kb());
+            accs.push(s.accuracy_pct().value());
+            (b, accs)
+        })
+        .collect();
+    BranchPredictorComparison { predictors, rows }
+}
+
+/// A bottleneck profile: per benchmark, the share of waiting cycles by
+/// cause, under two configurations (showing what d-speculation and
+/// d-collapsing actually remove).
+#[derive(Debug, Clone)]
+pub struct BottleneckProfile {
+    /// Issue width profiled.
+    pub width: u32,
+    /// (benchmark, config label, [data, address, memory, branch,
+    /// bandwidth] shares in %).
+    pub rows: Vec<(Benchmark, &'static str, [f64; 5])>,
+}
+
+impl BottleneckProfile {
+    /// Renders the profile.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "benchmark".into(),
+            "config".into(),
+            "data %".into(),
+            "address %".into(),
+            "memory %".into(),
+            "branch %".into(),
+            "bandwidth %".into(),
+        ]);
+        for (b, cfg, shares) in &self.rows {
+            let mut row = vec![b.name().to_string(), cfg.to_string()];
+            row.extend(shares.iter().map(|v| format!("{v:.1}")));
+            t.row(row);
+        }
+        format!(
+            "## Extension — where the cycles go (stall shares, width {})\n{t}",
+            self.width
+        )
+    }
+}
+
+/// Profiles waiting-cycle attribution for configurations A and D.
+pub fn bottlenecks(lab: &Lab, width: u32) -> BottleneckProfile {
+    let mut rows = Vec::new();
+    for (b, trace) in lab.suite().iter() {
+        for cfg in [PaperConfig::A, PaperConfig::D] {
+            let r = simulate(trace, &SimConfig::paper(cfg, width));
+            let s = r.stalls;
+            let shares = [
+                s.share(s.data).value(),
+                s.share(s.address).value(),
+                s.share(s.memory).value(),
+                s.share(s.branch).value(),
+                s.share(s.bandwidth).value(),
+            ];
+            rows.push((b, cfg.label(), shares));
+        }
+    }
+    BottleneckProfile { width, rows }
+}
+
+/// Code-scheduling sensitivity: the hand-written workloads leave
+/// dependent instructions adjacent, where `gcc -O4` (the paper's
+/// compiler) would separate them. Re-running Figure 8's collapse
+/// fraction and the D speedup over list-scheduled programs quantifies
+/// how much of the Figure 8 gap is code layout.
+#[derive(Debug, Clone)]
+pub struct SchedulingSensitivity {
+    /// Issue width used.
+    pub width: u32,
+    /// (benchmark, collapsed % as-written, collapsed % scheduled,
+    /// D speedup as-written, D speedup scheduled).
+    pub rows: Vec<(Benchmark, f64, f64, f64, f64)>,
+}
+
+impl SchedulingSensitivity {
+    /// Suite-mean collapsed fraction for (as-written, scheduled).
+    pub fn mean_collapsed(&self) -> (f64, f64) {
+        let n = self.rows.len().max(1) as f64;
+        (
+            self.rows.iter().map(|r| r.1).sum::<f64>() / n,
+            self.rows.iter().map(|r| r.2).sum::<f64>() / n,
+        )
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "benchmark".into(),
+            "collapsed % (as written)".into(),
+            "collapsed % (scheduled)".into(),
+            "D speedup (as written)".into(),
+            "D speedup (scheduled)".into(),
+        ]);
+        for (b, c1, c2, s1, s2) in &self.rows {
+            t.row(vec![
+                b.name().to_string(),
+                format!("{c1:.1}"),
+                format!("{c2:.1}"),
+                format!("{s1:.3}"),
+                format!("{s2:.3}"),
+            ]);
+        }
+        format!(
+            "## Extension — compiler-scheduling sensitivity (width {})\n{t}",
+            self.width
+        )
+    }
+}
+
+/// Measures collapse fraction and D-vs-A speedup over list-scheduled
+/// workload programs (the `gcc -O4` stand-in).
+pub fn scheduling_sensitivity(seed: u64, trace_len: usize, width: u32) -> SchedulingSensitivity {
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let measure = |trace: &ddsc_trace::Trace| {
+                let base = simulate(trace, &SimConfig::paper(PaperConfig::A, width));
+                let d = simulate(trace, &SimConfig::paper(PaperConfig::D, width));
+                (d.collapse.collapsed_pct().value(), d.speedup_over(&base))
+            };
+            let plain = b.trace(seed, trace_len).expect("workload runs");
+            let sched = b.trace_compiled(seed, trace_len).expect("scheduled workload runs");
+            let (c1, s1) = measure(&plain);
+            let (c2, s2) = measure(&sched);
+            (b, c1, c2, s1, s2)
+        })
+        .collect();
+    SchedulingSensitivity { width, rows }
+}
+
+/// Seed-robustness check: configuration D's harmonic-mean speedup over A
+/// across independently-seeded workload suites.
+#[derive(Debug, Clone)]
+pub struct Robustness {
+    /// Issue width used.
+    pub width: u32,
+    /// (seed, harmonic-mean D speedup).
+    pub rows: Vec<(u64, f64)>,
+}
+
+impl Robustness {
+    /// The spread (max − min) across seeds.
+    pub fn spread(&self) -> f64 {
+        let lo = self.rows.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
+        let hi = self.rows.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+        hi - lo
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["seed".into(), "D speedup".into()]);
+        for (seed, v) in &self.rows {
+            t.row(vec![seed.to_string(), format!("{v:.3}")]);
+        }
+        format!(
+            "## Extension — seed robustness (width {}, spread {:.3})\n{t}",
+            self.width,
+            self.spread()
+        )
+    }
+}
+
+/// Re-runs the headline D-vs-A comparison over several workload seeds.
+pub fn robustness(seeds: &[u64], trace_len: usize, width: u32) -> Robustness {
+    use ddsc_util::stats::harmonic_mean;
+    let rows = seeds
+        .iter()
+        .map(|&seed| {
+            let suite = crate::Suite::generate(crate::SuiteConfig {
+                seed,
+                trace_len,
+                widths: vec![width],
+            });
+            let speedups: Vec<f64> = suite
+                .iter()
+                .map(|(_, trace)| {
+                    let base = simulate(trace, &SimConfig::paper(PaperConfig::A, width));
+                    let d = simulate(trace, &SimConfig::paper(PaperConfig::D, width));
+                    d.speedup_over(&base)
+                })
+                .collect();
+            (seed, harmonic_mean(&speedups).unwrap_or(0.0))
+        })
+        .collect();
+    Robustness { width, rows }
+}
+
+/// Renders every extension experiment (the `ddsc repro extensions`
+/// payload).
+pub fn render_all(lab: &mut Lab) -> String {
+    let widths: Vec<u32> = lab
+        .widths()
+        .into_iter()
+        .filter(|&w| w <= 32)
+        .collect();
+    let mut out = String::new();
+    out.push_str(&address_predictors(lab).render());
+    out.push('\n');
+    out.push_str(&node_elimination(lab, &widths).render());
+    out.push('\n');
+    out.push_str(&collapse_depth(lab, &widths).render());
+    out.push('\n');
+    out.push_str(&zero_detection(lab, &widths).render());
+    out.push('\n');
+    out.push_str(&within_block(lab, &widths).render());
+    out.push('\n');
+    out.push_str(&value_predictors(lab).render());
+    out.push('\n');
+    out.push_str(&value_speculation(lab, &widths).render());
+    out.push('\n');
+    out.push_str(&confidence_sweep(lab, &widths).render());
+    out.push('\n');
+    out.push_str(&perfect_branches(lab, &widths).render());
+    out.push('\n');
+    out.push_str(&window_sweep(lab, 16).render());
+    out.push('\n');
+    out.push_str(&bottlenecks(lab, 16).render());
+    out.push('\n');
+    out.push_str(&branch_predictors(lab).render());
+    out.push('\n');
+    let len = lab.suite().config().trace_len.min(60_000);
+    out.push_str(&robustness(&[1996, 7, 42], len, 16).render());
+    out.push('\n');
+    out.push_str(&scheduling_sensitivity(1996, len, 16).render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuiteConfig;
+
+    fn lab() -> Lab {
+        Lab::new(SuiteConfig {
+            seed: 4,
+            trace_len: 6_000,
+            widths: vec![8],
+        })
+    }
+
+    #[test]
+    fn predictor_comparison_covers_all_benchmarks() {
+        let lab = lab();
+        let c = address_predictors(&lab);
+        assert_eq!(c.rows.len(), 6);
+        assert_eq!(c.predictors.len(), 4);
+        // ijpeg is strided: the stride predictor must do well there.
+        let r = c.rate(Benchmark::Ijpeg, "two-delta").unwrap();
+        assert!(r > 50.0, "ijpeg stride rate {r:.1}%");
+    }
+
+    #[test]
+    fn pointer_chasing_benefits_from_context_prediction() {
+        // go's group chains are re-walked identically on every board
+        // scan, so a context predictor can learn them while strides
+        // cannot. Needs a trace long enough to cover several scans.
+        let lab = Lab::new(SuiteConfig {
+            seed: 4,
+            trace_len: 60_000,
+            widths: vec![8],
+        });
+        let c = address_predictors(&lab);
+        let stride = c.rate(Benchmark::Go, "two-delta").unwrap();
+        let ctx = c.rate(Benchmark::Go, "context").unwrap();
+        let hybrid = c.rate(Benchmark::Go, "hybrid").unwrap();
+        assert!(
+            ctx > stride,
+            "context ({ctx:.1}%) should beat stride ({stride:.1}%) on go"
+        );
+        assert!(
+            hybrid > stride * 0.95,
+            "hybrid ({hybrid:.1}%) must not lose much to stride ({stride:.1}%)"
+        );
+    }
+
+    #[test]
+    fn deeper_collapsing_never_hurts() {
+        let lab = lab();
+        let a = collapse_depth(&lab, &[8]);
+        let none = a.value(8, "no collapse").unwrap();
+        let pairs = a.value(8, "pairs").unwrap();
+        let quads = a.value(8, "quads (paper)").unwrap();
+        assert!(pairs >= none * 0.999);
+        assert!(quads >= pairs * 0.999);
+    }
+
+    #[test]
+    fn node_elimination_does_not_lose() {
+        let lab = lab();
+        let a = node_elimination(&lab, &[8]);
+        let d = a.value(8, "D").unwrap();
+        let e = a.value(8, "D + elimination").unwrap();
+        assert!(e >= d * 0.999, "elimination must not hurt: {d} -> {e}");
+    }
+
+    #[test]
+    fn value_speculation_orders_correctly() {
+        let lab = lab();
+        let a = value_speculation(&lab, &[8]);
+        let d = a.value(8, "D").unwrap();
+        let real = a.value(8, "D + real LVP").unwrap();
+        let ideal = a.value(8, "D + ideal loads").unwrap();
+        let all = a.value(8, "D + ideal all").unwrap();
+        assert!(real >= d * 0.999, "real LVP must not hurt: {d} -> {real}");
+        assert!(ideal >= real * 0.999, "{real} -> {ideal}");
+        assert!(all >= ideal * 0.999, "{ideal} -> {all}");
+        assert!(all > d * 1.05, "the full envelope must be clearly above D");
+    }
+
+    #[test]
+    fn value_predictor_comparison_has_signal() {
+        let lab = lab();
+        let c = value_predictors(&lab);
+        assert_eq!(c.rows.len(), 6);
+        // Some benchmark must show exploitable value locality.
+        let best = c
+            .rows
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max);
+        assert!(best > 10.0, "no value locality anywhere? best {best:.1}%");
+    }
+
+    #[test]
+    fn perfect_branches_dominate_real() {
+        let lab = lab();
+        let a = perfect_branches(&lab, &[8]);
+        assert!(a.value(8, "A perfect").unwrap() >= a.value(8, "A real").unwrap());
+        assert!(a.value(8, "D perfect").unwrap() >= a.value(8, "D real").unwrap());
+    }
+
+    #[test]
+    fn bigger_windows_never_hurt_much() {
+        let lab = lab();
+        let a = window_sweep(&lab, 8);
+        let w1 = a.value(8, "1x width").unwrap();
+        let w8 = a.value(8, "8x width").unwrap();
+        assert!(w8 >= w1, "8x window {w8} vs 1x {w1}");
+    }
+
+    #[test]
+    fn confidence_sweep_runs_all_variants() {
+        let lab = lab();
+        let a = confidence_sweep(&lab, &[8]);
+        assert_eq!(a.variants.len(), 4);
+        for v in &a.variants {
+            assert!(a.value(8, v).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn scheduling_reduces_collapsible_interlocks() {
+        let s = scheduling_sensitivity(3, 12_000, 16);
+        let (plain, scheduled) = s.mean_collapsed();
+        assert!(
+            scheduled < plain,
+            "list scheduling must reduce executed collapses: {plain:.1} -> {scheduled:.1}"
+        );
+        for (b, _, _, s1, s2) in &s.rows {
+            assert!(*s1 > 0.9 && *s2 > 0.9, "{b}: speedups sane ({s1}, {s2})");
+        }
+    }
+
+    #[test]
+    fn robustness_is_tight_across_seeds() {
+        let r = robustness(&[1, 2, 3], 10_000, 8);
+        assert_eq!(r.rows.len(), 3);
+        for (seed, v) in &r.rows {
+            assert!(*v > 1.0, "seed {seed}: D must win, got {v}");
+        }
+        assert!(
+            r.spread() < 0.4,
+            "headline result should be seed-stable, spread {}",
+            r.spread()
+        );
+    }
+
+    #[test]
+    fn branch_predictor_comparison_is_sane() {
+        let lab = lab();
+        let c = branch_predictors(&lab);
+        assert_eq!(c.rows.len(), 6);
+        for (b, accs) in &c.rows {
+            for a in accs {
+                assert!((30.0..=100.0).contains(a), "{b}: accuracy {a}");
+            }
+        }
+        // The hybrid should be at least competitive with bimodal on the
+        // suite harmonic structure (go especially).
+        let mc = c.accuracy(Benchmark::Go, "mcfarling").unwrap();
+        let bi = c.accuracy(Benchmark::Go, "bimodal").unwrap();
+        assert!(mc + 5.0 > bi, "mcfarling {mc} vs bimodal {bi}");
+    }
+
+    #[test]
+    fn bottleneck_shares_are_percentages() {
+        let lab = lab();
+        let p = bottlenecks(&lab, 8);
+        assert_eq!(p.rows.len(), 12, "6 benchmarks x 2 configs");
+        for (b, cfg, shares) in &p.rows {
+            let sum: f64 = shares.iter().sum();
+            assert!(
+                (sum - 100.0).abs() < 1.0 || sum == 0.0,
+                "{b}/{cfg}: shares sum {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn ablations_render() {
+        let lab = lab();
+        let s = zero_detection(&lab, &[8]).render();
+        assert!(s.contains("0-op"));
+        let s = within_block(&lab, &[8]).render();
+        assert!(s.contains("basic blocks"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Trace-suite generation and a memoising simulation lab.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ddsc_core::{simulate, PaperConfig, SimConfig, SimResult};
+use ddsc_trace::Trace;
+use ddsc_workloads::Benchmark;
+
+/// Parameters for one reproduction run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteConfig {
+    /// Workload data seed (the paper's "input file").
+    pub seed: u64,
+    /// Dynamic instructions per benchmark trace (the paper caps at 250M;
+    /// our loop-dominated kernels converge far earlier — see
+    /// EXPERIMENTS.md for the convergence check).
+    pub trace_len: usize,
+    /// The issue widths to sweep.
+    pub widths: Vec<u32>,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            seed: 1996,
+            trace_len: 300_000,
+            widths: SimConfig::PAPER_WIDTHS.to_vec(),
+        }
+    }
+}
+
+/// The generated benchmark traces.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    traces: Vec<(Benchmark, Rc<Trace>)>,
+    config: SuiteConfig,
+}
+
+impl Suite {
+    /// Executes all six benchmarks and collects their traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload program faults — that would be a bug in
+    /// `ddsc-workloads`, covered by its tests.
+    pub fn generate(config: SuiteConfig) -> Suite {
+        let traces = Benchmark::ALL
+            .iter()
+            .map(|&b| {
+                let t = b
+                    .trace(config.seed, config.trace_len)
+                    .unwrap_or_else(|e| panic!("workload {b} faulted: {e}"));
+                (b, Rc::new(t))
+            })
+            .collect();
+        Suite { traces, config }
+    }
+
+    /// The trace of one benchmark.
+    pub fn trace(&self, b: Benchmark) -> &Trace {
+        &self.traces.iter().find(|(x, _)| *x == b).expect("suite has all benchmarks").1
+    }
+
+    /// The suite parameters.
+    pub fn config(&self) -> &SuiteConfig {
+        &self.config
+    }
+
+    /// Benchmarks with their traces.
+    pub fn iter(&self) -> impl Iterator<Item = (Benchmark, &Trace)> {
+        self.traces.iter().map(|(b, t)| (*b, t.as_ref()))
+    }
+}
+
+/// A memoising simulation driver: each `(benchmark, configuration,
+/// width)` triple is simulated at most once per lab.
+#[derive(Debug)]
+pub struct Lab {
+    suite: Suite,
+    cache: HashMap<(Benchmark, PaperConfig, u32), Rc<SimResult>>,
+}
+
+impl Lab {
+    /// Generates the trace suite and an empty result cache.
+    pub fn new(config: SuiteConfig) -> Lab {
+        Lab {
+            suite: Suite::generate(config),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Wraps an existing suite.
+    pub fn from_suite(suite: Suite) -> Lab {
+        Lab {
+            suite,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The underlying suite.
+    pub fn suite(&self) -> &Suite {
+        &self.suite
+    }
+
+    /// The widths this lab sweeps.
+    pub fn widths(&self) -> Vec<u32> {
+        self.suite.config().widths.clone()
+    }
+
+    /// Simulates (or returns the cached result of) one combination.
+    pub fn result(&mut self, b: Benchmark, c: PaperConfig, width: u32) -> Rc<SimResult> {
+        if let Some(r) = self.cache.get(&(b, c, width)) {
+            return Rc::clone(r);
+        }
+        let sim = simulate(self.suite.trace(b), &SimConfig::paper(c, width));
+        let rc = Rc::new(sim);
+        self.cache.insert((b, c, width), Rc::clone(&rc));
+        rc
+    }
+
+    /// Per-benchmark IPCs for one configuration and width.
+    pub fn ipcs(&mut self, benches: &[Benchmark], c: PaperConfig, width: u32) -> Vec<f64> {
+        benches.iter().map(|&b| self.result(b, c, width).ipc()).collect()
+    }
+
+    /// Per-benchmark speedups of `c` over configuration A at the same
+    /// width.
+    pub fn speedups(&mut self, benches: &[Benchmark], c: PaperConfig, width: u32) -> Vec<f64> {
+        benches
+            .iter()
+            .map(|&b| {
+                let base = self.result(b, PaperConfig::A, width);
+                let r = self.result(b, c, width);
+                r.speedup_over(&base)
+            })
+            .collect()
+    }
+
+    /// Number of simulations run so far (for cache tests).
+    pub fn simulations_run(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SuiteConfig {
+        SuiteConfig {
+            seed: 3,
+            trace_len: 3_000,
+            widths: vec![4],
+        }
+    }
+
+    #[test]
+    fn suite_has_all_benchmarks_at_the_requested_length() {
+        let s = Suite::generate(tiny());
+        for b in Benchmark::ALL {
+            assert_eq!(s.trace(b).len(), 3_000);
+        }
+        assert_eq!(s.iter().count(), 6);
+    }
+
+    #[test]
+    fn results_are_cached() {
+        let mut lab = Lab::new(tiny());
+        let a = lab.result(Benchmark::Compress, PaperConfig::A, 4);
+        let b = lab.result(Benchmark::Compress, PaperConfig::A, 4);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(lab.simulations_run(), 1);
+    }
+
+    #[test]
+    fn speedup_of_a_over_itself_is_one() {
+        let mut lab = Lab::new(tiny());
+        let s = lab.speedups(&[Benchmark::Eqntott], PaperConfig::A, 4);
+        assert_eq!(s, vec![1.0]);
+    }
+}

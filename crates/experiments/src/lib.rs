@@ -1,0 +1,83 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! The mapping from paper artifact to driver:
+//!
+//! | artifact | driver |
+//! |---|---|
+//! | Table 1 (benchmark characteristics) | [`tables::table1`] |
+//! | Table 2 (branch prediction) | [`tables::table2`] |
+//! | Figure 2 (IPC, all benchmarks) | [`figures::fig2`] |
+//! | Figure 3 (speedup, all benchmarks) | [`figures::fig3`] |
+//! | Figures 4/5 (pointer-chasing subset) | [`figures::fig4`], [`figures::fig5`] |
+//! | Figures 6/7 (non-pointer subset) | [`figures::fig6`], [`figures::fig7`] |
+//! | Table 3 (loads, pointer-chasing, config D) | [`tables::table3`] |
+//! | Table 4 (loads, non-pointer, config D) | [`tables::table4`] |
+//! | Figure 8 (% instructions collapsed) | [`figures::fig8`] |
+//! | Figure 9 (collapsing mechanism contributions) | [`figures::fig9`] |
+//! | Figure 10 (collapse distances) | [`figures::fig10`] |
+//! | Table 5 (top 3-1 sequences) | [`tables::table5`] |
+//! | Table 6 (top 4-1 sequences) | [`tables::table6`] |
+//!
+//! Beyond the paper, [`extensions`] holds the ablations and future-work
+//! experiments (address-predictor upgrades, node elimination, collapse
+//! depth/zero-detection/basic-block restrictions).
+//!
+//! All drivers consume a [`Lab`], which lazily simulates and caches
+//! `(benchmark, configuration, width)` results over one generated trace
+//! suite, so a full reproduction simulates each combination exactly once.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddsc_experiments::{Lab, SuiteConfig};
+//!
+//! let mut lab = Lab::new(SuiteConfig {
+//!     trace_len: 5_000,
+//!     widths: vec![4, 8],
+//!     ..SuiteConfig::default()
+//! });
+//! let fig2 = ddsc_experiments::figures::fig2(&mut lab);
+//! assert_eq!(fig2.series.len(), 5); // configurations A..E
+//! ```
+
+pub mod extensions;
+pub mod figures;
+pub mod lab;
+pub mod tables;
+
+pub use lab::{Lab, Suite, SuiteConfig};
+
+/// Renders every paper artifact in order (the `ddsc repro all` payload).
+pub fn render_all(lab: &mut Lab) -> String {
+    let mut out = String::new();
+    out.push_str(&tables::table1(lab.suite()).render());
+    out.push('\n');
+    out.push_str(&tables::table2(lab.suite()).render());
+    out.push('\n');
+    out.push_str(&figures::fig2(lab).render());
+    out.push('\n');
+    out.push_str(&figures::fig3(lab).render());
+    out.push('\n');
+    out.push_str(&figures::fig4(lab).render());
+    out.push('\n');
+    out.push_str(&figures::fig5(lab).render());
+    out.push('\n');
+    out.push_str(&figures::fig6(lab).render());
+    out.push('\n');
+    out.push_str(&figures::fig7(lab).render());
+    out.push('\n');
+    out.push_str(&tables::table3(lab).render());
+    out.push('\n');
+    out.push_str(&tables::table4(lab).render());
+    out.push('\n');
+    out.push_str(&figures::fig8(lab).render());
+    out.push('\n');
+    out.push_str(&figures::fig9(lab).render());
+    out.push('\n');
+    out.push_str(&figures::fig10(lab).render());
+    out.push('\n');
+    out.push_str(&tables::table5(lab).render());
+    out.push('\n');
+    out.push_str(&tables::table6(lab).render());
+    out
+}

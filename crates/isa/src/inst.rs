@@ -1,0 +1,173 @@
+//! Static (program-form) instructions, as emitted by the assembler and
+//! executed by the VM.
+
+use std::fmt;
+
+use crate::{Opcode, Reg};
+
+/// The second operand of a three-address instruction: a register, an
+/// immediate, or nothing (for formats that don't use it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Src2 {
+    /// No second operand.
+    #[default]
+    None,
+    /// Register operand.
+    Reg(Reg),
+    /// 13-bit-style sign-extended immediate (we allow full `i32` for
+    /// assembler convenience; `sethi` covers large constants).
+    Imm(i32),
+}
+
+/// A static instruction in a [`Program`](../ddsc_vm/struct.Program.html).
+///
+/// Field interpretation follows SPARC three-address conventions:
+///
+/// * ALU ops: `rd = rs1 op src2`;
+/// * `mov`/`sethi`: `rd = src2` (rs1 unused);
+/// * loads: `rd = mem[rs1 + src2]`;
+/// * stores: `mem[rs1 + src2] = rd` — **`rd` is the data source**;
+/// * `cmp`: `%icc = flags(rs1 - src2)` (rd unused);
+/// * branches/calls: `target` is a program instruction index;
+/// * `ret`/`jmp`: jump to `rs1 + src2`.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_isa::{Inst, Opcode, Reg, Src2};
+///
+/// let add = Inst::alu(Opcode::Add, Reg::new(3), Reg::new(1), Src2::Imm(8));
+/// assert_eq!(add.to_string(), "add %r3, %r1, 8");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register (data source for stores); `%g0` when unused.
+    pub rd: Reg,
+    /// First source register; `%g0` when unused.
+    pub rs1: Reg,
+    /// Second source operand.
+    pub src2: Src2,
+    /// Control-transfer target as a program instruction index.
+    pub target: u32,
+}
+
+impl Inst {
+    /// Builds a three-address ALU/memory instruction.
+    pub fn alu(op: Opcode, rd: Reg, rs1: Reg, src2: Src2) -> Self {
+        Inst {
+            op,
+            rd,
+            rs1,
+            src2,
+            target: 0,
+        }
+    }
+
+    /// Builds a control-transfer instruction aimed at a program index.
+    pub fn control(op: Opcode, target: u32) -> Self {
+        Inst {
+            op,
+            rd: Reg::G0,
+            rs1: Reg::G0,
+            src2: Src2::None,
+            target,
+        }
+    }
+
+    /// A `nop`.
+    pub fn nop() -> Self {
+        Inst {
+            op: Opcode::Nop,
+            rd: Reg::G0,
+            rs1: Reg::G0,
+            src2: Src2::None,
+            target: 0,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let src2 = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            match self.src2 {
+                Src2::None => Ok(()),
+                Src2::Reg(r) => write!(f, ", {r}"),
+                Src2::Imm(i) => write!(f, ", {i}"),
+            }
+        };
+        match self.op {
+            Opcode::Nop => write!(f, "nop"),
+            Opcode::Ba | Opcode::Call => write!(f, "{} @{}", self.op, self.target),
+            Opcode::Bcc(_) => write!(f, "{} @{}", self.op, self.target),
+            Opcode::Ret | Opcode::Jmp => {
+                write!(f, "{} {}", self.op, self.rs1)?;
+                src2(f)
+            }
+            Opcode::Cmp => {
+                write!(f, "cmp {}", self.rs1)?;
+                src2(f)
+            }
+            Opcode::Mov | Opcode::Sethi => {
+                write!(f, "{} {}", self.op, self.rd)?;
+                src2(f)
+            }
+            Opcode::St | Opcode::Stb => {
+                write!(f, "{} {}, [{}", self.op, self.rd, self.rs1)?;
+                src2(f)?;
+                write!(f, "]")
+            }
+            Opcode::Ld | Opcode::Ldb => {
+                write!(f, "{} {}, [{}", self.op, self.rd, self.rs1)?;
+                src2(f)?;
+                write!(f, "]")
+            }
+            _ => {
+                write!(f, "{} {}, {}", self.op, self.rd, self.rs1)?;
+                src2(f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_formats() {
+        let r = Reg::new;
+        assert_eq!(
+            Inst::alu(Opcode::Add, r(1), r(2), Src2::Reg(r(3))).to_string(),
+            "add %r1, %r2, %r3"
+        );
+        assert_eq!(
+            Inst::alu(Opcode::Ld, r(4), r(5), Src2::Imm(12)).to_string(),
+            "ld %r4, [%r5, 12]"
+        );
+        assert_eq!(
+            Inst::alu(Opcode::St, r(4), r(5), Src2::Imm(-4)).to_string(),
+            "st %r4, [%r5, -4]"
+        );
+        assert_eq!(
+            Inst::alu(Opcode::Cmp, Reg::G0, r(1), Src2::Imm(0)).to_string(),
+            "cmp %r1, 0"
+        );
+        assert_eq!(
+            Inst::alu(Opcode::Mov, r(9), Reg::G0, Src2::Imm(7)).to_string(),
+            "mov %r9, 7"
+        );
+        assert_eq!(Inst::control(Opcode::Ba, 17).to_string(), "ba @17");
+        assert_eq!(Inst::nop().to_string(), "nop");
+    }
+
+    #[test]
+    fn constructors_set_expected_defaults() {
+        let c = Inst::control(Opcode::Call, 99);
+        assert_eq!(c.target, 99);
+        assert_eq!(c.rd, Reg::G0);
+        let n = Inst::nop();
+        assert_eq!(n.op, Opcode::Nop);
+    }
+}

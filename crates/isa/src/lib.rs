@@ -1,0 +1,36 @@
+//! A SPARC-v8-flavoured RISC instruction model.
+//!
+//! The paper traces SPARC v8 binaries; this crate defines the equivalent
+//! instruction set used by the [`ddsc-vm`](../ddsc_vm/index.html)
+//! interpreter and by every analysis downstream of it:
+//!
+//! * [`Reg`] — architectural registers, including the hardwired zero
+//!   register `%g0` and the condition-code pseudo-register `%icc`.
+//! * [`Opcode`] — the dynamic operation set: fixed-point arithmetic,
+//!   logicals, shifts, moves, loads/stores, compare, conditional and
+//!   unconditional control transfers, multiply and divide.
+//! * [`OpClass`] — the operation classes the paper's collapsing rules are
+//!   written in terms of (shift, arithmetic, logical, move, address
+//!   generation, condition-code generation).
+//! * [`OpType`] — the `arrr` / `arri` / `shri` / `ldrr` / `brc` … pattern
+//!   encoding used by Tables 5 and 6 of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddsc_isa::{Opcode, OpClass};
+//!
+//! assert_eq!(Opcode::Add.class(), OpClass::Arith);
+//! assert!(Opcode::Sll.class().is_collapsible_producer());
+//! assert!(!Opcode::Mul.class().is_collapsible_producer());
+//! ```
+
+pub mod inst;
+pub mod opcode;
+pub mod optype;
+pub mod reg;
+
+pub use inst::{Inst, Src2};
+pub use opcode::{Cond, OpClass, Opcode};
+pub use optype::{OpType, OperandKind, PatClass};
+pub use reg::{Icc, Reg};

@@ -1,0 +1,414 @@
+//! Dynamic operation set and operation classes.
+
+use std::fmt;
+
+/// Branch condition, evaluated against [`Icc`](crate::Icc) flags with
+/// SPARC v8 semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal (`Z`).
+    Eq,
+    /// Not equal (`!Z`).
+    Ne,
+    /// Signed less-than (`N xor V`).
+    Lt,
+    /// Signed less-or-equal (`Z or (N xor V)`).
+    Le,
+    /// Signed greater-than (`!(Z or (N xor V))`).
+    Gt,
+    /// Signed greater-or-equal (`!(N xor V)`).
+    Ge,
+    /// Unsigned less-than (`C`).
+    Ltu,
+    /// Unsigned greater-or-equal (`!C`).
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition against a set of flags.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ddsc_isa::{Cond, Icc};
+    ///
+    /// let icc = Icc::from_sub(1, 2);
+    /// assert!(Cond::Lt.eval(icc));
+    /// assert!(!Cond::Ge.eval(icc));
+    /// ```
+    pub fn eval(self, icc: crate::Icc) -> bool {
+        match self {
+            Cond::Eq => icc.z,
+            Cond::Ne => !icc.z,
+            Cond::Lt => icc.n != icc.v,
+            Cond::Le => icc.z || (icc.n != icc.v),
+            Cond::Gt => !(icc.z || (icc.n != icc.v)),
+            Cond::Ge => icc.n == icc.v,
+            Cond::Ltu => icc.c,
+            Cond::Geu => !icc.c,
+        }
+    }
+
+    /// The logically opposite condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+        }
+    }
+}
+
+/// The machine's dynamic operation set.
+///
+/// Mirrors the SPARC v8 integer subset the paper traces (floating point
+/// does not appear in the six SPECint benchmarks). `nop`s exist in the
+/// static program form but are filtered from traces, exactly as in the
+/// paper ("Nop operations were ignored").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// `rd = rs1 + src2`.
+    Add,
+    /// `rd = rs1 - src2`.
+    Sub,
+    /// `rd = rs1 & src2`.
+    And,
+    /// `rd = rs1 | src2`.
+    Or,
+    /// `rd = rs1 ^ src2`.
+    Xor,
+    /// `rd = rs1 & !src2`.
+    Andn,
+    /// `rd = rs1 | !src2`.
+    Orn,
+    /// `rd = !(rs1 ^ src2)`.
+    Xnor,
+    /// `rd = rs1 << (src2 & 31)`.
+    Sll,
+    /// `rd = rs1 >> (src2 & 31)` (logical).
+    Srl,
+    /// `rd = rs1 >> (src2 & 31)` (arithmetic).
+    Sra,
+    /// `rd = src2` (register or immediate move).
+    Mov,
+    /// `rd = imm << 10` (the SPARC `sethi` upper-immediate load).
+    Sethi,
+    /// `%icc = flags(rs1 - src2)` — SPARC `subcc` with `%g0` destination.
+    Cmp,
+    /// `rd = rs1 * src2` (2-cycle latency in the paper's model).
+    Mul,
+    /// `rd = rs1 / src2` (12-cycle latency in the paper's model).
+    Div,
+    /// Word load: `rd = mem32[rs1 + src2]`.
+    Ld,
+    /// Byte load (zero-extending): `rd = mem8[rs1 + src2]`.
+    Ldb,
+    /// Word store: `mem32[rs1 + src2] = rd`.
+    St,
+    /// Byte store: `mem8[rs1 + src2] = rd & 0xff`.
+    Stb,
+    /// Conditional branch on `%icc`.
+    Bcc(Cond),
+    /// Unconditional branch.
+    Ba,
+    /// Call: `%r15 = return pc`, jump to target.
+    Call,
+    /// Return: jump to `rs1` (conventionally `%r15`).
+    Ret,
+    /// Indirect jump to `rs1 + src2`.
+    Jmp,
+    /// No operation (filtered from traces).
+    Nop,
+}
+
+/// Operation classes — the vocabulary the paper's collapsing rules use.
+///
+/// The collapsible classes (§3: "shift, arithmetic (not multiply or
+/// divide), logical, move, address generation (for loads and stores),
+/// and condition code generation for branch instructions") map to:
+/// producers in {[`Arith`](OpClass::Arith), [`Logic`](OpClass::Logic),
+/// [`Shift`](OpClass::Shift), [`Move`](OpClass::Move)}, with loads,
+/// stores and conditional branches as additional *consumers* (address
+/// generation and condition-code use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Fixed-point add/subtract/compare.
+    Arith,
+    /// Bitwise logicals.
+    Logic,
+    /// Shifts.
+    Shift,
+    /// Register/immediate moves, including `sethi`.
+    Move,
+    /// Memory loads.
+    Load,
+    /// Memory stores.
+    Store,
+    /// Conditional branches.
+    CondBranch,
+    /// Unconditional control transfers (`ba`, `call`, `ret`, `jmp`).
+    Uncond,
+    /// Multiplies.
+    Mul,
+    /// Divides.
+    Div,
+    /// No-ops.
+    Nop,
+}
+
+impl OpClass {
+    /// Whether results of this class may be *absorbed into* a dependent
+    /// instruction by the collapsing hardware.
+    pub fn is_collapsible_producer(self) -> bool {
+        matches!(
+            self,
+            OpClass::Arith | OpClass::Logic | OpClass::Shift | OpClass::Move
+        )
+    }
+
+    /// Whether an instruction of this class may *absorb* a producer:
+    /// ALU-class consumers collapse outright; loads and stores collapse
+    /// their address generation; conditional branches collapse their
+    /// condition-code generation.
+    pub fn is_collapsible_consumer(self) -> bool {
+        matches!(
+            self,
+            OpClass::Arith
+                | OpClass::Logic
+                | OpClass::Shift
+                | OpClass::Move
+                | OpClass::Load
+                | OpClass::Store
+                | OpClass::CondBranch
+        )
+    }
+}
+
+impl Opcode {
+    /// The operation's class.
+    pub fn class(self) -> OpClass {
+        match self {
+            Opcode::Add | Opcode::Sub | Opcode::Cmp => OpClass::Arith,
+            Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Andn | Opcode::Orn | Opcode::Xnor => {
+                OpClass::Logic
+            }
+            Opcode::Sll | Opcode::Srl | Opcode::Sra => OpClass::Shift,
+            Opcode::Mov | Opcode::Sethi => OpClass::Move,
+            Opcode::Mul => OpClass::Mul,
+            Opcode::Div => OpClass::Div,
+            Opcode::Ld | Opcode::Ldb => OpClass::Load,
+            Opcode::St | Opcode::Stb => OpClass::Store,
+            Opcode::Bcc(_) => OpClass::CondBranch,
+            Opcode::Ba | Opcode::Call | Opcode::Ret | Opcode::Jmp => OpClass::Uncond,
+            Opcode::Nop => OpClass::Nop,
+        }
+    }
+
+    /// Whether the operation reads memory.
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Ld | Opcode::Ldb)
+    }
+
+    /// Whether the operation writes memory.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::St | Opcode::Stb)
+    }
+
+    /// Whether the operation is a conditional branch.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Opcode::Bcc(_))
+    }
+
+    /// Whether the operation is any control transfer.
+    pub fn is_control(self) -> bool {
+        matches!(
+            self.class(),
+            OpClass::CondBranch | OpClass::Uncond
+        )
+    }
+
+    /// Whether the operation writes the condition codes.
+    pub fn writes_icc(self) -> bool {
+        matches!(self, Opcode::Cmp)
+    }
+
+    /// Whether the operation reads the condition codes.
+    pub fn reads_icc(self) -> bool {
+        self.is_cond_branch()
+    }
+
+    /// The mnemonic used in disassembly.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Andn => "andn",
+            Opcode::Orn => "orn",
+            Opcode::Xnor => "xnor",
+            Opcode::Sll => "sll",
+            Opcode::Srl => "srl",
+            Opcode::Sra => "sra",
+            Opcode::Mov => "mov",
+            Opcode::Sethi => "sethi",
+            Opcode::Cmp => "cmp",
+            Opcode::Mul => "smul",
+            Opcode::Div => "sdiv",
+            Opcode::Ld => "ld",
+            Opcode::Ldb => "ldub",
+            Opcode::St => "st",
+            Opcode::Stb => "stb",
+            Opcode::Bcc(Cond::Eq) => "be",
+            Opcode::Bcc(Cond::Ne) => "bne",
+            Opcode::Bcc(Cond::Lt) => "bl",
+            Opcode::Bcc(Cond::Le) => "ble",
+            Opcode::Bcc(Cond::Gt) => "bg",
+            Opcode::Bcc(Cond::Ge) => "bge",
+            Opcode::Bcc(Cond::Ltu) => "blu",
+            Opcode::Bcc(Cond::Geu) => "bgeu",
+            Opcode::Ba => "ba",
+            Opcode::Call => "call",
+            Opcode::Ret => "ret",
+            Opcode::Jmp => "jmp",
+            Opcode::Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Icc;
+
+    const ALL_OPS: &[Opcode] = &[
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Andn,
+        Opcode::Orn,
+        Opcode::Xnor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Mov,
+        Opcode::Sethi,
+        Opcode::Cmp,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Ld,
+        Opcode::Ldb,
+        Opcode::St,
+        Opcode::Stb,
+        Opcode::Bcc(Cond::Eq),
+        Opcode::Bcc(Cond::Ne),
+        Opcode::Bcc(Cond::Lt),
+        Opcode::Bcc(Cond::Le),
+        Opcode::Bcc(Cond::Gt),
+        Opcode::Bcc(Cond::Ge),
+        Opcode::Bcc(Cond::Ltu),
+        Opcode::Bcc(Cond::Geu),
+        Opcode::Ba,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::Jmp,
+        Opcode::Nop,
+    ];
+
+    #[test]
+    fn collapsible_producers_match_the_paper() {
+        // §3: shift, arithmetic (not multiply or divide), logical, move.
+        assert!(Opcode::Add.class().is_collapsible_producer());
+        assert!(Opcode::Cmp.class().is_collapsible_producer());
+        assert!(Opcode::Sll.class().is_collapsible_producer());
+        assert!(Opcode::Xor.class().is_collapsible_producer());
+        assert!(Opcode::Mov.class().is_collapsible_producer());
+        assert!(!Opcode::Mul.class().is_collapsible_producer());
+        assert!(!Opcode::Div.class().is_collapsible_producer());
+        assert!(!Opcode::Ld.class().is_collapsible_producer());
+        assert!(!Opcode::Bcc(Cond::Eq).class().is_collapsible_producer());
+    }
+
+    #[test]
+    fn collapsible_consumers_include_memory_and_branches() {
+        assert!(Opcode::Ld.class().is_collapsible_consumer());
+        assert!(Opcode::St.class().is_collapsible_consumer());
+        assert!(Opcode::Bcc(Cond::Ne).class().is_collapsible_consumer());
+        assert!(!Opcode::Mul.class().is_collapsible_consumer());
+        assert!(!Opcode::Call.class().is_collapsible_consumer());
+    }
+
+    #[test]
+    fn cond_negate_is_involutive_and_exhaustive() {
+        let conds = [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Lt,
+            Cond::Le,
+            Cond::Gt,
+            Cond::Ge,
+            Cond::Ltu,
+            Cond::Geu,
+        ];
+        for c in conds {
+            assert_eq!(c.negate().negate(), c);
+            // A condition and its negation never agree.
+            for (a, b) in [(5u32, 9u32), (9, 5), (7, 7), (0, u32::MAX)] {
+                let icc = Icc::from_sub(a, b);
+                assert_ne!(c.eval(icc), c.negate().eval(icc), "{c:?} on {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cond_eval_signed_and_unsigned() {
+        let icc = Icc::from_sub(0xFFFF_FFFF, 1); // -1 vs 1 signed; huge vs 1 unsigned
+        assert!(Cond::Lt.eval(icc), "-1 < 1 signed");
+        assert!(Cond::Geu.eval(icc), "0xffffffff >= 1 unsigned");
+    }
+
+    #[test]
+    fn memory_predicates() {
+        assert!(Opcode::Ld.is_load() && Opcode::Ldb.is_load());
+        assert!(Opcode::St.is_store() && Opcode::Stb.is_store());
+        assert!(!Opcode::Add.is_load() && !Opcode::Add.is_store());
+    }
+
+    #[test]
+    fn icc_readers_and_writers() {
+        assert!(Opcode::Cmp.writes_icc());
+        assert!(Opcode::Bcc(Cond::Gt).reads_icc());
+        assert!(!Opcode::Add.writes_icc());
+        assert!(!Opcode::Ba.reads_icc());
+    }
+
+    #[test]
+    fn every_opcode_has_a_distinct_class_consistent_mnemonic() {
+        for &op in ALL_OPS {
+            assert!(!op.mnemonic().is_empty());
+            assert_eq!(op.to_string(), op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Opcode::Ba.is_control());
+        assert!(Opcode::Call.is_control());
+        assert!(Opcode::Bcc(Cond::Eq).is_control());
+        assert!(!Opcode::Ld.is_control());
+    }
+}

@@ -1,0 +1,253 @@
+//! The operand-pattern encoding of Tables 5 and 6.
+//!
+//! The paper encodes each collapsed instruction as a class prefix plus one
+//! character per source operand: `ar`ithmetic, `lg` logic, `sh`ift, `mv`
+//! move, `ld` load, `st` store, `brc` conditional branch, with operand
+//! characters `r` (register), `i` (immediate) and `0` (zero immediate or
+//! zero-valued register). Examples from the paper: `arrr`, `arri`, `arr0`,
+//! `shri`, `mvi`, `ldrr`, `lgr0`, `brc`.
+
+use std::fmt;
+
+use crate::{OpClass, Opcode};
+
+/// Class prefix of an [`OpType`] pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PatClass {
+    /// Arithmetic (`ar`), including compares.
+    Ar,
+    /// Logical (`lg`).
+    Lg,
+    /// Shift (`sh`).
+    Sh,
+    /// Move (`mv`).
+    Mv,
+    /// Load (`ld`).
+    Ld,
+    /// Store (`st`).
+    St,
+    /// Conditional branch (`brc`) — no operand suffix: its collapsible
+    /// input is the condition-code dependence.
+    Brc,
+}
+
+impl PatClass {
+    /// The textual prefix.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            PatClass::Ar => "ar",
+            PatClass::Lg => "lg",
+            PatClass::Sh => "sh",
+            PatClass::Mv => "mv",
+            PatClass::Ld => "ld",
+            PatClass::St => "st",
+            PatClass::Brc => "brc",
+        }
+    }
+
+    /// Derives the pattern class from an opcode, or `None` for operations
+    /// that never participate in collapsing (mul, div, unconditional
+    /// control, nop).
+    pub fn of(op: Opcode) -> Option<PatClass> {
+        Some(match op.class() {
+            OpClass::Arith => PatClass::Ar,
+            OpClass::Logic => PatClass::Lg,
+            OpClass::Shift => PatClass::Sh,
+            OpClass::Move => PatClass::Mv,
+            OpClass::Load => PatClass::Ld,
+            OpClass::Store => PatClass::St,
+            OpClass::CondBranch => PatClass::Brc,
+            OpClass::Uncond | OpClass::Mul | OpClass::Div | OpClass::Nop => return None,
+        })
+    }
+}
+
+/// Kind of a single source operand in a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OperandKind {
+    /// Register operand with a (dynamically) non-zero value.
+    Reg,
+    /// Non-zero immediate.
+    Imm,
+    /// Zero operand: zero immediate or zero-valued register (including
+    /// `%g0`). The paper's zero-operand detection elides these.
+    Zero,
+}
+
+impl OperandKind {
+    /// The pattern character.
+    pub fn ch(self) -> char {
+        match self {
+            OperandKind::Reg => 'r',
+            OperandKind::Imm => 'i',
+            OperandKind::Zero => '0',
+        }
+    }
+
+    /// Whether the operand counts toward a dependence-expression size
+    /// (zeros are detected and elided per §3 of the paper).
+    pub fn counts(self) -> bool {
+        !matches!(self, OperandKind::Zero)
+    }
+}
+
+/// A complete `arri`-style operand pattern for one instruction.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_isa::{OpType, OperandKind, PatClass};
+///
+/// let t = OpType::new(PatClass::Ar, &[OperandKind::Reg, OperandKind::Imm]);
+/// assert_eq!(t.to_string(), "arri");
+/// assert_eq!(t.operand_count(), 2);
+///
+/// let b = OpType::new(PatClass::Brc, &[]);
+/// assert_eq!(b.to_string(), "brc");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpType {
+    class: PatClass,
+    kinds: [Option<OperandKind>; 2],
+}
+
+impl OpType {
+    /// Creates a pattern from a class and its source-operand kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two operand kinds are supplied.
+    pub fn new(class: PatClass, kinds: &[OperandKind]) -> Self {
+        assert!(kinds.len() <= 2, "patterns have at most two operands");
+        let mut arr = [None; 2];
+        for (slot, &k) in arr.iter_mut().zip(kinds) {
+            *slot = Some(k);
+        }
+        OpType { class, kinds: arr }
+    }
+
+    /// The class prefix.
+    pub fn class(self) -> PatClass {
+        self.class
+    }
+
+    /// The operand kinds, in instruction order.
+    pub fn kinds(self) -> impl Iterator<Item = OperandKind> {
+        self.kinds.into_iter().flatten()
+    }
+
+    /// Number of *counting* (non-zero) source operands — the instruction's
+    /// contribution to a dependence-expression size.
+    pub fn operand_count(self) -> u8 {
+        self.kinds().filter(|k| k.counts()).count() as u8
+    }
+
+    /// Whether any operand is a detected zero.
+    pub fn has_zero(self) -> bool {
+        self.kinds().any(|k| k == OperandKind::Zero)
+    }
+}
+
+impl fmt::Display for OpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.class.prefix())?;
+        for k in self.kinds() {
+            write!(f, "{}", k.ch())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pattern_spellings() {
+        use OperandKind::*;
+        let cases = [
+            (OpType::new(PatClass::Ar, &[Reg, Reg]), "arrr"),
+            (OpType::new(PatClass::Ar, &[Reg, Imm]), "arri"),
+            (OpType::new(PatClass::Ar, &[Reg, Zero]), "arr0"),
+            (OpType::new(PatClass::Sh, &[Reg, Imm]), "shri"),
+            (OpType::new(PatClass::Mv, &[Imm]), "mvi"),
+            (OpType::new(PatClass::Ld, &[Reg, Reg]), "ldrr"),
+            (OpType::new(PatClass::Ld, &[Reg, Imm]), "ldri"),
+            (OpType::new(PatClass::Lg, &[Reg, Zero]), "lgr0"),
+            (OpType::new(PatClass::Lg, &[Reg, Imm]), "lgri"),
+            (OpType::new(PatClass::Brc, &[]), "brc"),
+        ];
+        for (t, s) in cases {
+            assert_eq!(t.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn zero_operands_do_not_count() {
+        use OperandKind::*;
+        assert_eq!(OpType::new(PatClass::Ar, &[Reg, Zero]).operand_count(), 1);
+        assert_eq!(OpType::new(PatClass::Ld, &[Reg, Zero]).operand_count(), 1);
+        assert_eq!(OpType::new(PatClass::Ar, &[Reg, Imm]).operand_count(), 2);
+        assert_eq!(OpType::new(PatClass::Brc, &[]).operand_count(), 0);
+    }
+
+    #[test]
+    fn has_zero_detects_elision_opportunities() {
+        use OperandKind::*;
+        assert!(OpType::new(PatClass::Lg, &[Reg, Zero]).has_zero());
+        assert!(!OpType::new(PatClass::Lg, &[Reg, Reg]).has_zero());
+    }
+
+    #[test]
+    fn class_of_opcode() {
+        use crate::{Cond, Opcode};
+        assert_eq!(PatClass::of(Opcode::Add), Some(PatClass::Ar));
+        assert_eq!(PatClass::of(Opcode::Cmp), Some(PatClass::Ar));
+        assert_eq!(PatClass::of(Opcode::Xor), Some(PatClass::Lg));
+        assert_eq!(PatClass::of(Opcode::Sra), Some(PatClass::Sh));
+        assert_eq!(PatClass::of(Opcode::Sethi), Some(PatClass::Mv));
+        assert_eq!(PatClass::of(Opcode::Ldb), Some(PatClass::Ld));
+        assert_eq!(PatClass::of(Opcode::Stb), Some(PatClass::St));
+        assert_eq!(PatClass::of(Opcode::Bcc(Cond::Lt)), Some(PatClass::Brc));
+        assert_eq!(PatClass::of(Opcode::Mul), None);
+        assert_eq!(PatClass::of(Opcode::Call), None);
+        assert_eq!(PatClass::of(Opcode::Nop), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn too_many_operands_panics() {
+        use OperandKind::*;
+        OpType::new(PatClass::Ar, &[Reg, Reg, Reg]);
+    }
+
+    #[test]
+    fn kinds_iterator_matches_construction_order() {
+        use OperandKind::*;
+        let t = OpType::new(PatClass::Sh, &[Reg, Imm]);
+        let kinds: Vec<OperandKind> = t.kinds().collect();
+        assert_eq!(kinds, vec![Reg, Imm]);
+    }
+
+    #[test]
+    fn operand_count_is_number_of_counting_kinds() {
+        use OperandKind::*;
+        for kinds in [vec![], vec![Reg], vec![Imm, Zero], vec![Zero, Zero], vec![Reg, Imm]] {
+            let t = OpType::new(PatClass::Lg, &kinds);
+            let expected = kinds.iter().filter(|k| k.counts()).count() as u8;
+            assert_eq!(t.operand_count(), expected, "{kinds:?}");
+            assert_eq!(t.has_zero(), kinds.contains(&Zero));
+        }
+    }
+
+    #[test]
+    fn ordering_is_stable_for_pattern_tables() {
+        use OperandKind::*;
+        let a = OpType::new(PatClass::Ar, &[Reg, Reg]);
+        let b = OpType::new(PatClass::Ar, &[Reg, Imm]);
+        // Ord is derived; we only rely on it being a total order usable
+        // as a BTreeMap key.
+        assert!(a != b);
+        assert!((a < b) ^ (b < a));
+    }
+}

@@ -1,0 +1,200 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// An architectural register name.
+///
+/// The machine has 32 general-purpose registers `r0..r31` plus one
+/// pseudo-register, [`Reg::ICC`], holding the integer condition codes.
+/// Following SPARC convention:
+///
+/// * `r0` ([`Reg::G0`]) is hardwired to zero — writes are discarded,
+///   reads return 0;
+/// * `r14` ([`Reg::SP`]) is used by the workloads as the stack pointer;
+/// * `r15` ([`Reg::LINK`]) receives the return address on `call`.
+///
+/// Dependence tracking treats `%icc` like any other register: a `cmp`
+/// writes it, a conditional branch reads it. This is what lets the
+/// collapsing engine model the paper's "condition code generation for
+/// branch instructions" category.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_isa::Reg;
+///
+/// assert!(Reg::G0.is_zero());
+/// assert_eq!(Reg::new(5).index(), 5);
+/// assert_eq!(Reg::ICC.to_string(), "%icc");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of trackable register names (32 GPRs + `%icc`).
+    pub const COUNT: usize = 33;
+
+    /// The hardwired zero register `r0` (`%g0` in SPARC terms).
+    pub const G0: Reg = Reg(0);
+    /// The stack pointer by software convention.
+    pub const SP: Reg = Reg(14);
+    /// The link register written by `call`.
+    pub const LINK: Reg = Reg(15);
+    /// The integer condition-code pseudo-register.
+    pub const ICC: Reg = Reg(32);
+
+    /// Creates a general-purpose register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32` (use [`Reg::ICC`] for the condition codes).
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "GPR index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register's index in `0..Reg::COUNT` (`%icc` is 32).
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this is the condition-code pseudo-register.
+    pub fn is_icc(self) -> bool {
+        self.0 == 32
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_icc() {
+            write!(f, "%icc")
+        } else {
+            write!(f, "%r{}", self.0)
+        }
+    }
+}
+
+/// Integer condition codes produced by [`Opcode::Cmp`](crate::Opcode::Cmp).
+///
+/// Semantics follow SPARC v8 `subcc`: the flags describe `a - b`.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_isa::Icc;
+///
+/// let icc = Icc::from_sub(3, 3);
+/// assert!(icc.z);
+/// let icc = Icc::from_sub(1, 2);
+/// assert!(icc.n && !icc.z);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Icc {
+    /// Negative: the 32-bit result's sign bit.
+    pub n: bool,
+    /// Zero: the result is zero.
+    pub z: bool,
+    /// Overflow: signed overflow occurred.
+    pub v: bool,
+    /// Carry: borrow occurred (unsigned `a < b`).
+    pub c: bool,
+}
+
+impl Icc {
+    /// Computes the condition codes of `a - b` exactly as SPARC `subcc`.
+    pub fn from_sub(a: u32, b: u32) -> Self {
+        let (res, borrow) = a.overflowing_sub(b);
+        let sa = a as i32;
+        let sb = b as i32;
+        let (_, overflow) = sa.overflowing_sub(sb);
+        Icc {
+            n: (res as i32) < 0,
+            z: res == 0,
+            v: overflow,
+            c: borrow,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn special_registers_have_expected_indices() {
+        assert_eq!(Reg::G0.index(), 0);
+        assert_eq!(Reg::SP.index(), 14);
+        assert_eq!(Reg::LINK.index(), 15);
+        assert_eq!(Reg::ICC.index(), 32);
+    }
+
+    #[test]
+    fn zero_and_icc_predicates() {
+        assert!(Reg::G0.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert!(Reg::ICC.is_icc());
+        assert!(!Reg::new(31).is_icc());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpr_constructor_rejects_icc_index() {
+        Reg::new(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::new(7).to_string(), "%r7");
+        assert_eq!(Reg::ICC.to_string(), "%icc");
+    }
+
+    #[test]
+    fn icc_equal_sets_only_z() {
+        let icc = Icc::from_sub(10, 10);
+        assert_eq!(
+            icc,
+            Icc {
+                n: false,
+                z: true,
+                v: false,
+                c: false
+            }
+        );
+    }
+
+    #[test]
+    fn icc_unsigned_borrow_sets_c() {
+        let icc = Icc::from_sub(1, 2);
+        assert!(icc.c, "1 - 2 borrows");
+        let icc = Icc::from_sub(2, 1);
+        assert!(!icc.c);
+    }
+
+    #[test]
+    fn icc_signed_overflow_sets_v() {
+        let icc = Icc::from_sub(i32::MIN as u32, 1);
+        assert!(icc.v, "INT_MIN - 1 overflows");
+        assert!(!icc.n, "result wraps to INT_MAX which is positive");
+    }
+
+    proptest! {
+        /// The derived comparison predicates agree with native integer
+        /// comparisons for arbitrary operands.
+        #[test]
+        fn flags_encode_comparisons(a in any::<u32>(), b in any::<u32>()) {
+            let icc = Icc::from_sub(a, b);
+            let (sa, sb) = (a as i32, b as i32);
+            prop_assert_eq!(icc.z, a == b);
+            // Signed less-than: N xor V.
+            prop_assert_eq!(icc.n != icc.v, sa < sb);
+            // Unsigned less-than: C.
+            prop_assert_eq!(icc.c, a < b);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Saturating counters — the basic state element of every predictor here.
+
+/// An n-bit saturating counter with configurable increment and decrement
+/// step sizes.
+///
+/// The paper uses two flavours: the classic 2-bit up/down counter inside
+/// the branch predictors, and an asymmetric confidence counter for
+/// load-speculation ("incremented by 1 (decremented by 2) on a correct
+/// (wrong) address prediction", §3).
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_predict::SatCounter;
+///
+/// // The paper's address-prediction confidence counter.
+/// let mut c = SatCounter::confidence();
+/// assert!(!c.is_confident());
+/// c.inc();
+/// c.inc();
+/// assert!(c.is_confident()); // value 2 > threshold 1
+/// c.dec();
+/// assert!(!c.is_confident()); // -2 penalty drops it to 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+    inc_by: u8,
+    dec_by: u8,
+    threshold: u8,
+}
+
+impl SatCounter {
+    /// A classic 2-bit up/down counter (range 0..=3, steps of 1),
+    /// initialised to the given value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init > 3`.
+    pub fn two_bit(init: u8) -> Self {
+        assert!(init <= 3, "2-bit counter init {init} out of range");
+        SatCounter {
+            value: init,
+            max: 3,
+            inc_by: 1,
+            dec_by: 1,
+            threshold: 1,
+        }
+    }
+
+    /// The paper's load-speculation confidence counter: 2-bit, starts at
+    /// 0, +1 on correct prediction, −2 on wrong prediction, confident
+    /// when the value exceeds 1.
+    pub fn confidence() -> Self {
+        SatCounter {
+            value: 0,
+            max: 3,
+            inc_by: 1,
+            dec_by: 2,
+            threshold: 1,
+        }
+    }
+
+    /// A fully parameterised confidence counter, for the §3 "possible
+    /// variations" ablation: `max` caps the count, `inc_by`/`dec_by` are
+    /// the correct/wrong step sizes, and the counter reports confidence
+    /// when its value exceeds `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inc_by` is zero, or if `threshold >= max` (the counter
+    /// could never report confidence).
+    pub fn with_params(max: u8, inc_by: u8, dec_by: u8, threshold: u8) -> Self {
+        assert!(inc_by > 0, "counter must be able to gain confidence");
+        assert!(threshold < max, "threshold {threshold} unreachable with max {max}");
+        SatCounter {
+            value: 0,
+            max,
+            inc_by,
+            dec_by,
+            threshold,
+        }
+    }
+
+    /// Current value.
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Saturating increment.
+    pub fn inc(&mut self) {
+        self.value = (self.value + self.inc_by).min(self.max);
+    }
+
+    /// Saturating decrement.
+    pub fn dec(&mut self) {
+        self.value = self.value.saturating_sub(self.dec_by);
+    }
+
+    /// Whether the counter is past its threshold — "taken" for direction
+    /// counters, "use the prediction" for confidence counters (the
+    /// paper's "greater than 1" test for 2-bit counters).
+    pub fn is_confident(self) -> bool {
+        self.value > self.threshold
+    }
+
+    /// Nudges the counter toward an outcome: `inc` on `true`, `dec` on
+    /// `false`.
+    pub fn train(&mut self, outcome: bool) {
+        if outcome {
+            self.inc();
+        } else {
+            self.dec();
+        }
+    }
+}
+
+impl Default for SatCounter {
+    /// A weakly-not-taken 2-bit counter.
+    fn default() -> Self {
+        SatCounter::two_bit(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_bit_saturates_at_both_ends() {
+        let mut c = SatCounter::two_bit(0);
+        c.dec();
+        assert_eq!(c.value(), 0);
+        for _ in 0..10 {
+            c.inc();
+        }
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn confidence_threshold_matches_paper() {
+        // §3: predicted address used only when the counter value is
+        // greater than 1.
+        let mut c = SatCounter::confidence();
+        assert_eq!(c.value(), 0);
+        assert!(!c.is_confident());
+        c.inc(); // 1
+        assert!(!c.is_confident());
+        c.inc(); // 2
+        assert!(c.is_confident());
+        c.inc(); // 3
+        assert!(c.is_confident());
+    }
+
+    #[test]
+    fn confidence_penalty_is_two() {
+        let mut c = SatCounter::confidence();
+        c.inc();
+        c.inc();
+        c.inc(); // 3
+        c.dec(); // 1
+        assert_eq!(c.value(), 1);
+        c.dec(); // 0 (saturating)
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn train_maps_outcomes() {
+        let mut c = SatCounter::two_bit(1);
+        c.train(true);
+        assert_eq!(c.value(), 2);
+        c.train(false);
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn two_bit_rejects_large_init() {
+        SatCounter::two_bit(4);
+    }
+
+    #[test]
+    fn parameterised_counter_behaves() {
+        // 3-bit counter, +1/-4, confident above 3.
+        let mut c = SatCounter::with_params(7, 1, 4, 3);
+        for _ in 0..4 {
+            c.inc();
+        }
+        assert!(c.is_confident());
+        c.dec();
+        assert_eq!(c.value(), 0);
+        assert!(!c.is_confident());
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn unreachable_threshold_rejected() {
+        SatCounter::with_params(3, 1, 2, 3);
+    }
+
+    proptest! {
+        /// The counter never leaves its range whatever the training
+        /// sequence.
+        #[test]
+        fn value_stays_in_range(outcomes in proptest::collection::vec(any::<bool>(), 0..256)) {
+            let mut c = SatCounter::confidence();
+            for o in outcomes {
+                c.train(o);
+                prop_assert!(c.value() <= 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Branch and address predictors.
+//!
+//! Two predictor families drive the paper's experiments:
+//!
+//! * **Branch direction prediction** — every simulated configuration uses
+//!   the McFarling combining predictor (`bimodalN/gshareN+1` with an 8 KB
+//!   hardware budget; [`McFarling::paper_8kb`]). [`Bimodal`] and
+//!   [`Gshare`] are also exported standalone for the ablation benches.
+//!   All other control transfers (unconditional branches, calls, returns,
+//!   indirect jumps) are assumed perfectly predicted, as in §4 of the
+//!   paper.
+//! * **Address prediction for load-speculation** — the paper's mechanism
+//!   is a 4096-entry direct-mapped stride table implementing the
+//!   *two-delta* strategy, extended with a 2-bit saturating confidence
+//!   counter per entry ([`TwoDeltaStride`]). The extension predictors
+//!   ([`LastAddr`], [`ContextAddr`], [`HybridAddr`]) explore the paper's
+//!   stated future-work direction of raising the address prediction rate.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddsc_predict::{AddressPredictor, TwoDeltaStride};
+//!
+//! let mut pred = TwoDeltaStride::paper_default();
+//! // A strided load stream 0, 4, 8, ... becomes predictable once the
+//! // delta repeats and confidence builds up.
+//! let mut last = ddsc_predict::AddrPrediction::default();
+//! for i in 0..8u32 {
+//!     last = pred.access(0x1000, i * 4);
+//! }
+//! assert!(last.confident && last.correct);
+//! ```
+
+pub mod addr;
+pub mod branch;
+pub mod counter;
+pub mod value;
+
+pub use addr::{
+    AddrPrediction, AddressPredictor, ContextAddr, HybridAddr, LastAddr, TwoDeltaStride,
+};
+pub use branch::{
+    branch_stats, Bimodal, BranchPredStats, DirectionPredictor, Gshare, LocalHistory, McFarling,
+};
+pub use counter::SatCounter;
+pub use value::{LastValue, TwoDeltaValue, ValuePrediction, ValuePredictor};

@@ -1,0 +1,412 @@
+//! Binary trace file format.
+//!
+//! A compact little-endian on-disk format standing in for the paper's
+//! `qpt2` trace files. Layout:
+//!
+//! ```text
+//! magic   : 4 bytes  "DDSC"
+//! version : u16      (currently 2)
+//! namelen : u16
+//! name    : namelen bytes of UTF-8
+//! count   : u64
+//! records : count × 26 bytes (see below)
+//! ```
+//!
+//! Each record is `pc:u32, op:u8, dest:u8, rs1:u8, rs2:u8, data:u8,
+//! flags:u8, imm:i32, ea:u32, target:u32, value:u32` where register
+//! fields use `0xFF` for "none" and `32` for `%icc`, and `flags` packs
+//! the zero-detection bits, immediate/EA/value presence and the branch
+//! outcome.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+use ddsc_isa::{Cond, Opcode, Reg};
+
+use crate::{Trace, TraceInst};
+
+const MAGIC: &[u8; 4] = b"DDSC";
+const VERSION: u16 = 2;
+const REG_NONE: u8 = 0xFF;
+
+const FLAG_ZERO_RS1: u8 = 1 << 0;
+const FLAG_ZERO_RS2: u8 = 1 << 1;
+const FLAG_HAS_IMM: u8 = 1 << 2;
+const FLAG_HAS_EA: u8 = 1 << 3;
+const FLAG_TAKEN: u8 = 1 << 4;
+const FLAG_HAS_VALUE: u8 = 1 << 5;
+
+/// Errors produced when reading or writing trace files.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the `DDSC` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// An opcode byte that does not decode.
+    BadOpcode(u8),
+    /// A register byte that does not decode.
+    BadReg(u8),
+    /// The benchmark name is not valid UTF-8.
+    BadName,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a DDSC trace file"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#x}"),
+            TraceIoError::BadReg(b) => write!(f, "invalid register byte {b:#x}"),
+            TraceIoError::BadName => write!(f, "trace name is not valid utf-8"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Encodes an opcode as a stable byte.
+pub fn encode_op(op: Opcode) -> u8 {
+    match op {
+        Opcode::Add => 0,
+        Opcode::Sub => 1,
+        Opcode::And => 2,
+        Opcode::Or => 3,
+        Opcode::Xor => 4,
+        Opcode::Andn => 5,
+        Opcode::Orn => 6,
+        Opcode::Xnor => 7,
+        Opcode::Sll => 8,
+        Opcode::Srl => 9,
+        Opcode::Sra => 10,
+        Opcode::Mov => 11,
+        Opcode::Sethi => 12,
+        Opcode::Cmp => 13,
+        Opcode::Mul => 14,
+        Opcode::Div => 15,
+        Opcode::Ld => 16,
+        Opcode::Ldb => 17,
+        Opcode::St => 18,
+        Opcode::Stb => 19,
+        Opcode::Bcc(Cond::Eq) => 20,
+        Opcode::Bcc(Cond::Ne) => 21,
+        Opcode::Bcc(Cond::Lt) => 22,
+        Opcode::Bcc(Cond::Le) => 23,
+        Opcode::Bcc(Cond::Gt) => 24,
+        Opcode::Bcc(Cond::Ge) => 25,
+        Opcode::Bcc(Cond::Ltu) => 26,
+        Opcode::Bcc(Cond::Geu) => 27,
+        Opcode::Ba => 28,
+        Opcode::Call => 29,
+        Opcode::Ret => 30,
+        Opcode::Jmp => 31,
+        Opcode::Nop => 32,
+    }
+}
+
+/// Decodes an opcode byte.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadOpcode`] for bytes outside the opcode space.
+pub fn decode_op(b: u8) -> Result<Opcode, TraceIoError> {
+    Ok(match b {
+        0 => Opcode::Add,
+        1 => Opcode::Sub,
+        2 => Opcode::And,
+        3 => Opcode::Or,
+        4 => Opcode::Xor,
+        5 => Opcode::Andn,
+        6 => Opcode::Orn,
+        7 => Opcode::Xnor,
+        8 => Opcode::Sll,
+        9 => Opcode::Srl,
+        10 => Opcode::Sra,
+        11 => Opcode::Mov,
+        12 => Opcode::Sethi,
+        13 => Opcode::Cmp,
+        14 => Opcode::Mul,
+        15 => Opcode::Div,
+        16 => Opcode::Ld,
+        17 => Opcode::Ldb,
+        18 => Opcode::St,
+        19 => Opcode::Stb,
+        20 => Opcode::Bcc(Cond::Eq),
+        21 => Opcode::Bcc(Cond::Ne),
+        22 => Opcode::Bcc(Cond::Lt),
+        23 => Opcode::Bcc(Cond::Le),
+        24 => Opcode::Bcc(Cond::Gt),
+        25 => Opcode::Bcc(Cond::Ge),
+        26 => Opcode::Bcc(Cond::Ltu),
+        27 => Opcode::Bcc(Cond::Geu),
+        28 => Opcode::Ba,
+        29 => Opcode::Call,
+        30 => Opcode::Ret,
+        31 => Opcode::Jmp,
+        32 => Opcode::Nop,
+        _ => return Err(TraceIoError::BadOpcode(b)),
+    })
+}
+
+fn encode_reg(r: Option<Reg>) -> u8 {
+    r.map_or(REG_NONE, |r| r.index() as u8)
+}
+
+fn decode_reg(b: u8) -> Result<Option<Reg>, TraceIoError> {
+    match b {
+        REG_NONE => Ok(None),
+        32 => Ok(Some(Reg::ICC)),
+        0..=31 => Ok(Some(Reg::new(b))),
+        _ => Err(TraceIoError::BadReg(b)),
+    }
+}
+
+/// Writes a trace to any writer. A `&mut` reference also works as the
+/// writer.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on write failure.
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name().as_bytes();
+    let namelen = u16::try_from(name.len()).unwrap_or(u16::MAX);
+    w.write_all(&namelen.to_le_bytes())?;
+    w.write_all(&name[..usize::from(namelen)])?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for inst in trace {
+        let mut flags = inst.zero_flags & (FLAG_ZERO_RS1 | FLAG_ZERO_RS2);
+        if inst.imm.is_some() {
+            flags |= FLAG_HAS_IMM;
+        }
+        if inst.ea.is_some() {
+            flags |= FLAG_HAS_EA;
+        }
+        if inst.taken {
+            flags |= FLAG_TAKEN;
+        }
+        if inst.value.is_some() {
+            flags |= FLAG_HAS_VALUE;
+        }
+        w.write_all(&inst.pc.to_le_bytes())?;
+        w.write_all(&[
+            encode_op(inst.op),
+            encode_reg(inst.dest),
+            encode_reg(inst.rs1),
+            encode_reg(inst.rs2),
+            encode_reg(inst.data_reg),
+            flags,
+        ])?;
+        w.write_all(&inst.imm.unwrap_or(0).to_le_bytes())?;
+        w.write_all(&inst.ea.unwrap_or(0).to_le_bytes())?;
+        w.write_all(&inst.target.to_le_bytes())?;
+        w.write_all(&inst.value.unwrap_or(0).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from any reader. A `&mut` reference also works as the
+/// reader.
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError`] if the stream is truncated, has a bad magic
+/// or version, or contains undecodable bytes.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let mut buf2 = [0u8; 2];
+    r.read_exact(&mut buf2)?;
+    let version = u16::from_le_bytes(buf2);
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion(version));
+    }
+    r.read_exact(&mut buf2)?;
+    let namelen = usize::from(u16::from_le_bytes(buf2));
+    let mut name = vec![0u8; namelen];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| TraceIoError::BadName)?;
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let count = u64::from_le_bytes(buf8) as usize;
+    let mut insts = Vec::with_capacity(count.min(1 << 24));
+    let mut rec = [0u8; 26];
+    for _ in 0..count {
+        r.read_exact(&mut rec)?;
+        let pc = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+        let op = decode_op(rec[4])?;
+        let dest = decode_reg(rec[5])?;
+        let rs1 = decode_reg(rec[6])?;
+        let rs2 = decode_reg(rec[7])?;
+        let data_reg = decode_reg(rec[8])?;
+        let flags = rec[9];
+        let imm = i32::from_le_bytes([rec[10], rec[11], rec[12], rec[13]]);
+        let ea = u32::from_le_bytes([rec[14], rec[15], rec[16], rec[17]]);
+        let target = u32::from_le_bytes([rec[18], rec[19], rec[20], rec[21]]);
+        let value = u32::from_le_bytes([rec[22], rec[23], rec[24], rec[25]]);
+        insts.push(TraceInst {
+            pc,
+            op,
+            dest,
+            rs1,
+            rs2,
+            imm: (flags & FLAG_HAS_IMM != 0).then_some(imm),
+            data_reg,
+            zero_flags: flags & (FLAG_ZERO_RS1 | FLAG_ZERO_RS2),
+            ea: (flags & FLAG_HAS_EA != 0).then_some(ea),
+            taken: flags & FLAG_TAKEN != 0,
+            target,
+            value: (flags & FLAG_HAS_VALUE != 0).then_some(value),
+        });
+    }
+    Ok(Trace::from_parts(name, insts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_isa::{Cond, Opcode, Reg};
+    use proptest::prelude::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new("roundtrip");
+        t.push(TraceInst::alu(
+            0x40,
+            Opcode::Add,
+            Reg::new(1),
+            Reg::new(2),
+            Some(Reg::new(3)),
+            None,
+            0,
+        ));
+        t.push(TraceInst::load(
+            0x44,
+            Opcode::Ld,
+            Reg::new(4),
+            Reg::new(5),
+            None,
+            Some(-8),
+            crate::record::ZERO_RS1,
+            0xFF00,
+        ));
+        t.push(TraceInst::cmp(0x48, Reg::new(4), None, Some(0), 0));
+        t.push(TraceInst::cond_branch(
+            0x4C,
+            Opcode::Bcc(Cond::Ne),
+            true,
+            0x40,
+        ));
+        t.push(TraceInst::uncond(0x50, Opcode::Call, Some(Reg::LINK), None, 0x100));
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new("x")).unwrap();
+        buf[4] = 0xEE;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadVersion(_)));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+    }
+
+    #[test]
+    fn bad_opcode_byte_is_rejected() {
+        let mut t = Trace::new("x");
+        t.push(TraceInst::alu(0, Opcode::Add, Reg::new(1), Reg::new(2), None, Some(1), 0));
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        // Opcode byte of the single record sits right after the header.
+        let header = 4 + 2 + 2 + 1 + 8;
+        buf[header + 4] = 200;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadOpcode(200)));
+    }
+
+    #[test]
+    fn opcode_encoding_is_bijective() {
+        for b in 0..=32u8 {
+            let op = decode_op(b).unwrap();
+            assert_eq!(encode_op(op), b);
+        }
+        assert!(decode_op(33).is_err());
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        for e in [
+            TraceIoError::BadMagic,
+            TraceIoError::BadVersion(9),
+            TraceIoError::BadOpcode(0xFE),
+            TraceIoError::BadReg(0x40),
+            TraceIoError::BadName,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    proptest! {
+        /// Arbitrary ALU/load records roundtrip exactly.
+        #[test]
+        fn random_records_roundtrip(
+            pc in any::<u32>(),
+            rd in 0u8..32,
+            rs1 in 0u8..32,
+            imm in any::<i32>(),
+            ea in any::<u32>(),
+            zero in 0u8..4,
+        ) {
+            let mut t = Trace::new("prop");
+            t.push(TraceInst::alu(pc, Opcode::Xor, Reg::new(rd), Reg::new(rs1), None, Some(imm), zero));
+            t.push(TraceInst::load(pc, Opcode::Ldb, Reg::new(rd), Reg::new(rs1), None, Some(imm & 0xFFF), zero, ea));
+            let mut buf = Vec::new();
+            write_trace(&mut buf, &t).unwrap();
+            let back = read_trace(buf.as_slice()).unwrap();
+            prop_assert_eq!(t, back);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Dynamic instruction traces.
+//!
+//! The paper drives its simulator with SPARC v8 traces produced by `qpt2`;
+//! here traces are produced by executing [`ddsc-vm`](../ddsc_vm/index.html)
+//! programs. This crate defines:
+//!
+//! * [`TraceInst`] — one dynamic instruction: opcode, register sources and
+//!   destination, immediate, dynamically-detected zero operands, effective
+//!   address and branch outcome;
+//! * [`Trace`] — an in-memory trace with a name and metadata;
+//! * [`io`] — a compact little-endian binary file format (the stand-in for
+//!   `qpt2` trace files), so traces can be saved and re-read by the CLI;
+//! * [`TraceStats`] — instruction-mix statistics backing Table 1/2-style
+//!   reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddsc_trace::{Trace, TraceInst};
+//! use ddsc_isa::{Opcode, Reg};
+//!
+//! let mut trace = Trace::new("demo");
+//! trace.push(TraceInst::alu(0x1000, Opcode::Add, Reg::new(1), Reg::new(2), None, Some(4), 0));
+//! assert_eq!(trace.len(), 1);
+//! ```
+
+pub mod io;
+pub mod record;
+pub mod stats;
+
+use std::ops::Index;
+
+pub use record::{SourceIter, TraceInst};
+pub use stats::TraceStats;
+
+/// An in-memory dynamic instruction trace.
+///
+/// Nops never appear in a trace — the paper filters them and so does the
+/// VM's trace sink.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    name: String,
+    insts: Vec<TraceInst>,
+}
+
+impl Trace {
+    /// Creates an empty trace with a benchmark name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            insts: Vec::new(),
+        }
+    }
+
+    /// Creates a trace from parts (used by the binary reader).
+    pub fn from_parts(name: impl Into<String>, insts: Vec<TraceInst>) -> Self {
+        Trace {
+            name: name.into(),
+            insts,
+        }
+    }
+
+    /// The benchmark name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one dynamic instruction.
+    pub fn push(&mut self, inst: TraceInst) {
+        self.insts.push(inst);
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instructions as a slice.
+    pub fn insts(&self) -> &[TraceInst] {
+        &self.insts
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceInst> {
+        self.insts.iter()
+    }
+
+    /// Computes instruction-mix statistics.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(self)
+    }
+
+    /// Truncates the trace to at most `n` instructions (the paper caps
+    /// benchmarks at 250M instructions the same way).
+    pub fn truncate(&mut self, n: usize) {
+        self.insts.truncate(n);
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = TraceInst;
+
+    fn index(&self, idx: usize) -> &TraceInst {
+        &self.insts[idx]
+    }
+}
+
+impl Extend<TraceInst> for Trace {
+    fn extend<T: IntoIterator<Item = TraceInst>>(&mut self, iter: T) {
+        self.insts.extend(iter);
+    }
+}
+
+impl FromIterator<TraceInst> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceInst>>(iter: T) -> Self {
+        Trace {
+            name: String::new(),
+            insts: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceInst;
+    type IntoIter = std::slice::Iter<'a, TraceInst>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_isa::{Opcode, Reg};
+
+    fn inst() -> TraceInst {
+        TraceInst::alu(0x40, Opcode::Add, Reg::new(1), Reg::new(2), None, Some(1), 0)
+    }
+
+    #[test]
+    fn push_len_index() {
+        let mut t = Trace::new("x");
+        assert!(t.is_empty());
+        t.push(inst());
+        t.push(inst());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].pc, 0x40);
+        assert_eq!(t.name(), "x");
+    }
+
+    #[test]
+    fn truncate_caps_length() {
+        let mut t = Trace::new("x");
+        for _ in 0..10 {
+            t.push(inst());
+        }
+        t.truncate(4);
+        assert_eq!(t.len(), 4);
+        t.truncate(100);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let t: Trace = (0..3).map(|_| inst()).collect();
+        assert_eq!(t.len(), 3);
+        let mut t2 = Trace::new("y");
+        t2.extend(t.iter().copied());
+        assert_eq!(t2.len(), 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Instruction-mix statistics (the backing data for Table 1 / Table 2
+//! style reports).
+
+use std::fmt;
+
+use ddsc_isa::OpClass;
+use ddsc_util::stats::Percent;
+use ddsc_util::TextTable;
+
+use crate::Trace;
+
+/// Instruction-mix statistics of one trace.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_trace::{Trace, TraceInst};
+/// use ddsc_isa::{Opcode, Reg};
+///
+/// let mut t = Trace::new("demo");
+/// t.push(TraceInst::alu(0, Opcode::Add, Reg::new(1), Reg::new(2), None, Some(1), 0));
+/// t.push(TraceInst::load(4, Opcode::Ld, Reg::new(3), Reg::new(1), None, Some(0), 0, 64));
+/// let s = t.stats();
+/// assert_eq!(s.total(), 2);
+/// assert_eq!(s.loads(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    total: u64,
+    arith: u64,
+    logic: u64,
+    shift: u64,
+    mov: u64,
+    load: u64,
+    store: u64,
+    cond_branch: u64,
+    uncond: u64,
+    calls_returns: u64,
+    mul: u64,
+    div: u64,
+    taken_branches: u64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut s = TraceStats::default();
+        for inst in trace {
+            s.total += 1;
+            match inst.op.class() {
+                OpClass::Arith => s.arith += 1,
+                OpClass::Logic => s.logic += 1,
+                OpClass::Shift => s.shift += 1,
+                OpClass::Move => s.mov += 1,
+                OpClass::Load => s.load += 1,
+                OpClass::Store => s.store += 1,
+                OpClass::CondBranch => {
+                    s.cond_branch += 1;
+                    if inst.taken {
+                        s.taken_branches += 1;
+                    }
+                }
+                OpClass::Uncond => {
+                    s.uncond += 1;
+                    if matches!(inst.op, ddsc_isa::Opcode::Call | ddsc_isa::Opcode::Ret) {
+                        s.calls_returns += 1;
+                    }
+                }
+                OpClass::Mul => s.mul += 1,
+                OpClass::Div => s.div += 1,
+                OpClass::Nop => {}
+            }
+        }
+        s
+    }
+
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Dynamic load count.
+    pub fn loads(&self) -> u64 {
+        self.load
+    }
+
+    /// Dynamic store count.
+    pub fn stores(&self) -> u64 {
+        self.store
+    }
+
+    /// Dynamic conditional-branch count.
+    pub fn cond_branches(&self) -> u64 {
+        self.cond_branch
+    }
+
+    /// Dynamic taken conditional-branch count.
+    pub fn taken_branches(&self) -> u64 {
+        self.taken_branches
+    }
+
+    /// Dynamic call + return count (the paper singles these out for `li`).
+    pub fn calls_returns(&self) -> u64 {
+        self.calls_returns
+    }
+
+    /// Dynamic shift count (the paper notes shifts are ~6% of the mix).
+    pub fn shifts(&self) -> u64 {
+        self.shift
+    }
+
+    /// Conditional branches as a fraction of all instructions
+    /// (Table 2, "Conditional Branches (%)").
+    pub fn cond_branch_pct(&self) -> Percent {
+        Percent::new(self.cond_branch, self.total)
+    }
+
+    /// Loads as a fraction of all instructions.
+    pub fn load_pct(&self) -> Percent {
+        Percent::new(self.load, self.total)
+    }
+
+    /// Shifts as a fraction of all instructions.
+    pub fn shift_pct(&self) -> Percent {
+        Percent::new(self.shift, self.total)
+    }
+
+    /// Renders the mix as an aligned text table.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec!["class".into(), "count".into(), "%".into()]);
+        let rows: [(&str, u64); 11] = [
+            ("arith", self.arith),
+            ("logic", self.logic),
+            ("shift", self.shift),
+            ("move", self.mov),
+            ("load", self.load),
+            ("store", self.store),
+            ("cond-branch", self.cond_branch),
+            ("uncond", self.uncond),
+            ("mul", self.mul),
+            ("div", self.div),
+            ("total", self.total),
+        ];
+        for (name, count) in rows {
+            t.row(vec![
+                name.into(),
+                count.to_string(),
+                Percent::new(count, self.total).to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceInst;
+    use ddsc_isa::{Cond, Opcode, Reg};
+
+    fn mixed_trace() -> Trace {
+        let r = Reg::new;
+        let mut t = Trace::new("mix");
+        t.push(TraceInst::alu(0, Opcode::Add, r(1), r(2), None, Some(1), 0));
+        t.push(TraceInst::alu(4, Opcode::Sll, r(1), r(2), None, Some(3), 0));
+        t.push(TraceInst::alu(8, Opcode::Or, r(1), r(2), Some(r(3)), None, 0));
+        t.push(TraceInst::mov(12, Opcode::Mov, r(4), None, Some(9), 0));
+        t.push(TraceInst::load(16, Opcode::Ld, r(5), r(4), None, Some(0), 0, 0x40));
+        t.push(TraceInst::store(20, Opcode::St, r(5), r(4), None, Some(4), 0, 0x44));
+        t.push(TraceInst::cmp(24, r(5), None, Some(7), 0));
+        t.push(TraceInst::cond_branch(28, Opcode::Bcc(Cond::Ne), true, 0));
+        t.push(TraceInst::uncond(32, Opcode::Call, Some(Reg::LINK), None, 64));
+        t.push(TraceInst::uncond(36, Opcode::Ret, None, Some(Reg::LINK), 36));
+        t.push(TraceInst::alu(40, Opcode::Mul, r(6), r(5), Some(r(5)), None, 0));
+        t.push(TraceInst::alu(44, Opcode::Div, r(6), r(6), None, Some(3), 0));
+        t
+    }
+
+    #[test]
+    fn class_counts_are_correct() {
+        let s = mixed_trace().stats();
+        assert_eq!(s.total(), 12);
+        assert_eq!(s.loads(), 1);
+        assert_eq!(s.stores(), 1);
+        assert_eq!(s.cond_branches(), 1);
+        assert_eq!(s.taken_branches(), 1);
+        assert_eq!(s.calls_returns(), 2);
+        assert_eq!(s.shifts(), 1);
+        // cmp counts as arith (the paper's `ar` class includes compares).
+        assert_eq!(s.arith, 2);
+    }
+
+    #[test]
+    fn percentages_use_total() {
+        let s = mixed_trace().stats();
+        assert!((s.cond_branch_pct().value() - 100.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_all_classes() {
+        let s = mixed_trace().stats();
+        let rendered = s.to_string();
+        for label in ["arith", "shift", "cond-branch", "total"] {
+            assert!(rendered.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn taken_branch_counting() {
+        let mut t = Trace::new("b");
+        t.push(TraceInst::cond_branch(0, Opcode::Bcc(Cond::Eq), true, 4));
+        t.push(TraceInst::cond_branch(4, Opcode::Bcc(Cond::Eq), false, 8));
+        t.push(TraceInst::cond_branch(8, Opcode::Bcc(Cond::Ne), true, 0));
+        let s = t.stats();
+        assert_eq!(s.cond_branches(), 3);
+        assert_eq!(s.taken_branches(), 2);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = Trace::new("e").stats();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.cond_branch_pct().value(), 0.0);
+    }
+}

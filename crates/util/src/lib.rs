@@ -1,0 +1,28 @@
+//! Shared utilities for the DDSC (data dependence speculation & collapsing)
+//! reproduction.
+//!
+//! This crate deliberately has no external dependencies: the reproduction
+//! must be bit-for-bit deterministic across toolchains and platforms, so the
+//! pseudo-random number generators, statistics and formatting helpers used
+//! by every other crate live here.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddsc_util::rng::SplitMix64;
+//!
+//! let mut rng = SplitMix64::new(42);
+//! let a = rng.next_u64();
+//! let b = rng.next_u64();
+//! assert_ne!(a, b);
+//! ```
+
+pub mod hist;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use hist::Histogram;
+pub use rng::{Pcg32, SplitMix64};
+pub use stats::{geometric_mean, harmonic_mean, mean, Percent};
+pub use table::TextTable;

@@ -1,0 +1,244 @@
+//! Small, fast, deterministic pseudo-random number generators.
+//!
+//! The reproduction needs randomness in exactly two places: synthesising
+//! workload input data (strings to compress, boards to evaluate, …) and
+//! property-based tests. Determinism across platforms and toolchain
+//! versions matters more than statistical sophistication, so we implement
+//! two tiny, well-known generators instead of depending on `rand`:
+//!
+//! * [`SplitMix64`] — the 64-bit mixer from Steele et al., used for seeding
+//!   and for places that want a `u64` stream.
+//! * [`Pcg32`] — the PCG-XSH-RR 64/32 generator of O'Neill, used as the
+//!   general-purpose generator in workload construction.
+
+/// The SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014).
+///
+/// Primarily used to expand a single `u64` seed into independent streams
+/// for other generators.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_util::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        SplitMix64::new(0)
+    }
+}
+
+/// The PCG-XSH-RR 64/32 generator (O'Neill, 2014).
+///
+/// A 64-bit LCG with a 32-bit permuted output. Small state, excellent
+/// statistical quality for simulation inputs, and fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_util::rng::Pcg32;
+///
+/// let mut rng = Pcg32::new(1234);
+/// let x = rng.range(0, 10);
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg32 {
+    /// Creates a generator from a seed, using SplitMix64 to derive the
+    /// initial state and stream-selector.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let initstate = sm.next_u64();
+        let initseq = sm.next_u64();
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (initseq << 1) | 1,
+        };
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(rng.inc);
+        rng.state = rng.state.wrapping_add(initstate);
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(rng.inc);
+        rng
+    }
+
+    /// Returns the next 32-bit value in the stream.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64-bit value (two 32-bit draws).
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns a uniformly distributed value in `[lo, hi)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, so the distribution
+    /// is exactly uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Lemire rejection sampling.
+        let mut m = u64::from(self.next_u32()) * u64::from(span);
+        let mut lo_bits = m as u32;
+        if lo_bits < span {
+            let threshold = span.wrapping_neg() % span;
+            while lo_bits < threshold {
+                m = u64::from(self.next_u32()) * u64::from(span);
+                lo_bits = m as u32;
+            }
+        }
+        lo + (m >> 32) as u32
+    }
+
+    /// Returns `true` with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero or `num > den`.
+    pub fn chance(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0 && num <= den, "invalid probability {num}/{den}");
+        self.range(0, den) < num
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        let n = slice.len();
+        if n < 2 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = self.range(0, (i + 1) as u32) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl Default for Pcg32 {
+    fn default() -> Self {
+        Pcg32::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference values from the public-domain C implementation with
+        // seed 1234567.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6_457_827_717_110_365_317);
+        assert_eq!(rng.next_u64(), 3_203_168_211_198_807_973);
+    }
+
+    #[test]
+    fn pcg_streams_differ_by_seed() {
+        let mut a = Pcg32::new(1);
+        let mut b = Pcg32::new(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be essentially uncorrelated");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Pcg32::new(5);
+        for _ in 0..10_000 {
+            let v = rng.range(10, 17);
+            assert!((10..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = Pcg32::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.range(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Pcg32::new(0).range(5, 5);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Pcg32::new(11);
+        for _ in 0..100 {
+            assert!(!rng.chance(0, 10));
+            assert!(rng.chance(10, 10));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg32::new(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_slices() {
+        let mut rng = Pcg32::new(3);
+        let mut empty: [u8; 0] = [];
+        rng.shuffle(&mut empty);
+        let mut one = [42u8];
+        rng.shuffle(&mut one);
+        assert_eq!(one, [42]);
+    }
+}

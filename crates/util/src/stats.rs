@@ -1,0 +1,181 @@
+//! Summary statistics used throughout the reproduction.
+//!
+//! The paper summarises per-benchmark results with the *harmonic mean*
+//! (both for IPC and for speedups), so that is the headline aggregation
+//! here too. Arithmetic and geometric means are provided for the extension
+//! experiments and for sanity checks.
+
+use std::fmt;
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ddsc_util::stats::mean(&[1.0, 3.0]), Some(2.0));
+/// assert_eq!(ddsc_util::stats::mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Harmonic mean of a slice — the aggregation the paper uses for IPC and
+/// speedup (§5: "we summarize results by taking the harmonic mean over the
+/// benchmark set").
+///
+/// Returns `None` for an empty slice or if any value is not strictly
+/// positive (the harmonic mean is undefined there).
+///
+/// # Examples
+///
+/// ```
+/// let hm = ddsc_util::stats::harmonic_mean(&[1.0, 2.0]).unwrap();
+/// assert!((hm - 4.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn harmonic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let recip_sum: f64 = values.iter().map(|v| 1.0 / v).sum();
+    Some(values.len() as f64 / recip_sum)
+}
+
+/// Geometric mean of a slice.
+///
+/// Returns `None` for an empty slice or if any value is not strictly
+/// positive.
+///
+/// # Examples
+///
+/// ```
+/// let gm = ddsc_util::stats::geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((gm - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// A ratio rendered as a percentage, e.g. in the load-classification and
+/// collapse-contribution tables.
+///
+/// Stores numerator and denominator so that percentages of zero samples
+/// display as `0.00%` rather than NaN, and so that exact counts remain
+/// available to tests.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_util::stats::Percent;
+///
+/// let p = Percent::new(1, 4);
+/// assert_eq!(p.value(), 25.0);
+/// assert_eq!(p.to_string(), "25.00");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Percent {
+    num: u64,
+    den: u64,
+}
+
+impl Percent {
+    /// Creates a percentage from a numerator and denominator.
+    pub fn new(num: u64, den: u64) -> Self {
+        Percent { num, den }
+    }
+
+    /// The percentage as a float; `0.0` when the denominator is zero.
+    pub fn value(&self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            100.0 * self.num as f64 / self.den as f64
+        }
+    }
+
+    /// Numerator (raw event count).
+    pub fn count(&self) -> u64 {
+        self.num
+    }
+
+    /// Denominator (total sample count).
+    pub fn total(&self) -> u64 {
+        self.den
+    }
+}
+
+impl fmt::Display for Percent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_of_singleton() {
+        assert_eq!(mean(&[7.5]), Some(7.5));
+    }
+
+    #[test]
+    fn harmonic_mean_matches_hand_computation() {
+        // HM(1, 2, 4) = 3 / (1 + 0.5 + 0.25) = 12/7.
+        let hm = harmonic_mean(&[1.0, 2.0, 4.0]).unwrap();
+        assert!((hm - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_rejects_nonpositive() {
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), None);
+        assert_eq!(harmonic_mean(&[1.0, -2.0]), None);
+        assert_eq!(harmonic_mean(&[]), None);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert_eq!(geometric_mean(&[0.0]), None);
+        assert_eq!(geometric_mean(&[]), None);
+    }
+
+    #[test]
+    fn percent_zero_denominator_is_zero() {
+        assert_eq!(Percent::new(0, 0).value(), 0.0);
+    }
+
+    #[test]
+    fn percent_display_rounds_to_two_places() {
+        assert_eq!(Percent::new(1, 3).to_string(), "33.33");
+        assert_eq!(Percent::new(2, 3).to_string(), "66.67");
+    }
+
+    proptest! {
+        /// HM <= GM <= AM for positive inputs (the classical mean
+        /// inequality chain).
+        #[test]
+        fn mean_inequality_chain(values in proptest::collection::vec(0.01f64..1e6, 1..32)) {
+            let am = mean(&values).unwrap();
+            let gm = geometric_mean(&values).unwrap();
+            let hm = harmonic_mean(&values).unwrap();
+            prop_assert!(hm <= gm * (1.0 + 1e-9));
+            prop_assert!(gm <= am * (1.0 + 1e-9));
+        }
+
+        /// All means of a constant sequence equal that constant.
+        #[test]
+        fn means_of_constant(v in 0.01f64..1e6, n in 1usize..16) {
+            let values = vec![v; n];
+            prop_assert!((mean(&values).unwrap() - v).abs() < 1e-6);
+            prop_assert!((harmonic_mean(&values).unwrap() - v).abs() / v < 1e-9);
+            prop_assert!((geometric_mean(&values).unwrap() - v).abs() / v < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! All figures and tables in the paper are regenerated as aligned text so
+//! they can be diffed against `EXPERIMENTS.md`; this module provides the
+//! small formatter used for that.
+
+use std::fmt;
+
+/// Column alignment for a [`TextTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Align {
+    /// Left-aligned (default; used for labels).
+    #[default]
+    Left,
+    /// Right-aligned (used for numbers).
+    Right,
+}
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_util::TextTable;
+///
+/// let mut t = TextTable::new(vec!["bench".into(), "ipc".into()]);
+/// t.row(vec!["compress".into(), "1.83".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("compress"));
+/// assert!(s.contains("ipc"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header; all columns default to
+    /// left alignment for the first column and right alignment for the
+    /// rest (label + numbers is the dominant shape in this repo).
+    pub fn new(header: Vec<String>) -> Self {
+        let aligns = (0..header.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        TextTable {
+            header,
+            rows: Vec::new(),
+            aligns,
+        }
+    }
+
+    /// Overrides the alignment of a column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align(&mut self, col: usize, align: Align) -> &mut Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{:<w$}", cells[i], w = widths[i])?,
+                    Align::Right => write!(f, "{:>w$}", cells[i], w = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "v".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        // Numbers are right-aligned.
+        assert!(lines[2].ends_with(" 1"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn align_override_changes_column_side() {
+        let mut t = TextTable::new(vec!["h".into(), "v".into()]);
+        t.align(1, Align::Left);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let rendered = t.to_string();
+        let lines: Vec<&str> = rendered.lines().map(str::trim_end).collect();
+        assert!(lines[2].ends_with("1"), "{:?}", lines[2]);
+        // Left-aligned: the short value no longer sits at the right edge.
+        assert!(lines[2].len() < lines[3].len());
+    }
+
+    #[test]
+    fn default_alignment_is_left_then_right() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["x".into(), "1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,454 @@
+//! The assembler: an ergonomic builder for [`Program`]s.
+//!
+//! Labels are created with [`Asm::label`], bound to the next emitted
+//! instruction with [`Asm::bind`], and may be referenced before or after
+//! binding; [`Asm::finish`] resolves them and fails on unbound labels.
+
+use std::error::Error;
+use std::fmt;
+
+use ddsc_isa::{Cond, Inst, Opcode, Reg, Src2};
+
+use crate::Program;
+
+/// A forward- or backward-referenced code location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors from [`Asm::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(usize),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(i) => write!(f, "label {i} referenced but never bound"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Builder producing [`Program`]s.
+///
+/// Mnemonic conventions: register-register forms take a plain name
+/// (`add`, `ld`), immediate forms append `i` or `o` for memory offsets
+/// (`addi`, `ldo`). Stores name the *data* register first, matching
+/// SPARC's `st rd, [address]` order.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_vm::Asm;
+/// use ddsc_isa::Reg;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut asm = Asm::new();
+/// let (a, b) = (Reg::new(1), Reg::new(2));
+/// asm.movi(a, 5);
+/// asm.addi(b, a, 1);
+/// let program = asm.finish()?;
+/// assert_eq!(program.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: Vec<Option<u32>>,
+    /// (instruction index, label) pairs awaiting resolution.
+    patches: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label {} bound twice",
+            label.0
+        );
+        self.labels[label.0] = Some(self.insts.len() as u32);
+    }
+
+    /// The positions of all bound labels — the block entry points used
+    /// by [`sched::schedule`](crate::sched::schedule).
+    pub fn block_starts(&self) -> Vec<u32> {
+        self.labels.iter().flatten().copied().collect()
+    }
+
+    /// Resolves all label references and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was
+    /// never bound.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        for &(inst_idx, label) in &self.patches {
+            let target = self.labels[label.0].ok_or(AsmError::UnboundLabel(label.0))?;
+            self.insts[inst_idx].target = target;
+        }
+        Ok(Program::new(self.insts))
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    fn emit_branch(&mut self, op: Opcode, label: Label) {
+        self.patches.push((self.insts.len(), label));
+        self.emit(Inst::control(op, 0));
+    }
+
+    // ---- arithmetic ----
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Add, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Add, rd, rs1, Src2::Imm(imm)));
+    }
+
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Sub, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 - imm`
+    pub fn subi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Sub, rd, rs1, Src2::Imm(imm)));
+    }
+
+    /// `rd = rs1 * rs2` (2-cycle class)
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Mul, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 * imm`
+    pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Mul, rd, rs1, Src2::Imm(imm)));
+    }
+
+    /// `rd = rs1 / rs2` (signed; 12-cycle class)
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Div, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 / imm`
+    pub fn divi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Div, rd, rs1, Src2::Imm(imm)));
+    }
+
+    // ---- logicals ----
+
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::And, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::And, rd, rs1, Src2::Imm(imm)));
+    }
+
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Or, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Or, rd, rs1, Src2::Imm(imm)));
+    }
+
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Xor, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Xor, rd, rs1, Src2::Imm(imm)));
+    }
+
+    /// `rd = rs1 & !rs2`
+    pub fn andn(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Andn, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 | !rs2`
+    pub fn orn(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Orn, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = !(rs1 ^ rs2)`
+    pub fn xnor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Xnor, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    // ---- shifts ----
+
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Sll, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Sll, rd, rs1, Src2::Imm(imm)));
+    }
+
+    /// `rd = rs1 >> rs2` (logical)
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Srl, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 >> imm` (logical)
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Srl, rd, rs1, Src2::Imm(imm)));
+    }
+
+    /// `rd = rs1 >> rs2` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Sra, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = rs1 >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Sra, rd, rs1, Src2::Imm(imm)));
+    }
+
+    // ---- moves ----
+
+    /// `rd = rs`
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Inst::alu(Opcode::Mov, rd, Reg::G0, Src2::Reg(rs)));
+    }
+
+    /// `rd = imm`
+    pub fn movi(&mut self, rd: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Mov, rd, Reg::G0, Src2::Imm(imm)));
+    }
+
+    /// `rd = imm << 10` (upper-constant load)
+    pub fn sethi(&mut self, rd: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Sethi, rd, Reg::G0, Src2::Imm(imm)));
+    }
+
+    // ---- compare ----
+
+    /// `%icc = flags(rs1 - rs2)`
+    pub fn cmp(&mut self, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Cmp, Reg::G0, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `%icc = flags(rs1 - imm)`
+    pub fn cmpi(&mut self, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Cmp, Reg::G0, rs1, Src2::Imm(imm)));
+    }
+
+    // ---- memory ----
+
+    /// `rd = mem32[rs1 + rs2]`
+    pub fn ld(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Ld, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = mem32[rs1 + imm]`
+    pub fn ldo(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Ld, rd, rs1, Src2::Imm(imm)));
+    }
+
+    /// `rd = mem8[rs1 + rs2]` (zero-extended)
+    pub fn ldb(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Ldb, rd, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `rd = mem8[rs1 + imm]` (zero-extended)
+    pub fn ldbo(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Ldb, rd, rs1, Src2::Imm(imm)));
+    }
+
+    /// `mem32[rs1 + rs2] = rdata`
+    pub fn st(&mut self, rdata: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::St, rdata, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `mem32[rs1 + imm] = rdata`
+    pub fn sto(&mut self, rdata: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::St, rdata, rs1, Src2::Imm(imm)));
+    }
+
+    /// `mem8[rs1 + rs2] = rdata & 0xff`
+    pub fn stb(&mut self, rdata: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::alu(Opcode::Stb, rdata, rs1, Src2::Reg(rs2)));
+    }
+
+    /// `mem8[rs1 + imm] = rdata & 0xff`
+    pub fn stbo(&mut self, rdata: Reg, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Stb, rdata, rs1, Src2::Imm(imm)));
+    }
+
+    // ---- control ----
+
+    /// Branch if equal.
+    pub fn beq(&mut self, l: Label) {
+        self.emit_branch(Opcode::Bcc(Cond::Eq), l);
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, l: Label) {
+        self.emit_branch(Opcode::Bcc(Cond::Ne), l);
+    }
+
+    /// Branch if signed less-than.
+    pub fn blt(&mut self, l: Label) {
+        self.emit_branch(Opcode::Bcc(Cond::Lt), l);
+    }
+
+    /// Branch if signed less-or-equal.
+    pub fn ble(&mut self, l: Label) {
+        self.emit_branch(Opcode::Bcc(Cond::Le), l);
+    }
+
+    /// Branch if signed greater-than.
+    pub fn bgt(&mut self, l: Label) {
+        self.emit_branch(Opcode::Bcc(Cond::Gt), l);
+    }
+
+    /// Branch if signed greater-or-equal.
+    pub fn bge(&mut self, l: Label) {
+        self.emit_branch(Opcode::Bcc(Cond::Ge), l);
+    }
+
+    /// Branch if unsigned less-than.
+    pub fn bltu(&mut self, l: Label) {
+        self.emit_branch(Opcode::Bcc(Cond::Ltu), l);
+    }
+
+    /// Branch if unsigned greater-or-equal.
+    pub fn bgeu(&mut self, l: Label) {
+        self.emit_branch(Opcode::Bcc(Cond::Geu), l);
+    }
+
+    /// Unconditional branch.
+    pub fn ba(&mut self, l: Label) {
+        self.emit_branch(Opcode::Ba, l);
+    }
+
+    /// Call: `%r15 = pc`, jump to `l`.
+    pub fn call(&mut self, l: Label) {
+        self.emit_branch(Opcode::Call, l);
+    }
+
+    /// Return: jump to `%r15 + 4`.
+    pub fn ret(&mut self) {
+        self.emit(Inst::alu(Opcode::Ret, Reg::G0, Reg::LINK, Src2::None));
+    }
+
+    /// Indirect jump to `rs1 + imm`.
+    pub fn jmp(&mut self, rs1: Reg, imm: i32) {
+        self.emit(Inst::alu(Opcode::Jmp, Reg::G0, rs1, Src2::Imm(imm)));
+    }
+
+    /// No-op (present in programs, filtered from traces).
+    pub fn nop(&mut self) {
+        self.emit(Inst::nop());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Asm::new();
+        let fwd = asm.label();
+        let back = asm.label();
+        asm.bind(back);
+        asm.nop(); // 0
+        asm.ba(fwd); // 1 -> 3
+        asm.ba(back); // 2 -> 0
+        asm.bind(fwd);
+        asm.nop(); // 3
+        let p = asm.finish().unwrap();
+        assert_eq!(p.insts()[1].target, 3);
+        assert_eq!(p.insts()[2].target, 0);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Asm::new();
+        let l = asm.label();
+        asm.ba(l);
+        assert_eq!(asm.finish(), Err(AsmError::UnboundLabel(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Asm::new();
+        let l = asm.label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn store_names_data_register_first() {
+        let mut asm = Asm::new();
+        asm.sto(Reg::new(7), Reg::new(8), 12);
+        let p = asm.finish().unwrap();
+        let inst = p.insts()[0];
+        assert_eq!(inst.rd, Reg::new(7), "data register");
+        assert_eq!(inst.rs1, Reg::new(8), "base register");
+    }
+
+    #[test]
+    fn len_tracks_emissions() {
+        let mut asm = Asm::new();
+        assert!(asm.is_empty());
+        asm.movi(Reg::new(1), 3);
+        asm.nop();
+        assert_eq!(asm.len(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            AsmError::UnboundLabel(4).to_string(),
+            "label 4 referenced but never bound"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! A small register-machine virtual machine.
+//!
+//! The paper's traces come from instrumented SPARC binaries; this crate is
+//! the stand-in: benchmark *programs* are written against [`Asm`], executed
+//! by [`Machine`], and every retired instruction is appended to a
+//! [`Trace`](ddsc_trace::Trace) with genuine register dataflow, effective
+//! addresses, dynamically-detected zero operands and branch outcomes.
+//!
+//! The machine is the 32-bit integer subset of SPARC v8 described in
+//! [`ddsc-isa`](../ddsc_isa/index.html): 32 GPRs with a hardwired zero
+//! register, integer condition codes, little-endian byte-addressable
+//! memory.
+//!
+//! # Examples
+//!
+//! Count down from 10, producing a 31-instruction trace:
+//!
+//! ```
+//! use ddsc_vm::{Asm, Machine};
+//! use ddsc_isa::Reg;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let r1 = Reg::new(1);
+//! let mut asm = Asm::new();
+//! asm.movi(r1, 10);
+//! let top = asm.label();
+//! asm.bind(top);
+//! asm.subi(r1, r1, 1);
+//! asm.cmpi(r1, 0);
+//! asm.bne(top);
+//! let program = asm.finish()?;
+//!
+//! let mut machine = Machine::new(program);
+//! let trace = machine.run_trace("countdown", 1_000_000)?;
+//! assert_eq!(trace.len(), 1 + 3 * 10);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod machine;
+pub mod mem;
+pub mod program;
+pub mod sched;
+
+pub use asm::{Asm, AsmError, Label};
+pub use machine::{Machine, VmError};
+pub use mem::Memory;
+pub use program::Program;
+pub use sched::{schedule, schedule_program};

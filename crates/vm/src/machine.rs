@@ -1,0 +1,700 @@
+//! The interpreter.
+
+use std::error::Error;
+use std::fmt;
+
+use ddsc_isa::{Icc, Opcode, Reg, Src2};
+use ddsc_trace::record::{ZERO_RS1, ZERO_RS2};
+use ddsc_trace::{Trace, TraceInst};
+
+use crate::{Memory, Program};
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// A word access to a non-word-aligned address.
+    Misaligned {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The offending effective address.
+        addr: u32,
+    },
+    /// Division by zero.
+    DivByZero {
+        /// PC of the faulting instruction.
+        pc: u32,
+    },
+    /// An indirect jump left the program (and was not the halt sentinel).
+    WildJump {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The computed target.
+        target: u32,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Misaligned { pc, addr } => {
+                write!(f, "misaligned word access to {addr:#x} at pc {pc:#x}")
+            }
+            VmError::DivByZero { pc } => write!(f, "division by zero at pc {pc:#x}"),
+            VmError::WildJump { pc, target } => {
+                write!(f, "wild jump to {target:#x} at pc {pc:#x}")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+/// The virtual machine: registers, condition codes, memory and a program.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    regs: [u32; 32],
+    icc: Icc,
+    mem: Memory,
+    program: Program,
+    /// Next instruction index, or `None` once halted.
+    pc_idx: Option<usize>,
+    retired: u64,
+}
+
+impl Machine {
+    /// Byte address that halts the machine when jumped to.
+    pub const HALT_PC: u32 = 0xFFFF_FFFC;
+
+    /// Initial stack pointer.
+    pub const STACK_TOP: u32 = 0xF000_0000;
+
+    /// Creates a machine about to execute `program` from its first
+    /// instruction, with the stack pointer at [`Machine::STACK_TOP`] and
+    /// the link register set up so that a top-level `ret` halts.
+    pub fn new(program: Program) -> Self {
+        let mut regs = [0u32; 32];
+        regs[Reg::SP.index()] = Self::STACK_TOP;
+        regs[Reg::LINK.index()] = Self::HALT_PC.wrapping_sub(4);
+        let pc_idx = if program.is_empty() { None } else { Some(0) };
+        Machine {
+            regs,
+            icc: Icc::default(),
+            mem: Memory::new(),
+            program,
+            pc_idx,
+            retired: 0,
+        }
+    }
+
+    /// Reads an architectural register (`%g0` reads as zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r.is_zero() || r.is_icc() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes an architectural register (writes to `%g0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() && !r.is_icc() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The machine's memory (workload setup writes here before running).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Replaces the program with its list-scheduled equivalent (see
+    /// [`crate::sched`]) — the compiler stand-in used by the scheduling
+    /// sensitivity experiments. Memory and register state (workload
+    /// inputs) are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instruction has already executed.
+    pub fn reschedule(&mut self) {
+        assert_eq!(self.retired, 0, "reschedule before running");
+        self.program = crate::sched::schedule_program(&self.program);
+        self.pc_idx = if self.program.is_empty() { None } else { Some(0) };
+    }
+
+    /// Whether execution has halted.
+    pub fn is_halted(&self) -> bool {
+        self.pc_idx.is_none()
+    }
+
+    /// Total non-nop instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    fn read(&self, r: Reg) -> u32 {
+        self.reg(r)
+    }
+
+    /// Executes one instruction; returns its trace record (`None` for
+    /// nops and when already halted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] on misaligned word accesses, division by
+    /// zero and wild indirect jumps.
+    pub fn step(&mut self) -> Result<Option<TraceInst>, VmError> {
+        let Some(idx) = self.pc_idx else {
+            return Ok(None);
+        };
+        if idx >= self.program.len() {
+            self.pc_idx = None;
+            return Ok(None);
+        }
+        let inst = self.program.insts()[idx];
+        let pc = self.program.pc_of(idx);
+        let mut next = Some(idx + 1);
+
+        // Resolve the second operand.
+        let (src2_val, rs2, imm) = match inst.src2 {
+            Src2::Reg(r) => (self.read(r), Some(r), None),
+            Src2::Imm(i) => (i as u32, None, Some(i)),
+            Src2::None => (0, None, None),
+        };
+        let rs1_val = self.read(inst.rs1);
+        let mut zf = 0u8;
+        if rs1_val == 0 {
+            zf |= ZERO_RS1;
+        }
+        if rs2.is_some() && src2_val == 0 {
+            zf |= ZERO_RS2;
+        }
+
+        let record = match inst.op {
+            Opcode::Nop => {
+                self.pc_idx = advance(next, self.program.len());
+                return Ok(None);
+            }
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Andn
+            | Opcode::Orn
+            | Opcode::Xnor
+            | Opcode::Sll
+            | Opcode::Srl
+            | Opcode::Sra
+            | Opcode::Mul => {
+                let result = match inst.op {
+                    Opcode::Add => rs1_val.wrapping_add(src2_val),
+                    Opcode::Sub => rs1_val.wrapping_sub(src2_val),
+                    Opcode::And => rs1_val & src2_val,
+                    Opcode::Or => rs1_val | src2_val,
+                    Opcode::Xor => rs1_val ^ src2_val,
+                    Opcode::Andn => rs1_val & !src2_val,
+                    Opcode::Orn => rs1_val | !src2_val,
+                    Opcode::Xnor => !(rs1_val ^ src2_val),
+                    Opcode::Sll => rs1_val.wrapping_shl(src2_val & 31),
+                    Opcode::Srl => rs1_val.wrapping_shr(src2_val & 31),
+                    Opcode::Sra => ((rs1_val as i32).wrapping_shr(src2_val & 31)) as u32,
+                    Opcode::Mul => rs1_val.wrapping_mul(src2_val),
+                    _ => unreachable!(),
+                };
+                self.set_reg(inst.rd, result);
+                TraceInst::alu(pc, inst.op, inst.rd, inst.rs1, rs2, imm, zf)
+            }
+            Opcode::Div => {
+                if src2_val == 0 {
+                    return Err(VmError::DivByZero { pc });
+                }
+                let result = (rs1_val as i32).wrapping_div(src2_val as i32) as u32;
+                self.set_reg(inst.rd, result);
+                TraceInst::alu(pc, inst.op, inst.rd, inst.rs1, rs2, imm, zf)
+            }
+            Opcode::Mov => {
+                self.set_reg(inst.rd, src2_val);
+                TraceInst::mov(pc, inst.op, inst.rd, rs2, imm, zf)
+            }
+            Opcode::Sethi => {
+                let value = (imm.unwrap_or(0) as u32) << 10;
+                self.set_reg(inst.rd, value);
+                TraceInst::mov(pc, inst.op, inst.rd, None, imm, zf)
+            }
+            Opcode::Cmp => {
+                self.icc = Icc::from_sub(rs1_val, src2_val);
+                TraceInst::cmp(pc, inst.rs1, rs2, imm, zf)
+            }
+            Opcode::Ld => {
+                let ea = rs1_val.wrapping_add(src2_val);
+                if ea % 4 != 0 {
+                    return Err(VmError::Misaligned { pc, addr: ea });
+                }
+                let value = self.mem.read_u32(ea);
+                self.set_reg(inst.rd, value);
+                TraceInst::load(pc, inst.op, inst.rd, inst.rs1, rs2, imm, zf, ea)
+            }
+            Opcode::Ldb => {
+                let ea = rs1_val.wrapping_add(src2_val);
+                let value = u32::from(self.mem.read_u8(ea));
+                self.set_reg(inst.rd, value);
+                TraceInst::load(pc, inst.op, inst.rd, inst.rs1, rs2, imm, zf, ea)
+            }
+            Opcode::St => {
+                let ea = rs1_val.wrapping_add(src2_val);
+                if ea % 4 != 0 {
+                    return Err(VmError::Misaligned { pc, addr: ea });
+                }
+                self.mem.write_u32(ea, self.read(inst.rd));
+                TraceInst::store(pc, inst.op, inst.rd, inst.rs1, rs2, imm, zf, ea)
+            }
+            Opcode::Stb => {
+                let ea = rs1_val.wrapping_add(src2_val);
+                self.mem.write_u8(ea, self.read(inst.rd) as u8);
+                TraceInst::store(pc, inst.op, inst.rd, inst.rs1, rs2, imm, zf, ea)
+            }
+            Opcode::Bcc(cond) => {
+                let taken = cond.eval(self.icc);
+                let target_idx = inst.target as usize;
+                let target_pc = self.program.pc_of(target_idx);
+                if taken {
+                    next = Some(target_idx);
+                }
+                TraceInst::cond_branch(pc, inst.op, taken, target_pc)
+            }
+            Opcode::Ba => {
+                let target_idx = inst.target as usize;
+                next = Some(target_idx);
+                TraceInst::uncond(pc, inst.op, None, None, self.program.pc_of(target_idx))
+            }
+            Opcode::Call => {
+                let target_idx = inst.target as usize;
+                self.set_reg(Reg::LINK, pc);
+                next = Some(target_idx);
+                TraceInst::uncond(
+                    pc,
+                    inst.op,
+                    Some(Reg::LINK),
+                    None,
+                    self.program.pc_of(target_idx),
+                )
+            }
+            Opcode::Ret | Opcode::Jmp => {
+                let target = if inst.op == Opcode::Ret {
+                    rs1_val.wrapping_add(4)
+                } else {
+                    rs1_val.wrapping_add(src2_val)
+                };
+                if target == Self::HALT_PC {
+                    next = None;
+                } else {
+                    match self.program.index_of(target) {
+                        Some(t) => next = Some(t),
+                        None => return Err(VmError::WildJump { pc, target }),
+                    }
+                }
+                TraceInst::uncond(pc, inst.op, None, Some(inst.rs1), target)
+            }
+        };
+
+        self.pc_idx = advance(next, self.program.len());
+        self.retired += 1;
+        // Attach the architected result for value-prediction studies
+        // (skipped for `%icc` and destination-less records).
+        let record = match record.dest {
+            Some(d) if !d.is_icc() => record.with_value(self.reg(d)),
+            _ => record,
+        };
+        Ok(Some(record))
+    }
+
+    /// Runs until halt or until `max_insts` non-nop instructions have been
+    /// retired, passing each record to `sink`.
+    ///
+    /// Returns the number of records emitted. A `&mut` closure reference
+    /// works as the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`VmError`] encountered.
+    pub fn run<F: FnMut(TraceInst)>(
+        &mut self,
+        max_insts: usize,
+        mut sink: F,
+    ) -> Result<usize, VmError> {
+        let mut emitted = 0;
+        while emitted < max_insts && !self.is_halted() {
+            if let Some(rec) = self.step()? {
+                sink(rec);
+                emitted += 1;
+            }
+        }
+        Ok(emitted)
+    }
+
+    /// Runs and collects the trace (convenience wrapper over [`Machine::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`VmError`] encountered.
+    pub fn run_trace(&mut self, name: &str, max_insts: usize) -> Result<Trace, VmError> {
+        let mut trace = Trace::new(name);
+        self.run(max_insts, |rec| trace.push(rec))?;
+        Ok(trace)
+    }
+}
+
+fn advance(next: Option<usize>, len: usize) -> Option<usize> {
+    match next {
+        Some(i) if i < len => Some(i),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asm;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn alu_semantics() {
+        let mut asm = Asm::new();
+        asm.movi(r(1), 6);
+        asm.movi(r(2), 3);
+        asm.add(r(3), r(1), r(2)); // 9
+        asm.sub(r(4), r(1), r(2)); // 3
+        asm.mul(r(5), r(1), r(2)); // 18
+        asm.div(r(6), r(1), r(2)); // 2
+        asm.slli(r(7), r(1), 2); // 24
+        asm.srai(r(8), r(1), 1); // 3
+        asm.xor(r(9), r(1), r(2)); // 5
+        asm.andn(r(10), r(1), r(2)); // 6 & !3 = 4
+        let mut m = Machine::new(asm.finish().unwrap());
+        m.run(100, |_| {}).unwrap();
+        assert_eq!(m.reg(r(3)), 9);
+        assert_eq!(m.reg(r(4)), 3);
+        assert_eq!(m.reg(r(5)), 18);
+        assert_eq!(m.reg(r(6)), 2);
+        assert_eq!(m.reg(r(7)), 24);
+        assert_eq!(m.reg(r(8)), 3);
+        assert_eq!(m.reg(r(9)), 5);
+        assert_eq!(m.reg(r(10)), 4);
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    fn sra_is_arithmetic() {
+        let mut asm = Asm::new();
+        asm.movi(r(1), -8);
+        asm.srai(r(2), r(1), 1);
+        asm.srli(r(3), r(1), 1);
+        let mut m = Machine::new(asm.finish().unwrap());
+        m.run(10, |_| {}).unwrap();
+        assert_eq!(m.reg(r(2)) as i32, -4);
+        assert_eq!(m.reg(r(3)), (-8i32 as u32) >> 1);
+    }
+
+    #[test]
+    fn g0_is_immutable() {
+        let mut asm = Asm::new();
+        asm.movi(Reg::G0, 42);
+        asm.add(r(1), Reg::G0, Reg::G0);
+        let mut m = Machine::new(asm.finish().unwrap());
+        m.run(10, |_| {}).unwrap();
+        assert_eq!(m.reg(Reg::G0), 0);
+        assert_eq!(m.reg(r(1)), 0);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip_through_memory() {
+        let mut asm = Asm::new();
+        asm.sethi(r(1), 0x20); // 0x8000
+        asm.movi(r(2), 77);
+        asm.sto(r(2), r(1), 4);
+        asm.ldo(r(3), r(1), 4);
+        asm.stbo(r(2), r(1), 9);
+        asm.ldbo(r(4), r(1), 9);
+        let mut m = Machine::new(asm.finish().unwrap());
+        m.run(10, |_| {}).unwrap();
+        assert_eq!(m.reg(r(3)), 77);
+        assert_eq!(m.reg(r(4)), 77);
+        assert_eq!(m.mem().read_u32(0x8004), 77);
+    }
+
+    #[test]
+    fn misaligned_word_access_errors() {
+        let mut asm = Asm::new();
+        asm.movi(r(1), 0x8001);
+        asm.ldo(r(2), r(1), 0);
+        let mut m = Machine::new(asm.finish().unwrap());
+        let err = m.run(10, |_| {}).unwrap_err();
+        assert!(matches!(err, VmError::Misaligned { addr: 0x8001, .. }));
+    }
+
+    #[test]
+    fn div_by_zero_errors() {
+        let mut asm = Asm::new();
+        asm.movi(r(1), 10);
+        asm.div(r(2), r(1), Reg::G0);
+        let mut m = Machine::new(asm.finish().unwrap());
+        let err = m.run(10, |_| {}).unwrap_err();
+        assert!(matches!(err, VmError::DivByZero { .. }));
+    }
+
+    #[test]
+    fn loop_executes_expected_count() {
+        let mut asm = Asm::new();
+        asm.movi(r(1), 5);
+        let top = asm.label();
+        asm.bind(top);
+        asm.subi(r(1), r(1), 1);
+        asm.cmpi(r(1), 0);
+        asm.bne(top);
+        let mut m = Machine::new(asm.finish().unwrap());
+        let trace = m.run_trace("loop", 1000).unwrap();
+        assert_eq!(trace.len(), 1 + 5 * 3);
+        // Four taken, one fall-through.
+        let stats = trace.stats();
+        assert_eq!(stats.cond_branches(), 5);
+        assert_eq!(stats.taken_branches(), 4);
+    }
+
+    #[test]
+    fn call_and_ret_nest_correctly() {
+        let mut asm = Asm::new();
+        let func = asm.label();
+        let done = asm.label();
+        asm.movi(r(1), 1);
+        asm.call(func);
+        asm.movi(r(3), 99); // executed after return
+        asm.ba(done);
+        asm.bind(func);
+        asm.addi(r(2), r(1), 10);
+        asm.ret();
+        asm.bind(done);
+        let mut m = Machine::new(asm.finish().unwrap());
+        m.run(100, |_| {}).unwrap();
+        assert_eq!(m.reg(r(2)), 11);
+        assert_eq!(m.reg(r(3)), 99);
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    fn top_level_ret_halts() {
+        let mut asm = Asm::new();
+        asm.movi(r(1), 1);
+        asm.ret();
+        asm.movi(r(1), 2); // never executed
+        let mut m = Machine::new(asm.finish().unwrap());
+        m.run(100, |_| {}).unwrap();
+        assert!(m.is_halted());
+        assert_eq!(m.reg(r(1)), 1);
+    }
+
+    #[test]
+    fn wild_jump_is_an_error() {
+        let mut asm = Asm::new();
+        asm.movi(r(1), 0x123456);
+        asm.jmp(r(1), 0);
+        let mut m = Machine::new(asm.finish().unwrap());
+        let err = m.run(10, |_| {}).unwrap_err();
+        assert!(matches!(err, VmError::WildJump { .. }));
+    }
+
+    #[test]
+    fn nops_execute_but_do_not_trace() {
+        let mut asm = Asm::new();
+        asm.nop();
+        asm.movi(r(1), 1);
+        asm.nop();
+        let mut m = Machine::new(asm.finish().unwrap());
+        let trace = m.run_trace("nops", 100).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(m.retired(), 1);
+    }
+
+    #[test]
+    fn max_insts_caps_the_run() {
+        let mut asm = Asm::new();
+        let top = asm.label();
+        asm.bind(top);
+        asm.addi(r(1), r(1), 1);
+        asm.ba(top); // infinite loop
+        let mut m = Machine::new(asm.finish().unwrap());
+        let trace = m.run_trace("inf", 1000).unwrap();
+        assert_eq!(trace.len(), 1000);
+        assert!(!m.is_halted());
+    }
+
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone, Copy)]
+        enum Op {
+            Add,
+            Sub,
+            And,
+            Or,
+            Xor,
+            Andn,
+            Orn,
+            Xnor,
+            Sll,
+            Srl,
+            Sra,
+            Mul,
+        }
+
+        fn op_strategy() -> impl Strategy<Value = (Op, u8, u8, i32)> {
+            (
+                prop_oneof![
+                    Just(Op::Add),
+                    Just(Op::Sub),
+                    Just(Op::And),
+                    Just(Op::Or),
+                    Just(Op::Xor),
+                    Just(Op::Andn),
+                    Just(Op::Orn),
+                    Just(Op::Xnor),
+                    Just(Op::Sll),
+                    Just(Op::Srl),
+                    Just(Op::Sra),
+                    Just(Op::Mul),
+                ],
+                1u8..8,
+                1u8..8,
+                any::<i32>(),
+            )
+        }
+
+        fn oracle(op: Op, a: u32, b: u32) -> u32 {
+            match op {
+                Op::Add => a.wrapping_add(b),
+                Op::Sub => a.wrapping_sub(b),
+                Op::And => a & b,
+                Op::Or => a | b,
+                Op::Xor => a ^ b,
+                Op::Andn => a & !b,
+                Op::Orn => a | !b,
+                Op::Xnor => !(a ^ b),
+                Op::Sll => a.wrapping_shl(b & 31),
+                Op::Srl => a.wrapping_shr(b & 31),
+                Op::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+                Op::Mul => a.wrapping_mul(b),
+            }
+        }
+
+        proptest! {
+            /// The interpreter agrees with a native Rust oracle on every
+            /// ALU operation over random operand streams (differential
+            /// testing of the execution semantics).
+            #[test]
+            fn interpreter_matches_native_semantics(
+                seeds in proptest::collection::vec(any::<u32>(), 7..8),
+                ops in proptest::collection::vec(op_strategy(), 1..40),
+            ) {
+                let mut asm = Asm::new();
+                for (i, &sv) in seeds.iter().enumerate() {
+                    // movi takes i32; materialise full u32 via sethi+ori.
+                    asm.sethi(r(i as u8 + 1), (sv >> 10) as i32);
+                    asm.ori(r(i as u8 + 1), r(i as u8 + 1), (sv & 0x3FF) as i32);
+                }
+                for &(op, rs1, rs2, _) in &ops {
+                    let (d, a, b) = (r(rs1 % 7 + 1), r(rs1), r(rs2));
+                    match op {
+                        Op::Add => asm.add(d, a, b),
+                        Op::Sub => asm.sub(d, a, b),
+                        Op::And => asm.and(d, a, b),
+                        Op::Or => asm.or(d, a, b),
+                        Op::Xor => asm.xor(d, a, b),
+                        Op::Andn => asm.andn(d, a, b),
+                        Op::Orn => asm.orn(d, a, b),
+                        Op::Xnor => asm.xnor(d, a, b),
+                        Op::Sll => asm.sll(d, a, b),
+                        Op::Srl => asm.srl(d, a, b),
+                        Op::Sra => asm.sra(d, a, b),
+                        Op::Mul => asm.mul(d, a, b),
+                    }
+                }
+                let mut machine = Machine::new(asm.finish().unwrap());
+                machine.run(100_000, |_| {}).unwrap();
+
+                // Replay natively.
+                let mut regs = [0u32; 8];
+                for (i, &sv) in seeds.iter().enumerate() {
+                    regs[i + 1] = ((sv >> 10) << 10) | (sv & 0x3FF);
+                }
+                for &(op, rs1, rs2, _) in &ops {
+                    let v = oracle(op, regs[rs1 as usize], regs[rs2 as usize]);
+                    regs[(rs1 % 7 + 1) as usize] = v;
+                }
+                for i in 1..8u8 {
+                    prop_assert_eq!(
+                        machine.reg(r(i)),
+                        regs[i as usize],
+                        "register r{} diverged", i
+                    );
+                }
+            }
+
+            /// Memory round trips: a random sequence of word stores then
+            /// loads reproduces the stored values exactly.
+            #[test]
+            fn memory_semantics_roundtrip(
+                writes in proptest::collection::vec((0u32..256, any::<i32>()), 1..24),
+            ) {
+                let mut asm = Asm::new();
+                asm.sethi(r(10), 0x40); // base 0x10000
+                for &(slot, val) in &writes {
+                    asm.movi(r(1), val);
+                    asm.sto(r(1), r(10), (slot * 4) as i32);
+                }
+                // Read each slot back into r2 and accumulate a checksum.
+                asm.movi(r(3), 0);
+                for &(slot, _) in &writes {
+                    asm.ldo(r(2), r(10), (slot * 4) as i32);
+                    asm.xor(r(3), r(3), r(2));
+                    asm.addi(r(3), r(3), 1);
+                }
+                let mut machine = Machine::new(asm.finish().unwrap());
+                machine.run(100_000, |_| {}).unwrap();
+
+                // Native replay.
+                let mut mem = std::collections::HashMap::new();
+                for &(slot, val) in &writes {
+                    mem.insert(slot, val as u32);
+                }
+                let mut check = 0u32;
+                for &(slot, _) in &writes {
+                    check ^= mem[&slot];
+                    check = check.wrapping_add(1);
+                }
+                prop_assert_eq!(machine.reg(r(3)), check);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_records_effective_addresses_and_zero_flags() {
+        let mut asm = Asm::new();
+        asm.sethi(r(1), 16); // 0x4000
+        asm.ldo(r(2), r(1), 0); // zero offset -> ldr0 pattern
+        let mut m = Machine::new(asm.finish().unwrap());
+        let trace = m.run_trace("z", 100).unwrap();
+        let load = trace.insts().iter().find(|i| i.is_load()).unwrap();
+        assert_eq!(load.ea, Some(0x4000));
+        assert_eq!(load.optype().unwrap().to_string(), "ldr0");
+    }
+}

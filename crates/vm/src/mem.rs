@@ -1,0 +1,180 @@
+//! Sparse byte-addressable memory.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 16;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const OFFSET_MASK: u32 = (PAGE_SIZE - 1) as u32;
+
+/// A sparse, little-endian, byte-addressable 32-bit memory.
+///
+/// Pages of 64 KiB are allocated on first touch; untouched memory reads
+/// as zero, so workloads can treat the address space as zero-initialised
+/// (matching what a fresh process image would give them).
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_vm::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u32(0x8000, 0xDEAD_BEEF);
+/// assert_eq!(mem.read_u32(0x8000), 0xDEAD_BEEF);
+/// assert_eq!(mem.read_u8(0x8000), 0xEF); // little endian
+/// assert_eq!(mem.read_u32(0x1234_0000), 0); // untouched
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of resident pages (for footprint diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(page) => page[(addr & OFFSET_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr & OFFSET_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian 32-bit word. The address may be unaligned
+    /// (the VM layer enforces alignment for `ld`/`st`; this raw accessor
+    /// does not).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        // Fast path: whole word within one page.
+        if addr & OFFSET_MASK <= OFFSET_MASK - 3 {
+            match self.pages.get(&(addr >> PAGE_BITS)) {
+                Some(page) => {
+                    let off = (addr & OFFSET_MASK) as usize;
+                    u32::from_le_bytes([page[off], page[off + 1], page[off + 2], page[off + 3]])
+                }
+                None => 0,
+            }
+        } else {
+            u32::from_le_bytes([
+                self.read_u8(addr),
+                self.read_u8(addr.wrapping_add(1)),
+                self.read_u8(addr.wrapping_add(2)),
+                self.read_u8(addr.wrapping_add(3)),
+            ])
+        }
+    }
+
+    /// Writes a little-endian 32-bit word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let bytes = value.to_le_bytes();
+        if addr & OFFSET_MASK <= OFFSET_MASK - 3 {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_BITS)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            let off = (addr & OFFSET_MASK) as usize;
+            page[off..off + 4].copy_from_slice(&bytes);
+        } else {
+            for (i, b) in bytes.into_iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), b);
+            }
+        }
+    }
+
+    /// Bulk-writes a byte slice starting at `addr` (workload setup).
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Bulk-writes 32-bit words starting at `addr` (workload setup).
+    pub fn write_words(&mut self, addr: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_u32(addr.wrapping_add(4 * i as u32), w);
+        }
+    }
+
+    /// Bulk-reads `n` words starting at `addr` (test verification).
+    pub fn read_words(&self, addr: u32, n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|i| self.read_u32(addr.wrapping_add(4 * i as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u32(u32::MAX - 7), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn word_access_is_little_endian() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x100, 0x0403_0201);
+        assert_eq!(mem.read_u8(0x100), 1);
+        assert_eq!(mem.read_u8(0x103), 4);
+    }
+
+    #[test]
+    fn cross_page_word_access_works() {
+        let mut mem = Memory::new();
+        let addr = (1 << PAGE_BITS) - 2; // straddles the page boundary
+        mem.write_u32(addr, 0xAABB_CCDD);
+        assert_eq!(mem.read_u32(addr), 0xAABB_CCDD);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_helpers_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_words(0x2000, &[1, 2, 3]);
+        assert_eq!(mem.read_words(0x2000, 3), vec![1, 2, 3]);
+        mem.write_bytes(0x3000, b"hi");
+        assert_eq!(mem.read_u8(0x3001), b'i');
+    }
+
+    proptest! {
+        /// Read-after-write returns the written value at arbitrary
+        /// addresses, including page boundaries.
+        #[test]
+        fn read_after_write(addr in any::<u32>(), value in any::<u32>()) {
+            let mut mem = Memory::new();
+            mem.write_u32(addr, value);
+            prop_assert_eq!(mem.read_u32(addr), value);
+        }
+
+        /// Writes to disjoint word addresses do not interfere.
+        #[test]
+        fn disjoint_writes_do_not_clobber(base in 0u32..0xFFFF_FF00, a in any::<u32>(), b in any::<u32>()) {
+            let mut mem = Memory::new();
+            mem.write_u32(base, a);
+            mem.write_u32(base + 4, b);
+            prop_assert_eq!(mem.read_u32(base), a);
+            prop_assert_eq!(mem.read_u32(base + 4), b);
+        }
+    }
+}

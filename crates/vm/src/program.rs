@@ -1,0 +1,95 @@
+//! Finished programs.
+
+use std::fmt;
+
+use ddsc_isa::Inst;
+
+/// Base byte address of instruction 0 in every program.
+pub const BASE_PC: u32 = 0x1000;
+
+/// A finished, executable program: a sequence of [`Inst`]s with branch
+/// targets resolved to instruction indices.
+///
+/// Instruction `i` lives at byte PC `BASE_PC + 4*i`. Execution halts when
+/// control falls off the end of the program or jumps to
+/// [`Machine::HALT_PC`](crate::Machine::HALT_PC).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Wraps a resolved instruction sequence (normally produced by
+    /// [`Asm::finish`](crate::Asm::finish)).
+    pub fn new(insts: Vec<Inst>) -> Self {
+        Program { insts }
+    }
+
+    /// The instructions.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The byte PC of instruction `index`.
+    pub fn pc_of(&self, index: usize) -> u32 {
+        BASE_PC + 4 * index as u32
+    }
+
+    /// The instruction index of a byte PC, if it falls inside the program.
+    pub fn index_of(&self, pc: u32) -> Option<usize> {
+        if pc < BASE_PC || !(pc - BASE_PC).is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((pc - BASE_PC) / 4) as usize;
+        (idx < self.insts.len()).then_some(idx)
+    }
+}
+
+impl fmt::Display for Program {
+    /// Disassembly listing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{:#010x} [{i:>5}]  {inst}", self.pc_of(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_isa::{Opcode, Reg, Src2};
+
+    #[test]
+    fn pc_index_roundtrip() {
+        let p = Program::new(vec![Inst::nop(); 10]);
+        for i in 0..10 {
+            assert_eq!(p.index_of(p.pc_of(i)), Some(i));
+        }
+        assert_eq!(p.index_of(p.pc_of(10)), None);
+        assert_eq!(p.index_of(BASE_PC + 2), None, "misaligned");
+        assert_eq!(p.index_of(0), None, "below base");
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let p = Program::new(vec![
+            Inst::alu(Opcode::Add, Reg::new(1), Reg::new(2), Src2::Imm(3)),
+            Inst::control(Opcode::Ba, 0),
+        ]);
+        let listing = p.to_string();
+        assert_eq!(listing.lines().count(), 2);
+        assert!(listing.contains("add %r1, %r2, 3"));
+        assert!(listing.contains("ba @0"));
+    }
+}

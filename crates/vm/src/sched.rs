@@ -1,0 +1,316 @@
+//! Static instruction scheduling — a compiler stand-in.
+//!
+//! The paper's traces come from `gcc -O4` SPARC binaries, whose scheduler
+//! separates dependent instructions inside basic blocks. The workload
+//! programs in this repository are hand-written with dependent
+//! instructions back to back, which leaves *more* collapsible interlocks
+//! in the window than compiled code would (see the Figure 8 discussion in
+//! EXPERIMENTS.md). [`schedule`] applies a classic critical-path list
+//! scheduler to each basic block so that experiments can quantify that
+//! sensitivity.
+//!
+//! The transformation is semantics-preserving and conservative:
+//!
+//! * blocks are delimited by control transfers and by every
+//!   label-bindable position (all labels bind to block entries by
+//!   construction in [`Asm`](crate::Asm));
+//! * register RAW/WAR/WAW dependences (including `%icc`) are respected;
+//! * memory operations stay in program order relative to each other;
+//! * control instructions never move.
+
+use ddsc_isa::{Inst, OpClass, Reg, Src2};
+
+use crate::Program;
+
+/// Schedules a finished program. Block entry points are recovered from
+/// the program itself: every control-transfer target plus the entry
+/// point (labels that are never jumped to are not real entries, so this
+/// loses nothing).
+pub fn schedule_program(program: &Program) -> Program {
+    let starts: Vec<u32> = std::iter::once(0)
+        .chain(
+            program
+                .insts()
+                .iter()
+                .filter(|i| i.op.is_control())
+                .map(|i| i.target),
+        )
+        .collect();
+    Program::new(schedule(program.insts(), &starts))
+}
+
+/// Reorders instructions within basic blocks to separate dependent
+/// pairs, emulating a compiler's list scheduler.
+///
+/// `block_starts` must contain every instruction index that control can
+/// enter at (label bindings); indices past the end are ignored. Returns
+/// the scheduled instruction sequence, which is a permutation of `insts`
+/// block by block.
+pub fn schedule(insts: &[Inst], block_starts: &[u32]) -> Vec<Inst> {
+    let n = insts.len();
+    let mut is_start = vec![false; n + 1];
+    for &s in block_starts {
+        if (s as usize) <= n {
+            is_start[s as usize] = true;
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut begin = 0usize;
+    for i in 0..=n {
+        let ends_block = i == n || is_start[i];
+        if ends_block && begin < i {
+            schedule_block(&insts[begin..i], &mut out);
+            begin = i;
+        }
+        if i < n && insts[i].op.is_control() {
+            // The control instruction terminates a block and stays put.
+            if begin < i {
+                schedule_block(&insts[begin..i], &mut out);
+            }
+            out.push(insts[i]);
+            begin = i + 1;
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Register read/write sets of one instruction (conservative).
+fn reads_writes(inst: &Inst) -> (Vec<Reg>, Option<Reg>) {
+    let mut reads = Vec::new();
+    let class = inst.op.class();
+    let uses_rs1 = !matches!(class, OpClass::Move) || matches!(inst.op, ddsc_isa::Opcode::Ret | ddsc_isa::Opcode::Jmp);
+    if uses_rs1 && !inst.rs1.is_zero() {
+        reads.push(inst.rs1);
+    }
+    if let Src2::Reg(r) = inst.src2 {
+        if !r.is_zero() {
+            reads.push(r);
+        }
+    }
+    if class == OpClass::Store && !inst.rd.is_zero() {
+        reads.push(inst.rd); // store data
+    }
+    if inst.op.reads_icc() {
+        reads.push(Reg::ICC);
+    }
+    let writes = if inst.op.writes_icc() {
+        Some(Reg::ICC)
+    } else if matches!(
+        class,
+        OpClass::Arith | OpClass::Logic | OpClass::Shift | OpClass::Move | OpClass::Load | OpClass::Mul | OpClass::Div
+    ) && !inst.rd.is_zero()
+    {
+        Some(inst.rd)
+    } else {
+        None
+    };
+    (reads, writes)
+}
+
+/// Critical-path list scheduling of one straight-line block.
+fn schedule_block(block: &[Inst], out: &mut Vec<Inst>) {
+    let n = block.len();
+    if n <= 2 {
+        out.extend_from_slice(block);
+        return;
+    }
+    // Build the dependence DAG (RAW, WAR, WAW on registers and %icc;
+    // total order among memory operations).
+    let mut preds = vec![0usize; n]; // unscheduled predecessor count
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut height = vec![1u32; n];
+    let mut last_mem: Option<usize> = None;
+    let mut last_write: Vec<Option<usize>> = vec![None; Reg::COUNT];
+    let mut readers: Vec<Vec<usize>> = vec![Vec::new(); Reg::COUNT];
+
+    let add_edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, preds: &mut Vec<usize>| {
+        if from != to && !succs[from].contains(&to) {
+            succs[from].push(to);
+            preds[to] += 1;
+        }
+    };
+
+    for (i, inst) in block.iter().enumerate() {
+        let (reads, write) = reads_writes(inst);
+        for r in &reads {
+            if let Some(w) = last_write[r.index()] {
+                add_edge(w, i, &mut succs, &mut preds); // RAW
+            }
+        }
+        if let Some(d) = write {
+            if let Some(w) = last_write[d.index()] {
+                add_edge(w, i, &mut succs, &mut preds); // WAW
+            }
+            for &rd in &readers[d.index()] {
+                add_edge(rd, i, &mut succs, &mut preds); // WAR
+            }
+            readers[d.index()].clear();
+            last_write[d.index()] = Some(i);
+        }
+        for r in reads {
+            readers[r.index()].push(i);
+        }
+        if inst.op.is_load() || inst.op.is_store() {
+            if let Some(m) = last_mem {
+                add_edge(m, i, &mut succs, &mut preds);
+            }
+            last_mem = Some(i);
+        }
+    }
+
+    // Heights (longest path to a leaf) for critical-path priority.
+    for i in (0..n).rev() {
+        for &s in &succs[i] {
+            height[i] = height[i].max(height[s] + 1);
+        }
+    }
+
+    // Greedy list scheduling: among ready instructions prefer the one
+    // with the greatest height; break ties by avoiding the producer of
+    // the previously emitted instruction (separating dependent pairs),
+    // then by program order.
+    let mut ready: Vec<usize> = (0..n).filter(|&i| preds[i] == 0).collect();
+    let mut emitted = 0usize;
+    let mut last_emitted: Option<usize> = None;
+    while emitted < n {
+        let (k, &best) = ready
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &i)| {
+                let depends_on_last =
+                    last_emitted.is_some_and(|l| succs[l].contains(&i));
+                (height[i], !depends_on_last, std::cmp::Reverse(i))
+            })
+            .expect("acyclic block DAG always has a ready instruction");
+        ready.swap_remove(k);
+        out.push(block[best]);
+        emitted += 1;
+        last_emitted = Some(best);
+        for &s in &succs[best] {
+            preds[s] -= 1;
+            if preds[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asm, Machine};
+    use ddsc_isa::Reg;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// Builds, schedules and runs a program both ways; the architected
+    /// final state must be identical.
+    fn assert_equivalent(build: impl Fn(&mut Asm)) {
+        let mut asm = Asm::new();
+        build(&mut asm);
+        let starts = asm.block_starts();
+        let plain = asm.finish().unwrap();
+        let scheduled = crate::Program::new(schedule(plain.insts(), &starts));
+
+        let mut m1 = Machine::new(plain);
+        m1.run(200_000, |_| {}).unwrap();
+        let mut m2 = Machine::new(scheduled);
+        m2.run(200_000, |_| {}).unwrap();
+        for i in 1..32 {
+            assert_eq!(m1.reg(r(i)), m2.reg(r(i)), "r{i} diverged");
+        }
+    }
+
+    #[test]
+    fn independent_chains_are_interleaved() {
+        // Two independent chains written back to back: the scheduler
+        // should interleave them, increasing dependence distances.
+        let mut asm = Asm::new();
+        asm.movi(r(1), 1);
+        asm.addi(r(1), r(1), 1);
+        asm.addi(r(1), r(1), 1);
+        asm.movi(r(2), 5);
+        asm.addi(r(2), r(2), 1);
+        asm.addi(r(2), r(2), 1);
+        let starts = asm.block_starts();
+        let p = asm.finish().unwrap();
+        let s = schedule(p.insts(), &starts);
+        // Some instruction of chain 2 must now sit between chain-1 ops.
+        let chain1_positions: Vec<usize> = s
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.rd == r(1))
+            .map(|(k, _)| k)
+            .collect();
+        let contiguous = chain1_positions.windows(2).all(|w| w[1] == w[0] + 1);
+        assert!(!contiguous, "chains should interleave: {chain1_positions:?}");
+    }
+
+    #[test]
+    fn semantics_preserved_for_alu_blocks() {
+        assert_equivalent(|asm| {
+            asm.movi(r(1), 3);
+            asm.movi(r(2), 10);
+            asm.add(r(3), r(1), r(2));
+            asm.slli(r(4), r(3), 2);
+            asm.sub(r(5), r(4), r(1));
+            asm.xor(r(6), r(5), r(2));
+            asm.movi(r(7), 9);
+            asm.add(r(7), r(7), r(7));
+        });
+    }
+
+    #[test]
+    fn semantics_preserved_with_memory_and_branches() {
+        assert_equivalent(|asm| {
+            let top = asm.label();
+            let done = asm.label();
+            asm.sethi(r(10), 0x40);
+            asm.movi(r(1), 8);
+            asm.bind(top);
+            asm.slli(r(2), r(1), 2);
+            asm.add(r(2), r(2), r(10));
+            asm.sto(r(1), r(2), 0);
+            asm.ldo(r(3), r(2), 0);
+            asm.add(r(4), r(4), r(3));
+            asm.subi(r(1), r(1), 1);
+            asm.cmpi(r(1), 0);
+            asm.bgt(top);
+            asm.ba(done);
+            asm.bind(done);
+        });
+    }
+
+    #[test]
+    fn war_and_waw_hazards_respected() {
+        assert_equivalent(|asm| {
+            asm.movi(r(1), 7);
+            asm.add(r(2), r(1), r(1)); // reads r1
+            asm.movi(r(1), 100); // WAR on r1
+            asm.add(r(3), r(1), r(2));
+            asm.movi(r(3), 4); // WAW on r3
+            asm.add(r(4), r(3), r(3));
+        });
+    }
+
+    #[test]
+    fn control_instructions_do_not_move() {
+        let mut asm = Asm::new();
+        let l = asm.label();
+        asm.movi(r(1), 1);
+        asm.movi(r(2), 2);
+        asm.bind(l);
+        asm.addi(r(1), r(1), 1);
+        asm.cmpi(r(1), 3);
+        asm.blt(l);
+        let starts = asm.block_starts();
+        let p = asm.finish().unwrap();
+        let s = schedule(p.insts(), &starts);
+        // The branch stays the final instruction.
+        assert!(s.last().unwrap().op.is_cond_branch());
+        assert_eq!(s.len(), p.len());
+    }
+}

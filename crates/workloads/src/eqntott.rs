@@ -1,0 +1,178 @@
+//! `eqntott` — a truth-table term comparison/sort kernel (models
+//! `023.eqntott`).
+//!
+//! Real eqntott spends most of its time in `cmppt`, a word-wise compare
+//! of PLA terms with early exit, called from quicksort. The kernel here
+//! repeatedly sweeps an index array, compares adjacent terms word-wise
+//! with early-out branches, and swaps out-of-order indices (an odd-even
+//! bubble pass — sort algorithm fidelity is irrelevant, the compare loop
+//! *is* the workload). Trace character: the branchiest of the suite
+//! (paper: 27.5% conditional branches at 96% prediction), strided index
+//! and term loads.
+
+use ddsc_isa::Reg;
+use ddsc_util::Pcg32;
+use ddsc_vm::{Asm, Machine};
+
+const TERMS: i32 = 0x0018_0000;
+const NTERMS: i32 = 1024;
+const WORDS_PER_TERM: i32 = 4;
+const TERM_BYTES: i32 = WORDS_PER_TERM * 4;
+const INDEX: i32 = 0x001C_0000;
+
+/// Builds the eqntott machine: program + random term table.
+pub fn build(seed: u64) -> Machine {
+    let r = Reg::new;
+    let terms = r(16);
+    let index = r(17);
+    let i = r(18);
+    let pass = r(19);
+
+    let ia = r(1);
+    let ib = r(2);
+    let pa = r(3);
+    let pb = r(4);
+    let a = r(5);
+    let b = r(6);
+    let k = r(7);
+    let swaps = r(20);
+    let lcg = r(21);
+
+    let mut asm = Asm::new();
+
+    asm.sethi(terms, TERMS >> 10);
+    asm.sethi(index, INDEX >> 10);
+    asm.movi(i, 0);
+    asm.movi(pass, 0);
+    asm.movi(swaps, 0);
+    asm.movi(lcg, 12345);
+
+    let sweep = asm.label();
+    let body = asm.label();
+    let cmp_loop = asm.label();
+    let less_or_equal = asm.label();
+    let do_swap = asm.label();
+    let next = asm.label();
+
+    // one odd/even pass over the index array; first, perturb one random
+    // adjacent pair (new terms keep arriving in real eqntott, so the
+    // array never becomes permanently sorted)
+    asm.bind(sweep);
+    asm.muli(lcg, lcg, 1664525);
+    asm.addi(lcg, lcg, 1013904223);
+    asm.srli(a, lcg, 16);
+    asm.andi(a, a, (NTERMS / 2) - 1);
+    asm.slli(a, a, 2);
+    asm.add(a, a, index);
+    asm.ldo(ia, a, 0);
+    asm.ldo(ib, a, 256); // 64 entries away: a long disorder ripple
+    asm.sto(ia, a, 256);
+    asm.sto(ib, a, 0);
+    // start at pass & 1
+    asm.andi(i, pass, 1);
+
+    asm.bind(body);
+    // The index array holds term *pointers*, as real eqntott sorts
+    // pointer arrays: ia = index[i]; ib = index[i+1].
+    asm.slli(pa, i, 2);
+    asm.add(pa, pa, index);
+    asm.ldo(ia, pa, 0);
+    asm.ldo(ib, pa, 4);
+    asm.mov(pa, ia);
+    asm.mov(pb, ib);
+    // cmppt: word-wise compare with early out
+    asm.movi(k, 0);
+    asm.bind(cmp_loop);
+    asm.ld(a, pa, k);
+    asm.ld(b, pb, k);
+    asm.cmp(a, b);
+    asm.bltu(less_or_equal); // a < b: in order, stop
+    asm.bne(do_swap); // a > b (and not <): out of order
+    asm.addi(k, k, 4);
+    asm.cmpi(k, TERM_BYTES);
+    asm.blt(cmp_loop);
+    // equal terms: in order
+    asm.ba(less_or_equal);
+
+    // a > b: swap index entries
+    asm.bind(do_swap);
+    asm.slli(pa, i, 2);
+    asm.add(pa, pa, index);
+    asm.sto(ib, pa, 0);
+    asm.sto(ia, pa, 4);
+    asm.addi(swaps, swaps, 1);
+
+    asm.bind(less_or_equal);
+    asm.bind(next);
+    asm.addi(i, i, 2);
+    asm.cmpi(i, NTERMS - 1);
+    asm.blt(body);
+    asm.addi(pass, pass, 1);
+    asm.ba(sweep);
+
+    let program = asm.finish().expect("eqntott program assembles");
+    let mut machine = Machine::new(program);
+
+    // Terms: 2-bit-coded ternary vectors like PLA terms. Early words
+    // come from a tiny population so ties are common and the compare
+    // loop regularly runs past the first word, as in real PLAs where
+    // many terms share leading don't-cares.
+    let mut rng = Pcg32::new(seed ^ 0xE9_0707);
+    let mut words = Vec::with_capacity((NTERMS * WORDS_PER_TERM) as usize);
+    let common: Vec<u32> = (0..3).map(|_| rng.next_u32() & 0x5555_5555).collect();
+    for _ in 0..NTERMS {
+        for w in 0..WORDS_PER_TERM {
+            let tie_den = 4 + w as u32; // earlier words tie more often
+            let v = if rng.chance(3, tie_den) {
+                common[w as usize % common.len()]
+            } else {
+                let mut v = 0u32;
+                for _ in 0..16 {
+                    v = (v << 2) | rng.range(0, 3);
+                }
+                v
+            };
+            words.push(v);
+        }
+    }
+    machine.mem_mut().write_words(TERMS as u32, &words);
+    // Index starts nearly sorted (a handful of misplaced entries), as a
+    // PLA mid-build would be.
+    let mut order: Vec<u32> = (0..NTERMS as u32).collect();
+    // Sort by term content so the initial array is genuinely in order.
+    let term_key = |i: u32| -> Vec<u32> {
+        (0..WORDS_PER_TERM as u32)
+            .map(|w| words[(i * WORDS_PER_TERM as u32 + w) as usize])
+            .collect()
+    };
+    order.sort_by_key(|&i| term_key(i));
+    for _ in 0..32 {
+        let a = rng.range(0, NTERMS as u32 - 1) as usize;
+        order.swap(a, a + 1);
+    }
+    let idx: Vec<u32> = order
+        .into_iter()
+        .map(|i| TERMS as u32 + i * TERM_BYTES as u32)
+        .collect();
+    machine.mem_mut().write_words(INDEX as u32, &idx);
+    machine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_sorts() {
+        let mut m = build(2);
+        let t = m.run_trace("eqntott", 80_000).unwrap();
+        assert_eq!(t.len(), 80_000);
+    }
+
+    #[test]
+    fn branch_density_is_high() {
+        let t = build(4).run_trace("eqntott", 60_000).unwrap();
+        let b = t.stats().cond_branch_pct().value();
+        assert!(b > 18.0, "eqntott should be branchy, got {b:.1}%");
+    }
+}

@@ -1,0 +1,221 @@
+//! `go` — a board-evaluation kernel (models `099.go`).
+//!
+//! The Go-playing program's profile is dominated by board scans with
+//! data-dependent branches (its branch prediction rate, 83.7%, is the
+//! worst of the suite) and walks over irregular group structures. The
+//! kernel scans a randomised 19×19 board; for each occupied point it
+//! examines the four neighbours with value-dependent branches, and for
+//! friendly stones walks the stone's *group chain* — a shuffled linked
+//! structure — to count its size. The board is perturbed as it is
+//! scanned so the branch behaviour never settles.
+
+use ddsc_isa::Reg;
+use ddsc_util::Pcg32;
+use ddsc_vm::{Asm, Machine};
+
+/// Board with a one-point margin: 21 columns × 21 rows of words.
+const BOARD: i32 = 0x0028_0000;
+const COLS: i32 = 21;
+const POINTS: i32 = COLS * COLS;
+/// group_next[p]: next stone of p's group (shuffled pointer structure).
+const GROUP: i32 = 0x002C_0000;
+
+/// Builds the go machine: program + randomised board and group chains.
+pub fn build(seed: u64) -> Machine {
+    let r = Reg::new;
+    let board = r(16);
+    let group = r(17);
+    let p = r(18);
+    let score = r(19);
+    let turn = r(20);
+
+    let v = r(1);
+    let nv = r(2);
+    let t = r(3);
+    let chase = r(4);
+    let count = r(5);
+    let addr = r(6);
+    let hash = r(7);
+
+    let mut asm = Asm::new();
+
+    asm.sethi(board, BOARD >> 10);
+    asm.sethi(group, GROUP >> 10);
+    asm.movi(p, COLS + 1);
+    asm.movi(score, 0);
+    asm.movi(turn, 1);
+
+    let scan = asm.label();
+    let empty_pt = asm.label();
+    let after_neighbors = asm.label();
+    let walk = asm.label();
+    let walk_done = asm.label();
+    let next_p = asm.label();
+    let wrapped = asm.label();
+
+    asm.bind(scan);
+    // pattern hash folded across the scan (evaluation arithmetic)
+    asm.slli(t, p, 3);
+    asm.xor(hash, hash, t);
+    // v = board[p]
+    asm.slli(addr, p, 2);
+    asm.add(addr, addr, board);
+    asm.ldo(v, addr, 0);
+    asm.cmpi(v, 0);
+    asm.beq(empty_pt);
+
+    // occupied: look at the four neighbours; each comparison is
+    // data-dependent on the random board (hard to predict).
+    let neighbor = |asm: &mut Asm, off: i32| {
+        let skip = asm.label();
+        let enemy = asm.label();
+        asm.ldo(nv, addr, off * 4);
+        asm.cmpi(nv, 0);
+        asm.beq(skip); // liberty
+        asm.cmp(nv, v);
+        asm.bne(enemy);
+        asm.addi(score, score, 2); // friendly link
+        asm.ba(skip);
+        asm.bind(enemy);
+        asm.subi(score, score, 1);
+        asm.bind(skip);
+    };
+    neighbor(&mut asm, 1);
+    neighbor(&mut asm, -1);
+    neighbor(&mut asm, COLS);
+    neighbor(&mut asm, -COLS);
+    asm.bind(after_neighbors);
+    // positional evaluation: 3x3 pattern hash of the point (straight-line
+    // arithmetic, like go's pattern matchers)
+    asm.slli(t, v, 4);
+    asm.add(hash, hash, t);
+    asm.srli(t, hash, 9);
+    asm.xor(hash, hash, t);
+    asm.muli(t, p, 0x55);
+    asm.add(hash, hash, t);
+    asm.andi(t, hash, 0x7FF);
+    asm.add(score, score, t);
+    asm.srli(score, score, 1);
+
+    // friendly stone? walk its group chain (pointer chase).
+    asm.cmp(v, turn);
+    asm.bne(next_p);
+    asm.slli(chase, p, 2);
+    asm.add(chase, chase, group);
+    asm.ldo(chase, chase, 0);
+    asm.movi(count, 0);
+    asm.bind(walk);
+    asm.cmpi(chase, 0);
+    asm.beq(walk_done);
+    asm.addi(count, count, 1);
+    asm.cmpi(count, 12);
+    asm.bge(walk_done);
+    asm.ldo(chase, chase, 0); // chase = group_next (scattered addresses)
+    asm.ba(walk);
+    asm.bind(walk_done);
+    asm.add(score, score, count);
+    // Occasionally flip the stone (captures/plays) so branch patterns
+    // keep shifting, but slowly enough that clusters persist.
+    let no_flip = asm.label();
+    asm.andi(t, score, 7);
+    asm.cmpi(t, 0);
+    asm.bne(no_flip);
+    asm.xori(t, v, 3); // 1 <-> 2
+    asm.sto(t, addr, 0);
+    asm.bind(no_flip);
+    asm.ba(next_p);
+
+    asm.bind(empty_pt);
+    // territory estimate: fold the point into the hash (keeps the empty
+    // path arithmetic-dense, as real evaluation is)
+    asm.xori(t, p, 0x1A5);
+    asm.add(hash, hash, t);
+    asm.srli(t, hash, 7);
+    asm.xor(hash, hash, t);
+    asm.addi(score, score, 1); // territory-ish
+    asm.bind(next_p);
+    asm.addi(p, p, 1);
+    asm.cmpi(p, POINTS - COLS - 1);
+    asm.blt(scan);
+    asm.movi(p, COLS + 1);
+    // flip perspective
+    asm.xori(turn, turn, 3);
+    asm.ba(wrapped);
+    asm.bind(wrapped);
+    asm.ba(scan);
+
+    let program = asm.finish().expect("go program assembles");
+    let mut machine = Machine::new(program);
+
+    let mut rng = Pcg32::new(seed ^ 0x60_60_60);
+    // Board: margin = 3 (off-board sentinel); stones placed as clustered
+    // groups grown by random walks, as on a real go board — neighbours
+    // therefore usually agree, making the neighbour branches biased but
+    // not fully predictable.
+    let mut board = vec![0u32; POINTS as usize];
+    for row in 0..COLS {
+        for col in 0..COLS {
+            if row == 0 || col == 0 || row == COLS - 1 || col == COLS - 1 {
+                board[(row * COLS + col) as usize] = 3;
+            }
+        }
+    }
+    for _ in 0..26 {
+        let colour = rng.range(1, 3);
+        let mut pt = (rng.range(1, COLS as u32 - 1) * COLS as u32
+            + rng.range(1, COLS as u32 - 1)) as i32;
+        for _ in 0..rng.range(4, 12) {
+            if board[pt as usize] == 0 {
+                board[pt as usize] = colour;
+            }
+            let step = match rng.range(0, 4) {
+                0 => 1,
+                1 => -1,
+                2 => COLS,
+                _ => -COLS,
+            };
+            let next = pt + step;
+            if next > 0 && (next as usize) < board.len() && board[next as usize] != 3 {
+                pt = next;
+            }
+        }
+    }
+    machine.mem_mut().write_words(BOARD as u32, &board);
+    // Group chains: shuffled cyclic-free chains through GROUP cells.
+    let mut cells: Vec<u32> = (0..POINTS as u32).collect();
+    rng.shuffle(&mut cells);
+    for w in cells.windows(2) {
+        let from = GROUP as u32 + 4 * w[0];
+        // ~1/4 of links are nil so walks terminate at varying depths.
+        let to = if rng.chance(1, 4) {
+            0
+        } else {
+            GROUP as u32 + 4 * w[1]
+        };
+        machine.mem_mut().write_u32(from, to);
+    }
+    machine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_without_faults() {
+        let mut m = build(8);
+        let t = m.run_trace("go", 60_000).unwrap();
+        assert_eq!(t.len(), 60_000);
+    }
+
+    #[test]
+    fn branches_are_hard_to_predict() {
+        use ddsc_predict::{branch_stats, McFarling};
+        let t = build(1).run_trace("go", 80_000).unwrap();
+        let s = branch_stats(&t, &mut McFarling::paper_8kb());
+        let acc = s.accuracy_pct().value();
+        // The original go predicts at 83.7% — the worst of the suite.
+        assert!(acc < 93.0, "go should be hard to predict, got {acc:.1}%");
+        assert!(acc > 60.0, "but not random, got {acc:.1}%");
+    }
+}

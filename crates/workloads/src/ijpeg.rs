@@ -1,0 +1,233 @@
+//! `ijpeg` — an integer DCT + quantisation kernel (models `132.ijpeg`).
+//!
+//! JPEG compression's hot loop is the forward 8×8 DCT followed by
+//! quantisation. The kernel sweeps an image block by block: a row pass
+//! of add/sub butterflies with multiply-and-shift rotations, a column
+//! pass over the intermediate block, then quantisation with clamping.
+//! Trace character: the least branchy of the suite (paper: 9.0%
+//! conditional branches, 92.8% predicted), multiply- and shift-dense,
+//! with highly strided loads and stores that the address predictor
+//! captures well.
+
+use ddsc_isa::Reg;
+use ddsc_util::Pcg32;
+use ddsc_vm::{Asm, Machine};
+
+const IMAGE: i32 = 0x0030_0000;
+const DIM: i32 = 64; // 64×64 pixels = 8×8 blocks of 8×8
+const BLOCK: i32 = 0x0034_0000; // 64-word intermediate
+const OUT: i32 = 0x0038_0000;
+const QTAB: i32 = 0x003C_0000;
+
+/// Builds the ijpeg machine: program + pseudo-image.
+pub fn build(seed: u64) -> Machine {
+    let r = Reg::new;
+    let image = r(16);
+    let block = r(17);
+    let out = r(18);
+    let qtab = r(19);
+    let bx = r(20);
+    let by = r(21);
+    let row = r(22);
+    let col = r(23);
+    let base = r(24);
+
+    let a = r(1);
+    let b = r(2);
+    let c = r(3);
+    let d = r(4);
+    let s0 = r(5);
+    let s1 = r(6);
+    let t0 = r(7);
+    let t1 = r(8);
+    let addr = r(9);
+    let q = r(10);
+
+    let mut asm = Asm::new();
+
+    asm.sethi(image, IMAGE >> 10);
+    asm.sethi(block, BLOCK >> 10);
+    asm.sethi(out, OUT >> 10);
+    asm.sethi(qtab, QTAB >> 10);
+    asm.movi(bx, 0);
+    asm.movi(by, 0);
+
+    let block_top = asm.label();
+    let row_loop = asm.label();
+    let col_loop = asm.label();
+    let quant_loop = asm.label();
+    let clamp_lo = asm.label();
+    let clamp_done = asm.label();
+    let next_block = asm.label();
+
+    asm.bind(block_top);
+    // base = image + (by*8*DIM + bx*8)
+    asm.muli(base, by, 8 * DIM);
+    asm.add(base, base, image);
+    asm.slli(t0, bx, 3);
+    asm.add(base, base, t0);
+    asm.movi(row, 0);
+
+    // ---- row pass: 1-D butterfly over each row of 8 pixels ----
+    asm.bind(row_loop);
+    // addr = base + row*DIM (bytes; one pixel per byte)
+    asm.muli(addr, row, DIM);
+    asm.add(addr, addr, base);
+    // load four pixel pairs and butterfly them
+    asm.ldbo(a, addr, 0);
+    asm.ldbo(b, addr, 7);
+    asm.add(s0, a, b);
+    asm.sub(s1, a, b);
+    asm.ldbo(c, addr, 1);
+    asm.ldbo(d, addr, 6);
+    asm.add(t0, c, d);
+    asm.sub(t1, c, d);
+    // rotation: multiply-and-shift pairs (the DCT's fixed-point twiddles)
+    asm.muli(s1, s1, 181);
+    asm.srai(s1, s1, 7);
+    asm.muli(t1, t1, 98);
+    asm.srai(t1, t1, 7);
+    asm.add(a, s0, t0);
+    asm.sub(b, s0, t0);
+    asm.add(c, s1, t1);
+    asm.sub(d, s1, t1);
+    // second half of the row
+    asm.ldbo(s0, addr, 2);
+    asm.ldbo(s1, addr, 5);
+    asm.add(t0, s0, s1);
+    asm.sub(t1, s0, s1);
+    asm.muli(t1, t1, 139);
+    asm.srai(t1, t1, 7);
+    asm.add(a, a, t0);
+    asm.sub(b, b, t1);
+    asm.ldbo(s0, addr, 3);
+    asm.ldbo(s1, addr, 4);
+    asm.add(t0, s0, s1);
+    asm.sub(t1, s0, s1);
+    asm.add(c, c, t0);
+    asm.sub(d, d, t1);
+    // store four coefficients for this row
+    asm.slli(t0, row, 5); // row * 8 words * 4 bytes
+    asm.add(t0, t0, block);
+    asm.sto(a, t0, 0);
+    asm.sto(b, t0, 4);
+    asm.sto(c, t0, 8);
+    asm.sto(d, t0, 12);
+    asm.sto(a, t0, 16);
+    asm.sto(b, t0, 20);
+    asm.sto(c, t0, 24);
+    asm.sto(d, t0, 28);
+    asm.addi(row, row, 1);
+    asm.cmpi(row, 8);
+    asm.blt(row_loop);
+
+    // ---- column pass over the intermediate block ----
+    asm.movi(col, 0);
+    asm.bind(col_loop);
+    asm.slli(addr, col, 2);
+    asm.add(addr, addr, block);
+    asm.ldo(a, addr, 0);
+    asm.ldo(b, addr, 7 * 32);
+    asm.add(s0, a, b);
+    asm.sub(s1, a, b);
+    asm.ldo(c, addr, 3 * 32);
+    asm.ldo(d, addr, 4 * 32);
+    asm.add(t0, c, d);
+    asm.sub(t1, c, d);
+    asm.muli(s1, s1, 181);
+    asm.srai(s1, s1, 7);
+    asm.add(a, s0, t0);
+    asm.sub(b, s1, t1);
+    asm.sto(a, addr, 0);
+    asm.sto(b, addr, 4 * 32);
+    asm.addi(col, col, 1);
+    asm.cmpi(col, 8);
+    asm.blt(col_loop);
+
+    // ---- quantise + clamp + store out ----
+    asm.movi(col, 0);
+    asm.bind(quant_loop);
+    asm.slli(addr, col, 2);
+    asm.add(t0, addr, block);
+    asm.ldo(a, t0, 0);
+    asm.add(t1, addr, qtab); // col < 64, so addr indexes the table directly
+    asm.ldo(q, t1, 0);
+    asm.mul(a, a, q);
+    asm.srai(a, a, 8);
+    // clamp to [-128, 127]
+    asm.cmpi(a, 127);
+    asm.ble(clamp_lo);
+    asm.movi(a, 127);
+    asm.bind(clamp_lo);
+    asm.cmpi(a, -128);
+    asm.bge(clamp_done);
+    asm.movi(a, -128);
+    asm.bind(clamp_done);
+    asm.add(t0, addr, out);
+    asm.sto(a, t0, 0);
+    asm.addi(col, col, 1);
+    asm.cmpi(col, 64);
+    asm.blt(quant_loop);
+
+    // ---- next block ----
+    asm.bind(next_block);
+    asm.addi(bx, bx, 1);
+    asm.cmpi(bx, DIM / 8);
+    asm.blt(block_top);
+    asm.movi(bx, 0);
+    asm.addi(by, by, 1);
+    asm.cmpi(by, DIM / 8);
+    asm.blt(block_top);
+    asm.movi(by, 0);
+    asm.ba(block_top);
+
+    let program = asm.finish().expect("ijpeg program assembles");
+    let mut machine = Machine::new(program);
+
+    // Pseudo-image: smooth gradients plus noise, like a photo.
+    let mut rng = Pcg32::new(seed ^ 0x17_BE6);
+    let mut pixels = Vec::with_capacity((DIM * DIM) as usize);
+    for y in 0..DIM {
+        for x in 0..DIM {
+            let g = (x * 2 + y * 3) % 200;
+            pixels.push((g as u32 + rng.range(0, 32)) as u8);
+        }
+    }
+    machine.mem_mut().write_bytes(IMAGE as u32, &pixels);
+    // Quantisation table.
+    let qt: Vec<u32> = (0..64).map(|i| 16 + 2 * i).collect();
+    machine.mem_mut().write_words(QTAB as u32, &qt);
+    machine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_writes_coefficients() {
+        let mut m = build(4);
+        let t = m.run_trace("ijpeg", 60_000).unwrap();
+        assert_eq!(t.len(), 60_000);
+        let words = m.mem().read_words(OUT as u32, 8);
+        assert!(words.iter().any(|&w| w != 0), "no output written");
+    }
+
+    #[test]
+    fn branch_density_is_low() {
+        let t = build(2).run_trace("ijpeg", 60_000).unwrap();
+        let b = t.stats().cond_branch_pct().value();
+        assert!(b < 16.0, "ijpeg is not branchy, got {b:.1}%");
+    }
+
+    #[test]
+    fn multiplies_are_present() {
+        use ddsc_isa::OpClass;
+        let t = build(2).run_trace("ijpeg", 30_000).unwrap();
+        let muls = t
+            .iter()
+            .filter(|i| i.op.class() == OpClass::Mul)
+            .count();
+        assert!(muls * 20 > t.len(), "DCT should be multiply-dense");
+    }
+}

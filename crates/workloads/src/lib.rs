@@ -1,0 +1,269 @@
+//! The benchmark suite: six synthetic workloads modelled on the paper's
+//! SPECint92/95 set.
+//!
+//! The paper traces `026.compress`, `008.espresso`, `023.eqntott`,
+//! `022.li`, `099.go` and `132.ijpeg`. Those binaries and their `qpt2`
+//! traces are not reproducible here, so each benchmark is re-created as a
+//! small program for the [`ddsc-vm`](../ddsc_vm/index.html) machine whose
+//! *kernel* matches the original's hot loop:
+//!
+//! | benchmark | kernel | trace character |
+//! |---|---|---|
+//! | `compress` | LZW hash-table compression | hash-probe loads, byte-strided input, moderate branches |
+//! | `espresso` | bit-set cube operations | logical/shift-dense, strided loads, loopy branches |
+//! | `eqntott` | truth-table term comparison/sort | branchiest of the set, early-out compares |
+//! | `li` | recursive list interpreter | pointer chasing + deep call/return recursion |
+//! | `go` | board evaluation + group walking | data-dependent branches (worst prediction), pointer chasing |
+//! | `ijpeg` | integer 8×8 DCT + quantisation | multiply/shift-dense, highly strided, few branches |
+//!
+//! `li` and `go` form the paper's *pointer chasing* subset
+//! ([`Benchmark::is_pointer_chasing`]); the other four are the
+//! non-pointer-chasing subset (§5.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use ddsc_workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let trace = Benchmark::Compress.trace(42, 10_000)?;
+//! assert_eq!(trace.len(), 10_000);
+//! let stats = trace.stats();
+//! assert!(stats.cond_branch_pct().value() > 5.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod compress;
+mod espresso;
+mod eqntott;
+mod go;
+mod ijpeg;
+mod li;
+
+use ddsc_trace::Trace;
+use ddsc_vm::{Machine, VmError};
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// LZW compression (models `026.compress`).
+    Compress,
+    /// Two-level logic minimisation bit-set kernel (models `008.espresso`).
+    Espresso,
+    /// Truth-table comparison/sort (models `023.eqntott`).
+    Eqntott,
+    /// Recursive list interpreter (models `022.li`).
+    Li,
+    /// Board evaluation (models `099.go`).
+    Go,
+    /// Integer DCT image kernel (models `132.ijpeg`).
+    Ijpeg,
+}
+
+impl Benchmark {
+    /// The whole suite, in the paper's table order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Compress,
+        Benchmark::Espresso,
+        Benchmark::Eqntott,
+        Benchmark::Li,
+        Benchmark::Go,
+        Benchmark::Ijpeg,
+    ];
+
+    /// The paper's pointer-chasing subset (§5.2: `go` and `li`).
+    pub const POINTER_CHASING: [Benchmark; 2] = [Benchmark::Li, Benchmark::Go];
+
+    /// The complementary non-pointer-chasing subset.
+    pub const NON_POINTER_CHASING: [Benchmark; 4] = [
+        Benchmark::Compress,
+        Benchmark::Espresso,
+        Benchmark::Eqntott,
+        Benchmark::Ijpeg,
+    ];
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Compress => "compress",
+            Benchmark::Espresso => "espresso",
+            Benchmark::Eqntott => "eqntott",
+            Benchmark::Li => "li",
+            Benchmark::Go => "go",
+            Benchmark::Ijpeg => "ijpeg",
+        }
+    }
+
+    /// The SPEC-style name of the benchmark this workload models.
+    pub fn models(self) -> &'static str {
+        match self {
+            Benchmark::Compress => "026.compress",
+            Benchmark::Espresso => "008.espresso",
+            Benchmark::Eqntott => "023.eqntott",
+            Benchmark::Li => "022.li",
+            Benchmark::Go => "099.go",
+            Benchmark::Ijpeg => "132.ijpeg",
+        }
+    }
+
+    /// Whether the benchmark belongs to the pointer-chasing subset.
+    pub fn is_pointer_chasing(self) -> bool {
+        matches!(self, Benchmark::Li | Benchmark::Go)
+    }
+
+    /// Builds a machine loaded with this benchmark's program and data.
+    ///
+    /// The same seed always produces the same machine, program and
+    /// eventual trace.
+    pub fn machine(self, seed: u64) -> Machine {
+        match self {
+            Benchmark::Compress => compress::build(seed),
+            Benchmark::Espresso => espresso::build(seed),
+            Benchmark::Eqntott => eqntott::build(seed),
+            Benchmark::Li => li::build(seed),
+            Benchmark::Go => go::build(seed),
+            Benchmark::Ijpeg => ijpeg::build(seed),
+        }
+    }
+
+    /// Runs the benchmark for up to `max_insts` dynamic instructions and
+    /// returns the trace. All benchmark programs loop indefinitely over
+    /// their working set, so the trace always reaches `max_insts`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] — which would indicate a bug in the
+    /// workload program, and is exercised in tests.
+    pub fn trace(self, seed: u64, max_insts: usize) -> Result<Trace, VmError> {
+        let mut machine = self.machine(seed);
+        machine.run_trace(self.name(), max_insts)
+    }
+
+    /// Like [`Benchmark::trace`], but with the program passed through the
+    /// VM's list scheduler first — emulating compiler scheduling, which
+    /// separates dependent instructions the way the paper's `gcc -O4`
+    /// binaries do (used by the scheduling-sensitivity experiment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`].
+    pub fn trace_compiled(self, seed: u64, max_insts: usize) -> Result<Trace, VmError> {
+        let mut machine = self.machine(seed);
+        machine.reschedule();
+        machine.run_trace(self.name(), max_insts)
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_produces_a_full_trace() {
+        for b in Benchmark::ALL {
+            let t = b.trace(1, 20_000).unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert_eq!(t.len(), 20_000, "{b} halted early");
+            assert_eq!(t.name(), b.name());
+        }
+    }
+
+    #[test]
+    fn compiled_traces_run_and_differ_in_order() {
+        for b in Benchmark::ALL {
+            let plain = b.trace(1, 15_000).unwrap_or_else(|e| panic!("{b}: {e}"));
+            let sched = b
+                .trace_compiled(1, 15_000)
+                .unwrap_or_else(|e| panic!("{b} scheduled: {e}"));
+            assert_eq!(sched.len(), 15_000, "{b} scheduled halted early");
+            // Same work, same mix — only the order changes.
+            let (sp, ss) = (plain.stats(), sched.stats());
+            assert_eq!(sp.cond_branches(), ss.cond_branches(), "{b}");
+            assert_eq!(sp.loads(), ss.loads(), "{b}");
+            assert_eq!(sp.stores(), ss.stores(), "{b}");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_in_the_seed() {
+        for b in [Benchmark::Compress, Benchmark::Li] {
+            let a = b.trace(7, 5_000).unwrap();
+            let c = b.trace(7, 5_000).unwrap();
+            assert_eq!(a, c, "{b} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Benchmark::Go.trace(1, 5_000).unwrap();
+        let b = Benchmark::Go.trace(2, 5_000).unwrap();
+        assert_ne!(a, b, "seeds must change the data");
+    }
+
+    #[test]
+    fn subsets_partition_the_suite() {
+        let mut all: Vec<Benchmark> = Benchmark::POINTER_CHASING
+            .into_iter()
+            .chain(Benchmark::NON_POINTER_CHASING)
+            .collect();
+        all.sort();
+        let mut expected = Benchmark::ALL.to_vec();
+        expected.sort();
+        assert_eq!(all, expected);
+        for b in Benchmark::POINTER_CHASING {
+            assert!(b.is_pointer_chasing());
+        }
+        for b in Benchmark::NON_POINTER_CHASING {
+            assert!(!b.is_pointer_chasing());
+        }
+    }
+
+    #[test]
+    fn instruction_mixes_are_in_character() {
+        // Loose sanity bands per benchmark; Table 1/2-style checks live
+        // in the experiments crate.
+        let cases: [(Benchmark, f64, f64); 6] = [
+            (Benchmark::Compress, 8.0, 25.0),
+            (Benchmark::Espresso, 10.0, 30.0),
+            (Benchmark::Eqntott, 18.0, 38.0),
+            (Benchmark::Li, 8.0, 25.0),
+            (Benchmark::Go, 8.0, 24.0),
+            (Benchmark::Ijpeg, 3.0, 16.0),
+        ];
+        for (b, lo, hi) in cases {
+            let t = b.trace(1, 40_000).unwrap();
+            let pct = t.stats().cond_branch_pct().value();
+            assert!(
+                (lo..=hi).contains(&pct),
+                "{b}: conditional-branch share {pct:.1}% outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn loads_are_present_everywhere() {
+        for b in Benchmark::ALL {
+            let t = b.trace(3, 30_000).unwrap();
+            let s = t.stats();
+            assert!(
+                s.load_pct().value() > 5.0,
+                "{b}: load share {:.1}%",
+                s.load_pct().value()
+            );
+        }
+    }
+
+    #[test]
+    fn li_is_call_heavy() {
+        let t = Benchmark::Li.trace(1, 40_000).unwrap();
+        let s = t.stats();
+        let pct = 100.0 * s.calls_returns() as f64 / s.total() as f64;
+        assert!(pct > 3.0, "li call/ret share {pct:.1}% (paper: ~7%)");
+    }
+}

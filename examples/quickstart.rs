@@ -1,0 +1,45 @@
+//! Quickstart: simulate one benchmark under the paper's five machine
+//! configurations and print IPC and speedup.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ddsc::core::{simulate, PaperConfig, SimConfig};
+use ddsc::workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Benchmark::Compress;
+    let width = 8;
+    let trace = bench.trace(1996, 100_000)?;
+
+    println!(
+        "benchmark {} ({}), {} dynamic instructions, issue width {width}\n",
+        bench.name(),
+        bench.models(),
+        trace.len()
+    );
+
+    let base = simulate(&trace, &SimConfig::paper(PaperConfig::A, width));
+    println!("config  description                                      IPC  speedup");
+    for cfg in PaperConfig::ALL {
+        let result = simulate(&trace, &SimConfig::paper(cfg, width));
+        println!(
+            "{:<7} {:<46} {:>5.2}  {:>6.3}",
+            cfg.label(),
+            cfg.description(),
+            result.ipc(),
+            result.speedup_over(&base)
+        );
+    }
+
+    let d = simulate(&trace, &SimConfig::paper(PaperConfig::D, width));
+    println!(
+        "\nunder configuration D, {:.1}% of instructions executed collapsed",
+        d.collapse.collapsed_pct().value()
+    );
+    println!(
+        "branch prediction: {:.1}% of {} conditional branches",
+        d.branches.accuracy_pct().value(),
+        d.branches.cond_branches
+    );
+    Ok(())
+}

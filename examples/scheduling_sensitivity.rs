@@ -1,0 +1,17 @@
+//! Compiler-scheduling sensitivity: how much of the collapse fraction is
+//! code layout? Compares the hand-written workloads against the same
+//! programs passed through the VM's critical-path list scheduler (the
+//! `gcc -O4` stand-in).
+//!
+//! Run with: `cargo run --release --example scheduling_sensitivity`
+
+fn main() {
+    let s = ddsc::experiments::extensions::scheduling_sensitivity(1996, 150_000, 16);
+    println!("{}", s.render());
+    let (plain, sched) = s.mean_collapsed();
+    println!(
+        "suite mean collapsed: {plain:.1}% as written vs {sched:.1}% scheduled.\n\
+         Within-block scheduling barely moves the number: the high collapse\n\
+         fraction is intrinsic dependence density, not instruction order."
+    );
+}

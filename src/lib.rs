@@ -1,0 +1,45 @@
+//! # ddsc — Data Dependence Speculation & Collapsing
+//!
+//! A full reproduction of *"The Performance Potential of Data Dependence
+//! Speculation & Collapsing"* (Sazeides, Vassiliadis & Smith, MICRO-29,
+//! 1996) as a Rust workspace. This umbrella crate re-exports the public
+//! API of every component:
+//!
+//! * [`isa`] — the SPARC-v8-flavoured instruction model;
+//! * [`vm`] — the assembler + interpreter producing dynamic traces;
+//! * [`workloads`] — the six synthetic SPEC-like benchmarks;
+//! * [`trace`] — trace records, containers, binary I/O and statistics;
+//! * [`predict`] — branch predictors and stride/context address
+//!   predictors with confidence;
+//! * [`collapse`] — dependence expressions and collapsing rules;
+//! * [`core`] — the window-based limit simulator (configurations A–E);
+//! * [`experiments`] — drivers regenerating every paper table and figure;
+//! * [`util`] — deterministic PRNGs, statistics, histograms, tables.
+//!
+//! # Quickstart
+//!
+//! Simulate one benchmark under the paper's configuration D and measure
+//! the speedup over the base machine:
+//!
+//! ```
+//! use ddsc::core::{simulate, PaperConfig, SimConfig};
+//! use ddsc::workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let trace = Benchmark::Eqntott.trace(1996, 20_000)?;
+//! let base = simulate(&trace, &SimConfig::paper(PaperConfig::A, 8));
+//! let full = simulate(&trace, &SimConfig::paper(PaperConfig::D, 8));
+//! assert!(full.speedup_over(&base) > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ddsc_collapse as collapse;
+pub use ddsc_core as core;
+pub use ddsc_experiments as experiments;
+pub use ddsc_isa as isa;
+pub use ddsc_predict as predict;
+pub use ddsc_trace as trace;
+pub use ddsc_util as util;
+pub use ddsc_vm as vm;
+pub use ddsc_workloads as workloads;

@@ -1,0 +1,62 @@
+//! Cross-crate determinism and trace-file round-tripping.
+
+use ddsc::core::{simulate, PaperConfig, SimConfig};
+use ddsc::trace::io::{read_trace, write_trace};
+use ddsc::workloads::Benchmark;
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let t = Benchmark::Go.trace(77, 20_000).unwrap();
+        let r = simulate(&t, &SimConfig::paper(PaperConfig::D, 8));
+        (r.cycles, r.branches.mispredicted, r.collapse.groups(), r.loads)
+    };
+    assert_eq!(run(), run(), "same seed must reproduce exactly");
+}
+
+#[test]
+fn trace_files_round_trip_and_simulate_identically() {
+    for b in [Benchmark::Compress, Benchmark::Li] {
+        let original = b.trace(42, 15_000).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &original).unwrap();
+        let restored = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(original, restored, "{b}: file round trip");
+
+        let cfg = SimConfig::paper(PaperConfig::D, 8);
+        let a = simulate(&original, &cfg);
+        let c = simulate(&restored, &cfg);
+        assert_eq!(a.cycles, c.cycles, "{b}: simulation over restored trace");
+        assert_eq!(a.collapse.groups(), c.collapse.groups());
+    }
+}
+
+#[test]
+fn seeds_change_data_but_not_structure() {
+    let a = Benchmark::Eqntott.trace(1, 10_000).unwrap();
+    let b = Benchmark::Eqntott.trace(2, 10_000).unwrap();
+    assert_ne!(a, b, "different seeds, different traces");
+    // The instruction mix stays in character regardless of seed.
+    let (sa, sb) = (a.stats(), b.stats());
+    let da = sa.cond_branch_pct().value();
+    let db = sb.cond_branch_pct().value();
+    assert!((da - db).abs() < 8.0, "mix is structural: {da:.1} vs {db:.1}");
+}
+
+#[test]
+fn all_widths_retire_every_instruction() {
+    let t = Benchmark::Ijpeg.trace(5, 12_000).unwrap();
+    let mut last_cycles = u64::MAX;
+    for width in [4, 8, 16, 32, 2048] {
+        let r = simulate(&t, &SimConfig::paper(PaperConfig::D, width));
+        assert_eq!(r.instructions, 12_000, "width {width}");
+        assert!(r.cycles > 0);
+        // Wider machines are never slower on this workload suite.
+        assert!(
+            r.cycles <= last_cycles,
+            "width {width}: {} cycles after {last_cycles}",
+            r.cycles
+        );
+        last_cycles = r.cycles;
+    }
+}

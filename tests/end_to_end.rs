@@ -1,0 +1,159 @@
+//! End-to-end integration: workloads → VM → traces → simulator, checking
+//! the paper's headline *shapes* at small scale.
+
+use ddsc::core::{simulate, PaperConfig, SimConfig};
+use ddsc::util::stats::harmonic_mean;
+use ddsc::workloads::Benchmark;
+
+const LEN: usize = 30_000;
+const SEED: u64 = 1996;
+
+fn suite_speedup(cfg: PaperConfig, width: u32, benches: &[Benchmark]) -> f64 {
+    let per: Vec<f64> = benches
+        .iter()
+        .map(|&b| {
+            let t = b.trace(SEED, LEN).expect("workload runs");
+            let base = simulate(&t, &SimConfig::paper(PaperConfig::A, width));
+            let r = simulate(&t, &SimConfig::paper(cfg, width));
+            r.speedup_over(&base)
+        })
+        .collect();
+    harmonic_mean(&per).expect("positive speedups")
+}
+
+#[test]
+fn configuration_ordering_matches_the_paper() {
+    // Figure 3's ordering: A <= B <= D and A <= C <= D <= E.
+    let width = 8;
+    let b = suite_speedup(PaperConfig::B, width, &Benchmark::ALL);
+    let c = suite_speedup(PaperConfig::C, width, &Benchmark::ALL);
+    let d = suite_speedup(PaperConfig::D, width, &Benchmark::ALL);
+    let e = suite_speedup(PaperConfig::E, width, &Benchmark::ALL);
+    assert!(b >= 1.0, "load-speculation cannot hurt, got {b}");
+    assert!(c > 1.1, "collapsing must show clear gains, got {c}");
+    assert!(d >= c * 0.99, "D adds speculation on top of C: {c} -> {d}");
+    assert!(e >= d * 0.99, "ideal speculation dominates real: {d} -> {e}");
+    // §5.1: "d-collapsing contributes the majority of the improvement".
+    assert!(
+        c - 1.0 > b - 1.0,
+        "collapsing ({c}) must contribute more than speculation ({b})"
+    );
+}
+
+#[test]
+fn speedups_grow_with_issue_width() {
+    // Figure 3: D's speedup rises monotonically with width (1.20 -> 1.66
+    // in the paper for widths 4..32).
+    let s4 = suite_speedup(PaperConfig::D, 4, &Benchmark::ALL);
+    let s16 = suite_speedup(PaperConfig::D, 16, &Benchmark::ALL);
+    assert!(
+        s16 > s4,
+        "wider machines benefit more from collapsing: {s4} vs {s16}"
+    );
+}
+
+#[test]
+fn pointer_chasing_gains_little_from_load_speculation() {
+    // §5.2: "realistic load-speculation for pointer chasing benchmarks
+    // ... by itself provides negligible performance gains" (5%-9%),
+    // while the non-pointer subset benefits clearly.
+    let width = 16;
+    let pointer = suite_speedup(PaperConfig::B, width, &Benchmark::POINTER_CHASING);
+    let regular = suite_speedup(PaperConfig::B, width, &Benchmark::NON_POINTER_CHASING);
+    assert!(
+        pointer < 1.15,
+        "pointer-chasing load-spec speedup should be small, got {pointer}"
+    );
+    assert!(
+        regular > pointer,
+        "regular codes must benefit more: {regular} vs {pointer}"
+    );
+}
+
+#[test]
+fn collapse_behaviour_matches_section_5_3() {
+    // Aggregate configuration-D collapse stats over the suite at width 16.
+    let mut merged = ddsc::collapse::CollapseStats::new();
+    for b in Benchmark::ALL {
+        let t = b.trace(SEED, LEN).unwrap();
+        let r = simulate(&t, &SimConfig::paper(PaperConfig::D, 16));
+        merged.merge(&r.collapse);
+    }
+    // A large fraction of instructions collapse.
+    let frac = merged.collapsed_pct().value();
+    assert!(frac > 25.0, "collapse fraction {frac:.1}%");
+    // 3-1 is the dominant mechanism.
+    use ddsc::collapse::CollapseCategory::*;
+    let three = merged.category_pct(ThreeOne).value();
+    let four = merged.category_pct(FourOne).value();
+    let zero = merged.category_pct(ZeroOp).value();
+    assert!(three > four && three > zero, "3-1 dominates: {three}/{four}/{zero}");
+    assert!(four > zero, "4-1 above 0-op: {four} vs {zero}");
+    // Distances are nearly always below 8.
+    let below8 = merged.distance().fraction_below(8);
+    assert!(below8 > 0.6, "most collapses are near, got {below8}");
+    // Both pair and triple sequences occur; cmp-branch fusion is among
+    // the top pairs, as in Table 5.
+    assert!(merged.pairs().total() > 0);
+    assert!(merged.triples().total() > 0);
+    let top_pairs: Vec<String> = merged
+        .pairs()
+        .top(8)
+        .into_iter()
+        .map(|(k, _)| k.to_string())
+        .collect();
+    assert!(
+        top_pairs.iter().any(|p| p.ends_with("brc")),
+        "expected a *-brc pair among the top sequences: {top_pairs:?}"
+    );
+}
+
+#[test]
+fn branch_prediction_quality_ordering_matches_table_2() {
+    // go is the hardest benchmark to predict; li and eqntott are among
+    // the easiest — that ordering drives Figures 4-7.
+    let acc = |b: Benchmark| {
+        let t = b.trace(SEED, 60_000).unwrap();
+        let s = ddsc::predict::branch_stats(&t, &mut ddsc::predict::McFarling::paper_8kb());
+        s.accuracy_pct().value()
+    };
+    let go = acc(Benchmark::Go);
+    for other in [Benchmark::Compress, Benchmark::Eqntott, Benchmark::Li, Benchmark::Ijpeg] {
+        assert!(
+            acc(other) > go,
+            "{other} should predict better than go ({go:.1}%)"
+        );
+    }
+}
+
+#[test]
+fn wrong_address_speculation_is_rare_under_confidence() {
+    // §5.2: "the percentage of incorrect predictions is very small".
+    let mut agg = ddsc::core::LoadSpecStats::default();
+    for b in Benchmark::ALL {
+        let t = b.trace(SEED, LEN).unwrap();
+        let r = simulate(&t, &SimConfig::paper(PaperConfig::D, 16));
+        let s = &r.loads;
+        if s.total() == 0 {
+            continue;
+        }
+        let wrong = s.pct(ddsc::core::LoadClass::PredictedIncorrect).value();
+        assert!(wrong < 16.0, "{b}: {wrong:.1}% wrongly speculated");
+        agg.merge(s);
+    }
+    let total_wrong = agg.pct(ddsc::core::LoadClass::PredictedIncorrect).value();
+    assert!(
+        total_wrong < 8.0,
+        "suite-wide wrong speculation must stay small, got {total_wrong:.1}%"
+    );
+}
+
+#[test]
+fn two_k_configuration_runs_the_whole_suite() {
+    for b in Benchmark::ALL {
+        let t = b.trace(SEED, 10_000).unwrap();
+        let r = simulate(&t, &SimConfig::paper(PaperConfig::E, 2048));
+        assert_eq!(r.instructions, 10_000);
+        assert!(r.ipc() > 1.0, "{b} at 2k width: {}", r.ipc());
+    }
+}

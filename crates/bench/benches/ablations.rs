@@ -12,8 +12,8 @@ use ddsc_experiments::{Lab, Suite, SuiteConfig};
 const LEN: usize = 15_000;
 
 fn bench(c: &mut Criterion) {
-    let mut lab = bench_lab_widths(LEN, &[4, 16]);
-    println!("{}", extensions::render_all(&mut lab));
+    let lab = bench_lab_widths(LEN, &[4, 16]);
+    println!("{}", extensions::render_all(&lab));
 
     let suite = Suite::generate(SuiteConfig {
         seed: 1996,

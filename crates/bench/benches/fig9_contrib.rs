@@ -17,16 +17,16 @@ fn suite() -> Suite {
 }
 
 fn bench(c: &mut Criterion) {
-    let mut lab = bench_lab_widths(20000, &[4, 16]);
-    println!("{}", ddsc_experiments::figures::fig9(&mut lab).render());
+    let lab = bench_lab_widths(20000, &[4, 16]);
+    println!("{}", ddsc_experiments::figures::fig9(&lab).render());
     let suite = suite();
     let mut group = c.benchmark_group("paper");
     group.sample_size(10);
     group.sample_size(10);
     group.bench_function("fig9_contrib", |b| {
         b.iter(|| {
-            let mut lab = Lab::from_suite(suite.clone());
-            criterion::black_box(ddsc_experiments::figures::fig9(&mut lab));
+            let lab = Lab::from_suite(suite.clone());
+            criterion::black_box(ddsc_experiments::figures::fig9(&lab));
         })
     });
     group.finish();

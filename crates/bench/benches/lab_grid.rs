@@ -1,0 +1,56 @@
+//! Benchmarks the experiment engine itself: serial vs parallel grid
+//! evaluation through `Lab::prewarm`, and the optimised simulator inner
+//! loop against the frozen reference implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddsc_bench::bench_lab_widths;
+use ddsc_core::{simulate, simulate_reference, PaperConfig, SimConfig};
+use ddsc_experiments::parallel::num_threads;
+use ddsc_experiments::Lab;
+use ddsc_workloads::Benchmark;
+
+const LEN: usize = 20_000;
+
+fn grid(c: &mut Criterion) {
+    let lab = bench_lab_widths(LEN, &[4, 16]);
+    let cells = lab.grid();
+    let insts = (cells.len() * LEN) as u64;
+    let suite = lab.suite().clone();
+
+    let mut group = c.benchmark_group("lab_grid");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            std::env::set_var("DDSC_THREADS", "1");
+            let fresh = Lab::from_suite(suite.clone());
+            fresh.prewarm(&cells)
+        })
+    });
+    group.bench_function(format!("parallel_{}_threads", num_threads()), |b| {
+        b.iter(|| {
+            std::env::remove_var("DDSC_THREADS");
+            let fresh = Lab::from_suite(suite.clone());
+            fresh.prewarm(&cells)
+        })
+    });
+    group.finish();
+}
+
+fn inner_loop(c: &mut Criterion) {
+    let trace = Benchmark::Compress.trace(1996, 50_000).expect("runs");
+    let cfg = SimConfig::paper(PaperConfig::D, 16);
+    let mut group = c.benchmark_group("simulator_inner_loop");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("optimised", |b| {
+        b.iter(|| criterion::black_box(simulate(&trace, &cfg)))
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| criterion::black_box(simulate_reference(&trace, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, grid, inner_loop);
+criterion_main!(benches);

@@ -24,9 +24,7 @@ fn bench(c: &mut Criterion) {
     for b in Benchmark::ALL {
         let trace = suite.trace(b).clone();
         group.bench_function(b.name(), |bench| {
-            bench.iter(|| {
-                criterion::black_box(branch_stats(&trace, &mut McFarling::paper_8kb()))
-            })
+            bench.iter(|| criterion::black_box(branch_stats(&trace, &mut McFarling::paper_8kb())))
         });
     }
     group.finish();

@@ -17,17 +17,21 @@ fn suite() -> Suite {
 }
 
 fn bench(c: &mut Criterion) {
-    let mut lab = bench_lab_widths(20000, &[4, 16]);
-    println!("{}\n{}", ddsc_experiments::tables::table5(&mut lab).render(), ddsc_experiments::tables::table6(&mut lab).render());
+    let lab = bench_lab_widths(20000, &[4, 16]);
+    println!(
+        "{}\n{}",
+        ddsc_experiments::tables::table5(&lab).render(),
+        ddsc_experiments::tables::table6(&lab).render()
+    );
     let suite = suite();
     let mut group = c.benchmark_group("paper");
     group.sample_size(10);
     group.sample_size(10);
     group.bench_function("table56_patterns", |b| {
         b.iter(|| {
-            let mut lab = Lab::from_suite(suite.clone());
-            criterion::black_box(ddsc_experiments::tables::table5(&mut lab));
-            criterion::black_box(ddsc_experiments::tables::table6(&mut lab));
+            let lab = Lab::from_suite(suite.clone());
+            criterion::black_box(ddsc_experiments::tables::table5(&lab));
+            criterion::black_box(ddsc_experiments::tables::table6(&lab));
         })
     });
     group.finish();

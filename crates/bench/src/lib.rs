@@ -35,8 +35,8 @@ mod tests {
 
     #[test]
     fn lab_builders_produce_working_labs() {
-        let mut lab = bench_lab_widths(2_000, &[4]);
-        let f = ddsc_experiments::figures::fig2(&mut lab);
+        let lab = bench_lab_widths(2_000, &[4]);
+        let f = ddsc_experiments::figures::fig2(&lab);
         assert_eq!(f.series.len(), 5);
     }
 }

@@ -9,8 +9,11 @@
 //! * `ddsc trace info FILE` — instruction-mix statistics of a trace file;
 //! * `ddsc sim <bench> [--config A..E] [--width W] [--len N] [--seed S]`
 //!   — simulate one benchmark and print the result;
-//! * `ddsc repro <artifact>|all|extensions [--len N] [--seed S]` —
-//!   regenerate paper tables/figures;
+//! * `ddsc repro <artifact>|all|extensions [--len N] [--seed S]
+//!   [--threads T] [--timing] [--bench-json FILE]` — regenerate paper
+//!   tables/figures over the parallel lab, optionally appending a
+//!   throughput report and writing the machine-readable benchmark
+//!   payload (`results/BENCH_lab.json` by convention);
 //! * `ddsc help`.
 
 use std::error::Error;
@@ -62,9 +65,15 @@ USAGE:
   ddsc repro <table1|table2|table3|table4|table5|table6|
               fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|
               all|extensions> [--len N] [--seed S] [--widths 4,8,...]
-                             [--out FILE]
+                             [--out FILE] [--threads T] [--timing]
+                             [--bench-json FILE]
 
 Benchmarks: compress espresso eqntott li go ijpeg
+
+`repro` fans the simulation grid out over a thread pool (host
+parallelism by default; override with --threads or DDSC_THREADS).
+--timing appends a wall-clock/MIPS report; --bench-json writes the
+same data as JSON (conventionally results/BENCH_lab.json).
 "
     .to_string()
 }
@@ -228,7 +237,9 @@ fn sim_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
 }
 
 fn analyze_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
-    let name = args.first().ok_or("usage: ddsc analyze <benchmark> [...]")?;
+    let name = args
+        .first()
+        .ok_or("usage: ddsc analyze <benchmark> [...]")?;
     let bench = parse_bench(name)?;
     let len: usize = parse_num(args, "--len", 300_000)?;
     let seed: u64 = parse_num(args, "--seed", 1996)?;
@@ -236,10 +247,19 @@ fn analyze_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
     let a = analyze_dataflow(&trace, &Latencies::default());
 
     let mut out = String::new();
-    let _ = writeln!(out, "dataflow-limit analysis of {} ({} instructions)", bench.name(), a.instructions);
+    let _ = writeln!(
+        out,
+        "dataflow-limit analysis of {} ({} instructions)",
+        bench.name(),
+        a.instructions
+    );
     let _ = writeln!(out, "  critical path     : {} cycles", a.critical_path);
     let _ = writeln!(out, "  dataflow-limit IPC: {:.2}", a.limit_ipc());
-    let _ = writeln!(out, "  true dependences  : {:.2} per instruction", a.deps_per_inst());
+    let _ = writeln!(
+        out,
+        "  true dependences  : {:.2} per instruction",
+        a.deps_per_inst()
+    );
     let _ = writeln!(
         out,
         "  dependence spans  : {:.1}% within 8 insts, {:.1}% within 64",
@@ -272,31 +292,48 @@ fn repro_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
             .collect::<Result<_, _>>()?,
         None => SimConfig::PAPER_WIDTHS.to_vec(),
     };
-    let mut lab = Lab::new(SuiteConfig {
+    if let Some(t) = flag_value(args, "--threads") {
+        let t: usize = t.parse()?;
+        // The lab reads DDSC_THREADS; the flag is just a friendlier spelling.
+        std::env::set_var("DDSC_THREADS", t.to_string());
+    }
+    let lab = Lab::new(SuiteConfig {
         seed,
         trace_len: len,
         widths,
     });
-    let out = match what {
-        "all" => ddsc_experiments::render_all(&mut lab),
-        "extensions" => extensions::render_all(&mut lab),
+    let mut out = match what {
+        "all" => ddsc_experiments::render_all(&lab),
+        "extensions" => extensions::render_all(&lab),
         "table1" => tables::table1(lab.suite()).render(),
         "table2" => tables::table2(lab.suite()).render(),
-        "table3" => tables::table3(&mut lab).render(),
-        "table4" => tables::table4(&mut lab).render(),
-        "table5" => tables::table5(&mut lab).render(),
-        "table6" => tables::table6(&mut lab).render(),
-        "fig2" => figures::fig2(&mut lab).render(),
-        "fig3" => figures::fig3(&mut lab).render(),
-        "fig4" => figures::fig4(&mut lab).render(),
-        "fig5" => figures::fig5(&mut lab).render(),
-        "fig6" => figures::fig6(&mut lab).render(),
-        "fig7" => figures::fig7(&mut lab).render(),
-        "fig8" => figures::fig8(&mut lab).render(),
-        "fig9" => figures::fig9(&mut lab).render(),
-        "fig10" => figures::fig10(&mut lab).render(),
+        "table3" => tables::table3(&lab).render(),
+        "table4" => tables::table4(&lab).render(),
+        "table5" => tables::table5(&lab).render(),
+        "table6" => tables::table6(&lab).render(),
+        "fig2" => figures::fig2(&lab).render(),
+        "fig3" => figures::fig3(&lab).render(),
+        "fig4" => figures::fig4(&lab).render(),
+        "fig5" => figures::fig5(&lab).render(),
+        "fig6" => figures::fig6(&lab).render(),
+        "fig7" => figures::fig7(&lab).render(),
+        "fig8" => figures::fig8(&lab).render(),
+        "fig9" => figures::fig9(&lab).render(),
+        "fig10" => figures::fig10(&lab).render(),
         other => return Err(format!("unknown artifact `{other}`").into()),
     };
+    if args.contains(&"--timing") {
+        out.push('\n');
+        out.push_str(&lab.report().render());
+    }
+    if let Some(path) = flag_value(args, "--bench-json") {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, lab.report().to_json())?;
+    }
     if let Some(path) = flag_value(args, "--out") {
         std::fs::write(path, &out)?;
         return Ok(format!("wrote {} bytes to {path}\n", out.len()));
@@ -374,6 +411,39 @@ mod tests {
         assert!(out.contains("wrote"));
         let contents = std::fs::read_to_string(path).unwrap();
         assert!(contents.contains("Figure 2"));
+    }
+
+    #[test]
+    fn repro_timing_appends_a_throughput_report() {
+        let out = run_strs(&[
+            "repro", "fig2", "--len", "3000", "--widths", "4", "--timing",
+        ])
+        .unwrap();
+        assert!(out.contains("Figure 2"));
+        assert!(out.contains("Lab throughput report"));
+        assert!(out.contains("MIPS"));
+    }
+
+    #[test]
+    fn repro_bench_json_writes_the_payload() {
+        let dir = std::env::temp_dir().join("ddsc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_lab.json");
+        let path = path.to_str().unwrap();
+        run_strs(&[
+            "repro",
+            "table2",
+            "--len",
+            "3000",
+            "--widths",
+            "4",
+            "--bench-json",
+            path,
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(path).unwrap();
+        assert!(json.contains("\"aggregate_mips\""));
+        assert!(json.contains("\"speedup_vs_serial\""));
     }
 
     #[test]

@@ -307,11 +307,17 @@ mod tests {
     const C: &[AbsorbSlot] = &[AbsorbSlot::Counted];
 
     fn arrr(idx: u32, rd: u8, a: u8, b: u8) -> (u32, TraceInst) {
-        (idx, TraceInst::alu(4 * idx, Opcode::Add, r(rd), r(a), Some(r(b)), None, 0))
+        (
+            idx,
+            TraceInst::alu(4 * idx, Opcode::Add, r(rd), r(a), Some(r(b)), None, 0),
+        )
     }
 
     fn arri(idx: u32, rd: u8, a: u8, imm: i32) -> (u32, TraceInst) {
-        (idx, TraceInst::alu(4 * idx, Opcode::Add, r(rd), r(a), None, Some(imm), 0))
+        (
+            idx,
+            TraceInst::alu(4 * idx, Opcode::Add, r(rd), r(a), None, Some(imm), 0),
+        )
     }
 
     fn leaf(pair: &(u32, TraceInst)) -> ExprState {
@@ -321,9 +327,18 @@ mod tests {
     #[test]
     fn paper_example_shift_add_sub_is_4_1() {
         // 1. Rb = Rd << Rh ; 2. Rg = Rb + Re ; 3. Ra = Rf - Rg
-        let i1 = (0, TraceInst::alu(0, Opcode::Sll, r(2), r(4), Some(r(8)), None, 0));
-        let i2 = (1, TraceInst::alu(4, Opcode::Add, r(7), r(2), Some(r(5)), None, 0));
-        let i3 = (2, TraceInst::alu(8, Opcode::Sub, r(1), r(6), Some(r(7)), None, 0));
+        let i1 = (
+            0,
+            TraceInst::alu(0, Opcode::Sll, r(2), r(4), Some(r(8)), None, 0),
+        );
+        let i2 = (
+            1,
+            TraceInst::alu(4, Opcode::Add, r(7), r(2), Some(r(5)), None, 0),
+        );
+        let i3 = (
+            2,
+            TraceInst::alu(8, Opcode::Sub, r(1), r(6), Some(r(7)), None, 0),
+        );
         let s2 = leaf(&i2).absorb(&leaf(&i1), C).unwrap();
         assert_eq!(s2.raw_ops(), 3, "Rg = (Rd << Rh) + Re is 3-1");
         assert_eq!(s2.category(), CollapseCategory::ThreeOne);
@@ -337,7 +352,10 @@ mod tests {
     fn duplicated_operand_doubles_producer_contribution() {
         // Rb = Ra + Rd ; Rc = Rb + Rb  =>  (Ra + Rd) + (Ra + Rd), a 4-1.
         let p = arrr(0, 2, 1, 4);
-        let c = (1u32, TraceInst::alu(4, Opcode::Add, r(3), r(2), Some(r(2)), None, 0));
+        let c = (
+            1u32,
+            TraceInst::alu(4, Opcode::Add, r(3), r(2), Some(r(2)), None, 0),
+        );
         let merged = leaf(&c)
             .absorb(&leaf(&p), &[AbsorbSlot::Counted, AbsorbSlot::Counted])
             .unwrap();
@@ -363,10 +381,22 @@ mod tests {
     fn zero_detection_admits_fourth_member() {
         // §3's example: 1. Rf = Rg or 0x288 ; 2. Rh = Ra - 1 ;
         // 3. Rd = Rf >> Rh ; 4. Ra = [Rd + 0]
-        let i1 = (0, TraceInst::alu(0, Opcode::Or, r(6), r(7), None, Some(0x288), 0));
-        let i2 = (1, TraceInst::alu(4, Opcode::Sub, r(8), r(1), None, Some(1), 0));
-        let i3 = (2, TraceInst::alu(8, Opcode::Srl, r(4), r(6), Some(r(8)), None, 0));
-        let i4 = (3, TraceInst::load(12, Opcode::Ld, r(1), r(4), None, Some(0), 0, 0x40));
+        let i1 = (
+            0,
+            TraceInst::alu(0, Opcode::Or, r(6), r(7), None, Some(0x288), 0),
+        );
+        let i2 = (
+            1,
+            TraceInst::alu(4, Opcode::Sub, r(8), r(1), None, Some(1), 0),
+        );
+        let i3 = (
+            2,
+            TraceInst::alu(8, Opcode::Srl, r(4), r(6), Some(r(8)), None, 0),
+        );
+        let i4 = (
+            3,
+            TraceInst::load(12, Opcode::Ld, r(1), r(4), None, Some(0), 0, 0x40),
+        );
         let s3 = leaf(&i3).absorb(&leaf(&i1), C).unwrap(); // (Rg|0x288) >> Rh
         let s3 = s3.absorb(&leaf(&i2), C).unwrap(); // (Rg|0x288) >> (Ra-1)
         assert_eq!(s3.raw_ops(), 4);
@@ -493,9 +523,27 @@ mod tests {
         fn leaf_strategy(idx: u32) -> impl Strategy<Value = ExprState> {
             (0u8..4, 1u8..8, proptest::option::of(-7i32..8)).prop_map(move |(shape, reg, imm)| {
                 let inst = match shape {
-                    0 => TraceInst::alu(4 * idx, Opcode::Add, r(1), r(reg), Some(r(reg % 7 + 1)), None, 0),
-                    1 => TraceInst::alu(4 * idx, Opcode::Or, r(1), r(reg), None, Some(imm.unwrap_or(1)), 0),
-                    2 => TraceInst::mov(4 * idx, Opcode::Mov, r(1), None, Some(imm.unwrap_or(3)), 0),
+                    0 => TraceInst::alu(
+                        4 * idx,
+                        Opcode::Add,
+                        r(1),
+                        r(reg),
+                        Some(r(reg % 7 + 1)),
+                        None,
+                        0,
+                    ),
+                    1 => TraceInst::alu(
+                        4 * idx,
+                        Opcode::Or,
+                        r(1),
+                        r(reg),
+                        None,
+                        Some(imm.unwrap_or(1)),
+                        0,
+                    ),
+                    2 => {
+                        TraceInst::mov(4 * idx, Opcode::Mov, r(1), None, Some(imm.unwrap_or(3)), 0)
+                    }
                     _ => TraceInst::alu(
                         4 * idx,
                         Opcode::Xor,

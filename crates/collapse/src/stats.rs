@@ -17,7 +17,7 @@ const DISTANCE_CAP: usize = 64;
 /// `mark_participants`/`set_total` feed the Figure-8 numerator and
 /// denominator (fraction of all instructions participating in at least
 /// one collapsed group).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollapseStats {
     groups_3_1: u64,
     groups_4_1: u64,
@@ -177,7 +177,10 @@ mod tests {
         stats.record_group(&pair_state(1));
         stats.record_group(&pair_state(5));
         assert_eq!(stats.groups(), 2);
-        assert_eq!(stats.category_pct(CollapseCategory::ThreeOne).value(), 100.0);
+        assert_eq!(
+            stats.category_pct(CollapseCategory::ThreeOne).value(),
+            100.0
+        );
         assert_eq!(stats.distance().count(1), 1);
         assert_eq!(stats.distance().count(5), 1);
         assert_eq!(stats.pairs().total(), 2);

@@ -146,7 +146,15 @@ mod tests {
     fn independent_instructions_have_unit_critical_path() {
         let mut t = Trace::new("indep");
         for i in 0..10u8 {
-            t.push(TraceInst::alu(0, Opcode::Add, r(i % 7 + 1), Reg::G0, None, Some(1), 0));
+            t.push(TraceInst::alu(
+                0,
+                Opcode::Add,
+                r(i % 7 + 1),
+                Reg::G0,
+                None,
+                Some(1),
+                0,
+            ));
         }
         let a = analyze_dataflow(&t, &Latencies::default());
         assert_eq!(a.critical_path, 1);
@@ -168,10 +176,44 @@ mod tests {
     fn memory_dependences_extend_the_path() {
         let mut t = Trace::new("mem");
         // store r1 -> [64]; load [64] -> r2; add r2.
-        t.push(TraceInst::alu(0, Opcode::Add, r(1), Reg::G0, None, Some(9), 0));
-        t.push(TraceInst::store(4, Opcode::St, r(1), Reg::G0, None, Some(64), 0, 64));
-        t.push(TraceInst::load(8, Opcode::Ld, r(2), Reg::G0, None, Some(64), 0, 64));
-        t.push(TraceInst::alu(12, Opcode::Add, r(3), r(2), None, Some(1), 0));
+        t.push(TraceInst::alu(
+            0,
+            Opcode::Add,
+            r(1),
+            Reg::G0,
+            None,
+            Some(9),
+            0,
+        ));
+        t.push(TraceInst::store(
+            4,
+            Opcode::St,
+            r(1),
+            Reg::G0,
+            None,
+            Some(64),
+            0,
+            64,
+        ));
+        t.push(TraceInst::load(
+            8,
+            Opcode::Ld,
+            r(2),
+            Reg::G0,
+            None,
+            Some(64),
+            0,
+            64,
+        ));
+        t.push(TraceInst::alu(
+            12,
+            Opcode::Add,
+            r(3),
+            r(2),
+            None,
+            Some(1),
+            0,
+        ));
         let a = analyze_dataflow(&t, &Latencies::default());
         // add(1) -> store(1) -> load(2) -> add(1) = 5.
         assert_eq!(a.critical_path, 5);
@@ -181,8 +223,24 @@ mod tests {
     #[test]
     fn distances_count_dynamic_gaps() {
         let mut t = Trace::new("gap");
-        t.push(TraceInst::alu(0, Opcode::Add, r(1), Reg::G0, None, Some(1), 0));
-        t.push(TraceInst::alu(4, Opcode::Add, r(2), Reg::G0, None, Some(2), 0));
+        t.push(TraceInst::alu(
+            0,
+            Opcode::Add,
+            r(1),
+            Reg::G0,
+            None,
+            Some(1),
+            0,
+        ));
+        t.push(TraceInst::alu(
+            4,
+            Opcode::Add,
+            r(2),
+            Reg::G0,
+            None,
+            Some(2),
+            0,
+        ));
         t.push(TraceInst::alu(8, Opcode::Add, r(3), r(1), None, Some(3), 0));
         let a = analyze_dataflow(&t, &Latencies::default());
         assert_eq!(a.dep_distance.count(2), 1);

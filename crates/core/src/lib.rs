@@ -35,12 +35,14 @@
 
 pub mod config;
 pub mod dataflow;
+pub mod reference;
 pub mod result;
 pub mod simulator;
 
-pub use config::{ConfidenceParams, Latencies, LoadSpecMode, PaperConfig, SimConfig, ValueSpecMode};
-pub use result::{
-    BranchRunStats, LoadClass, LoadSpecStats, SimResult, StallStats, ValueSpecStats,
+pub use config::{
+    ConfidenceParams, Latencies, LoadSpecMode, PaperConfig, SimConfig, ValueSpecMode,
 };
 pub use dataflow::{analyze_dataflow, DataflowAnalysis};
+pub use reference::simulate_reference;
+pub use result::{BranchRunStats, LoadClass, LoadSpecStats, SimResult, StallStats, ValueSpecStats};
 pub use simulator::simulate;

@@ -1,0 +1,648 @@
+//! The pre-optimization baseline simulator, kept verbatim.
+//!
+//! This is the original `simulate` loop exactly as it stood before the
+//! hot-path overhaul in [`crate::simulator`]: `HashMap<u32, Entry>`
+//! window, `BTreeSet<u32>` ready set, SipHash store map. It exists for
+//! two reasons and must not be "improved":
+//!
+//! * the equivalence test asserts [`simulate`](crate::simulate) is
+//!   bit-identical to [`simulate_reference`] over a grid of traces and
+//!   configurations, which is what makes the optimized loop trustworthy;
+//! * the `components`/`lab_grid` benches time old-vs-new on the same
+//!   trace, so the speedup the overhaul bought stays measurable.
+//!
+//! Any intentional change to simulator semantics has to land in both
+//! files, which is deliberate friction: it makes "the results moved"
+//! impossible to do by accident.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+use ddsc_collapse::{
+    absorb_slots, can_produce, AbsorbSlot, CollapseOpts, CollapseStats, ExprState,
+};
+use ddsc_predict::{
+    AddressPredictor, DirectionPredictor, McFarling, SatCounter, TwoDeltaStride, TwoDeltaValue,
+    ValuePredictor,
+};
+use ddsc_trace::Trace;
+
+use crate::{
+    BranchRunStats, LoadClass, LoadSpecMode, LoadSpecStats, SimConfig, SimResult, StallStats,
+    ValueSpecMode, ValueSpecStats,
+};
+
+const NOT_DONE: u32 = u32::MAX;
+
+#[derive(Debug, Default)]
+struct DepGroup {
+    /// Unresolved producer indices (producers still in flight).
+    producers: Vec<u32>,
+    /// Max completion cycle among resolved producers.
+    ready: u32,
+}
+
+impl DepGroup {
+    fn add(&mut self, p: u32, completion: &[u32]) {
+        let c = completion[p as usize];
+        if c != NOT_DONE {
+            self.ready = self.ready.max(c);
+        } else if !self.producers.contains(&p) {
+            self.producers.push(p);
+        }
+    }
+
+    fn resolve(&mut self, p: u32, at: u32) -> bool {
+        if let Some(pos) = self.producers.iter().position(|&x| x == p) {
+            self.producers.swap_remove(pos);
+            self.ready = self.ready.max(at);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Non-bypassable dependences: data operands, memory dependence,
+    /// branch constraint. For loads this group excludes address
+    /// generation.
+    main: DepGroup,
+    /// Address-generation dependences (loads only).
+    addr: DepGroup,
+    /// Whether load-speculation lets this load ignore `addr`.
+    bypass_addr: bool,
+    /// Collapse expression state (None for non-pattern ops or when
+    /// collapsing is off).
+    expr: Option<ExprState>,
+    /// Unresolved producers that a *later* consumer could still absorb
+    /// transitively, with their operand slots inside this expression.
+    collapse_deps: Vec<(u32, Vec<AbsorbSlot>)>,
+    latency: u8,
+    entry_cycle: u32,
+    scheduled: bool,
+    /// Edges to in-window consumers: (consumer index, is-addr-group).
+    consumers: Vec<(u32, bool)>,
+    /// How many consumers absorbed this instruction.
+    absorbed_by: u32,
+    /// Total readers of this instruction's result in the whole trace.
+    readers_total: u32,
+    /// Basic-block sequence number (for the within-block ablation).
+    block_id: u32,
+    is_load: bool,
+    pred_conf: bool,
+    pred_correct: bool,
+    /// Attribution metadata: the memory-dependence and branch-constraint
+    /// producers inside `main`, and the readiness of each constraint
+    /// class (for the stall breakdown).
+    mem_dep: Option<u32>,
+    branch_dep: Option<u32>,
+    data_ready: u32,
+    mem_ready: u32,
+    branch_ready: u32,
+}
+
+impl Entry {
+    /// Classifies a resolved `main`-group producer for stall attribution.
+    fn note_main_ready(&mut self, p: u32, at: u32) {
+        if self.mem_dep == Some(p) {
+            self.mem_ready = self.mem_ready.max(at);
+        } else if self.branch_dep == Some(p) {
+            self.branch_ready = self.branch_ready.max(at);
+        } else {
+            self.data_ready = self.data_ready.max(at);
+        }
+    }
+}
+
+impl Entry {
+    fn blocking(&self) -> usize {
+        self.main.producers.len()
+            + if self.bypass_addr {
+                0
+            } else {
+                self.addr.producers.len()
+            }
+    }
+
+    fn ready_cycle(&self) -> u32 {
+        let mut r = self.entry_cycle.max(self.main.ready);
+        if !self.bypass_addr {
+            r = r.max(self.addr.ready);
+        }
+        r
+    }
+}
+
+/// Simulates one trace under one configuration with the original
+/// (pre-overhaul) data structures. Result must be bit-identical to
+/// [`simulate`](crate::simulate).
+pub fn simulate_reference(trace: &Trace, config: &SimConfig) -> SimResult {
+    let insts = trace.insts();
+    let n = insts.len();
+    let opts = CollapseOpts {
+        zero_detection: config.zero_detection,
+        max_members: config.max_collapse_members,
+        max_ops: config.max_collapse_ops,
+    };
+
+    // ---- pass 1: branch prediction in fetch order ----
+    let mut branch_ok = vec![true; n];
+    let mut branches = BranchRunStats::default();
+    {
+        let mut predictor = McFarling::new(config.predictor_n);
+        for (i, inst) in insts.iter().enumerate() {
+            if inst.op.is_cond_branch() {
+                branches.cond_branches += 1;
+                let ok =
+                    config.perfect_branches || predictor.predict_and_train(inst.pc, inst.taken);
+                branch_ok[i] = ok;
+                if !ok {
+                    branches.mispredicted += 1;
+                }
+            }
+        }
+    }
+
+    // ---- pass 2: address prediction in fetch order ----
+    // flags: bit0 = confident, bit1 = correct.
+    let mut load_pred = vec![0u8; n];
+    match config.load_spec {
+        LoadSpecMode::Off => {}
+        LoadSpecMode::Ideal => {
+            for (i, inst) in insts.iter().enumerate() {
+                if inst.is_load() {
+                    load_pred[i] = 0b11;
+                }
+            }
+        }
+        LoadSpecMode::Real => {
+            let conf = config.confidence;
+            let mut table = TwoDeltaStride::with_confidence(
+                config.stride_bits,
+                SatCounter::with_params(conf.max, conf.inc, conf.dec, conf.threshold),
+            );
+            for (i, inst) in insts.iter().enumerate() {
+                if inst.is_load() {
+                    let p = table.access(inst.pc, inst.ea.unwrap_or(0));
+                    load_pred[i] = u8::from(p.confident) | (u8::from(p.correct) << 1);
+                }
+            }
+        }
+    }
+
+    // ---- pass 2b (extension): value prediction in fetch order ----
+    // value_bypass[i]: consumers of instruction i's result need not wait
+    // for it — the value is (correctly) predicted at dispatch.
+    let mut value_bypass = vec![false; n];
+    let mut values = ValueSpecStats::default();
+    match config.value_spec {
+        ValueSpecMode::Off => {}
+        ValueSpecMode::Ideal => {
+            for (i, inst) in insts.iter().enumerate() {
+                if inst.is_load() && inst.value.is_some() {
+                    value_bypass[i] = true;
+                    values.predicted_correct += 1;
+                }
+            }
+        }
+        ValueSpecMode::IdealAll => {
+            for (i, inst) in insts.iter().enumerate() {
+                if inst.value.is_some() {
+                    value_bypass[i] = true;
+                    if inst.is_load() {
+                        values.predicted_correct += 1;
+                    }
+                }
+            }
+        }
+        ValueSpecMode::Real => {
+            let mut table = TwoDeltaValue::paper_sized();
+            for (i, inst) in insts.iter().enumerate() {
+                if inst.is_load() {
+                    let Some(v) = inst.value else { continue };
+                    let p = table.access(inst.pc, v);
+                    if p.confident && p.correct {
+                        value_bypass[i] = true;
+                        values.predicted_correct += 1;
+                    } else if p.confident {
+                        // Wrong value: consumers replay once the load
+                        // completes — same timing as no speculation.
+                        values.predicted_incorrect += 1;
+                    } else {
+                        values.not_predicted += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- pass 3 (node elimination only): reader counts ----
+    let readers = if config.node_elimination {
+        let mut counts = vec![0u32; n];
+        let mut last_writer = [None::<u32>; ddsc_isa::Reg::COUNT];
+        for (i, inst) in insts.iter().enumerate() {
+            for r in inst.reg_sources() {
+                if let Some(p) = last_writer[r.index()] {
+                    counts[p as usize] += 1;
+                }
+            }
+            if let Some(d) = inst.dest {
+                last_writer[d.index()] = Some(i as u32);
+            }
+        }
+        counts
+    } else {
+        Vec::new()
+    };
+
+    // ---- main timing pass ----
+    let mut completion = vec![NOT_DONE; n];
+    let mut last_writer = [None::<u32>; ddsc_isa::Reg::COUNT];
+    let mut store_map: HashMap<u32, u32> = HashMap::new();
+    let mut window: HashMap<u32, Entry> = HashMap::new();
+    let mut pending: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    let mut ready: BTreeSet<u32> = BTreeSet::new();
+    let mut last_mispred: Option<u32> = None;
+    let mut block_id = 0u32;
+
+    let mut loads = LoadSpecStats::default();
+    let mut stalls = StallStats::default();
+    let mut collapse = CollapseStats::new();
+    let mut participant = vec![0u64; n / 64 + 1];
+    let mut eliminated = 0u64;
+
+    let mut fetch = 0usize;
+    let mut in_window = 0u32;
+    let mut cycle = 0u32;
+    let mut retired = 0usize;
+    let mut last_issue_cycle = 0u32;
+
+    while retired < n {
+        // -- fetch: keep the window full --
+        while in_window < config.window_size && fetch < n {
+            let i = fetch as u32;
+            let inst = &insts[fetch];
+            let is_load = inst.is_load();
+            let mut main = DepGroup::default();
+            let mut addr = DepGroup::default();
+
+            for r in inst.reg_sources() {
+                if let Some(p) = last_writer[r.index()] {
+                    if value_bypass[p as usize] {
+                        // The producer's value is predicted at dispatch;
+                        // this dependence carries no latency.
+                        continue;
+                    }
+                    if is_load {
+                        addr.add(p, &completion);
+                    } else {
+                        main.add(p, &completion);
+                    }
+                }
+            }
+            let mut data_floor = main.ready;
+            let mut mem_dep = None;
+            let mut mem_ready = 0u32;
+            if is_load {
+                if let Some(&s) = store_map.get(&(inst.ea.unwrap_or(0) & !3)) {
+                    main.add(s, &completion);
+                    if completion[s as usize] != NOT_DONE {
+                        mem_ready = completion[s as usize];
+                    } else {
+                        mem_dep = Some(s);
+                    }
+                }
+            }
+            let mut branch_dep = None;
+            let mut branch_ready = 0u32;
+            if let Some(b) = last_mispred {
+                main.add(b, &completion);
+                if completion[b as usize] != NOT_DONE {
+                    branch_ready = completion[b as usize];
+                } else {
+                    branch_dep = Some(b);
+                }
+            }
+
+            // -- d-collapsing at dispatch --
+            let mut expr = if config.collapsing {
+                ExprState::leaf_with(i, inst, &opts)
+                    .filter(|_| inst.op.class().is_collapsible_consumer())
+            } else {
+                None
+            };
+            let mut collapse_deps: Vec<(u32, Vec<AbsorbSlot>)> = Vec::new();
+            if expr.is_some() {
+                // Initial candidates: unresolved producers referenced by
+                // the base instruction through collapsible operands.
+                for group in [&addr, &main] {
+                    for &p in &group.producers {
+                        if let Some(dest) = insts[p as usize].dest {
+                            if can_produce(&insts[p as usize]) {
+                                let slots = absorb_slots(inst, dest);
+                                if !slots.is_empty() {
+                                    collapse_deps.push((p, slots));
+                                }
+                            }
+                        }
+                    }
+                }
+                // Greedy absorb, nearest producer first, until nothing
+                // else fits the device.
+                loop {
+                    let cur = expr.as_ref().expect("expr present in collapse loop");
+                    let mut chosen: Option<(usize, ExprState)> = None;
+                    let mut order: Vec<usize> = (0..collapse_deps.len()).collect();
+                    order.sort_by_key(|&k| Reverse(collapse_deps[k].0));
+                    for k in order {
+                        let (p, ref slots) = collapse_deps[k];
+                        let Some(p_entry) = window.get(&p) else {
+                            continue; // already issued
+                        };
+                        if config.collapse_within_block_only && p_entry.block_id != block_id {
+                            continue;
+                        }
+                        let Some(p_expr) = p_entry.expr.as_ref() else {
+                            continue;
+                        };
+                        if let Some(merged) = cur.absorb_with(p_expr, slots, &opts) {
+                            chosen = Some((k, merged));
+                            break;
+                        }
+                    }
+                    let Some((k, merged)) = chosen else { break };
+                    let (p, slots) = collapse_deps.swap_remove(k);
+                    let occ = slots.len();
+                    // Remove the collapsed dependence and inherit the
+                    // producer's own dependences (leaf availability).
+                    let group = if is_load { &mut addr } else { &mut main };
+                    group.producers.retain(|&x| x != p);
+                    let p_entry = window.get_mut(&p).expect("producer vanished mid-absorb");
+                    p_entry.absorbed_by += 1;
+                    group.ready = group.ready.max(p_entry.main.ready);
+                    if !is_load {
+                        // Inherited leaf availability counts as data
+                        // readiness for the stall breakdown.
+                        data_floor = data_floor.max(p_entry.main.ready);
+                    }
+                    let inherited: Vec<u32> = p_entry.main.producers.clone();
+                    let inherited_slots: Vec<(u32, Vec<AbsorbSlot>)> = p_entry
+                        .collapse_deps
+                        .iter()
+                        .map(|(q, s)| {
+                            let mut rep = Vec::with_capacity(s.len() * occ);
+                            for _ in 0..occ {
+                                rep.extend_from_slice(s);
+                            }
+                            (*q, rep)
+                        })
+                        .collect();
+                    for q in inherited {
+                        group.add(q, &completion);
+                    }
+                    for (q, s) in inherited_slots {
+                        match collapse_deps.iter_mut().find(|(x, _)| *x == q) {
+                            Some((_, existing)) => existing.extend(s),
+                            None => collapse_deps.push((q, s)),
+                        }
+                    }
+                    expr = Some(merged);
+                }
+            }
+
+            let flags = load_pred[fetch];
+            let bypass_addr = is_load
+                && match config.load_spec {
+                    LoadSpecMode::Off => false,
+                    LoadSpecMode::Ideal => true,
+                    LoadSpecMode::Real => flags == 0b11, // confident && correct
+                };
+
+            let entry = Entry {
+                main,
+                addr,
+                bypass_addr,
+                expr,
+                collapse_deps,
+                latency: config.latencies.of(inst.op),
+                entry_cycle: cycle,
+                scheduled: false,
+                consumers: Vec::new(),
+                absorbed_by: 0,
+                readers_total: readers.get(fetch).copied().unwrap_or(0),
+                block_id,
+                is_load,
+                pred_conf: flags & 1 != 0,
+                pred_correct: flags & 2 != 0,
+                mem_dep,
+                branch_dep,
+                data_ready: data_floor,
+                mem_ready,
+                branch_ready,
+            };
+
+            // Register edges on in-window producers.
+            let edges: Vec<(u32, bool)> = entry
+                .addr
+                .producers
+                .iter()
+                .map(|&p| (p, true))
+                .chain(entry.main.producers.iter().map(|&p| (p, false)))
+                .collect();
+            for (p, is_addr) in edges {
+                window
+                    .get_mut(&p)
+                    .expect("unresolved producer must be in window")
+                    .consumers
+                    .push((i, is_addr));
+            }
+
+            let schedulable = entry.blocking() == 0;
+            let rc = entry.ready_cycle();
+            window.insert(i, entry);
+            if schedulable {
+                window.get_mut(&i).expect("just inserted").scheduled = true;
+                pending.push(Reverse((rc, i)));
+            }
+            in_window += 1;
+
+            // Trace-order bookkeeping for later fetches.
+            if let Some(d) = inst.dest {
+                last_writer[d.index()] = Some(i);
+            }
+            if inst.is_store() {
+                store_map.insert(inst.ea.unwrap_or(0) & !3, i);
+            }
+            if inst.op.is_cond_branch() && !branch_ok[fetch] {
+                last_mispred = Some(i);
+            }
+            if inst.op.is_control() {
+                block_id += 1;
+            }
+            fetch += 1;
+        }
+
+        // -- promote pending entries whose ready cycle has arrived --
+        while let Some(&Reverse((rc, idx))) = pending.peek() {
+            if rc <= cycle {
+                pending.pop();
+                ready.insert(idx);
+            } else {
+                break;
+            }
+        }
+
+        // -- issue up to `issue_width`, oldest first --
+        let mut slots_used = 0u32;
+        while slots_used < config.issue_width {
+            let Some(&idx) = ready.first() else { break };
+            ready.remove(&idx);
+            let entry = window.remove(&idx).expect("ready entry must be in window");
+            in_window -= 1;
+            retired += 1;
+
+            // Node elimination: if every reader absorbed this result, the
+            // instruction need not execute at all (Figure 1f). It frees
+            // its window slot without consuming issue bandwidth.
+            let eliminate = config.node_elimination
+                && entry.absorbed_by > 0
+                && entry.absorbed_by == entry.readers_total
+                && can_produce(&insts[idx as usize]);
+            let ct = if eliminate {
+                eliminated += 1;
+                cycle // value is never read; see readers accounting
+            } else {
+                slots_used += 1;
+                last_issue_cycle = cycle;
+                cycle + u32::from(entry.latency)
+            };
+            completion[idx as usize] = ct;
+
+            if !eliminate {
+                // Bottleneck attribution: the wait from window entry to
+                // readiness goes to the dominant constraint; ready to
+                // issue is bandwidth contention.
+                let rc = entry.ready_cycle();
+                stalls.insts += 1;
+                stalls.bandwidth += u64::from(cycle - rc);
+                let wait = rc - entry.entry_cycle;
+                if wait > 0 {
+                    let addr_ready = if entry.bypass_addr {
+                        0
+                    } else {
+                        entry.addr.ready
+                    };
+                    // Priority for ties: the most external cause first.
+                    let attributed = if entry.branch_ready >= rc {
+                        &mut stalls.branch
+                    } else if entry.mem_ready >= rc {
+                        &mut stalls.memory
+                    } else if addr_ready >= rc {
+                        &mut stalls.address
+                    } else {
+                        &mut stalls.data
+                    };
+                    *attributed += u64::from(wait);
+                }
+                if entry.is_load && config.load_spec != LoadSpecMode::Off {
+                    let t_addr_known = entry.addr.producers.is_empty();
+                    let comparator = if entry.bypass_addr {
+                        cycle
+                    } else {
+                        entry.main.ready.max(entry.entry_cycle)
+                    };
+                    let class = if t_addr_known && entry.addr.ready <= comparator {
+                        LoadClass::Ready
+                    } else if entry.pred_conf && entry.pred_correct {
+                        LoadClass::PredictedCorrect
+                    } else if entry.pred_conf {
+                        LoadClass::PredictedIncorrect
+                    } else {
+                        LoadClass::NotPredicted
+                    };
+                    loads.record(class);
+                }
+                if let Some(expr) = entry.expr.as_ref() {
+                    // A collapse is only *executed* when the interlock is
+                    // real: the consumer issues before some absorbed
+                    // producer's result would have been available. Groups
+                    // whose producers all completed in time issue as
+                    // ordinary instructions and are not counted (the
+                    // dependence rewriting never changed their timing).
+                    let effective = expr.is_collapsed()
+                        && expr
+                            .members()
+                            .any(|(m, _)| m != idx && completion[m as usize] > cycle);
+                    if effective {
+                        collapse.record_group(expr);
+                        participant[idx as usize / 64] |= 1 << (idx % 64);
+                        for (m, _) in expr.members() {
+                            if m != idx && completion[m as usize] > cycle {
+                                participant[m as usize / 64] |= 1 << (m % 64);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Notify in-window consumers.
+            for (cons, is_addr) in entry.consumers {
+                let Some(c) = window.get_mut(&cons) else {
+                    continue; // bypassed load already issued
+                };
+                let resolved = if is_addr {
+                    c.addr.resolve(idx, ct)
+                } else {
+                    let r = c.main.resolve(idx, ct);
+                    if r {
+                        c.note_main_ready(idx, ct);
+                    }
+                    r
+                };
+                if resolved && !c.scheduled && c.blocking() == 0 {
+                    c.scheduled = true;
+                    pending.push(Reverse((c.ready_cycle(), cons)));
+                }
+            }
+        }
+
+        if retired >= n {
+            break;
+        }
+
+        // -- advance time --
+        if !ready.is_empty() || (in_window < config.window_size && fetch < n) {
+            cycle += 1;
+        } else if let Some(&Reverse((rc, _))) = pending.peek() {
+            cycle = rc.max(cycle + 1);
+        } else {
+            cycle += 1;
+            debug_assert!(
+                fetch < n || in_window > 0,
+                "simulator wedged with nothing to do"
+            );
+        }
+    }
+
+    let participants: u64 = participant.iter().map(|w| w.count_ones() as u64).sum();
+    collapse.mark_participants(participants);
+    collapse.set_total(n as u64);
+
+    SimResult {
+        config: *config,
+        instructions: n as u64,
+        cycles: if n == 0 {
+            0
+        } else {
+            u64::from(last_issue_cycle) + 1
+        },
+        loads,
+        values,
+        branches,
+        stalls,
+        collapse,
+        eliminated,
+    }
+}

@@ -169,7 +169,7 @@ impl BranchRunStats {
 }
 
 /// The result of simulating one trace under one configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// The configuration simulated.
     pub config: SimConfig,

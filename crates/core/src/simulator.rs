@@ -15,11 +15,22 @@
 //! confidently-predicted loads; d-collapsing rewrites a consumer's
 //! dependence on an in-window, un-issued ALU producer into dependences on
 //! that producer's own sources, within a 4-1 operand budget.
+//!
+//! The cycle loop is allocation-lean: the window lives in a fixed-size
+//! slab indexed through a dense `slot_of` table (no hashing), the ready
+//! set is a sorted vector popped from the tail, and the store-alias map
+//! uses [`ddsc_util::FxHashMap`]. All of it is bit-identical to the
+//! original structures — `tests::matches_the_reference_simulator` and
+//! [`crate::reference`] hold that invariant in place.
 
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-use ddsc_collapse::{absorb_slots, can_produce, AbsorbSlot, CollapseOpts, CollapseStats, ExprState};
+use ddsc_util::FxHashMap;
+
+use ddsc_collapse::{
+    absorb_slots, can_produce, AbsorbSlot, CollapseOpts, CollapseStats, ExprState,
+};
 use ddsc_predict::{
     AddressPredictor, DirectionPredictor, McFarling, SatCounter, TwoDeltaStride, TwoDeltaValue,
     ValuePredictor,
@@ -42,6 +53,15 @@ struct DepGroup {
 }
 
 impl DepGroup {
+    /// An empty group pre-sized for the common case (an instruction has
+    /// at most two register sources plus a memory/branch constraint).
+    fn sized() -> Self {
+        DepGroup {
+            producers: Vec::with_capacity(4),
+            ready: 0,
+        }
+    }
+
     fn add(&mut self, p: u32, completion: &[u32]) {
         let c = completion[p as usize];
         if c != NOT_DONE {
@@ -117,7 +137,12 @@ impl Entry {
 
 impl Entry {
     fn blocking(&self) -> usize {
-        self.main.producers.len() + if self.bypass_addr { 0 } else { self.addr.producers.len() }
+        self.main.producers.len()
+            + if self.bypass_addr {
+                0
+            } else {
+                self.addr.producers.len()
+            }
     }
 
     fn ready_cycle(&self) -> u32 {
@@ -126,6 +151,66 @@ impl Entry {
             r = r.max(self.addr.ready);
         }
         r
+    }
+}
+
+/// Slot id meaning "not in the window".
+const NO_SLOT: u32 = u32::MAX;
+
+/// The scheduling window as a fixed-capacity slab.
+///
+/// At most `window_size` instructions are live at once, but their
+/// *indices* can span arbitrarily far (an old stalled instruction pins
+/// its slot while younger ones churn), so `index % capacity` would
+/// collide. Instead a free-list hands out slots and a dense
+/// `slot_of[inst_index]` table maps indices to slots — every lookup the
+/// cycle loop does becomes two array reads, no hashing.
+#[derive(Debug)]
+struct Window {
+    slots: Vec<Option<Entry>>,
+    /// Instruction index → slot, or [`NO_SLOT`].
+    slot_of: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl Window {
+    fn new(capacity: u32, trace_len: usize) -> Self {
+        let capacity = capacity as usize;
+        Window {
+            slots: std::iter::repeat_with(|| None).take(capacity).collect(),
+            slot_of: vec![NO_SLOT; trace_len],
+            free: (0..capacity as u32).rev().collect(),
+        }
+    }
+
+    fn insert(&mut self, index: u32, entry: Entry) {
+        let slot = self.free.pop().expect("window over capacity");
+        self.slots[slot as usize] = Some(entry);
+        self.slot_of[index as usize] = slot;
+    }
+
+    fn get(&self, index: u32) -> Option<&Entry> {
+        match self.slot_of[index as usize] {
+            NO_SLOT => None,
+            slot => self.slots[slot as usize].as_ref(),
+        }
+    }
+
+    fn get_mut(&mut self, index: u32) -> Option<&mut Entry> {
+        match self.slot_of[index as usize] {
+            NO_SLOT => None,
+            slot => self.slots[slot as usize].as_mut(),
+        }
+    }
+
+    fn remove(&mut self, index: u32) -> Option<Entry> {
+        match std::mem::replace(&mut self.slot_of[index as usize], NO_SLOT) {
+            NO_SLOT => None,
+            slot => {
+                self.free.push(slot);
+                self.slots[slot as usize].take()
+            }
+        }
     }
 }
 
@@ -161,8 +246,8 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
         for (i, inst) in insts.iter().enumerate() {
             if inst.op.is_cond_branch() {
                 branches.cond_branches += 1;
-                let ok = config.perfect_branches
-                    || predictor.predict_and_train(inst.pc, inst.taken);
+                let ok =
+                    config.perfect_branches || predictor.predict_and_train(inst.pc, inst.taken);
                 branch_ok[i] = ok;
                 if !ok {
                     branches.mispredicted += 1;
@@ -192,8 +277,7 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
             for (i, inst) in insts.iter().enumerate() {
                 if inst.is_load() {
                     let p = table.access(inst.pc, inst.ea.unwrap_or(0));
-                    load_pred[i] =
-                        u8::from(p.confident) | (u8::from(p.correct) << 1);
+                    load_pred[i] = u8::from(p.confident) | (u8::from(p.correct) << 1);
                 }
             }
         }
@@ -267,10 +351,13 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
     // ---- main timing pass ----
     let mut completion = vec![NOT_DONE; n];
     let mut last_writer = [None::<u32>; ddsc_isa::Reg::COUNT];
-    let mut store_map: HashMap<u32, u32> = HashMap::new();
-    let mut window: HashMap<u32, Entry> = HashMap::new();
-    let mut pending: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-    let mut ready: BTreeSet<u32> = BTreeSet::new();
+    let mut store_map: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut window = Window::new(config.window_size, n);
+    let mut pending: BinaryHeap<Reverse<(u32, u32)>> =
+        BinaryHeap::with_capacity(config.window_size as usize + 1);
+    // Kept sorted descending between cycles; the tail is the oldest
+    // ready instruction, so issue pops from the end.
+    let mut ready: Vec<u32> = Vec::with_capacity(config.window_size as usize + 1);
     let mut last_mispred: Option<u32> = None;
     let mut block_id = 0u32;
 
@@ -292,8 +379,8 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
             let i = fetch as u32;
             let inst = &insts[fetch];
             let is_load = inst.is_load();
-            let mut main = DepGroup::default();
-            let mut addr = DepGroup::default();
+            let mut main = DepGroup::sized();
+            let mut addr = DepGroup::sized();
 
             for r in inst.reg_sources() {
                 if let Some(p) = last_writer[r.index()] {
@@ -365,7 +452,7 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
                     order.sort_by_key(|&k| Reverse(collapse_deps[k].0));
                     for k in order {
                         let (p, ref slots) = collapse_deps[k];
-                        let Some(p_entry) = window.get(&p) else {
+                        let Some(p_entry) = window.get(p) else {
                             continue; // already issued
                         };
                         if config.collapse_within_block_only && p_entry.block_id != block_id {
@@ -386,7 +473,7 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
                     // producer's own dependences (leaf availability).
                     let group = if is_load { &mut addr } else { &mut main };
                     group.producers.retain(|&x| x != p);
-                    let p_entry = window.get_mut(&p).expect("producer vanished mid-absorb");
+                    let p_entry = window.get_mut(p).expect("producer vanished mid-absorb");
                     p_entry.absorbed_by += 1;
                     group.ready = group.ready.max(p_entry.main.ready);
                     if !is_load {
@@ -460,7 +547,7 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
                 .collect();
             for (p, is_addr) in edges {
                 window
-                    .get_mut(&p)
+                    .get_mut(p)
                     .expect("unresolved producer must be in window")
                     .consumers
                     .push((i, is_addr));
@@ -470,7 +557,7 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
             let rc = entry.ready_cycle();
             window.insert(i, entry);
             if schedulable {
-                window.get_mut(&i).expect("just inserted").scheduled = true;
+                window.get_mut(i).expect("just inserted").scheduled = true;
                 pending.push(Reverse((rc, i)));
             }
             in_window += 1;
@@ -492,21 +579,27 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
         }
 
         // -- promote pending entries whose ready cycle has arrived --
+        let mut promoted = false;
         while let Some(&Reverse((rc, idx))) = pending.peek() {
             if rc <= cycle {
                 pending.pop();
-                ready.insert(idx);
+                ready.push(idx);
+                promoted = true;
             } else {
                 break;
             }
+        }
+        if promoted {
+            // Descending, so popping the tail issues oldest-first —
+            // the same order the BTreeSet's `first()` gave.
+            ready.sort_unstable_by(|a, b| b.cmp(a));
         }
 
         // -- issue up to `issue_width`, oldest first --
         let mut slots_used = 0u32;
         while slots_used < config.issue_width {
-            let Some(&idx) = ready.first() else { break };
-            ready.remove(&idx);
-            let entry = window.remove(&idx).expect("ready entry must be in window");
+            let Some(idx) = ready.pop() else { break };
+            let entry = window.remove(idx).expect("ready entry must be in window");
             in_window -= 1;
             retired += 1;
 
@@ -536,7 +629,11 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
                 stalls.bandwidth += u64::from(cycle - rc);
                 let wait = rc - entry.entry_cycle;
                 if wait > 0 {
-                    let addr_ready = if entry.bypass_addr { 0 } else { entry.addr.ready };
+                    let addr_ready = if entry.bypass_addr {
+                        0
+                    } else {
+                        entry.addr.ready
+                    };
                     // Priority for ties: the most external cause first.
                     let attributed = if entry.branch_ready >= rc {
                         &mut stalls.branch
@@ -575,9 +672,9 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
                     // ordinary instructions and are not counted (the
                     // dependence rewriting never changed their timing).
                     let effective = expr.is_collapsed()
-                        && expr.members().any(|(m, _)| {
-                            m != idx && completion[m as usize] > cycle
-                        });
+                        && expr
+                            .members()
+                            .any(|(m, _)| m != idx && completion[m as usize] > cycle);
                     if effective {
                         collapse.record_group(expr);
                         participant[idx as usize / 64] |= 1 << (idx % 64);
@@ -592,7 +689,7 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
 
             // Notify in-window consumers.
             for (cons, is_addr) in entry.consumers {
-                let Some(c) = window.get_mut(&cons) else {
+                let Some(c) = window.get_mut(cons) else {
                     continue; // bypassed load already issued
                 };
                 let resolved = if is_addr {
@@ -636,7 +733,11 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
     SimResult {
         config: *config,
         instructions: n as u64,
-        cycles: if n == 0 { 0 } else { u64::from(last_issue_cycle) + 1 },
+        cycles: if n == 0 {
+            0
+        } else {
+            u64::from(last_issue_cycle) + 1
+        },
         loads,
         values,
         branches,
@@ -649,9 +750,9 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ddsc_trace::TraceInst;
     use crate::PaperConfig;
     use ddsc_isa::{Cond, Opcode, Reg};
+    use ddsc_trace::TraceInst;
 
     fn r(i: u8) -> Reg {
         Reg::new(i)
@@ -752,7 +853,15 @@ mod tests {
         // a tiny window stalls behind the divide.
         let mut t = Trace::new("divs");
         for i in 0..200u32 {
-            t.push(TraceInst::alu(4 * i, Opcode::Div, r(1), r(1), None, Some(3), 0));
+            t.push(TraceInst::alu(
+                4 * i,
+                Opcode::Div,
+                r(1),
+                r(1),
+                None,
+                Some(3),
+                0,
+            ));
         }
         let res = simulate(&t, &SimConfig::base(8));
         // Serial divides: 12 cycles each.
@@ -774,7 +883,15 @@ mod tests {
                     0x80,
                 ));
             } else {
-                t.push(TraceInst::alu(4 * i, Opcode::Add, r((i % 7 + 1) as u8), Reg::G0, None, Some(1), 0));
+                t.push(TraceInst::alu(
+                    4 * i,
+                    Opcode::Add,
+                    r((i % 7 + 1) as u8),
+                    Reg::G0,
+                    None,
+                    Some(1),
+                    0,
+                ));
             }
         }
         let base = simulate(&t, &SimConfig::base(8));
@@ -782,9 +899,22 @@ mod tests {
         let mut t2 = Trace::new("taken-branches");
         for i in 0..4000u32 {
             if i % 4 == 0 {
-                t2.push(TraceInst::cond_branch(0x40, Opcode::Bcc(Cond::Ne), true, 0x80));
+                t2.push(TraceInst::cond_branch(
+                    0x40,
+                    Opcode::Bcc(Cond::Ne),
+                    true,
+                    0x80,
+                ));
             } else {
-                t2.push(TraceInst::alu(4 * i, Opcode::Add, r((i % 7 + 1) as u8), Reg::G0, None, Some(1), 0));
+                t2.push(TraceInst::alu(
+                    4 * i,
+                    Opcode::Add,
+                    r((i % 7 + 1) as u8),
+                    Reg::G0,
+                    None,
+                    Some(1),
+                    0,
+                ));
             }
         }
         let pred = simulate(&t2, &SimConfig::base(8));
@@ -794,8 +924,10 @@ mod tests {
             pred.ipc(),
             base.ipc()
         );
-        assert!(base.branches.mispredicted * 3 > base.branches.cond_branches,
-            "random branches should mispredict often");
+        assert!(
+            base.branches.mispredicted * 3 > base.branches.cond_branches,
+            "random branches should mispredict often"
+        );
     }
 
     #[test]
@@ -803,9 +935,35 @@ mod tests {
         // store to A; load from A; the load must see the store's
         // completion before issuing.
         let mut t = Trace::new("mem");
-        t.push(TraceInst::alu(0, Opcode::Add, r(1), Reg::G0, None, Some(64), 0)); // addr
-        t.push(TraceInst::store(4, Opcode::St, r(1), r(1), None, Some(0), 0, 64));
-        t.push(TraceInst::load(8, Opcode::Ld, r(2), r(1), None, Some(0), 0, 64));
+        t.push(TraceInst::alu(
+            0,
+            Opcode::Add,
+            r(1),
+            Reg::G0,
+            None,
+            Some(64),
+            0,
+        )); // addr
+        t.push(TraceInst::store(
+            4,
+            Opcode::St,
+            r(1),
+            r(1),
+            None,
+            Some(0),
+            0,
+            64,
+        ));
+        t.push(TraceInst::load(
+            8,
+            Opcode::Ld,
+            r(2),
+            r(1),
+            None,
+            Some(0),
+            0,
+            64,
+        ));
         let res = simulate(&t, &SimConfig::base(8));
         // add @0, store @1 (addr ready at 1), load @>=2, +2 latency.
         assert!(res.cycles >= 3, "cycles {}", res.cycles);
@@ -855,14 +1013,44 @@ mod tests {
         let mut rng = ddsc_util::Pcg32::new(3);
         let mut t = Trace::new("random-loads");
         for _ in 0..900u32 {
-            t.push(TraceInst::alu(0x10, Opcode::Div, r(1), r(1), None, Some(1), 0));
+            t.push(TraceInst::alu(
+                0x10,
+                Opcode::Div,
+                r(1),
+                r(1),
+                None,
+                Some(1),
+                0,
+            ));
             let ea = (rng.next_u32() % 0x10000) & !3;
-            t.push(TraceInst::load(0x20, Opcode::Ld, r(2), r(1), None, Some(ea as i32), 0, ea));
-            t.push(TraceInst::alu(0x30, Opcode::Add, r(3), r(2), None, Some(1), 0));
+            t.push(TraceInst::load(
+                0x20,
+                Opcode::Ld,
+                r(2),
+                r(1),
+                None,
+                Some(ea as i32),
+                0,
+                ea,
+            ));
+            t.push(TraceInst::alu(
+                0x30,
+                Opcode::Add,
+                r(3),
+                r(2),
+                None,
+                Some(1),
+                0,
+            ));
         }
         let real = simulate(&t, &SimConfig::paper(PaperConfig::D, 8));
         let ideal = simulate(&t, &SimConfig::paper(PaperConfig::E, 8));
-        assert!(ideal.ipc() >= real.ipc(), "ideal {} real {}", ideal.ipc(), real.ipc());
+        assert!(
+            ideal.ipc() >= real.ipc(),
+            "ideal {} real {}",
+            ideal.ipc(),
+            real.ipc()
+        );
         assert!(
             real.loads.not_predicted + real.loads.predicted_incorrect > 0,
             "random addresses cannot all predict"
@@ -875,7 +1063,12 @@ mod tests {
         for i in 0..300u32 {
             t.push(TraceInst::alu(4, Opcode::Add, r(1), r(1), None, Some(1), 0));
             t.push(TraceInst::cmp(8, r(1), None, Some(1000), 0));
-            t.push(TraceInst::cond_branch(12, Opcode::Bcc(Cond::Ne), i != 299, 4));
+            t.push(TraceInst::cond_branch(
+                12,
+                Opcode::Bcc(Cond::Ne),
+                i != 299,
+                4,
+            ));
         }
         let res = simulate(&t, &SimConfig::paper(PaperConfig::C, 8));
         let pairs = res.collapse.pairs();
@@ -893,9 +1086,25 @@ mod tests {
         let mut t = Trace::new("dist");
         t.push(TraceInst::alu(0, Opcode::Add, r(1), r(2), None, Some(1), 0));
         for i in 0..3u32 {
-            t.push(TraceInst::alu(4 + 4 * i, Opcode::Add, r((4 + i) as u8), Reg::G0, None, Some(1), 0));
+            t.push(TraceInst::alu(
+                4 + 4 * i,
+                Opcode::Add,
+                r((4 + i) as u8),
+                Reg::G0,
+                None,
+                Some(1),
+                0,
+            ));
         }
-        t.push(TraceInst::alu(20, Opcode::Add, r(3), r(1), None, Some(2), 0));
+        t.push(TraceInst::alu(
+            20,
+            Opcode::Add,
+            r(3),
+            r(1),
+            None,
+            Some(2),
+            0,
+        ));
         let res = simulate(&t, &SimConfig::paper(PaperConfig::C, 8));
         assert_eq!(res.collapse.distance().count(4), 1, "distance 4 collapse");
     }
@@ -946,8 +1155,7 @@ mod tests {
         let mut t = Trace::new("chase");
         for _ in 0..400 {
             let ea = rng.next_u32() & !3;
-            let mut inst =
-                TraceInst::load(0x20, Opcode::Ld, r(1), r(1), None, Some(0), 0, ea);
+            let mut inst = TraceInst::load(0x20, Opcode::Ld, r(1), r(1), None, Some(0), 0, ea);
             inst.value = Some(ea.wrapping_add(64));
             t.push(inst);
         }
@@ -975,7 +1183,15 @@ mod tests {
             let mut ld = TraceInst::load(0x30, Opcode::Ld, r(2), r(9), None, Some(0), 0, 0x5000);
             ld.value = Some(77);
             t.push(ld);
-            t.push(TraceInst::alu(0x34, Opcode::Add, r(3), r(3), Some(r(2)), None, 0));
+            t.push(TraceInst::alu(
+                0x34,
+                Opcode::Add,
+                r(3),
+                r(3),
+                Some(r(2)),
+                None,
+                0,
+            ));
         }
         let mut cfg = SimConfig::paper(PaperConfig::A, 8);
         cfg.value_spec = crate::ValueSpecMode::Real;
@@ -1036,7 +1252,15 @@ mod tests {
                     0x80,
                 ));
             } else {
-                t.push(TraceInst::alu(4 * i, Opcode::Add, r((i % 7 + 1) as u8), Reg::G0, None, Some(1), 0));
+                t.push(TraceInst::alu(
+                    4 * i,
+                    Opcode::Add,
+                    r((i % 7 + 1) as u8),
+                    Reg::G0,
+                    None,
+                    Some(1),
+                    0,
+                ));
             }
         }
         let s = simulate(&t, &SimConfig::base(8)).stalls;
@@ -1051,7 +1275,16 @@ mod tests {
         // Serial pointer chase: every load waits on its address operand.
         let mut t = Trace::new("chase");
         for i in 0..800u32 {
-            t.push(TraceInst::load(0x20, Opcode::Ld, r(1), r(1), None, Some(0), 0, 0x1000 + 8 * i));
+            t.push(TraceInst::load(
+                0x20,
+                Opcode::Ld,
+                r(1),
+                r(1),
+                None,
+                Some(0),
+                0,
+                0x1000 + 8 * i,
+            ));
         }
         let s = simulate(&t, &SimConfig::base(8)).stalls;
         assert!(
@@ -1084,6 +1317,120 @@ mod tests {
         let res = simulate(&t, &SimConfig::paper(PaperConfig::D, 2048));
         assert!(res.ipc() > 1.0);
         assert_eq!(res.instructions, 5000);
+    }
+
+    /// A messy mix of ALU ops, loads, stores and branches exercising
+    /// every simulator path (collapsing, aliasing, mispredictions).
+    fn mixed_trace(len: u32, seed: u64) -> Trace {
+        let mut rng = ddsc_util::Pcg32::new(seed);
+        let mut t = Trace::new("mixed");
+        for i in 0..len {
+            match rng.next_u32() % 8 {
+                0 => {
+                    let ea = (rng.next_u32() % 0x400) * 4 + 0x1000;
+                    t.push(TraceInst::load(
+                        4 * i,
+                        Opcode::Ld,
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        None,
+                        Some(0),
+                        0,
+                        ea,
+                    ));
+                }
+                1 => {
+                    let ea = (rng.next_u32() % 0x400) * 4 + 0x1000;
+                    t.push(TraceInst::store(
+                        4 * i,
+                        Opcode::St,
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        None,
+                        Some(0),
+                        0,
+                        ea,
+                    ));
+                }
+                2 => {
+                    t.push(TraceInst::cond_branch(
+                        4 * i,
+                        Opcode::Bcc(Cond::Ne),
+                        rng.chance(1, 3),
+                        4 * i + 16,
+                    ));
+                }
+                3 => {
+                    t.push(TraceInst::alu(
+                        4 * i,
+                        Opcode::Div,
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        None,
+                        Some(3),
+                        0,
+                    ));
+                }
+                _ => {
+                    let mut inst = TraceInst::alu(
+                        4 * i,
+                        Opcode::Add,
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        None,
+                        Some(1),
+                        0,
+                    );
+                    inst.value = Some(rng.next_u32());
+                    t.push(inst);
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn matches_the_reference_simulator() {
+        // The hot-path structures (slab window, sorted-vec ready set,
+        // FxHash store map) must not move a single bit of any result.
+        let t = mixed_trace(4000, 1996);
+        for cfg in PaperConfig::ALL {
+            for width in [4u32, 8, 32] {
+                let config = SimConfig::paper(cfg, width);
+                let new = simulate(&t, &config);
+                let old = crate::reference::simulate_reference(&t, &config);
+                assert_eq!(new, old, "divergence at {cfg:?} width {width}");
+            }
+        }
+        // Ablation and extension paths too.
+        let mut variants = Vec::new();
+        let mut c = SimConfig::paper(PaperConfig::C, 8);
+        c.node_elimination = true;
+        variants.push(c);
+        let mut c = SimConfig::paper(PaperConfig::C, 8);
+        c.collapse_within_block_only = true;
+        variants.push(c);
+        let mut c = SimConfig::paper(PaperConfig::A, 8);
+        c.value_spec = crate::ValueSpecMode::Real;
+        variants.push(c);
+        let mut c = SimConfig::paper(PaperConfig::D, 8);
+        c.perfect_branches = true;
+        variants.push(c);
+        for config in variants {
+            let new = simulate(&t, &config);
+            let old = crate::reference::simulate_reference(&t, &config);
+            assert_eq!(new, old, "divergence at {config:?}");
+        }
+    }
+
+    #[test]
+    fn window_slab_recycles_slots() {
+        // Run something long enough that slots are freed and reused many
+        // times over; the slab must never exceed its capacity.
+        let t = mixed_trace(6000, 7);
+        let res = simulate(&t, &SimConfig::paper(PaperConfig::C, 4));
+        assert_eq!(res.instructions, 6000);
+        assert!(res.cycles > 0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use ddsc_util::stats::harmonic_mean;
 use ddsc_util::TextTable;
 use ddsc_workloads::Benchmark;
 
+use crate::parallel::{num_threads, par_map};
 use crate::Lab;
 
 /// A configuration factory parameterised by issue width.
@@ -46,10 +47,7 @@ impl AddrPredictorComparison {
     /// The rate for one benchmark and predictor name.
     pub fn rate(&self, b: Benchmark, predictor: &str) -> Option<f64> {
         let col = self.predictors.iter().position(|&p| p == predictor)?;
-        self.rows
-            .iter()
-            .find(|(x, _)| *x == b)
-            .map(|(_, v)| v[col])
+        self.rows.iter().find(|(x, _)| *x == b).map(|(_, v)| v[col])
     }
 
     /// Renders the comparison.
@@ -94,7 +92,13 @@ pub fn address_predictors(lab: &Lab) -> AddrPredictorComparison {
             }
             let rates = hits
                 .iter()
-                .map(|&h| if loads == 0 { 0.0 } else { 100.0 * h as f64 / loads as f64 })
+                .map(|&h| {
+                    if loads == 0 {
+                        0.0
+                    } else {
+                        100.0 * h as f64 / loads as f64
+                    }
+                })
                 .collect();
             (b, rates)
         })
@@ -117,7 +121,10 @@ impl Ablation {
     /// The value for one width and variant label.
     pub fn value(&self, width: u32, variant: &str) -> Option<f64> {
         let col = self.variants.iter().position(|v| v == variant)?;
-        self.rows.iter().find(|(w, _)| *w == width).map(|(_, v)| v[col])
+        self.rows
+            .iter()
+            .find(|(w, _)| *w == width)
+            .map(|(_, v)| v[col])
     }
 
     /// Renders the ablation.
@@ -130,7 +137,10 @@ impl Ablation {
             row.extend(vals.iter().map(|v| format!("{v:.3}")));
             t.row(row);
         }
-        format!("## {} (harmonic-mean IPC, all benchmarks)\n{}", self.title, t)
+        format!(
+            "## {} (harmonic-mean IPC, all benchmarks)\n{}",
+            self.title, t
+        )
     }
 }
 
@@ -141,20 +151,30 @@ fn run_variants(
     variants: Vec<(String, ConfigFactory)>,
 ) -> Ablation {
     let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
+    let suite = lab.suite();
+    let benches: Vec<Benchmark> = suite.iter().map(|(b, _)| b).collect();
+    // The boxed factories are not Sync; materialise the cheap SimConfigs
+    // on this thread, then fan the actual simulations out. Cells are
+    // benchmark-innermost so each variant's IPCs form one chunk.
+    let mut cells: Vec<(Benchmark, SimConfig)> = Vec::new();
+    for &w in widths {
+        for (_, mk) in &variants {
+            let cfg = mk(w);
+            for &b in &benches {
+                cells.push((b, cfg));
+            }
+        }
+    }
+    let ipcs = par_map(&cells, num_threads(), |&(b, ref cfg)| {
+        simulate(suite.trace(b), cfg).ipc()
+    });
+    let mut chunks = ipcs.chunks(benches.len().max(1));
     let rows = widths
         .iter()
         .map(|&w| {
             let vals = variants
                 .iter()
-                .map(|(_, mk)| {
-                    let cfg = mk(w);
-                    let ipcs: Vec<f64> = lab
-                        .suite()
-                        .iter()
-                        .map(|(_, trace)| simulate(trace, &cfg).ipc())
-                        .collect();
-                    harmonic_mean(&ipcs).unwrap_or(0.0)
-                })
+                .map(|_| harmonic_mean(chunks.next().unwrap_or(&[])).unwrap_or(0.0))
                 .collect();
             (w, vals)
         })
@@ -204,7 +224,10 @@ pub fn collapse_depth(lab: &Lab, widths: &[u32]) -> Ablation {
         "Ablation — collapse group depth",
         widths,
         vec![
-            ("no collapse".into(), Box::new(|w| SimConfig::paper(PaperConfig::B, w))),
+            (
+                "no collapse".into(),
+                Box::new(|w| SimConfig::paper(PaperConfig::B, w)),
+            ),
             ("pairs".into(), mk(2)),
             ("triples".into(), mk(3)),
             ("quads (paper)".into(), mk(4)),
@@ -273,10 +296,7 @@ impl ValuePredictorComparison {
     /// The rate for one benchmark and predictor name.
     pub fn rate(&self, b: Benchmark, predictor: &str) -> Option<f64> {
         let col = self.predictors.iter().position(|&p| p == predictor)?;
-        self.rows
-            .iter()
-            .find(|(x, _)| *x == b)
-            .map(|(_, v)| v[col])
+        self.rows.iter().find(|(x, _)| *x == b).map(|(_, v)| v[col])
     }
 
     /// Renders the comparison.
@@ -321,7 +341,13 @@ pub fn value_predictors(lab: &Lab) -> ValuePredictorComparison {
             }
             let rates = hits
                 .iter()
-                .map(|&h| if loads == 0 { 0.0 } else { 100.0 * h as f64 / loads as f64 })
+                .map(|&h| {
+                    if loads == 0 {
+                        0.0
+                    } else {
+                        100.0 * h as f64 / loads as f64
+                    }
+                })
                 .collect();
             (b, rates)
         })
@@ -466,10 +492,7 @@ impl BranchPredictorComparison {
     /// The accuracy for one benchmark and predictor name.
     pub fn accuracy(&self, b: Benchmark, predictor: &str) -> Option<f64> {
         let col = self.predictors.iter().position(|&p| p == predictor)?;
-        self.rows
-            .iter()
-            .find(|(x, _)| *x == b)
-            .map(|(_, v)| v[col])
+        self.rows.iter().find(|(x, _)| *x == b).map(|(_, v)| v[col])
     }
 
     /// Renders the comparison.
@@ -562,21 +585,23 @@ impl BottleneckProfile {
 
 /// Profiles waiting-cycle attribution for configurations A and D.
 pub fn bottlenecks(lab: &Lab, width: u32) -> BottleneckProfile {
-    let mut rows = Vec::new();
-    for (b, trace) in lab.suite().iter() {
-        for cfg in [PaperConfig::A, PaperConfig::D] {
-            let r = simulate(trace, &SimConfig::paper(cfg, width));
-            let s = r.stalls;
-            let shares = [
-                s.share(s.data).value(),
-                s.share(s.address).value(),
-                s.share(s.memory).value(),
-                s.share(s.branch).value(),
-                s.share(s.bandwidth).value(),
-            ];
-            rows.push((b, cfg.label(), shares));
-        }
-    }
+    let suite = lab.suite();
+    let cells: Vec<(Benchmark, PaperConfig)> = suite
+        .iter()
+        .flat_map(|(b, _)| [(b, PaperConfig::A), (b, PaperConfig::D)])
+        .collect();
+    let rows = par_map(&cells, num_threads(), |&(b, cfg)| {
+        let r = simulate(suite.trace(b), &SimConfig::paper(cfg, width));
+        let s = r.stalls;
+        let shares = [
+            s.share(s.data).value(),
+            s.share(s.address).value(),
+            s.share(s.memory).value(),
+            s.share(s.branch).value(),
+            s.share(s.bandwidth).value(),
+        ];
+        (b, cfg.label(), shares)
+    });
     BottleneckProfile { width, rows }
 }
 
@@ -632,21 +657,20 @@ impl SchedulingSensitivity {
 /// Measures collapse fraction and D-vs-A speedup over list-scheduled
 /// workload programs (the `gcc -O4` stand-in).
 pub fn scheduling_sensitivity(seed: u64, trace_len: usize, width: u32) -> SchedulingSensitivity {
-    let rows = Benchmark::ALL
-        .iter()
-        .map(|&b| {
-            let measure = |trace: &ddsc_trace::Trace| {
-                let base = simulate(trace, &SimConfig::paper(PaperConfig::A, width));
-                let d = simulate(trace, &SimConfig::paper(PaperConfig::D, width));
-                (d.collapse.collapsed_pct().value(), d.speedup_over(&base))
-            };
-            let plain = b.trace(seed, trace_len).expect("workload runs");
-            let sched = b.trace_compiled(seed, trace_len).expect("scheduled workload runs");
-            let (c1, s1) = measure(&plain);
-            let (c2, s2) = measure(&sched);
-            (b, c1, c2, s1, s2)
-        })
-        .collect();
+    let rows = par_map(&Benchmark::ALL, num_threads(), |&b| {
+        let measure = |trace: &ddsc_trace::Trace| {
+            let base = simulate(trace, &SimConfig::paper(PaperConfig::A, width));
+            let d = simulate(trace, &SimConfig::paper(PaperConfig::D, width));
+            (d.collapse.collapsed_pct().value(), d.speedup_over(&base))
+        };
+        let plain = b.trace(seed, trace_len).expect("workload runs");
+        let sched = b
+            .trace_compiled(seed, trace_len)
+            .expect("scheduled workload runs");
+        let (c1, s1) = measure(&plain);
+        let (c2, s2) = measure(&sched);
+        (b, c1, c2, s1, s2)
+    });
     SchedulingSensitivity { width, rows }
 }
 
@@ -685,36 +709,29 @@ impl Robustness {
 /// Re-runs the headline D-vs-A comparison over several workload seeds.
 pub fn robustness(seeds: &[u64], trace_len: usize, width: u32) -> Robustness {
     use ddsc_util::stats::harmonic_mean;
-    let rows = seeds
-        .iter()
-        .map(|&seed| {
-            let suite = crate::Suite::generate(crate::SuiteConfig {
-                seed,
-                trace_len,
-                widths: vec![width],
-            });
-            let speedups: Vec<f64> = suite
-                .iter()
-                .map(|(_, trace)| {
-                    let base = simulate(trace, &SimConfig::paper(PaperConfig::A, width));
-                    let d = simulate(trace, &SimConfig::paper(PaperConfig::D, width));
-                    d.speedup_over(&base)
-                })
-                .collect();
-            (seed, harmonic_mean(&speedups).unwrap_or(0.0))
-        })
-        .collect();
+    let rows = par_map(seeds, num_threads(), |&seed| {
+        let suite = crate::Suite::generate(crate::SuiteConfig {
+            seed,
+            trace_len,
+            widths: vec![width],
+        });
+        let speedups: Vec<f64> = suite
+            .iter()
+            .map(|(_, trace)| {
+                let base = simulate(trace, &SimConfig::paper(PaperConfig::A, width));
+                let d = simulate(trace, &SimConfig::paper(PaperConfig::D, width));
+                d.speedup_over(&base)
+            })
+            .collect();
+        (seed, harmonic_mean(&speedups).unwrap_or(0.0))
+    });
     Robustness { width, rows }
 }
 
 /// Renders every extension experiment (the `ddsc repro extensions`
 /// payload).
-pub fn render_all(lab: &mut Lab) -> String {
-    let widths: Vec<u32> = lab
-        .widths()
-        .into_iter()
-        .filter(|&w| w <= 32)
-        .collect();
+pub fn render_all(lab: &Lab) -> String {
+    let widths: Vec<u32> = lab.widths().into_iter().filter(|&w| w <= 32).collect();
     let mut out = String::new();
     out.push_str(&address_predictors(lab).render());
     out.push('\n');

@@ -63,7 +63,7 @@ impl ConfigSweep {
     }
 }
 
-fn sweep_ipc(lab: &mut Lab, title: &str, benches: &[Benchmark]) -> ConfigSweep {
+fn sweep_ipc(lab: &Lab, title: &str, benches: &[Benchmark]) -> ConfigSweep {
     let widths = lab.widths();
     let series = PaperConfig::ALL
         .iter()
@@ -86,7 +86,7 @@ fn sweep_ipc(lab: &mut Lab, title: &str, benches: &[Benchmark]) -> ConfigSweep {
     }
 }
 
-fn sweep_speedup(lab: &mut Lab, title: &str, benches: &[Benchmark]) -> ConfigSweep {
+fn sweep_speedup(lab: &Lab, title: &str, benches: &[Benchmark]) -> ConfigSweep {
     let widths = lab.widths();
     let series = PaperConfig::ALL
         .iter()
@@ -110,32 +110,32 @@ fn sweep_speedup(lab: &mut Lab, title: &str, benches: &[Benchmark]) -> ConfigSwe
 }
 
 /// Figure 2: harmonic-mean IPC of configurations A–E over all benchmarks.
-pub fn fig2(lab: &mut Lab) -> ConfigSweep {
+pub fn fig2(lab: &Lab) -> ConfigSweep {
     sweep_ipc(lab, "Figure 2", &Benchmark::ALL)
 }
 
 /// Figure 3: harmonic-mean speedup over the base machine, all benchmarks.
-pub fn fig3(lab: &mut Lab) -> ConfigSweep {
+pub fn fig3(lab: &Lab) -> ConfigSweep {
     sweep_speedup(lab, "Figure 3", &Benchmark::ALL)
 }
 
 /// Figure 4: IPC for the pointer-chasing subset (`go`, `li`).
-pub fn fig4(lab: &mut Lab) -> ConfigSweep {
+pub fn fig4(lab: &Lab) -> ConfigSweep {
     sweep_ipc(lab, "Figure 4", &Benchmark::POINTER_CHASING)
 }
 
 /// Figure 5: speedup for the pointer-chasing subset.
-pub fn fig5(lab: &mut Lab) -> ConfigSweep {
+pub fn fig5(lab: &Lab) -> ConfigSweep {
     sweep_speedup(lab, "Figure 5", &Benchmark::POINTER_CHASING)
 }
 
 /// Figure 6: IPC for the non-pointer-chasing subset.
-pub fn fig6(lab: &mut Lab) -> ConfigSweep {
+pub fn fig6(lab: &Lab) -> ConfigSweep {
     sweep_ipc(lab, "Figure 6", &Benchmark::NON_POINTER_CHASING)
 }
 
 /// Figure 7: speedup for the non-pointer-chasing subset.
-pub fn fig7(lab: &mut Lab) -> ConfigSweep {
+pub fn fig7(lab: &Lab) -> ConfigSweep {
     sweep_speedup(lab, "Figure 7", &Benchmark::NON_POINTER_CHASING)
 }
 
@@ -159,7 +159,7 @@ impl CollapsedFraction {
 }
 
 /// Figure 8: fraction of instructions collapsed under configuration D.
-pub fn fig8(lab: &mut Lab) -> CollapsedFraction {
+pub fn fig8(lab: &Lab) -> CollapsedFraction {
     let widths = lab.widths();
     let points = widths
         .iter()
@@ -207,7 +207,7 @@ impl CategoryShares {
 }
 
 /// Figure 9: share of each collapsing mechanism under configuration D.
-pub fn fig9(lab: &mut Lab) -> CategoryShares {
+pub fn fig9(lab: &Lab) -> CategoryShares {
     let widths = lab.widths();
     let points = widths
         .iter()
@@ -263,7 +263,7 @@ impl DistanceDistribution {
 }
 
 /// Figure 10: distance between collapsed instructions, configuration D.
-pub fn fig10(lab: &mut Lab) -> DistanceDistribution {
+pub fn fig10(lab: &Lab) -> DistanceDistribution {
     let widths = lab.widths();
     let mut points = Vec::new();
     let mut means = Vec::new();
@@ -303,8 +303,8 @@ mod tests {
 
     #[test]
     fn fig2_has_all_series_and_widths() {
-        let mut lab = lab();
-        let f = fig2(&mut lab);
+        let lab = lab();
+        let f = fig2(&lab);
         assert_eq!(f.series.len(), 5);
         for (_, pts) in &f.series {
             assert_eq!(pts.len(), 2);
@@ -315,8 +315,8 @@ mod tests {
 
     #[test]
     fn fig3_speedups_relative_to_a_are_at_least_one_for_e() {
-        let mut lab = lab();
-        let f = fig3(&mut lab);
+        let lab = lab();
+        let f = fig3(&lab);
         let a = f.value(PaperConfig::A, 16).unwrap();
         assert!((a - 1.0).abs() < 1e-9, "A over A is 1.0");
         let e = f.value(PaperConfig::E, 16).unwrap();
@@ -325,15 +325,15 @@ mod tests {
 
     #[test]
     fn collapse_figures_are_consistent() {
-        let mut lab = lab();
-        let f8 = fig8(&mut lab);
+        let lab = lab();
+        let f8 = fig8(&lab);
         assert!(f8.points.iter().all(|(_, v)| (0.0..=100.0).contains(v)));
-        let f9 = fig9(&mut lab);
+        let f9 = fig9(&lab);
         for (_, shares) in &f9.points {
             let sum: f64 = shares.iter().sum();
             assert!((sum - 100.0).abs() < 1.0, "shares sum to 100, got {sum}");
         }
-        let f10 = fig10(&mut lab);
+        let f10 = fig10(&lab);
         for (_, shares) in &f10.points {
             let sum: f64 = shares.iter().sum();
             assert!((sum - 100.0).abs() < 1.0);
@@ -342,10 +342,10 @@ mod tests {
 
     #[test]
     fn subset_figures_use_the_right_benchmarks() {
-        let mut lab = lab();
-        assert_eq!(fig4(&mut lab).benchmarks, Benchmark::POINTER_CHASING.to_vec());
+        let lab = lab();
+        assert_eq!(fig4(&lab).benchmarks, Benchmark::POINTER_CHASING.to_vec());
         assert_eq!(
-            fig6(&mut lab).benchmarks,
+            fig6(&lab).benchmarks,
             Benchmark::NON_POINTER_CHASING.to_vec()
         );
     }

@@ -1,11 +1,31 @@
-//! Trace-suite generation and a memoising simulation lab.
+//! Trace-suite generation and a thread-safe memoising simulation lab.
+//!
+//! [`Lab`] owns one generated trace [`Suite`] plus a concurrent result
+//! cache keyed by `(benchmark, configuration, width)`. Drivers take
+//! `&Lab` and call [`Lab::result`] freely from any thread; the batch
+//! entry point [`Lab::prewarm`] fans a cell grid out over a thread pool
+//! so figures and tables consume already-computed results.
+//!
+//! Determinism guarantee: `simulate` is a pure function of
+//! `(trace, config)`, every cell is simulated at most once, and cached
+//! results are shared by `Arc` — so the parallel path is bit-identical
+//! to the serial one (asserted by the root `prewarm_determinism` test).
+//! Each simulation's wall-clock is recorded as a [`CellTiming`];
+//! [`Lab::report`] aggregates them into a [`LabReport`] with per-cell
+//! MIPS and the parallel-vs-serial speedup.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use ddsc_core::{simulate, PaperConfig, SimConfig, SimResult};
 use ddsc_trace::Trace;
 use ddsc_workloads::Benchmark;
+
+use crate::parallel::{num_threads, par_map};
+
+/// One cell of the experiment grid.
+pub type Cell = (Benchmark, PaperConfig, u32);
 
 /// Parameters for one reproduction run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,36 +50,52 @@ impl Default for SuiteConfig {
     }
 }
 
-/// The generated benchmark traces.
+/// The generated benchmark traces, shareable across worker threads.
 #[derive(Debug, Clone)]
 pub struct Suite {
-    traces: Vec<(Benchmark, Rc<Trace>)>,
+    traces: Vec<(Benchmark, Arc<Trace>)>,
     config: SuiteConfig,
 }
 
 impl Suite {
-    /// Executes all six benchmarks and collects their traces.
+    /// Executes all six benchmarks (in parallel) and collects their
+    /// traces.
     ///
     /// # Panics
     ///
     /// Panics if a workload program faults — that would be a bug in
     /// `ddsc-workloads`, covered by its tests.
     pub fn generate(config: SuiteConfig) -> Suite {
-        let traces = Benchmark::ALL
-            .iter()
-            .map(|&b| {
-                let t = b
-                    .trace(config.seed, config.trace_len)
-                    .unwrap_or_else(|e| panic!("workload {b} faulted: {e}"));
-                (b, Rc::new(t))
-            })
-            .collect();
+        let benches: Vec<Benchmark> = Benchmark::ALL.to_vec();
+        let traces = par_map(&benches, num_threads(), |&b| {
+            let t = b
+                .trace(config.seed, config.trace_len)
+                .unwrap_or_else(|e| panic!("workload {b} faulted: {e}"));
+            (b, Arc::new(t))
+        });
         Suite { traces, config }
     }
 
     /// The trace of one benchmark.
     pub fn trace(&self, b: Benchmark) -> &Trace {
-        &self.traces.iter().find(|(x, _)| *x == b).expect("suite has all benchmarks").1
+        &self
+            .traces
+            .iter()
+            .find(|(x, _)| *x == b)
+            .expect("suite has all benchmarks")
+            .1
+    }
+
+    /// The trace of one benchmark, shared.
+    pub fn trace_arc(&self, b: Benchmark) -> Arc<Trace> {
+        Arc::clone(
+            &self
+                .traces
+                .iter()
+                .find(|(x, _)| *x == b)
+                .expect("suite has all benchmarks")
+                .1,
+        )
     }
 
     /// The suite parameters.
@@ -73,28 +109,58 @@ impl Suite {
     }
 }
 
-/// A memoising simulation driver: each `(benchmark, configuration,
-/// width)` triple is simulated at most once per lab.
+/// Wall-clock and throughput of one executed simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// The benchmark simulated.
+    pub benchmark: Benchmark,
+    /// Cell label (a paper configuration, or a free-form tag for
+    /// extension/ablation work).
+    pub label: String,
+    /// Issue width.
+    pub width: u32,
+    /// Dynamic instructions simulated.
+    pub instructions: u64,
+    /// Host wall-clock seconds the simulation took.
+    pub seconds: f64,
+}
+
+impl CellTiming {
+    /// Simulated (dynamic) instructions per host second, in millions.
+    pub fn mips(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.seconds / 1e6
+        }
+    }
+}
+
+/// A thread-safe memoising simulation driver: each `(benchmark,
+/// configuration, width)` triple is simulated at most once per lab.
 #[derive(Debug)]
 pub struct Lab {
     suite: Suite,
-    cache: HashMap<(Benchmark, PaperConfig, u32), Rc<SimResult>>,
+    cache: RwLock<HashMap<Cell, Arc<SimResult>>>,
+    timings: Mutex<Vec<CellTiming>>,
+    /// Wall-clock seconds spent inside `prewarm` fan-outs (the parallel
+    /// path) — the numerator of the speedup-vs-serial estimate.
+    prewarm_wall: Mutex<f64>,
 }
 
 impl Lab {
     /// Generates the trace suite and an empty result cache.
     pub fn new(config: SuiteConfig) -> Lab {
-        Lab {
-            suite: Suite::generate(config),
-            cache: HashMap::new(),
-        }
+        Lab::from_suite(Suite::generate(config))
     }
 
     /// Wraps an existing suite.
     pub fn from_suite(suite: Suite) -> Lab {
         Lab {
             suite,
-            cache: HashMap::new(),
+            cache: RwLock::new(HashMap::new()),
+            timings: Mutex::new(Vec::new()),
+            prewarm_wall: Mutex::new(0.0),
         }
     }
 
@@ -108,25 +174,105 @@ impl Lab {
         self.suite.config().widths.clone()
     }
 
-    /// Simulates (or returns the cached result of) one combination.
-    pub fn result(&mut self, b: Benchmark, c: PaperConfig, width: u32) -> Rc<SimResult> {
-        if let Some(r) = self.cache.get(&(b, c, width)) {
-            return Rc::clone(r);
+    /// The full `(benchmark, configuration, width)` grid this lab's
+    /// suite spans.
+    pub fn grid(&self) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for &w in &self.suite.config().widths {
+            for c in PaperConfig::ALL {
+                for (b, _) in self.suite.iter() {
+                    cells.push((b, c, w));
+                }
+            }
         }
+        cells
+    }
+
+    fn cached(&self, cell: &Cell) -> Option<Arc<SimResult>> {
+        self.cache
+            .read()
+            .expect("lab cache poisoned")
+            .get(cell)
+            .map(Arc::clone)
+    }
+
+    /// Runs one cell and records its timing. Pure per (trace, config),
+    /// so concurrent duplicate runs return identical results.
+    fn run_cell(&self, (b, c, width): Cell) -> Arc<SimResult> {
+        let t0 = Instant::now();
         let sim = simulate(self.suite.trace(b), &SimConfig::paper(c, width));
-        let rc = Rc::new(sim);
-        self.cache.insert((b, c, width), Rc::clone(&rc));
-        rc
+        let seconds = t0.elapsed().as_secs_f64();
+        self.timings
+            .lock()
+            .expect("lab timings poisoned")
+            .push(CellTiming {
+                benchmark: b,
+                label: c.label().to_string(),
+                width,
+                instructions: sim.instructions,
+                seconds,
+            });
+        Arc::new(sim)
+    }
+
+    fn insert(&self, cell: Cell, result: Arc<SimResult>) -> Arc<SimResult> {
+        let mut cache = self.cache.write().expect("lab cache poisoned");
+        // Keep the first insertion so every caller shares one allocation
+        // (a racing duplicate computed the same bits anyway).
+        Arc::clone(cache.entry(cell).or_insert(result))
+    }
+
+    /// Simulates (or returns the cached result of) one combination.
+    pub fn result(&self, b: Benchmark, c: PaperConfig, width: u32) -> Arc<SimResult> {
+        let cell = (b, c, width);
+        if let Some(r) = self.cached(&cell) {
+            return r;
+        }
+        let r = self.run_cell(cell);
+        self.insert(cell, r)
+    }
+
+    /// Simulates every not-yet-cached cell of `cells` in parallel over
+    /// [`num_threads`] workers. Returns the number of cells actually
+    /// simulated.
+    pub fn prewarm(&self, cells: &[Cell]) -> usize {
+        let todo: Vec<Cell> = {
+            let cache = self.cache.read().expect("lab cache poisoned");
+            let mut seen = std::collections::HashSet::new();
+            cells
+                .iter()
+                .filter(|c| !cache.contains_key(*c) && seen.insert(**c))
+                .copied()
+                .collect()
+        };
+        if todo.is_empty() {
+            return 0;
+        }
+        let t0 = Instant::now();
+        let results = par_map(&todo, num_threads(), |&cell| self.run_cell(cell));
+        for (cell, r) in todo.iter().zip(results) {
+            self.insert(*cell, r);
+        }
+        *self.prewarm_wall.lock().expect("lab wall poisoned") += t0.elapsed().as_secs_f64();
+        todo.len()
+    }
+
+    /// Prewarms the full paper grid ([`Lab::grid`]).
+    pub fn prewarm_all(&self) -> usize {
+        self.prewarm(&self.grid())
     }
 
     /// Per-benchmark IPCs for one configuration and width.
-    pub fn ipcs(&mut self, benches: &[Benchmark], c: PaperConfig, width: u32) -> Vec<f64> {
-        benches.iter().map(|&b| self.result(b, c, width).ipc()).collect()
+    pub fn ipcs(&self, benches: &[Benchmark], c: PaperConfig, width: u32) -> Vec<f64> {
+        benches
+            .iter()
+            .map(|&b| self.result(b, c, width).ipc())
+            .collect()
     }
 
     /// Per-benchmark speedups of `c` over configuration A at the same
     /// width.
-    pub fn speedups(&mut self, benches: &[Benchmark], c: PaperConfig, width: u32) -> Vec<f64> {
+    pub fn speedups(&self, benches: &[Benchmark], c: PaperConfig, width: u32) -> Vec<f64> {
         benches
             .iter()
             .map(|&b| {
@@ -139,7 +285,157 @@ impl Lab {
 
     /// Number of simulations run so far (for cache tests).
     pub fn simulations_run(&self) -> usize {
-        self.cache.len()
+        self.cache.read().expect("lab cache poisoned").len()
+    }
+
+    /// A snapshot of every recorded cell timing, in completion order.
+    pub fn timings(&self) -> Vec<CellTiming> {
+        self.timings.lock().expect("lab timings poisoned").clone()
+    }
+
+    /// Aggregates recorded timings into a throughput report.
+    pub fn report(&self) -> LabReport {
+        let cells = self.timings();
+        // fold from +0.0: `Sum for f64` starts at -0.0, which an empty
+        // report would render as "-0.000 s".
+        let serial_seconds: f64 = cells.iter().map(|c| c.seconds).fold(0.0, |a, c| a + c);
+        let prewarm_wall = *self.prewarm_wall.lock().expect("lab wall poisoned");
+        LabReport {
+            threads: num_threads(),
+            cells,
+            serial_seconds,
+            // Cells simulated outside a prewarm fan-out ran serially on
+            // the caller; count their time as wall time too.
+            wall_seconds: if prewarm_wall > 0.0 {
+                prewarm_wall
+            } else {
+                serial_seconds
+            },
+        }
+    }
+}
+
+/// Aggregated throughput over everything a [`Lab`] simulated.
+#[derive(Debug, Clone)]
+pub struct LabReport {
+    /// Worker threads the lab fans out over.
+    pub threads: usize,
+    /// Every executed simulation.
+    pub cells: Vec<CellTiming>,
+    /// Sum of per-cell wall times — what a serial run would have cost.
+    pub serial_seconds: f64,
+    /// Wall-clock of the actual (parallel) execution.
+    pub wall_seconds: f64,
+}
+
+impl LabReport {
+    /// Total dynamic instructions simulated.
+    pub fn instructions(&self) -> u64 {
+        self.cells.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Aggregate simulated instructions per host second, in millions,
+    /// against the real (parallel) wall clock.
+    pub fn mips(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.instructions() as f64 / self.wall_seconds / 1e6
+        }
+    }
+
+    /// Estimated wall-clock speedup of the parallel fan-out over a
+    /// serial evaluation of the same cells.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            1.0
+        } else {
+            self.serial_seconds / self.wall_seconds
+        }
+    }
+
+    /// Renders the human-readable `--timing` report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "## Lab throughput report");
+        let _ = writeln!(
+            out,
+            "{} cells, {} simulated instructions, {} threads",
+            self.cells.len(),
+            self.instructions(),
+            self.threads
+        );
+        let _ = writeln!(
+            out,
+            "wall {:.3} s (serial-equivalent {:.3} s, speedup {:.2}x), {:.2} MIPS aggregate",
+            self.wall_seconds,
+            self.serial_seconds,
+            self.speedup_vs_serial(),
+            self.mips()
+        );
+        let mut t = ddsc_util::TextTable::new(vec![
+            "benchmark".into(),
+            "config".into(),
+            "width".into(),
+            "insts".into(),
+            "seconds".into(),
+            "MIPS".into(),
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.benchmark.models().to_string(),
+                c.label.clone(),
+                c.width.to_string(),
+                c.instructions.to_string(),
+                format!("{:.4}", c.seconds),
+                format!("{:.2}", c.mips()),
+            ]);
+        }
+        let _ = write!(out, "{t}");
+        out
+    }
+
+    /// Serialises the report as JSON (the `results/BENCH_lab.json`
+    /// payload). Hand-rolled: the repo deliberately has no serde.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"total_wall_seconds\": {:.6},", self.wall_seconds);
+        let _ = writeln!(
+            out,
+            "  \"serial_equivalent_seconds\": {:.6},",
+            self.serial_seconds
+        );
+        let _ = writeln!(
+            out,
+            "  \"speedup_vs_serial\": {:.4},",
+            self.speedup_vs_serial()
+        );
+        let _ = writeln!(out, "  \"total_instructions\": {},", self.instructions());
+        let _ = writeln!(out, "  \"aggregate_mips\": {:.4},", self.mips());
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"width\": {}, \"instructions\": {}, \"seconds\": {:.6}, \"mips\": {:.4}}}",
+                c.benchmark.models(),
+                c.label,
+                c.width,
+                c.instructions,
+                c.seconds,
+                c.mips()
+            );
+            out.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 }
 
@@ -166,17 +462,74 @@ mod tests {
 
     #[test]
     fn results_are_cached() {
-        let mut lab = Lab::new(tiny());
+        let lab = Lab::new(tiny());
         let a = lab.result(Benchmark::Compress, PaperConfig::A, 4);
         let b = lab.result(Benchmark::Compress, PaperConfig::A, 4);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(lab.simulations_run(), 1);
     }
 
     #[test]
     fn speedup_of_a_over_itself_is_one() {
-        let mut lab = Lab::new(tiny());
+        let lab = Lab::new(tiny());
         let s = lab.speedups(&[Benchmark::Eqntott], PaperConfig::A, 4);
         assert_eq!(s, vec![1.0]);
+    }
+
+    #[test]
+    fn prewarm_fills_the_grid_and_skips_cached_cells() {
+        let lab = Lab::new(tiny());
+        // Warm one cell serially first; prewarm must not redo it.
+        lab.result(Benchmark::Compress, PaperConfig::A, 4);
+        let grid = lab.grid();
+        assert_eq!(grid.len(), 6 * 5); // 6 benchmarks x A-E x one width
+        let ran = lab.prewarm(&grid);
+        assert_eq!(ran, grid.len() - 1);
+        assert_eq!(lab.simulations_run(), grid.len());
+        // A second prewarm is a no-op.
+        assert_eq!(lab.prewarm(&grid), 0);
+    }
+
+    #[test]
+    fn prewarmed_results_are_shared_with_later_lookups() {
+        let lab = Lab::new(tiny());
+        lab.prewarm(&[(Benchmark::Li, PaperConfig::C, 4)]);
+        let a = lab.result(Benchmark::Li, PaperConfig::C, 4);
+        let b = lab.result(Benchmark::Li, PaperConfig::C, 4);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(lab.simulations_run(), 1);
+    }
+
+    #[test]
+    fn timings_cover_every_simulation() {
+        let lab = Lab::new(tiny());
+        lab.prewarm_all();
+        let timings = lab.timings();
+        assert_eq!(timings.len(), lab.simulations_run());
+        for t in &timings {
+            assert_eq!(t.instructions, 3_000);
+            assert!(t.seconds >= 0.0);
+        }
+        let report = lab.report();
+        assert_eq!(report.instructions(), 3_000 * 30);
+        assert!(report.serial_seconds > 0.0);
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.speedup_vs_serial() > 0.0);
+    }
+
+    #[test]
+    fn report_renders_and_serialises() {
+        let lab = Lab::new(tiny());
+        lab.result(Benchmark::Compress, PaperConfig::A, 4);
+        let report = lab.report();
+        let text = report.render();
+        assert!(text.contains("Lab throughput report"));
+        assert!(text.contains("026.compress"));
+        let json = report.to_json();
+        assert!(json.contains("\"speedup_vs_serial\""));
+        assert!(json.contains("\"benchmark\": \"026.compress\""));
+        // Must be balanced JSON at least structurally.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -22,33 +22,42 @@
 //! experiments (address-predictor upgrades, node elimination, collapse
 //! depth/zero-detection/basic-block restrictions).
 //!
-//! All drivers consume a [`Lab`], which lazily simulates and caches
-//! `(benchmark, configuration, width)` results over one generated trace
-//! suite, so a full reproduction simulates each combination exactly once.
+//! All drivers consume a `&`[`Lab`] — a thread-safe memoising driver
+//! that simulates and caches `(benchmark, configuration, width)` results
+//! over one generated trace suite, so a full reproduction simulates each
+//! combination exactly once. [`Lab::prewarm`] evaluates a cell grid in
+//! parallel; [`render_all`] prewarms the full paper grid first, so the
+//! figure/table drivers only consume cached results.
 //!
 //! # Examples
 //!
 //! ```
 //! use ddsc_experiments::{Lab, SuiteConfig};
 //!
-//! let mut lab = Lab::new(SuiteConfig {
+//! let lab = Lab::new(SuiteConfig {
 //!     trace_len: 5_000,
 //!     widths: vec![4, 8],
 //!     ..SuiteConfig::default()
 //! });
-//! let fig2 = ddsc_experiments::figures::fig2(&mut lab);
+//! let fig2 = ddsc_experiments::figures::fig2(&lab);
 //! assert_eq!(fig2.series.len(), 5); // configurations A..E
 //! ```
 
 pub mod extensions;
 pub mod figures;
 pub mod lab;
+pub mod parallel;
 pub mod tables;
 
-pub use lab::{Lab, Suite, SuiteConfig};
+pub use lab::{Cell, CellTiming, Lab, LabReport, Suite, SuiteConfig};
 
 /// Renders every paper artifact in order (the `ddsc repro all` payload).
-pub fn render_all(lab: &mut Lab) -> String {
+///
+/// Prewarms the full grid over the thread pool first; the individual
+/// drivers then consume cached results, so the output is byte-identical
+/// to a serial evaluation.
+pub fn render_all(lab: &Lab) -> String {
+    lab.prewarm_all();
     let mut out = String::new();
     out.push_str(&tables::table1(lab.suite()).render());
     out.push('\n');

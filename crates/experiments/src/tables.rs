@@ -152,11 +152,15 @@ impl LoadTable {
             ]);
         }
         let names: Vec<&str> = self.benchmarks.iter().map(|b| b.name()).collect();
-        format!("## {} — load-speculation behaviour, config D ({})\n{t}", self.title, names.join(", "))
+        format!(
+            "## {} — load-speculation behaviour, config D ({})\n{t}",
+            self.title,
+            names.join(", ")
+        )
     }
 }
 
-fn load_table(lab: &mut Lab, title: &str, benches: &[Benchmark]) -> LoadTable {
+fn load_table(lab: &Lab, title: &str, benches: &[Benchmark]) -> LoadTable {
     let widths = lab.widths();
     let rows = widths
         .iter()
@@ -176,12 +180,12 @@ fn load_table(lab: &mut Lab, title: &str, benches: &[Benchmark]) -> LoadTable {
 }
 
 /// Table 3: load-speculation behaviour for the pointer-chasing subset.
-pub fn table3(lab: &mut Lab) -> LoadTable {
+pub fn table3(lab: &Lab) -> LoadTable {
     load_table(lab, "Table 3", &Benchmark::POINTER_CHASING)
 }
 
 /// Table 4: load-speculation behaviour for the non-pointer subset.
-pub fn table4(lab: &mut Lab) -> LoadTable {
+pub fn table4(lab: &Lab) -> LoadTable {
     load_table(lab, "Table 4", &Benchmark::NON_POINTER_CHASING)
 }
 
@@ -212,11 +216,14 @@ impl PatternShareTable {
             }
             t.row(row);
         }
-        format!("## {} — most frequent collapsed sequences (config D)\n{t}", self.title)
+        format!(
+            "## {} — most frequent collapsed sequences (config D)\n{t}",
+            self.title
+        )
     }
 }
 
-fn pattern_table(lab: &mut Lab, title: &str, group_size: usize, top_k: usize) -> PatternShareTable {
+fn pattern_table(lab: &Lab, title: &str, group_size: usize, top_k: usize) -> PatternShareTable {
     let widths = lab.widths();
     // Aggregate per width.
     let mut per_width: Vec<(u32, ddsc_collapse::PatternTable)> = Vec::new();
@@ -269,12 +276,12 @@ fn pattern_table(lab: &mut Lab, title: &str, group_size: usize, top_k: usize) ->
 }
 
 /// Table 5: the most frequent collapsed pairs (3-1 sequences).
-pub fn table5(lab: &mut Lab) -> PatternShareTable {
+pub fn table5(lab: &Lab) -> PatternShareTable {
     pattern_table(lab, "Table 5", 2, 12)
 }
 
 /// Table 6: the most frequent collapsed triples (4-1 sequences).
-pub fn table6(lab: &mut Lab) -> PatternShareTable {
+pub fn table6(lab: &Lab) -> PatternShareTable {
     pattern_table(lab, "Table 6", 3, 13)
 }
 
@@ -311,8 +318,8 @@ mod tests {
 
     #[test]
     fn load_tables_sum_to_100() {
-        let mut lab = lab();
-        for t in [table3(&mut lab), table4(&mut lab)] {
+        let lab = lab();
+        for t in [table3(&lab), table4(&lab)] {
             for (w, s) in &t.rows {
                 if s.total() > 0 {
                     let sum: f64 = [
@@ -332,11 +339,11 @@ mod tests {
 
     #[test]
     fn pattern_tables_render_with_rows() {
-        let mut lab = lab();
-        let t5 = table5(&mut lab);
+        let lab = lab();
+        let t5 = table5(&lab);
         assert!(!t5.patterns.is_empty(), "pairs must collapse");
         assert!(t5.render().contains("Table 5"));
-        let t6 = table6(&mut lab);
+        let t6 = table6(&lab);
         assert_eq!(t6.group_size, 3);
     }
 }

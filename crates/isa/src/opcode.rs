@@ -226,10 +226,7 @@ impl Opcode {
 
     /// Whether the operation is any control transfer.
     pub fn is_control(self) -> bool {
-        matches!(
-            self.class(),
-            OpClass::CondBranch | OpClass::Uncond
-        )
+        matches!(self.class(), OpClass::CondBranch | OpClass::Uncond)
     }
 
     /// Whether the operation writes the condition codes.

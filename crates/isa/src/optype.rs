@@ -232,7 +232,13 @@ mod tests {
     #[test]
     fn operand_count_is_number_of_counting_kinds() {
         use OperandKind::*;
-        for kinds in [vec![], vec![Reg], vec![Imm, Zero], vec![Zero, Zero], vec![Reg, Imm]] {
+        for kinds in [
+            vec![],
+            vec![Reg],
+            vec![Imm, Zero],
+            vec![Zero, Zero],
+            vec![Reg, Imm],
+        ] {
             let t = OpType::new(PatClass::Lg, &kinds);
             let expected = kinds.iter().filter(|k| k.counts()).count() as u8;
             assert_eq!(t.operand_count(), expected, "{kinds:?}");

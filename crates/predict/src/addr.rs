@@ -426,11 +426,17 @@ mod tests {
         let mut rng = Pcg32::new(9);
         let addrs: Vec<u32> = (0..256).map(|_| rng.next_u32() & !3).collect();
         let (ok, bad) = rates(&mut TwoDeltaStride::paper_default(), &addrs);
-        assert!(ok < 0.05, "random addresses must not be predicted, got {ok}");
+        assert!(
+            ok < 0.05,
+            "random addresses must not be predicted, got {ok}"
+        );
         // Confidence gating keeps wrong speculation rare — the paper's
         // observation that "the percentage of incorrect predictions is
         // very small".
-        assert!(bad < 0.10, "confidence should suppress wrong use, got {bad}");
+        assert!(
+            bad < 0.10,
+            "confidence should suppress wrong use, got {bad}"
+        );
     }
 
     #[test]
@@ -448,7 +454,10 @@ mod tests {
         }
         let (stride_ok, _) = rates(&mut TwoDeltaStride::paper_default(), &addrs);
         let (ctx_ok, _) = rates(&mut ContextAddr::new(12, 14), &addrs);
-        assert!(ctx_ok > 0.9, "context predictor should learn it, got {ctx_ok}");
+        assert!(
+            ctx_ok > 0.9,
+            "context predictor should learn it, got {ctx_ok}"
+        );
         assert!(
             ctx_ok > stride_ok + 0.3,
             "context ({ctx_ok}) must beat stride ({stride_ok}) here"

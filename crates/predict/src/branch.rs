@@ -192,7 +192,10 @@ impl LocalHistory {
     /// outside `1..=16`.
     pub fn new(index_bits: u32, history_bits: u32) -> Self {
         assert!((1..=24).contains(&index_bits), "unreasonable table size");
-        assert!((1..=16).contains(&history_bits), "unreasonable history length");
+        assert!(
+            (1..=16).contains(&history_bits),
+            "unreasonable history length"
+        );
         LocalHistory {
             histories: vec![0; 1 << index_bits],
             pattern: vec![SatCounter::two_bit(1); 1 << history_bits],
@@ -314,7 +317,10 @@ mod tests {
     fn gshare_learns_alternation() {
         let mut p = Gshare::new(10);
         let acc = accuracy(&mut p, (0..4000).map(|i| (0x40, i % 2 == 0)));
-        assert!(acc > 0.95, "gshare should learn period-2 pattern, got {acc}");
+        assert!(
+            acc > 0.95,
+            "gshare should learn period-2 pattern, got {acc}"
+        );
     }
 
     #[test]
@@ -332,8 +338,8 @@ mod tests {
         let stream = |n: usize| {
             (0..n).flat_map(|i| {
                 [
-                    (0x100u32, true),          // biased
-                    (0x200u32, i % 2 == 0),    // alternating
+                    (0x100u32, true),       // biased
+                    (0x200u32, i % 2 == 0), // alternating
                 ]
             })
         };
@@ -350,16 +356,17 @@ mod tests {
     fn local_history_learns_per_branch_patterns() {
         // Two interleaved branches with different short periods: local
         // history separates them where global history gets polluted.
-        let stream = (0..6000).flat_map(|i| {
-            [(0x100u32, i % 3 != 2), (0x200u32, i % 2 == 0)]
-        });
+        let stream = (0..6000).flat_map(|i| [(0x100u32, i % 3 != 2), (0x200u32, i % 2 == 0)]);
         let acc = accuracy(&mut LocalHistory::budget_8kb(), stream);
         assert!(acc > 0.95, "periodic locals should be learned, got {acc}");
     }
 
     #[test]
     fn local_history_handles_biased_branches() {
-        let acc = accuracy(&mut LocalHistory::new(10, 8), (0..2000).map(|_| (0x40, true)));
+        let acc = accuracy(
+            &mut LocalHistory::new(10, 8),
+            (0..2000).map(|_| (0x40, true)),
+        );
         assert!(acc > 0.99, "got {acc}");
     }
 
@@ -376,9 +383,22 @@ mod tests {
         use ddsc_isa::{Cond, Opcode, Reg};
         use ddsc_trace::TraceInst;
         let mut t = Trace::new("s");
-        t.push(TraceInst::alu(0, Opcode::Add, Reg::new(1), Reg::new(2), None, Some(1), 0));
+        t.push(TraceInst::alu(
+            0,
+            Opcode::Add,
+            Reg::new(1),
+            Reg::new(2),
+            None,
+            Some(1),
+            0,
+        ));
         for i in 0..10 {
-            t.push(TraceInst::cond_branch(0x40, Opcode::Bcc(Cond::Ne), true, 0x10));
+            t.push(TraceInst::cond_branch(
+                0x40,
+                Opcode::Bcc(Cond::Ne),
+                true,
+                0x10,
+            ));
             let _ = i;
         }
         let mut p = McFarling::paper_8kb();

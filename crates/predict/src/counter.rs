@@ -73,7 +73,10 @@ impl SatCounter {
     /// could never report confidence).
     pub fn with_params(max: u8, inc_by: u8, dec_by: u8, threshold: u8) -> Self {
         assert!(inc_by > 0, "counter must be able to gain confidence");
-        assert!(threshold < max, "threshold {threshold} unreachable with max {max}");
+        assert!(
+            threshold < max,
+            "threshold {threshold} unreachable with max {max}"
+        );
         SatCounter {
             value: 0,
             max,

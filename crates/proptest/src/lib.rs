@@ -1,0 +1,152 @@
+//! A self-contained, offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small slice of proptest it actually uses: the
+//! [`Strategy`] trait with `prop_map`, range/tuple/`any`/`Just`/oneof
+//! strategies, `proptest::collection::vec`, `proptest::option::of`, and
+//! the [`proptest!`]/[`prop_assert!`] macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! * **No shrinking.** A failing case panics with the ordinary assert
+//!   message; the PRNG is deterministic (fixed seed per test body), so a
+//!   failure reproduces exactly by re-running the test.
+//! * **Fixed case count.** [`ProptestConfig::default`] runs 64 cases;
+//!   `with_cases(n)` is honoured.
+//!
+//! Both keep the property tests meaningful (random exploration over the
+//! same strategy space) while staying dependency-free.
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Asserts a condition inside a property (plain `assert!` here: failures
+/// panic instead of triggering shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type (the unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                // One deterministic stream per test, derived from the
+                // test's name so sibling tests explore different points.
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (0u8..4).generate(&mut rng);
+            assert!(v < 4);
+            let i = (-7i32..8).generate(&mut rng);
+            assert!((-7..8).contains(&i));
+            let f = (0.01f64..1e6).generate(&mut rng);
+            assert!((0.01..1e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_the_range() {
+        let mut rng = crate::TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u32..10, 1..24).generate(&mut rng);
+            assert!((1..24).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let s = prop_oneof![(0u8..3).prop_map(|x| x as u32), Just(99u32),];
+        let mut rng = crate::TestRng::from_name("oneof");
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v < 3 || v == 99);
+            saw_just |= v == 99;
+        }
+        assert!(saw_just, "union must reach every arm");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(
+            a in 0u16..100,
+            b in any::<bool>(),
+            opt in crate::option::of(1i32..5),
+        ) {
+            prop_assert!(a < 100);
+            if let Some(x) = opt {
+                prop_assert!((1..5).contains(&x), "b was {b}");
+            }
+        }
+    }
+}

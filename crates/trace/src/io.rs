@@ -317,7 +317,13 @@ mod tests {
             true,
             0x40,
         ));
-        t.push(TraceInst::uncond(0x50, Opcode::Call, Some(Reg::LINK), None, 0x100));
+        t.push(TraceInst::uncond(
+            0x50,
+            Opcode::Call,
+            Some(Reg::LINK),
+            None,
+            0x100,
+        ));
         t
     }
 
@@ -357,7 +363,15 @@ mod tests {
     #[test]
     fn bad_opcode_byte_is_rejected() {
         let mut t = Trace::new("x");
-        t.push(TraceInst::alu(0, Opcode::Add, Reg::new(1), Reg::new(2), None, Some(1), 0));
+        t.push(TraceInst::alu(
+            0,
+            Opcode::Add,
+            Reg::new(1),
+            Reg::new(2),
+            None,
+            Some(1),
+            0,
+        ));
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
         // Opcode byte of the single record sits right after the header.

@@ -140,7 +140,15 @@ mod tests {
     use ddsc_isa::{Opcode, Reg};
 
     fn inst() -> TraceInst {
-        TraceInst::alu(0x40, Opcode::Add, Reg::new(1), Reg::new(2), None, Some(1), 0)
+        TraceInst::alu(
+            0x40,
+            Opcode::Add,
+            Reg::new(1),
+            Reg::new(2),
+            None,
+            Some(1),
+            0,
+        )
     }
 
     #[test]

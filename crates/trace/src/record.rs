@@ -106,7 +106,14 @@ impl TraceInst {
     }
 
     /// Builds a move record: `dest = (rs2|imm)`.
-    pub fn mov(pc: u32, op: Opcode, rd: Reg, rs2: Option<Reg>, imm: Option<i32>, zero_flags: u8) -> Self {
+    pub fn mov(
+        pc: u32,
+        op: Opcode,
+        rd: Reg,
+        rs2: Option<Reg>,
+        imm: Option<i32>,
+        zero_flags: u8,
+    ) -> Self {
         TraceInst {
             pc,
             op,
@@ -398,7 +405,16 @@ mod tests {
 
     #[test]
     fn store_sources_include_data_register() {
-        let i = TraceInst::store(0, Opcode::St, Reg::new(3), Reg::new(4), None, Some(8), 0, 0x100);
+        let i = TraceInst::store(
+            0,
+            Opcode::St,
+            Reg::new(3),
+            Reg::new(4),
+            None,
+            Some(8),
+            0,
+            0x100,
+        );
         let srcs: Vec<Reg> = i.reg_sources().collect();
         assert_eq!(srcs, vec![Reg::new(4), Reg::new(3)]);
         let addr: Vec<Reg> = i.addr_sources().collect();
@@ -442,7 +458,16 @@ mod tests {
     fn load_with_zero_offset_matches_paper_example() {
         // Paper §3: `Ra = [Rd + 0]` — the zero is detected, reducing the
         // expression size.
-        let i = TraceInst::load(0, Opcode::Ld, Reg::new(1), Reg::new(13), None, Some(0), 0, 0x80);
+        let i = TraceInst::load(
+            0,
+            Opcode::Ld,
+            Reg::new(1),
+            Reg::new(13),
+            None,
+            Some(0),
+            0,
+            0x80,
+        );
         assert_eq!(i.optype().unwrap().to_string(), "ldr0");
         assert_eq!(i.operand_count(), 1);
     }
@@ -471,13 +496,30 @@ mod tests {
 
     #[test]
     fn addr_sources_empty_for_alu() {
-        let i = TraceInst::alu(0, Opcode::Add, Reg::new(1), Reg::new(2), Some(Reg::new(3)), None, 0);
+        let i = TraceInst::alu(
+            0,
+            Opcode::Add,
+            Reg::new(1),
+            Reg::new(2),
+            Some(Reg::new(3)),
+            None,
+            0,
+        );
         assert_eq!(i.addr_sources().count(), 0);
     }
 
     #[test]
     fn display_is_nonempty_and_informative() {
-        let i = TraceInst::load(0x40, Opcode::Ld, Reg::new(1), Reg::new(2), None, Some(4), 0, 0xBEEF);
+        let i = TraceInst::load(
+            0x40,
+            Opcode::Ld,
+            Reg::new(1),
+            Reg::new(2),
+            None,
+            Some(4),
+            0,
+            0xBEEF,
+        );
         let s = i.to_string();
         assert!(s.contains("ld"));
         assert!(s.contains("%r1"));

@@ -169,16 +169,70 @@ mod tests {
         let mut t = Trace::new("mix");
         t.push(TraceInst::alu(0, Opcode::Add, r(1), r(2), None, Some(1), 0));
         t.push(TraceInst::alu(4, Opcode::Sll, r(1), r(2), None, Some(3), 0));
-        t.push(TraceInst::alu(8, Opcode::Or, r(1), r(2), Some(r(3)), None, 0));
+        t.push(TraceInst::alu(
+            8,
+            Opcode::Or,
+            r(1),
+            r(2),
+            Some(r(3)),
+            None,
+            0,
+        ));
         t.push(TraceInst::mov(12, Opcode::Mov, r(4), None, Some(9), 0));
-        t.push(TraceInst::load(16, Opcode::Ld, r(5), r(4), None, Some(0), 0, 0x40));
-        t.push(TraceInst::store(20, Opcode::St, r(5), r(4), None, Some(4), 0, 0x44));
+        t.push(TraceInst::load(
+            16,
+            Opcode::Ld,
+            r(5),
+            r(4),
+            None,
+            Some(0),
+            0,
+            0x40,
+        ));
+        t.push(TraceInst::store(
+            20,
+            Opcode::St,
+            r(5),
+            r(4),
+            None,
+            Some(4),
+            0,
+            0x44,
+        ));
         t.push(TraceInst::cmp(24, r(5), None, Some(7), 0));
         t.push(TraceInst::cond_branch(28, Opcode::Bcc(Cond::Ne), true, 0));
-        t.push(TraceInst::uncond(32, Opcode::Call, Some(Reg::LINK), None, 64));
-        t.push(TraceInst::uncond(36, Opcode::Ret, None, Some(Reg::LINK), 36));
-        t.push(TraceInst::alu(40, Opcode::Mul, r(6), r(5), Some(r(5)), None, 0));
-        t.push(TraceInst::alu(44, Opcode::Div, r(6), r(6), None, Some(3), 0));
+        t.push(TraceInst::uncond(
+            32,
+            Opcode::Call,
+            Some(Reg::LINK),
+            None,
+            64,
+        ));
+        t.push(TraceInst::uncond(
+            36,
+            Opcode::Ret,
+            None,
+            Some(Reg::LINK),
+            36,
+        ));
+        t.push(TraceInst::alu(
+            40,
+            Opcode::Mul,
+            r(6),
+            r(5),
+            Some(r(5)),
+            None,
+            0,
+        ));
+        t.push(TraceInst::alu(
+            44,
+            Opcode::Div,
+            r(6),
+            r(6),
+            None,
+            Some(3),
+            0,
+        ));
         t
     }
 

@@ -1,0 +1,146 @@
+//! A lightweight FxHash-style hasher for hot-path maps.
+//!
+//! The simulator's store-alias map hashes millions of small integer keys
+//! per run; SipHash's DoS resistance buys nothing there (keys are trace
+//! addresses, not attacker input) and costs real time. This is the
+//! classic Firefox/rustc "Fx" scheme: fold each word into the state with
+//! a rotate, xor and multiply by a constant derived from the golden
+//! ratio. Deterministic across platforms and runs, which the
+//! reproduction requires.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddsc_util::FxHashMap;
+//!
+//! let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+//! m.insert(0x1000, 7);
+//! assert_eq!(m.get(&0x1000), Some(&7));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `2^64 / φ`, the multiplier used by rustc's FxHasher.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state: one 64-bit word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Builds [`FxHasher`]s (all states start at zero; no per-map seeding).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips_integer_keys() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..10_000u32 {
+            m.insert(i * 4, i);
+        }
+        for i in 0..10_000u32 {
+            assert_eq!(m.get(&(i * 4)), Some(&i));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u32(0xdead_beef);
+        b.write_u32(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+        // Known-answer so cross-platform drift would be caught.
+        let mut c = FxHasher::default();
+        c.write_u64(1);
+        assert_eq!(c.finish(), SEED);
+    }
+
+    #[test]
+    fn nearby_keys_spread_across_the_hash_space() {
+        // The multiply diffuses keys upward: consecutive word addresses
+        // must spread across the high byte roughly uniformly. (The low
+        // byte of a multiply-only hash is weak by construction — same
+        // trade-off rustc's FxHash makes.)
+        let mut high_bytes = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(0x1000 + i * 4);
+            high_bytes.insert((h.finish() >> 56) as u8);
+        }
+        assert!(high_bytes.len() > 128, "only {} distinct", high_bytes.len());
+    }
+
+    #[test]
+    fn byte_slices_hash_like_their_padded_words() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh");
+        let mut b = FxHasher::default();
+        b.write_u64(u64::from_le_bytes(*b"abcdefgh"));
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -98,10 +98,7 @@ impl Histogram {
 
     /// Iterates over `(value, count)` pairs for the unit buckets.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (i as u64, c))
+        self.buckets.iter().enumerate().map(|(i, &c)| (i as u64, c))
     }
 
     /// Merges another histogram into this one.

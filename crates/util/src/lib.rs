@@ -17,11 +17,13 @@
 //! assert_ne!(a, b);
 //! ```
 
+pub mod fxhash;
 pub mod hist;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hist::Histogram;
 pub use rng::{Pcg32, SplitMix64};
 pub use stats::{geometric_mean, harmonic_mean, mean, Percent};

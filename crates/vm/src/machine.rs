@@ -125,7 +125,11 @@ impl Machine {
     pub fn reschedule(&mut self) {
         assert_eq!(self.retired, 0, "reschedule before running");
         self.program = crate::sched::schedule_program(&self.program);
-        self.pc_idx = if self.program.is_empty() { None } else { Some(0) };
+        self.pc_idx = if self.program.is_empty() {
+            None
+        } else {
+            Some(0)
+        };
     }
 
     /// Whether execution has halted.

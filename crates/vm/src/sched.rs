@@ -79,7 +79,8 @@ pub fn schedule(insts: &[Inst], block_starts: &[u32]) -> Vec<Inst> {
 fn reads_writes(inst: &Inst) -> (Vec<Reg>, Option<Reg>) {
     let mut reads = Vec::new();
     let class = inst.op.class();
-    let uses_rs1 = !matches!(class, OpClass::Move) || matches!(inst.op, ddsc_isa::Opcode::Ret | ddsc_isa::Opcode::Jmp);
+    let uses_rs1 = !matches!(class, OpClass::Move)
+        || matches!(inst.op, ddsc_isa::Opcode::Ret | ddsc_isa::Opcode::Jmp);
     if uses_rs1 && !inst.rs1.is_zero() {
         reads.push(inst.rs1);
     }
@@ -98,7 +99,13 @@ fn reads_writes(inst: &Inst) -> (Vec<Reg>, Option<Reg>) {
         Some(Reg::ICC)
     } else if matches!(
         class,
-        OpClass::Arith | OpClass::Logic | OpClass::Shift | OpClass::Move | OpClass::Load | OpClass::Mul | OpClass::Div
+        OpClass::Arith
+            | OpClass::Logic
+            | OpClass::Shift
+            | OpClass::Move
+            | OpClass::Load
+            | OpClass::Mul
+            | OpClass::Div
     ) && !inst.rd.is_zero()
     {
         Some(inst.rd)
@@ -178,8 +185,7 @@ fn schedule_block(block: &[Inst], out: &mut Vec<Inst>) {
             .iter()
             .enumerate()
             .max_by_key(|&(_, &i)| {
-                let depends_on_last =
-                    last_emitted.is_some_and(|l| succs[l].contains(&i));
+                let depends_on_last = last_emitted.is_some_and(|l| succs[l].contains(&i));
                 (height[i], !depends_on_last, std::cmp::Reverse(i))
             })
             .expect("acyclic block DAG always has a ready instruction");
@@ -246,7 +252,10 @@ mod tests {
             .map(|(k, _)| k)
             .collect();
         let contiguous = chain1_positions.windows(2).all(|w| w[1] == w[0] + 1);
-        assert!(!contiguous, "chains should interleave: {chain1_positions:?}");
+        assert!(
+            !contiguous,
+            "chains should interleave: {chain1_positions:?}"
+        );
     }
 
     #[test]

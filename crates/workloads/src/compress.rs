@@ -171,7 +171,11 @@ mod tests {
     fn mix_has_hash_probe_loads_and_stores() {
         let t = Benchmarkish::trace();
         let s = t.stats();
-        assert!(s.load_pct().value() > 10.0, "loads {:.1}%", s.load_pct().value());
+        assert!(
+            s.load_pct().value() > 10.0,
+            "loads {:.1}%",
+            s.load_pct().value()
+        );
         assert!(s.stores() > 0);
         // Moderate branchiness, like the original (13.2%).
         let b = s.cond_branch_pct().value();

@@ -76,7 +76,7 @@ pub fn build(seed: u64) -> Machine {
     asm.xor(t, a, b);
     asm.cmpi(t, 0);
     asm.beq(knext); // identical words: common, predictable
-    // short popcount of the differing bits (pair + nibble folds)
+                    // short popcount of the differing bits (pair + nibble folds)
     asm.srli(u, t, 1);
     asm.andi(u, u, 0x5555);
     asm.and(t, t, u);

@@ -162,8 +162,8 @@ pub fn build(seed: u64) -> Machine {
     }
     for _ in 0..26 {
         let colour = rng.range(1, 3);
-        let mut pt = (rng.range(1, COLS as u32 - 1) * COLS as u32
-            + rng.range(1, COLS as u32 - 1)) as i32;
+        let mut pt =
+            (rng.range(1, COLS as u32 - 1) * COLS as u32 + rng.range(1, COLS as u32 - 1)) as i32;
         for _ in 0..rng.range(4, 12) {
             if board[pt as usize] == 0 {
                 board[pt as usize] = colour;

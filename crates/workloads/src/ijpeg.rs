@@ -224,10 +224,7 @@ mod tests {
     fn multiplies_are_present() {
         use ddsc_isa::OpClass;
         let t = build(2).run_trace("ijpeg", 30_000).unwrap();
-        let muls = t
-            .iter()
-            .filter(|i| i.op.class() == OpClass::Mul)
-            .count();
+        let muls = t.iter().filter(|i| i.op.class() == OpClass::Mul).count();
         assert!(muls * 20 > t.len(), "DCT should be multiply-dense");
     }
 }

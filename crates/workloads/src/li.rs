@@ -148,7 +148,11 @@ pub fn build(seed: u64) -> Machine {
         for k in 0..NODES_PER_LIST {
             let addr = cell_addr(slots[cursor]);
             cursor += 1;
-            let value = if rng.chance(1, 8) { 0 } else { rng.range(1, 100) };
+            let value = if rng.chance(1, 8) {
+                0
+            } else {
+                rng.range(1, 100)
+            };
             machine.mem_mut().write_u32(addr, value);
             machine.mem_mut().write_u32(addr + 4, next_ptr);
             let _ = k;

@@ -35,8 +35,8 @@
 //! ```
 
 mod compress;
-mod espresso;
 mod eqntott;
+mod espresso;
 mod go;
 mod ijpeg;
 mod li;

@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CollapseCategory::FourOne,
         CollapseCategory::ZeroOp,
     ] {
-        println!("  {:<5} {:>5.1}%", cat.to_string(), c.category_pct(cat).value());
+        println!(
+            "  {:<5} {:>5.1}%",
+            cat.to_string(),
+            c.category_pct(cat).value()
+        );
     }
 
     println!("\ndistance between collapsed instructions:");
@@ -44,17 +48,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for d in 1..=8u64 {
         let share = 100.0 * h.count(d) as f64 / h.total().max(1) as f64;
         if share > 0.05 {
-            println!("  {d:>2}: {share:>5.1}%  {}", "#".repeat((share / 2.0) as usize));
+            println!(
+                "  {d:>2}: {share:>5.1}%  {}",
+                "#".repeat((share / 2.0) as usize)
+            );
         }
     }
 
     println!("\nmost frequent collapsed pairs:");
     for (key, count) in c.pairs().top(6) {
-        println!("  {:<14} {:>6.2}%  ({count} groups)", key.to_string(), c.pairs().share(&key).value());
+        println!(
+            "  {:<14} {:>6.2}%  ({count} groups)",
+            key.to_string(),
+            c.pairs().share(&key).value()
+        );
     }
     println!("\nmost frequent collapsed triples:");
     for (key, count) in c.triples().top(6) {
-        println!("  {:<18} {:>6.2}%  ({count} groups)", key.to_string(), c.triples().share(&key).value());
+        println!(
+            "  {:<18} {:>6.2}%  ({count} groups)",
+            key.to_string(),
+            c.triples().share(&key).value()
+        );
     }
     Ok(())
 }

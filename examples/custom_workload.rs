@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     machine.mem_mut().write_bytes(0x40000, &data);
 
     let trace = machine.run_trace("djb2", 80_000)?;
-    println!("traced {} dynamic instructions of the hash loop\n", trace.len());
+    println!(
+        "traced {} dynamic instructions of the hash loop\n",
+        trace.len()
+    );
     println!("{}", trace.stats());
 
     println!("width  base IPC  +load-spec  +collapse  +both");

@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<11} {:<9} {:>18.1} {:>29.3}",
             bench.name(),
-            if bench.is_pointer_chasing() { "yes" } else { "no" },
+            if bench.is_pointer_chasing() {
+                "yes"
+            } else {
+                "no"
+            },
             100.0 * predicted as f64 / loads.max(1) as f64,
             spec.speedup_over(&base)
         );

@@ -9,7 +9,12 @@ fn whole_pipeline_is_deterministic() {
     let run = || {
         let t = Benchmark::Go.trace(77, 20_000).unwrap();
         let r = simulate(&t, &SimConfig::paper(PaperConfig::D, 8));
-        (r.cycles, r.branches.mispredicted, r.collapse.groups(), r.loads)
+        (
+            r.cycles,
+            r.branches.mispredicted,
+            r.collapse.groups(),
+            r.loads,
+        )
     };
     assert_eq!(run(), run(), "same seed must reproduce exactly");
 }
@@ -40,7 +45,10 @@ fn seeds_change_data_but_not_structure() {
     let (sa, sb) = (a.stats(), b.stats());
     let da = sa.cond_branch_pct().value();
     let db = sb.cond_branch_pct().value();
-    assert!((da - db).abs() < 8.0, "mix is structural: {da:.1} vs {db:.1}");
+    assert!(
+        (da - db).abs() < 8.0,
+        "mix is structural: {da:.1} vs {db:.1}"
+    );
 }
 
 #[test]

@@ -32,7 +32,10 @@ fn configuration_ordering_matches_the_paper() {
     assert!(b >= 1.0, "load-speculation cannot hurt, got {b}");
     assert!(c > 1.1, "collapsing must show clear gains, got {c}");
     assert!(d >= c * 0.99, "D adds speculation on top of C: {c} -> {d}");
-    assert!(e >= d * 0.99, "ideal speculation dominates real: {d} -> {e}");
+    assert!(
+        e >= d * 0.99,
+        "ideal speculation dominates real: {d} -> {e}"
+    );
     // §5.1: "d-collapsing contributes the majority of the improvement".
     assert!(
         c - 1.0 > b - 1.0,
@@ -87,7 +90,10 @@ fn collapse_behaviour_matches_section_5_3() {
     let three = merged.category_pct(ThreeOne).value();
     let four = merged.category_pct(FourOne).value();
     let zero = merged.category_pct(ZeroOp).value();
-    assert!(three > four && three > zero, "3-1 dominates: {three}/{four}/{zero}");
+    assert!(
+        three > four && three > zero,
+        "3-1 dominates: {three}/{four}/{zero}"
+    );
     assert!(four > zero, "4-1 above 0-op: {four} vs {zero}");
     // Distances are nearly always below 8.
     let below8 = merged.distance().fraction_below(8);
@@ -118,7 +124,12 @@ fn branch_prediction_quality_ordering_matches_table_2() {
         s.accuracy_pct().value()
     };
     let go = acc(Benchmark::Go);
-    for other in [Benchmark::Compress, Benchmark::Eqntott, Benchmark::Li, Benchmark::Ijpeg] {
+    for other in [
+        Benchmark::Compress,
+        Benchmark::Eqntott,
+        Benchmark::Li,
+        Benchmark::Ijpeg,
+    ] {
         assert!(
             acc(other) > go,
             "{other} should predict better than go ({go:.1}%)"

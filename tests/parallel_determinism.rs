@@ -1,0 +1,50 @@
+//! The parallel experiment lab must be an invisible optimisation: the
+//! same grid evaluated serially and via the multi-threaded
+//! `Lab::prewarm` fan-out has to produce bit-identical results for
+//! every cell.
+//!
+//! This file holds a single test because it toggles the process-global
+//! `DDSC_THREADS` override; concurrent tests in the same binary would
+//! race on it.
+
+use ddsc::experiments::{Lab, Suite, SuiteConfig};
+
+#[test]
+fn prewarm_on_two_threads_matches_serial_evaluation_bit_for_bit() {
+    let config = SuiteConfig {
+        seed: 1996,
+        trace_len: 8_000,
+        widths: vec![4, 16],
+    };
+    let suite = Suite::generate(config);
+
+    std::env::set_var("DDSC_THREADS", "1");
+    let serial = Lab::from_suite(suite.clone());
+    let cells = serial.grid();
+    assert!(
+        cells.len() >= 2 * 5 * 2,
+        "grid covers widths x configs x benches"
+    );
+    serial.prewarm(&cells);
+
+    std::env::set_var("DDSC_THREADS", "2");
+    let parallel = Lab::from_suite(suite);
+    parallel.prewarm(&cells);
+    std::env::remove_var("DDSC_THREADS");
+
+    for &(bench, cfg, width) in &cells {
+        let a = serial.result(bench, cfg, width);
+        let b = parallel.result(bench, cfg, width);
+        assert_eq!(
+            *a,
+            *b,
+            "{bench} config {} width {width} diverged across thread counts",
+            cfg.label()
+        );
+    }
+    assert_eq!(
+        serial.simulations_run(),
+        parallel.simulations_run(),
+        "both labs simulate each cell exactly once"
+    );
+}

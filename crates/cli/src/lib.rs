@@ -10,10 +10,13 @@
 //! * `ddsc sim <bench> [--config A..E] [--width W] [--len N] [--seed S]`
 //!   — simulate one benchmark and print the result;
 //! * `ddsc repro <artifact>|all|extensions [--len N] [--seed S]
-//!   [--threads T] [--timing] [--bench-json FILE]` — regenerate paper
-//!   tables/figures over the parallel lab, optionally appending a
-//!   throughput report and writing the machine-readable benchmark
-//!   payload (`results/BENCH_lab.json` by convention);
+//!   [--threads T] [--timing] [--bench-json FILE] [--trace-cache DIR]
+//!   [--no-trace-cache]` — regenerate paper tables/figures over the
+//!   parallel lab, optionally appending a throughput report and writing
+//!   the machine-readable benchmark payload (`results/BENCH_lab.json`
+//!   by convention); generated traces are cached under
+//!   `results/traces/` (checksummed, atomically written) unless
+//!   `--no-trace-cache` is given;
 //! * `ddsc help`.
 
 use std::error::Error;
@@ -22,7 +25,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use ddsc_core::{analyze_dataflow, simulate, Latencies, LoadClass, PaperConfig, SimConfig};
-use ddsc_experiments::{extensions, figures, tables, Lab, SuiteConfig};
+use ddsc_experiments::{extensions, figures, tables, Lab, Suite, SuiteConfig, TraceCache};
 use ddsc_trace::io::{read_trace, write_trace};
 use ddsc_workloads::Benchmark;
 
@@ -66,7 +69,8 @@ USAGE:
               fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|
               all|extensions> [--len N] [--seed S] [--widths 4,8,...]
                              [--out FILE] [--threads T] [--timing]
-                             [--bench-json FILE]
+                             [--bench-json FILE] [--trace-cache DIR]
+                             [--no-trace-cache]
 
 Benchmarks: compress espresso eqntott li go ijpeg
 
@@ -74,6 +78,9 @@ Benchmarks: compress espresso eqntott li go ijpeg
 parallelism by default; override with --threads or DDSC_THREADS).
 --timing appends a wall-clock/MIPS report; --bench-json writes the
 same data as JSON (conventionally results/BENCH_lab.json).
+Generated traces are cached on disk (default results/traces, checksum
+validated); --trace-cache relocates the cache, --no-trace-cache
+regenerates every trace in memory.
 "
     .to_string()
 }
@@ -297,11 +304,18 @@ fn repro_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
         // The lab reads DDSC_THREADS; the flag is just a friendlier spelling.
         std::env::set_var("DDSC_THREADS", t.to_string());
     }
-    let lab = Lab::new(SuiteConfig {
+    let suite_config = SuiteConfig {
         seed,
         trace_len: len,
         widths,
-    });
+    };
+    let suite = if args.contains(&"--no-trace-cache") {
+        Suite::generate(suite_config)
+    } else {
+        let dir = flag_value(args, "--trace-cache").unwrap_or("results/traces");
+        Suite::generate_cached(suite_config, &TraceCache::new(dir))
+    };
+    let lab = Lab::from_suite(suite);
     let mut out = match what {
         "all" => ddsc_experiments::render_all(&lab),
         "extensions" => extensions::render_all(&lab),
@@ -364,7 +378,7 @@ mod tests {
     fn unknown_commands_error() {
         assert!(run_strs(&["bogus"]).is_err());
         assert!(run_strs(&["sim", "nope"]).is_err());
-        assert!(run_strs(&["repro", "fig99", "--len", "500"]).is_err());
+        assert!(run_strs(&["repro", "fig99", "--len", "500", "--no-trace-cache"]).is_err());
     }
 
     #[test]
@@ -392,10 +406,58 @@ mod tests {
 
     #[test]
     fn repro_single_artifacts() {
-        let out = run_strs(&["repro", "fig2", "--len", "4000", "--widths", "4"]).unwrap();
+        let out = run_strs(&[
+            "repro",
+            "fig2",
+            "--len",
+            "4000",
+            "--widths",
+            "4",
+            "--no-trace-cache",
+        ])
+        .unwrap();
         assert!(out.contains("Figure 2"));
-        let out = run_strs(&["repro", "table2", "--len", "4000", "--widths", "4"]).unwrap();
+        let out = run_strs(&[
+            "repro",
+            "table2",
+            "--len",
+            "4000",
+            "--widths",
+            "4",
+            "--no-trace-cache",
+        ])
+        .unwrap();
         assert!(out.contains("Table 2"));
+    }
+
+    #[test]
+    fn repro_trace_cache_round_trips() {
+        let dir = std::env::temp_dir().join(format!("ddsc-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = dir.to_str().unwrap();
+        let args = [
+            "repro",
+            "fig2",
+            "--len",
+            "3000",
+            "--widths",
+            "4",
+            "--trace-cache",
+            cache,
+        ];
+        let cold = run_strs(&args).unwrap();
+        // One cache file per benchmark, named by the generation key.
+        let files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(files.len(), 6);
+        assert!(files.iter().any(|f| f == "compress-s1996-n3000.bin"));
+        // The warm run serves traces from disk and must render the same
+        // figure byte-for-byte.
+        let warm = run_strs(&args).unwrap();
+        assert_eq!(cold, warm);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -405,7 +467,15 @@ mod tests {
         let path = dir.join("fig2.txt");
         let path = path.to_str().unwrap();
         let out = run_strs(&[
-            "repro", "fig2", "--len", "3000", "--widths", "4", "--out", path,
+            "repro",
+            "fig2",
+            "--len",
+            "3000",
+            "--widths",
+            "4",
+            "--out",
+            path,
+            "--no-trace-cache",
         ])
         .unwrap();
         assert!(out.contains("wrote"));
@@ -416,11 +486,19 @@ mod tests {
     #[test]
     fn repro_timing_appends_a_throughput_report() {
         let out = run_strs(&[
-            "repro", "fig2", "--len", "3000", "--widths", "4", "--timing",
+            "repro",
+            "fig2",
+            "--len",
+            "3000",
+            "--widths",
+            "4",
+            "--timing",
+            "--no-trace-cache",
         ])
         .unwrap();
         assert!(out.contains("Figure 2"));
         assert!(out.contains("Lab throughput report"));
+        assert!(out.contains("analysis pre-pass"));
         assert!(out.contains("MIPS"));
     }
 
@@ -439,11 +517,13 @@ mod tests {
             "4",
             "--bench-json",
             path,
+            "--no-trace-cache",
         ])
         .unwrap();
         let json = std::fs::read_to_string(path).unwrap();
         assert!(json.contains("\"aggregate_mips\""));
         assert!(json.contains("\"speedup_vs_serial\""));
+        assert!(json.contains("\"prepass_seconds\""));
     }
 
     #[test]

@@ -161,6 +161,26 @@ impl ExprState {
         })
     }
 
+    /// [`ExprState::leaf_with`] from a pre-derived pattern: the analysis
+    /// pre-pass computes each instruction's [`OpType`] once per trace, so
+    /// the dispatch hot path builds leaves without re-deriving (and
+    /// re-allocating) operand-kind lists.
+    pub fn leaf_from(index: u32, optype: OpType, opts: &CollapseOpts) -> Self {
+        let raw = optype.kinds().count() as u8;
+        let mut members = [None; MAX_MEMBERS];
+        members[0] = Some((index, optype));
+        ExprState {
+            ops: if opts.zero_detection {
+                optype.operand_count()
+            } else {
+                raw
+            },
+            raw_ops: raw,
+            members,
+            len: 1,
+        }
+    }
+
     /// Operand count after zero elision.
     pub fn ops(&self) -> u8 {
         self.ops

@@ -27,11 +27,13 @@
 //! types.
 
 pub mod expr;
+pub mod pass;
 pub mod patterns;
 pub mod rules;
 pub mod stats;
 
 pub use expr::{AbsorbSlot, CollapseCategory, CollapseOpts, ExprState, MAX_EXPR_OPS, MAX_MEMBERS};
+pub use pass::{decode_slots, encode_slots, CollapseStatic};
 pub use patterns::{PatternKey, PatternTable};
 pub use rules::{absorb_slots, can_produce};
 pub use stats::CollapseStats;

@@ -1,0 +1,258 @@
+//! Config-invariant collapse analysis as a standalone pass.
+//!
+//! Whether an instruction *can* participate in collapsing — its operand
+//! pattern, whether its result is absorbable, whether it may absorb
+//! producers itself — is a pure function of the dynamic instruction, not
+//! of the machine configuration. [`CollapseStatic::analyze`] derives
+//! those facts for a whole trace in one pass so the simulator's dispatch
+//! loop (run once per grid cell) reads packed columns instead of
+//! re-deriving patterns per cell.
+//!
+//! The pass also owns the packed [`AbsorbSlot`]-list encoding used by the
+//! pre-pass dependence edges: a dependence can be absorbed through at
+//! most two operand positions ([`rules::absorb_slots`](crate::rules)
+//! returns rs1/rs2 or the single `%icc` link), so a slot list packs into
+//! one byte.
+
+use ddsc_isa::{OpType, PatClass};
+use ddsc_trace::{Trace, TraceInst};
+
+use crate::expr::{AbsorbSlot, CollapseOpts, ExprState};
+use crate::rules::can_produce;
+
+/// Flag: the instruction has an operand pattern (an [`OpType`]).
+pub const HAS_PATTERN: u8 = 1 << 0;
+/// Flag: the instruction's result may be absorbed by a consumer.
+pub const CAN_PRODUCE: u8 = 1 << 1;
+/// Flag: the instruction may absorb producers (collapsible consumer).
+pub const CONSUMER: u8 = 1 << 2;
+
+/// Packs an absorb-slot list (at most two positions) into one byte:
+/// bits 0–1 hold the count, bits 2–3 and 4–5 one slot kind each.
+///
+/// # Panics
+///
+/// Panics if `slots` has more than two entries — the rules never produce
+/// more.
+pub fn encode_slots(slots: &[AbsorbSlot]) -> u8 {
+    assert!(slots.len() <= 2, "a dependence spans at most two operands");
+    let kind = |s: AbsorbSlot| match s {
+        AbsorbSlot::Counted => 0u8,
+        AbsorbSlot::ZeroReg => 1,
+        AbsorbSlot::Icc => 2,
+    };
+    let mut code = slots.len() as u8;
+    for (k, &s) in slots.iter().enumerate() {
+        code |= kind(s) << (2 + 2 * k);
+    }
+    code
+}
+
+/// Unpacks an [`encode_slots`] byte; the slice view of the returned array
+/// is `&decoded[..count]`.
+pub fn decode_slots(code: u8) -> ([AbsorbSlot; 2], usize) {
+    let kind = |bits: u8| match bits & 3 {
+        0 => AbsorbSlot::Counted,
+        1 => AbsorbSlot::ZeroReg,
+        _ => AbsorbSlot::Icc,
+    };
+    let count = usize::from(code & 3);
+    ([kind(code >> 2), kind(code >> 4)], count)
+}
+
+/// The config-invariant collapse facts of one trace, as packed columns.
+#[derive(Debug, Clone, Default)]
+pub struct CollapseStatic {
+    /// Per-instruction pattern; a dummy `brc` for pattern-less ops
+    /// (gated by [`HAS_PATTERN`]) keeps the column dense.
+    optype: Vec<OpType>,
+    flags: Vec<u8>,
+}
+
+impl CollapseStatic {
+    /// Runs the pass over a whole trace.
+    pub fn analyze(trace: &Trace) -> Self {
+        let mut s = CollapseStatic {
+            optype: Vec::with_capacity(trace.len()),
+            flags: Vec::with_capacity(trace.len()),
+        };
+        for inst in trace {
+            s.push(inst);
+        }
+        s
+    }
+
+    /// Appends one instruction's facts (for incremental builders).
+    pub fn push(&mut self, inst: &TraceInst) {
+        let optype = inst.optype();
+        let mut flags = 0u8;
+        if optype.is_some() {
+            flags |= HAS_PATTERN;
+        }
+        if can_produce(inst) {
+            flags |= CAN_PRODUCE;
+        }
+        if inst.op.class().is_collapsible_consumer() {
+            flags |= CONSUMER;
+        }
+        self.optype
+            .push(optype.unwrap_or_else(|| OpType::new(PatClass::Brc, &[])));
+        self.flags.push(flags);
+    }
+
+    /// Number of instructions analysed.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the pass has seen no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// The instruction's operand pattern, if it has one.
+    pub fn optype(&self, i: usize) -> Option<OpType> {
+        (self.flags[i] & HAS_PATTERN != 0).then(|| self.optype[i])
+    }
+
+    /// Whether the instruction's result may be absorbed.
+    pub fn can_produce(&self, i: usize) -> bool {
+        self.flags[i] & CAN_PRODUCE != 0
+    }
+
+    /// Whether the instruction may absorb producers.
+    pub fn is_consumer(&self, i: usize) -> bool {
+        self.flags[i] & CONSUMER != 0
+    }
+
+    /// The leaf [`ExprState`] of instruction `i` under the given device
+    /// parameters — [`ExprState::leaf_with`] without re-deriving the
+    /// pattern. `None` for pattern-less instructions.
+    pub fn leaf(&self, i: usize, opts: &CollapseOpts) -> Option<ExprState> {
+        self.optype(i)
+            .map(|t| ExprState::leaf_from(i as u32, t, opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_isa::{Cond, Opcode, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("pass");
+        t.push(TraceInst::alu(0, Opcode::Add, r(1), r(2), None, Some(1), 0));
+        t.push(TraceInst::alu(
+            4,
+            Opcode::Mul,
+            r(3),
+            r(1),
+            Some(r(2)),
+            None,
+            0,
+        ));
+        t.push(TraceInst::load(
+            8,
+            Opcode::Ld,
+            r(4),
+            r(1),
+            None,
+            Some(0),
+            0,
+            64,
+        ));
+        t.push(TraceInst::cond_branch(12, Opcode::Bcc(Cond::Ne), true, 0));
+        t.push(TraceInst::uncond(
+            16,
+            Opcode::Call,
+            Some(Reg::LINK),
+            None,
+            0x40,
+        ));
+        t
+    }
+
+    #[test]
+    fn flags_match_the_rules() {
+        let t = sample();
+        let s = CollapseStatic::analyze(&t);
+        assert_eq!(s.len(), 5);
+        // add: pattern + producer + consumer.
+        assert!(s.optype(0).is_some() && s.can_produce(0) && s.is_consumer(0));
+        // mul: nothing.
+        assert!(s.optype(1).is_none() && !s.can_produce(1) && !s.is_consumer(1));
+        // load: pattern + consumer, result not absorbable.
+        assert!(s.optype(2).is_some() && !s.can_produce(2) && s.is_consumer(2));
+        // branch: pattern (brc) + consumer.
+        assert!(s.optype(3).is_some() && !s.can_produce(3) && s.is_consumer(3));
+        // call: nothing.
+        assert!(s.optype(4).is_none());
+    }
+
+    #[test]
+    fn optype_column_matches_per_instruction_derivation() {
+        let t = sample();
+        let s = CollapseStatic::analyze(&t);
+        for (i, inst) in t.insts().iter().enumerate() {
+            assert_eq!(s.optype(i), inst.optype(), "inst {i}");
+            assert_eq!(s.can_produce(i), can_produce(inst));
+        }
+    }
+
+    #[test]
+    fn leaf_matches_leaf_with() {
+        let t = sample();
+        let s = CollapseStatic::analyze(&t);
+        for opts in [
+            CollapseOpts::default(),
+            CollapseOpts {
+                zero_detection: false,
+                ..CollapseOpts::default()
+            },
+        ] {
+            for (i, inst) in t.insts().iter().enumerate() {
+                assert_eq!(
+                    s.leaf(i, &opts),
+                    ExprState::leaf_with(i as u32, inst, &opts),
+                    "inst {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slot_codes_round_trip() {
+        use AbsorbSlot::*;
+        for slots in [
+            vec![],
+            vec![Counted],
+            vec![ZeroReg],
+            vec![Icc],
+            vec![Counted, Counted],
+            vec![Counted, ZeroReg],
+            vec![ZeroReg, Counted],
+            vec![ZeroReg, ZeroReg],
+        ] {
+            let (decoded, count) = decode_slots(encode_slots(&slots));
+            assert_eq!(&decoded[..count], slots.as_slice(), "{slots:?}");
+        }
+    }
+
+    #[test]
+    fn empty_slot_list_encodes_to_zero() {
+        assert_eq!(encode_slots(&[]), 0);
+        let (_, count) = decode_slots(0);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn three_slots_rejected() {
+        use AbsorbSlot::Counted;
+        encode_slots(&[Counted, Counted, Counted]);
+    }
+}

@@ -14,7 +14,11 @@
 //!
 //! Entry point: [`simulate`] a [`Trace`](ddsc_trace::Trace) under a
 //! [`SimConfig`]; the paper's five machine models are built with
-//! [`SimConfig::paper`].
+//! [`SimConfig::paper`]. When sweeping a configuration grid over one
+//! trace, run the analysis pre-pass once ([`PreparedTrace::build`]) and
+//! feed the result to [`simulate_prepared`] for each cell — the
+//! config-invariant work (dependence edges, predictor verdict streams,
+//! collapse eligibility) is shared across the whole grid.
 //!
 //! # Examples
 //!
@@ -35,6 +39,7 @@
 
 pub mod config;
 pub mod dataflow;
+pub mod prepass;
 pub mod reference;
 pub mod result;
 pub mod simulator;
@@ -43,6 +48,7 @@ pub use config::{
     ConfidenceParams, Latencies, LoadSpecMode, PaperConfig, SimConfig, ValueSpecMode,
 };
 pub use dataflow::{analyze_dataflow, DataflowAnalysis};
+pub use prepass::{BranchStream, PreparedTrace, ValueStream};
 pub use reference::simulate_reference;
 pub use result::{BranchRunStats, LoadClass, LoadSpecStats, SimResult, StallStats, ValueSpecStats};
-pub use simulator::simulate;
+pub use simulator::{simulate, simulate_prepared};

@@ -1,0 +1,677 @@
+//! The shared per-trace analysis pre-pass.
+//!
+//! A configuration grid runs the *same* trace under dozens of machine
+//! models, and most of what the simulator computes per run is a pure
+//! function of the trace alone: register dependence edges, memory
+//! dependences, basic-block numbering, reader counts, collapse
+//! eligibility, operation latencies, and — per predictor geometry, not
+//! per machine width — the branch / address / value predictor verdict
+//! streams. [`PreparedTrace::build`] walks the trace once and
+//! materialises all of it into packed structure-of-arrays columns
+//! (dense `Vec<u8>` / `Vec<u32>` plus CSR edge lists, no `Option`s), so
+//! [`simulate_prepared`](crate::simulator::simulate_prepared) runs the
+//! timing loop straight off arrays instead of re-deriving dependences
+//! from [`TraceInst`](ddsc_trace::TraceInst) records every cell.
+//!
+//! Predictor verdict streams are config-*class* dependent: they vary
+//! with table geometry (`predictor_n`, `stride_bits`, confidence
+//! parameters) but never with issue width or window size, because the
+//! predictors are trained in fetch order — which is trace order — no
+//! matter how wide the machine is. The streams for the paper's default
+//! geometry are computed lazily, once, behind [`std::sync::OnceLock`]s
+//! (so concurrent grid workers share one computation); ablations with
+//! non-default geometry recompute their stream per call through the
+//! same code path, keeping results bit-identical either way.
+
+use std::sync::OnceLock;
+
+use ddsc_collapse::{absorb_slots, encode_slots, CollapseStatic};
+use ddsc_predict::{
+    AddressPredictor, DirectionPredictor, McFarling, SatCounter, TwoDeltaStride, TwoDeltaValue,
+    ValuePredictor,
+};
+use ddsc_trace::Trace;
+use ddsc_util::{fnv1a, BitSet, FxHashMap};
+
+use crate::{BranchRunStats, ConfidenceParams, Latencies, ValueSpecStats};
+
+/// Column sentinel meaning "no dependence".
+pub const NO_DEP: u32 = u32::MAX;
+
+/// Flag bit: the instruction is a load.
+pub const F_LOAD: u8 = 1 << 0;
+/// Flag bit: the instruction is a store.
+pub const F_STORE: u8 = 1 << 1;
+/// Flag bit: the instruction is a conditional branch.
+pub const F_COND_BRANCH: u8 = 1 << 2;
+/// Flag bit: the instruction is a control transfer (ends a basic block).
+pub const F_CONTROL: u8 = 1 << 3;
+/// Flag bit: the conditional branch was taken.
+pub const F_TAKEN: u8 = 1 << 4;
+/// Flag bit: the trace records a result value for this instruction.
+pub const F_VALUE: u8 = 1 << 5;
+/// Flag bit: the instruction's result may be absorbed by a consumer
+/// (collapsible producer with a destination).
+pub const F_CAN_PRODUCE: u8 = 1 << 6;
+
+/// The geometry parameters the default cached streams are built for —
+/// the values every [`crate::SimConfig`] constructor uses.
+pub const DEFAULT_PREDICTOR_N: u32 = 13;
+/// Default stride-table index bits (see [`DEFAULT_PREDICTOR_N`]).
+pub const DEFAULT_STRIDE_BITS: u32 = 12;
+
+/// One branch-predictor run over the trace: which conditional branches
+/// mispredict, plus the run totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchStream {
+    /// Bit `i` set ⇔ instruction `i` is a mispredicted conditional
+    /// branch.
+    pub mispredicted: BitSet,
+    /// Totals for the run (always counts every conditional branch).
+    pub stats: BranchRunStats,
+}
+
+/// One value-predictor run over the trace: which instructions' results
+/// are correctly predicted at dispatch, plus the run totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueStream {
+    /// Bit `i` set ⇔ consumers of instruction `i`'s result need not
+    /// wait for it.
+    pub bypass: BitSet,
+    /// Totals for the run.
+    pub stats: ValueSpecStats,
+}
+
+/// A trace compiled into packed analysis columns.
+///
+/// Everything the timing loop reads per instruction is a dense column
+/// indexed by trace position; dependence edges are CSR lists. Build one
+/// per trace with [`PreparedTrace::build`], share it (`Arc`) across the
+/// whole configuration grid, and run cells with
+/// [`simulate_prepared`](crate::simulator::simulate_prepared).
+#[derive(Debug)]
+pub struct PreparedTrace {
+    name: String,
+    /// Per-instruction flag bytes (`F_*` bits).
+    flags: Vec<u8>,
+    /// Instruction addresses.
+    pc: Vec<u32>,
+    /// Opcodes (kept for non-default latency ablations).
+    op: Vec<ddsc_isa::Opcode>,
+    /// Latency under [`Latencies::default`].
+    lat: Vec<u8>,
+    /// Effective addresses of loads/stores (0 elsewhere).
+    ea: Vec<u32>,
+    /// Traced result values (0 when absent; gated by [`F_VALUE`]).
+    value: Vec<u32>,
+    /// Basic-block sequence number: the count of control transfers
+    /// strictly before each instruction.
+    block: Vec<u32>,
+    /// Total same-register readers of each instruction's result over
+    /// the whole trace (per source occurrence, not deduplicated).
+    readers: Vec<u32>,
+    /// CSR row starts into `edge_prod` / `edge_slots` (`n + 1` entries).
+    edge_start: Vec<u32>,
+    /// Register-dependence producers per instruction, deduplicated, in
+    /// source order.
+    edge_prod: Vec<u32>,
+    /// Packed absorb-slot code per edge ([`ddsc_collapse::encode_slots`];
+    /// 0 ⇔ the edge is not collapse-eligible).
+    edge_slots: Vec<u8>,
+    /// Latest earlier store to the same word, for loads ([`NO_DEP`]
+    /// elsewhere).
+    mem_dep: Vec<u32>,
+    /// Config-invariant collapse facts (operand patterns, consumer
+    /// eligibility).
+    collapse: CollapseStatic,
+    /// Total conditional branches.
+    cond_branches: u64,
+    /// Loads that carry a traced value (the ideal value-speculation
+    /// `predicted_correct` count).
+    loads_with_value: u64,
+    branch_default: OnceLock<BranchStream>,
+    addr_default: OnceLock<Vec<u8>>,
+    value_real: OnceLock<ValueStream>,
+}
+
+impl PreparedTrace {
+    /// Runs the analysis pre-pass: one walk over the trace, every
+    /// config-invariant artifact materialised.
+    pub fn build(trace: &Trace) -> Self {
+        let insts = trace.insts();
+        let n = insts.len();
+        let mut p = PreparedTrace {
+            name: trace.name().to_string(),
+            flags: Vec::with_capacity(n),
+            pc: Vec::with_capacity(n),
+            op: Vec::with_capacity(n),
+            lat: Vec::with_capacity(n),
+            ea: Vec::with_capacity(n),
+            value: Vec::with_capacity(n),
+            block: Vec::with_capacity(n),
+            readers: vec![0; n],
+            edge_start: Vec::with_capacity(n + 1),
+            // Most instructions have one or two register sources.
+            edge_prod: Vec::with_capacity(2 * n),
+            edge_slots: Vec::with_capacity(2 * n),
+            mem_dep: Vec::with_capacity(n),
+            collapse: CollapseStatic::default(),
+            cond_branches: 0,
+            loads_with_value: 0,
+            branch_default: OnceLock::new(),
+            addr_default: OnceLock::new(),
+            value_real: OnceLock::new(),
+        };
+
+        let lat = Latencies::default();
+        let mut last_writer = [None::<u32>; ddsc_isa::Reg::COUNT];
+        let mut store_map: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut blocks = 0u32;
+
+        p.edge_start.push(0);
+        for (i, inst) in insts.iter().enumerate() {
+            p.collapse.push(inst);
+
+            let mut flags = 0u8;
+            if inst.is_load() {
+                flags |= F_LOAD;
+            }
+            if inst.is_store() {
+                flags |= F_STORE;
+            }
+            if inst.op.is_cond_branch() {
+                flags |= F_COND_BRANCH;
+                p.cond_branches += 1;
+            }
+            if inst.op.is_control() {
+                flags |= F_CONTROL;
+            }
+            if inst.taken {
+                flags |= F_TAKEN;
+            }
+            if inst.value.is_some() {
+                flags |= F_VALUE;
+                if inst.is_load() {
+                    p.loads_with_value += 1;
+                }
+            }
+            if ddsc_collapse::can_produce(inst) {
+                flags |= F_CAN_PRODUCE;
+            }
+            p.flags.push(flags);
+            p.pc.push(inst.pc);
+            p.op.push(inst.op);
+            p.lat.push(lat.of(inst.op));
+            p.ea.push(inst.ea.unwrap_or(0));
+            p.value.push(inst.value.unwrap_or(0));
+            p.block.push(blocks);
+
+            // Register dependence edges: one per distinct producer, in
+            // source order, tagged with its absorb-slot code. Reader
+            // counts stay per-occurrence (node elimination compares
+            // against every read, not every distinct reader).
+            let row = p.edge_prod.len();
+            for r in inst.reg_sources() {
+                if let Some(prod) = last_writer[r.index()] {
+                    p.readers[prod as usize] += 1;
+                    if !p.edge_prod[row..].contains(&prod) {
+                        let code = if p.flags[prod as usize] & F_CAN_PRODUCE != 0 {
+                            encode_slots(&absorb_slots(inst, r))
+                        } else {
+                            0
+                        };
+                        p.edge_prod.push(prod);
+                        p.edge_slots.push(code);
+                    }
+                }
+            }
+            p.edge_start.push(p.edge_prod.len() as u32);
+
+            // Memory dependence: the latest earlier store to this word.
+            let word = inst.ea.unwrap_or(0) & !3;
+            p.mem_dep.push(if inst.is_load() {
+                store_map.get(&word).copied().unwrap_or(NO_DEP)
+            } else {
+                NO_DEP
+            });
+
+            // Trace-order bookkeeping for later instructions.
+            if let Some(d) = inst.dest {
+                last_writer[d.index()] = Some(i as u32);
+            }
+            if inst.is_store() {
+                store_map.insert(word, i as u32);
+            }
+            if inst.op.is_control() {
+                blocks += 1;
+            }
+        }
+        p
+    }
+
+    /// The source trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// The flag byte of instruction `i` (`F_*` bits).
+    #[inline]
+    pub fn flags(&self, i: usize) -> u8 {
+        self.flags[i]
+    }
+
+    /// The instruction address column.
+    pub fn pcs(&self) -> &[u32] {
+        &self.pc
+    }
+
+    /// The default-latency column.
+    #[inline]
+    pub fn latencies(&self) -> &[u8] {
+        &self.lat
+    }
+
+    /// Recomputes the latency column for a non-default latency ablation.
+    pub fn latency_column(&self, lat: &Latencies) -> Vec<u8> {
+        self.op.iter().map(|&op| lat.of(op)).collect()
+    }
+
+    /// The basic-block number of instruction `i`.
+    #[inline]
+    pub fn block_of(&self, i: usize) -> u32 {
+        self.block[i]
+    }
+
+    /// Total readers of instruction `i`'s result (per occurrence).
+    #[inline]
+    pub fn readers_of(&self, i: usize) -> u32 {
+        self.readers[i]
+    }
+
+    /// The deduplicated register-dependence producers of instruction
+    /// `i`, in source order.
+    #[inline]
+    pub fn producers_of(&self, i: usize) -> &[u32] {
+        &self.edge_prod[self.edge_start[i] as usize..self.edge_start[i + 1] as usize]
+    }
+
+    /// The absorb-slot codes matching [`PreparedTrace::producers_of`]
+    /// (decode with [`ddsc_collapse::decode_slots`]; 0 ⇔ not
+    /// collapse-eligible).
+    #[inline]
+    pub fn slot_codes_of(&self, i: usize) -> &[u8] {
+        &self.edge_slots[self.edge_start[i] as usize..self.edge_start[i + 1] as usize]
+    }
+
+    /// The latest earlier store to the same word, for a load.
+    #[inline]
+    pub fn mem_dep_of(&self, i: usize) -> Option<u32> {
+        match self.mem_dep[i] {
+            NO_DEP => None,
+            s => Some(s),
+        }
+    }
+
+    /// The config-invariant collapse facts.
+    #[inline]
+    pub fn collapse(&self) -> &CollapseStatic {
+        &self.collapse
+    }
+
+    /// Total conditional branches in the trace.
+    pub fn cond_branches(&self) -> u64 {
+        self.cond_branches
+    }
+
+    /// Loads carrying a traced result value.
+    pub fn loads_with_value(&self) -> u64 {
+        self.loads_with_value
+    }
+
+    /// A cheap fingerprint of the packed columns (diagnostics / cache
+    /// keys).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(&self.flags);
+        h ^= fnv1a(&self.edge_slots).rotate_left(1);
+        h ^= fnv1a(&self.lat).rotate_left(2);
+        h
+    }
+
+    /// The `(pc, taken)` outcome stream of the conditional branches, in
+    /// fetch order.
+    fn branch_outcomes(&self) -> impl Iterator<Item = (u32, bool)> + '_ {
+        self.cond_indices()
+            .map(|i| (self.pc[i], self.flags[i] & F_TAKEN != 0))
+    }
+
+    fn cond_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f & F_COND_BRANCH != 0)
+            .map(|(i, _)| i)
+    }
+
+    fn load_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f & F_LOAD != 0)
+            .map(|(i, _)| i)
+    }
+
+    /// Runs a McFarling predictor of size `n` over the branch outcome
+    /// stream. Width-invariant: depends only on the trace and `n`.
+    pub fn branch_stream(&self, n: u32) -> BranchStream {
+        let verdicts = McFarling::new(n).verdict_stream(self.branch_outcomes());
+        let mut mispredicted = BitSet::new(self.len());
+        let mut stats = BranchRunStats {
+            cond_branches: self.cond_branches,
+            mispredicted: 0,
+        };
+        for (ok, i) in verdicts.into_iter().zip(self.cond_indices()) {
+            if !ok {
+                mispredicted.set(i);
+                stats.mispredicted += 1;
+            }
+        }
+        BranchStream {
+            mispredicted,
+            stats,
+        }
+    }
+
+    /// The branch stream for the paper's default predictor geometry,
+    /// computed once and shared.
+    pub fn default_branch_stream(&self) -> &BranchStream {
+        self.branch_default
+            .get_or_init(|| self.branch_stream(DEFAULT_PREDICTOR_N))
+    }
+
+    /// The all-correct branch stream of the `perfect_branches` ablation
+    /// (conditional branches are still counted).
+    pub fn perfect_branch_stream(&self) -> BranchStream {
+        BranchStream {
+            mispredicted: BitSet::new(self.len()),
+            stats: BranchRunStats {
+                cond_branches: self.cond_branches,
+                mispredicted: 0,
+            },
+        }
+    }
+
+    /// Runs a two-delta stride address predictor over the load stream;
+    /// returns the per-instruction prediction flags (bit 0 = confident,
+    /// bit 1 = correct; 0 for non-loads). Width-invariant.
+    pub fn addr_stream(&self, stride_bits: u32, conf: &ConfidenceParams) -> Vec<u8> {
+        let mut table = TwoDeltaStride::with_confidence(
+            stride_bits,
+            SatCounter::with_params(conf.max, conf.inc, conf.dec, conf.threshold),
+        );
+        let preds = table.verdict_stream(self.load_indices().map(|i| (self.pc[i], self.ea[i])));
+        let mut flags = vec![0u8; self.len()];
+        for (pred, i) in preds.into_iter().zip(self.load_indices()) {
+            flags[i] = u8::from(pred.confident) | (u8::from(pred.correct) << 1);
+        }
+        flags
+    }
+
+    /// The address stream for the paper's default table geometry,
+    /// computed once and shared.
+    pub fn default_addr_stream(&self) -> &[u8] {
+        self.addr_default
+            .get_or_init(|| self.addr_stream(DEFAULT_STRIDE_BITS, &ConfidenceParams::default()))
+    }
+
+    /// Runs the paper-sized two-delta value predictor over the loaded
+    /// values ([`crate::ValueSpecMode::Real`]); the table has no
+    /// geometry knobs, so this stream is a pure trace function,
+    /// computed once and shared.
+    pub fn real_value_stream(&self) -> &ValueStream {
+        self.value_real.get_or_init(|| {
+            let valued: Vec<usize> = self
+                .load_indices()
+                .filter(|&i| self.flags[i] & F_VALUE != 0)
+                .collect();
+            let preds = TwoDeltaValue::paper_sized()
+                .verdict_stream(valued.iter().map(|&i| (self.pc[i], self.value[i])));
+            let mut bypass = BitSet::new(self.len());
+            let mut stats = ValueSpecStats::default();
+            for (pred, &i) in preds.into_iter().zip(valued.iter()) {
+                if pred.confident && pred.correct {
+                    bypass.set(i);
+                    stats.predicted_correct += 1;
+                } else if pred.confident {
+                    stats.predicted_incorrect += 1;
+                } else {
+                    stats.not_predicted += 1;
+                }
+            }
+            ValueStream { bypass, stats }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_isa::{Cond, Opcode, Reg};
+    use ddsc_trace::TraceInst;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("prepass");
+        // 0: add r1 = r2 + 1
+        t.push(TraceInst::alu(0, Opcode::Add, r(1), r(2), None, Some(1), 0));
+        // 1: add r3 = r1 + r1 (one distinct producer, two reads)
+        t.push(TraceInst::alu(
+            4,
+            Opcode::Add,
+            r(3),
+            r(1),
+            Some(r(1)),
+            None,
+            0,
+        ));
+        // 2: store [64] = r3
+        t.push(TraceInst::store(
+            8,
+            Opcode::St,
+            r(3),
+            r(1),
+            None,
+            Some(0),
+            0,
+            64,
+        ));
+        // 3: load r4 = [64] (memory dep on 2)
+        t.push(TraceInst::load(
+            12,
+            Opcode::Ld,
+            r(4),
+            r(1),
+            None,
+            Some(0),
+            0,
+            64,
+        ));
+        // 4: taken conditional branch (block boundary)
+        t.push(TraceInst::cond_branch(16, Opcode::Bcc(Cond::Ne), true, 0));
+        // 5: add r5 = r4 + 1 (new block)
+        t.push(TraceInst::alu(
+            20,
+            Opcode::Add,
+            r(5),
+            r(4),
+            None,
+            Some(1),
+            0,
+        ));
+        t
+    }
+
+    #[test]
+    fn columns_capture_the_trace_shape() {
+        let p = PreparedTrace::build(&sample());
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.name(), "prepass");
+        assert_eq!(p.cond_branches(), 1);
+        assert!(p.flags(3) & F_LOAD != 0);
+        assert!(p.flags(2) & F_STORE != 0);
+        assert_eq!(p.flags(4) & (F_COND_BRANCH | F_CONTROL | F_TAKEN), 0b11100);
+        // Blocks: 0..=4 in block 0, 5 in block 1.
+        assert_eq!(p.block_of(4), 0);
+        assert_eq!(p.block_of(5), 1);
+        // Latencies: adds 1, load 2.
+        assert_eq!(p.latencies()[0], 1);
+        assert_eq!(p.latencies()[3], 2);
+    }
+
+    #[test]
+    fn edges_are_deduplicated_but_readers_are_not() {
+        let p = PreparedTrace::build(&sample());
+        // Instruction 1 reads r1 twice from producer 0: one edge.
+        assert_eq!(p.producers_of(1), &[0]);
+        // But instruction 0 has readers at 1 (×2), 2, and 3.
+        assert_eq!(p.readers_of(0), 4);
+        // The store reads r1 (addr) and r3 (data).
+        assert_eq!(p.producers_of(2), &[0, 1]);
+    }
+
+    #[test]
+    fn memory_dependences_point_at_the_latest_aliasing_store() {
+        let p = PreparedTrace::build(&sample());
+        assert_eq!(p.mem_dep_of(3), Some(2));
+        for i in [0, 1, 2, 4, 5] {
+            assert_eq!(p.mem_dep_of(i), None, "inst {i}");
+        }
+    }
+
+    #[test]
+    fn slot_codes_mark_collapse_eligible_edges() {
+        use ddsc_collapse::decode_slots;
+        let p = PreparedTrace::build(&sample());
+        // add r3 = r1 + r1 absorbing add r1: two counted slots.
+        let codes = p.slot_codes_of(1);
+        let (slots, count) = decode_slots(codes[0]);
+        assert_eq!(count, 2);
+        assert_eq!(
+            &slots[..2],
+            &[
+                ddsc_collapse::AbsorbSlot::Counted,
+                ddsc_collapse::AbsorbSlot::Counted
+            ]
+        );
+        // The store's data edge (producer 1 into slot-less data reg)
+        // must not be collapse-eligible.
+        assert_eq!(p.slot_codes_of(2)[1], 0);
+    }
+
+    #[test]
+    fn branch_stream_matches_a_direct_predictor_run() {
+        let mut t = Trace::new("branches");
+        let mut rng = ddsc_util::Pcg32::new(5);
+        for i in 0..500u32 {
+            t.push(TraceInst::cond_branch(
+                0x40 + 8 * (i % 4),
+                Opcode::Bcc(Cond::Ne),
+                rng.chance(2, 3),
+                0x80,
+            ));
+        }
+        let p = PreparedTrace::build(&t);
+        let stream = p.default_branch_stream();
+        assert_eq!(stream.stats.cond_branches, 500);
+
+        let mut predictor = McFarling::new(DEFAULT_PREDICTOR_N);
+        let mut mispredicted = 0u64;
+        for (i, inst) in t.insts().iter().enumerate() {
+            let ok = predictor.predict_and_train(inst.pc, inst.taken);
+            assert_eq!(stream.mispredicted.get(i), !ok, "inst {i}");
+            mispredicted += u64::from(!ok);
+        }
+        assert_eq!(stream.stats.mispredicted, mispredicted);
+        // The OnceLock hands back the same computation.
+        assert!(std::ptr::eq(stream, p.default_branch_stream()));
+    }
+
+    #[test]
+    fn perfect_stream_counts_branches_without_mispredictions() {
+        let p = PreparedTrace::build(&sample());
+        let s = p.perfect_branch_stream();
+        assert_eq!(s.stats.cond_branches, 1);
+        assert_eq!(s.stats.mispredicted, 0);
+        assert_eq!(s.mispredicted.count_ones(), 0);
+    }
+
+    #[test]
+    fn addr_stream_matches_a_direct_table_run() {
+        let mut t = Trace::new("loads");
+        for i in 0..200u32 {
+            t.push(TraceInst::load(
+                0x20,
+                Opcode::Ld,
+                r(1),
+                r(2),
+                None,
+                Some(0),
+                0,
+                0x1000 + 4 * i,
+            ));
+        }
+        let p = PreparedTrace::build(&t);
+        let stream = p.default_addr_stream();
+        let mut table = TwoDeltaStride::paper_default();
+        for (i, inst) in t.insts().iter().enumerate() {
+            let pred = table.access(inst.pc, inst.ea.unwrap());
+            let expect = u8::from(pred.confident) | (u8::from(pred.correct) << 1);
+            assert_eq!(stream[i], expect, "inst {i}");
+        }
+        // Warmed-up strided loads are confidently correct.
+        assert_eq!(stream[199], 0b11);
+    }
+
+    #[test]
+    fn empty_trace_builds() {
+        let p = PreparedTrace::build(&Trace::new("empty"));
+        assert!(p.is_empty());
+        assert_eq!(p.cond_branches(), 0);
+        assert_eq!(p.default_branch_stream().stats.cond_branches, 0);
+        assert!(p.default_addr_stream().is_empty());
+        assert_eq!(p.real_value_stream().stats.total(), 0);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_traces() {
+        let a = PreparedTrace::build(&sample());
+        let mut t = sample();
+        t.push(TraceInst::alu(
+            24,
+            Opcode::Add,
+            r(6),
+            r(5),
+            None,
+            Some(1),
+            0,
+        ));
+        let b = PreparedTrace::build(&t);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            PreparedTrace::build(&sample()).fingerprint()
+        );
+    }
+}

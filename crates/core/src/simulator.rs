@@ -16,29 +16,33 @@
 //! dependence on an in-window, un-issued ALU producer into dependences on
 //! that producer's own sources, within a 4-1 operand budget.
 //!
-//! The cycle loop is allocation-lean: the window lives in a fixed-size
-//! slab indexed through a dense `slot_of` table (no hashing), the ready
-//! set is a sorted vector popped from the tail, and the store-alias map
-//! uses [`ddsc_util::FxHashMap`]. All of it is bit-identical to the
-//! original structures — `tests::matches_the_reference_simulator` and
-//! [`crate::reference`] hold that invariant in place.
+//! The simulator is a two-stage pipeline. Stage one — the analysis
+//! pre-pass ([`PreparedTrace::build`]) — walks the trace once and packs
+//! every config-invariant artifact (dependence edges, memory
+//! dependences, block numbering, collapse eligibility, predictor
+//! verdict streams) into structure-of-arrays columns. Stage two —
+//! [`simulate_prepared`] — runs the timing loop straight off those
+//! columns: the window lives in a fixed-size slab indexed through a
+//! dense `slot_of` table (no hashing), the ready set is a sorted vector
+//! popped from the tail, and dependences are CSR array slices. One
+//! [`PreparedTrace`] serves a whole configuration grid. [`simulate`]
+//! composes the two stages, so single runs and grid runs share one code
+//! path — `tests::matches_the_reference_simulator` and
+//! [`crate::reference`] hold the bit-identity invariant in place.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use ddsc_util::FxHashMap;
-
-use ddsc_collapse::{
-    absorb_slots, can_produce, AbsorbSlot, CollapseOpts, CollapseStats, ExprState,
-};
-use ddsc_predict::{
-    AddressPredictor, DirectionPredictor, McFarling, SatCounter, TwoDeltaStride, TwoDeltaValue,
-    ValuePredictor,
-};
+use ddsc_collapse::{decode_slots, AbsorbSlot, CollapseOpts, CollapseStats, ExprState};
 use ddsc_trace::Trace;
+use ddsc_util::BitSet;
 
+use crate::prepass::{
+    BranchStream, PreparedTrace, DEFAULT_PREDICTOR_N, DEFAULT_STRIDE_BITS, F_CAN_PRODUCE,
+    F_COND_BRANCH, F_LOAD, F_VALUE,
+};
 use crate::{
-    BranchRunStats, LoadClass, LoadSpecMode, LoadSpecStats, SimConfig, SimResult, StallStats,
+    ConfidenceParams, Latencies, LoadClass, LoadSpecMode, SimConfig, SimResult, StallStats,
     ValueSpecMode, ValueSpecStats,
 };
 
@@ -214,7 +218,37 @@ impl Window {
     }
 }
 
+/// Which producers' results are value-predicted at dispatch, resolved
+/// per speculation mode against the prepared columns.
+enum ValueBypass<'a> {
+    Off,
+    /// Loads with traced values ([`ValueSpecMode::Ideal`]).
+    IdealLoads,
+    /// Every instruction with a traced value ([`ValueSpecMode::IdealAll`]).
+    IdealAll,
+    /// The real two-delta value table's confident-correct set.
+    Real(&'a BitSet),
+}
+
+impl ValueBypass<'_> {
+    #[inline]
+    fn get(&self, prepared: &PreparedTrace, i: u32) -> bool {
+        match self {
+            ValueBypass::Off => false,
+            ValueBypass::IdealLoads => {
+                prepared.flags(i as usize) & (F_LOAD | F_VALUE) == F_LOAD | F_VALUE
+            }
+            ValueBypass::IdealAll => prepared.flags(i as usize) & F_VALUE != 0,
+            ValueBypass::Real(bypass) => bypass.get(i as usize),
+        }
+    }
+}
+
 /// Simulates one trace under one configuration.
+///
+/// Builds the analysis pre-pass and runs [`simulate_prepared`]; use
+/// [`PreparedTrace::build`] once and call `simulate_prepared` directly
+/// when sweeping many configurations over the same trace.
 ///
 /// # Examples
 ///
@@ -230,128 +264,84 @@ impl Window {
 /// assert_eq!(r.cycles, 1, "independent instructions issue together");
 /// ```
 pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
-    let insts = trace.insts();
-    let n = insts.len();
+    simulate_prepared(&PreparedTrace::build(trace), config)
+}
+
+/// Simulates a prepared trace under one configuration.
+///
+/// Bit-identical to [`simulate`] on the source trace; the pre-pass cost
+/// is paid once per trace instead of once per configuration.
+pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimResult {
+    let n = prepared.len();
+    let statics = prepared.collapse();
     let opts = CollapseOpts {
         zero_detection: config.zero_detection,
         max_members: config.max_collapse_members,
         max_ops: config.max_collapse_ops,
     };
 
-    // ---- pass 1: branch prediction in fetch order ----
-    let mut branch_ok = vec![true; n];
-    let mut branches = BranchRunStats::default();
-    {
-        let mut predictor = McFarling::new(config.predictor_n);
-        for (i, inst) in insts.iter().enumerate() {
-            if inst.op.is_cond_branch() {
-                branches.cond_branches += 1;
-                let ok =
-                    config.perfect_branches || predictor.predict_and_train(inst.pc, inst.taken);
-                branch_ok[i] = ok;
-                if !ok {
-                    branches.mispredicted += 1;
-                }
-            }
-        }
-    }
-
-    // ---- pass 2: address prediction in fetch order ----
-    // flags: bit0 = confident, bit1 = correct.
-    let mut load_pred = vec![0u8; n];
-    match config.load_spec {
-        LoadSpecMode::Off => {}
-        LoadSpecMode::Ideal => {
-            for (i, inst) in insts.iter().enumerate() {
-                if inst.is_load() {
-                    load_pred[i] = 0b11;
-                }
-            }
-        }
-        LoadSpecMode::Real => {
-            let conf = config.confidence;
-            let mut table = TwoDeltaStride::with_confidence(
-                config.stride_bits,
-                SatCounter::with_params(conf.max, conf.inc, conf.dec, conf.threshold),
-            );
-            for (i, inst) in insts.iter().enumerate() {
-                if inst.is_load() {
-                    let p = table.access(inst.pc, inst.ea.unwrap_or(0));
-                    load_pred[i] = u8::from(p.confident) | (u8::from(p.correct) << 1);
-                }
-            }
-        }
-    }
-
-    // ---- pass 2b (extension): value prediction in fetch order ----
-    // value_bypass[i]: consumers of instruction i's result need not wait
-    // for it — the value is (correctly) predicted at dispatch.
-    let mut value_bypass = vec![false; n];
-    let mut values = ValueSpecStats::default();
-    match config.value_spec {
-        ValueSpecMode::Off => {}
-        ValueSpecMode::Ideal => {
-            for (i, inst) in insts.iter().enumerate() {
-                if inst.is_load() && inst.value.is_some() {
-                    value_bypass[i] = true;
-                    values.predicted_correct += 1;
-                }
-            }
-        }
-        ValueSpecMode::IdealAll => {
-            for (i, inst) in insts.iter().enumerate() {
-                if inst.value.is_some() {
-                    value_bypass[i] = true;
-                    if inst.is_load() {
-                        values.predicted_correct += 1;
-                    }
-                }
-            }
-        }
-        ValueSpecMode::Real => {
-            let mut table = TwoDeltaValue::paper_sized();
-            for (i, inst) in insts.iter().enumerate() {
-                if inst.is_load() {
-                    let Some(v) = inst.value else { continue };
-                    let p = table.access(inst.pc, v);
-                    if p.confident && p.correct {
-                        value_bypass[i] = true;
-                        values.predicted_correct += 1;
-                    } else if p.confident {
-                        // Wrong value: consumers replay once the load
-                        // completes — same timing as no speculation.
-                        values.predicted_incorrect += 1;
-                    } else {
-                        values.not_predicted += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    // ---- pass 3 (node elimination only): reader counts ----
-    let readers = if config.node_elimination {
-        let mut counts = vec![0u32; n];
-        let mut last_writer = [None::<u32>; ddsc_isa::Reg::COUNT];
-        for (i, inst) in insts.iter().enumerate() {
-            for r in inst.reg_sources() {
-                if let Some(p) = last_writer[r.index()] {
-                    counts[p as usize] += 1;
-                }
-            }
-            if let Some(d) = inst.dest {
-                last_writer[d.index()] = Some(i as u32);
-            }
-        }
-        counts
+    // ---- config-class streams: cached for the default geometry,
+    // recomputed through the same code path for ablations ----
+    let owned_branch;
+    let branch: &BranchStream = if config.perfect_branches {
+        owned_branch = prepared.perfect_branch_stream();
+        &owned_branch
+    } else if config.predictor_n == DEFAULT_PREDICTOR_N {
+        prepared.default_branch_stream()
     } else {
-        Vec::new()
+        owned_branch = prepared.branch_stream(config.predictor_n);
+        &owned_branch
+    };
+    let branches = branch.stats;
+
+    let owned_addr;
+    let load_pred: &[u8] = match config.load_spec {
+        // Off needs no flags; Ideal derives them from the load flag.
+        LoadSpecMode::Off | LoadSpecMode::Ideal => &[],
+        LoadSpecMode::Real => {
+            if config.stride_bits == DEFAULT_STRIDE_BITS
+                && config.confidence == ConfidenceParams::default()
+            {
+                prepared.default_addr_stream()
+            } else {
+                owned_addr = prepared.addr_stream(config.stride_bits, &config.confidence);
+                &owned_addr
+            }
+        }
     };
 
-    // ---- main timing pass ----
+    let (value_bypass, values) = match config.value_spec {
+        ValueSpecMode::Off => (ValueBypass::Off, ValueSpecStats::default()),
+        ValueSpecMode::Ideal => (
+            ValueBypass::IdealLoads,
+            ValueSpecStats {
+                predicted_correct: prepared.loads_with_value(),
+                ..ValueSpecStats::default()
+            },
+        ),
+        ValueSpecMode::IdealAll => (
+            ValueBypass::IdealAll,
+            ValueSpecStats {
+                predicted_correct: prepared.loads_with_value(),
+                ..ValueSpecStats::default()
+            },
+        ),
+        ValueSpecMode::Real => {
+            let stream = prepared.real_value_stream();
+            (ValueBypass::Real(&stream.bypass), stream.stats)
+        }
+    };
+
+    let owned_lat;
+    let lat: &[u8] = if config.latencies == Latencies::default() {
+        prepared.latencies()
+    } else {
+        owned_lat = prepared.latency_column(&config.latencies);
+        &owned_lat
+    };
+
+    // ---- timing loop ----
     let mut completion = vec![NOT_DONE; n];
-    let mut last_writer = [None::<u32>; ddsc_isa::Reg::COUNT];
-    let mut store_map: FxHashMap<u32, u32> = FxHashMap::default();
     let mut window = Window::new(config.window_size, n);
     let mut pending: BinaryHeap<Reverse<(u32, u32)>> =
         BinaryHeap::with_capacity(config.window_size as usize + 1);
@@ -359,12 +349,11 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
     // ready instruction, so issue pops from the end.
     let mut ready: Vec<u32> = Vec::with_capacity(config.window_size as usize + 1);
     let mut last_mispred: Option<u32> = None;
-    let mut block_id = 0u32;
 
-    let mut loads = LoadSpecStats::default();
+    let mut loads = crate::LoadSpecStats::default();
     let mut stalls = StallStats::default();
     let mut collapse = CollapseStats::new();
-    let mut participant = vec![0u64; n / 64 + 1];
+    let mut participant = BitSet::new(n);
     let mut eliminated = 0u64;
 
     let mut fetch = 0usize;
@@ -377,36 +366,33 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
         // -- fetch: keep the window full --
         while in_window < config.window_size && fetch < n {
             let i = fetch as u32;
-            let inst = &insts[fetch];
-            let is_load = inst.is_load();
+            let pflags = prepared.flags(fetch);
+            let is_load = pflags & F_LOAD != 0;
             let mut main = DepGroup::sized();
             let mut addr = DepGroup::sized();
 
-            for r in inst.reg_sources() {
-                if let Some(p) = last_writer[r.index()] {
-                    if value_bypass[p as usize] {
-                        // The producer's value is predicted at dispatch;
-                        // this dependence carries no latency.
-                        continue;
-                    }
-                    if is_load {
-                        addr.add(p, &completion);
-                    } else {
-                        main.add(p, &completion);
-                    }
+            let producers = prepared.producers_of(fetch);
+            for &p in producers {
+                if value_bypass.get(prepared, p) {
+                    // The producer's value is predicted at dispatch;
+                    // this dependence carries no latency.
+                    continue;
+                }
+                if is_load {
+                    addr.add(p, &completion);
+                } else {
+                    main.add(p, &completion);
                 }
             }
             let mut data_floor = main.ready;
             let mut mem_dep = None;
             let mut mem_ready = 0u32;
-            if is_load {
-                if let Some(&s) = store_map.get(&(inst.ea.unwrap_or(0) & !3)) {
-                    main.add(s, &completion);
-                    if completion[s as usize] != NOT_DONE {
-                        mem_ready = completion[s as usize];
-                    } else {
-                        mem_dep = Some(s);
-                    }
+            if let Some(s) = prepared.mem_dep_of(fetch) {
+                main.add(s, &completion);
+                if completion[s as usize] != NOT_DONE {
+                    mem_ready = completion[s as usize];
+                } else {
+                    mem_dep = Some(s);
                 }
             }
             let mut branch_dep = None;
@@ -421,26 +407,23 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
             }
 
             // -- d-collapsing at dispatch --
-            let mut expr = if config.collapsing {
-                ExprState::leaf_with(i, inst, &opts)
-                    .filter(|_| inst.op.class().is_collapsible_consumer())
+            let mut expr = if config.collapsing && statics.is_consumer(fetch) {
+                statics.leaf(fetch, &opts)
             } else {
                 None
             };
             let mut collapse_deps: Vec<(u32, Vec<AbsorbSlot>)> = Vec::new();
             if expr.is_some() {
                 // Initial candidates: unresolved producers referenced by
-                // the base instruction through collapsible operands.
-                for group in [&addr, &main] {
-                    for &p in &group.producers {
-                        if let Some(dest) = insts[p as usize].dest {
-                            if can_produce(&insts[p as usize]) {
-                                let slots = absorb_slots(inst, dest);
-                                if !slots.is_empty() {
-                                    collapse_deps.push((p, slots));
-                                }
-                            }
-                        }
+                // the base instruction through collapsible operands —
+                // exactly the nonzero-coded, still-pending edges.
+                for (&p, &code) in producers.iter().zip(prepared.slot_codes_of(fetch)) {
+                    if code != 0
+                        && completion[p as usize] == NOT_DONE
+                        && !value_bypass.get(prepared, p)
+                    {
+                        let (slots, count) = decode_slots(code);
+                        collapse_deps.push((p, slots[..count].to_vec()));
                     }
                 }
                 // Greedy absorb, nearest producer first, until nothing
@@ -455,7 +438,9 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
                         let Some(p_entry) = window.get(p) else {
                             continue; // already issued
                         };
-                        if config.collapse_within_block_only && p_entry.block_id != block_id {
+                        if config.collapse_within_block_only
+                            && p_entry.block_id != prepared.block_of(fetch)
+                        {
                             continue;
                         }
                         let Some(p_expr) = p_entry.expr.as_ref() else {
@@ -506,7 +491,17 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
                 }
             }
 
-            let flags = load_pred[fetch];
+            let flags = match config.load_spec {
+                LoadSpecMode::Off => 0,
+                LoadSpecMode::Ideal => {
+                    if is_load {
+                        0b11
+                    } else {
+                        0
+                    }
+                }
+                LoadSpecMode::Real => load_pred[fetch],
+            };
             let bypass_addr = is_load
                 && match config.load_spec {
                     LoadSpecMode::Off => false,
@@ -520,13 +515,13 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
                 bypass_addr,
                 expr,
                 collapse_deps,
-                latency: config.latencies.of(inst.op),
+                latency: lat[fetch],
                 entry_cycle: cycle,
                 scheduled: false,
                 consumers: Vec::new(),
                 absorbed_by: 0,
-                readers_total: readers.get(fetch).copied().unwrap_or(0),
-                block_id,
+                readers_total: prepared.readers_of(fetch),
+                block_id: prepared.block_of(fetch),
                 is_load,
                 pred_conf: flags & 1 != 0,
                 pred_correct: flags & 2 != 0,
@@ -562,18 +557,8 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
             }
             in_window += 1;
 
-            // Trace-order bookkeeping for later fetches.
-            if let Some(d) = inst.dest {
-                last_writer[d.index()] = Some(i);
-            }
-            if inst.is_store() {
-                store_map.insert(inst.ea.unwrap_or(0) & !3, i);
-            }
-            if inst.op.is_cond_branch() && !branch_ok[fetch] {
+            if pflags & F_COND_BRANCH != 0 && branch.mispredicted.get(fetch) {
                 last_mispred = Some(i);
-            }
-            if inst.op.is_control() {
-                block_id += 1;
             }
             fetch += 1;
         }
@@ -609,7 +594,7 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
             let eliminate = config.node_elimination
                 && entry.absorbed_by > 0
                 && entry.absorbed_by == entry.readers_total
-                && can_produce(&insts[idx as usize]);
+                && prepared.flags(idx as usize) & F_CAN_PRODUCE != 0;
             let ct = if eliminate {
                 eliminated += 1;
                 cycle // value is never read; see readers accounting
@@ -677,10 +662,10 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
                             .any(|(m, _)| m != idx && completion[m as usize] > cycle);
                     if effective {
                         collapse.record_group(expr);
-                        participant[idx as usize / 64] |= 1 << (idx % 64);
+                        participant.set(idx as usize);
                         for (m, _) in expr.members() {
                             if m != idx && completion[m as usize] > cycle {
-                                participant[m as usize / 64] |= 1 << (m % 64);
+                                participant.set(m as usize);
                             }
                         }
                     }
@@ -726,8 +711,7 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
         }
     }
 
-    let participants: u64 = participant.iter().map(|w| w.count_ones() as u64).sum();
-    collapse.mark_participants(participants);
+    collapse.mark_participants(participant.count_ones());
     collapse.set_total(n as u64);
 
     SimResult {
@@ -1389,20 +1373,10 @@ mod tests {
         t
     }
 
-    #[test]
-    fn matches_the_reference_simulator() {
-        // The hot-path structures (slab window, sorted-vec ready set,
-        // FxHash store map) must not move a single bit of any result.
-        let t = mixed_trace(4000, 1996);
-        for cfg in PaperConfig::ALL {
-            for width in [4u32, 8, 32] {
-                let config = SimConfig::paper(cfg, width);
-                let new = simulate(&t, &config);
-                let old = crate::reference::simulate_reference(&t, &config);
-                assert_eq!(new, old, "divergence at {cfg:?} width {width}");
-            }
-        }
-        // Ablation and extension paths too.
+    /// The ablation and extension variants whose streams fall off the
+    /// default cached geometry — every fallback path in
+    /// [`simulate_prepared`] gets covered.
+    fn variant_configs() -> Vec<SimConfig> {
         let mut variants = Vec::new();
         let mut c = SimConfig::paper(PaperConfig::C, 8);
         c.node_elimination = true;
@@ -1413,14 +1387,99 @@ mod tests {
         let mut c = SimConfig::paper(PaperConfig::A, 8);
         c.value_spec = crate::ValueSpecMode::Real;
         variants.push(c);
+        let mut c = SimConfig::paper(PaperConfig::A, 8);
+        c.value_spec = crate::ValueSpecMode::Ideal;
+        variants.push(c);
+        let mut c = SimConfig::paper(PaperConfig::A, 8);
+        c.value_spec = crate::ValueSpecMode::IdealAll;
+        variants.push(c);
         let mut c = SimConfig::paper(PaperConfig::D, 8);
         c.perfect_branches = true;
         variants.push(c);
-        for config in variants {
+        // Non-default predictor geometry: recomputed streams.
+        let mut c = SimConfig::paper(PaperConfig::D, 8);
+        c.predictor_n = 10;
+        variants.push(c);
+        let mut c = SimConfig::paper(PaperConfig::D, 8);
+        c.stride_bits = 8;
+        variants.push(c);
+        let mut c = SimConfig::paper(PaperConfig::D, 8);
+        c.confidence = crate::ConfidenceParams {
+            max: 7,
+            inc: 1,
+            dec: 1,
+            threshold: 3,
+        };
+        variants.push(c);
+        // Non-default latencies: recomputed latency column.
+        let mut c = SimConfig::paper(PaperConfig::C, 8);
+        c.latencies.load = 4;
+        c.latencies.div = 20;
+        variants.push(c);
+        let mut c = SimConfig::paper(PaperConfig::C, 8);
+        c.zero_detection = false;
+        variants.push(c);
+        variants
+    }
+
+    #[test]
+    fn matches_the_reference_simulator() {
+        // The two-stage pipeline (pre-pass + prepared timing loop) must
+        // not move a single bit of any result.
+        let t = mixed_trace(4000, 1996);
+        for cfg in PaperConfig::ALL {
+            for width in [4u32, 8, 32] {
+                let config = SimConfig::paper(cfg, width);
+                let new = simulate(&t, &config);
+                let old = crate::reference::simulate_reference(&t, &config);
+                assert_eq!(new, old, "divergence at {cfg:?} width {width}");
+            }
+        }
+        // Ablation and extension paths too — including every non-default
+        // geometry that bypasses the cached streams.
+        for config in variant_configs() {
             let new = simulate(&t, &config);
             let old = crate::reference::simulate_reference(&t, &config);
             assert_eq!(new, old, "divergence at {config:?}");
         }
+    }
+
+    #[test]
+    fn shared_prepared_trace_matches_per_run_preparation() {
+        // One PreparedTrace serving a whole grid (the Lab pattern) must
+        // give the same bits as building it fresh per run, in any order —
+        // the lazily cached streams cannot leak state between configs.
+        let t = mixed_trace(3000, 77);
+        let shared = PreparedTrace::build(&t);
+        let mut grid: Vec<SimConfig> = Vec::new();
+        for cfg in PaperConfig::ALL {
+            for width in [4u32, 16] {
+                grid.push(SimConfig::paper(cfg, width));
+            }
+        }
+        grid.extend(variant_configs());
+        for config in &grid {
+            let from_shared = simulate_prepared(&shared, config);
+            let fresh = simulate(&t, config);
+            assert_eq!(from_shared, fresh, "divergence at {config:?}");
+        }
+        // And again in reverse order, after every stream is warm.
+        for config in grid.iter().rev() {
+            let from_shared = simulate_prepared(&shared, config);
+            let fresh = simulate(&t, config);
+            assert_eq!(from_shared, fresh, "reverse divergence at {config:?}");
+        }
+    }
+
+    #[test]
+    fn default_stream_constants_track_the_config_defaults() {
+        // The prepared-stream cache keys off these constants; if the
+        // defaults drift, the cache would silently serve stale geometry.
+        let base = SimConfig::base(4);
+        assert_eq!(base.predictor_n, DEFAULT_PREDICTOR_N);
+        assert_eq!(base.stride_bits, DEFAULT_STRIDE_BITS);
+        assert_eq!(base.confidence, ConfidenceParams::default());
+        assert_eq!(base.latencies, Latencies::default());
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! An on-disk cache of generated benchmark traces.
+//!
+//! Workload execution is deterministic in `(benchmark, seed, length)`,
+//! so a generated trace never changes — regenerating it at every
+//! `ddsc repro` invocation is pure waste once traces get long. A
+//! [`TraceCache`] stores each trace as one file
+//! (`{benchmark}-s{seed}-n{len}.bin`, conventionally under
+//! `results/traces/`) and serves it back on the next run.
+//!
+//! Robustness rules:
+//!
+//! * every file carries a header with a magic, a format version, the
+//!   generation key and an FNV-1a checksum of the payload — any
+//!   mismatch (truncation, corruption, stale format, foreign file)
+//!   makes [`TraceCache::load`] return `None` and the caller
+//!   regenerates;
+//! * writes go to a temporary sibling file first and are atomically
+//!   renamed into place, so a crashed or concurrent run can never
+//!   publish a half-written cache entry;
+//! * the cache is an optimisation only: store failures are reported to
+//!   the caller but safe to ignore (the in-memory trace is already
+//!   correct).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ddsc_trace::io::{read_trace, write_trace};
+use ddsc_trace::Trace;
+use ddsc_util::fnv1a;
+
+/// Cache-file magic: "DDSC Trace Cache".
+const MAGIC: &[u8; 4] = b"DDTC";
+/// Bump on any incompatible layout change; old files then just miss.
+const VERSION: u32 = 1;
+/// Magic + version + seed + len + payload_len + checksum.
+const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8 + 8;
+
+/// A directory of cached benchmark traces.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+impl TraceCache {
+    /// A cache rooted at `dir`. The directory is created lazily on the
+    /// first store.
+    pub fn new(dir: impl Into<PathBuf>) -> TraceCache {
+        TraceCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a given generation key lives at.
+    pub fn path_for(&self, name: &str, seed: u64, len: usize) -> PathBuf {
+        self.dir.join(format!("{name}-s{seed}-n{len}.bin"))
+    }
+
+    /// Loads a cached trace, or `None` if the entry is missing, does not
+    /// match the requested key, or fails validation in any way.
+    pub fn load(&self, name: &str, seed: u64, len: usize) -> Option<Trace> {
+        let bytes = fs::read(self.path_for(name, seed, len)).ok()?;
+        if bytes.len() < HEADER_LEN || &bytes[..4] != MAGIC {
+            return None;
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        if u32_at(4) != VERSION || u64_at(8) != seed || u64_at(16) != len as u64 {
+            return None;
+        }
+        let payload = &bytes[HEADER_LEN..];
+        if u64_at(24) != payload.len() as u64 || u64_at(32) != fnv1a(payload) {
+            return None;
+        }
+        let trace = read_trace(payload).ok()?;
+        // Belt and braces: the payload parsed, but it must also be the
+        // trace the key promises.
+        (trace.len() == len).then_some(trace)
+    }
+
+    /// Stores a trace under its generation key, atomically (write to a
+    /// temporary sibling, then rename into place).
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying filesystem error. Callers may treat a
+    /// failure as non-fatal — the cache is an optimisation.
+    pub fn store(&self, name: &str, seed: u64, len: usize, trace: &Trace) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let mut payload = Vec::new();
+        write_trace(&mut payload, trace).map_err(std::io::Error::other)?;
+
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&seed.to_le_bytes());
+        bytes.extend_from_slice(&(len as u64).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let target = self.path_for(name, seed, len);
+        let tmp = target.with_extension(format!("tmp.{}", std::process::id()));
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        let renamed = fs::rename(&tmp, &target);
+        if renamed.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        renamed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_isa::{Opcode, Reg};
+    use ddsc_trace::TraceInst;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ddsc-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample(n: usize) -> Trace {
+        let mut t = Trace::new("sample");
+        for i in 0..n {
+            t.push(TraceInst::alu(
+                4 * i as u32,
+                Opcode::Add,
+                Reg::new(1),
+                Reg::new(2),
+                None,
+                Some(i as i32),
+                0,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn round_trips_a_trace() {
+        let cache = TraceCache::new(tmpdir("roundtrip"));
+        let t = sample(100);
+        assert!(cache.load("sample", 7, 100).is_none(), "cold cache misses");
+        cache.store("sample", 7, 100, &t).unwrap();
+        let back = cache.load("sample", 7, 100).expect("warm cache hits");
+        assert_eq!(back, t);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_mismatches_miss() {
+        let cache = TraceCache::new(tmpdir("keys"));
+        let t = sample(50);
+        cache.store("sample", 7, 50, &t).unwrap();
+        assert!(cache.load("sample", 8, 50).is_none(), "wrong seed");
+        assert!(cache.load("sample", 7, 51).is_none(), "wrong length");
+        assert!(cache.load("other", 7, 50).is_none(), "wrong benchmark");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let cache = TraceCache::new(tmpdir("corrupt"));
+        let t = sample(80);
+        cache.store("sample", 3, 80, &t).unwrap();
+        let path = cache.path_for("sample", 3, 80);
+
+        // Flip one payload byte: the checksum must catch it.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load("sample", 3, 80).is_none(), "bit flip");
+
+        // Truncate mid-payload: the length check must catch it.
+        cache.store("sample", 3, 80, &t).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(cache.load("sample", 3, 80).is_none(), "truncation");
+
+        // Garbage shorter than a header.
+        fs::write(&path, b"DD").unwrap();
+        assert!(cache.load("sample", 3, 80).is_none(), "tiny file");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stores_leave_no_temp_files_behind() {
+        let cache = TraceCache::new(tmpdir("atomic"));
+        cache.store("sample", 1, 20, &sample(20)).unwrap();
+        cache.store("sample", 1, 20, &sample(20)).unwrap(); // overwrite
+        let entries: Vec<_> = fs::read_dir(cache.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries, vec!["sample-s1-n20.bin".to_string()]);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

@@ -18,7 +18,9 @@
 //!   loaded from memory ... and in general the data result of any
 //!   instruction"), which it describes but never evaluates.
 
-use ddsc_core::{simulate, ConfidenceParams, PaperConfig, SimConfig, ValueSpecMode};
+use ddsc_core::{
+    simulate_prepared, ConfidenceParams, PaperConfig, PreparedTrace, SimConfig, ValueSpecMode,
+};
 use ddsc_predict::{
     branch_stats, AddressPredictor, Bimodal, ContextAddr, DirectionPredictor, Gshare, HybridAddr,
     LastAddr, LastValue, LocalHistory, McFarling, TwoDeltaStride, TwoDeltaValue, ValuePredictor,
@@ -166,7 +168,7 @@ fn run_variants(
         }
     }
     let ipcs = par_map(&cells, num_threads(), |&(b, ref cfg)| {
-        simulate(suite.trace(b), cfg).ipc()
+        simulate_prepared(&lab.prepared(b), cfg).ipc()
     });
     let mut chunks = ipcs.chunks(benches.len().max(1));
     let rows = widths
@@ -591,7 +593,7 @@ pub fn bottlenecks(lab: &Lab, width: u32) -> BottleneckProfile {
         .flat_map(|(b, _)| [(b, PaperConfig::A), (b, PaperConfig::D)])
         .collect();
     let rows = par_map(&cells, num_threads(), |&(b, cfg)| {
-        let r = simulate(suite.trace(b), &SimConfig::paper(cfg, width));
+        let r = simulate_prepared(&lab.prepared(b), &SimConfig::paper(cfg, width));
         let s = r.stalls;
         let shares = [
             s.share(s.data).value(),
@@ -659,8 +661,10 @@ impl SchedulingSensitivity {
 pub fn scheduling_sensitivity(seed: u64, trace_len: usize, width: u32) -> SchedulingSensitivity {
     let rows = par_map(&Benchmark::ALL, num_threads(), |&b| {
         let measure = |trace: &ddsc_trace::Trace| {
-            let base = simulate(trace, &SimConfig::paper(PaperConfig::A, width));
-            let d = simulate(trace, &SimConfig::paper(PaperConfig::D, width));
+            // One pre-pass serves both configurations.
+            let p = PreparedTrace::build(trace);
+            let base = simulate_prepared(&p, &SimConfig::paper(PaperConfig::A, width));
+            let d = simulate_prepared(&p, &SimConfig::paper(PaperConfig::D, width));
             (d.collapse.collapsed_pct().value(), d.speedup_over(&base))
         };
         let plain = b.trace(seed, trace_len).expect("workload runs");
@@ -718,8 +722,9 @@ pub fn robustness(seeds: &[u64], trace_len: usize, width: u32) -> Robustness {
         let speedups: Vec<f64> = suite
             .iter()
             .map(|(_, trace)| {
-                let base = simulate(trace, &SimConfig::paper(PaperConfig::A, width));
-                let d = simulate(trace, &SimConfig::paper(PaperConfig::D, width));
+                let p = PreparedTrace::build(trace);
+                let base = simulate_prepared(&p, &SimConfig::paper(PaperConfig::A, width));
+                let d = simulate_prepared(&p, &SimConfig::paper(PaperConfig::D, width));
                 d.speedup_over(&base)
             })
             .collect();

@@ -6,19 +6,29 @@
 //! entry point [`Lab::prewarm`] fans a cell grid out over a thread pool
 //! so figures and tables consume already-computed results.
 //!
+//! The lab also owns the per-benchmark **analysis pre-pass**: the first
+//! cell that touches a benchmark builds its [`PreparedTrace`] (dependence
+//! edges, predictor verdict streams, collapse eligibility — everything a
+//! configuration sweep would otherwise recompute per cell) exactly once
+//! behind a `OnceLock`, and every subsequent cell for that benchmark
+//! reuses it through [`Lab::prepared`]. A full grid pays the pre-pass
+//! six times (once per benchmark) instead of once per cell.
+//!
 //! Determinism guarantee: `simulate` is a pure function of
-//! `(trace, config)`, every cell is simulated at most once, and cached
-//! results are shared by `Arc` — so the parallel path is bit-identical
-//! to the serial one (asserted by the root `prewarm_determinism` test).
-//! Each simulation's wall-clock is recorded as a [`CellTiming`];
-//! [`Lab::report`] aggregates them into a [`LabReport`] with per-cell
-//! MIPS and the parallel-vs-serial speedup.
+//! `(trace, config)`, the prepared path is bit-identical to it (asserted
+//! by `ddsc-core`'s reference tests), every cell is simulated at most
+//! once, and cached results are shared by `Arc` — so the parallel path
+//! is bit-identical to the serial one (asserted by the root
+//! `prewarm_determinism` test). Each simulation's wall-clock is recorded
+//! as a [`CellTiming`]; [`Lab::report`] aggregates them into a
+//! [`LabReport`] with per-cell MIPS, pre-pass cost and the
+//! parallel-vs-serial speedup.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
-use ddsc_core::{simulate, PaperConfig, SimConfig, SimResult};
+use ddsc_core::{simulate_prepared, PaperConfig, PreparedTrace, SimConfig, SimResult};
 use ddsc_trace::Trace;
 use ddsc_workloads::Benchmark;
 
@@ -71,6 +81,30 @@ impl Suite {
             let t = b
                 .trace(config.seed, config.trace_len)
                 .unwrap_or_else(|e| panic!("workload {b} faulted: {e}"));
+            (b, Arc::new(t))
+        });
+        Suite { traces, config }
+    }
+
+    /// Like [`Suite::generate`], but consults an on-disk
+    /// [`TraceCache`](crate::TraceCache) first and stores fresh traces
+    /// back into it. Cache misses (including corrupt or stale entries)
+    /// silently fall back to generation; store failures are reported on
+    /// stderr but never fail the run.
+    pub fn generate_cached(config: SuiteConfig, cache: &crate::TraceCache) -> Suite {
+        let benches: Vec<Benchmark> = Benchmark::ALL.to_vec();
+        let traces = par_map(&benches, num_threads(), |&b| {
+            let t = cache
+                .load(b.name(), config.seed, config.trace_len)
+                .unwrap_or_else(|| {
+                    let t = b
+                        .trace(config.seed, config.trace_len)
+                        .unwrap_or_else(|e| panic!("workload {b} faulted: {e}"));
+                    if let Err(e) = cache.store(b.name(), config.seed, config.trace_len, &t) {
+                        eprintln!("warning: could not cache {} trace: {e}", b.name());
+                    }
+                    t
+                });
             (b, Arc::new(t))
         });
         Suite { traces, config }
@@ -142,6 +176,12 @@ impl CellTiming {
 pub struct Lab {
     suite: Suite,
     cache: RwLock<HashMap<Cell, Arc<SimResult>>>,
+    /// One lazily-built analysis pre-pass per benchmark, shared by every
+    /// cell that simulates that benchmark.
+    prepared: HashMap<Benchmark, OnceLock<Arc<PreparedTrace>>>,
+    /// Wall-clock seconds each executed pre-pass took, keyed like
+    /// `prepared`.
+    prepass_timings: Mutex<Vec<(Benchmark, f64)>>,
     timings: Mutex<Vec<CellTiming>>,
     /// Wall-clock seconds spent inside `prewarm` fan-outs (the parallel
     /// path) — the numerator of the speedup-vs-serial estimate.
@@ -156,12 +196,41 @@ impl Lab {
 
     /// Wraps an existing suite.
     pub fn from_suite(suite: Suite) -> Lab {
+        let prepared = suite.iter().map(|(b, _)| (b, OnceLock::new())).collect();
         Lab {
             suite,
             cache: RwLock::new(HashMap::new()),
+            prepared,
+            prepass_timings: Mutex::new(Vec::new()),
             timings: Mutex::new(Vec::new()),
             prewarm_wall: Mutex::new(0.0),
         }
+    }
+
+    /// The analysis pre-pass of one benchmark, built on first use and
+    /// shared across every configuration cell afterwards. Racing callers
+    /// block on the `OnceLock` until the single builder finishes, so the
+    /// pre-pass runs exactly once per benchmark per lab.
+    pub fn prepared(&self, b: Benchmark) -> Arc<PreparedTrace> {
+        let slot = self.prepared.get(&b).expect("suite has all benchmarks");
+        Arc::clone(slot.get_or_init(|| {
+            let t0 = Instant::now();
+            let p = Arc::new(PreparedTrace::build(self.suite.trace(b)));
+            self.prepass_timings
+                .lock()
+                .expect("lab prepass timings poisoned")
+                .push((b, t0.elapsed().as_secs_f64()));
+            p
+        }))
+    }
+
+    /// `(benchmark, seconds)` for every pre-pass actually executed, in
+    /// completion order.
+    pub fn prepass_timings(&self) -> Vec<(Benchmark, f64)> {
+        self.prepass_timings
+            .lock()
+            .expect("lab prepass timings poisoned")
+            .clone()
     }
 
     /// The underlying suite.
@@ -197,10 +266,13 @@ impl Lab {
     }
 
     /// Runs one cell and records its timing. Pure per (trace, config),
-    /// so concurrent duplicate runs return identical results.
+    /// so concurrent duplicate runs return identical results. The shared
+    /// pre-pass is resolved first so `CellTiming` measures only the
+    /// timing loop.
     fn run_cell(&self, (b, c, width): Cell) -> Arc<SimResult> {
+        let prepared = self.prepared(b);
         let t0 = Instant::now();
-        let sim = simulate(self.suite.trace(b), &SimConfig::paper(c, width));
+        let sim = simulate_prepared(&prepared, &SimConfig::paper(c, width));
         let seconds = t0.elapsed().as_secs_f64();
         self.timings
             .lock()
@@ -300,9 +372,15 @@ impl Lab {
         // report would render as "-0.000 s".
         let serial_seconds: f64 = cells.iter().map(|c| c.seconds).fold(0.0, |a, c| a + c);
         let prewarm_wall = *self.prewarm_wall.lock().expect("lab wall poisoned");
+        let prepass = self
+            .prepass_timings()
+            .into_iter()
+            .map(|(b, s)| (b.models().to_string(), s))
+            .collect();
         LabReport {
             threads: num_threads(),
             cells,
+            prepass,
             serial_seconds,
             // Cells simulated outside a prewarm fan-out ran serially on
             // the caller; count their time as wall time too.
@@ -322,6 +400,9 @@ pub struct LabReport {
     pub threads: usize,
     /// Every executed simulation.
     pub cells: Vec<CellTiming>,
+    /// `(benchmark, seconds)` for every analysis pre-pass executed —
+    /// one entry per benchmark touched, however many cells reused it.
+    pub prepass: Vec<(String, f64)>,
     /// Sum of per-cell wall times — what a serial run would have cost.
     pub serial_seconds: f64,
     /// Wall-clock of the actual (parallel) execution.
@@ -332,6 +413,22 @@ impl LabReport {
     /// Total dynamic instructions simulated.
     pub fn instructions(&self) -> u64 {
         self.cells.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Total seconds spent in analysis pre-passes.
+    pub fn prepass_seconds(&self) -> f64 {
+        self.prepass.iter().map(|(_, s)| s).fold(0.0, |a, s| a + s)
+    }
+
+    /// Cells served per executed pre-pass — how far the shared analysis
+    /// amortises. A full paper grid gives `widths x configs` per
+    /// benchmark.
+    pub fn cells_per_prepass(&self) -> f64 {
+        if self.prepass.is_empty() {
+            0.0
+        } else {
+            self.cells.len() as f64 / self.prepass.len() as f64
+        }
     }
 
     /// Aggregate simulated instructions per host second, in millions,
@@ -373,6 +470,13 @@ impl LabReport {
             self.serial_seconds,
             self.speedup_vs_serial(),
             self.mips()
+        );
+        let _ = writeln!(
+            out,
+            "analysis pre-pass: {:.3} s over {} traces ({:.1} cells amortised per pre-pass)",
+            self.prepass_seconds(),
+            self.prepass.len(),
+            self.cells_per_prepass()
         );
         let mut t = ddsc_util::TextTable::new(vec![
             "benchmark".into(),
@@ -416,6 +520,22 @@ impl LabReport {
         );
         let _ = writeln!(out, "  \"total_instructions\": {},", self.instructions());
         let _ = writeln!(out, "  \"aggregate_mips\": {:.4},", self.mips());
+        let _ = writeln!(out, "  \"prepass_seconds\": {:.6},", self.prepass_seconds());
+        let _ = writeln!(
+            out,
+            "  \"cells_per_prepass\": {:.2},",
+            self.cells_per_prepass()
+        );
+        out.push_str("  \"prepass\": [\n");
+        for (i, (b, s)) in self.prepass.iter().enumerate() {
+            let _ = write!(out, "    {{\"benchmark\": \"{b}\", \"seconds\": {s:.6}}}");
+            out.push_str(if i + 1 < self.prepass.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let _ = write!(
@@ -458,6 +578,22 @@ mod tests {
             assert_eq!(s.trace(b).len(), 3_000);
         }
         assert_eq!(s.iter().count(), 6);
+    }
+
+    #[test]
+    fn cached_suite_generation_matches_direct_generation() {
+        let dir = std::env::temp_dir().join(format!("ddsc-lab-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = crate::TraceCache::new(&dir);
+        let cold = Suite::generate_cached(tiny(), &cache); // generates + stores
+        let warm = Suite::generate_cached(tiny(), &cache); // loads from disk
+        let direct = Suite::generate(tiny());
+        for b in Benchmark::ALL {
+            assert_eq!(cold.trace(b), direct.trace(b));
+            assert_eq!(warm.trace(b), direct.trace(b));
+        }
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -518,6 +654,28 @@ mod tests {
     }
 
     #[test]
+    fn prepass_runs_once_per_benchmark() {
+        let lab = Lab::new(tiny());
+        lab.prewarm_all();
+        // 30 cells simulated, but each benchmark's analysis ran once.
+        assert_eq!(lab.simulations_run(), 30);
+        let mut benches: Vec<Benchmark> =
+            lab.prepass_timings().into_iter().map(|(b, _)| b).collect();
+        benches.sort_by_key(|b| b.name());
+        let mut expected = Benchmark::ALL.to_vec();
+        expected.sort_by_key(|b| b.name());
+        assert_eq!(benches, expected);
+        // Later lookups keep sharing the same PreparedTrace allocation.
+        let a = lab.prepared(Benchmark::Compress);
+        let b = lab.prepared(Benchmark::Compress);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(lab.prepass_timings().len(), 6);
+        let report = lab.report();
+        assert_eq!(report.prepass.len(), 6);
+        assert_eq!(report.cells_per_prepass(), 5.0); // 30 cells / 6 traces
+    }
+
+    #[test]
     fn report_renders_and_serialises() {
         let lab = Lab::new(tiny());
         lab.result(Benchmark::Compress, PaperConfig::A, 4);
@@ -527,6 +685,8 @@ mod tests {
         assert!(text.contains("026.compress"));
         let json = report.to_json();
         assert!(json.contains("\"speedup_vs_serial\""));
+        assert!(json.contains("\"prepass_seconds\""));
+        assert!(json.contains("\"cells_per_prepass\""));
         assert!(json.contains("\"benchmark\": \"026.compress\""));
         // Must be balanced JSON at least structurally.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -43,12 +43,14 @@
 //! assert_eq!(fig2.series.len(), 5); // configurations A..E
 //! ```
 
+pub mod cache;
 pub mod extensions;
 pub mod figures;
 pub mod lab;
 pub mod parallel;
 pub mod tables;
 
+pub use cache::TraceCache;
 pub use lab::{Cell, CellTiming, Lab, LabReport, Suite, SuiteConfig};
 
 /// Renders every paper artifact in order (the `ddsc repro all` payload).

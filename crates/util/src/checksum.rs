@@ -1,0 +1,51 @@
+//! Content checksums for on-disk caches.
+//!
+//! The trace cache stores regenerable binary payloads; a 64-bit FNV-1a
+//! digest over the payload detects truncation and bit rot so a corrupt
+//! cache entry silently falls back to regeneration. Not cryptographic —
+//! the cache only ever defends against accidents, never adversaries.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The 64-bit FNV-1a digest of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_util::fnv1a;
+///
+/// assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+/// assert_ne!(fnv1a(b"trace"), fnv1a(b"tracf"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values of the standard 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let base = fnv1a(&[0u8; 64]);
+        for i in 0..64 {
+            let mut buf = [0u8; 64];
+            buf[i] = 1;
+            assert_ne!(fnv1a(&buf), base, "flip at byte {i}");
+        }
+    }
+}

@@ -17,12 +17,16 @@
 //! assert_ne!(a, b);
 //! ```
 
+pub mod bits;
+pub mod checksum;
 pub mod fxhash;
 pub mod hist;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
+pub use bits::BitSet;
+pub use checksum::fnv1a;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hist::Histogram;
 pub use rng::{Pcg32, SplitMix64};

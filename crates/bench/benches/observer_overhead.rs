@@ -1,0 +1,59 @@
+//! Benchmarks the cost of the metrics observer layer.
+//!
+//! The acceptance bar for the observability PR: with metrics *off*
+//! (`simulate_prepared`, which runs the timing loop monomorphised over
+//! the no-op observer) the wall-time cost versus the pre-observer loop
+//! must be under 2% — i.e. statically dead `if O::ENABLED` blocks and
+//! nothing else. The `metrics_off` numbers here are directly comparable
+//! to the PR 2 `prepass_sweep/shared_prepass` baseline. `metrics_on`
+//! measures what full cycle-attribution collection actually costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddsc_core::{simulate_prepared, simulate_with_metrics, PaperConfig, PreparedTrace, SimConfig};
+use ddsc_workloads::Benchmark;
+
+const LEN: usize = 50_000;
+const WIDTHS: [u32; 4] = [4, 8, 16, 32];
+
+fn observer_overhead(c: &mut Criterion) {
+    let trace = Benchmark::Compress.trace(1996, LEN).expect("runs");
+    let prepared = PreparedTrace::build(&trace);
+    let cells: Vec<SimConfig> = WIDTHS
+        .iter()
+        .flat_map(|&w| {
+            PaperConfig::ALL
+                .into_iter()
+                .map(move |cfg| SimConfig::paper(cfg, w))
+        })
+        .collect();
+    let insts = (cells.len() * trace.len()) as u64;
+
+    let mut group = c.benchmark_group("observer_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(insts));
+    // The production path: NoopObserver, every hook statically dead.
+    group.bench_function("metrics_off", |b| {
+        b.iter(|| {
+            cells
+                .iter()
+                .map(|cfg| simulate_prepared(&prepared, cfg).cycles)
+                .sum::<u64>()
+        })
+    });
+    // Full collection: per-cycle histograms plus cause attribution.
+    group.bench_function("metrics_on", |b| {
+        b.iter(|| {
+            cells
+                .iter()
+                .map(|cfg| {
+                    let (r, m) = simulate_with_metrics(&prepared, cfg);
+                    r.cycles + m.attribution.total()
+                })
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, observer_overhead);
+criterion_main!(benches);

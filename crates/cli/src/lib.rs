@@ -10,13 +10,16 @@
 //! * `ddsc sim <bench> [--config A..E] [--width W] [--len N] [--seed S]`
 //!   — simulate one benchmark and print the result;
 //! * `ddsc repro <artifact>|all|extensions [--len N] [--seed S]
-//!   [--threads T] [--timing] [--bench-json FILE] [--trace-cache DIR]
-//!   [--no-trace-cache]` — regenerate paper tables/figures over the
-//!   parallel lab, optionally appending a throughput report and writing
-//!   the machine-readable benchmark payload (`results/BENCH_lab.json`
-//!   by convention); generated traces are cached under
-//!   `results/traces/` (checksummed, atomically written) unless
-//!   `--no-trace-cache` is given;
+//!   [--threads T] [--timing] [--profile] [--profile-dir DIR]
+//!   [--bench-json FILE] [--trace-cache DIR] [--no-trace-cache]` —
+//!   regenerate paper tables/figures over the parallel lab, optionally
+//!   appending a throughput report and writing the machine-readable
+//!   benchmark payload (`results/BENCH_lab.json` by convention);
+//!   `--profile` runs the grid under the cycle-attribution observer,
+//!   renders a where-the-cycles-go table per configuration and writes
+//!   `profile_<config>.json` per configuration (default `results/`);
+//!   generated traces are cached under `results/traces/` (checksummed,
+//!   atomically written) unless `--no-trace-cache` is given;
 //! * `ddsc help`.
 
 use std::error::Error;
@@ -69,6 +72,7 @@ USAGE:
               fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|
               all|extensions> [--len N] [--seed S] [--widths 4,8,...]
                              [--out FILE] [--threads T] [--timing]
+                             [--profile] [--profile-dir DIR]
                              [--bench-json FILE] [--trace-cache DIR]
                              [--no-trace-cache]
 
@@ -78,9 +82,13 @@ Benchmarks: compress espresso eqntott li go ijpeg
 parallelism by default; override with --threads or DDSC_THREADS).
 --timing appends a wall-clock/MIPS report; --bench-json writes the
 same data as JSON (conventionally results/BENCH_lab.json).
-Generated traces are cached on disk (default results/traces, checksum
-validated); --trace-cache relocates the cache, --no-trace-cache
-regenerates every trace in memory.
+--profile runs every cell under the cycle-attribution observer
+(audited: attributed cycles sum exactly to total cycles), appends a
+where-the-cycles-go table per configuration, and writes
+profile_<config>.json for each configuration into --profile-dir
+(default results). Generated traces are cached on disk (default
+results/traces, checksum validated); --trace-cache relocates the
+cache, --no-trace-cache regenerates every trace in memory.
 "
     .to_string()
 }
@@ -315,7 +323,12 @@ fn repro_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
         let dir = flag_value(args, "--trace-cache").unwrap_or("results/traces");
         Suite::generate_cached(suite_config, &TraceCache::new(dir))
     };
-    let lab = Lab::from_suite(suite);
+    let profiling = args.contains(&"--profile");
+    let lab = if profiling {
+        Lab::from_suite(suite).with_profiling()
+    } else {
+        Lab::from_suite(suite)
+    };
     let mut out = match what {
         "all" => ddsc_experiments::render_all(&lab),
         "extensions" => extensions::render_all(&lab),
@@ -336,6 +349,18 @@ fn repro_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
         "fig10" => figures::fig10(&lab).render(),
         other => return Err(format!("unknown artifact `{other}`").into()),
     };
+    if profiling {
+        // Profiles cover the full grid: collect_profiles prewarms every
+        // cell, whatever single artifact was asked for.
+        let profiles = ddsc_experiments::collect_profiles(&lab);
+        out.push('\n');
+        out.push_str(&ddsc_experiments::render_profiles(&profiles));
+        let dir = flag_value(args, "--profile-dir").unwrap_or("results");
+        let paths = ddsc_experiments::write_profiles(&profiles, std::path::Path::new(dir))?;
+        for p in &paths {
+            let _ = writeln!(out, "wrote {}", p.display());
+        }
+    }
     if args.contains(&"--timing") {
         out.push('\n');
         out.push_str(&lab.report().render());
@@ -524,6 +549,45 @@ mod tests {
         assert!(json.contains("\"aggregate_mips\""));
         assert!(json.contains("\"speedup_vs_serial\""));
         assert!(json.contains("\"prepass_seconds\""));
+    }
+
+    #[test]
+    fn repro_profile_renders_tables_and_writes_per_config_json() {
+        let dir = std::env::temp_dir().join(format!("ddsc-cli-profile-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profile_dir = dir.to_str().unwrap();
+        let bench_json = dir.join("BENCH_lab.json");
+        let out = run_strs(&[
+            "repro",
+            "table2",
+            "--len",
+            "3000",
+            "--widths",
+            "4",
+            "--profile",
+            "--profile-dir",
+            profile_dir,
+            "--bench-json",
+            bench_json.to_str().unwrap(),
+            "--no-trace-cache",
+        ])
+        .unwrap();
+        assert!(out.contains("Where the cycles go"));
+        assert!(out.contains("dep_height %"));
+        for c in PaperConfig::ALL {
+            assert!(out.contains(&format!("config {}", c.label())));
+            let path = dir.join(format!("profile_{}.json", c.label()));
+            assert!(out.contains(&format!("wrote {}", path.display())));
+            let json = std::fs::read_to_string(&path).unwrap();
+            assert!(json.contains("\"schema\": \"ddsc-profile-v1\""));
+            assert!(json.contains("\"attribution\""));
+        }
+        // The profiled lab also feeds per-cell attribution into the
+        // benchmark payload.
+        let lab_json = std::fs::read_to_string(&bench_json).unwrap();
+        assert!(lab_json.contains("\"cell_metrics\""));
+        assert!(lab_json.contains("\"dep_height\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

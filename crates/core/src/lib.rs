@@ -39,6 +39,7 @@
 
 pub mod config;
 pub mod dataflow;
+pub mod metrics;
 pub mod prepass;
 pub mod reference;
 pub mod result;
@@ -48,7 +49,13 @@ pub use config::{
     ConfidenceParams, Latencies, LoadSpecMode, PaperConfig, SimConfig, ValueSpecMode,
 };
 pub use dataflow::{analyze_dataflow, DataflowAnalysis};
+pub use metrics::{
+    AuditError, CycleAttribution, MetricsCollector, NoopObserver, SimMetrics, SimObserver,
+    StallCause,
+};
 pub use prepass::{BranchStream, PreparedTrace, ValueStream};
 pub use reference::simulate_reference;
 pub use result::{BranchRunStats, LoadClass, LoadSpecStats, SimResult, StallStats, ValueSpecStats};
-pub use simulator::{simulate, simulate_prepared};
+pub use simulator::{
+    simulate, simulate_prepared, simulate_prepared_observed, simulate_with_metrics,
+};

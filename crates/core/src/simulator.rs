@@ -37,6 +37,7 @@ use ddsc_collapse::{decode_slots, AbsorbSlot, CollapseOpts, CollapseStats, ExprS
 use ddsc_trace::Trace;
 use ddsc_util::BitSet;
 
+use crate::metrics::{MetricsCollector, NoopObserver, SimMetrics, SimObserver, StallCause};
 use crate::prepass::{
     BranchStream, PreparedTrace, DEFAULT_PREDICTOR_N, DEFAULT_STRIDE_BITS, F_CAN_PRODUCE,
     F_COND_BRANCH, F_LOAD, F_VALUE,
@@ -124,16 +125,23 @@ struct Entry {
     data_ready: u32,
     mem_ready: u32,
     branch_ready: u32,
+    /// Whether the producer binding `data_ready` was a long-latency
+    /// (multiply/divide) operation — metrics-only metadata for the
+    /// per-cycle stall classification, never read by the timing logic.
+    data_long: bool,
 }
 
 impl Entry {
     /// Classifies a resolved `main`-group producer for stall attribution.
-    fn note_main_ready(&mut self, p: u32, at: u32) {
+    fn note_main_ready(&mut self, p: u32, at: u32, long: bool) {
         if self.mem_dep == Some(p) {
             self.mem_ready = self.mem_ready.max(at);
         } else if self.branch_dep == Some(p) {
             self.branch_ready = self.branch_ready.max(at);
         } else {
+            if at >= self.data_ready {
+                self.data_long = long;
+            }
             self.data_ready = self.data_ready.max(at);
         }
     }
@@ -272,6 +280,45 @@ pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
 /// Bit-identical to [`simulate`] on the source trace; the pre-pass cost
 /// is paid once per trace instead of once per configuration.
 pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimResult {
+    simulate_prepared_observed(prepared, config, &mut NoopObserver)
+}
+
+/// Simulates a prepared trace and collects the full cycle-attribution
+/// metrics, enforcing the accounting identity
+/// `sum(attributed cycles) == total cycles` as a runtime audit.
+///
+/// The [`SimResult`] is bit-identical to [`simulate_prepared`]'s — the
+/// observer only reads loop state, never steers it.
+///
+/// # Panics
+///
+/// Panics if the attribution identity fails (a simulator bug, not a
+/// caller error).
+pub fn simulate_with_metrics(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+) -> (SimResult, SimMetrics) {
+    let mut collector = MetricsCollector::new(config);
+    let result = simulate_prepared_observed(prepared, config, &mut collector);
+    let metrics = collector
+        .finish(&result)
+        .expect("cycle-attribution identity must hold");
+    (result, metrics)
+}
+
+/// Simulates a prepared trace, streaming classification events into an
+/// observer.
+///
+/// With [`NoopObserver`] (whose `ENABLED` is `false`) every hook block
+/// monomorphizes away and this is exactly [`simulate_prepared`]; with
+/// [`MetricsCollector`] it feeds [`simulate_with_metrics`]. The observer
+/// never influences timing: the returned [`SimResult`] is bit-identical
+/// for every observer type.
+pub fn simulate_prepared_observed<O: SimObserver>(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    obs: &mut O,
+) -> SimResult {
     let n = prepared.len();
     let statics = prepared.collapse();
     let opts = CollapseOpts {
@@ -349,6 +396,12 @@ pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimRes
     // ready instruction, so issue pops from the end.
     let mut ready: Vec<u32> = Vec::with_capacity(config.window_size as usize + 1);
     let mut last_mispred: Option<u32> = None;
+    // Metrics-only (maintained when O::ENABLED): how many in-window
+    // instructions still wait on an unresolved mispredicted branch. An
+    // idle cycle with squashed work in the window is mispredict
+    // serialization no matter what the next-to-wake entry waits on —
+    // with perfect prediction that work would have been available.
+    let mut squash_pending: u32 = 0;
 
     let mut loads = crate::LoadSpecStats::default();
     let mut stalls = StallStats::default();
@@ -385,6 +438,21 @@ pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimRes
                 }
             }
             let mut data_floor = main.ready;
+            let mut data_long = false;
+            if O::ENABLED && !is_load && data_floor > 0 {
+                // Which already-completed producer set the data floor,
+                // and was it a multiply/divide? Metrics-only.
+                for &p in producers {
+                    if completion[p as usize] == data_floor
+                        && !value_bypass.get(prepared, p)
+                        && prepared.flags(p as usize) & F_LOAD == 0
+                        && lat[p as usize] > config.latencies.default
+                    {
+                        data_long = true;
+                        break;
+                    }
+                }
+            }
             let mut mem_dep = None;
             let mut mem_ready = 0u32;
             if let Some(s) = prepared.mem_dep_of(fetch) {
@@ -403,6 +471,9 @@ pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimRes
                     branch_ready = completion[b as usize];
                 } else {
                     branch_dep = Some(b);
+                    if O::ENABLED {
+                        squash_pending += 1;
+                    }
                 }
             }
 
@@ -464,6 +535,9 @@ pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimRes
                     if !is_load {
                         // Inherited leaf availability counts as data
                         // readiness for the stall breakdown.
+                        if O::ENABLED && p_entry.main.ready > data_floor {
+                            data_long = p_entry.data_long;
+                        }
                         data_floor = data_floor.max(p_entry.main.ready);
                     }
                     let inherited: Vec<u32> = p_entry.main.producers.clone();
@@ -502,6 +576,9 @@ pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimRes
                 }
                 LoadSpecMode::Real => load_pred[fetch],
             };
+            if O::ENABLED && is_load && config.load_spec == LoadSpecMode::Real {
+                obs.on_addr_prediction(flags & 1 != 0, flags & 2 != 0);
+            }
             let bypass_addr = is_load
                 && match config.load_spec {
                     LoadSpecMode::Off => false,
@@ -530,6 +607,7 @@ pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimRes
                 data_ready: data_floor,
                 mem_ready,
                 branch_ready,
+                data_long,
             };
 
             // Register edges on in-window producers.
@@ -557,11 +635,18 @@ pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimRes
             }
             in_window += 1;
 
-            if pflags & F_COND_BRANCH != 0 && branch.mispredicted.get(fetch) {
-                last_mispred = Some(i);
+            if pflags & F_COND_BRANCH != 0 {
+                let mispredicted = branch.mispredicted.get(fetch);
+                if O::ENABLED {
+                    obs.on_cond_branch(mispredicted);
+                }
+                if mispredicted {
+                    last_mispred = Some(i);
+                }
             }
             fetch += 1;
         }
+        let occupancy_at_issue = in_window;
 
         // -- promote pending entries whose ready cycle has arrived --
         let mut promoted = false;
@@ -668,11 +753,18 @@ pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimRes
                                 participant.set(m as usize);
                             }
                         }
+                        if O::ENABLED {
+                            obs.on_collapse_group(expr.members().count() as u32);
+                        }
                     }
                 }
             }
 
             // Notify in-window consumers.
+            let p_long = O::ENABLED
+                && !eliminate
+                && !entry.is_load
+                && entry.latency > config.latencies.default;
             for (cons, is_addr) in entry.consumers {
                 let Some(c) = window.get_mut(cons) else {
                     continue; // bypassed load already issued
@@ -682,7 +774,10 @@ pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimRes
                 } else {
                     let r = c.main.resolve(idx, ct);
                     if r {
-                        c.note_main_ready(idx, ct);
+                        c.note_main_ready(idx, ct, p_long);
+                        if O::ENABLED && c.branch_dep == Some(idx) {
+                            squash_pending -= 1;
+                        }
                     }
                     r
                 };
@@ -693,22 +788,56 @@ pub fn simulate_prepared(prepared: &PreparedTrace, config: &SimConfig) -> SimRes
             }
         }
 
+        if O::ENABLED && slots_used > 0 {
+            obs.on_issue_cycle(cycle, slots_used, occupancy_at_issue);
+        }
+
         if retired >= n {
             break;
         }
 
         // -- advance time --
-        if !ready.is_empty() || (in_window < config.window_size && fetch < n) {
-            cycle += 1;
+        let next = if !ready.is_empty() || (in_window < config.window_size && fetch < n) {
+            cycle + 1
         } else if let Some(&Reverse((rc, _))) = pending.peek() {
-            cycle = rc.max(cycle + 1);
+            rc.max(cycle + 1)
         } else {
-            cycle += 1;
             debug_assert!(
                 fetch < n || in_window > 0,
                 "simulator wedged with nothing to do"
             );
+            cycle + 1
+        };
+        if O::ENABLED {
+            // Every cycle in [cycle, next) that issued nothing is idle;
+            // classify the whole span by the constraint that binds the
+            // next-to-wake entry's ready cycle, most external cause
+            // first (matching StallStats' convention).
+            let span = u64::from(next - cycle) - u64::from(slots_used > 0);
+            if span > 0 {
+                let cause = match pending.peek() {
+                    Some(&Reverse((rc, head))) => {
+                        let e = window.get(head).expect("pending entry must be in window");
+                        if squash_pending > 0 || e.branch_ready >= rc {
+                            StallCause::Branch
+                        } else if e.mem_ready >= rc {
+                            StallCause::Memory
+                        } else if !e.bypass_addr && e.addr.ready >= rc {
+                            StallCause::Address
+                        } else if e.data_long && e.data_ready >= rc {
+                            StallCause::LongLatency
+                        } else if in_window >= config.window_size && fetch < n {
+                            StallCause::WindowFull
+                        } else {
+                            StallCause::DepHeight
+                        }
+                    }
+                    None => StallCause::DepHeight,
+                };
+                obs.on_idle_cycles(span, cause, in_window);
+            }
         }
+        cycle = next;
     }
 
     collapse.mark_participants(participant.count_ones());
@@ -1469,6 +1598,256 @@ mod tests {
             let fresh = simulate(&t, config);
             assert_eq!(from_shared, fresh, "reverse divergence at {config:?}");
         }
+    }
+
+    #[test]
+    fn metrics_observer_never_moves_a_bit_and_always_balances() {
+        // The observed run must produce the same SimResult as the plain
+        // run, and the cycle attribution must partition the run exactly,
+        // on every paper config and every ablation variant.
+        let t = mixed_trace(4000, 2024);
+        let prepared = PreparedTrace::build(&t);
+        let mut grid: Vec<SimConfig> = Vec::new();
+        for cfg in PaperConfig::ALL {
+            for width in [4u32, 8, 32] {
+                grid.push(SimConfig::paper(cfg, width));
+            }
+        }
+        grid.extend(variant_configs());
+        for config in &grid {
+            let plain = simulate_prepared(&prepared, config);
+            let (observed, metrics) = simulate_with_metrics(&prepared, config);
+            assert_eq!(plain, observed, "observer changed timing at {config:?}");
+            assert_eq!(
+                metrics.attribution.total(),
+                plain.cycles,
+                "attribution identity at {config:?}: {:?}",
+                metrics.attribution
+            );
+            assert_eq!(
+                metrics.attribution.issue + metrics.issue_util.count(0),
+                plain.cycles
+            );
+            assert_eq!(metrics.issue_util.total(), plain.cycles);
+            assert_eq!(metrics.window_occupancy.total(), plain.cycles);
+            // Issue slots consumed across all cycles = instructions that
+            // actually executed (eliminated ones never take a slot).
+            let issued: u64 = metrics.issue_util.iter().map(|(v, c)| v * c).sum();
+            assert_eq!(issued, plain.instructions - plain.eliminated, "{config:?}");
+            assert_eq!(metrics.issue_util.overflow(), 0, "issued past the width?");
+            // The observer's branch stream re-counts the predictor stats.
+            assert_eq!(
+                metrics.branch_hits + metrics.branch_misses,
+                plain.branches.cond_branches,
+                "{config:?}"
+            );
+            assert_eq!(
+                metrics.branch_misses, plain.branches.mispredicted,
+                "{config:?}"
+            );
+            if config.load_spec == LoadSpecMode::Real {
+                assert_eq!(
+                    metrics.addr_pred.total(),
+                    plain.loads.total(),
+                    "one verdict per load at {config:?}"
+                );
+            } else {
+                assert_eq!(metrics.addr_pred.total(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_attribute_the_obvious_bottlenecks() {
+        // Each synthetic workload's dominant attribution bucket must
+        // match what the trace was built to exercise.
+
+        // A 1-cycle serial chain issues one instruction every cycle:
+        // never idle, just narrow.
+        let chain = dependent_chain(1000);
+        let chain_prep = PreparedTrace::build(&chain);
+        let (res, m) = simulate_with_metrics(&chain_prep, &SimConfig::base(8));
+        assert_eq!(m.attribution.issue, res.cycles, "{:?}", m.attribution);
+        assert!(m.issue_util.count(1) > res.cycles * 9 / 10);
+
+        // The same chain at 3-cycle latency with the whole trace in the
+        // window: pure dependence height (the window is provably not the
+        // limiter).
+        let mut cfg = SimConfig::base(2048);
+        cfg.latencies.default = 3;
+        let (_, m) = simulate_with_metrics(&chain_prep, &cfg);
+        assert!(
+            m.attribution.dep_height > m.attribution.total() / 2,
+            "slow chain in a huge window is dependence-height bound: {:?}",
+            m.attribution
+        );
+        assert_eq!(m.attribution.window_full, 0, "{:?}", m.attribution);
+
+        // Same dataflow stall with a tiny window that stays full: the
+        // window becomes the co-limiter and the bucket shifts.
+        let mut cfg = SimConfig::base(8);
+        cfg.latencies.default = 3;
+        let (_, m) = simulate_with_metrics(&chain_prep, &cfg);
+        assert!(
+            m.attribution.window_full > m.attribution.total() / 2,
+            "slow chain behind a full window: {:?}",
+            m.attribution
+        );
+
+        let mut divs = Trace::new("divs");
+        for i in 0..200u32 {
+            divs.push(TraceInst::alu(
+                4 * i,
+                Opcode::Div,
+                r(1),
+                r(1),
+                None,
+                Some(3),
+                0,
+            ));
+        }
+        let (_, m) = simulate_with_metrics(&PreparedTrace::build(&divs), &SimConfig::base(8));
+        assert!(
+            m.attribution.long_latency > m.attribution.total() / 2,
+            "a divide chain waits out divide latency: {:?}",
+            m.attribution
+        );
+
+        let mut chase = Trace::new("chase");
+        for i in 0..800u32 {
+            chase.push(TraceInst::load(
+                0x20,
+                Opcode::Ld,
+                r(1),
+                r(1),
+                None,
+                Some(0),
+                0,
+                0x1000 + 8 * i,
+            ));
+        }
+        let (_, m) = simulate_with_metrics(&PreparedTrace::build(&chase), &SimConfig::base(8));
+        assert!(
+            m.attribution.address > m.attribution.total() / 3,
+            "pointer chase waits on address generation: {:?}",
+            m.attribution
+        );
+
+        // store -> load -> store recurrence through one memory word,
+        // with 3-cycle stores so the load's memory wait opens a real
+        // idle gap (at unit store latency the load wakes the very next
+        // cycle and the wait hides under the store's issue cycle).
+        let mut mem = Trace::new("mem-chain");
+        for i in 0..300u32 {
+            mem.push(TraceInst::store(
+                8 * i,
+                Opcode::St,
+                r(1),
+                r(9),
+                None,
+                Some(0),
+                0,
+                0x100,
+            ));
+            mem.push(TraceInst::load(
+                8 * i + 4,
+                Opcode::Ld,
+                r(1),
+                r(9),
+                None,
+                Some(0),
+                0,
+                0x100,
+            ));
+        }
+        let mut cfg = SimConfig::base(8);
+        cfg.latencies.default = 3;
+        let (_, m) = simulate_with_metrics(&PreparedTrace::build(&mem), &cfg);
+        let idle_max = StallCause::ALL
+            .into_iter()
+            .map(|c| m.attribution.idle(c))
+            .max()
+            .unwrap();
+        assert!(
+            m.attribution.memory > 0 && m.attribution.memory == idle_max,
+            "store-to-load recurrence is memory bound: {:?}",
+            m.attribution
+        );
+
+        // Slow-to-resolve random branches: a divide feeds the compare
+        // feeding the branch, so a misprediction squashes the younger
+        // independent adds for the whole divide latency. Those idle
+        // cycles are squash serialization — with perfect prediction the
+        // adds would have issued.
+        let mut rng = ddsc_util::Pcg32::new(11);
+        let mut br = Trace::new("slow-branches");
+        for i in 0..300u32 {
+            br.push(TraceInst::alu(
+                32 * i,
+                Opcode::Div,
+                r(1),
+                r(1),
+                None,
+                Some(3),
+                0,
+            ));
+            br.push(TraceInst::cmp(32 * i + 4, r(1), None, Some(0), 0));
+            br.push(TraceInst::cond_branch(
+                32 * i + 8,
+                Opcode::Bcc(Cond::Ne),
+                rng.chance(1, 2),
+                32 * i + 12,
+            ));
+            for j in 0..4u32 {
+                br.push(TraceInst::alu(
+                    32 * i + 12 + 4 * j,
+                    Opcode::Add,
+                    r((j % 5 + 2) as u8),
+                    Reg::G0,
+                    None,
+                    Some(1),
+                    0,
+                ));
+            }
+        }
+        let br_prep = PreparedTrace::build(&br);
+        let (_, m) = simulate_with_metrics(&br_prep, &SimConfig::base(8));
+        assert!(
+            m.attribution.branch > m.attribution.total() / 4,
+            "mispredict squash claims the divide-bound idle time: {:?}",
+            m.attribution
+        );
+        assert!(m.branch_misses > 0 && m.branch_hits > 0);
+        let mut perfect = SimConfig::base(8);
+        perfect.perfect_branches = true;
+        let (_, mp) = simulate_with_metrics(&br_prep, &perfect);
+        assert_eq!(
+            mp.attribution.branch, 0,
+            "perfect prediction leaves no squash cycles: {:?}",
+            mp.attribution
+        );
+        assert!(mp.branch_misses == 0);
+
+        let indep = independent(4000);
+        let (res, m) = simulate_with_metrics(&PreparedTrace::build(&indep), &SimConfig::base(4));
+        assert!(
+            m.attribution.issue * 10 > m.attribution.total() * 9,
+            "independent code issues nearly every cycle: {:?}",
+            m.attribution
+        );
+        assert!(
+            m.issue_util.count(4) > res.cycles * 9 / 10,
+            "full-width cycles dominate"
+        );
+    }
+
+    #[test]
+    fn metrics_on_an_empty_trace_are_empty() {
+        let prepared = PreparedTrace::build(&Trace::new("empty"));
+        let (res, m) = simulate_with_metrics(&prepared, &SimConfig::base(4));
+        assert_eq!(res.cycles, 0);
+        assert_eq!(m.attribution.total(), 0);
+        assert_eq!(m.issue_util.total(), 0);
     }
 
     #[test]

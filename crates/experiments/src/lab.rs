@@ -28,7 +28,10 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
-use ddsc_core::{simulate_prepared, PaperConfig, PreparedTrace, SimConfig, SimResult};
+use ddsc_core::{
+    simulate_prepared, simulate_with_metrics, CycleAttribution, PaperConfig, PreparedTrace,
+    SimConfig, SimMetrics, SimResult,
+};
 use ddsc_trace::Trace;
 use ddsc_workloads::Benchmark;
 
@@ -170,12 +173,53 @@ impl CellTiming {
     }
 }
 
+/// A worker failure surfaced by [`Lab::try_prewarm`], naming the grid
+/// cell whose simulation panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrewarmError {
+    /// The `(benchmark, configuration, width)` cell that failed.
+    pub cell: Cell,
+    /// The panic payload, rendered best-effort.
+    pub message: String,
+}
+
+impl std::fmt::Display for PrewarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (b, c, width) = self.cell;
+        write!(
+            f,
+            "prewarm worker panicked on cell ({}, config {}, width {}): {}",
+            b.models(),
+            c.label(),
+            width,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for PrewarmError {}
+
+/// Renders a caught panic payload (`&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A thread-safe memoising simulation driver: each `(benchmark,
 /// configuration, width)` triple is simulated at most once per lab.
 #[derive(Debug)]
 pub struct Lab {
     suite: Suite,
     cache: RwLock<HashMap<Cell, Arc<SimResult>>>,
+    /// When set, every cell also runs the metrics observer and its
+    /// [`SimMetrics`] are cached alongside the result.
+    profiling: bool,
+    metrics: RwLock<HashMap<Cell, Arc<SimMetrics>>>,
     /// One lazily-built analysis pre-pass per benchmark, shared by every
     /// cell that simulates that benchmark.
     prepared: HashMap<Benchmark, OnceLock<Arc<PreparedTrace>>>,
@@ -200,11 +244,29 @@ impl Lab {
         Lab {
             suite,
             cache: RwLock::new(HashMap::new()),
+            profiling: false,
+            metrics: RwLock::new(HashMap::new()),
             prepared,
             prepass_timings: Mutex::new(Vec::new()),
             timings: Mutex::new(Vec::new()),
             prewarm_wall: Mutex::new(0.0),
         }
+    }
+
+    /// Turns on the metrics observer for every cell this lab simulates.
+    ///
+    /// Profiled results are bit-identical to unprofiled ones (the
+    /// observer never feeds back into the timing loop — asserted by the
+    /// `ddsc-core` bit-identity tests); the only cost is the bookkeeping
+    /// itself, so profiling is opt-in per lab rather than per call.
+    pub fn with_profiling(mut self) -> Lab {
+        self.profiling = true;
+        self
+    }
+
+    /// Whether this lab records [`SimMetrics`] per cell.
+    pub fn is_profiling(&self) -> bool {
+        self.profiling
     }
 
     /// The analysis pre-pass of one benchmark, built on first use and
@@ -272,7 +334,17 @@ impl Lab {
     fn run_cell(&self, (b, c, width): Cell) -> Arc<SimResult> {
         let prepared = self.prepared(b);
         let t0 = Instant::now();
-        let sim = simulate_prepared(&prepared, &SimConfig::paper(c, width));
+        let sim = if self.profiling {
+            let (sim, metrics) = simulate_with_metrics(&prepared, &SimConfig::paper(c, width));
+            self.metrics
+                .write()
+                .expect("lab metrics poisoned")
+                .entry((b, c, width))
+                .or_insert_with(|| Arc::new(metrics));
+            sim
+        } else {
+            simulate_prepared(&prepared, &SimConfig::paper(c, width))
+        };
         let seconds = t0.elapsed().as_secs_f64();
         self.timings
             .lock()
@@ -304,10 +376,53 @@ impl Lab {
         self.insert(cell, r)
     }
 
+    /// The metrics of one combination; simulates the cell first when
+    /// necessary. Only available on a profiling lab
+    /// ([`Lab::with_profiling`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this lab was built without profiling — the cell results
+    /// would exist but no metrics were ever collected for them.
+    pub fn metrics(&self, b: Benchmark, c: PaperConfig, width: u32) -> Arc<SimMetrics> {
+        assert!(
+            self.profiling,
+            "Lab::metrics requires a profiling lab (Lab::with_profiling)"
+        );
+        let cell = (b, c, width);
+        // run_cell stores metrics before the result is cached, so after
+        // result() the entry is guaranteed present.
+        let _ = self.result(b, c, width);
+        Arc::clone(
+            self.metrics
+                .read()
+                .expect("lab metrics poisoned")
+                .get(&cell)
+                .expect("profiling run_cell always records metrics"),
+        )
+    }
+
     /// Simulates every not-yet-cached cell of `cells` in parallel over
     /// [`num_threads`] workers. Returns the number of cells actually
     /// simulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending cell's name if a worker simulation
+    /// panics — see [`Lab::try_prewarm`] for the non-panicking form.
     pub fn prewarm(&self, cells: &[Cell]) -> usize {
+        self.try_prewarm(cells).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Lab::prewarm`], but a panicking worker surfaces as a
+    /// [`PrewarmError`] naming the `(benchmark, configuration, width)`
+    /// cell that died, instead of poisoning the shared caches.
+    ///
+    /// Cells that completed before (or alongside) the failure stay
+    /// cached, and the lab remains fully usable afterwards. When several
+    /// workers fail, the error reports the first failing cell in grid
+    /// order.
+    pub fn try_prewarm(&self, cells: &[Cell]) -> Result<usize, PrewarmError> {
         let todo: Vec<Cell> = {
             let cache = self.cache.read().expect("lab cache poisoned");
             let mut seen = std::collections::HashSet::new();
@@ -318,15 +433,43 @@ impl Lab {
                 .collect()
         };
         if todo.is_empty() {
-            return 0;
+            return Ok(0);
         }
         let t0 = Instant::now();
-        let results = par_map(&todo, num_threads(), |&cell| self.run_cell(cell));
-        for (cell, r) in todo.iter().zip(results) {
-            self.insert(*cell, r);
-        }
+        let results = par_map(&todo, num_threads(), |&cell| {
+            // Catch the panic on the worker itself: letting it unwind
+            // through `par_map`'s scope would poison the result mutex
+            // and turn a named failure into an opaque one.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_cell(cell))).map_err(
+                |payload| PrewarmError {
+                    cell,
+                    // `payload.as_ref()`, not `&payload`: a `&Box<dyn
+                    // Any>` would itself unsize to `&dyn Any` and the
+                    // downcast to the inner `&str` would never match.
+                    message: panic_message(payload.as_ref()),
+                },
+            )
+        });
         *self.prewarm_wall.lock().expect("lab wall poisoned") += t0.elapsed().as_secs_f64();
-        todo.len()
+        let mut ran = 0usize;
+        let mut first_err = None;
+        for (cell, r) in todo.iter().zip(results) {
+            match r {
+                Ok(res) => {
+                    self.insert(*cell, res);
+                    ran += 1;
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(ran),
+        }
     }
 
     /// Prewarms the full paper grid ([`Lab::grid`]).
@@ -365,7 +508,10 @@ impl Lab {
         self.timings.lock().expect("lab timings poisoned").clone()
     }
 
-    /// Aggregates recorded timings into a throughput report.
+    /// Aggregates recorded timings into a throughput report. On a
+    /// profiling lab the report also carries per-cell cycle attribution
+    /// ([`CellMetrics`]), sorted by `(benchmark, config, width)` so the
+    /// serialisation is stable whatever order the cells completed in.
     pub fn report(&self) -> LabReport {
         let cells = self.timings();
         // fold from +0.0: `Sum for f64` starts at -0.0, which an empty
@@ -377,9 +523,27 @@ impl Lab {
             .into_iter()
             .map(|(b, s)| (b.models().to_string(), s))
             .collect();
+        let mut cell_metrics: Vec<CellMetrics> = self
+            .metrics
+            .read()
+            .expect("lab metrics poisoned")
+            .iter()
+            .map(|(&(b, c, width), m)| CellMetrics {
+                benchmark: b.models().to_string(),
+                config: c.label().to_string(),
+                width,
+                // The audited identity: attributed cycles == total cycles.
+                cycles: m.attribution.total(),
+                attribution: m.attribution,
+            })
+            .collect();
+        cell_metrics.sort_by(|a, b| {
+            (&a.benchmark, &a.config, a.width).cmp(&(&b.benchmark, &b.config, b.width))
+        });
         LabReport {
             threads: num_threads(),
             cells,
+            cell_metrics,
             prepass,
             serial_seconds,
             // Cells simulated outside a prewarm fan-out ran serially on
@@ -393,6 +557,22 @@ impl Lab {
     }
 }
 
+/// Cause-attributed cycle accounting for one profiled grid cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellMetrics {
+    /// Benchmark display name (`Benchmark::models`).
+    pub benchmark: String,
+    /// Paper configuration label (`A`..`E`).
+    pub config: String,
+    /// Issue width.
+    pub width: u32,
+    /// Total simulated cycles (equal to `attribution.total()` by the
+    /// audited accounting identity).
+    pub cycles: u64,
+    /// Where those cycles went.
+    pub attribution: CycleAttribution,
+}
+
 /// Aggregated throughput over everything a [`Lab`] simulated.
 #[derive(Debug, Clone)]
 pub struct LabReport {
@@ -400,6 +580,9 @@ pub struct LabReport {
     pub threads: usize,
     /// Every executed simulation.
     pub cells: Vec<CellTiming>,
+    /// Per-cell cycle attribution, sorted by `(benchmark, config,
+    /// width)`. Empty unless the lab ran with profiling on.
+    pub cell_metrics: Vec<CellMetrics>,
     /// `(benchmark, seconds)` for every analysis pre-pass executed —
     /// one entry per benchmark touched, however many cells reused it.
     pub prepass: Vec<(String, f64)>,
@@ -554,6 +737,33 @@ impl LabReport {
                 "\n"
             });
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"cell_metrics\": [\n");
+        for (i, m) in self.cell_metrics.iter().enumerate() {
+            let a = &m.attribution;
+            let _ = write!(
+                out,
+                "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"width\": {}, \"cycles\": {}, \
+                 \"issue\": {}, \"branch\": {}, \"memory\": {}, \"address\": {}, \
+                 \"long_latency\": {}, \"window_full\": {}, \"dep_height\": {}}}",
+                m.benchmark,
+                m.config,
+                m.width,
+                m.cycles,
+                a.issue,
+                a.branch,
+                a.memory,
+                a.address,
+                a.long_latency,
+                a.window_full,
+                a.dep_height
+            );
+            out.push_str(if i + 1 < self.cell_metrics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -673,6 +883,86 @@ mod tests {
         let report = lab.report();
         assert_eq!(report.prepass.len(), 6);
         assert_eq!(report.cells_per_prepass(), 5.0); // 30 cells / 6 traces
+    }
+
+    #[test]
+    fn profiling_never_moves_a_bit_and_audits_every_cell() {
+        let suite = Suite::generate(tiny());
+        let plain = Lab::from_suite(suite.clone());
+        let profiled = Lab::from_suite(suite).with_profiling();
+        assert!(!plain.is_profiling());
+        assert!(profiled.is_profiling());
+        profiled.prewarm_all();
+        for (b, c, w) in profiled.grid() {
+            assert_eq!(
+                *plain.result(b, c, w),
+                *profiled.result(b, c, w),
+                "metrics observer changed the simulation of ({b}, {c:?}, {w})"
+            );
+            let m = profiled.metrics(b, c, w);
+            let r = profiled.result(b, c, w);
+            // The accounting identity, re-checked at the lab layer.
+            assert_eq!(m.attribution.total(), r.cycles);
+            m.attribution.audit(r.cycles).unwrap();
+        }
+        let report = profiled.report();
+        assert_eq!(report.cell_metrics.len(), 30);
+        // Sorted and stable: (benchmark, config, width) ascending.
+        let keys: Vec<_> = report
+            .cell_metrics
+            .iter()
+            .map(|m| (m.benchmark.clone(), m.config.clone(), m.width))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        let json = report.to_json();
+        assert!(json.contains("\"cell_metrics\""));
+        assert!(json.contains("\"dep_height\""));
+        // An unprofiled lab reports an empty attribution section.
+        plain.result(Benchmark::Compress, PaperConfig::A, 4);
+        let plain_report = plain.report();
+        assert!(plain_report.cell_metrics.is_empty());
+        assert!(plain_report.to_json().contains("\"cell_metrics\": [\n  ]"));
+    }
+
+    #[test]
+    fn metrics_on_an_unprofiled_lab_panic_with_a_clear_message() {
+        let lab = Lab::new(tiny());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lab.metrics(Benchmark::Compress, PaperConfig::A, 4)
+        }))
+        .unwrap_err();
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("with_profiling"), "got: {msg}");
+    }
+
+    #[test]
+    fn a_panicking_prewarm_worker_names_its_cell_and_spares_the_lab() {
+        let lab = Lab::new(SuiteConfig {
+            widths: vec![0], // SimConfig::base(0) panics: width must be positive
+            ..tiny()
+        });
+        let good = (Benchmark::Compress, PaperConfig::A, 4);
+        let bad = (Benchmark::Eqntott, PaperConfig::B, 0);
+        let err = lab.try_prewarm(&[good, bad]).unwrap_err();
+        assert_eq!(err.cell, bad);
+        let text = err.to_string();
+        assert!(text.contains("023.eqntott"), "got: {text}");
+        assert!(text.contains("config B"), "got: {text}");
+        assert!(text.contains("width 0"), "got: {text}");
+        assert!(text.contains("issue width"), "got: {text}");
+        // The healthy cell completed and the caches are not poisoned:
+        // the lab stays fully usable after the failure.
+        assert_eq!(lab.simulations_run(), 1);
+        let r = lab.result(good.0, good.1, good.2);
+        assert!(r.cycles > 0);
+        // The panicking front-door prewarm carries the same message.
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lab.prewarm(&[bad]);
+        }))
+        .unwrap_err();
+        assert!(panic_message(panic.as_ref()).contains("023.eqntott"));
     }
 
     #[test]

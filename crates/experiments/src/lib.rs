@@ -48,10 +48,12 @@ pub mod extensions;
 pub mod figures;
 pub mod lab;
 pub mod parallel;
+pub mod profile;
 pub mod tables;
 
 pub use cache::TraceCache;
-pub use lab::{Cell, CellTiming, Lab, LabReport, Suite, SuiteConfig};
+pub use lab::{Cell, CellMetrics, CellTiming, Lab, LabReport, PrewarmError, Suite, SuiteConfig};
+pub use profile::{collect_profiles, render_profiles, write_profiles, ConfigProfile, ProfileCell};
 
 /// Renders every paper artifact in order (the `ddsc repro all` payload).
 ///

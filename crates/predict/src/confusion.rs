@@ -1,0 +1,123 @@
+//! Confidence/correctness confusion matrix for gated predictors.
+//!
+//! Confidence-gated predictors (the two-delta address table, the value
+//! table) make two decisions per access: whether to *use* the prediction
+//! (confidence) and whether it would have been *right* (correctness).
+//! The four-way split is the standard way to read such a predictor —
+//! coverage is how often it speaks, accuracy is how often it is right
+//! when it does, and the `unconfident_correct` cell is the opportunity
+//! the confidence gate leaves on the table.
+
+/// Counts of predictor outcomes split by (confident, correct).
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_predict::ConfusionMatrix;
+///
+/// let mut m = ConfusionMatrix::default();
+/// m.record(true, true);
+/// m.record(true, true);
+/// m.record(true, false);
+/// m.record(false, true);
+/// assert_eq!(m.total(), 4);
+/// assert_eq!(m.coverage().value(), 75.0);
+/// assert!((m.accuracy().value() - 200.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Prediction used and right.
+    pub confident_correct: u64,
+    /// Prediction used and wrong (the misspeculation cost cell).
+    pub confident_incorrect: u64,
+    /// Prediction suppressed but would have been right (lost coverage).
+    pub unconfident_correct: u64,
+    /// Prediction suppressed and would have been wrong (the gate working).
+    pub unconfident_incorrect: u64,
+}
+
+impl ConfusionMatrix {
+    /// Records one predictor access.
+    pub fn record(&mut self, confident: bool, correct: bool) {
+        let cell = match (confident, correct) {
+            (true, true) => &mut self.confident_correct,
+            (true, false) => &mut self.confident_incorrect,
+            (false, true) => &mut self.unconfident_correct,
+            (false, false) => &mut self.unconfident_incorrect,
+        };
+        *cell += 1;
+    }
+
+    /// Total accesses recorded.
+    pub fn total(&self) -> u64 {
+        self.confident_correct
+            + self.confident_incorrect
+            + self.unconfident_correct
+            + self.unconfident_incorrect
+    }
+
+    /// Accesses where the prediction was used.
+    pub fn confident(&self) -> u64 {
+        self.confident_correct + self.confident_incorrect
+    }
+
+    /// Fraction of accesses where the prediction was used.
+    pub fn coverage(&self) -> ddsc_util::Percent {
+        ddsc_util::Percent::new(self.confident(), self.total())
+    }
+
+    /// Fraction of used predictions that were right.
+    pub fn accuracy(&self) -> ddsc_util::Percent {
+        ddsc_util::Percent::new(self.confident_correct, self.confident())
+    }
+
+    /// Adds another matrix's counts into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.confident_correct += other.confident_correct;
+        self.confident_incorrect += other.confident_incorrect;
+        self.unconfident_correct += other.unconfident_correct;
+        self.unconfident_incorrect += other.unconfident_incorrect;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_partition_the_total() {
+        let mut m = ConfusionMatrix::default();
+        for i in 0..100u64 {
+            m.record(i % 2 == 0, i % 3 == 0);
+        }
+        assert_eq!(m.total(), 100);
+        assert_eq!(
+            m.confident_correct
+                + m.confident_incorrect
+                + m.unconfident_correct
+                + m.unconfident_incorrect,
+            100
+        );
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_rates() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.coverage().value(), 0.0);
+        assert_eq!(m.accuracy().value(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_cellwise() {
+        let mut a = ConfusionMatrix::default();
+        a.record(true, true);
+        let mut b = ConfusionMatrix::default();
+        b.record(true, true);
+        b.record(false, false);
+        a.merge(&b);
+        assert_eq!(a.confident_correct, 2);
+        assert_eq!(a.unconfident_incorrect, 1);
+        assert_eq!(a.total(), 3);
+    }
+}

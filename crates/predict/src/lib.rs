@@ -33,6 +33,7 @@
 
 pub mod addr;
 pub mod branch;
+pub mod confusion;
 pub mod counter;
 pub mod value;
 
@@ -42,5 +43,6 @@ pub use addr::{
 pub use branch::{
     branch_stats, Bimodal, BranchPredStats, DirectionPredictor, Gshare, LocalHistory, McFarling,
 };
+pub use confusion::ConfusionMatrix;
 pub use counter::SatCounter;
 pub use value::{LastValue, TwoDeltaValue, ValuePrediction, ValuePredictor};

@@ -21,6 +21,7 @@ pub mod bits;
 pub mod checksum;
 pub mod fxhash;
 pub mod hist;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -29,6 +30,7 @@ pub use bits::BitSet;
 pub use checksum::fnv1a;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hist::Histogram;
+pub use json::{Json, JsonError};
 pub use rng::{Pcg32, SplitMix64};
 pub use stats::{geometric_mean, harmonic_mean, mean, Percent};
 pub use table::TextTable;

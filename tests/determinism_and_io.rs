@@ -1,7 +1,10 @@
-//! Cross-crate determinism and trace-file round-tripping.
+//! Cross-crate determinism, trace-file round-tripping, trace-cache
+//! corruption handling and the profile JSON schema snapshot.
 
 use ddsc::core::{simulate, PaperConfig, SimConfig};
+use ddsc::experiments::{ConfigProfile, Lab, Suite, SuiteConfig, TraceCache};
 use ddsc::trace::io::{read_trace, write_trace};
+use ddsc::util::Json;
 use ddsc::workloads::Benchmark;
 
 #[test]
@@ -49,6 +52,124 @@ fn seeds_change_data_but_not_structure() {
         (da - db).abs() < 8.0,
         "mix is structural: {da:.1} vs {db:.1}"
     );
+}
+
+#[test]
+fn a_corrupted_trace_cache_entry_is_rejected_and_rederived_cleanly() {
+    let dir = std::env::temp_dir().join(format!("ddsc-corrupt-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = TraceCache::new(&dir);
+    let config = SuiteConfig {
+        seed: 7,
+        trace_len: 2_000,
+        widths: vec![4],
+    };
+    // Populate the cache, then flip one byte in the middle of every
+    // benchmark's cached file.
+    let cold = Suite::generate_cached(config.clone(), &cache);
+    for b in Benchmark::ALL {
+        let path = cache.path_for(b.name(), config.seed, config.trace_len);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xa5;
+        std::fs::write(&path, bytes).unwrap();
+        // The checksum catches the corruption: no panic, no bad trace —
+        // the entry just misses.
+        assert!(
+            cache
+                .load(b.name(), config.seed, config.trace_len)
+                .is_none(),
+            "{b}: corrupt cache entry must not load"
+        );
+    }
+    // A cached suite generation falls back to re-derivation and heals
+    // the cache; the result matches the original bit for bit.
+    let healed = Suite::generate_cached(config.clone(), &cache);
+    for b in Benchmark::ALL {
+        assert_eq!(cold.trace(b), healed.trace(b), "{b}: re-derived trace");
+        assert!(
+            cache
+                .load(b.name(), config.seed, config.trace_len)
+                .is_some(),
+            "{b}: healed entry loads again"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_json_keeps_its_schema_and_round_trips() {
+    let lab = Lab::new(SuiteConfig {
+        seed: 3,
+        trace_len: 3_000,
+        widths: vec![4],
+    })
+    .with_profiling();
+    let profile = ConfigProfile::collect(&lab, PaperConfig::D);
+    let text = profile.to_json();
+    let parsed = Json::parse(&text).expect("profile JSON parses");
+
+    // Schema snapshot: the exact top-level and per-cell key order is
+    // the contract downstream tooling reads, so a drift here must be a
+    // deliberate schema bump.
+    assert_eq!(
+        parsed.keys(),
+        ["schema", "config", "description", "widths", "cells"]
+    );
+    assert_eq!(
+        parsed.get("schema").unwrap().as_str(),
+        Some("ddsc-profile-v1")
+    );
+    assert_eq!(parsed.get("config").unwrap().as_str(), Some("D"));
+    let cells = parsed.get("cells").unwrap().as_array().unwrap();
+    assert_eq!(cells.len(), 6); // six benchmarks x one width
+    for cell in cells {
+        assert_eq!(
+            cell.keys(),
+            [
+                "benchmark",
+                "width",
+                "instructions",
+                "cycles",
+                "ipc",
+                "attribution",
+                "issue_util",
+                "window_occupancy",
+                "collapse_sizes",
+                "branch",
+                "addr_pred"
+            ]
+        );
+        let attribution = cell.get("attribution").unwrap();
+        assert_eq!(
+            attribution.keys(),
+            [
+                "issue",
+                "branch",
+                "memory",
+                "address",
+                "long_latency",
+                "window_full",
+                "dep_height"
+            ]
+        );
+        // The accounting identity survives serialisation: the buckets
+        // sum to the cycle count in the JSON numbers themselves.
+        let attributed: f64 = attribution
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(_, v)| v.as_f64().unwrap())
+            .sum();
+        assert_eq!(attributed, cell.get("cycles").unwrap().as_f64().unwrap());
+    }
+
+    // Round trip: render -> parse gives back the same document.
+    let rendered = parsed.render();
+    assert_eq!(Json::parse(&rendered).unwrap(), parsed);
+    // And a fresh collection over the same lab serialises to identical
+    // bytes — the profile is a pure function of the suite.
+    assert_eq!(ConfigProfile::collect(&lab, PaperConfig::D).to_json(), text);
 }
 
 #[test]

@@ -7,7 +7,7 @@
 //! `DDSC_THREADS` override; concurrent tests in the same binary would
 //! race on it.
 
-use ddsc::experiments::{Lab, Suite, SuiteConfig};
+use ddsc::experiments::{collect_profiles, Lab, Suite, SuiteConfig};
 
 #[test]
 fn prewarm_on_two_threads_matches_serial_evaluation_bit_for_bit() {
@@ -19,17 +19,19 @@ fn prewarm_on_two_threads_matches_serial_evaluation_bit_for_bit() {
     let suite = Suite::generate(config);
 
     std::env::set_var("DDSC_THREADS", "1");
-    let serial = Lab::from_suite(suite.clone());
+    let serial = Lab::from_suite(suite.clone()).with_profiling();
     let cells = serial.grid();
     assert!(
         cells.len() >= 2 * 5 * 2,
         "grid covers widths x configs x benches"
     );
     serial.prewarm(&cells);
+    let serial_profiles = collect_profiles(&serial);
 
     std::env::set_var("DDSC_THREADS", "2");
-    let parallel = Lab::from_suite(suite);
+    let parallel = Lab::from_suite(suite).with_profiling();
     parallel.prewarm(&cells);
+    let parallel_profiles = collect_profiles(&parallel);
     std::env::remove_var("DDSC_THREADS");
 
     for &(bench, cfg, width) in &cells {
@@ -41,10 +43,35 @@ fn prewarm_on_two_threads_matches_serial_evaluation_bit_for_bit() {
             "{bench} config {} width {width} diverged across thread counts",
             cfg.label()
         );
+        // The profiled metrics are as deterministic as the results.
+        assert_eq!(
+            *serial.metrics(bench, cfg, width),
+            *parallel.metrics(bench, cfg, width),
+            "{bench} config {} width {width} metrics diverged",
+            cfg.label()
+        );
     }
     assert_eq!(
         serial.simulations_run(),
         parallel.simulations_run(),
         "both labs simulate each cell exactly once"
+    );
+    // The serialised profiles — the `repro --profile` payload — must be
+    // byte-identical across thread counts, as must the per-cell
+    // attribution block of the lab report.
+    assert_eq!(serial_profiles.len(), parallel_profiles.len());
+    for (a, b) in serial_profiles.iter().zip(&parallel_profiles) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "profile_{}.json diverged across thread counts",
+            a.config.label()
+        );
+    }
+    assert_eq!(
+        serial.report().cell_metrics,
+        parallel.report().cell_metrics,
+        "BENCH_lab.json cell_metrics diverged across thread counts"
     );
 }

@@ -2,7 +2,9 @@
 //! assembled, executed, traced and simulated, and structural invariants
 //! are checked across the whole pipeline.
 
-use ddsc::core::{simulate, PaperConfig, SimConfig};
+use ddsc::core::{
+    simulate, simulate_prepared, simulate_with_metrics, PaperConfig, PreparedTrace, SimConfig,
+};
 use ddsc::isa::{OpClass, Reg};
 use ddsc::vm::{Asm, Machine, Program};
 use proptest::prelude::*;
@@ -157,6 +159,51 @@ proptest! {
             base.cycles,
             collapsed.cycles
         );
+    }
+
+    /// The metrics observer is a pure observation layer. On random
+    /// programs, across all five paper configurations: metrics-on and
+    /// metrics-off runs are bit-identical, and the cause-attributed
+    /// cycle buckets sum exactly to the total cycle count (the
+    /// accounting identity), as do the per-cycle histograms.
+    #[test]
+    fn metrics_balance_and_never_perturb_the_simulation(
+        steps in proptest::collection::vec(step_strategy(), 1..16),
+        iters in 1i32..30,
+        width_pow in 2u32..6,
+    ) {
+        let width = 1 << width_pow;
+        let program = build_program(&steps, iters);
+        let mut machine = Machine::new(program);
+        let trace = machine.run_trace("prop-metrics", 100_000).expect("no faults");
+        let prepared = PreparedTrace::build(&trace);
+        for cfg in PaperConfig::ALL {
+            let config = SimConfig::paper(cfg, width);
+            let plain = simulate_prepared(&prepared, &config);
+            let (observed, metrics) = simulate_with_metrics(&prepared, &config);
+            prop_assert_eq!(
+                &plain,
+                &observed,
+                "observer moved a bit: config {} width {}",
+                cfg.label(),
+                width
+            );
+            prop_assert!(
+                metrics.attribution.audit(plain.cycles).is_ok(),
+                "config {} width {}: {} attributed vs {} cycles",
+                cfg.label(),
+                width,
+                metrics.attribution.total(),
+                plain.cycles
+            );
+            // Both per-cycle histograms tile the same cycle count, and
+            // the issued slots account for every retired instruction
+            // that was not eliminated outright.
+            prop_assert_eq!(metrics.issue_util.total(), plain.cycles);
+            prop_assert_eq!(metrics.window_occupancy.total(), plain.cycles);
+            let issued: u64 = metrics.issue_util.iter().map(|(v, c)| v * c).sum();
+            prop_assert_eq!(issued, plain.instructions - plain.eliminated);
+        }
     }
 
     /// Trace files round-trip for arbitrary generated programs.

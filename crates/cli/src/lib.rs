@@ -32,25 +32,91 @@ use ddsc_experiments::{extensions, figures, tables, Lab, Suite, SuiteConfig, Tra
 use ddsc_trace::io::{read_trace, write_trace};
 use ddsc_workloads::Benchmark;
 
+/// How a successful invocation ended, mapped to the process exit code.
+///
+/// The contract: `0` — everything asked for was produced; `2` — the run
+/// *degraded* (some grid cells failed but partial results were still
+/// rendered; `repro --strict` promotes this to a hard failure); hard
+/// failures return `Err` from [`run_full`] and exit `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every requested artifact was produced on healthy cells.
+    Complete,
+    /// Partial results: one or more grid cells failed and their
+    /// artifacts were skipped.
+    Degraded,
+}
+
+impl RunStatus {
+    /// The process exit code this status maps to.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            RunStatus::Complete => 0,
+            RunStatus::Degraded => 2,
+        }
+    }
+}
+
+/// The text to print plus the exit status of a successful invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutput {
+    /// The rendered output.
+    pub text: String,
+    /// Complete or degraded-partial.
+    pub status: RunStatus,
+}
+
+impl RunOutput {
+    fn complete(text: String) -> RunOutput {
+        RunOutput {
+            text,
+            status: RunStatus::Complete,
+        }
+    }
+}
+
 /// Runs the CLI with the given arguments (excluding the program name);
-/// returns the text to print.
+/// returns the text to print plus the exit status ([`RunStatus`]).
 ///
 /// # Errors
 ///
-/// Returns a boxed error on bad usage or I/O failure; `main` prints it
-/// and exits nonzero.
-pub fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
+/// Returns a boxed error on bad usage, I/O failure, or a simulation
+/// failure that leaves nothing to report; `main` prints it and exits 1.
+pub fn run_full(args: &[String]) -> Result<RunOutput, Box<dyn Error>> {
     let mut args = args.iter().map(String::as_str);
     match args.next() {
-        None | Some("help") | Some("--help") | Some("-h") => Ok(usage()),
-        Some("list") => Ok(list()),
-        Some("disasm") => disasm(&collect(args)),
-        Some("trace") => trace_cmd(&collect(args)),
-        Some("sim") => sim_cmd(&collect(args)),
-        Some("analyze") => analyze_cmd(&collect(args)),
+        None | Some("help") | Some("--help") | Some("-h") => Ok(RunOutput::complete(usage())),
+        Some("list") => Ok(RunOutput::complete(list())),
+        Some("disasm") => disasm(&collect(args)).map(RunOutput::complete),
+        Some("trace") => trace_cmd(&collect(args)).map(RunOutput::complete),
+        Some("sim") => sim_cmd(&collect(args)).map(RunOutput::complete),
+        Some("analyze") => analyze_cmd(&collect(args)).map(RunOutput::complete),
         Some("repro") => repro_cmd(&collect(args)),
         Some(other) => Err(format!("unknown command `{other}` (try `ddsc help`)").into()),
     }
+}
+
+/// Like [`run_full`], but returns only the output text (status
+/// discarded). Kept for callers that predate the exit-code contract.
+///
+/// # Errors
+///
+/// Same as [`run_full`].
+pub fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
+    run_full(args).map(|o| o.text)
+}
+
+/// Runs `f` under a panic guard, converting a panic into an error whose
+/// message is the rendered panic payload.
+fn catch_panic<T>(f: impl FnOnce() -> T) -> Result<T, Box<dyn Error>> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        msg.into()
+    })
 }
 
 fn collect<'a>(it: impl Iterator<Item = &'a str>) -> Vec<&'a str> {
@@ -74,7 +140,8 @@ USAGE:
                              [--out FILE] [--threads T] [--timing]
                              [--profile] [--profile-dir DIR]
                              [--bench-json FILE] [--trace-cache DIR]
-                             [--no-trace-cache]
+                             [--no-trace-cache] [--strict]
+                             [--inject-fault BENCH:CONFIG:WIDTH]
 
 Benchmarks: compress espresso eqntott li go ijpeg
 
@@ -89,6 +156,14 @@ profile_<config>.json for each configuration into --profile-dir
 (default results). Generated traces are cached on disk (default
 results/traces, checksum validated); --trace-cache relocates the
 cache, --no-trace-cache regenerates every trace in memory.
+
+`repro all` degrades gracefully: a grid cell whose simulation fails
+is skipped (with its artifacts) while everything else renders, and
+the run exits 2 with a partial-results summary; --strict promotes
+any degradation to a hard failure. Exit codes: 0 complete, 2
+degraded partial results, 1 hard failure. --inject-fault forces one
+cell to fail (deterministic fault injection for testing the
+degraded path; repeatable).
 "
     .to_string()
 }
@@ -296,7 +371,16 @@ fn analyze_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
     Ok(out)
 }
 
-fn repro_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
+/// Parses a `--inject-fault` cell spec: `benchmark:config:width`.
+fn parse_cell(spec: &str) -> Result<ddsc_experiments::Cell, Box<dyn Error>> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [bench, config, width] = parts.as_slice() else {
+        return Err(format!("bad cell `{spec}` (expected benchmark:config:width)").into());
+    };
+    Ok((parse_bench(bench)?, parse_config(config)?, width.parse()?))
+}
+
+fn repro_cmd(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
     let what = args.first().copied().unwrap_or("all");
     let len: usize = parse_num(args, "--len", 300_000)?;
     let seed: u64 = parse_num(args, "--seed", 1996)?;
@@ -312,6 +396,7 @@ fn repro_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
         // The lab reads DDSC_THREADS; the flag is just a friendlier spelling.
         std::env::set_var("DDSC_THREADS", t.to_string());
     }
+    let strict = args.contains(&"--strict");
     let suite_config = SuiteConfig {
         seed,
         trace_len: len,
@@ -324,46 +409,110 @@ fn repro_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
         Suite::generate_cached(suite_config, &TraceCache::new(dir))
     };
     let profiling = args.contains(&"--profile");
-    let lab = if profiling {
+    let mut lab = if profiling {
         Lab::from_suite(suite).with_profiling()
     } else {
         Lab::from_suite(suite)
     };
+    for (i, arg) in args.iter().enumerate() {
+        if *arg == "--inject-fault" {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--inject-fault needs a benchmark:config:width cell")?;
+            lab = lab.with_injected_fault(parse_cell(spec)?);
+        }
+    }
+    let mut status = RunStatus::Complete;
     let mut out = match what {
-        "all" => ddsc_experiments::render_all(&lab),
-        "extensions" => extensions::render_all(&lab),
-        "table1" => tables::table1(lab.suite()).render(),
-        "table2" => tables::table2(lab.suite()).render(),
-        "table3" => tables::table3(&lab).render(),
-        "table4" => tables::table4(&lab).render(),
-        "table5" => tables::table5(&lab).render(),
-        "table6" => tables::table6(&lab).render(),
-        "fig2" => figures::fig2(&lab).render(),
-        "fig3" => figures::fig3(&lab).render(),
-        "fig4" => figures::fig4(&lab).render(),
-        "fig5" => figures::fig5(&lab).render(),
-        "fig6" => figures::fig6(&lab).render(),
-        "fig7" => figures::fig7(&lab).render(),
-        "fig8" => figures::fig8(&lab).render(),
-        "fig9" => figures::fig9(&lab).render(),
-        "fig10" => figures::fig10(&lab).render(),
+        "all" => {
+            // Prewarm with per-cell containment first; only then decide
+            // between the byte-stable clean path and the degraded one.
+            lab.prewarm_degraded(&lab.grid());
+            let failures = lab.failed_cells();
+            if failures.is_empty() {
+                // Every cell is cached: render_all's own prewarm is a
+                // no-op and the output is byte-identical to a run
+                // without the containment layer.
+                ddsc_experiments::render_all(&lab)
+            } else if strict {
+                let ((b, c, w), msg) = &failures[0];
+                return Err(format!(
+                    "{} grid cell(s) failed (strict mode); first: ({}, config {}, width {}): {msg}",
+                    failures.len(),
+                    b.models(),
+                    c.label(),
+                    w
+                )
+                .into());
+            } else {
+                status = RunStatus::Degraded;
+                ddsc_experiments::render_all_contained(&lab)
+            }
+        }
+        "extensions" => catch_panic(|| extensions::render_all(&lab))?,
+        "table1" => catch_panic(|| tables::table1(lab.suite()).render())?,
+        "table2" => catch_panic(|| tables::table2(lab.suite()).render())?,
+        "table3" => catch_panic(|| tables::table3(&lab).render())?,
+        "table4" => catch_panic(|| tables::table4(&lab).render())?,
+        "table5" => catch_panic(|| tables::table5(&lab).render())?,
+        "table6" => catch_panic(|| tables::table6(&lab).render())?,
+        "fig2" => catch_panic(|| figures::fig2(&lab).render())?,
+        "fig3" => catch_panic(|| figures::fig3(&lab).render())?,
+        "fig4" => catch_panic(|| figures::fig4(&lab).render())?,
+        "fig5" => catch_panic(|| figures::fig5(&lab).render())?,
+        "fig6" => catch_panic(|| figures::fig6(&lab).render())?,
+        "fig7" => catch_panic(|| figures::fig7(&lab).render())?,
+        "fig8" => catch_panic(|| figures::fig8(&lab).render())?,
+        "fig9" => catch_panic(|| figures::fig9(&lab).render())?,
+        "fig10" => catch_panic(|| figures::fig10(&lab).render())?,
         other => return Err(format!("unknown artifact `{other}`").into()),
     };
     if profiling {
-        // Profiles cover the full grid: collect_profiles prewarms every
-        // cell, whatever single artifact was asked for.
-        let profiles = ddsc_experiments::collect_profiles(&lab);
-        out.push('\n');
-        out.push_str(&ddsc_experiments::render_profiles(&profiles));
-        let dir = flag_value(args, "--profile-dir").unwrap_or("results");
-        let paths = ddsc_experiments::write_profiles(&profiles, std::path::Path::new(dir))?;
-        for p in &paths {
-            let _ = writeln!(out, "wrote {}", p.display());
+        if status == RunStatus::Degraded {
+            // collect_profiles needs every cell's metrics; failed cells
+            // have none, so profiles cannot be produced on a degraded
+            // grid.
+            out.push('\n');
+            out.push_str("profiles skipped: grid degraded (failed cells present)\n");
+        } else {
+            // Profiles cover the full grid: collect_profiles prewarms
+            // every cell, whatever single artifact was asked for.
+            let profiles = catch_panic(|| ddsc_experiments::collect_profiles(&lab))?;
+            out.push('\n');
+            out.push_str(&ddsc_experiments::render_profiles(&profiles));
+            let dir = flag_value(args, "--profile-dir").unwrap_or("results");
+            let paths = ddsc_experiments::write_profiles(&profiles, std::path::Path::new(dir))?;
+            for p in &paths {
+                let _ = writeln!(out, "wrote {}", p.display());
+            }
         }
     }
     if args.contains(&"--timing") {
         out.push('\n');
         out.push_str(&lab.report().render());
+    }
+    if status == RunStatus::Degraded {
+        let failures = lab.failed_cells();
+        let completed = lab.simulations_run();
+        let total = completed + failures.len();
+        out.push('\n');
+        out.push_str("## Degraded run summary\n");
+        let _ = writeln!(
+            out,
+            "completed {completed} of {total} grid cells; artifacts touching failed cells were skipped"
+        );
+        for ((b, c, w), msg) in &failures {
+            let _ = writeln!(
+                out,
+                "failed: ({}, config {}, width {}): {msg}",
+                b.models(),
+                c.label(),
+                w
+            );
+        }
+        out.push_str(
+            "exit code 2 (degraded partial results; rerun with --strict to fail instead)\n",
+        );
     }
     if let Some(path) = flag_value(args, "--bench-json") {
         if let Some(dir) = std::path::Path::new(path).parent() {
@@ -375,9 +524,12 @@ fn repro_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
     }
     if let Some(path) = flag_value(args, "--out") {
         std::fs::write(path, &out)?;
-        return Ok(format!("wrote {} bytes to {path}\n", out.len()));
+        return Ok(RunOutput {
+            text: format!("wrote {} bytes to {path}\n", out.len()),
+            status,
+        });
     }
-    Ok(out)
+    Ok(RunOutput { text: out, status })
 }
 
 #[cfg(test)]
@@ -588,6 +740,142 @@ mod tests {
         assert!(lab_json.contains("\"cell_metrics\""));
         assert!(lab_json.contains("\"dep_height\""));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn run_full_strs(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run_full(&owned)
+    }
+
+    #[test]
+    fn clean_runs_are_complete_and_identical_to_the_uncontained_render() {
+        let args = [
+            "repro",
+            "all",
+            "--len",
+            "2000",
+            "--widths",
+            "4",
+            "--no-trace-cache",
+        ];
+        let out = run_full_strs(&args).unwrap();
+        assert_eq!(out.status, RunStatus::Complete);
+        assert_eq!(out.status.exit_code(), 0);
+        assert!(!out.text.contains("Degraded run summary"));
+        assert!(!out.text.contains("[skipped"));
+
+        // The containment layer must not move a byte on clean inputs.
+        let lab = Lab::from_suite(Suite::generate(SuiteConfig {
+            seed: 1996,
+            trace_len: 2000,
+            widths: vec![4],
+        }));
+        assert_eq!(out.text, ddsc_experiments::render_all(&lab));
+    }
+
+    #[test]
+    fn injected_faults_degrade_the_run_with_exit_code_two() {
+        let dir = std::env::temp_dir().join(format!("ddsc-cli-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("BENCH_lab.json");
+        let out = run_full_strs(&[
+            "repro",
+            "all",
+            "--len",
+            "2000",
+            "--widths",
+            "4",
+            "--no-trace-cache",
+            "--inject-fault",
+            "eqntott:B:4",
+            "--bench-json",
+            json_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(out.status, RunStatus::Degraded);
+        assert_eq!(out.status.exit_code(), 2);
+        assert!(out.text.contains("## Degraded run summary"), "{}", out.text);
+        assert!(
+            out.text.contains("completed 29 of 30 grid cells"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("injected fault"));
+        // Artifacts not touching the failed cell still render; the
+        // artifacts that do are one-line skip notes.
+        assert!(out.text.contains("Table 1"));
+        assert!(out.text.contains("[skipped"));
+        // The machine-readable payload names the failed cell.
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"failed_cells\""));
+        assert!(json.contains("\"023.eqntott\""));
+        assert!(json.contains("injected fault"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strict_promotes_degradation_to_a_hard_failure() {
+        let err = run_full_strs(&[
+            "repro",
+            "all",
+            "--len",
+            "2000",
+            "--widths",
+            "4",
+            "--no-trace-cache",
+            "--strict",
+            "--inject-fault",
+            "eqntott:B:4",
+        ])
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("strict"), "{msg}");
+        assert!(msg.contains("023.eqntott"), "{msg}");
+    }
+
+    #[test]
+    fn single_artifacts_fail_hard_when_their_cell_is_faulted() {
+        // fig2 sweeps every benchmark at every width over A..E, so a
+        // fault on any cell it touches is a hard (exit 1) failure.
+        let err = run_full_strs(&[
+            "repro",
+            "fig2",
+            "--len",
+            "2000",
+            "--widths",
+            "4",
+            "--no-trace-cache",
+            "--inject-fault",
+            "compress:A:4",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+    }
+
+    #[test]
+    fn bad_inject_fault_specs_are_usage_errors() {
+        for spec in [
+            "eqntott",
+            "eqntott:B",
+            "nope:B:4",
+            "eqntott:Z:4",
+            "eqntott:B:x",
+        ] {
+            assert!(
+                run_full_strs(&[
+                    "repro",
+                    "table1",
+                    "--len",
+                    "1000",
+                    "--no-trace-cache",
+                    "--inject-fault",
+                    spec,
+                ])
+                .is_err(),
+                "spec `{spec}` should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -4,10 +4,10 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match ddsc_cli::run(&args) {
+    match ddsc_cli::run_full(&args) {
         Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+            print!("{}", output.text);
+            ExitCode::from(output.status.exit_code())
         }
         Err(e) => {
             eprintln!("ddsc: {e}");

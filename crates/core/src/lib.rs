@@ -44,6 +44,7 @@ pub mod prepass;
 pub mod reference;
 pub mod result;
 pub mod simulator;
+pub mod validate;
 
 pub use config::{
     ConfidenceParams, Latencies, LoadSpecMode, PaperConfig, SimConfig, ValueSpecMode,
@@ -59,3 +60,4 @@ pub use result::{BranchRunStats, LoadClass, LoadSpecStats, SimResult, StallStats
 pub use simulator::{
     simulate, simulate_prepared, simulate_prepared_observed, simulate_with_metrics,
 };
+pub use validate::{TraceValidator, ValidationError};

@@ -1,0 +1,563 @@
+//! Structural validation of decoded traces and built analysis columns.
+//!
+//! A trace that came off disk is untrusted: the file format's checksum
+//! and decode layer catch byte-level damage, but a record can decode
+//! cleanly and still be semantically impossible — a load without an
+//! effective address, a result value on an instruction with no
+//! destination. Feeding such a trace to the pre-pass or the timing loop
+//! would at best skew results silently and at worst index-fault deep in
+//! the hot loop. [`TraceValidator`] checks the invariants the simulator
+//! relies on and returns a typed [`ValidationError`] naming the
+//! offending instruction instead.
+//!
+//! [`PreparedTrace::try_build`] is the trust boundary for untrusted
+//! traces: validate first, build the packed columns, then re-check the
+//! *built* structure (dependence edges strictly backwards, decodable
+//! collapse slot codes, monotone block ids) so even a bug in the
+//! pre-pass itself cannot hand the timing loop an inconsistent layout.
+//! [`PreparedTrace::build`] remains the fast path for traces the process
+//! generated itself.
+
+use std::error::Error;
+use std::fmt;
+
+use ddsc_isa::Reg;
+use ddsc_trace::Trace;
+
+use crate::prepass::{PreparedTrace, F_CONTROL};
+
+/// A structural-invariant violation, naming the offending instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A register field decodes outside `0..Reg::COUNT` — the pre-pass
+    /// indexes its writer table by register index, so this invariant
+    /// backs an unchecked array access.
+    RegisterOutOfRange {
+        /// Offending instruction index.
+        index: usize,
+        /// The out-of-range register index.
+        reg: usize,
+    },
+    /// A load or store carries no effective address; perfect memory
+    /// disambiguation and the stride predictor both require one.
+    MissingEffectiveAddress {
+        /// Offending instruction index.
+        index: usize,
+    },
+    /// A non-memory instruction carries an effective address — legal to
+    /// simulate but impossible to generate, so it marks corruption.
+    StrayEffectiveAddress {
+        /// Offending instruction index.
+        index: usize,
+    },
+    /// A traced result value on an instruction with no destination.
+    ValueWithoutDest {
+        /// Offending instruction index.
+        index: usize,
+    },
+    /// A conditional branch with a destination register.
+    BranchWithDestination {
+        /// Offending instruction index.
+        index: usize,
+    },
+    /// A dependence edge pointing at the instruction itself or forward
+    /// in the trace.
+    ForwardEdge {
+        /// Consumer instruction index.
+        index: usize,
+        /// The impossible producer index.
+        producer: usize,
+    },
+    /// A memory dependence pointing at the load itself or forward.
+    ForwardMemDep {
+        /// Load instruction index.
+        index: usize,
+        /// The impossible store index.
+        store: usize,
+    },
+    /// A collapse slot code outside the decodable space.
+    BadSlotCode {
+        /// Instruction whose edge carries the code.
+        index: usize,
+        /// The undecodable code byte.
+        code: u8,
+    },
+    /// Basic-block ids that jump backwards or skip, or advance without a
+    /// control transfer.
+    NonMonotoneBlock {
+        /// First instruction whose block id breaks the sequence.
+        index: usize,
+    },
+}
+
+impl ValidationError {
+    /// The index of the instruction the diagnostic points at.
+    pub fn index(&self) -> usize {
+        match *self {
+            ValidationError::RegisterOutOfRange { index, .. }
+            | ValidationError::MissingEffectiveAddress { index }
+            | ValidationError::StrayEffectiveAddress { index }
+            | ValidationError::ValueWithoutDest { index }
+            | ValidationError::BranchWithDestination { index }
+            | ValidationError::ForwardEdge { index, .. }
+            | ValidationError::ForwardMemDep { index, .. }
+            | ValidationError::BadSlotCode { index, .. }
+            | ValidationError::NonMonotoneBlock { index } => index,
+        }
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ValidationError::RegisterOutOfRange { index, reg } => {
+                write!(f, "instruction {index}: register index {reg} out of range")
+            }
+            ValidationError::MissingEffectiveAddress { index } => {
+                write!(
+                    f,
+                    "instruction {index}: memory operation without an effective address"
+                )
+            }
+            ValidationError::StrayEffectiveAddress { index } => {
+                write!(
+                    f,
+                    "instruction {index}: non-memory operation carries an effective address"
+                )
+            }
+            ValidationError::ValueWithoutDest { index } => {
+                write!(
+                    f,
+                    "instruction {index}: result value recorded without a destination"
+                )
+            }
+            ValidationError::BranchWithDestination { index } => {
+                write!(
+                    f,
+                    "instruction {index}: conditional branch writes a register"
+                )
+            }
+            ValidationError::ForwardEdge { index, producer } => {
+                write!(f, "instruction {index}: dependence edge points at non-earlier producer {producer}")
+            }
+            ValidationError::ForwardMemDep { index, store } => {
+                write!(
+                    f,
+                    "instruction {index}: memory dependence points at non-earlier store {store}"
+                )
+            }
+            ValidationError::BadSlotCode { index, code } => {
+                write!(
+                    f,
+                    "instruction {index}: undecodable collapse slot code {code:#04x}"
+                )
+            }
+            ValidationError::NonMonotoneBlock { index } => {
+                write!(f, "instruction {index}: basic-block ids are not monotone")
+            }
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Checks the structural invariants of decoded traces and of built
+/// [`PreparedTrace`] columns.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_core::validate::{TraceValidator, ValidationError};
+/// use ddsc_trace::{Trace, TraceInst};
+/// use ddsc_isa::{Opcode, Reg};
+///
+/// let mut t = Trace::new("bad");
+/// let mut ld = TraceInst::load(0, Opcode::Ld, Reg::new(1), Reg::new(2), None, Some(0), 0, 8);
+/// ld.ea = None; // the corruption a flipped presence bit produces
+/// t.push(ld);
+/// assert_eq!(
+///     TraceValidator::new().validate(&t),
+///     Err(ValidationError::MissingEffectiveAddress { index: 0 })
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceValidator {
+    _private: (),
+}
+
+impl TraceValidator {
+    /// A validator with the default rule set.
+    pub fn new() -> TraceValidator {
+        TraceValidator::default()
+    }
+
+    /// Validates a decoded trace record-by-record; returns the first
+    /// violation, naming its instruction index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidationError`] in trace order.
+    pub fn validate(&self, trace: &Trace) -> Result<(), ValidationError> {
+        for (index, inst) in trace.iter().enumerate() {
+            for reg in [inst.dest, inst.rs1, inst.rs2, inst.data_reg]
+                .into_iter()
+                .flatten()
+            {
+                if reg.index() >= Reg::COUNT {
+                    return Err(ValidationError::RegisterOutOfRange {
+                        index,
+                        reg: reg.index(),
+                    });
+                }
+            }
+            let is_mem = inst.is_load() || inst.is_store();
+            if is_mem && inst.ea.is_none() {
+                return Err(ValidationError::MissingEffectiveAddress { index });
+            }
+            if !is_mem && inst.ea.is_some() {
+                return Err(ValidationError::StrayEffectiveAddress { index });
+            }
+            if inst.value.is_some() && inst.dest.is_none() {
+                return Err(ValidationError::ValueWithoutDest { index });
+            }
+            if inst.op.is_cond_branch() && inst.dest.is_some() {
+                return Err(ValidationError::BranchWithDestination { index });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a trace exhaustively, returning every violation (for
+    /// diagnostics; [`TraceValidator::validate`] stops at the first).
+    pub fn check_all(&self, trace: &Trace) -> Vec<ValidationError> {
+        let mut errors = Vec::new();
+        let mut rest = trace.clone();
+        let mut base = 0;
+        // Re-run first-error validation past each finding. Quadratic in
+        // the error count but linear in the (overwhelmingly common)
+        // clean case; exhaustive listing is a diagnostics-only path.
+        while let Err(e) = self.validate(&rest) {
+            errors.push(offset_error(e, base));
+            let skip = e.index() + 1;
+            base += skip;
+            rest = Trace::from_parts(rest.name().to_string(), rest.insts()[skip..].to_vec());
+        }
+        errors
+    }
+
+    /// Checks the invariants of built analysis columns: every dependence
+    /// edge (register and memory) points strictly backwards, every
+    /// collapse slot code decodes, and block ids are monotone and only
+    /// advance across control transfers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate_prepared(&self, p: &PreparedTrace) -> Result<(), ValidationError> {
+        let mut prev_block = 0u32;
+        let mut prev_control = false;
+        for i in 0..p.len() {
+            for (&producer, &code) in p.producers_of(i).iter().zip(p.slot_codes_of(i)) {
+                if producer as usize >= i {
+                    return Err(ValidationError::ForwardEdge {
+                        index: i,
+                        producer: producer as usize,
+                    });
+                }
+                // encode_slots packs a count of at most 2 in bits 0-1
+                // and two 2-bit slot kinds in bits 2-5.
+                if code & 3 == 3 || code >= 64 {
+                    return Err(ValidationError::BadSlotCode { index: i, code });
+                }
+            }
+            if let Some(store) = p.mem_dep_of(i) {
+                if store as usize >= i {
+                    return Err(ValidationError::ForwardMemDep {
+                        index: i,
+                        store: store as usize,
+                    });
+                }
+            }
+            let block = p.block_of(i);
+            let expected = prev_block + u32::from(prev_control);
+            if (i == 0 && block != 0) || (i > 0 && block != expected) {
+                return Err(ValidationError::NonMonotoneBlock { index: i });
+            }
+            prev_block = block;
+            prev_control = p.flags(i) & F_CONTROL != 0;
+        }
+        Ok(())
+    }
+}
+
+fn offset_error(e: ValidationError, base: usize) -> ValidationError {
+    match e {
+        ValidationError::RegisterOutOfRange { index, reg } => ValidationError::RegisterOutOfRange {
+            index: index + base,
+            reg,
+        },
+        ValidationError::MissingEffectiveAddress { index } => {
+            ValidationError::MissingEffectiveAddress {
+                index: index + base,
+            }
+        }
+        ValidationError::StrayEffectiveAddress { index } => {
+            ValidationError::StrayEffectiveAddress {
+                index: index + base,
+            }
+        }
+        ValidationError::ValueWithoutDest { index } => ValidationError::ValueWithoutDest {
+            index: index + base,
+        },
+        ValidationError::BranchWithDestination { index } => {
+            ValidationError::BranchWithDestination {
+                index: index + base,
+            }
+        }
+        ValidationError::ForwardEdge { index, producer } => ValidationError::ForwardEdge {
+            index: index + base,
+            producer,
+        },
+        ValidationError::ForwardMemDep { index, store } => ValidationError::ForwardMemDep {
+            index: index + base,
+            store,
+        },
+        ValidationError::BadSlotCode { index, code } => ValidationError::BadSlotCode {
+            index: index + base,
+            code,
+        },
+        ValidationError::NonMonotoneBlock { index } => ValidationError::NonMonotoneBlock {
+            index: index + base,
+        },
+    }
+}
+
+impl PreparedTrace {
+    /// Builds the analysis pre-pass from an *untrusted* trace: validates
+    /// the records, builds the packed columns, then re-checks the built
+    /// structure. This is the entry point for traces that came off disk;
+    /// traces the process generated itself may keep using the
+    /// infallible [`PreparedTrace::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ValidationError`] naming the offending
+    /// instruction instead of panicking or index-faulting later in the
+    /// timing loop.
+    pub fn try_build(trace: &Trace) -> Result<PreparedTrace, ValidationError> {
+        let v = TraceValidator::new();
+        v.validate(trace)?;
+        let p = PreparedTrace::build(trace);
+        v.validate_prepared(&p)?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsc_isa::{Cond, Opcode};
+    use ddsc_trace::TraceInst;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn valid_trace() -> Trace {
+        let mut t = Trace::new("valid");
+        t.push(TraceInst::alu(0, Opcode::Add, r(1), r(2), None, Some(1), 0));
+        t.push(TraceInst::store(
+            4,
+            Opcode::St,
+            r(1),
+            r(2),
+            None,
+            Some(0),
+            0,
+            64,
+        ));
+        t.push(TraceInst::load(
+            8,
+            Opcode::Ld,
+            r(3),
+            r(2),
+            None,
+            Some(0),
+            0,
+            64,
+        ));
+        t.push(TraceInst::cmp(12, r(3), None, Some(0), 0));
+        t.push(TraceInst::cond_branch(16, Opcode::Bcc(Cond::Ne), true, 0));
+        t.push(TraceInst::alu(
+            20,
+            Opcode::Xor,
+            r(4),
+            r(3),
+            None,
+            Some(7),
+            0,
+        ));
+        t
+    }
+
+    #[test]
+    fn a_valid_trace_passes_both_layers() {
+        let t = valid_trace();
+        let v = TraceValidator::new();
+        assert_eq!(v.validate(&t), Ok(()));
+        assert!(v.check_all(&t).is_empty());
+        let p = PreparedTrace::try_build(&t).expect("valid trace builds");
+        assert_eq!(p.len(), t.len());
+        assert_eq!(v.validate_prepared(&p), Ok(()));
+    }
+
+    #[test]
+    fn empty_traces_are_valid() {
+        let t = Trace::new("empty");
+        assert_eq!(TraceValidator::new().validate(&t), Ok(()));
+        let p = PreparedTrace::try_build(&t).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn loads_without_addresses_are_named() {
+        let mut t = valid_trace();
+        let mut bad = t[2];
+        bad.ea = None;
+        t = Trace::from_parts("x", {
+            let mut v = t.insts().to_vec();
+            v[2] = bad;
+            v
+        });
+        let err = PreparedTrace::try_build(&t).unwrap_err();
+        assert_eq!(err, ValidationError::MissingEffectiveAddress { index: 2 });
+        assert_eq!(err.index(), 2);
+        assert!(err.to_string().contains("instruction 2"));
+    }
+
+    #[test]
+    fn stray_addresses_values_and_branch_dests_are_caught() {
+        let base = valid_trace();
+
+        let mut stray = base[0];
+        stray.ea = Some(4);
+        let t = Trace::from_parts("x", vec![stray]);
+        assert_eq!(
+            TraceValidator::new().validate(&t),
+            Err(ValidationError::StrayEffectiveAddress { index: 0 })
+        );
+
+        let mut valueless = base[1];
+        valueless.value = Some(9); // a store has no destination
+        let t = Trace::from_parts("x", vec![valueless]);
+        assert_eq!(
+            TraceValidator::new().validate(&t),
+            Err(ValidationError::ValueWithoutDest { index: 0 })
+        );
+
+        let mut branch = base[4];
+        branch.dest = Some(r(5));
+        let t = Trace::from_parts("x", vec![branch]);
+        assert_eq!(
+            TraceValidator::new().validate(&t),
+            Err(ValidationError::BranchWithDestination { index: 0 })
+        );
+    }
+
+    #[test]
+    fn check_all_reports_every_violation_with_absolute_indices() {
+        let base = valid_trace();
+        let mut insts = base.insts().to_vec();
+        insts[2].ea = None; // load loses its address
+        insts[5].ea = Some(4); // xor gains one
+        let t = Trace::from_parts("x", insts);
+        let errors = TraceValidator::new().check_all(&t);
+        assert_eq!(
+            errors,
+            vec![
+                ValidationError::MissingEffectiveAddress { index: 2 },
+                ValidationError::StrayEffectiveAddress { index: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn built_columns_of_valid_traces_satisfy_the_structural_invariants() {
+        // Stress with a generated-at-random but *valid* trace shape.
+        let mut t = Trace::new("stress");
+        let mut rng = ddsc_util::Pcg32::new(17);
+        for i in 0..2_000u32 {
+            match rng.range(0, 5) {
+                0 => t.push(TraceInst::load(
+                    4 * i,
+                    Opcode::Ld,
+                    r(rng.range(1, 31) as u8),
+                    r(rng.range(1, 31) as u8),
+                    None,
+                    Some(0),
+                    0,
+                    rng.range(0, 4096) * 4,
+                )),
+                1 => t.push(TraceInst::store(
+                    4 * i,
+                    Opcode::St,
+                    r(rng.range(1, 31) as u8),
+                    r(rng.range(1, 31) as u8),
+                    None,
+                    Some(0),
+                    0,
+                    rng.range(0, 4096) * 4,
+                )),
+                2 => t.push(TraceInst::cond_branch(
+                    4 * i,
+                    Opcode::Bcc(Cond::Eq),
+                    rng.chance(1, 2),
+                    0,
+                )),
+                3 => t.push(TraceInst::cmp(
+                    4 * i,
+                    r(rng.range(1, 31) as u8),
+                    None,
+                    Some(0),
+                    0,
+                )),
+                _ => t.push(TraceInst::alu(
+                    4 * i,
+                    Opcode::Add,
+                    r(rng.range(1, 31) as u8),
+                    r(rng.range(1, 31) as u8),
+                    None,
+                    Some(1),
+                    0,
+                )),
+            }
+        }
+        let p = PreparedTrace::try_build(&t).expect("valid random trace");
+        assert_eq!(TraceValidator::new().validate_prepared(&p), Ok(()));
+    }
+
+    #[test]
+    fn error_displays_name_the_instruction() {
+        for e in [
+            ValidationError::RegisterOutOfRange { index: 3, reg: 40 },
+            ValidationError::MissingEffectiveAddress { index: 3 },
+            ValidationError::StrayEffectiveAddress { index: 3 },
+            ValidationError::ValueWithoutDest { index: 3 },
+            ValidationError::BranchWithDestination { index: 3 },
+            ValidationError::ForwardEdge {
+                index: 3,
+                producer: 9,
+            },
+            ValidationError::ForwardMemDep { index: 3, store: 9 },
+            ValidationError::BadSlotCode {
+                index: 3,
+                code: 0xFF,
+            },
+            ValidationError::NonMonotoneBlock { index: 3 },
+        ] {
+            let s = e.to_string();
+            assert!(s.contains("instruction 3"), "{s}");
+            assert_eq!(e.index(), 3);
+        }
+    }
+}

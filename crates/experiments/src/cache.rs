@@ -21,12 +21,16 @@
 //!   the caller but safe to ignore (the in-memory trace is already
 //!   correct).
 
+use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use ddsc_trace::io::{read_trace, write_trace};
 use ddsc_trace::Trace;
+use ddsc_util::fault::{is_transient, Backoff};
 use ddsc_util::fnv1a;
 
 /// Cache-file magic: "DDSC Trace Cache".
@@ -36,17 +40,69 @@ const VERSION: u32 = 1;
 /// Magic + version + seed + len + payload_len + checksum.
 const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8 + 8;
 
+/// Why a cache lookup failed — so callers can distinguish "never
+/// cached" from "cached but damaged" from "the filesystem hiccuped",
+/// each of which wants a different response (generate / regenerate /
+/// retry).
+#[derive(Debug)]
+pub enum CacheError {
+    /// No entry exists for the key.
+    Missing,
+    /// An entry exists but fails validation; the message names the
+    /// first check that failed.
+    Corrupt(String),
+    /// The entry could not be read at all. Transient kinds (see
+    /// [`ddsc_util::fault::is_transient`]) are worth retrying.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Missing => write!(f, "no cache entry"),
+            CacheError::Corrupt(why) => write!(f, "corrupt cache entry: {why}"),
+            CacheError::Io(e) => write!(f, "cache read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// A directory of cached benchmark traces.
 #[derive(Debug, Clone)]
 pub struct TraceCache {
     dir: PathBuf,
+    /// Injected transient faults remaining: while non-zero, each load
+    /// decrements it and fails with a timed-out error. Shared across
+    /// clones so a fault budget set on the cache survives being handed
+    /// to worker threads.
+    transient_faults: Arc<AtomicU32>,
 }
 
 impl TraceCache {
     /// A cache rooted at `dir`. The directory is created lazily on the
     /// first store.
     pub fn new(dir: impl Into<PathBuf>) -> TraceCache {
-        TraceCache { dir: dir.into() }
+        TraceCache {
+            dir: dir.into(),
+            transient_faults: Arc::new(AtomicU32::new(0)),
+        }
+    }
+
+    /// Arms the cache to fail its next `n` loads with a transient
+    /// (timed-out) I/O error before behaving normally — the
+    /// deterministic stand-in for a flaky mount that retry-path tests
+    /// are written against.
+    pub fn with_transient_faults(self, n: u32) -> TraceCache {
+        self.transient_faults.store(n, Ordering::SeqCst);
+        self
     }
 
     /// The cache directory.
@@ -59,26 +115,110 @@ impl TraceCache {
         self.dir.join(format!("{name}-s{seed}-n{len}.bin"))
     }
 
-    /// Loads a cached trace, or `None` if the entry is missing, does not
-    /// match the requested key, or fails validation in any way.
+    /// Loads a cached trace, or `None` on any failure. Convenience
+    /// wrapper over [`TraceCache::try_load`] for callers that treat
+    /// every miss the same way.
     pub fn load(&self, name: &str, seed: u64, len: usize) -> Option<Trace> {
-        let bytes = fs::read(self.path_for(name, seed, len)).ok()?;
-        if bytes.len() < HEADER_LEN || &bytes[..4] != MAGIC {
-            return None;
+        self.try_load(name, seed, len).ok()
+    }
+
+    /// Loads a cached trace, classifying any failure: [`CacheError::Missing`]
+    /// if no entry exists, [`CacheError::Corrupt`] naming the first failed
+    /// validation check, [`CacheError::Io`] for read failures.
+    ///
+    /// # Errors
+    ///
+    /// See [`CacheError`]; transient `Io` errors are worth retrying
+    /// ([`TraceCache::load_with_retry`] does).
+    pub fn try_load(&self, name: &str, seed: u64, len: usize) -> Result<Trace, CacheError> {
+        if self
+            .transient_faults
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(CacheError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "injected transient cache fault",
+            )));
         }
-        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
-        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
-        if u32_at(4) != VERSION || u64_at(8) != seed || u64_at(16) != len as u64 {
-            return None;
+        let bytes = match fs::read(self.path_for(name, seed, len)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(CacheError::Missing),
+            Err(e) => return Err(CacheError::Io(e)),
+        };
+        let corrupt = |why: &str| CacheError::Corrupt(why.to_string());
+        if bytes.len() < HEADER_LEN {
+            return Err(corrupt("file shorter than the header"));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let u32_at = |o: usize| {
+            bytes[o..o + 4]
+                .first_chunk::<4>()
+                .map(|c| u32::from_le_bytes(*c))
+        };
+        let u64_at = |o: usize| {
+            bytes[o..o + 8]
+                .first_chunk::<8>()
+                .map(|c| u64::from_le_bytes(*c))
+        };
+        if u32_at(4) != Some(VERSION) {
+            return Err(corrupt("format version mismatch"));
+        }
+        if u64_at(8) != Some(seed) || u64_at(16) != Some(len as u64) {
+            // The key is in the file name, so an in-file mismatch means
+            // the entry was renamed or overwritten — corruption, not a
+            // plain miss.
+            return Err(corrupt("generation key does not match the file name"));
         }
         let payload = &bytes[HEADER_LEN..];
-        if u64_at(24) != payload.len() as u64 || u64_at(32) != fnv1a(payload) {
-            return None;
+        if u64_at(24) != Some(payload.len() as u64) {
+            return Err(corrupt("payload length disagrees with the header"));
         }
-        let trace = read_trace(payload).ok()?;
+        if u64_at(32) != Some(fnv1a(payload)) {
+            return Err(corrupt("payload checksum mismatch"));
+        }
+        let trace = match read_trace(payload) {
+            Ok(trace) => trace,
+            Err(e) => return Err(CacheError::Corrupt(format!("payload does not decode: {e}"))),
+        };
         // Belt and braces: the payload parsed, but it must also be the
         // trace the key promises.
-        (trace.len() == len).then_some(trace)
+        if trace.len() != len {
+            return Err(corrupt("decoded trace length does not match the key"));
+        }
+        Ok(trace)
+    }
+
+    /// [`TraceCache::try_load`] with up to `retries` bounded-backoff
+    /// retries of *transient* I/O errors. Missing entries, corruption
+    /// and hard I/O errors return immediately — retrying cannot fix
+    /// those.
+    ///
+    /// # Errors
+    ///
+    /// The final [`CacheError`] once retries are exhausted.
+    pub fn load_with_retry(
+        &self,
+        name: &str,
+        seed: u64,
+        len: usize,
+        retries: usize,
+    ) -> Result<Trace, CacheError> {
+        let mut backoff = Backoff::for_cache();
+        let mut left = retries;
+        loop {
+            match self.try_load(name, seed, len) {
+                Err(CacheError::Io(e)) if is_transient(&e) && left > 0 => {
+                    left -= 1;
+                    if let Some(delay) = backoff.next() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                outcome => return outcome,
+            }
+        }
     }
 
     /// Stores a trace under its generation key, atomically (write to a
@@ -189,6 +329,83 @@ mod tests {
         // Garbage shorter than a header.
         fs::write(&path, b"DD").unwrap();
         assert!(cache.load("sample", 3, 80).is_none(), "tiny file");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn try_load_classifies_failures() {
+        let cache = TraceCache::new(tmpdir("classify"));
+        assert!(matches!(
+            cache.try_load("sample", 3, 80),
+            Err(CacheError::Missing)
+        ));
+
+        let t = sample(80);
+        cache.store("sample", 3, 80, &t).unwrap();
+        let path = cache.path_for("sample", 3, 80);
+        let clean = fs::read(&path).unwrap();
+
+        // Truncated mid-header: shorter than HEADER_LEN.
+        fs::write(&path, &clean[..HEADER_LEN / 2]).unwrap();
+        match cache.try_load("sample", 3, 80) {
+            Err(CacheError::Corrupt(why)) => assert!(why.contains("header"), "{why}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // Truncated mid-payload: header intact, payload short.
+        fs::write(&path, &clean[..clean.len() - 13]).unwrap();
+        match cache.try_load("sample", 3, 80) {
+            Err(CacheError::Corrupt(why)) => assert!(why.contains("length"), "{why}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // In-file key mismatch (file renamed under a foreign key).
+        fs::write(&path, &clean).unwrap();
+        fs::rename(&path, cache.path_for("sample", 4, 80)).unwrap();
+        match cache.try_load("sample", 4, 80) {
+            Err(CacheError::Corrupt(why)) => assert!(why.contains("key"), "{why}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn transient_faults_fail_loads_then_clear() {
+        let cache = TraceCache::new(tmpdir("transient")).with_transient_faults(2);
+        let t = sample(30);
+        cache.store("sample", 9, 30, &t).unwrap();
+        for _ in 0..2 {
+            match cache.try_load("sample", 9, 30) {
+                Err(CacheError::Io(e)) => assert!(ddsc_util::fault::is_transient(&e)),
+                other => panic!("expected transient Io, got {other:?}"),
+            }
+        }
+        assert_eq!(cache.try_load("sample", 9, 30).unwrap(), t);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn retry_rides_out_transient_faults() {
+        let cache = TraceCache::new(tmpdir("retry")).with_transient_faults(2);
+        let t = sample(30);
+        cache.store("sample", 9, 30, &t).unwrap();
+        assert_eq!(cache.load_with_retry("sample", 9, 30, 3).unwrap(), t);
+
+        // Exhausted retries surface the transient error.
+        let cache = cache.with_transient_faults(5);
+        assert!(matches!(
+            cache.load_with_retry("sample", 9, 30, 2),
+            Err(CacheError::Io(_))
+        ));
+
+        // Non-transient failures do not retry (would hang otherwise if
+        // they decremented nothing; here just assert classification).
+        let cache = cache.with_transient_faults(0);
+        assert!(matches!(
+            cache.load_with_retry("missing", 9, 30, 3),
+            Err(CacheError::Missing)
+        ));
         let _ = fs::remove_dir_all(cache.dir());
     }
 

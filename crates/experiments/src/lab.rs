@@ -24,18 +24,22 @@
 //! [`LabReport`] with per-cell MIPS, pre-pass cost and the
 //! parallel-vs-serial speedup.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 use ddsc_core::{
     simulate_prepared, simulate_with_metrics, CycleAttribution, PaperConfig, PreparedTrace,
-    SimConfig, SimMetrics, SimResult,
+    SimConfig, SimMetrics, SimResult, TraceValidator,
 };
 use ddsc_trace::Trace;
 use ddsc_workloads::Benchmark;
 
+use crate::cache::CacheError;
 use crate::parallel::{num_threads, par_map};
+
+/// Transient cache-read retries before falling back to regeneration.
+const CACHE_RETRIES: usize = 3;
 
 /// One cell of the experiment grid.
 pub type Cell = (Benchmark, PaperConfig, u32);
@@ -91,23 +95,45 @@ impl Suite {
 
     /// Like [`Suite::generate`], but consults an on-disk
     /// [`TraceCache`](crate::TraceCache) first and stores fresh traces
-    /// back into it. Cache misses (including corrupt or stale entries)
-    /// silently fall back to generation; store failures are reported on
-    /// stderr but never fail the run.
+    /// back into it. The load path degrades gracefully, never fatally:
+    /// transient I/O errors are retried with bounded backoff, and a
+    /// corrupt entry — or one that passes the checksum but fails
+    /// [`TraceValidator`] — is reported on stderr and regenerated.
+    /// Store failures are reported but never fail the run.
     pub fn generate_cached(config: SuiteConfig, cache: &crate::TraceCache) -> Suite {
         let benches: Vec<Benchmark> = Benchmark::ALL.to_vec();
         let traces = par_map(&benches, num_threads(), |&b| {
-            let t = cache
-                .load(b.name(), config.seed, config.trace_len)
-                .unwrap_or_else(|| {
-                    let t = b
-                        .trace(config.seed, config.trace_len)
-                        .unwrap_or_else(|e| panic!("workload {b} faulted: {e}"));
-                    if let Err(e) = cache.store(b.name(), config.seed, config.trace_len, &t) {
-                        eprintln!("warning: could not cache {} trace: {e}", b.name());
+            let cached =
+                match cache.load_with_retry(b.name(), config.seed, config.trace_len, CACHE_RETRIES)
+                {
+                    Ok(t) => match TraceValidator::new().validate(&t) {
+                        Ok(()) => Some(t),
+                        Err(e) => {
+                            eprintln!(
+                                "warning: cached {} trace fails validation ({e}); regenerating",
+                                b.name()
+                            );
+                            None
+                        }
+                    },
+                    Err(CacheError::Missing) => None,
+                    Err(e) => {
+                        eprintln!(
+                            "warning: could not load cached {} trace ({e}); regenerating",
+                            b.name()
+                        );
+                        None
                     }
-                    t
-                });
+                };
+            let t = cached.unwrap_or_else(|| {
+                let t = b
+                    .trace(config.seed, config.trace_len)
+                    .unwrap_or_else(|e| panic!("workload {b} faulted: {e}"));
+                if let Err(e) = cache.store(b.name(), config.seed, config.trace_len, &t) {
+                    eprintln!("warning: could not cache {} trace: {e}", b.name());
+                }
+                t
+            });
             (b, Arc::new(t))
         });
         Suite { traces, config }
@@ -199,6 +225,44 @@ impl std::fmt::Display for PrewarmError {
 
 impl std::error::Error for PrewarmError {}
 
+/// How one grid cell ended up: simulated to a result, or failed with a
+/// contained, rendered error. Failure of one cell never takes down the
+/// rest of the grid — see [`Lab::prewarm_degraded`].
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell simulated normally.
+    Completed(Arc<SimResult>),
+    /// The cell's simulation panicked or failed validation; the error
+    /// is recorded and the cell is skipped by degraded rendering.
+    Failed {
+        /// The rendered failure message.
+        error: String,
+    },
+}
+
+impl CellOutcome {
+    /// The result, if the cell completed.
+    pub fn result(&self) -> Option<&Arc<SimResult>> {
+        match self {
+            CellOutcome::Completed(r) => Some(r),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// One failed grid cell as reported by [`LabReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedCell {
+    /// Benchmark display name (`Benchmark::models`).
+    pub benchmark: String,
+    /// Paper configuration label (`A`..`E`).
+    pub config: String,
+    /// Issue width.
+    pub width: u32,
+    /// The rendered failure message.
+    pub error: String,
+}
+
 /// Renders a caught panic payload (`&str` or `String` in practice).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -208,6 +272,27 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// Escapes a string for the hand-rolled JSON output (failure messages
+/// are free-form and may contain quotes or newlines).
+fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A thread-safe memoising simulation driver: each `(benchmark,
@@ -230,6 +315,14 @@ pub struct Lab {
     /// Wall-clock seconds spent inside `prewarm` fan-outs (the parallel
     /// path) — the numerator of the speedup-vs-serial estimate.
     prewarm_wall: Mutex<f64>,
+    /// Cells forced to panic inside `run_cell` — the deterministic
+    /// fault hook that degraded-mode tests and `repro --inject-fault`
+    /// are written against.
+    injected_faults: HashSet<Cell>,
+    /// Cells whose simulation failed during a degraded prewarm, with
+    /// their rendered failure messages. Lookups of a recorded cell fail
+    /// fast with the same message instead of re-running the simulation.
+    failed: RwLock<HashMap<Cell, String>>,
 }
 
 impl Lab {
@@ -250,7 +343,18 @@ impl Lab {
             prepass_timings: Mutex::new(Vec::new()),
             timings: Mutex::new(Vec::new()),
             prewarm_wall: Mutex::new(0.0),
+            injected_faults: HashSet::new(),
+            failed: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Forces `cell` to fail when it is simulated — a deterministic
+    /// stand-in for "this one simulation panics" that fault-containment
+    /// tests and `repro --inject-fault` use. May be called repeatedly
+    /// to arm several cells.
+    pub fn with_injected_fault(mut self, cell: Cell) -> Lab {
+        self.injected_faults.insert(cell);
+        self
     }
 
     /// Turns on the metrics observer for every cell this lab simulates.
@@ -332,6 +436,14 @@ impl Lab {
     /// pre-pass is resolved first so `CellTiming` measures only the
     /// timing loop.
     fn run_cell(&self, (b, c, width): Cell) -> Arc<SimResult> {
+        if self.injected_faults.contains(&(b, c, width)) {
+            panic!(
+                "injected fault: cell ({}, config {}, width {})",
+                b.models(),
+                c.label(),
+                width
+            );
+        }
         let prepared = self.prepared(b);
         let t0 = Instant::now();
         let sim = if self.profiling {
@@ -367,13 +479,73 @@ impl Lab {
     }
 
     /// Simulates (or returns the cached result of) one combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell's simulation panics, or — immediately, with
+    /// the recorded message — if a degraded prewarm already saw this
+    /// cell fail. Renderers that must survive failed cells catch this
+    /// per artifact; see [`Lab::outcome`] for the non-panicking form.
     pub fn result(&self, b: Benchmark, c: PaperConfig, width: u32) -> Arc<SimResult> {
         let cell = (b, c, width);
         if let Some(r) = self.cached(&cell) {
             return r;
         }
+        if let Some(error) = self.recorded_failure(&cell) {
+            panic!("{error}");
+        }
         let r = self.run_cell(cell);
         self.insert(cell, r)
+    }
+
+    fn recorded_failure(&self, cell: &Cell) -> Option<String> {
+        self.failed
+            .read()
+            .expect("lab failure map poisoned")
+            .get(cell)
+            .cloned()
+    }
+
+    /// How one combination ends up, with any failure contained: a
+    /// previously recorded failure is returned as-is, an uncached cell
+    /// is simulated under a panic guard, and a fresh failure is
+    /// recorded so later lookups fail fast.
+    pub fn outcome(&self, b: Benchmark, c: PaperConfig, width: u32) -> CellOutcome {
+        let cell = (b, c, width);
+        if let Some(r) = self.cached(&cell) {
+            return CellOutcome::Completed(r);
+        }
+        if let Some(error) = self.recorded_failure(&cell) {
+            return CellOutcome::Failed { error };
+        }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_cell(cell))) {
+            Ok(r) => CellOutcome::Completed(self.insert(cell, r)),
+            Err(payload) => {
+                let error = panic_message(payload.as_ref());
+                self.failed
+                    .write()
+                    .expect("lab failure map poisoned")
+                    .entry(cell)
+                    .or_insert_with(|| error.clone());
+                CellOutcome::Failed { error }
+            }
+        }
+    }
+
+    /// Every cell recorded as failed, in stable `(benchmark, config,
+    /// width)` order, with its rendered failure message.
+    pub fn failed_cells(&self) -> Vec<(Cell, String)> {
+        let mut cells: Vec<(Cell, String)> = self
+            .failed
+            .read()
+            .expect("lab failure map poisoned")
+            .iter()
+            .map(|(cell, msg)| (*cell, msg.clone()))
+            .collect();
+        cells.sort_by(|((ab, ac, aw), _), ((bb, bc, bw), _)| {
+            (ab.models(), ac.label(), aw).cmp(&(bb.models(), bc.label(), bw))
+        });
+        cells
     }
 
     /// The metrics of one combination; simulates the cell first when
@@ -477,6 +649,50 @@ impl Lab {
         self.prewarm(&self.grid())
     }
 
+    /// Like [`Lab::try_prewarm`], but failures are *contained* instead
+    /// of surfaced: every panicking cell is recorded (all of them, not
+    /// just the first) while the rest of the grid completes normally.
+    /// Returns the number of cells simulated successfully; the failures
+    /// are available from [`Lab::failed_cells`] and appear as
+    /// `failed_cells` in the [`LabReport`].
+    pub fn prewarm_degraded(&self, cells: &[Cell]) -> usize {
+        let todo: Vec<Cell> = {
+            let cache = self.cache.read().expect("lab cache poisoned");
+            let mut seen = HashSet::new();
+            cells
+                .iter()
+                .filter(|c| !cache.contains_key(*c) && seen.insert(**c))
+                .copied()
+                .collect()
+        };
+        if todo.is_empty() {
+            return 0;
+        }
+        let t0 = Instant::now();
+        let results = par_map(&todo, num_threads(), |&cell| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_cell(cell)))
+                .map_err(|payload| panic_message(payload.as_ref()))
+        });
+        *self.prewarm_wall.lock().expect("lab wall poisoned") += t0.elapsed().as_secs_f64();
+        let mut ran = 0usize;
+        for (cell, r) in todo.iter().zip(results) {
+            match r {
+                Ok(res) => {
+                    self.insert(*cell, res);
+                    ran += 1;
+                }
+                Err(message) => {
+                    self.failed
+                        .write()
+                        .expect("lab failure map poisoned")
+                        .entry(*cell)
+                        .or_insert(message);
+                }
+            }
+        }
+        ran
+    }
+
     /// Per-benchmark IPCs for one configuration and width.
     pub fn ipcs(&self, benches: &[Benchmark], c: PaperConfig, width: u32) -> Vec<f64> {
         benches
@@ -540,10 +756,21 @@ impl Lab {
         cell_metrics.sort_by(|a, b| {
             (&a.benchmark, &a.config, a.width).cmp(&(&b.benchmark, &b.config, b.width))
         });
+        let failed_cells = self
+            .failed_cells()
+            .into_iter()
+            .map(|((b, c, width), error)| FailedCell {
+                benchmark: b.models().to_string(),
+                config: c.label().to_string(),
+                width,
+                error,
+            })
+            .collect();
         LabReport {
             threads: num_threads(),
             cells,
             cell_metrics,
+            failed_cells,
             prepass,
             serial_seconds,
             // Cells simulated outside a prewarm fan-out ran serially on
@@ -583,6 +810,9 @@ pub struct LabReport {
     /// Per-cell cycle attribution, sorted by `(benchmark, config,
     /// width)`. Empty unless the lab ran with profiling on.
     pub cell_metrics: Vec<CellMetrics>,
+    /// Cells whose simulation failed under degraded prewarming, sorted
+    /// by `(benchmark, config, width)`. Empty on a clean run.
+    pub failed_cells: Vec<FailedCell>,
     /// `(benchmark, seconds)` for every analysis pre-pass executed —
     /// one entry per benchmark touched, however many cells reused it.
     pub prepass: Vec<(String, f64)>,
@@ -661,6 +891,16 @@ impl LabReport {
             self.prepass.len(),
             self.cells_per_prepass()
         );
+        if !self.failed_cells.is_empty() {
+            let _ = writeln!(out, "failed cells: {}", self.failed_cells.len());
+            for fc in &self.failed_cells {
+                let _ = writeln!(
+                    out,
+                    "  {} config {} width {}: {}",
+                    fc.benchmark, fc.config, fc.width, fc.error
+                );
+            }
+        }
         let mut t = ddsc_util::TextTable::new(vec![
             "benchmark".into(),
             "config".into(),
@@ -759,6 +999,23 @@ impl LabReport {
                 a.dep_height
             );
             out.push_str(if i + 1 < self.cell_metrics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"failed_cells\": [\n");
+        for (i, fc) in self.failed_cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"width\": {}, \"error\": \"{}\"}}",
+                fc.benchmark,
+                fc.config,
+                fc.width,
+                json_escape(&fc.error)
+            );
+            out.push_str(if i + 1 < self.failed_cells.len() {
                 ",\n"
             } else {
                 "\n"
@@ -963,6 +1220,121 @@ mod tests {
         }))
         .unwrap_err();
         assert!(panic_message(panic.as_ref()).contains("023.eqntott"));
+    }
+
+    #[test]
+    fn degraded_prewarm_contains_injected_faults() {
+        let bad = (Benchmark::Eqntott, PaperConfig::B, 4);
+        let lab = Lab::new(tiny()).with_injected_fault(bad);
+        let grid = lab.grid();
+        let ran = lab.prewarm_degraded(&grid);
+        assert_eq!(ran, grid.len() - 1, "every other cell completes");
+        assert_eq!(lab.simulations_run(), grid.len() - 1);
+
+        let failed = lab.failed_cells();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, bad);
+        assert!(
+            failed[0].1.contains("injected fault"),
+            "got: {}",
+            failed[0].1
+        );
+
+        // Lookups of the failed cell fail fast with the recorded
+        // message instead of re-running the simulation...
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lab.result(bad.0, bad.1, bad.2)
+        }))
+        .unwrap_err();
+        assert!(panic_message(panic.as_ref()).contains("injected fault"));
+        // ...and the contained front door reports it as an outcome.
+        match lab.outcome(bad.0, bad.1, bad.2) {
+            CellOutcome::Failed { error } => assert!(error.contains("injected fault")),
+            CellOutcome::Completed(_) => panic!("injected fault must not complete"),
+        }
+        // Healthy cells are unaffected.
+        assert!(lab
+            .outcome(Benchmark::Compress, PaperConfig::A, 4)
+            .result()
+            .is_some());
+
+        // The report carries the failure, JSON-escaped and stable.
+        let report = lab.report();
+        assert_eq!(report.failed_cells.len(), 1);
+        assert_eq!(report.failed_cells[0].benchmark, "023.eqntott");
+        assert_eq!(report.failed_cells[0].config, "B");
+        let json = report.to_json();
+        assert!(json.contains("\"failed_cells\""));
+        assert!(json.contains("injected fault"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let text = report.render();
+        assert!(text.contains("failed cells: 1"), "got: {text}");
+    }
+
+    #[test]
+    fn outcome_records_fresh_failures_without_rerunning() {
+        let bad = (Benchmark::Li, PaperConfig::D, 4);
+        let lab = Lab::new(tiny()).with_injected_fault(bad);
+        assert!(lab.outcome(bad.0, bad.1, bad.2).result().is_none());
+        // Recorded: the second call answers from the failure map.
+        assert_eq!(lab.failed_cells().len(), 1);
+        assert!(lab.outcome(bad.0, bad.1, bad.2).result().is_none());
+        assert_eq!(lab.simulations_run(), 0);
+    }
+
+    #[test]
+    fn json_escape_neutralises_control_and_quote_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(
+            json_escape("a \"quote\"\nand \\ tab\t"),
+            "a \\\"quote\\\"\\nand \\\\ tab\\t"
+        );
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn cached_generation_recovers_from_corrupt_entries() {
+        let dir = std::env::temp_dir().join(format!("ddsc-lab-heal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = crate::TraceCache::new(&dir);
+        let cfg = tiny();
+        let _ = Suite::generate_cached(cfg.clone(), &cache); // warm
+
+        // Smash one entry; generation must heal it, not fail.
+        let path = cache.path_for(Benchmark::Compress.name(), cfg.seed, cfg.trace_len);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes.truncate(mid);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let healed = Suite::generate_cached(cfg.clone(), &cache);
+        let direct = Suite::generate(cfg.clone());
+        for b in Benchmark::ALL {
+            assert_eq!(healed.trace(b), direct.trace(b));
+        }
+        // The corrupt entry was regenerated and re-stored.
+        assert!(cache
+            .try_load(Benchmark::Compress.name(), cfg.seed, cfg.trace_len)
+            .is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_generation_rides_out_transient_io() {
+        let dir = std::env::temp_dir().join(format!("ddsc-lab-flaky-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = crate::TraceCache::new(&dir);
+        let cfg = tiny();
+        let _ = Suite::generate_cached(cfg.clone(), &cache); // warm
+                                                             // Two transient faults across six loads: the bounded retry
+                                                             // absorbs them and the suite still matches direct generation.
+        let cache = cache.with_transient_faults(2);
+        let suite = Suite::generate_cached(cfg.clone(), &cache);
+        let direct = Suite::generate(cfg);
+        for b in Benchmark::ALL {
+            assert_eq!(suite.trace(b), direct.trace(b));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -51,9 +51,39 @@ pub mod parallel;
 pub mod profile;
 pub mod tables;
 
-pub use cache::TraceCache;
-pub use lab::{Cell, CellMetrics, CellTiming, Lab, LabReport, PrewarmError, Suite, SuiteConfig};
+pub use cache::{CacheError, TraceCache};
+pub use lab::{
+    Cell, CellMetrics, CellOutcome, CellTiming, FailedCell, Lab, LabReport, PrewarmError, Suite,
+    SuiteConfig,
+};
 pub use profile::{collect_profiles, render_profiles, write_profiles, ConfigProfile, ProfileCell};
+
+/// Renders one paper artifact from a (prewarmed) lab.
+pub type ArtifactRenderer = fn(&Lab) -> String;
+
+/// The paper artifacts in publication order, each with its renderer —
+/// the single source of truth both [`render_all`] (all-or-nothing) and
+/// [`render_all_contained`] (per-artifact fault containment) walk, so
+/// the two cannot drift apart.
+pub fn paper_artifacts() -> Vec<(&'static str, ArtifactRenderer)> {
+    vec![
+        ("table1", |lab| tables::table1(lab.suite()).render()),
+        ("table2", |lab| tables::table2(lab.suite()).render()),
+        ("fig2", |lab| figures::fig2(lab).render()),
+        ("fig3", |lab| figures::fig3(lab).render()),
+        ("fig4", |lab| figures::fig4(lab).render()),
+        ("fig5", |lab| figures::fig5(lab).render()),
+        ("fig6", |lab| figures::fig6(lab).render()),
+        ("fig7", |lab| figures::fig7(lab).render()),
+        ("table3", |lab| tables::table3(lab).render()),
+        ("table4", |lab| tables::table4(lab).render()),
+        ("fig8", |lab| figures::fig8(lab).render()),
+        ("fig9", |lab| figures::fig9(lab).render()),
+        ("fig10", |lab| figures::fig10(lab).render()),
+        ("table5", |lab| tables::table5(lab).render()),
+        ("table6", |lab| tables::table6(lab).render()),
+    ]
+}
 
 /// Renders every paper artifact in order (the `ddsc repro all` payload).
 ///
@@ -62,35 +92,32 @@ pub use profile::{collect_profiles, render_profiles, write_profiles, ConfigProfi
 /// to a serial evaluation.
 pub fn render_all(lab: &Lab) -> String {
     lab.prewarm_all();
-    let mut out = String::new();
-    out.push_str(&tables::table1(lab.suite()).render());
-    out.push('\n');
-    out.push_str(&tables::table2(lab.suite()).render());
-    out.push('\n');
-    out.push_str(&figures::fig2(lab).render());
-    out.push('\n');
-    out.push_str(&figures::fig3(lab).render());
-    out.push('\n');
-    out.push_str(&figures::fig4(lab).render());
-    out.push('\n');
-    out.push_str(&figures::fig5(lab).render());
-    out.push('\n');
-    out.push_str(&figures::fig6(lab).render());
-    out.push('\n');
-    out.push_str(&figures::fig7(lab).render());
-    out.push('\n');
-    out.push_str(&tables::table3(lab).render());
-    out.push('\n');
-    out.push_str(&tables::table4(lab).render());
-    out.push('\n');
-    out.push_str(&figures::fig8(lab).render());
-    out.push('\n');
-    out.push_str(&figures::fig9(lab).render());
-    out.push('\n');
-    out.push_str(&figures::fig10(lab).render());
-    out.push('\n');
-    out.push_str(&tables::table5(lab).render());
-    out.push('\n');
-    out.push_str(&tables::table6(lab).render());
-    out
+    let parts: Vec<String> = paper_artifacts().iter().map(|(_, f)| f(lab)).collect();
+    parts.join("\n")
+}
+
+/// Like [`render_all`], but degrades instead of dying: the grid is
+/// prewarmed with per-cell fault containment ([`Lab::prewarm_degraded`])
+/// and each artifact renders under its own panic guard, so an artifact
+/// that touches a failed cell becomes a one-line `[skipped]` note while
+/// every other artifact renders normally. On a clean lab the output is
+/// byte-identical to [`render_all`].
+pub fn render_all_contained(lab: &Lab) -> String {
+    lab.prewarm_degraded(&lab.grid());
+    let parts: Vec<String> = paper_artifacts()
+        .iter()
+        .map(|&(name, f)| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(lab))).unwrap_or_else(
+                |payload| {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    format!("## {name} [skipped: {msg}]\n")
+                },
+            )
+        })
+        .collect();
+    parts.join("\n")
 }

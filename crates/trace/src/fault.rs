@@ -1,0 +1,341 @@
+//! Record-aware fault injection into serialized traces.
+//!
+//! [`ddsc_util::fault`] mutates arbitrary byte buffers; this module
+//! understands the trace file layout of [`crate::io`] and injects faults
+//! at record granularity — mutate one field of one record, drop whole
+//! records, truncate mid-record — which is what a torn write or a bad
+//! sector actually does to a trace file. Every plan is seeded and
+//! deterministic, so a recovery-path test that fails is reproducible
+//! from its seed.
+//!
+//! The interesting corruption is the *silent* kind: a mutated field that
+//! still decodes ([`read_trace`](crate::io::read_trace) succeeds) but
+//! violates a semantic invariant — a load without an effective address,
+//! a record count that disagrees with the payload. Those are exactly the
+//! inputs `ddsc-core`'s `TraceValidator` exists to catch, and this
+//! module is how its tests manufacture them.
+
+use crate::io::{header_len, RECORD_LEN};
+use ddsc_util::fault::{FaultOp, FaultPlan};
+use ddsc_util::Pcg32;
+
+/// The serialized fields of one record, addressable for targeted
+/// mutation. Offsets follow the layout in [`crate::io`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// Instruction address (4 bytes).
+    Pc,
+    /// Opcode byte.
+    Op,
+    /// Destination register byte.
+    Dest,
+    /// First source register byte.
+    Rs1,
+    /// Second source register byte.
+    Rs2,
+    /// Store-data register byte.
+    DataReg,
+    /// Flag byte (zero detection, presence bits, branch outcome).
+    Flags,
+    /// Immediate (4 bytes).
+    Imm,
+    /// Effective address (4 bytes).
+    Ea,
+    /// Control-transfer target (4 bytes).
+    Target,
+    /// Traced result value (4 bytes).
+    Value,
+}
+
+impl Field {
+    /// `(offset within the record, width in bytes)`.
+    pub fn span(self) -> (usize, usize) {
+        match self {
+            Field::Pc => (0, 4),
+            Field::Op => (4, 1),
+            Field::Dest => (5, 1),
+            Field::Rs1 => (6, 1),
+            Field::Rs2 => (7, 1),
+            Field::DataReg => (8, 1),
+            Field::Flags => (9, 1),
+            Field::Imm => (10, 4),
+            Field::Ea => (14, 4),
+            Field::Target => (18, 4),
+            Field::Value => (22, 4),
+        }
+    }
+
+    /// Every addressable field.
+    pub const ALL: [Field; 11] = [
+        Field::Pc,
+        Field::Op,
+        Field::Dest,
+        Field::Rs1,
+        Field::Rs2,
+        Field::DataReg,
+        Field::Flags,
+        Field::Imm,
+        Field::Ea,
+        Field::Target,
+        Field::Value,
+    ];
+}
+
+/// The byte offset of record `record` in a serialized trace whose name
+/// is `name_len` bytes long.
+pub fn record_offset(name_len: usize, record: usize) -> usize {
+    4 + 2 + 2 + name_len + 8 + record * RECORD_LEN
+}
+
+/// XORs `mask` into the first byte of `field` in record `record` of a
+/// serialized trace. Returns `false` (buffer unchanged) if the record
+/// does not fit the buffer.
+pub fn mutate_field(
+    bytes: &mut [u8],
+    name_len: usize,
+    record: usize,
+    field: Field,
+    mask: u8,
+) -> bool {
+    let (off, _) = field.span();
+    let pos = record_offset(name_len, record) + off;
+    match bytes.get_mut(pos) {
+        Some(b) if mask != 0 => {
+            *b ^= mask;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Removes `count` records starting at `start` from a serialized trace.
+/// With `patch_count` the header's record count is rewritten to match —
+/// producing a *well-formed but shorter* trace (silent data loss);
+/// without it the count disagrees with the payload and the reader fails
+/// with a truncation error. Returns how many records were removed.
+pub fn drop_records(
+    bytes: &mut Vec<u8>,
+    name_len: usize,
+    start: usize,
+    count: usize,
+    patch_count: bool,
+) -> usize {
+    let body = record_offset(name_len, 0);
+    if bytes.len() < body {
+        return 0;
+    }
+    let total = (bytes.len() - body) / RECORD_LEN;
+    if start >= total || count == 0 {
+        return 0;
+    }
+    let removed = count.min(total - start);
+    let from = record_offset(name_len, start);
+    bytes.drain(from..from + removed * RECORD_LEN);
+    if patch_count {
+        let declared = u64::from_le_bytes(
+            bytes[body - 8..body]
+                .try_into()
+                .expect("count field is 8 bytes"),
+        );
+        let patched = declared.saturating_sub(removed as u64);
+        bytes[body - 8..body].copy_from_slice(&patched.to_le_bytes());
+    }
+    removed
+}
+
+/// A deterministic, seeded fault plan over a serialized trace: a mix of
+/// record-field mutations, record drops, bit flips and truncations.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_trace::fault::TraceFaultPlan;
+/// use ddsc_trace::io::{read_trace, write_trace};
+/// use ddsc_trace::{Trace, TraceInst};
+/// use ddsc_isa::{Opcode, Reg};
+///
+/// let mut t = Trace::new("demo");
+/// for i in 0..64 {
+///     t.push(TraceInst::alu(4 * i, Opcode::Add, Reg::new(1), Reg::new(2), None, Some(1), 0));
+/// }
+/// let mut bytes = Vec::new();
+/// write_trace(&mut bytes, &t).unwrap();
+/// TraceFaultPlan::new(1996, 4).apply_named(&mut bytes, "demo");
+/// // The mutated file either fails to decode or decodes to a different
+/// // trace — never panics.
+/// let _ = read_trace(bytes.as_slice());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFaultPlan {
+    /// Generator seed: same seed, same faults.
+    pub seed: u64,
+    /// Number of faults to inject.
+    pub faults: usize,
+}
+
+impl TraceFaultPlan {
+    /// A plan injecting `faults` faults drawn from `seed`.
+    pub fn new(seed: u64, faults: usize) -> TraceFaultPlan {
+        TraceFaultPlan { seed, faults }
+    }
+
+    /// Applies the plan to a serialized trace named `name` (the name
+    /// length fixes the record grid). Returns the number of faults that
+    /// landed.
+    pub fn apply_named(&self, bytes: &mut Vec<u8>, name: &str) -> usize {
+        let mut rng = Pcg32::new(self.seed);
+        let mut applied = 0;
+        for _ in 0..self.faults {
+            let body = header_len(name);
+            let records = bytes.len().saturating_sub(body) / RECORD_LEN;
+            match rng.range(0, 8) {
+                // Targeted field mutation: decodes most of the time,
+                // corrupts semantics — the validator's prey.
+                0..=3 if records > 0 => {
+                    let record = rng.range(0, records as u32) as usize;
+                    let field = Field::ALL[rng.range(0, Field::ALL.len() as u32) as usize];
+                    let mask = rng.range(1, 256) as u8;
+                    if mutate_field(bytes, name.len(), record, field, mask) {
+                        applied += 1;
+                    }
+                }
+                // Record drops, half with a patched (lying) count.
+                4 | 5 if records > 0 => {
+                    let start = rng.range(0, records as u32) as usize;
+                    let count = rng.range(1, 4) as usize;
+                    let patch = rng.chance(1, 2);
+                    if drop_records(bytes, name.len(), start, count, patch) > 0 {
+                        applied += 1;
+                    }
+                }
+                // Raw byte-level damage anywhere in the file, header
+                // included.
+                _ => {
+                    let len = bytes.len();
+                    if len == 0 {
+                        continue;
+                    }
+                    let op = if rng.chance(1, 4) {
+                        FaultOp::Truncate {
+                            keep: rng.range(0, len as u32) as usize,
+                        }
+                    } else {
+                        FaultOp::FlipBit {
+                            offset: rng.range(0, len as u32) as usize,
+                            bit: rng.range(0, 8) as u8,
+                        }
+                    };
+                    applied += FaultPlan::new(vec![op]).apply(bytes);
+                }
+            }
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{read_trace, write_trace, TraceIoError};
+    use crate::{Trace, TraceInst};
+    use ddsc_isa::{Opcode, Reg};
+
+    fn sample(n: usize) -> Trace {
+        let mut t = Trace::new("fault");
+        for i in 0..n {
+            t.push(TraceInst::load(
+                4 * i as u32,
+                Opcode::Ld,
+                Reg::new(1),
+                Reg::new(2),
+                None,
+                Some(0),
+                0,
+                0x100 + 4 * i as u32,
+            ));
+        }
+        t
+    }
+
+    fn serialized(n: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample(n)).unwrap();
+        buf
+    }
+
+    #[test]
+    fn field_spans_tile_the_record_exactly() {
+        let mut covered = [false; RECORD_LEN];
+        for f in Field::ALL {
+            let (off, width) = f.span();
+            for slot in &mut covered[off..off + width] {
+                assert!(!*slot, "field {f:?} overlaps another");
+                *slot = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "fields must cover the record");
+    }
+
+    #[test]
+    fn mutating_the_ea_presence_flag_makes_a_load_lose_its_address() {
+        let mut bytes = serialized(3);
+        // Bit 3 of the flag byte is FLAG_HAS_EA.
+        assert!(mutate_field(&mut bytes, 5, 1, Field::Flags, 1 << 3));
+        let t = read_trace(bytes.as_slice()).unwrap();
+        assert!(t[1].is_load());
+        assert_eq!(t[1].ea, None, "the fault silently strips the address");
+        assert_eq!(t[0].ea, Some(0x100), "other records untouched");
+    }
+
+    #[test]
+    fn unpatched_record_drop_is_a_detectable_truncation() {
+        let mut bytes = serialized(5);
+        assert_eq!(drop_records(&mut bytes, 5, 2, 2, false), 2);
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)), "got {err}");
+    }
+
+    #[test]
+    fn patched_record_drop_is_silent_data_loss() {
+        let mut bytes = serialized(5);
+        assert_eq!(drop_records(&mut bytes, 5, 1, 2, true), 2);
+        let t = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(t.len(), 3, "reader sees a well-formed shorter trace");
+        assert_eq!(t[0], sample(5)[0]);
+        assert_eq!(t[1], sample(5)[3], "middle records are gone");
+    }
+
+    #[test]
+    fn drops_beyond_the_tail_are_clamped() {
+        let mut bytes = serialized(3);
+        assert_eq!(drop_records(&mut bytes, 5, 2, 10, true), 1);
+        assert_eq!(read_trace(bytes.as_slice()).unwrap().len(), 2);
+        assert_eq!(drop_records(&mut bytes, 5, 9, 1, true), 0);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let mut a = serialized(50);
+        let mut b = serialized(50);
+        let plan = TraceFaultPlan::new(123, 6);
+        assert_eq!(
+            plan.apply_named(&mut a, "fault"),
+            plan.apply_named(&mut b, "fault")
+        );
+        assert_eq!(a, b, "same seed, same damage");
+        let mut c = serialized(50);
+        TraceFaultPlan::new(124, 6).apply_named(&mut c, "fault");
+        assert_ne!(a, c, "different seed, different damage");
+    }
+
+    #[test]
+    fn every_seed_damages_the_file() {
+        for seed in 0..32 {
+            let mut bytes = serialized(40);
+            let clean = bytes.clone();
+            let applied = TraceFaultPlan::new(seed, 3).apply_named(&mut bytes, "fault");
+            assert!(applied > 0, "seed {seed} applied nothing");
+            assert_ne!(bytes, clean, "seed {seed} left the file intact");
+        }
+    }
+}

@@ -30,6 +30,15 @@ const MAGIC: &[u8; 4] = b"DDSC";
 const VERSION: u16 = 2;
 const REG_NONE: u8 = 0xFF;
 
+/// Size of one serialized record in bytes (see the module docs).
+pub const RECORD_LEN: usize = 26;
+
+/// Size of the file header for a trace named `name`:
+/// magic + version + namelen + name + count.
+pub fn header_len(name: &str) -> usize {
+    4 + 2 + 2 + name.len() + 8
+}
+
 const FLAG_ZERO_RS1: u8 = 1 << 0;
 const FLAG_ZERO_RS2: u8 = 1 << 1;
 const FLAG_HAS_IMM: u8 = 1 << 2;
@@ -52,6 +61,10 @@ pub enum TraceIoError {
     BadReg(u8),
     /// The benchmark name is not valid UTF-8.
     BadName,
+    /// The benchmark name is too long for the `u16` header field.
+    /// (Writing a truncated length would produce a header that disagrees
+    /// with the bytes that follow, so over-long names are rejected.)
+    NameTooLong(usize),
 }
 
 impl fmt::Display for TraceIoError {
@@ -63,6 +76,9 @@ impl fmt::Display for TraceIoError {
             TraceIoError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#x}"),
             TraceIoError::BadReg(b) => write!(f, "invalid register byte {b:#x}"),
             TraceIoError::BadName => write!(f, "trace name is not valid utf-8"),
+            TraceIoError::NameTooLong(n) => {
+                write!(f, "trace name of {n} bytes exceeds the u16 header field")
+            }
         }
     }
 }
@@ -183,14 +199,16 @@ fn decode_reg(b: u8) -> Result<Option<Reg>, TraceIoError> {
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Io`] on write failure.
+/// Returns [`TraceIoError::Io`] on write failure, or
+/// [`TraceIoError::NameTooLong`] if the trace name does not fit the
+/// header's `u16` length field.
 pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     let name = trace.name().as_bytes();
-    let namelen = u16::try_from(name.len()).unwrap_or(u16::MAX);
+    let namelen = u16::try_from(name.len()).map_err(|_| TraceIoError::NameTooLong(name.len()))?;
     w.write_all(&namelen.to_le_bytes())?;
-    w.write_all(&name[..usize::from(namelen)])?;
+    w.write_all(name)?;
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
     for inst in trace {
         let mut flags = inst.zero_flags & (FLAG_ZERO_RS1 | FLAG_ZERO_RS2);
@@ -398,9 +416,33 @@ mod tests {
             TraceIoError::BadOpcode(0xFE),
             TraceIoError::BadReg(0x40),
             TraceIoError::BadName,
+            TraceIoError::NameTooLong(70_000),
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn overlong_names_are_rejected_instead_of_silently_truncated() {
+        // Regression: a name longer than u16::MAX used to write a
+        // `u16::MAX` length header followed by only the first 65535 name
+        // bytes — a file whose header disagrees with its payload.
+        let long = "x".repeat(usize::from(u16::MAX) + 1);
+        let err = write_trace(&mut Vec::new(), &Trace::new(long)).unwrap_err();
+        assert!(matches!(err, TraceIoError::NameTooLong(n) if n == usize::from(u16::MAX) + 1));
+        // The boundary case still round-trips exactly.
+        let edge = Trace::new("y".repeat(usize::from(u16::MAX)));
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &edge).unwrap();
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), edge);
+    }
+
+    #[test]
+    fn layout_constants_match_the_serialized_form() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        assert_eq!(buf.len(), header_len(t.name()) + t.len() * RECORD_LEN);
     }
 
     proptest! {

@@ -24,6 +24,7 @@
 //! assert_eq!(trace.len(), 1);
 //! ```
 
+pub mod fault;
 pub mod io;
 pub mod record;
 pub mod stats;

@@ -1,0 +1,407 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Every result in the reproduction is only as trustworthy as the bytes
+//! feeding it, so the recovery paths — checksum rejection, validation,
+//! retry, regeneration — must themselves be testable. This module
+//! provides the byte-level half of the harness:
+//!
+//! * [`FaultPlan`] — a seeded, replayable sequence of byte-level faults
+//!   (bit flips, byte mutations, truncations, range drops) applied to any
+//!   serialized artifact;
+//! * [`FlakyReader`] — an [`io::Read`] wrapper that fails a configured
+//!   number of reads before succeeding, modelling transient I/O;
+//! * [`Backoff`] — the bounded exponential delay sequence retry loops
+//!   share, so the policy is one definition instead of N copies.
+//!
+//! Everything here is deterministic: the same seed produces the same
+//! faults on every platform, so a failing fault-injection test is always
+//! reproducible from its seed alone.
+
+use std::io::{self, Read};
+use std::time::Duration;
+
+use crate::rng::Pcg32;
+
+/// One byte-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// XOR one bit (`bit` in `0..8`) at `offset`.
+    FlipBit {
+        /// Byte offset the flip lands on.
+        offset: usize,
+        /// Bit index within the byte.
+        bit: u8,
+    },
+    /// Overwrite the byte at `offset` with `value`.
+    SetByte {
+        /// Byte offset to overwrite.
+        offset: usize,
+        /// Replacement value.
+        value: u8,
+    },
+    /// Truncate the buffer to at most `keep` bytes.
+    Truncate {
+        /// Length to keep.
+        keep: usize,
+    },
+    /// Remove `len` bytes starting at `offset` (splicing the tail down).
+    RemoveRange {
+        /// First byte removed.
+        offset: usize,
+        /// Number of bytes removed.
+        len: usize,
+    },
+}
+
+/// A deterministic, seeded sequence of byte-level faults.
+///
+/// Build one explicitly with [`FaultPlan::new`], or draw a random mix
+/// with [`FaultPlan::seeded`]; apply it with [`FaultPlan::apply`].
+/// Faults whose offsets fall outside the (shrinking) buffer are skipped
+/// rather than clamped, so a plan drawn for one buffer length stays
+/// meaningful on shorter ones.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_util::fault::{FaultOp, FaultPlan};
+///
+/// let mut bytes = vec![0u8; 8];
+/// let applied = FaultPlan::new(vec![FaultOp::FlipBit { offset: 3, bit: 0 }])
+///     .apply(&mut bytes);
+/// assert_eq!(applied, 1);
+/// assert_eq!(bytes[3], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    ops: Vec<FaultOp>,
+}
+
+impl FaultPlan {
+    /// A plan from an explicit operation list.
+    pub fn new(ops: Vec<FaultOp>) -> FaultPlan {
+        FaultPlan { ops }
+    }
+
+    /// Draws `faults` operations for a buffer of `domain_len` bytes from
+    /// a seeded generator. The mix favours silent corruption (flips and
+    /// byte mutations) over structural damage (truncation, range drops),
+    /// matching what real storage faults look like.
+    pub fn seeded(seed: u64, faults: usize, domain_len: usize) -> FaultPlan {
+        let mut rng = Pcg32::new(seed);
+        let mut ops = Vec::with_capacity(faults);
+        if domain_len == 0 {
+            return FaultPlan { ops };
+        }
+        let len = domain_len as u32;
+        for _ in 0..faults {
+            let op = match rng.range(0, 10) {
+                0..=4 => FaultOp::FlipBit {
+                    offset: rng.range(0, len) as usize,
+                    bit: rng.range(0, 8) as u8,
+                },
+                5..=7 => FaultOp::SetByte {
+                    offset: rng.range(0, len) as usize,
+                    value: rng.range(0, 256) as u8,
+                },
+                8 => FaultOp::Truncate {
+                    keep: rng.range(0, len) as usize,
+                },
+                _ => {
+                    let offset = rng.range(0, len) as usize;
+                    FaultOp::RemoveRange {
+                        offset,
+                        len: rng.range(1, 32) as usize,
+                    }
+                }
+            };
+            ops.push(op);
+        }
+        FaultPlan { ops }
+    }
+
+    /// The operations, in application order.
+    pub fn ops(&self) -> &[FaultOp] {
+        &self.ops
+    }
+
+    /// Applies the plan to `bytes` in order; returns how many operations
+    /// actually landed (out-of-range ones are skipped).
+    pub fn apply(&self, bytes: &mut Vec<u8>) -> usize {
+        let mut applied = 0;
+        for op in &self.ops {
+            match *op {
+                FaultOp::FlipBit { offset, bit } => {
+                    if let Some(b) = bytes.get_mut(offset) {
+                        *b ^= 1 << (bit & 7);
+                        applied += 1;
+                    }
+                }
+                FaultOp::SetByte { offset, value } => {
+                    if let Some(b) = bytes.get_mut(offset) {
+                        *b = value;
+                        applied += 1;
+                    }
+                }
+                FaultOp::Truncate { keep } => {
+                    if keep < bytes.len() {
+                        bytes.truncate(keep);
+                        applied += 1;
+                    }
+                }
+                FaultOp::RemoveRange { offset, len } => {
+                    if offset < bytes.len() && len > 0 {
+                        let end = (offset + len).min(bytes.len());
+                        bytes.drain(offset..end);
+                        applied += 1;
+                    }
+                }
+            }
+        }
+        applied
+    }
+}
+
+/// An [`io::Read`] wrapper that fails its first `failures` read calls
+/// with a transient error, then reads normally — the deterministic model
+/// of a flaky disk or network mount that retry loops are tested against.
+///
+/// The error kind defaults to [`io::ErrorKind::TimedOut`]; note that
+/// [`io::ErrorKind::Interrupted`] would be retried *inside*
+/// `read_exact`/`read_to_end` by the standard library itself and so
+/// never reaches caller-level retry logic.
+///
+/// # Examples
+///
+/// ```
+/// use std::io::Read;
+/// use ddsc_util::fault::FlakyReader;
+///
+/// let mut r = FlakyReader::new(&b"ok"[..], 1);
+/// assert!(r.read(&mut [0u8; 2]).is_err()); // first read fails
+/// let mut buf = Vec::new();
+/// r.read_to_end(&mut buf).unwrap(); // then the data flows
+/// assert_eq!(buf, b"ok");
+/// ```
+#[derive(Debug)]
+pub struct FlakyReader<R> {
+    inner: R,
+    failures_left: u32,
+    kind: io::ErrorKind,
+}
+
+impl<R: Read> FlakyReader<R> {
+    /// Wraps `inner`, failing the first `failures` reads.
+    pub fn new(inner: R, failures: u32) -> FlakyReader<R> {
+        FlakyReader {
+            inner,
+            failures_left: failures,
+            kind: io::ErrorKind::TimedOut,
+        }
+    }
+
+    /// Overrides the error kind of injected failures.
+    pub fn with_kind(mut self, kind: io::ErrorKind) -> FlakyReader<R> {
+        self.kind = kind;
+        self
+    }
+
+    /// How many injected failures remain.
+    pub fn failures_left(&self) -> u32 {
+        self.failures_left
+    }
+
+    /// Unwraps the inner reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for FlakyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.failures_left > 0 {
+            self.failures_left -= 1;
+            return Err(io::Error::new(self.kind, "injected transient read fault"));
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// Whether an I/O error is plausibly transient — worth retrying rather
+/// than treating the artifact as corrupt or missing.
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+    )
+}
+
+/// The shared bounded-exponential retry delay policy: delays double from
+/// `base` and never exceed `cap`. The sequence is a pure function of its
+/// parameters, so tests can assert the exact schedule.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use ddsc_util::fault::Backoff;
+///
+/// let delays: Vec<Duration> = Backoff::new(Duration::from_millis(1), Duration::from_millis(4))
+///     .take(4)
+///     .collect();
+/// assert_eq!(
+///     delays,
+///     [1, 2, 4, 4].map(Duration::from_millis)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    next: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// A policy starting at `base` and saturating at `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            next: base.min(cap),
+            cap,
+        }
+    }
+
+    /// The default cache-retry policy: 1 ms doubling to a 16 ms cap —
+    /// long enough to ride out a transient mount hiccup, short enough
+    /// that falling back to regeneration stays snappy.
+    pub fn for_cache() -> Backoff {
+        Backoff::new(Duration::from_millis(1), Duration::from_millis(16))
+    }
+}
+
+impl Iterator for Backoff {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        let d = self.next;
+        self.next = (d * 2).min(self.cap);
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_ops_apply_in_order() {
+        let mut bytes: Vec<u8> = (0..10).collect();
+        let plan = FaultPlan::new(vec![
+            FaultOp::SetByte {
+                offset: 0,
+                value: 0xAA,
+            },
+            FaultOp::FlipBit { offset: 0, bit: 1 },
+            FaultOp::RemoveRange { offset: 1, len: 2 },
+            FaultOp::Truncate { keep: 4 },
+        ]);
+        assert_eq!(plan.apply(&mut bytes), 4);
+        assert_eq!(bytes, vec![0xA8, 3, 4, 5]);
+    }
+
+    #[test]
+    fn out_of_range_ops_are_skipped_not_clamped() {
+        let mut bytes = vec![1u8, 2, 3];
+        let plan = FaultPlan::new(vec![
+            FaultOp::FlipBit { offset: 9, bit: 0 },
+            FaultOp::SetByte {
+                offset: 3,
+                value: 0,
+            },
+            FaultOp::Truncate { keep: 8 },
+            FaultOp::RemoveRange { offset: 5, len: 1 },
+        ]);
+        assert_eq!(plan.apply(&mut bytes), 0);
+        assert_eq!(bytes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7, 16, 1000);
+        let b = FaultPlan::seeded(7, 16, 1000);
+        let c = FaultPlan::seeded(8, 16, 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.ops().len(), 16);
+    }
+
+    #[test]
+    fn seeded_plan_on_empty_domain_is_empty() {
+        let p = FaultPlan::seeded(3, 8, 0);
+        assert!(p.ops().is_empty());
+        let mut bytes = Vec::new();
+        assert_eq!(p.apply(&mut bytes), 0);
+    }
+
+    #[test]
+    fn seeded_plan_actually_corrupts() {
+        let mut bytes = vec![0u8; 4096];
+        let before = bytes.clone();
+        let applied = FaultPlan::seeded(42, 8, bytes.len()).apply(&mut bytes);
+        assert!(applied > 0);
+        assert_ne!(bytes, before);
+    }
+
+    #[test]
+    fn flaky_reader_fails_n_times_then_succeeds() {
+        let mut r = FlakyReader::new(&b"payload"[..], 3);
+        for _ in 0..3 {
+            let e = r.read(&mut [0u8; 4]).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+            assert!(is_transient(&e));
+        }
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"payload");
+        assert_eq!(r.failures_left(), 0);
+    }
+
+    #[test]
+    fn flaky_reader_kind_is_configurable() {
+        let mut r = FlakyReader::new(&b"x"[..], 1).with_kind(io::ErrorKind::WouldBlock);
+        assert_eq!(
+            r.read(&mut [0u8; 1]).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+    }
+
+    #[test]
+    fn transient_classification() {
+        for kind in [
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::Interrupted,
+        ] {
+            assert!(is_transient(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+        for kind in [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::PermissionDenied,
+        ] {
+            assert!(!is_transient(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let delays: Vec<u64> = Backoff::new(Duration::from_millis(2), Duration::from_millis(10))
+            .take(5)
+            .map(|d| d.as_millis() as u64)
+            .collect();
+        assert_eq!(delays, vec![2, 4, 8, 10, 10]);
+        // A cap below the base clamps immediately.
+        let clamped = Backoff::new(Duration::from_millis(50), Duration::from_millis(5))
+            .next()
+            .unwrap();
+        assert_eq!(clamped, Duration::from_millis(5));
+    }
+}

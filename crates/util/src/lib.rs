@@ -19,6 +19,7 @@
 
 pub mod bits;
 pub mod checksum;
+pub mod fault;
 pub mod fxhash;
 pub mod hist;
 pub mod json;
@@ -28,6 +29,7 @@ pub mod table;
 
 pub use bits::BitSet;
 pub use checksum::fnv1a;
+pub use fault::{Backoff, FaultOp, FaultPlan, FlakyReader};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hist::Histogram;
 pub use json::{Json, JsonError};

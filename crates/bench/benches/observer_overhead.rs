@@ -7,9 +7,21 @@
 //! nothing else. The `metrics_off` numbers here are directly comparable
 //! to the PR 2 `prepass_sweep/shared_prepass` baseline. `metrics_on`
 //! measures what full cycle-attribution collection actually costs.
+//!
+//! The run-supervision PR rides the same seam and inherits the same
+//! bar: `--cell-timeout` off must leave `metrics_off` untouched
+//! (`simulate_prepared` compiles with `CANCELLABLE = false`, so the
+//! poll is statically dead code). `timeout_armed` measures what an
+//! armed-but-unexpired deadline actually costs — one `Instant::now()`
+//! per `POLL_STRIDE` retired instructions.
+
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ddsc_core::{simulate_prepared, simulate_with_metrics, PaperConfig, PreparedTrace, SimConfig};
+use ddsc_core::{
+    simulate_prepared, simulate_with_metrics, try_simulate_prepared, CancelToken, PaperConfig,
+    PreparedTrace, SimConfig,
+};
 use ddsc_workloads::Benchmark;
 
 const LEN: usize = 50_000;
@@ -37,6 +49,17 @@ fn observer_overhead(c: &mut Criterion) {
             cells
                 .iter()
                 .map(|cfg| simulate_prepared(&prepared, cfg).cycles)
+                .sum::<u64>()
+        })
+    });
+    // A generous armed deadline: the cancellation-aware loop with a
+    // poll every POLL_STRIDE retirements, never actually expiring.
+    group.bench_function("timeout_armed", |b| {
+        b.iter(|| {
+            let token = CancelToken::with_deadline(Duration::from_secs(3600));
+            cells
+                .iter()
+                .map(|cfg| try_simulate_prepared(&prepared, cfg, &token).unwrap().cycles)
                 .sum::<u64>()
         })
     });

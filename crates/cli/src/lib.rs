@@ -26,10 +26,17 @@ use std::error::Error;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use ddsc_core::{analyze_dataflow, simulate, Latencies, LoadClass, PaperConfig, SimConfig};
-use ddsc_experiments::{extensions, figures, tables, Lab, Suite, SuiteConfig, TraceCache};
+use ddsc_experiments::{
+    extensions, figures, tables, CellStore, Lab, Suite, SuiteConfig, TraceCache,
+};
 use ddsc_trace::io::{read_trace, write_trace};
+use ddsc_util::journal::{Journal, JournalRecord};
+use ddsc_util::publish_atomic;
 use ddsc_workloads::Benchmark;
 
 /// How a successful invocation ended, mapped to the process exit code.
@@ -91,6 +98,7 @@ pub fn run_full(args: &[String]) -> Result<RunOutput, Box<dyn Error>> {
         Some("trace") => trace_cmd(&collect(args)).map(RunOutput::complete),
         Some("sim") => sim_cmd(&collect(args)).map(RunOutput::complete),
         Some("analyze") => analyze_cmd(&collect(args)).map(RunOutput::complete),
+        Some("journal") => journal_cmd(&collect(args)).map(RunOutput::complete),
         Some("repro") => repro_cmd(&collect(args)),
         Some(other) => Err(format!("unknown command `{other}` (try `ddsc help`)").into()),
     }
@@ -142,6 +150,10 @@ USAGE:
                              [--bench-json FILE] [--trace-cache DIR]
                              [--no-trace-cache] [--strict]
                              [--inject-fault BENCH:CONFIG:WIDTH]
+                             [--resume | --fresh] [--run-dir DIR]
+                             [--cell-timeout SECS]
+                             [--abort-after-cells N]
+  ddsc journal FILE
 
 Benchmarks: compress espresso eqntott li go ijpeg
 
@@ -164,8 +176,60 @@ any degradation to a hard failure. Exit codes: 0 complete, 2
 degraded partial results, 1 hard failure. --inject-fault forces one
 cell to fail (deterministic fault injection for testing the
 degraded path; repeatable).
+
+`repro --fresh` runs supervised: every cell transition is appended
+to a write-ahead journal (<run-dir>/run_journal.bin) and every
+finished cell's result is stored under <run-dir>/cells, all written
+atomically. `repro --resume` replays the journal first — cells
+whose recorded input digest still matches are restored from disk
+and only missing, failed or stale cells re-simulate — so a killed
+run picks up where it died with byte-identical output. --run-dir
+defaults to results. --cell-timeout gives every cell a wall-clock
+budget in seconds (cooperative cancellation; expired cells are
+reported as timed out and degrade the run). `ddsc journal FILE`
+dumps a run journal, one record per line. --abort-after-cells kills
+the process after N finished cells (crash-consistency testing).
 "
     .to_string()
+}
+
+/// Dumps a run journal, one record per line (the format CI smoke jobs
+/// poll while a supervised run is still going).
+fn journal_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
+    let path = args.first().ok_or("usage: ddsc journal FILE")?;
+    let records = ddsc_util::read_journal(Path::new(path))?;
+    let mut out = String::new();
+    for rec in &records {
+        let _ = match rec {
+            JournalRecord::RunStarted { config } => writeln!(out, "RunStarted {config}"),
+            JournalRecord::CellStarted {
+                bench,
+                config,
+                width,
+            } => writeln!(out, "CellStarted {bench} {config} {width}"),
+            JournalRecord::CellFinished {
+                bench,
+                config,
+                width,
+                digest,
+            } => writeln!(
+                out,
+                "CellFinished {bench} {config} {width} digest={digest:016x}"
+            ),
+            JournalRecord::CellFailed {
+                bench,
+                config,
+                width,
+                error,
+            } => writeln!(out, "CellFailed {bench} {config} {width} error={error:?}"),
+            JournalRecord::ArtifactPublished { path } => {
+                writeln!(out, "ArtifactPublished {path}")
+            }
+            JournalRecord::RunFinished { status } => writeln!(out, "RunFinished status={status}"),
+        };
+    }
+    let _ = writeln!(out, "{} records", records.len());
+    Ok(out)
 }
 
 fn list() -> String {
@@ -397,10 +461,15 @@ fn repro_cmd(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
         std::env::set_var("DDSC_THREADS", t.to_string());
     }
     let strict = args.contains(&"--strict");
+    let resume = args.contains(&"--resume");
+    let fresh = args.contains(&"--fresh");
+    if resume && fresh {
+        return Err("--resume and --fresh are mutually exclusive".into());
+    }
     let suite_config = SuiteConfig {
         seed,
         trace_len: len,
-        widths,
+        widths: widths.clone(),
     };
     let suite = if args.contains(&"--no-trace-cache") {
         Suite::generate(suite_config)
@@ -422,6 +491,56 @@ fn repro_cmd(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
             lab = lab.with_injected_fault(parse_cell(spec)?);
         }
     }
+    let cell_timeout: f64 = parse_num(args, "--cell-timeout", 0.0)?;
+    if cell_timeout > 0.0 {
+        lab = lab.with_cell_timeout(Duration::from_secs_f64(cell_timeout));
+    }
+    if let Some(n) = flag_value(args, "--abort-after-cells") {
+        lab = lab.with_abort_after(n.parse()?);
+    }
+    // Supervised runs (--fresh starts a journal, --resume replays one)
+    // journal every cell transition write-ahead and publish finished
+    // cell results to the run directory, making a killed run resumable.
+    let mut journal: Option<Arc<Journal>> = None;
+    if resume || fresh {
+        let run_dir = PathBuf::from(flag_value(args, "--run-dir").unwrap_or("results"));
+        std::fs::create_dir_all(&run_dir)?;
+        let journal_path = run_dir.join("run_journal.bin");
+        if fresh {
+            match std::fs::remove_file(&journal_path) {
+                Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e.into()),
+                _ => {}
+            }
+        }
+        let (j, records) = Journal::open(&journal_path)?;
+        let j = Arc::new(j);
+        lab = lab.with_supervision(Arc::clone(&j), CellStore::new(run_dir.join("cells")));
+        if resume {
+            let (resumed, replayed) = lab.resume(&records);
+            // Resume bookkeeping goes to stderr (and BENCH_lab.json),
+            // never stdout: resumed output must stay byte-identical to
+            // an uninterrupted run's.
+            eprintln!(
+                "resume: restored {resumed} cells from {}, {replayed} journaled cells will re-run",
+                journal_path.display()
+            );
+        }
+        if let Err(e) = j.append(&JournalRecord::RunStarted {
+            config: format!("{what} seed={seed} len={len} widths={widths:?}"),
+        }) {
+            eprintln!("warning: could not append to run journal: {e}");
+        }
+        journal = Some(j);
+    }
+    let journal_artifact = |path: &str| {
+        if let Some(j) = &journal {
+            if let Err(e) = j.append(&JournalRecord::ArtifactPublished {
+                path: path.to_string(),
+            }) {
+                eprintln!("warning: could not append to run journal: {e}");
+            }
+        }
+    };
     let mut status = RunStatus::Complete;
     let mut out = match what {
         "all" => {
@@ -492,7 +611,7 @@ fn repro_cmd(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
         out.push_str(&lab.report().render());
     }
     if status == RunStatus::Degraded {
-        let failures = lab.failed_cells();
+        let failures = lab.cell_failures();
         let completed = lab.simulations_run();
         let total = completed + failures.len();
         out.push('\n');
@@ -501,13 +620,26 @@ fn repro_cmd(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
             out,
             "completed {completed} of {total} grid cells; artifacts touching failed cells were skipped"
         );
-        for ((b, c, w), msg) in &failures {
+        for ((b, c, w), failure) in &failures {
             let _ = writeln!(
                 out,
-                "failed: ({}, config {}, width {}): {msg}",
+                "failed{}: ({}, config {}, width {}): {}",
+                if failure.timed_out {
+                    " (timed out)"
+                } else {
+                    ""
+                },
                 b.models(),
                 c.label(),
-                w
+                w,
+                failure.error
+            );
+        }
+        let timeouts = failures.iter().filter(|(_, f)| f.timed_out).count();
+        if timeouts > 0 {
+            let _ = writeln!(
+                out,
+                "{timeouts} cell(s) exceeded the --cell-timeout budget of {cell_timeout} s"
             );
         }
         out.push_str(
@@ -515,21 +647,27 @@ fn repro_cmd(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
         );
     }
     if let Some(path) = flag_value(args, "--bench-json") {
-        if let Some(dir) = std::path::Path::new(path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        std::fs::write(path, lab.report().to_json())?;
+        publish_atomic(Path::new(path), lab.report().to_json().as_bytes())?;
+        journal_artifact(path);
     }
-    if let Some(path) = flag_value(args, "--out") {
-        std::fs::write(path, &out)?;
-        return Ok(RunOutput {
+    let output = if let Some(path) = flag_value(args, "--out") {
+        publish_atomic(Path::new(path), out.as_bytes())?;
+        journal_artifact(path);
+        RunOutput {
             text: format!("wrote {} bytes to {path}\n", out.len()),
             status,
-        });
+        }
+    } else {
+        RunOutput { text: out, status }
+    };
+    if let Some(j) = &journal {
+        if let Err(e) = j.append(&JournalRecord::RunFinished {
+            status: u32::from(status.exit_code()),
+        }) {
+            eprintln!("warning: could not append to run journal: {e}");
+        }
     }
-    Ok(RunOutput { text: out, status })
+    Ok(output)
 }
 
 #[cfg(test)]
@@ -876,6 +1014,115 @@ mod tests {
                 "spec `{spec}` should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn resume_and_fresh_are_mutually_exclusive() {
+        let err = run_full_strs(&[
+            "repro",
+            "table1",
+            "--len",
+            "1000",
+            "--no-trace-cache",
+            "--resume",
+            "--fresh",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn supervised_runs_journal_resume_and_stay_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("ddsc-cli-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run_dir = dir.to_str().unwrap().to_string();
+        let base = [
+            "repro",
+            "all",
+            "--len",
+            "2000",
+            "--widths",
+            "4",
+            "--no-trace-cache",
+            "--run-dir",
+            &run_dir,
+        ];
+
+        // Fresh supervised run: complete, and the journal records the
+        // whole lifecycle.
+        let mut fresh_args: Vec<&str> = base.to_vec();
+        fresh_args.push("--fresh");
+        let fresh = run_full_strs(&fresh_args).unwrap();
+        assert_eq!(fresh.status, RunStatus::Complete);
+        let journal_path = dir.join("run_journal.bin");
+        let dump = run_strs(&["journal", journal_path.to_str().unwrap()]).unwrap();
+        assert!(dump.contains("RunStarted all"), "{dump}");
+        assert_eq!(dump.matches("\nCellFinished ").count(), 30, "{dump}");
+        assert!(dump.contains("RunFinished status=0"), "{dump}");
+        // Finished cells were published to the store.
+        let cells = std::fs::read_dir(dir.join("cells")).unwrap().count();
+        assert_eq!(cells, 30);
+
+        // Resumed run: restores every cell (visible in the benchmark
+        // payload) and renders byte-identical output.
+        let json_path = dir.join("BENCH_lab.json");
+        let mut resume_args: Vec<&str> = base.to_vec();
+        resume_args.push("--resume");
+        resume_args.push("--bench-json");
+        resume_args.push(json_path.to_str().unwrap());
+        let resumed = run_full_strs(&resume_args).unwrap();
+        assert_eq!(resumed.status, RunStatus::Complete);
+        assert_eq!(resumed.text, fresh.text, "resume must not move a byte");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"resumed_cells\": 30"), "{json}");
+        assert!(json.contains("\"replayed_cells\": 0"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_expired_cell_timeout_degrades_the_run() {
+        let out = run_full_strs(&[
+            "repro",
+            "all",
+            "--len",
+            "50000",
+            "--widths",
+            "4",
+            "--no-trace-cache",
+            "--cell-timeout",
+            "0.000001",
+        ])
+        .unwrap();
+        assert_eq!(out.status, RunStatus::Degraded);
+        assert_eq!(out.status.exit_code(), 2);
+        assert!(out.text.contains("## Degraded run summary"), "{}", out.text);
+        assert!(out.text.contains("(timed out)"), "{}", out.text);
+        assert!(out.text.contains("--cell-timeout"), "{}", out.text);
+    }
+
+    #[test]
+    fn a_generous_cell_timeout_completes_identically() {
+        let args = [
+            "repro",
+            "fig2",
+            "--len",
+            "2000",
+            "--widths",
+            "4",
+            "--no-trace-cache",
+        ];
+        let plain = run_full_strs(&args).unwrap();
+        let mut timed: Vec<&str> = args.to_vec();
+        timed.extend(["--cell-timeout", "3600"]);
+        let timed = run_full_strs(&timed).unwrap();
+        assert_eq!(timed.status, RunStatus::Complete);
+        assert_eq!(timed.text, plain.text);
+    }
+
+    #[test]
+    fn journal_dump_tolerates_a_missing_file() {
+        let out = run_strs(&["journal", "/nonexistent/ddsc-journal.bin"]).unwrap();
+        assert!(out.contains("0 records"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Crash/resume integration test against the real `ddsc` binary.
+//!
+//! The in-process CLI tests can't exercise `--abort-after-cells`
+//! because the hook kills the whole process (deliberately: it models a
+//! SIGKILL mid-run, which no amount of unwinding survives). Here we
+//! spawn the actual binary, kill it mid-grid via the hook, and assert
+//! the journal + cell store let `--resume` finish the run with
+//! byte-identical artifacts while re-simulating only unfinished cells.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn ddsc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddsc"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ddsc-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn s(p: &Path) -> &str {
+    p.to_str().unwrap()
+}
+
+#[test]
+fn an_aborted_run_resumes_to_byte_identical_artifacts() {
+    let dir = tmpdir("abort");
+    let run_dir = dir.join("run");
+    let reference = dir.join("reference.txt");
+    let resumed = dir.join("resumed.txt");
+    let bench_json = dir.join("bench.json");
+    let common = [
+        "repro",
+        "all",
+        "--len",
+        "2000",
+        "--widths",
+        "4",
+        "--threads",
+        "2",
+        "--no-trace-cache",
+    ];
+
+    // Reference: one uninterrupted, unsupervised run.
+    let status = ddsc()
+        .args(common)
+        .args(["--out", s(&reference)])
+        .status()
+        .unwrap();
+    assert!(status.success(), "reference run failed: {status:?}");
+
+    // A supervised run killed by the deterministic crash hook partway
+    // through the grid. Exit 3 is the hook's signature — anything else
+    // means the abort fired in the wrong place (or not at all).
+    let status = ddsc()
+        .args(common)
+        .args(["--fresh", "--run-dir", s(&run_dir)])
+        .args(["--abort-after-cells", "7"])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(3), "abort hook must kill the process");
+
+    // The journal records a torn run: started, some cells finished (at
+    // least the 7 the hook counted; in-flight workers may land a few
+    // more before exit), and no RunFinished.
+    let journal = run_dir.join("run_journal.bin");
+    let dump = ddsc().args(["journal", s(&journal)]).output().unwrap();
+    let dump = String::from_utf8(dump.stdout).unwrap();
+    assert!(dump.contains("RunStarted"), "journal: {dump}");
+    assert!(!dump.contains("RunFinished"), "torn run must not be sealed");
+    let finished = dump.matches("CellFinished").count();
+    assert!((7..30).contains(&finished), "finished {finished} of 30");
+
+    // Every journaled CellFinished has its result in the cell store (a
+    // worker caught between its save and its journal append may leave
+    // one extra file — harmless, it's simply not trusted on resume).
+    let cells = std::fs::read_dir(run_dir.join("cells")).unwrap().count();
+    assert!(cells >= finished, "cell store and journal must agree");
+
+    // Resume completes the grid, re-simulating only unfinished cells,
+    // and publishes byte-identical artifacts.
+    let status = ddsc()
+        .args(common)
+        .args(["--resume", "--run-dir", s(&run_dir)])
+        .args(["--out", s(&resumed), "--bench-json", s(&bench_json)])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0), "resumed run must complete");
+    assert_eq!(
+        std::fs::read(&resumed).unwrap(),
+        std::fs::read(&reference).unwrap(),
+        "resumed artifacts must be byte-identical to an uninterrupted run"
+    );
+
+    // The bench report counts what the journal restored.
+    let json = std::fs::read_to_string(&bench_json).unwrap();
+    assert!(
+        json.contains(&format!("\"resumed_cells\": {finished}")),
+        "bench json must report {finished} resumed cells: {json}"
+    );
+
+    // The journal is now sealed.
+    let dump = ddsc().args(["journal", s(&journal)]).output().unwrap();
+    let dump = String::from_utf8(dump.stdout).unwrap();
+    assert!(dump.contains("RunFinished status=0"), "journal: {dump}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

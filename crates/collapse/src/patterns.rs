@@ -48,6 +48,47 @@ impl PatternKey {
     pub fn types(&self) -> impl Iterator<Item = OpType> + '_ {
         self.types.iter().flatten().copied()
     }
+
+    /// Appends the binary encoding to `out`: member count, then per
+    /// member its class code and operand-kind codes. Part of the
+    /// per-cell result codec the resumable-run store uses.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        out.push(self.len);
+        for t in self.types() {
+            out.push(t.class().code());
+            let kinds: Vec<ddsc_isa::OperandKind> = t.kinds().collect();
+            out.push(kinds.len() as u8);
+            for k in kinds {
+                out.push(k.code());
+            }
+        }
+    }
+
+    /// Decodes a key from `bytes` at `*pos`, advancing past it. `None`
+    /// on truncation or out-of-range codes/lengths.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Option<PatternKey> {
+        let len = *bytes.get(*pos)? as usize;
+        *pos += 1;
+        if len > MAX_MEMBERS {
+            return None;
+        }
+        let mut types = Vec::with_capacity(len);
+        for _ in 0..len {
+            let class = ddsc_isa::PatClass::from_code(*bytes.get(*pos)?)?;
+            let nkinds = *bytes.get(*pos + 1)? as usize;
+            *pos += 2;
+            if nkinds > 2 {
+                return None;
+            }
+            let mut kinds = Vec::with_capacity(nkinds);
+            for _ in 0..nkinds {
+                kinds.push(ddsc_isa::OperandKind::from_code(*bytes.get(*pos)?)?);
+                *pos += 1;
+            }
+            types.push(OpType::new(class, &kinds));
+        }
+        Some(PatternKey::new(&types))
+    }
 }
 
 impl fmt::Display for PatternKey {
@@ -136,6 +177,35 @@ impl PatternTable {
         }
         self.total += other.total;
     }
+
+    /// Appends the binary encoding to `out`: total, entry count, then
+    /// each `(key, count)` in key order (deterministic — the map is a
+    /// `BTreeMap`).
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.total.to_le_bytes());
+        out.extend_from_slice(&(self.counts.len() as u32).to_le_bytes());
+        for (k, &v) in &self.counts {
+            k.encode_to(out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decodes a table from `bytes` at `*pos`, advancing past it.
+    /// `None` on truncation or malformed keys.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Option<PatternTable> {
+        let total = u64::from_le_bytes(bytes.get(*pos..*pos + 8)?.try_into().ok()?);
+        *pos += 8;
+        let n = u32::from_le_bytes(bytes.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
+        *pos += 4;
+        let mut counts = BTreeMap::new();
+        for _ in 0..n {
+            let key = PatternKey::decode(bytes, pos)?;
+            let count = u64::from_le_bytes(bytes.get(*pos..*pos + 8)?.try_into().ok()?);
+            *pos += 8;
+            counts.insert(key, count);
+        }
+        Some(PatternTable { counts, total })
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +286,31 @@ mod tests {
     #[should_panic(expected = "group too large")]
     fn oversized_key_panics() {
         PatternKey::new(&[arrr(); 5]);
+    }
+
+    #[test]
+    fn table_codec_round_trips_and_rejects_damage() {
+        let mut table = PatternTable::new();
+        for _ in 0..5 {
+            table.record(PatternKey::new(&[arrr(), brc()]));
+        }
+        table.record(PatternKey::new(&[arri(), arri(), brc()]));
+        let mut bytes = Vec::new();
+        table.encode_to(&mut bytes);
+        let mut pos = 0;
+        let back = PatternTable::decode(&bytes, &mut pos).unwrap();
+        assert_eq!(back, table);
+        assert_eq!(pos, bytes.len());
+        // Truncation at any prefix is a decode failure, not a panic.
+        for keep in 0..bytes.len() {
+            let mut pos = 0;
+            assert!(PatternTable::decode(&bytes[..keep], &mut pos).is_none());
+        }
+        // An out-of-range class code is rejected.
+        let mut key_bytes = Vec::new();
+        PatternKey::new(&[arrr()]).encode_to(&mut key_bytes);
+        key_bytes[1] = 0xFF;
+        let mut pos = 0;
+        assert!(PatternKey::decode(&key_bytes, &mut pos).is_none());
     }
 }

@@ -136,6 +136,51 @@ impl CollapseStats {
         self.collapsed_insts
     }
 
+    /// Appends the binary encoding to `out`: the five counters, the
+    /// distance histogram, then the pair/triple/quad tables. The
+    /// inverse of [`CollapseStats::decode`]; part of the per-cell
+    /// result codec the resumable-run store uses.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.groups_3_1,
+            self.groups_4_1,
+            self.groups_0_op,
+            self.collapsed_insts,
+            self.total_insts,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.distance.encode_to(out);
+        self.pairs.encode_to(out);
+        self.triples.encode_to(out);
+        self.quads.encode_to(out);
+    }
+
+    /// Decodes statistics from `bytes` at `*pos`, advancing past them.
+    /// `None` on truncation or malformed contents.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Option<CollapseStats> {
+        let mut counters = [0u64; 5];
+        for c in &mut counters {
+            *c = u64::from_le_bytes(bytes.get(*pos..*pos + 8)?.try_into().ok()?);
+            *pos += 8;
+        }
+        let distance = Histogram::decode(bytes, pos)?;
+        let pairs = PatternTable::decode(bytes, pos)?;
+        let triples = PatternTable::decode(bytes, pos)?;
+        let quads = PatternTable::decode(bytes, pos)?;
+        Some(CollapseStats {
+            groups_3_1: counters[0],
+            groups_4_1: counters[1],
+            groups_0_op: counters[2],
+            distance,
+            pairs,
+            triples,
+            quads,
+            collapsed_insts: counters[3],
+            total_insts: counters[4],
+        })
+    }
+
     /// Merges another run's statistics into this one (used when
     /// aggregating over the benchmark suite).
     pub fn merge(&mut self, other: &CollapseStats) {
@@ -193,6 +238,24 @@ mod tests {
         stats.mark_participants(30);
         stats.set_total(100);
         assert_eq!(stats.collapsed_pct().value(), 30.0);
+    }
+
+    #[test]
+    fn codec_round_trips_real_stats() {
+        let mut stats = CollapseStats::new();
+        stats.record_group(&pair_state(1));
+        stats.record_group(&pair_state(7));
+        stats.mark_participants(4);
+        stats.set_total(100);
+        let mut bytes = Vec::new();
+        stats.encode_to(&mut bytes);
+        let mut pos = 0;
+        let back = CollapseStats::decode(&bytes, &mut pos).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(pos, bytes.len());
+        // Truncation anywhere fails cleanly.
+        let mut pos = 0;
+        assert!(CollapseStats::decode(&bytes[..bytes.len() - 1], &mut pos).is_none());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! assert!(collapsed.ipc() > 2.0 * base.ipc());
 //! ```
 
+pub mod cancel;
 pub mod config;
 pub mod dataflow;
 pub mod metrics;
@@ -46,6 +47,7 @@ pub mod result;
 pub mod simulator;
 pub mod validate;
 
+pub use cancel::{CancelObserver, CancelToken, Cancelled};
 pub use config::{
     ConfidenceParams, Latencies, LoadSpecMode, PaperConfig, SimConfig, ValueSpecMode,
 };
@@ -59,5 +61,6 @@ pub use reference::simulate_reference;
 pub use result::{BranchRunStats, LoadClass, LoadSpecStats, SimResult, StallStats, ValueSpecStats};
 pub use simulator::{
     simulate, simulate_prepared, simulate_prepared_observed, simulate_with_metrics,
+    try_simulate_prepared, try_simulate_prepared_observed, try_simulate_with_metrics,
 };
 pub use validate::{TraceValidator, ValidationError};

@@ -90,6 +90,22 @@ pub trait SimObserver {
     /// Whether the simulator should emit events at all.
     const ENABLED: bool = true;
 
+    /// Whether the simulator should poll [`poll_cancelled`] each loop
+    /// iteration. `false` for every plain observer — the cancellation
+    /// branch is then statically dead and the timing loop keeps its
+    /// uncancellable machine code. [`CancelObserver`](crate::CancelObserver)
+    /// overrides it to `true`.
+    ///
+    /// [`poll_cancelled`]: SimObserver::poll_cancelled
+    const CANCELLABLE: bool = false;
+
+    /// Asks whether the run's deadline has passed; `true` aborts the
+    /// timing loop with [`Cancelled`](crate::Cancelled). Only called
+    /// when [`CANCELLABLE`](SimObserver::CANCELLABLE) is `true`.
+    fn poll_cancelled(&mut self) -> bool {
+        false
+    }
+
     /// A conditional branch was fetched; `mispredicted` is the
     /// direction-predictor verdict for this dynamic instance.
     fn on_cond_branch(&mut self, mispredicted: bool) {

@@ -193,6 +193,82 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// The binary encoding of everything except `config`: the counters
+    /// in declaration order, then the collapse statistics.
+    ///
+    /// The configuration is deliberately *not* serialized — a stored
+    /// cell is keyed by (trace checksum, config label, width), and the
+    /// loader reconstructs the exact `SimConfig` from that key. That
+    /// keeps the on-disk format free of float encodings and makes a
+    /// stale entry (config drift) unloadable by construction.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.instructions,
+            self.cycles,
+            self.loads.ready,
+            self.loads.predicted_correct,
+            self.loads.predicted_incorrect,
+            self.loads.not_predicted,
+            self.values.predicted_correct,
+            self.values.predicted_incorrect,
+            self.values.not_predicted,
+            self.branches.cond_branches,
+            self.branches.mispredicted,
+            self.stalls.data,
+            self.stalls.address,
+            self.stalls.memory,
+            self.stalls.branch,
+            self.stalls.bandwidth,
+            self.stalls.insts,
+            self.eliminated,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.collapse.encode_to(out);
+    }
+
+    /// Decodes a result encoded by [`SimResult::encode_to`], attaching
+    /// the caller-reconstructed `config`. `None` on truncation or
+    /// malformed contents.
+    pub fn decode(bytes: &[u8], pos: &mut usize, config: SimConfig) -> Option<SimResult> {
+        let mut counters = [0u64; 18];
+        for c in &mut counters {
+            *c = u64::from_le_bytes(bytes.get(*pos..*pos + 8)?.try_into().ok()?);
+            *pos += 8;
+        }
+        let collapse = CollapseStats::decode(bytes, pos)?;
+        Some(SimResult {
+            config,
+            instructions: counters[0],
+            cycles: counters[1],
+            loads: LoadSpecStats {
+                ready: counters[2],
+                predicted_correct: counters[3],
+                predicted_incorrect: counters[4],
+                not_predicted: counters[5],
+            },
+            values: ValueSpecStats {
+                predicted_correct: counters[6],
+                predicted_incorrect: counters[7],
+                not_predicted: counters[8],
+            },
+            branches: BranchRunStats {
+                cond_branches: counters[9],
+                mispredicted: counters[10],
+            },
+            stalls: StallStats {
+                data: counters[11],
+                address: counters[12],
+                memory: counters[13],
+                branch: counters[14],
+                bandwidth: counters[15],
+                insts: counters[16],
+            },
+            collapse,
+            eliminated: counters[17],
+        })
+    }
+
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {

@@ -37,6 +37,7 @@ use ddsc_collapse::{decode_slots, AbsorbSlot, CollapseOpts, CollapseStats, ExprS
 use ddsc_trace::Trace;
 use ddsc_util::BitSet;
 
+use crate::cancel::{CancelObserver, CancelToken, Cancelled};
 use crate::metrics::{MetricsCollector, NoopObserver, SimMetrics, SimObserver, StallCause};
 use crate::prepass::{
     BranchStream, PreparedTrace, DEFAULT_PREDICTOR_N, DEFAULT_STRIDE_BITS, F_CAN_PRODUCE,
@@ -314,11 +315,71 @@ pub fn simulate_with_metrics(
 /// [`MetricsCollector`] it feeds [`simulate_with_metrics`]. The observer
 /// never influences timing: the returned [`SimResult`] is bit-identical
 /// for every observer type.
+///
+/// # Panics
+///
+/// Panics if the observer reports cancellation — callers that arm a
+/// deadline must use [`try_simulate_prepared_observed`].
 pub fn simulate_prepared_observed<O: SimObserver>(
     prepared: &PreparedTrace,
     config: &SimConfig,
     obs: &mut O,
 ) -> SimResult {
+    match try_simulate_prepared_observed(prepared, config, obs) {
+        Ok(r) => r,
+        Err(Cancelled) => panic!("simulation cancelled without a cancellation-aware caller"),
+    }
+}
+
+/// Simulates a prepared trace under a deadline: bit-identical to
+/// [`simulate_prepared`] when the token survives, `Err(`[`Cancelled`]`)`
+/// if the deadline passes mid-run.
+///
+/// The metrics-off path is untouched — cancellation rides the observer
+/// seam, and the token is only consulted every
+/// [`POLL_STRIDE`](crate::cancel::POLL_STRIDE) loop iterations.
+pub fn try_simulate_prepared(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    token: &CancelToken,
+) -> Result<SimResult, Cancelled> {
+    let mut obs = CancelObserver::new(NoopObserver, token.clone());
+    try_simulate_prepared_observed(prepared, config, &mut obs)
+}
+
+/// [`simulate_with_metrics`] under a deadline: the metrics collection
+/// and the cancellation poll compose through one wrapped observer.
+///
+/// # Panics
+///
+/// Panics if the attribution identity fails on a completed run (a
+/// simulator bug, not a caller error).
+pub fn try_simulate_with_metrics(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    token: &CancelToken,
+) -> Result<(SimResult, SimMetrics), Cancelled> {
+    let mut obs = CancelObserver::new(MetricsCollector::new(config), token.clone());
+    let result = try_simulate_prepared_observed(prepared, config, &mut obs)?;
+    let metrics = obs
+        .into_inner()
+        .finish(&result)
+        .expect("cycle-attribution identity must hold");
+    Ok((result, metrics))
+}
+
+/// The cancellable core of every simulation entry point.
+///
+/// When `O::CANCELLABLE` is `false` (every plain observer) the poll
+/// block is statically dead and this monomorphizes to the exact
+/// pre-cancellation loop; when `true`, the observer is polled once per
+/// loop iteration and a `true` answer aborts with [`Cancelled`] —
+/// leaving no partial result behind.
+pub fn try_simulate_prepared_observed<O: SimObserver>(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    obs: &mut O,
+) -> Result<SimResult, Cancelled> {
     let n = prepared.len();
     let statics = prepared.collapse();
     let opts = CollapseOpts {
@@ -416,6 +477,9 @@ pub fn simulate_prepared_observed<O: SimObserver>(
     let mut last_issue_cycle = 0u32;
 
     while retired < n {
+        if O::CANCELLABLE && obs.poll_cancelled() {
+            return Err(Cancelled);
+        }
         // -- fetch: keep the window full --
         while in_window < config.window_size && fetch < n {
             let i = fetch as u32;
@@ -843,7 +907,7 @@ pub fn simulate_prepared_observed<O: SimObserver>(
     collapse.mark_participants(participant.count_ones());
     collapse.set_total(n as u64);
 
-    SimResult {
+    Ok(SimResult {
         config: *config,
         instructions: n as u64,
         cycles: if n == 0 {
@@ -857,7 +921,7 @@ pub fn simulate_prepared_observed<O: SimObserver>(
         stalls,
         collapse,
         eliminated,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -904,6 +968,53 @@ mod tests {
             ));
         }
         t
+    }
+
+    #[test]
+    fn cancellable_path_is_bit_identical_when_the_deadline_survives() {
+        let t = dependent_chain(2000);
+        let prepared = PreparedTrace::build(&t);
+        for c in PaperConfig::ALL {
+            let cfg = SimConfig::paper(c, 8);
+            let plain = simulate_prepared(&prepared, &cfg);
+            let token = CancelToken::never();
+            let cancellable = try_simulate_prepared(&prepared, &cfg, &token)
+                .expect("a never-token must not cancel");
+            assert_eq!(cancellable, plain, "config {}", c.label());
+
+            let (with_metrics, _) = try_simulate_with_metrics(&prepared, &cfg, &token)
+                .expect("a never-token must not cancel");
+            assert_eq!(with_metrics, plain, "metrics, config {}", c.label());
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_cancels_the_run() {
+        // Long enough that the loop crosses at least one poll stride.
+        let t = dependent_chain(50_000);
+        let prepared = PreparedTrace::build(&t);
+        let cfg = SimConfig::base(8);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            try_simulate_prepared(&prepared, &cfg, &token),
+            Err(Cancelled)
+        );
+        assert!(try_simulate_with_metrics(&prepared, &cfg, &token).is_err());
+    }
+
+    #[test]
+    fn result_codec_round_trips_a_real_simulation() {
+        let t = dependent_chain(3000);
+        let cfg = SimConfig::paper(PaperConfig::D, 8);
+        let result = simulate(&t, &cfg);
+        let mut bytes = Vec::new();
+        result.encode_to(&mut bytes);
+        let mut pos = 0;
+        let back = SimResult::decode(&bytes, &mut pos, cfg).expect("decodes");
+        assert_eq!(back, result);
+        assert_eq!(pos, bytes.len());
+        let mut pos = 0;
+        assert!(SimResult::decode(&bytes[..bytes.len() - 1], &mut pos, cfg).is_none());
     }
 
     #[test]

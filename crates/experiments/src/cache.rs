@@ -23,7 +23,6 @@
 
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -31,7 +30,7 @@ use std::sync::Arc;
 use ddsc_trace::io::{read_trace, write_trace};
 use ddsc_trace::Trace;
 use ddsc_util::fault::{is_transient, Backoff};
-use ddsc_util::fnv1a;
+use ddsc_util::{fnv1a, publish_atomic};
 
 /// Cache-file magic: "DDSC Trace Cache".
 const MAGIC: &[u8; 4] = b"DDTC";
@@ -206,13 +205,13 @@ impl TraceCache {
         len: usize,
         retries: usize,
     ) -> Result<Trace, CacheError> {
-        let mut backoff = Backoff::for_cache();
+        let mut delays = Backoff::for_cache().delays();
         let mut left = retries;
         loop {
             match self.try_load(name, seed, len) {
                 Err(CacheError::Io(e)) if is_transient(&e) && left > 0 => {
                     left -= 1;
-                    if let Some(delay) = backoff.next() {
+                    if let Some(delay) = delays.next() {
                         std::thread::sleep(delay);
                     }
                 }
@@ -221,15 +220,15 @@ impl TraceCache {
         }
     }
 
-    /// Stores a trace under its generation key, atomically (write to a
-    /// temporary sibling, then rename into place).
+    /// Stores a trace under its generation key, atomically (via
+    /// [`publish_atomic`]: write to a temporary sibling, fsync, then
+    /// rename into place).
     ///
     /// # Errors
     ///
     /// Returns any underlying filesystem error. Callers may treat a
     /// failure as non-fatal — the cache is an optimisation.
     pub fn store(&self, name: &str, seed: u64, len: usize, trace: &Trace) -> std::io::Result<()> {
-        fs::create_dir_all(&self.dir)?;
         let mut payload = Vec::new();
         write_trace(&mut payload, trace).map_err(std::io::Error::other)?;
 
@@ -242,17 +241,7 @@ impl TraceCache {
         bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
 
-        let target = self.path_for(name, seed, len);
-        let tmp = target.with_extension(format!("tmp.{}", std::process::id()));
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-        drop(f);
-        let renamed = fs::rename(&tmp, &target);
-        if renamed.is_err() {
-            let _ = fs::remove_file(&tmp);
-        }
-        renamed
+        publish_atomic(&self.path_for(name, seed, len), &bytes)
     }
 }
 

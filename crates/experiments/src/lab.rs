@@ -25,21 +25,34 @@
 //! parallel-vs-serial speedup.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ddsc_core::{
-    simulate_prepared, simulate_with_metrics, CycleAttribution, PaperConfig, PreparedTrace,
-    SimConfig, SimMetrics, SimResult, TraceValidator,
+    simulate_prepared, simulate_with_metrics, try_simulate_prepared, try_simulate_with_metrics,
+    CancelToken, CycleAttribution, PaperConfig, PreparedTrace, SimConfig, SimMetrics, SimResult,
+    TraceValidator,
 };
+use ddsc_trace::io::write_trace;
 use ddsc_trace::Trace;
+use ddsc_util::fnv1a;
+use ddsc_util::journal::{Journal, JournalRecord};
 use ddsc_workloads::Benchmark;
 
 use crate::cache::CacheError;
+use crate::cellstore::CellStore;
 use crate::parallel::{num_threads, par_map};
 
 /// Transient cache-read retries before falling back to regeneration.
 const CACHE_RETRIES: usize = 3;
+
+/// Prefix of the panic message a cell raises when it exceeds its
+/// wall-clock budget ([`Lab::with_cell_timeout`]). Containment sites
+/// classify a contained failure as a timeout by this prefix, so the
+/// cancellation signal survives the panic-payload round trip without a
+/// side channel.
+const TIMEOUT_PREFIX: &str = "cell timed out";
 
 /// One cell of the experiment grid.
 pub type Cell = (Benchmark, PaperConfig, u32);
@@ -238,6 +251,15 @@ pub enum CellOutcome {
         /// The rendered failure message.
         error: String,
     },
+    /// The cell exceeded its wall-clock budget
+    /// ([`Lab::with_cell_timeout`]) and was cancelled cooperatively.
+    /// Degraded rendering skips it like any other failure, but drivers
+    /// report timeouts distinctly — a timeout usually means the budget
+    /// is wrong, not the simulator.
+    TimedOut {
+        /// The rendered timeout message (names the cell and budget).
+        error: String,
+    },
 }
 
 impl CellOutcome {
@@ -245,7 +267,35 @@ impl CellOutcome {
     pub fn result(&self) -> Option<&Arc<SimResult>> {
         match self {
             CellOutcome::Completed(r) => Some(r),
-            CellOutcome::Failed { .. } => None,
+            CellOutcome::Failed { .. } | CellOutcome::TimedOut { .. } => None,
+        }
+    }
+}
+
+/// One recorded cell failure: the rendered message plus whether the
+/// cell was cancelled on its wall-clock deadline (reported distinctly
+/// from a genuine simulation failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The rendered failure message.
+    pub error: String,
+    /// Whether the failure was a cooperative deadline cancellation.
+    pub timed_out: bool,
+}
+
+impl CellFailure {
+    fn from_message(error: String) -> CellFailure {
+        CellFailure {
+            timed_out: error.starts_with(TIMEOUT_PREFIX),
+            error,
+        }
+    }
+
+    fn into_outcome(self) -> CellOutcome {
+        if self.timed_out {
+            CellOutcome::TimedOut { error: self.error }
+        } else {
+            CellOutcome::Failed { error: self.error }
         }
     }
 }
@@ -259,6 +309,9 @@ pub struct FailedCell {
     pub config: String,
     /// Issue width.
     pub width: u32,
+    /// Whether this cell hit its wall-clock deadline rather than
+    /// failing outright.
+    pub timed_out: bool,
     /// The rendered failure message.
     pub error: String,
 }
@@ -295,6 +348,15 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// The run-supervision hooks of one lab: the write-ahead journal every
+/// cell transition is appended to, and the on-disk store finished cell
+/// results are published into (so a resumed run can restore them).
+#[derive(Debug)]
+struct Supervision {
+    journal: Arc<Journal>,
+    store: CellStore,
+}
+
 /// A thread-safe memoising simulation driver: each `(benchmark,
 /// configuration, width)` triple is simulated at most once per lab.
 #[derive(Debug)]
@@ -322,7 +384,26 @@ pub struct Lab {
     /// Cells whose simulation failed during a degraded prewarm, with
     /// their rendered failure messages. Lookups of a recorded cell fail
     /// fast with the same message instead of re-running the simulation.
-    failed: RwLock<HashMap<Cell, String>>,
+    failed: RwLock<HashMap<Cell, CellFailure>>,
+    /// Per-cell wall-clock budget; cells exceeding it are cancelled
+    /// cooperatively and recorded as timed out. `None` (the default)
+    /// keeps the timing loop on the uncancellable hot path.
+    cell_timeout: Option<Duration>,
+    /// Journal + cell store, when this lab runs supervised.
+    supervision: Option<Supervision>,
+    /// Deterministic crash hook: exit the *process* once this many
+    /// cells have finished. Crash-consistency tests use it to die
+    /// between journal records at a reproducible point.
+    abort_after: Option<usize>,
+    /// Cells finished by this lab (drives `abort_after`).
+    completed: AtomicUsize,
+    /// Cells restored from the cell store by [`Lab::resume`].
+    resumed: AtomicUsize,
+    /// Cells the journal named but that had to be re-run.
+    replayed: AtomicUsize,
+    /// Memoized FNV-1a checksum of each benchmark's serialized trace —
+    /// the trace component of [`Lab::cell_digest`].
+    trace_checksums: Mutex<HashMap<Benchmark, u64>>,
 }
 
 impl Lab {
@@ -345,6 +426,13 @@ impl Lab {
             prewarm_wall: Mutex::new(0.0),
             injected_faults: HashSet::new(),
             failed: RwLock::new(HashMap::new()),
+            cell_timeout: None,
+            supervision: None,
+            abort_after: None,
+            completed: AtomicUsize::new(0),
+            resumed: AtomicUsize::new(0),
+            replayed: AtomicUsize::new(0),
+            trace_checksums: Mutex::new(HashMap::new()),
         }
     }
 
@@ -354,6 +442,42 @@ impl Lab {
     /// to arm several cells.
     pub fn with_injected_fault(mut self, cell: Cell) -> Lab {
         self.injected_faults.insert(cell);
+        self
+    }
+
+    /// Gives every cell a wall-clock budget: a simulation still running
+    /// when it expires is cancelled cooperatively (see
+    /// [`ddsc_core::CancelToken`]) and recorded as timed out. With no
+    /// budget (the default) the timing loop monomorphizes to the
+    /// uncancellable hot path — arming a timeout is the only thing that
+    /// puts the poll in the loop.
+    pub fn with_cell_timeout(mut self, budget: Duration) -> Lab {
+        self.cell_timeout = Some(budget);
+        self
+    }
+
+    /// The per-cell wall-clock budget, if one is armed.
+    pub fn cell_timeout(&self) -> Option<Duration> {
+        self.cell_timeout
+    }
+
+    /// Supervises this lab's run: every cell transition is appended to
+    /// `journal` (write-ahead, before results are visible anywhere
+    /// else) and every finished cell's result is published into
+    /// `store`, keyed by [`Lab::cell_digest`]. Together they make a
+    /// killed run resumable — see [`Lab::resume`].
+    pub fn with_supervision(mut self, journal: Arc<Journal>, store: CellStore) -> Lab {
+        self.supervision = Some(Supervision { journal, store });
+        self
+    }
+
+    /// Arms the deterministic crash hook: the process exits (code 3,
+    /// without unwinding) immediately after the `n`-th cell finishes —
+    /// after its `CellFinished` journal record, before `RunFinished`.
+    /// Crash-consistency tests use this to die at a reproducible point
+    /// between journal records; it has no place in a normal run.
+    pub fn with_abort_after(mut self, n: usize) -> Lab {
+        self.abort_after = Some(n);
         self
     }
 
@@ -431,12 +555,99 @@ impl Lab {
             .map(Arc::clone)
     }
 
+    /// The FNV-1a checksum of one benchmark's serialized trace,
+    /// computed once per lab. Racing callers serialize on the map lock
+    /// so the (cheap but not free) serialization runs at most once.
+    fn trace_checksum(&self, b: Benchmark) -> u64 {
+        let mut map = self
+            .trace_checksums
+            .lock()
+            .expect("lab trace checksums poisoned");
+        if let Some(&sum) = map.get(&b) {
+            return sum;
+        }
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, self.suite.trace(b)).expect("in-memory writes cannot fail");
+        let sum = fnv1a(&bytes);
+        map.insert(b, sum);
+        sum
+    }
+
+    /// The identity of one cell's *inputs*: an FNV-1a digest of the
+    /// serialized trace checksum, the configuration label and the issue
+    /// width. Simulation is a pure function of exactly those inputs, so
+    /// a journal record carrying a matching digest proves the stored
+    /// result is the one this lab would recompute — and any drift
+    /// (different seed, trace length, workload code, config) changes
+    /// the digest and forces a re-run.
+    pub fn cell_digest(&self, (b, c, width): Cell) -> u64 {
+        let mut key = Vec::new();
+        key.extend_from_slice(&self.trace_checksum(b).to_le_bytes());
+        key.extend_from_slice(c.label().as_bytes());
+        key.extend_from_slice(&width.to_le_bytes());
+        fnv1a(&key)
+    }
+
+    /// Appends one record to the supervision journal, if supervision is
+    /// on. Journal I/O failures degrade the run to unsupervised (with a
+    /// warning) rather than failing it — the journal exists to make
+    /// crashes recoverable, not to add a new way to crash.
+    fn journal_append(&self, rec: &JournalRecord) {
+        if let Some(sup) = &self.supervision {
+            if let Err(e) = sup.journal.append(rec) {
+                eprintln!("warning: could not append to run journal: {e}");
+            }
+        }
+    }
+
+    /// Records one contained cell failure (classifying timeouts by
+    /// message prefix), journals it, and returns what was stored. The
+    /// first recording of a cell wins; duplicates neither overwrite nor
+    /// re-journal.
+    fn record_failure(&self, cell: Cell, message: String) -> CellFailure {
+        {
+            let mut map = self.failed.write().expect("lab failure map poisoned");
+            if let Some(existing) = map.get(&cell) {
+                return existing.clone();
+            }
+            map.insert(cell, CellFailure::from_message(message.clone()));
+        }
+        let (b, c, width) = cell;
+        self.journal_append(&JournalRecord::CellFailed {
+            bench: b.name().to_string(),
+            config: c.label().to_string(),
+            width,
+            error: message.clone(),
+        });
+        CellFailure::from_message(message)
+    }
+
+    fn record_metrics(&self, cell: Cell, metrics: SimMetrics) {
+        self.metrics
+            .write()
+            .expect("lab metrics poisoned")
+            .entry(cell)
+            .or_insert_with(|| Arc::new(metrics));
+    }
+
     /// Runs one cell and records its timing. Pure per (trace, config),
     /// so concurrent duplicate runs return identical results. The shared
     /// pre-pass is resolved first so `CellTiming` measures only the
     /// timing loop.
+    ///
+    /// Under supervision the cell's lifecycle brackets the work:
+    /// `CellStarted` is journaled before the simulation, and on success
+    /// the result is published to the cell store *before* `CellFinished`
+    /// is journaled — so a `CellFinished` record always points at a
+    /// restorable result, whatever instant the process dies at.
     fn run_cell(&self, (b, c, width): Cell) -> Arc<SimResult> {
-        if self.injected_faults.contains(&(b, c, width)) {
+        let cell = (b, c, width);
+        self.journal_append(&JournalRecord::CellStarted {
+            bench: b.name().to_string(),
+            config: c.label().to_string(),
+            width,
+        });
+        if self.injected_faults.contains(&cell) {
             panic!(
                 "injected fault: cell ({}, config {}, width {})",
                 b.models(),
@@ -445,18 +656,39 @@ impl Lab {
             );
         }
         let prepared = self.prepared(b);
+        let config = SimConfig::paper(c, width);
         let t0 = Instant::now();
-        let sim = if self.profiling {
-            let (sim, metrics) = simulate_with_metrics(&prepared, &SimConfig::paper(c, width));
-            self.metrics
-                .write()
-                .expect("lab metrics poisoned")
-                .entry((b, c, width))
-                .or_insert_with(|| Arc::new(metrics));
-            sim
-        } else {
-            simulate_prepared(&prepared, &SimConfig::paper(c, width))
+        // Four paths, not two wrappers: the timeout-off arms call the
+        // plain entry points so the loop monomorphizes without the
+        // cancellation poll (the observer seam's zero-cost contract).
+        let outcome = match (self.cell_timeout, self.profiling) {
+            (None, false) => Ok(simulate_prepared(&prepared, &config)),
+            (None, true) => {
+                let (sim, metrics) = simulate_with_metrics(&prepared, &config);
+                self.record_metrics(cell, metrics);
+                Ok(sim)
+            }
+            (Some(budget), false) => {
+                try_simulate_prepared(&prepared, &config, &CancelToken::with_deadline(budget))
+            }
+            (Some(budget), true) => {
+                try_simulate_with_metrics(&prepared, &config, &CancelToken::with_deadline(budget))
+                    .map(|(sim, metrics)| {
+                        self.record_metrics(cell, metrics);
+                        sim
+                    })
+            }
         };
+        let sim = outcome.unwrap_or_else(|_| {
+            let budget = self.cell_timeout.expect("only deadline-armed paths cancel");
+            panic!(
+                "{TIMEOUT_PREFIX}: cell ({}, config {}, width {}) exceeded its {:.3} s wall-clock budget",
+                b.models(),
+                c.label(),
+                width,
+                budget.as_secs_f64()
+            );
+        });
         let seconds = t0.elapsed().as_secs_f64();
         self.timings
             .lock()
@@ -468,6 +700,30 @@ impl Lab {
                 instructions: sim.instructions,
                 seconds,
             });
+        if let Some(sup) = &self.supervision {
+            let digest = self.cell_digest(cell);
+            if let Err(e) = sup.store.save(digest, &sim) {
+                eprintln!(
+                    "warning: could not store result of cell ({}, config {}, width {}): {e}",
+                    b.name(),
+                    c.label(),
+                    width
+                );
+            }
+            self.journal_append(&JournalRecord::CellFinished {
+                bench: b.name().to_string(),
+                config: c.label().to_string(),
+                width,
+                digest,
+            });
+        }
+        let done = self.completed.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(n) = self.abort_after {
+            if done >= n {
+                eprintln!("injected abort: exiting after {done} finished cells");
+                std::process::exit(3);
+            }
+        }
         Arc::new(sim)
     }
 
@@ -491,14 +747,14 @@ impl Lab {
         if let Some(r) = self.cached(&cell) {
             return r;
         }
-        if let Some(error) = self.recorded_failure(&cell) {
-            panic!("{error}");
+        if let Some(failure) = self.recorded_failure(&cell) {
+            panic!("{}", failure.error);
         }
         let r = self.run_cell(cell);
         self.insert(cell, r)
     }
 
-    fn recorded_failure(&self, cell: &Cell) -> Option<String> {
+    fn recorded_failure(&self, cell: &Cell) -> Option<CellFailure> {
         self.failed
             .read()
             .expect("lab failure map poisoned")
@@ -515,37 +771,119 @@ impl Lab {
         if let Some(r) = self.cached(&cell) {
             return CellOutcome::Completed(r);
         }
-        if let Some(error) = self.recorded_failure(&cell) {
-            return CellOutcome::Failed { error };
+        if let Some(failure) = self.recorded_failure(&cell) {
+            return failure.into_outcome();
         }
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_cell(cell))) {
             Ok(r) => CellOutcome::Completed(self.insert(cell, r)),
-            Err(payload) => {
-                let error = panic_message(payload.as_ref());
-                self.failed
-                    .write()
-                    .expect("lab failure map poisoned")
-                    .entry(cell)
-                    .or_insert_with(|| error.clone());
-                CellOutcome::Failed { error }
-            }
+            Err(payload) => self
+                .record_failure(cell, panic_message(payload.as_ref()))
+                .into_outcome(),
         }
     }
 
     /// Every cell recorded as failed, in stable `(benchmark, config,
     /// width)` order, with its rendered failure message.
     pub fn failed_cells(&self) -> Vec<(Cell, String)> {
-        let mut cells: Vec<(Cell, String)> = self
+        self.cell_failures()
+            .into_iter()
+            .map(|(cell, failure)| (cell, failure.error))
+            .collect()
+    }
+
+    /// Like [`Lab::failed_cells`], but keeping the full
+    /// [`CellFailure`] (message + timeout classification).
+    pub fn cell_failures(&self) -> Vec<(Cell, CellFailure)> {
+        let mut cells: Vec<(Cell, CellFailure)> = self
             .failed
             .read()
             .expect("lab failure map poisoned")
             .iter()
-            .map(|(cell, msg)| (*cell, msg.clone()))
+            .map(|(cell, failure)| (*cell, failure.clone()))
             .collect();
         cells.sort_by(|((ab, ac, aw), _), ((bb, bc, bw), _)| {
             (ab.models(), ac.label(), aw).cmp(&(bb.models(), bc.label(), bw))
         });
         cells
+    }
+
+    /// Restores as much of a previous run as a recovered journal
+    /// proves: every `CellFinished` record whose digest matches this
+    /// lab's current inputs (see [`Lab::cell_digest`]) is loaded from
+    /// the cell store straight into the result cache, and everything
+    /// else the journal names — started-but-unfinished cells, failed
+    /// cells, finished cells whose digest or stored bytes no longer
+    /// check out — is left to re-run.
+    ///
+    /// Returns `(resumed, replayed)`: cells restored without
+    /// re-simulation, and journal-named cells that must re-run. The
+    /// counts also land in the [`LabReport`] as `resumed_cells` /
+    /// `replayed_cells`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lab has no supervision ([`Lab::with_supervision`])
+    /// — there is no store to restore from.
+    pub fn resume(&self, records: &[JournalRecord]) -> (usize, usize) {
+        let sup = self
+            .supervision
+            .as_ref()
+            .expect("Lab::resume requires supervision (Lab::with_supervision)");
+        let by_name: HashMap<&str, Benchmark> =
+            Benchmark::ALL.iter().map(|&b| (b.name(), b)).collect();
+        let by_label: HashMap<&str, PaperConfig> =
+            PaperConfig::ALL.iter().map(|&c| (c.label(), c)).collect();
+        let grid: HashSet<Cell> = self.grid().into_iter().collect();
+        let decode = |bench: &str, config: &str, width: u32| -> Option<Cell> {
+            let cell = (*by_name.get(bench)?, *by_label.get(config)?, width);
+            // A record outside the current grid belongs to some other
+            // sweep (different widths, say); it neither restores nor
+            // re-runs anything here.
+            grid.contains(&cell).then_some(cell)
+        };
+        let mut resumed: HashSet<Cell> = HashSet::new();
+        let mut named: HashSet<Cell> = HashSet::new();
+        for rec in records {
+            let (bench, config, width) = match rec {
+                JournalRecord::CellStarted {
+                    bench,
+                    config,
+                    width,
+                } => (bench, config, *width),
+                JournalRecord::CellFinished {
+                    bench,
+                    config,
+                    width,
+                    ..
+                } => (bench, config, *width),
+                JournalRecord::CellFailed {
+                    bench,
+                    config,
+                    width,
+                    ..
+                } => (bench, config, *width),
+                _ => continue,
+            };
+            let Some(cell) = decode(bench, config, width) else {
+                continue;
+            };
+            named.insert(cell);
+            let JournalRecord::CellFinished { digest, .. } = rec else {
+                continue;
+            };
+            let (_, c, w) = cell;
+            if *digest != self.cell_digest(cell) {
+                continue;
+            }
+            if let Some(result) = sup.store.load(*digest, SimConfig::paper(c, w)) {
+                self.insert(cell, Arc::new(result));
+                resumed.insert(cell);
+            }
+        }
+        let replayed = named.iter().filter(|c| !resumed.contains(c)).count();
+        self.resumed.store(resumed.len(), Ordering::SeqCst);
+        self.replayed.store(replayed, Ordering::SeqCst);
+        (resumed.len(), replayed)
     }
 
     /// The metrics of one combination; simulates the cell first when
@@ -682,11 +1020,7 @@ impl Lab {
                     ran += 1;
                 }
                 Err(message) => {
-                    self.failed
-                        .write()
-                        .expect("lab failure map poisoned")
-                        .entry(*cell)
-                        .or_insert(message);
+                    self.record_failure(*cell, message);
                 }
             }
         }
@@ -757,13 +1091,14 @@ impl Lab {
             (&a.benchmark, &a.config, a.width).cmp(&(&b.benchmark, &b.config, b.width))
         });
         let failed_cells = self
-            .failed_cells()
+            .cell_failures()
             .into_iter()
-            .map(|((b, c, width), error)| FailedCell {
+            .map(|((b, c, width), failure)| FailedCell {
                 benchmark: b.models().to_string(),
                 config: c.label().to_string(),
                 width,
-                error,
+                timed_out: failure.timed_out,
+                error: failure.error,
             })
             .collect();
         LabReport {
@@ -771,6 +1106,8 @@ impl Lab {
             cells,
             cell_metrics,
             failed_cells,
+            resumed_cells: self.resumed.load(Ordering::SeqCst),
+            replayed_cells: self.replayed.load(Ordering::SeqCst),
             prepass,
             serial_seconds,
             // Cells simulated outside a prewarm fan-out ran serially on
@@ -813,6 +1150,12 @@ pub struct LabReport {
     /// Cells whose simulation failed under degraded prewarming, sorted
     /// by `(benchmark, config, width)`. Empty on a clean run.
     pub failed_cells: Vec<FailedCell>,
+    /// Cells restored from the cell store by [`Lab::resume`] instead of
+    /// being re-simulated. Zero on a fresh (non-resumed) run.
+    pub resumed_cells: usize,
+    /// Cells a resumed journal named that had to re-run anyway
+    /// (unfinished, failed, or stale). Zero on a fresh run.
+    pub replayed_cells: usize,
     /// `(benchmark, seconds)` for every analysis pre-pass executed —
     /// one entry per benchmark touched, however many cells reused it.
     pub prepass: Vec<(String, f64)>,
@@ -891,13 +1234,24 @@ impl LabReport {
             self.prepass.len(),
             self.cells_per_prepass()
         );
+        if self.resumed_cells > 0 || self.replayed_cells > 0 {
+            let _ = writeln!(
+                out,
+                "resumed from journal: {} cells restored, {} replayed",
+                self.resumed_cells, self.replayed_cells
+            );
+        }
         if !self.failed_cells.is_empty() {
             let _ = writeln!(out, "failed cells: {}", self.failed_cells.len());
             for fc in &self.failed_cells {
                 let _ = writeln!(
                     out,
-                    "  {} config {} width {}: {}",
-                    fc.benchmark, fc.config, fc.width, fc.error
+                    "  {} config {} width {}{}: {}",
+                    fc.benchmark,
+                    fc.config,
+                    fc.width,
+                    if fc.timed_out { " (timed out)" } else { "" },
+                    fc.error
                 );
             }
         }
@@ -930,6 +1284,8 @@ impl LabReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"resumed_cells\": {},", self.resumed_cells);
+        let _ = writeln!(out, "  \"replayed_cells\": {},", self.replayed_cells);
         let _ = writeln!(out, "  \"total_wall_seconds\": {:.6},", self.wall_seconds);
         let _ = writeln!(
             out,
@@ -1009,10 +1365,11 @@ impl LabReport {
         for (i, fc) in self.failed_cells.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"width\": {}, \"error\": \"{}\"}}",
+                "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"width\": {}, \"timed_out\": {}, \"error\": \"{}\"}}",
                 fc.benchmark,
                 fc.config,
                 fc.width,
+                fc.timed_out,
                 json_escape(&fc.error)
             );
             out.push_str(if i + 1 < self.failed_cells.len() {
@@ -1251,6 +1608,7 @@ mod tests {
         match lab.outcome(bad.0, bad.1, bad.2) {
             CellOutcome::Failed { error } => assert!(error.contains("injected fault")),
             CellOutcome::Completed(_) => panic!("injected fault must not complete"),
+            CellOutcome::TimedOut { .. } => panic!("injected fault is not a timeout"),
         }
         // Healthy cells are unaffected.
         assert!(lab
@@ -1334,6 +1692,128 @@ mod tests {
         for b in Benchmark::ALL {
             assert_eq!(suite.trace(b), direct.trace(b));
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_generous_cell_timeout_never_moves_a_bit() {
+        let suite = Suite::generate(tiny());
+        let plain = Lab::from_suite(suite.clone());
+        let timed = Lab::from_suite(suite).with_cell_timeout(Duration::from_secs(3600));
+        assert_eq!(timed.cell_timeout(), Some(Duration::from_secs(3600)));
+        let cell = (Benchmark::Compress, PaperConfig::C, 4);
+        assert_eq!(
+            *plain.result(cell.0, cell.1, cell.2),
+            *timed.result(cell.0, cell.1, cell.2),
+            "the cancellable path must be bit-identical when the deadline survives"
+        );
+        assert!(timed.failed_cells().is_empty());
+    }
+
+    #[test]
+    fn an_expired_timeout_is_contained_and_classified() {
+        let lab = Lab::new(SuiteConfig {
+            trace_len: 300_000, // long enough to outlive a zero budget
+            ..tiny()
+        })
+        .with_cell_timeout(Duration::ZERO);
+        let cell = (Benchmark::Compress, PaperConfig::A, 4);
+        match lab.outcome(cell.0, cell.1, cell.2) {
+            CellOutcome::TimedOut { error } => {
+                assert!(error.starts_with(TIMEOUT_PREFIX), "got: {error}");
+                assert!(error.contains("026.compress"), "got: {error}");
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        // Recorded, classified, and reported as a timeout.
+        let failures = lab.cell_failures();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].1.timed_out);
+        let report = lab.report();
+        assert!(report.failed_cells[0].timed_out);
+        assert!(report.to_json().contains("\"timed_out\": true"));
+        assert!(report.render().contains("(timed out)"));
+        // Profiled labs time out the same way (the metrics wrapper
+        // composes with the cancel observer).
+        let profiled = Lab::new(SuiteConfig {
+            trace_len: 300_000,
+            ..tiny()
+        })
+        .with_profiling()
+        .with_cell_timeout(Duration::ZERO);
+        assert!(profiled.outcome(cell.0, cell.1, cell.2).result().is_none());
+    }
+
+    #[test]
+    fn supervised_runs_journal_and_resume_without_resimulating() {
+        let dir = std::env::temp_dir().join(format!("ddsc-lab-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal_path = dir.join("run_journal.bin");
+        let store_dir = dir.join("cells");
+
+        // First run: supervised, one cell fails by injection.
+        let bad = (Benchmark::Eqntott, PaperConfig::B, 4);
+        let (journal, records) = Journal::open(&journal_path).unwrap();
+        assert!(records.is_empty());
+        let lab = Lab::new(tiny())
+            .with_injected_fault(bad)
+            .with_supervision(Arc::new(journal), CellStore::new(&store_dir));
+        let grid = lab.grid();
+        lab.prewarm_degraded(&grid);
+
+        // The journal saw every start, every finish, and the failure.
+        let records = ddsc_util::read_journal(&journal_path).unwrap();
+        let starts = records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::CellStarted { .. }))
+            .count();
+        let finishes = records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::CellFinished { .. }))
+            .count();
+        let failures = records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::CellFailed { .. }))
+            .count();
+        assert_eq!(starts, grid.len());
+        assert_eq!(finishes, grid.len() - 1);
+        assert_eq!(failures, 1);
+
+        // Second lab over the same inputs: resume restores every
+        // finished cell bit-identically with zero re-simulation, and
+        // the failed cell is left to replay.
+        let (journal2, records) = Journal::open(&journal_path).unwrap();
+        let lab2 =
+            Lab::new(tiny()).with_supervision(Arc::new(journal2), CellStore::new(&store_dir));
+        let (resumed, replayed) = lab2.resume(&records);
+        assert_eq!(resumed, grid.len() - 1);
+        assert_eq!(replayed, 1);
+        assert_eq!(lab2.simulations_run(), grid.len() - 1);
+        assert_eq!(lab2.timings().len(), 0, "no cell was re-simulated");
+        for &(b, c, w) in &grid {
+            if (b, c, w) == bad {
+                continue;
+            }
+            assert_eq!(*lab2.result(b, c, w), *lab.result(b, c, w));
+        }
+        assert_eq!(lab2.timings().len(), 0, "lookups were all cache hits");
+        let report = lab2.report();
+        assert_eq!(report.resumed_cells, grid.len() - 1);
+        assert_eq!(report.replayed_cells, 1);
+        let json = report.to_json();
+        assert!(json.contains(&format!("\"resumed_cells\": {}", grid.len() - 1)));
+        assert!(json.contains("\"replayed_cells\": 1"));
+
+        // A lab with *different* inputs matches no digests: nothing
+        // resumes, everything the journal names replays.
+        let (journal3, records) = Journal::open(&journal_path).unwrap();
+        let other = Lab::new(SuiteConfig { seed: 4, ..tiny() })
+            .with_supervision(Arc::new(journal3), CellStore::new(&store_dir));
+        let (resumed, replayed) = other.resume(&records);
+        assert_eq!(resumed, 0);
+        assert_eq!(replayed, grid.len());
+        assert_eq!(other.simulations_run(), 0);
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 

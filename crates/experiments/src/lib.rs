@@ -44,6 +44,7 @@
 //! ```
 
 pub mod cache;
+pub mod cellstore;
 pub mod extensions;
 pub mod figures;
 pub mod lab;
@@ -52,9 +53,10 @@ pub mod profile;
 pub mod tables;
 
 pub use cache::{CacheError, TraceCache};
+pub use cellstore::CellStore;
 pub use lab::{
-    Cell, CellMetrics, CellOutcome, CellTiming, FailedCell, Lab, LabReport, PrewarmError, Suite,
-    SuiteConfig,
+    Cell, CellFailure, CellMetrics, CellOutcome, CellTiming, FailedCell, Lab, LabReport,
+    PrewarmError, Suite, SuiteConfig,
 };
 pub use profile::{collect_profiles, render_profiles, write_profiles, ConfigProfile, ProfileCell};
 

@@ -267,13 +267,15 @@ pub fn render_profiles(profiles: &[ConfigProfile]) -> String {
 }
 
 /// Writes each profile to `<dir>/profile_<config>.json`, creating `dir`
-/// as needed. Returns the written paths in configuration order.
+/// as needed. Each file is published atomically
+/// ([`ddsc_util::publish_atomic`]), so a crash mid-report never leaves
+/// a torn profile behind. Returns the written paths in configuration
+/// order.
 pub fn write_profiles(profiles: &[ConfigProfile], dir: &Path) -> std::io::Result<Vec<PathBuf>> {
-    std::fs::create_dir_all(dir)?;
     let mut paths = Vec::new();
     for p in profiles {
         let path = dir.join(format!("profile_{}.json", p.config.label()));
-        std::fs::write(&path, p.to_json())?;
+        ddsc_util::publish_atomic(&path, p.to_json().as_bytes())?;
         paths.push(path);
     }
     Ok(paths)

@@ -45,6 +45,36 @@ impl PatClass {
         }
     }
 
+    /// All pattern classes, in stable code order.
+    pub const ALL: [PatClass; 7] = [
+        PatClass::Ar,
+        PatClass::Lg,
+        PatClass::Sh,
+        PatClass::Mv,
+        PatClass::Ld,
+        PatClass::St,
+        PatClass::Brc,
+    ];
+
+    /// A stable one-byte code for on-disk serialization.
+    pub fn code(self) -> u8 {
+        match self {
+            PatClass::Ar => 0,
+            PatClass::Lg => 1,
+            PatClass::Sh => 2,
+            PatClass::Mv => 3,
+            PatClass::Ld => 4,
+            PatClass::St => 5,
+            PatClass::Brc => 6,
+        }
+    }
+
+    /// Inverse of [`PatClass::code`]; `None` for unknown codes, so a
+    /// corrupt store entry decodes to an error instead of a panic.
+    pub fn from_code(code: u8) -> Option<PatClass> {
+        PatClass::ALL.get(code as usize).copied()
+    }
+
     /// Derives the pattern class from an opcode, or `None` for operations
     /// that never participate in collapsing (mul, div, unconditional
     /// control, nop).
@@ -88,6 +118,23 @@ impl OperandKind {
     /// (zeros are detected and elided per §3 of the paper).
     pub fn counts(self) -> bool {
         !matches!(self, OperandKind::Zero)
+    }
+
+    /// All operand kinds, in stable code order.
+    pub const ALL: [OperandKind; 3] = [OperandKind::Reg, OperandKind::Imm, OperandKind::Zero];
+
+    /// A stable one-byte code for on-disk serialization.
+    pub fn code(self) -> u8 {
+        match self {
+            OperandKind::Reg => 0,
+            OperandKind::Imm => 1,
+            OperandKind::Zero => 2,
+        }
+    }
+
+    /// Inverse of [`OperandKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<OperandKind> {
+        OperandKind::ALL.get(code as usize).copied()
     }
 }
 
@@ -244,6 +291,18 @@ mod tests {
             assert_eq!(t.operand_count(), expected, "{kinds:?}");
             assert_eq!(t.has_zero(), kinds.contains(&Zero));
         }
+    }
+
+    #[test]
+    fn serialization_codes_round_trip() {
+        for c in PatClass::ALL {
+            assert_eq!(PatClass::from_code(c.code()), Some(c));
+        }
+        for k in OperandKind::ALL {
+            assert_eq!(OperandKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(PatClass::from_code(7), None);
+        assert_eq!(OperandKind::from_code(3), None);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //!   serialized artifact;
 //! * [`FlakyReader`] — an [`io::Read`] wrapper that fails a configured
 //!   number of reads before succeeding, modelling transient I/O;
-//! * [`Backoff`] — the bounded exponential delay sequence retry loops
-//!   share, so the policy is one definition instead of N copies.
+//! * [`Backoff`] — the bounded exponential retry delay policy retry
+//!   loops share, so the schedule is one definition instead of N copies.
 //!
 //! Everything here is deterministic: the same seed produces the same
 //! faults on every platform, so a failing fault-injection test is always
@@ -237,8 +237,14 @@ pub fn is_transient(e: &io::Error) -> bool {
 }
 
 /// The shared bounded-exponential retry delay policy: delays double from
-/// `base` and never exceed `cap`. The sequence is a pure function of its
-/// parameters, so tests can assert the exact schedule.
+/// `base` and never exceed `cap`.
+///
+/// The policy itself is immutable — each operation draws a fresh
+/// schedule with [`Backoff::delays`], so a policy stored in a struct or
+/// shared between call sites always restarts from the base delay.
+/// (An earlier version made `Backoff` itself the iterator; a reused
+/// value then silently continued where the previous operation stopped,
+/// starting later retries at the cap instead of the base.)
 ///
 /// # Examples
 ///
@@ -246,17 +252,18 @@ pub fn is_transient(e: &io::Error) -> bool {
 /// use std::time::Duration;
 /// use ddsc_util::fault::Backoff;
 ///
-/// let delays: Vec<Duration> = Backoff::new(Duration::from_millis(1), Duration::from_millis(4))
-///     .take(4)
-///     .collect();
+/// let policy = Backoff::new(Duration::from_millis(1), Duration::from_millis(4));
+/// let delays: Vec<Duration> = policy.delays().take(4).collect();
 /// assert_eq!(
 ///     delays,
 ///     [1, 2, 4, 4].map(Duration::from_millis)
 /// );
+/// // A second operation on the same policy restarts from the base.
+/// assert_eq!(policy.delays().next(), Some(Duration::from_millis(1)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Backoff {
-    next: Duration,
+    base: Duration,
     cap: Duration,
 }
 
@@ -264,7 +271,7 @@ impl Backoff {
     /// A policy starting at `base` and saturating at `cap`.
     pub fn new(base: Duration, cap: Duration) -> Backoff {
         Backoff {
-            next: base.min(cap),
+            base: base.min(cap),
             cap,
         }
     }
@@ -275,9 +282,26 @@ impl Backoff {
     pub fn for_cache() -> Backoff {
         Backoff::new(Duration::from_millis(1), Duration::from_millis(16))
     }
+
+    /// A fresh delay schedule for one operation, starting at the base
+    /// delay. The sequence is a pure function of the policy, so tests
+    /// can pin the exact schedule.
+    pub fn delays(&self) -> BackoffDelays {
+        BackoffDelays {
+            next: self.base,
+            cap: self.cap,
+        }
+    }
 }
 
-impl Iterator for Backoff {
+/// One operation's delay schedule, drawn from a [`Backoff`] policy.
+#[derive(Debug, Clone)]
+pub struct BackoffDelays {
+    next: Duration,
+    cap: Duration,
+}
+
+impl Iterator for BackoffDelays {
     type Item = Duration;
 
     fn next(&mut self) -> Option<Duration> {
@@ -394,14 +418,32 @@ mod tests {
     #[test]
     fn backoff_doubles_and_saturates() {
         let delays: Vec<u64> = Backoff::new(Duration::from_millis(2), Duration::from_millis(10))
+            .delays()
             .take(5)
             .map(|d| d.as_millis() as u64)
             .collect();
         assert_eq!(delays, vec![2, 4, 8, 10, 10]);
         // A cap below the base clamps immediately.
         let clamped = Backoff::new(Duration::from_millis(50), Duration::from_millis(5))
+            .delays()
             .next()
             .unwrap();
         assert_eq!(clamped, Duration::from_millis(5));
+    }
+
+    /// Regression: a `Backoff` policy reused across operations must hand
+    /// each one a schedule starting at the base delay. The old design
+    /// made the policy itself the iterator, so a second operation on the
+    /// same value resumed at the cap.
+    #[test]
+    fn reused_backoff_policy_restarts_from_base_each_operation() {
+        let policy = Backoff::new(Duration::from_millis(1), Duration::from_millis(8));
+        let ms = |sched: BackoffDelays| -> Vec<u64> {
+            sched.take(5).map(|d| d.as_millis() as u64).collect()
+        };
+        let first = ms(policy.delays());
+        assert_eq!(first, vec![1, 2, 4, 8, 8]);
+        let second = ms(policy.delays());
+        assert_eq!(second, first, "second operation must restart at base");
     }
 }

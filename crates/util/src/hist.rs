@@ -101,6 +101,50 @@ impl Histogram {
         self.buckets.iter().enumerate().map(|(i, &c)| (i as u64, c))
     }
 
+    /// Appends the binary encoding to `out`: cap, unit buckets,
+    /// overflow, total and sum, all little-endian. The inverse of
+    /// [`Histogram::decode`]; used by the per-cell result store so a
+    /// resumed run can reload finished cells without re-simulating.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.buckets.len() as u32).to_le_bytes());
+        for &b in &self.buckets {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out.extend_from_slice(&self.overflow.to_le_bytes());
+        out.extend_from_slice(&self.total.to_le_bytes());
+        out.extend_from_slice(&self.sum.to_le_bytes());
+    }
+
+    /// Decodes a histogram from `bytes` starting at `*pos`, advancing
+    /// `*pos` past it. `None` on truncation or a zero/absurd cap —
+    /// callers treat that as a corrupt store entry, never a panic.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Option<Histogram> {
+        fn u64_at(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+            let v = u64::from_le_bytes(bytes.get(*pos..*pos + 8)?.try_into().ok()?);
+            *pos += 8;
+            Some(v)
+        }
+        let cap = u32::from_le_bytes(bytes.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
+        *pos += 4;
+        if cap == 0 || cap > (1 << 20) {
+            return None;
+        }
+        let mut buckets = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            buckets.push(u64_at(bytes, pos)?);
+        }
+        let overflow = u64_at(bytes, pos)?;
+        let total = u64_at(bytes, pos)?;
+        let sum = u128::from_le_bytes(bytes.get(*pos..*pos + 16)?.try_into().ok()?);
+        *pos += 16;
+        Some(Histogram {
+            buckets,
+            overflow,
+            total,
+            sum,
+        })
+    }
+
     /// Merges another histogram into this one.
     ///
     /// # Panics
@@ -200,6 +244,30 @@ mod tests {
     #[should_panic(expected = "different caps")]
     fn merge_rejects_mismatched_caps() {
         Histogram::new(4).merge(&Histogram::new(8));
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_truncation() {
+        let mut h = Histogram::new(6);
+        h.record(0);
+        h.record_n(5, 3);
+        h.record(999);
+        let mut bytes = Vec::new();
+        h.encode_to(&mut bytes);
+        let mut pos = 0;
+        let back = Histogram::decode(&bytes, &mut pos).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(pos, bytes.len());
+        for keep in [0, 3, bytes.len() - 1] {
+            let mut pos = 0;
+            assert!(
+                Histogram::decode(&bytes[..keep], &mut pos).is_none(),
+                "keep={keep}"
+            );
+        }
+        // A zero cap can never have been encoded by a real histogram.
+        let mut pos = 0;
+        assert!(Histogram::decode(&[0u8; 44], &mut pos).is_none());
     }
 
     proptest! {

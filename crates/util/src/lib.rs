@@ -22,17 +22,21 @@ pub mod checksum;
 pub mod fault;
 pub mod fxhash;
 pub mod hist;
+pub mod journal;
 pub mod json;
+pub mod publish;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
 pub use bits::BitSet;
 pub use checksum::fnv1a;
-pub use fault::{Backoff, FaultOp, FaultPlan, FlakyReader};
+pub use fault::{Backoff, BackoffDelays, FaultOp, FaultPlan, FlakyReader};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hist::Histogram;
+pub use journal::{read_journal, Journal, JournalRecord};
 pub use json::{Json, JsonError};
+pub use publish::publish_atomic;
 pub use rng::{Pcg32, SplitMix64};
 pub use stats::{geometric_mean, harmonic_mean, mean, Percent};
 pub use table::TextTable;

@@ -1,0 +1,105 @@
+//! Crash-consistent artifact publication.
+//!
+//! Every file under `results/` is an *artifact*: a reader (a human, CI,
+//! or a resumed run) must never observe a torn one. [`publish_atomic`]
+//! is the single write path all artifact writers share — write the
+//! bytes to a temporary sibling, fsync, then rename into place — so a
+//! kill at any instant leaves either the old file or the new file,
+//! never a half-written hybrid.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// The bytes are written to a temporary sibling
+/// (`<path>.tmp.<pid>` — same directory, so the final rename never
+/// crosses a filesystem), synced to disk, then renamed over `path`.
+/// Parent directories are created as needed. On a failed rename the
+/// temporary file is removed, leaving no debris.
+///
+/// # Errors
+///
+/// Any underlying filesystem error. After an error the target file is
+/// either absent or holds its previous contents in full.
+///
+/// # Examples
+///
+/// ```
+/// let dir = std::env::temp_dir().join(format!("ddsc-publish-doc-{}", std::process::id()));
+/// let path = dir.join("artifact.txt");
+/// ddsc_util::publish_atomic(&path, b"v1").unwrap();
+/// ddsc_util::publish_atomic(&path, b"v2").unwrap();
+/// assert_eq!(std::fs::read(&path).unwrap(), b"v2");
+/// let _ = std::fs::remove_dir_all(&dir);
+/// ```
+pub fn publish_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension(format!(
+        "{}tmp.{}",
+        path.extension()
+            .and_then(|e| e.to_str())
+            .map(|e| format!("{e}."))
+            .unwrap_or_default(),
+        std::process::id()
+    ));
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    let renamed = fs::rename(&tmp, path);
+    if renamed.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    renamed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ddsc-publish-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn publishes_and_replaces_whole_files() {
+        let dir = tmpdir("replace");
+        let path = dir.join("a.json");
+        publish_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        publish_atomic(&path, b"second, longer").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let dir = tmpdir("parents");
+        let path = dir.join("deep/nested/out.txt");
+        publish_atomic(&path, b"x").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"x");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leaves_no_temporary_siblings_behind() {
+        let dir = tmpdir("clean");
+        let path = dir.join("artifact.bin");
+        publish_atomic(&path, &[0u8; 4096]).unwrap();
+        publish_atomic(&path, &[1u8; 64]).unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names, vec!["artifact.bin".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

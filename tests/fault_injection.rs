@@ -147,7 +147,7 @@ fn truncated_cache_entries_classify_and_heal() {
 fn transient_reads_recover_under_bounded_retry() {
     let payload = b"trace bytes".to_vec();
     let mut reader = FlakyReader::new(payload.as_slice(), 2);
-    let mut backoff = Backoff::for_cache();
+    let mut delays = Backoff::for_cache().delays();
     let mut buf = Vec::new();
     let mut attempts = 0;
     loop {
@@ -157,7 +157,7 @@ fn transient_reads_recover_under_bounded_retry() {
             Err(e) => {
                 assert!(is_transient(&e), "unexpected hard error: {e}");
                 assert!(attempts <= 3, "retry must converge");
-                std::thread::sleep(backoff.next().unwrap());
+                std::thread::sleep(delays.next().unwrap());
             }
         }
     }

@@ -59,7 +59,11 @@ fn observer_overhead(c: &mut Criterion) {
             let token = CancelToken::with_deadline(Duration::from_secs(3600));
             cells
                 .iter()
-                .map(|cfg| try_simulate_prepared(&prepared, cfg, &token).unwrap().cycles)
+                .map(|cfg| {
+                    try_simulate_prepared(&prepared, cfg, &token)
+                        .unwrap()
+                        .cycles
+                })
                 .sum::<u64>()
         })
     });

@@ -1,0 +1,114 @@
+//! Timing-loop data-structure micro-benchmarks.
+//!
+//! Two questions the 10× timing-loop rework answered empirically, kept
+//! honest here so a regression (or a tempting revert) shows up as a
+//! number:
+//!
+//! 1. **Ready set**: the issue stage repeatedly wakes instructions out
+//!    of program order and drains the oldest ready ones each cycle.
+//!    The rework replaced a sorted `Vec<u32>` (binary-search insert,
+//!    front drain) with a [`RingBitSet`] (set bit on wake, scan from
+//!    the window base). Both are benched under the same synthetic
+//!    wake/drain churn the simulator produces.
+//! 2. **Width monomorphisation**: the cycle loop is instantiated per
+//!    paper width so width compares fold to constants; any other width
+//!    takes the dynamic fallback. Benching a monomorphised width (8)
+//!    against its nearest dynamic neighbours (7, 9) bounds what the
+//!    dedicated instantiations buy.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddsc_core::{simulate, PaperConfig, SimConfig};
+use ddsc_util::{Pcg32, RingBitSet};
+use ddsc_workloads::Benchmark;
+
+const LEN: usize = 50_000;
+
+/// One deterministic churn script: `(wake_index, drain_below)` events
+/// mimicking the simulator's pattern — wakes land within a sliding
+/// window ahead of the drain point, the drain point advances a few
+/// entries per cycle.
+fn churn_script(events: usize) -> Vec<(usize, usize)> {
+    let mut rng = Pcg32::new(0xddc5_bec4);
+    let mut base = 0usize;
+    let mut script = Vec::with_capacity(events);
+    for _ in 0..events {
+        let wake = base + (rng.next_u32() % 256) as usize;
+        if rng.next_u32().is_multiple_of(4) {
+            base += (rng.next_u32() % 8) as usize;
+        }
+        script.push((wake, base));
+    }
+    script
+}
+
+fn ready_set(c: &mut Criterion) {
+    let script = churn_script(200_000);
+    let mut group = c.benchmark_group("ready_set");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(script.len() as u64));
+
+    // The pre-rework structure: keep ready indices sorted, insert via
+    // binary search, drain everything below the advancing base.
+    group.bench_function("sorted_vec", |b| {
+        b.iter(|| {
+            let mut ready: Vec<usize> = Vec::with_capacity(1024);
+            let mut drained = 0usize;
+            for &(wake, base) in &script {
+                if let Err(pos) = ready.binary_search(&wake) {
+                    ready.insert(pos, wake);
+                }
+                let below = ready.partition_point(|&i| i < base);
+                drained += below;
+                ready.drain(..below);
+            }
+            criterion::black_box(drained)
+        })
+    });
+
+    // The post-rework structure: a windowed bitset; wake is a bit set,
+    // drain is a scan-and-clear from the old base, eviction is free.
+    group.bench_function("ring_bitset", |b| {
+        b.iter(|| {
+            let mut ready = RingBitSet::with_capacity(1024);
+            let mut drained = 0usize;
+            for &(wake, base) in &script {
+                ready.grow_to(wake + 1);
+                ready.set(wake);
+                let mut i = ready.base();
+                while let Some(j) = ready.next_set(i) {
+                    if j >= base {
+                        break;
+                    }
+                    ready.clear(j);
+                    drained += 1;
+                    i = j + 1;
+                }
+                ready.evict_to(base.min(ready.end()));
+            }
+            criterion::black_box(drained)
+        })
+    });
+    group.finish();
+}
+
+fn width_monomorphisation(c: &mut Criterion) {
+    let trace = Benchmark::Li.trace(1996, LEN).expect("runs");
+    let mut group = c.benchmark_group("width_dispatch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(LEN as u64));
+    // Width 8 hits the dedicated instantiation; 7 and 9 do the same
+    // work through the dynamic-width fallback (W = 0), bracketing the
+    // monomorphised point from both sides.
+    for width in [7u32, 8, 9] {
+        let kind = if width == 8 { "mono" } else { "dyn" };
+        group.bench_function(format!("w{width}_{kind}"), |b| {
+            b.iter(|| {
+                criterion::black_box(simulate(&trace, &SimConfig::paper(PaperConfig::D, width)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ready_set, width_monomorphisation);
+criterion_main!(benches);

@@ -30,9 +30,12 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ddsc_core::{analyze_dataflow, simulate, Latencies, LoadClass, PaperConfig, SimConfig};
+use ddsc_core::{
+    analyze_dataflow, simulate, simulate_stream, Latencies, LoadClass, PaperConfig, SimConfig,
+    DEFAULT_CHUNK_SIZE,
+};
 use ddsc_experiments::{
-    extensions, figures, tables, CellStore, Lab, Suite, SuiteConfig, TraceCache,
+    convergence_study, extensions, figures, tables, CellStore, Lab, Suite, SuiteConfig, TraceCache,
 };
 use ddsc_trace::io::{read_trace, write_trace};
 use ddsc_util::journal::{Journal, JournalRecord};
@@ -97,6 +100,7 @@ pub fn run_full(args: &[String]) -> Result<RunOutput, Box<dyn Error>> {
         Some("disasm") => disasm(&collect(args)).map(RunOutput::complete),
         Some("trace") => trace_cmd(&collect(args)).map(RunOutput::complete),
         Some("sim") => sim_cmd(&collect(args)).map(RunOutput::complete),
+        Some("convergence") => convergence_cmd(&collect(args)).map(RunOutput::complete),
         Some("analyze") => analyze_cmd(&collect(args)).map(RunOutput::complete),
         Some("journal") => journal_cmd(&collect(args)).map(RunOutput::complete),
         Some("repro") => repro_cmd(&collect(args)),
@@ -141,6 +145,9 @@ USAGE:
   ddsc trace gen <benchmark> -o FILE [--len N] [--seed S]
   ddsc trace info FILE
   ddsc sim <benchmark> [--config A|B|C|D|E] [--width W] [--len N] [--seed S]
+                       [--chunk-size C]
+  ddsc convergence [--bench B] [--config A|B|C|D|E] [--width W] [--seed S]
+                   [--lens N1,N2,...] [--chunk-size C] [--out FILE]
   ddsc analyze <benchmark> [--len N] [--seed S]
   ddsc repro <table1|table2|table3|table4|table5|table6|
               fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|
@@ -156,6 +163,15 @@ USAGE:
   ddsc journal FILE
 
 Benchmarks: compress espresso eqntott li go ijpeg
+
+`sim --chunk-size C` streams the run: the workload VM is stepped
+lazily and the simulator holds only a sliding window of C-instruction
+chunks, so paper-scale traces (250M instructions) run in bounded
+memory with bit-identical results. `convergence` runs one cell
+(default li, config D, width 8) streamed at a ladder of trace
+lengths (default 300000,25000000,250000000), prints the IPC
+convergence table and writes the JSON payload to --out (default
+results/BENCH_convergence.json).
 
 `repro` fans the simulation grid out over a thread pool (host
 parallelism by default; override with --threads or DDSC_THREADS).
@@ -337,9 +353,31 @@ fn sim_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
     let width: u32 = parse_num(args, "--width", 8)?;
     let len: usize = parse_num(args, "--len", 300_000)?;
     let seed: u64 = parse_num(args, "--seed", 1996)?;
+    let sim_config = SimConfig::paper(config, width);
 
-    let trace = bench.trace(seed, len).map_err(|e| e.to_string())?;
-    let result = simulate(&trace, &SimConfig::paper(config, width));
+    // With --chunk-size the run streams: the workload VM is stepped
+    // lazily and the simulator holds only a sliding window, so memory
+    // stays bounded at any --len. Results are bit-identical to the
+    // whole-trace path, and the streaming note goes to stderr so
+    // stdout stays byte-identical too (CI diffs the two).
+    let result = match flag_value(args, "--chunk-size") {
+        Some(c) => {
+            let chunk: usize = c.parse()?;
+            let mut src = bench.source(seed, len);
+            let r = simulate_stream(&mut src, &sim_config, chunk).map_err(|e| e.to_string())?;
+            if let Some(rss) = ddsc_util::peak_rss_bytes() {
+                eprintln!(
+                    "streamed {len} instructions in {chunk}-instruction chunks, peak RSS {:.1} MiB",
+                    rss as f64 / (1024.0 * 1024.0)
+                );
+            }
+            r
+        }
+        None => {
+            let trace = bench.trace(seed, len).map_err(|e| e.to_string())?;
+            simulate(&trace, &sim_config)
+        }
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -387,6 +425,31 @@ fn sim_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
             result.collapse.groups()
         );
     }
+    Ok(out)
+}
+
+/// `ddsc convergence`: the paper-scale trace-length study. Simulates
+/// one cell streamed at a ladder of lengths, prints the convergence
+/// table and publishes the JSON payload.
+fn convergence_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
+    let bench = parse_bench(flag_value(args, "--bench").unwrap_or("li"))?;
+    let config = parse_config(flag_value(args, "--config").unwrap_or("D"))?;
+    let width: u32 = parse_num(args, "--width", 8)?;
+    let seed: u64 = parse_num(args, "--seed", 1996)?;
+    let chunk: usize = parse_num(args, "--chunk-size", DEFAULT_CHUNK_SIZE)?;
+    let lens: Vec<usize> = match flag_value(args, "--lens") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| s.trim().replace('_', "").parse::<usize>())
+            .collect::<Result<_, _>>()?,
+        None => vec![300_000, 25_000_000, 250_000_000],
+    };
+    let report =
+        convergence_study(bench, config, width, seed, &lens, chunk).map_err(|e| e.to_string())?;
+    let mut out = report.render();
+    let path = flag_value(args, "--out").unwrap_or("results/BENCH_convergence.json");
+    publish_atomic(Path::new(path), report.to_json().as_bytes())?;
+    let _ = writeln!(out, "wrote {path}");
     Ok(out)
 }
 
@@ -704,6 +767,50 @@ mod tests {
         .unwrap();
         assert!(out.contains("IPC"));
         assert!(out.contains("collapsed"));
+    }
+
+    #[test]
+    fn streamed_sim_output_is_byte_identical_to_whole_trace() {
+        let base = [
+            "sim", "li", "--config", "D", "--width", "8", "--len", "6000",
+        ];
+        let whole = run_strs(&base).unwrap();
+        for chunk in ["1", "977", "1000000"] {
+            let mut streamed: Vec<&str> = base.to_vec();
+            streamed.extend(["--chunk-size", chunk]);
+            assert_eq!(run_strs(&streamed).unwrap(), whole, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn convergence_writes_table_and_json() {
+        let dir = std::env::temp_dir().join(format!("ddsc-cli-conv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_convergence.json");
+        let out = run_strs(&[
+            "convergence",
+            "--bench",
+            "compress",
+            "--config",
+            "D",
+            "--width",
+            "8",
+            "--lens",
+            "2000,5000",
+            "--chunk-size",
+            "512",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("Convergence: 026.compress config D width 8"));
+        assert!(out.contains("vs longest"));
+        assert!(out.contains("wrote"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"ddsc-convergence-v1\""));
+        assert!(json.contains("\"len\": 5000"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

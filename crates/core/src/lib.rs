@@ -45,6 +45,7 @@ pub mod prepass;
 pub mod reference;
 pub mod result;
 pub mod simulator;
+pub mod stream;
 pub mod validate;
 
 pub use cancel::{CancelObserver, CancelToken, Cancelled};
@@ -56,11 +57,15 @@ pub use metrics::{
     AuditError, CycleAttribution, MetricsCollector, NoopObserver, SimMetrics, SimObserver,
     StallCause,
 };
-pub use prepass::{BranchStream, PreparedTrace, ValueStream};
+pub use prepass::{BranchStream, PreparedTrace, StreamingPrepass, ValueStream};
 pub use reference::simulate_reference;
 pub use result::{BranchRunStats, LoadClass, LoadSpecStats, SimResult, StallStats, ValueSpecStats};
 pub use simulator::{
     simulate, simulate_prepared, simulate_prepared_observed, simulate_with_metrics,
     try_simulate_prepared, try_simulate_prepared_observed, try_simulate_with_metrics,
+};
+pub use stream::{
+    simulate_stream, simulate_stream_with_metrics, try_simulate_stream,
+    try_simulate_stream_observed, StreamError, DEFAULT_CHUNK_SIZE,
 };
 pub use validate::{TraceValidator, ValidationError};

@@ -31,7 +31,7 @@ use ddsc_predict::{
     ValuePredictor,
 };
 use ddsc_trace::Trace;
-use ddsc_util::{fnv1a, BitSet, FxHashMap};
+use ddsc_util::{fnv1a, BitSet, FxHashMap, RingVec};
 
 use crate::{BranchRunStats, ConfidenceParams, Latencies, ValueSpecStats};
 
@@ -462,6 +462,309 @@ impl PreparedTrace {
     }
 }
 
+/// Streaming-only flag bit: the instruction may absorb producers
+/// (collapse consumer). Whole-trace columns keep this fact in
+/// [`CollapseStatic`]; the streaming pre-pass folds it into its flag
+/// byte because bit 7 is free and the timing loop only ever masks.
+pub(crate) const F_STREAM_CONSUMER: u8 = 1 << 7;
+
+/// The sliding-window analysis pre-pass behind streaming simulation.
+///
+/// Mirrors [`PreparedTrace::build`] one instruction at a time: the same
+/// flag bits, dependence rows, memory dependences, block numbering and
+/// predictor verdicts, but held in ring columns that
+/// [`StreamingPrepass::evict_to`] retires behind the simulator's
+/// watermark. Trace-order state that genuinely spans the whole run — the
+/// per-register last-writer table, the last-store-per-word map, the
+/// predictor tables and the run statistics — is O(machine), not O(trace),
+/// so peak memory is bounded by the live window no matter how long the
+/// trace is.
+///
+/// Dependence edges can point below the evicted horizon; that is fine by
+/// construction (see [`crate::stream`]): the timing loop reads an
+/// evicted producer's completion as "done long ago", and every fact this
+/// pass needs about a producer at push time (its `can_produce` bit) rides
+/// in the last-writer table instead of the columns.
+///
+/// Unlike the whole-trace pre-pass, a streaming pass is built per
+/// configuration (it resolves latencies and predictor geometry up
+/// front), and it cannot serve node elimination, which needs whole-trace
+/// reader counts — [`crate::stream`]'s entry points reject such configs.
+#[derive(Debug)]
+pub struct StreamingPrepass {
+    // Ring columns, indexed by absolute instruction position.
+    flags: RingVec<u8>,
+    lat: RingVec<u8>,
+    block: RingVec<u32>,
+    mem_dep: RingVec<u32>,
+    row: RingVec<crate::simulator::ProducerRow>,
+    optype: RingVec<Option<ddsc_isa::OpType>>,
+    /// Packed predictor verdicts: bit 0 mispredicted branch, bits 1–2
+    /// address confident/correct, bit 3 value confident-and-correct.
+    verdict: RingVec<u8>,
+
+    // Trace-order bookkeeping (bounded by the machine, not the trace).
+    last_writer: [Option<(u32, bool)>; ddsc_isa::Reg::COUNT],
+    store_map: FxHashMap<u32, u32>,
+    blocks: u32,
+    latencies: Latencies,
+
+    // Predictor state, resolved from the config up front.
+    branch: Option<McFarling>,
+    addr: Option<TwoDeltaStride>,
+    value: Option<TwoDeltaValue>,
+    value_mode: crate::ValueSpecMode,
+
+    // Run statistics, final once the whole trace has been pushed.
+    branch_stats: BranchRunStats,
+    value_stats: ValueSpecStats,
+    loads_with_value: u64,
+}
+
+const VERDICT_MISPRED: u8 = 1 << 0;
+const VERDICT_ADDR_SHIFT: u8 = 1;
+const VERDICT_VALUE_BYPASS: u8 = 1 << 3;
+
+impl StreamingPrepass {
+    /// A streaming pre-pass resolved against one configuration's
+    /// latencies, predictor geometry and speculation modes.
+    pub fn new(config: &crate::SimConfig) -> Self {
+        StreamingPrepass {
+            flags: RingVec::new(0),
+            lat: RingVec::new(0),
+            block: RingVec::new(0),
+            mem_dep: RingVec::new(NO_DEP),
+            row: RingVec::new(crate::simulator::ProducerRow::default()),
+            optype: RingVec::new(None),
+            verdict: RingVec::new(0),
+            last_writer: [None; ddsc_isa::Reg::COUNT],
+            store_map: FxHashMap::default(),
+            blocks: 0,
+            latencies: config.latencies,
+            branch: (!config.perfect_branches).then(|| McFarling::new(config.predictor_n)),
+            addr: (config.load_spec == crate::LoadSpecMode::Real).then(|| {
+                TwoDeltaStride::with_confidence(
+                    config.stride_bits,
+                    SatCounter::with_params(
+                        config.confidence.max,
+                        config.confidence.inc,
+                        config.confidence.dec,
+                        config.confidence.threshold,
+                    ),
+                )
+            }),
+            value: (config.value_spec == crate::ValueSpecMode::Real)
+                .then(TwoDeltaValue::paper_sized),
+            value_mode: config.value_spec,
+            branch_stats: BranchRunStats::default(),
+            value_stats: ValueSpecStats::default(),
+            loads_with_value: 0,
+        }
+    }
+
+    /// Instructions pushed so far (the exclusive end of the columns).
+    pub fn len(&self) -> usize {
+        self.flags.end()
+    }
+
+    /// Whether no instruction has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Analyses one instruction, appending every column
+    /// [`PreparedTrace::build`] would have produced for it.
+    pub fn push(&mut self, inst: &ddsc_trace::TraceInst) {
+        let i = self.len() as u32;
+
+        let mut flags = 0u8;
+        if inst.is_load() {
+            flags |= F_LOAD;
+        }
+        if inst.is_store() {
+            flags |= F_STORE;
+        }
+        if inst.op.is_cond_branch() {
+            flags |= F_COND_BRANCH;
+        }
+        if inst.op.is_control() {
+            flags |= F_CONTROL;
+        }
+        if inst.taken {
+            flags |= F_TAKEN;
+        }
+        if inst.value.is_some() {
+            flags |= F_VALUE;
+        }
+        let can_produce = ddsc_collapse::can_produce(inst);
+        if can_produce {
+            flags |= F_CAN_PRODUCE;
+        }
+        if inst.op.class().is_collapsible_consumer() {
+            flags |= F_STREAM_CONSUMER;
+        }
+
+        // Predictor verdicts, trained in trace order exactly as the
+        // whole-trace verdict streams are.
+        let mut verdict = 0u8;
+        if flags & F_COND_BRANCH != 0 {
+            self.branch_stats.cond_branches += 1;
+            let correct = match &mut self.branch {
+                Some(p) => p.predict_and_train(inst.pc, inst.taken),
+                None => true,
+            };
+            if !correct {
+                verdict |= VERDICT_MISPRED;
+                self.branch_stats.mispredicted += 1;
+            }
+        }
+        if flags & F_LOAD != 0 {
+            if let Some(table) = &mut self.addr {
+                let pred = table.access(inst.pc, inst.ea.unwrap_or(0));
+                verdict |= (u8::from(pred.confident) | (u8::from(pred.correct) << 1))
+                    << VERDICT_ADDR_SHIFT;
+            }
+            if let Some(v) = inst.value {
+                self.loads_with_value += 1;
+                if let Some(table) = &mut self.value {
+                    let pred = table.access(inst.pc, v);
+                    if pred.confident && pred.correct {
+                        verdict |= VERDICT_VALUE_BYPASS;
+                        self.value_stats.predicted_correct += 1;
+                    } else if pred.confident {
+                        self.value_stats.predicted_incorrect += 1;
+                    } else {
+                        self.value_stats.not_predicted += 1;
+                    }
+                }
+            }
+        }
+
+        // Register dependence row: distinct producers in source order,
+        // each tagged with its absorb-slot code. The producer's
+        // `can_produce` bit rides in the last-writer table so the row is
+        // exact even when the producer's column has been evicted.
+        let mut row = crate::simulator::ProducerRow::default();
+        for r in inst.reg_sources() {
+            if let Some((prod, prod_can_produce)) = self.last_writer[r.index()] {
+                if !row.contains(prod) {
+                    let code = if prod_can_produce {
+                        encode_slots(&absorb_slots(inst, r))
+                    } else {
+                        0
+                    };
+                    row.push(prod, code);
+                }
+            }
+        }
+
+        // Memory dependence: the latest earlier store to this word.
+        let word = inst.ea.unwrap_or(0) & !3;
+        let mem_dep = if inst.is_load() {
+            self.store_map.get(&word).copied().unwrap_or(NO_DEP)
+        } else {
+            NO_DEP
+        };
+
+        self.flags.push(flags);
+        self.lat.push(self.latencies.of(inst.op));
+        self.block.push(self.blocks);
+        self.mem_dep.push(mem_dep);
+        self.row.push(row);
+        self.optype.push(inst.optype());
+        self.verdict.push(verdict);
+
+        // Trace-order bookkeeping for later instructions.
+        if let Some(d) = inst.dest {
+            self.last_writer[d.index()] = Some((i, can_produce));
+        }
+        if inst.is_store() {
+            self.store_map.insert(word, i);
+        }
+        if inst.op.is_control() {
+            self.blocks += 1;
+        }
+    }
+
+    /// Retires every column strictly below `below`; reads of evicted
+    /// positions return the neutral fill (flags 0, no dependence).
+    pub fn evict_to(&mut self, below: usize) {
+        self.flags.evict_to(below);
+        self.lat.evict_to(below);
+        self.block.evict_to(below);
+        self.mem_dep.evict_to(below);
+        self.row.evict_to(below);
+        self.optype.evict_to(below);
+        self.verdict.evict_to(below);
+    }
+
+    pub(crate) fn flags(&self, i: usize) -> u8 {
+        self.flags.get(i).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn latency(&self, i: usize) -> u8 {
+        self.lat.get(i).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn block_of(&self, i: usize) -> u32 {
+        self.block.get(i).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn mem_dep_of(&self, i: usize) -> Option<u32> {
+        match self.mem_dep.get(i).copied().unwrap_or(NO_DEP) {
+            NO_DEP => None,
+            s => Some(s),
+        }
+    }
+
+    pub(crate) fn producer_row(&self, i: usize) -> crate::simulator::ProducerRow {
+        self.row.get(i).copied().unwrap_or_default()
+    }
+
+    pub(crate) fn optype_of(&self, i: usize) -> Option<ddsc_isa::OpType> {
+        self.optype.get(i).copied().flatten()
+    }
+
+    pub(crate) fn mispredicted(&self, i: usize) -> bool {
+        self.verdict.get(i).copied().unwrap_or(0) & VERDICT_MISPRED != 0
+    }
+
+    pub(crate) fn load_pred(&self, i: usize) -> u8 {
+        (self.verdict.get(i).copied().unwrap_or(0) >> VERDICT_ADDR_SHIFT) & 3
+    }
+
+    /// Whether producer `i`'s value is predicted at dispatch under the
+    /// configured mode. Evicted producers answer `false`, which cannot
+    /// move a bit (their dependence already resolves at cycle 0).
+    pub(crate) fn value_bypass(&self, i: usize) -> bool {
+        match self.value_mode {
+            crate::ValueSpecMode::Off => false,
+            crate::ValueSpecMode::Ideal => self.flags(i) & (F_LOAD | F_VALUE) == F_LOAD | F_VALUE,
+            crate::ValueSpecMode::IdealAll => self.flags(i) & F_VALUE != 0,
+            crate::ValueSpecMode::Real => {
+                self.verdict.get(i).copied().unwrap_or(0) & VERDICT_VALUE_BYPASS != 0
+            }
+        }
+    }
+
+    /// Final branch-run totals (exact once the whole trace is pushed).
+    pub(crate) fn branch_stats(&self) -> BranchRunStats {
+        self.branch_stats
+    }
+
+    /// Final value-speculation totals under the configured mode.
+    pub(crate) fn value_stats(&self) -> ValueSpecStats {
+        match self.value_mode {
+            crate::ValueSpecMode::Off => ValueSpecStats::default(),
+            crate::ValueSpecMode::Ideal | crate::ValueSpecMode::IdealAll => ValueSpecStats {
+                predicted_correct: self.loads_with_value,
+                ..ValueSpecStats::default()
+            },
+            crate::ValueSpecMode::Real => self.value_stats,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -673,5 +976,83 @@ mod tests {
             a.fingerprint(),
             PreparedTrace::build(&sample()).fingerprint()
         );
+    }
+
+    /// Drives a [`StreamingPrepass`] over `t` in `chunk`-sized pushes,
+    /// evicting all but the `keep` newest columns after each chunk, and
+    /// checks every live column bit-for-bit against the whole-trace
+    /// [`PreparedTrace`] (flags, latencies, blocks, CSR dependence rows,
+    /// memory deps, and all three predictor verdict streams).
+    fn check_streaming_against_whole(t: &Trace, chunk: usize, keep: usize) {
+        let p = PreparedTrace::build(t);
+        let mut cfg = crate::SimConfig::paper(crate::PaperConfig::D, 8);
+        cfg.value_spec = crate::ValueSpecMode::Real;
+        let branch = p.default_branch_stream();
+        let addr = p.default_addr_stream();
+        let value = p.real_value_stream();
+        let lat = p.latency_column(&cfg.latencies);
+
+        let mut sp = StreamingPrepass::new(&cfg);
+        let mut compared = 0usize;
+        for chunk_insts in t.insts().chunks(chunk.max(1)) {
+            for inst in chunk_insts {
+                sp.push(inst);
+            }
+            let end = sp.len();
+            for i in compared..end {
+                assert_eq!(sp.flags(i) & !F_STREAM_CONSUMER, p.flags(i), "flags at {i}");
+                assert_eq!(
+                    sp.flags(i) & F_STREAM_CONSUMER != 0,
+                    p.collapse().is_consumer(i),
+                    "consumer flag at {i}"
+                );
+                assert_eq!(sp.latency(i), lat[i], "latency at {i}");
+                assert_eq!(sp.block_of(i), p.block_of(i), "block at {i}");
+                assert_eq!(sp.mem_dep_of(i), p.mem_dep_of(i), "mem dep at {i}");
+                let mut row = crate::simulator::ProducerRow::default();
+                for (&pr, &code) in p.producers_of(i).iter().zip(p.slot_codes_of(i)) {
+                    row.push(pr, code);
+                }
+                assert_eq!(sp.producer_row(i), row, "producer row at {i}");
+                assert_eq!(
+                    sp.mispredicted(i),
+                    branch.mispredicted.get(i),
+                    "branch verdict at {i}"
+                );
+                assert_eq!(sp.load_pred(i), addr[i], "addr verdict at {i}");
+                assert_eq!(
+                    sp.value_bypass(i),
+                    value.bypass.get(i),
+                    "value verdict at {i}"
+                );
+            }
+            compared = end;
+            sp.evict_to(end.saturating_sub(keep.max(1)));
+        }
+        assert_eq!(sp.len(), t.len());
+        assert_eq!(sp.branch_stats(), branch.stats, "branch totals");
+        assert_eq!(sp.value_stats(), value.stats, "value totals");
+    }
+
+    #[test]
+    fn streaming_prepass_matches_whole_trace_at_fixed_boundaries() {
+        let t = crate::simulator::testutil::mixed_trace(2000, 42);
+        // Chunk size 1, a small odd size, and one larger than the trace.
+        for (chunk, keep) in [(1, 1), (7, 13), (64, 256), (4096, 64)] {
+            check_streaming_against_whole(&t, chunk, keep);
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn streaming_prepass_matches_whole_trace_at_random_boundaries(
+            len in 1u32..500,
+            seed in proptest::prelude::any::<u64>(),
+            chunk in 1usize..600,
+            keep in 1usize..80,
+        ) {
+            let t = crate::simulator::testutil::mixed_trace(len, seed);
+            check_streaming_against_whole(&t, chunk, keep);
+        }
     }
 }

@@ -20,22 +20,31 @@
 //! pre-pass ([`PreparedTrace::build`]) — walks the trace once and packs
 //! every config-invariant artifact (dependence edges, memory
 //! dependences, block numbering, collapse eligibility, predictor
-//! verdict streams) into structure-of-arrays columns. Stage two —
-//! [`simulate_prepared`] — runs the timing loop straight off those
-//! columns: the window lives in a fixed-size slab indexed through a
-//! dense `slot_of` table (no hashing), the ready set is a sorted vector
-//! popped from the tail, and dependences are CSR array slices. One
-//! [`PreparedTrace`] serves a whole configuration grid. [`simulate`]
+//! verdict streams) into structure-of-arrays columns. Stage two is one
+//! generic timing loop over a `PreparedSource` view of those columns:
+//! the whole-trace view borrows a [`PreparedTrace`], the streaming view
+//! ([`crate::stream`]) pulls chunks from a trace source and evicts
+//! columns behind the retirement watermark, and the two produce
+//! bit-identical results because they *are* the same loop. [`simulate`]
 //! composes the two stages, so single runs and grid runs share one code
 //! path — `tests::matches_the_reference_simulator` and
 //! [`crate::reference`] hold the bit-identity invariant in place.
+//!
+//! The loop itself is built for throughput: wake-ups go through a
+//! 512-bucket timing wheel (latencies are `u8`, so a completion is never
+//! more than 255 cycles out and an idle skip never jumps further), the
+//! ready set is a ring bit set whose ascending scan yields oldest-first
+//! issue order for free, the cycle loop is monomorphised over the
+//! paper's issue widths the same way the `CANCELLABLE` const generic
+//! specialises cancellation, and all per-instruction state lives in ring
+//! buffers whose storage tracks the live window span — which is exactly
+//! what makes the streaming view's bounded memory possible.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use ddsc_collapse::{decode_slots, AbsorbSlot, CollapseOpts, CollapseStats, ExprState};
 use ddsc_trace::Trace;
-use ddsc_util::BitSet;
+use ddsc_util::{BitSet, RingBitSet, RingVec};
 
 use crate::cancel::{CancelObserver, CancelToken, Cancelled};
 use crate::metrics::{MetricsCollector, NoopObserver, SimMetrics, SimObserver, StallCause};
@@ -43,12 +52,27 @@ use crate::prepass::{
     BranchStream, PreparedTrace, DEFAULT_PREDICTOR_N, DEFAULT_STRIDE_BITS, F_CAN_PRODUCE,
     F_COND_BRANCH, F_LOAD, F_VALUE,
 };
+use crate::stream::StreamError;
 use crate::{
-    ConfidenceParams, Latencies, LoadClass, LoadSpecMode, SimConfig, SimResult, StallStats,
-    ValueSpecMode, ValueSpecStats,
+    BranchRunStats, ConfidenceParams, Latencies, LoadClass, LoadSpecMode, SimConfig, SimResult,
+    StallStats, ValueSpecMode, ValueSpecStats,
 };
 
 const NOT_DONE: u32 = u32::MAX;
+
+/// Completion cycle of `p` as the timing logic sees it: in-flight
+/// instructions report [`NOT_DONE`], evicted ones report 0.
+///
+/// Eviction only ever covers instructions that completed strictly before
+/// the current cycle, and every comparison the loop makes against a
+/// completion value c with `c < cycle` is insensitive to the exact value
+/// (ready floors are dominated by `entry_cycle == cycle`; stall
+/// comparisons test `>= rc` with `rc >= cycle`), so reporting 0 is
+/// bit-identical to remembering the true cycle.
+#[inline]
+fn comp(completion: &RingVec<u32>, p: u32) -> u32 {
+    completion.get(p as usize).copied().unwrap_or(0)
+}
 
 #[derive(Debug, Default)]
 struct DepGroup {
@@ -59,17 +83,10 @@ struct DepGroup {
 }
 
 impl DepGroup {
-    /// An empty group pre-sized for the common case (an instruction has
-    /// at most two register sources plus a memory/branch constraint).
-    fn sized() -> Self {
-        DepGroup {
-            producers: Vec::with_capacity(4),
-            ready: 0,
-        }
-    }
-
-    fn add(&mut self, p: u32, completion: &[u32]) {
-        let c = completion[p as usize];
+    /// Adds producer `p` whose completion status is `c` (a [`comp`]
+    /// lookup): resolved producers raise the ready floor, in-flight ones
+    /// join the wait list.
+    fn add(&mut self, p: u32, c: u32) {
         if c != NOT_DONE {
             self.ready = self.ready.max(c);
         } else if !self.producers.contains(&p) {
@@ -175,55 +192,153 @@ const NO_SLOT: u32 = u32::MAX;
 /// At most `window_size` instructions are live at once, but their
 /// *indices* can span arbitrarily far (an old stalled instruction pins
 /// its slot while younger ones churn), so `index % capacity` would
-/// collide. Instead a free-list hands out slots and a dense
+/// collide. Instead a free-list hands out slots and a ring
 /// `slot_of[inst_index]` table maps indices to slots — every lookup the
-/// cycle loop does becomes two array reads, no hashing.
+/// cycle loop does becomes two array reads, no hashing — while indices
+/// behind the retirement watermark are evicted so the table's storage
+/// tracks the live span, not the trace length.
 #[derive(Debug)]
 struct Window {
     slots: Vec<Option<Entry>>,
-    /// Instruction index → slot, or [`NO_SLOT`].
-    slot_of: Vec<u32>,
+    /// Instruction index → slot, or [`NO_SLOT`]; indexed in fetch order.
+    slot_of: RingVec<u32>,
     free: Vec<u32>,
 }
 
 impl Window {
-    fn new(capacity: u32, trace_len: usize) -> Self {
-        let capacity = capacity as usize;
+    fn new(capacity: u32) -> Self {
         Window {
-            slots: std::iter::repeat_with(|| None).take(capacity).collect(),
-            slot_of: vec![NO_SLOT; trace_len],
-            free: (0..capacity as u32).rev().collect(),
+            slots: std::iter::repeat_with(|| None)
+                .take(capacity as usize)
+                .collect(),
+            slot_of: RingVec::with_capacity(NO_SLOT, capacity as usize * 2),
+            free: (0..capacity).rev().collect(),
         }
     }
 
+    /// Inserts the entry for instruction `index`, which must be the next
+    /// fetch-order index (the `slot_of` ring is append-only).
     fn insert(&mut self, index: u32, entry: Entry) {
+        debug_assert_eq!(index as usize, self.slot_of.end());
         let slot = self.free.pop().expect("window over capacity");
         self.slots[slot as usize] = Some(entry);
-        self.slot_of[index as usize] = slot;
+        self.slot_of.push(slot);
     }
 
     fn get(&self, index: u32) -> Option<&Entry> {
-        match self.slot_of[index as usize] {
-            NO_SLOT => None,
-            slot => self.slots[slot as usize].as_ref(),
+        match self.slot_of.get(index as usize) {
+            None | Some(&NO_SLOT) => None,
+            Some(&slot) => self.slots[slot as usize].as_ref(),
         }
     }
 
     fn get_mut(&mut self, index: u32) -> Option<&mut Entry> {
-        match self.slot_of[index as usize] {
-            NO_SLOT => None,
-            slot => self.slots[slot as usize].as_mut(),
+        match self.slot_of.get(index as usize).copied() {
+            None | Some(NO_SLOT) => None,
+            Some(slot) => self.slots[slot as usize].as_mut(),
         }
     }
 
     fn remove(&mut self, index: u32) -> Option<Entry> {
-        match std::mem::replace(&mut self.slot_of[index as usize], NO_SLOT) {
+        match std::mem::replace(self.slot_of.get_mut(index as usize), NO_SLOT) {
             NO_SLOT => None,
             slot => {
                 self.free.push(slot);
                 self.slots[slot as usize].take()
             }
         }
+    }
+
+    /// Forgets `slot_of` entries below `below` (all retired by then).
+    fn evict_to(&mut self, below: usize) {
+        self.slot_of.evict_to(below);
+    }
+}
+
+/// Number of buckets in the wake-up timing wheel.
+///
+/// An entry's raw ready cycle is at most `cycle + 255` (latencies are
+/// `u8`), and an idle skip advances `cycle` by at most 255 for the same
+/// reason, so the distance between the oldest undrained bucket and the
+/// furthest future wake-up is bounded by 509 < 512.
+const WHEEL_BUCKETS: usize = 512;
+
+/// The pending set — scheduled instructions waiting for their ready
+/// cycle — as a timing wheel.
+///
+/// Replaces a `BinaryHeap<Reverse<(rc, idx)>>`: push and drain are O(1)
+/// per entry instead of O(log n), and the drain naturally batches per
+/// cycle. Entries store their *raw* ready cycle even when bucketed later
+/// (a wake-up scheduled for the current cycle lands in the next
+/// drainable bucket — exactly when the heap would have surfaced it, see
+/// `drain_through`), so `peek_min` reproduces the heap's `(rc, idx)`
+/// ordering bit for bit.
+#[derive(Debug)]
+struct Wheel {
+    /// `buckets[c % WHEEL_BUCKETS]` holds `(raw ready cycle, index)`.
+    buckets: Vec<Vec<(u32, u32)>>,
+    count: usize,
+    /// The next bucket cycle `drain_through` will visit; every entry in
+    /// the wheel sits in a bucket `>= next_drain`.
+    next_drain: u32,
+}
+
+impl Wheel {
+    fn new() -> Self {
+        Wheel {
+            buckets: std::iter::repeat_with(Vec::new)
+                .take(WHEEL_BUCKETS)
+                .collect(),
+            count: 0,
+            next_drain: 0,
+        }
+    }
+
+    /// Schedules instruction `idx` to wake at cycle `rc`.
+    ///
+    /// A wake-up at or before the already-drained horizon (possible when
+    /// an issue this cycle resolves a consumer that was ready *now*) is
+    /// bucketed at `next_drain`, the first bucket the next promote phase
+    /// visits — which is precisely when the heap-based loop promoted it.
+    fn push(&mut self, rc: u32, idx: u32) {
+        let bucket = rc.max(self.next_drain);
+        debug_assert!(
+            bucket - self.next_drain < WHEEL_BUCKETS as u32,
+            "wake-up {bucket} overflows the wheel horizon {}",
+            self.next_drain
+        );
+        self.buckets[bucket as usize % WHEEL_BUCKETS].push((rc, idx));
+        self.count += 1;
+    }
+
+    /// Moves every entry due by `cycle` into the ready set.
+    fn drain_through(&mut self, cycle: u32, ready: &mut RingBitSet) {
+        while self.next_drain <= cycle {
+            let bucket = &mut self.buckets[self.next_drain as usize % WHEEL_BUCKETS];
+            self.count -= bucket.len();
+            for (_, idx) in bucket.drain(..) {
+                ready.set(idx as usize);
+            }
+            self.next_drain += 1;
+        }
+    }
+
+    /// The minimum `(raw ready cycle, index)` entry, heap-identically.
+    ///
+    /// Entries bucketed past their raw cycle can only live in the
+    /// `next_drain` bucket (older ones were drained), so the first
+    /// non-empty bucket always contains the global minimum.
+    fn peek_min(&self) -> Option<(u32, u32)> {
+        if self.count == 0 {
+            return None;
+        }
+        for d in 0..WHEEL_BUCKETS as u32 {
+            let bucket = &self.buckets[(self.next_drain + d) as usize % WHEEL_BUCKETS];
+            if let Some(&min) = bucket.iter().min() {
+                return Some(min);
+            }
+        }
+        unreachable!("wheel count is positive but every bucket is empty")
     }
 }
 
@@ -239,17 +354,172 @@ enum ValueBypass<'a> {
     Real(&'a BitSet),
 }
 
-impl ValueBypass<'_> {
+/// A register-producer row copied to the stack: up to four deduplicated
+/// sources with their collapse slot codes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ProducerRow {
+    prods: [u32; 4],
+    codes: [u8; 4],
+    len: u8,
+}
+
+impl ProducerRow {
+    pub(crate) fn push(&mut self, prod: u32, code: u8) {
+        self.prods[self.len as usize] = prod;
+        self.codes[self.len as usize] = code;
+        self.len += 1;
+    }
+
+    pub(crate) fn contains(&self, prod: u32) -> bool {
+        self.prods[..self.len as usize].contains(&prod)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        (0..self.len as usize).map(|k| (self.prods[k], self.codes[k]))
+    }
+}
+
+/// A column view the generic timing loop runs against.
+///
+/// Two implementations: the whole-trace view over a [`PreparedTrace`]
+/// (`ensure` is a bounds check, `release` a no-op) and the streaming
+/// view in [`crate::stream`] (`ensure` pulls and pre-passes the next
+/// chunk, `release` evicts columns behind the watermark). The loop only
+/// reads columns in `[watermark, fetch]`, which is the contract that
+/// makes `release` sound.
+pub(crate) trait PreparedSource {
+    /// Makes instruction `i`'s columns available; `Ok(false)` means the
+    /// trace ended before `i`.
+    fn ensure(&mut self, i: usize) -> Result<bool, StreamError>;
+    fn flags(&self, i: usize) -> u8;
+    /// Latency resolved under the run's [`Latencies`].
+    fn latency(&self, i: usize) -> u8;
+    fn block_of(&self, i: usize) -> u32;
+    /// Whole-trace reader count (node elimination only; streaming views
+    /// reject configs that need it and return 0).
+    fn readers_of(&self, i: usize) -> u32;
+    fn mem_dep_of(&self, i: usize) -> Option<u32>;
+    fn producer_row(&self, i: usize) -> ProducerRow;
+    fn is_collapse_consumer(&self, i: usize) -> bool;
+    fn collapse_leaf(&self, i: usize, opts: &CollapseOpts) -> Option<ExprState>;
+    /// Branch-misprediction verdict for a conditional branch at `i`.
+    fn mispredicted(&self, i: usize) -> bool;
+    /// Address-prediction flags (bit0 confident, bit1 correct); only
+    /// consulted under [`LoadSpecMode::Real`].
+    fn load_pred(&self, i: usize) -> u8;
+    /// Whether producer `i`'s value is predicted at dispatch. Evicted
+    /// producers report `false` — their dependence resolves at cycle 0
+    /// either way, so the answer cannot move a bit.
+    fn value_bypass(&self, i: usize) -> bool;
+    /// Columns below `below` will never be read again.
+    fn release(&mut self, below: usize);
+    /// Run-wide branch statistics (final totals at end of trace).
+    fn branch_stats(&self) -> BranchRunStats;
+    /// Run-wide value-speculation statistics (final totals).
+    fn value_stats(&self) -> ValueSpecStats;
+}
+
+/// Why the generic loop stopped early.
+#[derive(Debug)]
+pub(crate) enum RunError {
+    Cancelled,
+    Fault(StreamError),
+}
+
+///// The whole-trace view: borrowed [`PreparedTrace`] columns plus the
+/// config-resolved verdict streams.
+struct WholeView<'a> {
+    p: &'a PreparedTrace,
+    mispredicted: &'a BitSet,
+    branches: BranchRunStats,
+    load_pred: &'a [u8],
+    lat: &'a [u8],
+    bypass: ValueBypass<'a>,
+    values: ValueSpecStats,
+}
+
+impl PreparedSource for WholeView<'_> {
     #[inline]
-    fn get(&self, prepared: &PreparedTrace, i: u32) -> bool {
-        match self {
-            ValueBypass::Off => false,
-            ValueBypass::IdealLoads => {
-                prepared.flags(i as usize) & (F_LOAD | F_VALUE) == F_LOAD | F_VALUE
-            }
-            ValueBypass::IdealAll => prepared.flags(i as usize) & F_VALUE != 0,
-            ValueBypass::Real(bypass) => bypass.get(i as usize),
+    fn ensure(&mut self, i: usize) -> Result<bool, StreamError> {
+        Ok(i < self.p.len())
+    }
+
+    #[inline]
+    fn flags(&self, i: usize) -> u8 {
+        self.p.flags(i)
+    }
+
+    #[inline]
+    fn latency(&self, i: usize) -> u8 {
+        self.lat[i]
+    }
+
+    #[inline]
+    fn block_of(&self, i: usize) -> u32 {
+        self.p.block_of(i)
+    }
+
+    #[inline]
+    fn readers_of(&self, i: usize) -> u32 {
+        self.p.readers_of(i)
+    }
+
+    #[inline]
+    fn mem_dep_of(&self, i: usize) -> Option<u32> {
+        self.p.mem_dep_of(i)
+    }
+
+    #[inline]
+    fn producer_row(&self, i: usize) -> ProducerRow {
+        let prods = self.p.producers_of(i);
+        let codes = self.p.slot_codes_of(i);
+        debug_assert!(prods.len() <= 4, "register sources exceed the row budget");
+        let mut row = ProducerRow::default();
+        for (&p, &c) in prods.iter().zip(codes) {
+            row.push(p, c);
         }
+        row
+    }
+
+    #[inline]
+    fn is_collapse_consumer(&self, i: usize) -> bool {
+        self.p.collapse().is_consumer(i)
+    }
+
+    #[inline]
+    fn collapse_leaf(&self, i: usize, opts: &CollapseOpts) -> Option<ExprState> {
+        self.p.collapse().leaf(i, opts)
+    }
+
+    #[inline]
+    fn mispredicted(&self, i: usize) -> bool {
+        self.mispredicted.get(i)
+    }
+
+    #[inline]
+    fn load_pred(&self, i: usize) -> u8 {
+        self.load_pred[i]
+    }
+
+    #[inline]
+    fn value_bypass(&self, i: usize) -> bool {
+        match &self.bypass {
+            ValueBypass::Off => false,
+            ValueBypass::IdealLoads => self.p.flags(i) & (F_LOAD | F_VALUE) == F_LOAD | F_VALUE,
+            ValueBypass::IdealAll => self.p.flags(i) & F_VALUE != 0,
+            ValueBypass::Real(bypass) => bypass.get(i),
+        }
+    }
+
+    #[inline]
+    fn release(&mut self, _below: usize) {}
+
+    fn branch_stats(&self) -> BranchRunStats {
+        self.branches
+    }
+
+    fn value_stats(&self) -> ValueSpecStats {
+        self.values
     }
 }
 
@@ -368,28 +638,21 @@ pub fn try_simulate_with_metrics(
     Ok((result, metrics))
 }
 
-/// The cancellable core of every simulation entry point.
+/// The cancellable core of every whole-trace simulation entry point.
 ///
-/// When `O::CANCELLABLE` is `false` (every plain observer) the poll
-/// block is statically dead and this monomorphizes to the exact
-/// pre-cancellation loop; when `true`, the observer is polled once per
-/// loop iteration and a `true` answer aborts with [`Cancelled`] —
-/// leaving no partial result behind.
+/// Resolves the config-class verdict streams against the prepared
+/// columns (cached for the default geometry, recomputed through the same
+/// code path for ablations), wraps them in the whole-trace column view,
+/// and hands off to the shared timing loop. When `O::CANCELLABLE` is
+/// `false` (every plain observer) the poll block is statically dead and
+/// this monomorphizes to the exact pre-cancellation loop; when `true`,
+/// the observer is polled once per loop iteration and a `true` answer
+/// aborts with [`Cancelled`] — leaving no partial result behind.
 pub fn try_simulate_prepared_observed<O: SimObserver>(
     prepared: &PreparedTrace,
     config: &SimConfig,
     obs: &mut O,
 ) -> Result<SimResult, Cancelled> {
-    let n = prepared.len();
-    let statics = prepared.collapse();
-    let opts = CollapseOpts {
-        zero_detection: config.zero_detection,
-        max_members: config.max_collapse_members,
-        max_ops: config.max_collapse_ops,
-    };
-
-    // ---- config-class streams: cached for the default geometry,
-    // recomputed through the same code path for ablations ----
     let owned_branch;
     let branch: &BranchStream = if config.perfect_branches {
         owned_branch = prepared.perfect_branch_stream();
@@ -400,7 +663,6 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
         owned_branch = prepared.branch_stream(config.predictor_n);
         &owned_branch
     };
-    let branches = branch.stats;
 
     let owned_addr;
     let load_pred: &[u8] = match config.load_spec {
@@ -418,7 +680,7 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
         }
     };
 
-    let (value_bypass, values) = match config.value_spec {
+    let (bypass, values) = match config.value_spec {
         ValueSpecMode::Off => (ValueBypass::Off, ValueSpecStats::default()),
         ValueSpecMode::Ideal => (
             ValueBypass::IdealLoads,
@@ -448,14 +710,120 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
         &owned_lat
     };
 
-    // ---- timing loop ----
-    let mut completion = vec![NOT_DONE; n];
-    let mut window = Window::new(config.window_size, n);
-    let mut pending: BinaryHeap<Reverse<(u32, u32)>> =
-        BinaryHeap::with_capacity(config.window_size as usize + 1);
-    // Kept sorted descending between cycles; the tail is the oldest
-    // ready instruction, so issue pops from the end.
-    let mut ready: Vec<u32> = Vec::with_capacity(config.window_size as usize + 1);
+    let mut view = WholeView {
+        p: prepared,
+        mispredicted: &branch.mispredicted,
+        branches: branch.stats,
+        load_pred,
+        lat,
+        bypass,
+        values,
+    };
+    match run_dispatched(&mut view, config, obs) {
+        Ok(r) => Ok(r),
+        Err(RunError::Cancelled) => Err(Cancelled),
+        Err(RunError::Fault(e)) => unreachable!("whole-trace view cannot fault: {e}"),
+    }
+}
+
+/// Recycled heap buffers for the timing loop's per-entry lists.
+///
+/// Every entry owns up to four small vectors (two producer groups, a
+/// consumer list, and collapse-dependence slot lists); allocating them
+/// fresh per fetched instruction costs several mallocs per instruction
+/// and dominates the loop at paper scale. Buffers are drawn from these
+/// pools at fetch and returned when the entry issues, so a steady-state
+/// run allocates only while the pools warm up to window occupancy.
+#[derive(Default)]
+struct Pools {
+    u32s: Vec<Vec<u32>>,
+    consumers: Vec<Vec<(u32, bool)>>,
+    cdeps: Vec<Vec<(u32, Vec<AbsorbSlot>)>>,
+    slots: Vec<Vec<AbsorbSlot>>,
+}
+
+impl Pools {
+    fn take_u32(&mut self) -> Vec<u32> {
+        self.u32s.pop().unwrap_or_else(|| Vec::with_capacity(4))
+    }
+
+    fn put_u32(&mut self, mut v: Vec<u32>) {
+        v.clear();
+        self.u32s.push(v);
+    }
+
+    fn take_consumers(&mut self) -> Vec<(u32, bool)> {
+        self.consumers.pop().unwrap_or_default()
+    }
+
+    fn put_consumers(&mut self, mut v: Vec<(u32, bool)>) {
+        v.clear();
+        self.consumers.push(v);
+    }
+
+    fn take_cdeps(&mut self) -> Vec<(u32, Vec<AbsorbSlot>)> {
+        self.cdeps.pop().unwrap_or_default()
+    }
+
+    fn put_cdeps(&mut self, mut v: Vec<(u32, Vec<AbsorbSlot>)>) {
+        for (_, s) in v.drain(..) {
+            self.put_slots(s);
+        }
+        self.cdeps.push(v);
+    }
+
+    fn take_slots(&mut self) -> Vec<AbsorbSlot> {
+        self.slots.pop().unwrap_or_else(|| Vec::with_capacity(4))
+    }
+
+    fn put_slots(&mut self, mut v: Vec<AbsorbSlot>) {
+        v.clear();
+        self.slots.push(v);
+    }
+}
+
+/// Dispatches the timing loop to a width-monomorphised instantiation.
+///
+/// The paper's grid widths get dedicated instantiations whose
+/// issue-width compares fold to constants (the loop is hot enough that
+/// this is worth the code size); any other width runs the dynamic
+/// fallback (`W = 0`), which reads the width from the config.
+pub(crate) fn run_dispatched<V: PreparedSource, O: SimObserver>(
+    view: &mut V,
+    config: &SimConfig,
+    obs: &mut O,
+) -> Result<SimResult, RunError> {
+    match config.issue_width {
+        4 => run_timing_loop::<V, O, 4>(view, config, obs),
+        8 => run_timing_loop::<V, O, 8>(view, config, obs),
+        16 => run_timing_loop::<V, O, 16>(view, config, obs),
+        32 => run_timing_loop::<V, O, 32>(view, config, obs),
+        2048 => run_timing_loop::<V, O, 2048>(view, config, obs),
+        _ => run_timing_loop::<V, O, 0>(view, config, obs),
+    }
+}
+
+/// The generic timing loop: every simulation — whole-trace or streaming,
+/// observed or not, cancellable or not, any issue width — is one
+/// instantiation of this function.
+fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
+    view: &mut V,
+    config: &SimConfig,
+    obs: &mut O,
+) -> Result<SimResult, RunError> {
+    let width = if W == 0 { config.issue_width } else { W };
+    debug_assert_eq!(width, config.issue_width);
+    let opts = CollapseOpts {
+        zero_detection: config.zero_detection,
+        max_members: config.max_collapse_members,
+        max_ops: config.max_collapse_ops,
+    };
+
+    let ws = config.window_size as usize;
+    let mut completion = RingVec::with_capacity(NOT_DONE, ws * 4);
+    let mut window = Window::new(config.window_size);
+    let mut wheel = Wheel::new();
+    let mut ready = RingBitSet::with_capacity(ws * 4);
     let mut last_mispred: Option<u32> = None;
     // Metrics-only (maintained when O::ENABLED): how many in-window
     // instructions still wait on an unresolved mispredicted branch. An
@@ -467,38 +835,76 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
     let mut loads = crate::LoadSpecStats::default();
     let mut stalls = StallStats::default();
     let mut collapse = CollapseStats::new();
-    let mut participant = BitSet::new(n);
+    let mut participant = RingBitSet::with_capacity(ws * 4);
     let mut eliminated = 0u64;
+    let mut pools = Pools::default();
+    // Scratch reused across absorb iterations (see the collapse loop).
+    let mut order: Vec<usize> = Vec::new();
+    let mut inh_scratch: Vec<(u32, Vec<AbsorbSlot>)> = Vec::new();
 
     let mut fetch = 0usize;
+    let mut exhausted = false;
     let mut in_window = 0u32;
     let mut cycle = 0u32;
     let mut retired = 0usize;
     let mut last_issue_cycle = 0u32;
 
-    while retired < n {
+    loop {
         if O::CANCELLABLE && obs.poll_cancelled() {
-            return Err(Cancelled);
+            return Err(RunError::Cancelled);
         }
-        // -- fetch: keep the window full --
-        while in_window < config.window_size && fetch < n {
-            let i = fetch as u32;
-            let pflags = prepared.flags(fetch);
-            let is_load = pflags & F_LOAD != 0;
-            let mut main = DepGroup::sized();
-            let mut addr = DepGroup::sized();
 
-            let producers = prepared.producers_of(fetch);
-            for &p in producers {
-                if value_bypass.get(prepared, p) {
+        // -- watermark: retire columns no live read can reach. Everything
+        // below the first instruction whose completion is pending or
+        // still in the future is dead to every remaining lookup. --
+        let mut watermark = completion.base();
+        while watermark < fetch {
+            match completion.get(watermark) {
+                Some(&c) if c != NOT_DONE && c < cycle => watermark += 1,
+                _ => break,
+            }
+        }
+        if watermark > completion.base() {
+            completion.evict_to(watermark);
+            window.evict_to(watermark);
+            ready.evict_to(watermark);
+            participant.evict_to(watermark);
+            view.release(watermark);
+        }
+
+        // -- fetch: keep the window full --
+        while in_window < config.window_size && !exhausted {
+            match view.ensure(fetch) {
+                Err(e) => return Err(RunError::Fault(e)),
+                Ok(false) => {
+                    exhausted = true;
+                    break;
+                }
+                Ok(true) => {}
+            }
+            let i = fetch as u32;
+            let pflags = view.flags(fetch);
+            let is_load = pflags & F_LOAD != 0;
+            let mut main = DepGroup {
+                producers: pools.take_u32(),
+                ready: 0,
+            };
+            let mut addr = DepGroup {
+                producers: pools.take_u32(),
+                ready: 0,
+            };
+
+            let row = view.producer_row(fetch);
+            for (p, _) in row.iter() {
+                if view.value_bypass(p as usize) {
                     // The producer's value is predicted at dispatch;
                     // this dependence carries no latency.
                     continue;
                 }
                 if is_load {
-                    addr.add(p, &completion);
+                    addr.add(p, comp(&completion, p));
                 } else {
-                    main.add(p, &completion);
+                    main.add(p, comp(&completion, p));
                 }
             }
             let mut data_floor = main.ready;
@@ -506,11 +912,11 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
             if O::ENABLED && !is_load && data_floor > 0 {
                 // Which already-completed producer set the data floor,
                 // and was it a multiply/divide? Metrics-only.
-                for &p in producers {
-                    if completion[p as usize] == data_floor
-                        && !value_bypass.get(prepared, p)
-                        && prepared.flags(p as usize) & F_LOAD == 0
-                        && lat[p as usize] > config.latencies.default
+                for (p, _) in row.iter() {
+                    if comp(&completion, p) == data_floor
+                        && !view.value_bypass(p as usize)
+                        && view.flags(p as usize) & F_LOAD == 0
+                        && view.latency(p as usize) > config.latencies.default
                     {
                         data_long = true;
                         break;
@@ -519,10 +925,11 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
             }
             let mut mem_dep = None;
             let mut mem_ready = 0u32;
-            if let Some(s) = prepared.mem_dep_of(fetch) {
-                main.add(s, &completion);
-                if completion[s as usize] != NOT_DONE {
-                    mem_ready = completion[s as usize];
+            if let Some(s) = view.mem_dep_of(fetch) {
+                let c = comp(&completion, s);
+                main.add(s, c);
+                if c != NOT_DONE {
+                    mem_ready = c;
                 } else {
                     mem_dep = Some(s);
                 }
@@ -530,9 +937,10 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
             let mut branch_dep = None;
             let mut branch_ready = 0u32;
             if let Some(b) = last_mispred {
-                main.add(b, &completion);
-                if completion[b as usize] != NOT_DONE {
-                    branch_ready = completion[b as usize];
+                let c = comp(&completion, b);
+                main.add(b, c);
+                if c != NOT_DONE {
+                    branch_ready = c;
                 } else {
                     branch_dep = Some(b);
                     if O::ENABLED {
@@ -542,23 +950,26 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
             }
 
             // -- d-collapsing at dispatch --
-            let mut expr = if config.collapsing && statics.is_consumer(fetch) {
-                statics.leaf(fetch, &opts)
+            let block_id = view.block_of(fetch);
+            let mut expr = if config.collapsing && view.is_collapse_consumer(fetch) {
+                view.collapse_leaf(fetch, &opts)
             } else {
                 None
             };
-            let mut collapse_deps: Vec<(u32, Vec<AbsorbSlot>)> = Vec::new();
+            let mut collapse_deps = pools.take_cdeps();
             if expr.is_some() {
                 // Initial candidates: unresolved producers referenced by
                 // the base instruction through collapsible operands —
                 // exactly the nonzero-coded, still-pending edges.
-                for (&p, &code) in producers.iter().zip(prepared.slot_codes_of(fetch)) {
+                for (p, code) in row.iter() {
                     if code != 0
-                        && completion[p as usize] == NOT_DONE
-                        && !value_bypass.get(prepared, p)
+                        && comp(&completion, p) == NOT_DONE
+                        && !view.value_bypass(p as usize)
                     {
                         let (slots, count) = decode_slots(code);
-                        collapse_deps.push((p, slots[..count].to_vec()));
+                        let mut sv = pools.take_slots();
+                        sv.extend_from_slice(&slots[..count]);
+                        collapse_deps.push((p, sv));
                     }
                 }
                 // Greedy absorb, nearest producer first, until nothing
@@ -566,16 +977,15 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                 loop {
                     let cur = expr.as_ref().expect("expr present in collapse loop");
                     let mut chosen: Option<(usize, ExprState)> = None;
-                    let mut order: Vec<usize> = (0..collapse_deps.len()).collect();
+                    order.clear();
+                    order.extend(0..collapse_deps.len());
                     order.sort_by_key(|&k| Reverse(collapse_deps[k].0));
-                    for k in order {
+                    for &k in &order {
                         let (p, ref slots) = collapse_deps[k];
                         let Some(p_entry) = window.get(p) else {
                             continue; // already issued
                         };
-                        if config.collapse_within_block_only
-                            && p_entry.block_id != prepared.block_of(fetch)
-                        {
+                        if config.collapse_within_block_only && p_entry.block_id != block_id {
                             continue;
                         }
                         let Some(p_expr) = p_entry.expr.as_ref() else {
@@ -589,6 +999,7 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                     let Some((k, merged)) = chosen else { break };
                     let (p, slots) = collapse_deps.swap_remove(k);
                     let occ = slots.len();
+                    pools.put_slots(slots);
                     // Remove the collapsed dependence and inherit the
                     // producer's own dependences (leaf availability).
                     let group = if is_load { &mut addr } else { &mut main };
@@ -604,24 +1015,27 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                         }
                         data_floor = data_floor.max(p_entry.main.ready);
                     }
-                    let inherited: Vec<u32> = p_entry.main.producers.clone();
-                    let inherited_slots: Vec<(u32, Vec<AbsorbSlot>)> = p_entry
-                        .collapse_deps
-                        .iter()
-                        .map(|(q, s)| {
-                            let mut rep = Vec::with_capacity(s.len() * occ);
-                            for _ in 0..occ {
-                                rep.extend_from_slice(s);
-                            }
-                            (*q, rep)
-                        })
-                        .collect();
-                    for q in inherited {
-                        group.add(q, &completion);
+                    let mut inherited = pools.take_u32();
+                    inherited.extend_from_slice(&p_entry.main.producers);
+                    inh_scratch.clear();
+                    for (q, s) in p_entry.collapse_deps.iter() {
+                        let mut rep = pools.take_slots();
+                        for _ in 0..occ {
+                            rep.extend_from_slice(s);
+                        }
+                        inh_scratch.push((*q, rep));
                     }
-                    for (q, s) in inherited_slots {
+                    for &q in &inherited {
+                        let c = comp(&completion, q);
+                        group.add(q, c);
+                    }
+                    pools.put_u32(inherited);
+                    for (q, s) in inh_scratch.drain(..) {
                         match collapse_deps.iter_mut().find(|(x, _)| *x == q) {
-                            Some((_, existing)) => existing.extend(s),
+                            Some((_, existing)) => {
+                                existing.extend_from_slice(&s);
+                                pools.put_slots(s);
+                            }
                             None => collapse_deps.push((q, s)),
                         }
                     }
@@ -638,7 +1052,7 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                         0
                     }
                 }
-                LoadSpecMode::Real => load_pred[fetch],
+                LoadSpecMode::Real => view.load_pred(fetch),
             };
             if O::ENABLED && is_load && config.load_spec == LoadSpecMode::Real {
                 obs.on_addr_prediction(flags & 1 != 0, flags & 2 != 0);
@@ -656,13 +1070,13 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                 bypass_addr,
                 expr,
                 collapse_deps,
-                latency: lat[fetch],
+                latency: view.latency(fetch),
                 entry_cycle: cycle,
                 scheduled: false,
-                consumers: Vec::new(),
+                consumers: pools.take_consumers(),
                 absorbed_by: 0,
-                readers_total: prepared.readers_of(fetch),
-                block_id: prepared.block_of(fetch),
+                readers_total: view.readers_of(fetch),
+                block_id,
                 is_load,
                 pred_conf: flags & 1 != 0,
                 pred_correct: flags & 2 != 0,
@@ -674,33 +1088,36 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                 data_long,
             };
 
-            // Register edges on in-window producers.
-            let edges: Vec<(u32, bool)> = entry
-                .addr
-                .producers
-                .iter()
-                .map(|&p| (p, true))
-                .chain(entry.main.producers.iter().map(|&p| (p, false)))
-                .collect();
-            for (p, is_addr) in edges {
+            // Register edges on in-window producers. `entry` is still a
+            // local here, so its producer lists can be walked while the
+            // window is mutated — no intermediate edge list needed.
+            for &p in &entry.addr.producers {
                 window
                     .get_mut(p)
                     .expect("unresolved producer must be in window")
                     .consumers
-                    .push((i, is_addr));
+                    .push((i, true));
+            }
+            for &p in &entry.main.producers {
+                window
+                    .get_mut(p)
+                    .expect("unresolved producer must be in window")
+                    .consumers
+                    .push((i, false));
             }
 
             let schedulable = entry.blocking() == 0;
             let rc = entry.ready_cycle();
+            completion.push(NOT_DONE);
             window.insert(i, entry);
             if schedulable {
                 window.get_mut(i).expect("just inserted").scheduled = true;
-                pending.push(Reverse((rc, i)));
+                wheel.push(rc, i);
             }
             in_window += 1;
 
             if pflags & F_COND_BRANCH != 0 {
-                let mispredicted = branch.mispredicted.get(fetch);
+                let mispredicted = view.mispredicted(fetch);
                 if O::ENABLED {
                     obs.on_cond_branch(mispredicted);
                 }
@@ -711,31 +1128,26 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
             fetch += 1;
         }
         let occupancy_at_issue = in_window;
+        ready.grow_to(fetch);
+        participant.grow_to(fetch);
 
         // -- promote pending entries whose ready cycle has arrived --
-        let mut promoted = false;
-        while let Some(&Reverse((rc, idx))) = pending.peek() {
-            if rc <= cycle {
-                pending.pop();
-                ready.push(idx);
-                promoted = true;
-            } else {
-                break;
-            }
-        }
-        if promoted {
-            // Descending, so popping the tail issues oldest-first —
-            // the same order the BTreeSet's `first()` gave.
-            ready.sort_unstable_by(|a, b| b.cmp(a));
-        }
+        wheel.drain_through(cycle, &mut ready);
 
-        // -- issue up to `issue_width`, oldest first --
+        // -- issue up to the width, oldest first (ascending bit scan) --
         let mut slots_used = 0u32;
-        while slots_used < config.issue_width {
-            let Some(idx) = ready.pop() else { break };
-            let entry = window.remove(idx).expect("ready entry must be in window");
+        let mut popped = 0usize;
+        let mut scan = ready.base();
+        while slots_used < width {
+            let Some(idx_usize) = ready.next_set(scan) else {
+                break;
+            };
+            ready.clear(idx_usize);
+            scan = idx_usize + 1;
+            let idx = idx_usize as u32;
+            let mut entry = window.remove(idx).expect("ready entry must be in window");
             in_window -= 1;
-            retired += 1;
+            popped += 1;
 
             // Node elimination: if every reader absorbed this result, the
             // instruction need not execute at all (Figure 1f). It frees
@@ -743,7 +1155,7 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
             let eliminate = config.node_elimination
                 && entry.absorbed_by > 0
                 && entry.absorbed_by == entry.readers_total
-                && prepared.flags(idx as usize) & F_CAN_PRODUCE != 0;
+                && view.flags(idx_usize) & F_CAN_PRODUCE != 0;
             let ct = if eliminate {
                 eliminated += 1;
                 cycle // value is never read; see readers accounting
@@ -752,7 +1164,7 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                 last_issue_cycle = cycle;
                 cycle + u32::from(entry.latency)
             };
-            completion[idx as usize] = ct;
+            *completion.get_mut(idx_usize) = ct;
 
             if !eliminate {
                 // Bottleneck attribution: the wait from window entry to
@@ -808,12 +1220,12 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                     let effective = expr.is_collapsed()
                         && expr
                             .members()
-                            .any(|(m, _)| m != idx && completion[m as usize] > cycle);
+                            .any(|(m, _)| m != idx && comp(&completion, m) > cycle);
                     if effective {
                         collapse.record_group(expr);
-                        participant.set(idx as usize);
+                        participant.set(idx_usize);
                         for (m, _) in expr.members() {
-                            if m != idx && completion[m as usize] > cycle {
+                            if m != idx && comp(&completion, m) > cycle {
                                 participant.set(m as usize);
                             }
                         }
@@ -829,7 +1241,8 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                 && !eliminate
                 && !entry.is_load
                 && entry.latency > config.latencies.default;
-            for (cons, is_addr) in entry.consumers {
+            let consumers = std::mem::take(&mut entry.consumers);
+            for &(cons, is_addr) in &consumers {
                 let Some(c) = window.get_mut(cons) else {
                     continue; // bypassed load already issued
                 };
@@ -847,27 +1260,45 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                 };
                 if resolved && !c.scheduled && c.blocking() == 0 {
                     c.scheduled = true;
-                    pending.push(Reverse((c.ready_cycle(), cons)));
+                    wheel.push(c.ready_cycle(), cons);
                 }
             }
+            // Return the issued entry's buffers to the pools.
+            pools.put_consumers(consumers);
+            pools.put_u32(entry.main.producers);
+            pools.put_u32(entry.addr.producers);
+            pools.put_cdeps(entry.collapse_deps);
         }
+        // Batch retirement: one counter update per cycle, not per pop.
+        retired += popped;
 
         if O::ENABLED && slots_used > 0 {
             obs.on_issue_cycle(cycle, slots_used, occupancy_at_issue);
         }
 
-        if retired >= n {
-            break;
+        if retired == fetch {
+            // The window is drained; the run is over unless the source
+            // has more. Probe before advancing so a finished trace exits
+            // without a phantom idle cycle (bit-identity with the
+            // fixed-length loop's `retired >= n` check).
+            if exhausted {
+                break;
+            }
+            match view.ensure(fetch) {
+                Err(e) => return Err(RunError::Fault(e)),
+                Ok(false) => break,
+                Ok(true) => {}
+            }
         }
 
         // -- advance time --
-        let next = if !ready.is_empty() || (in_window < config.window_size && fetch < n) {
+        let next = if ready.live() > 0 || (in_window < config.window_size && !exhausted) {
             cycle + 1
-        } else if let Some(&Reverse((rc, _))) = pending.peek() {
+        } else if let Some((rc, _)) = wheel.peek_min() {
             rc.max(cycle + 1)
         } else {
             debug_assert!(
-                fetch < n || in_window > 0,
+                !exhausted || in_window > 0,
                 "simulator wedged with nothing to do"
             );
             cycle + 1
@@ -879,8 +1310,8 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
             // first (matching StallStats' convention).
             let span = u64::from(next - cycle) - u64::from(slots_used > 0);
             if span > 0 {
-                let cause = match pending.peek() {
-                    Some(&Reverse((rc, head))) => {
+                let cause = match wheel.peek_min() {
+                    Some((rc, head)) => {
                         let e = window.get(head).expect("pending entry must be in window");
                         if squash_pending > 0 || e.branch_ready >= rc {
                             StallCause::Branch
@@ -890,10 +1321,13 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
                             StallCause::Address
                         } else if e.data_long && e.data_ready >= rc {
                             StallCause::LongLatency
-                        } else if in_window >= config.window_size && fetch < n {
-                            StallCause::WindowFull
                         } else {
-                            StallCause::DepHeight
+                            let more = !exhausted && matches!(view.ensure(fetch), Ok(true));
+                            if in_window >= config.window_size && more {
+                                StallCause::WindowFull
+                            } else {
+                                StallCause::DepHeight
+                            }
                         }
                     }
                     None => StallCause::DepHeight,
@@ -904,24 +1338,107 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
         cycle = next;
     }
 
-    collapse.mark_participants(participant.count_ones());
-    collapse.set_total(n as u64);
+    let total = fetch;
+    collapse.mark_participants(participant.lifetime_ones());
+    collapse.set_total(total as u64);
 
     Ok(SimResult {
         config: *config,
-        instructions: n as u64,
-        cycles: if n == 0 {
+        instructions: total as u64,
+        cycles: if total == 0 {
             0
         } else {
             u64::from(last_issue_cycle) + 1
         },
         loads,
-        values,
-        branches,
+        values: view.value_stats(),
+        branches: view.branch_stats(),
         stalls,
         collapse,
         eliminated,
     })
+}
+
+/// Trace generators shared across the crate's bit-identity test suites
+/// (timing loop vs reference, streaming vs whole-trace).
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ddsc_isa::{Cond, Opcode, Reg};
+    use ddsc_trace::{Trace, TraceInst};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// A messy mix of ALU ops, loads, stores and branches exercising
+    /// every simulator path (collapsing, aliasing, mispredictions).
+    pub(crate) fn mixed_trace(len: u32, seed: u64) -> Trace {
+        let mut rng = ddsc_util::Pcg32::new(seed);
+        let mut t = Trace::new("mixed");
+        for i in 0..len {
+            match rng.next_u32() % 8 {
+                0 => {
+                    let ea = (rng.next_u32() % 0x400) * 4 + 0x1000;
+                    t.push(TraceInst::load(
+                        4 * i,
+                        Opcode::Ld,
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        None,
+                        Some(0),
+                        0,
+                        ea,
+                    ));
+                }
+                1 => {
+                    let ea = (rng.next_u32() % 0x400) * 4 + 0x1000;
+                    t.push(TraceInst::store(
+                        4 * i,
+                        Opcode::St,
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        None,
+                        Some(0),
+                        0,
+                        ea,
+                    ));
+                }
+                2 => {
+                    t.push(TraceInst::cond_branch(
+                        4 * i,
+                        Opcode::Bcc(Cond::Ne),
+                        rng.chance(1, 3),
+                        4 * i + 16,
+                    ));
+                }
+                3 => {
+                    t.push(TraceInst::alu(
+                        4 * i,
+                        Opcode::Div,
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        None,
+                        Some(3),
+                        0,
+                    ));
+                }
+                _ => {
+                    let mut inst = TraceInst::alu(
+                        4 * i,
+                        Opcode::Add,
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        r((rng.next_u32() % 7 + 1) as u8),
+                        None,
+                        Some(1),
+                        0,
+                    );
+                    inst.value = Some(rng.next_u32());
+                    t.push(inst);
+                }
+            }
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -1543,75 +2060,7 @@ mod tests {
         assert_eq!(res.instructions, 5000);
     }
 
-    /// A messy mix of ALU ops, loads, stores and branches exercising
-    /// every simulator path (collapsing, aliasing, mispredictions).
-    fn mixed_trace(len: u32, seed: u64) -> Trace {
-        let mut rng = ddsc_util::Pcg32::new(seed);
-        let mut t = Trace::new("mixed");
-        for i in 0..len {
-            match rng.next_u32() % 8 {
-                0 => {
-                    let ea = (rng.next_u32() % 0x400) * 4 + 0x1000;
-                    t.push(TraceInst::load(
-                        4 * i,
-                        Opcode::Ld,
-                        r((rng.next_u32() % 7 + 1) as u8),
-                        r((rng.next_u32() % 7 + 1) as u8),
-                        None,
-                        Some(0),
-                        0,
-                        ea,
-                    ));
-                }
-                1 => {
-                    let ea = (rng.next_u32() % 0x400) * 4 + 0x1000;
-                    t.push(TraceInst::store(
-                        4 * i,
-                        Opcode::St,
-                        r((rng.next_u32() % 7 + 1) as u8),
-                        r((rng.next_u32() % 7 + 1) as u8),
-                        None,
-                        Some(0),
-                        0,
-                        ea,
-                    ));
-                }
-                2 => {
-                    t.push(TraceInst::cond_branch(
-                        4 * i,
-                        Opcode::Bcc(Cond::Ne),
-                        rng.chance(1, 3),
-                        4 * i + 16,
-                    ));
-                }
-                3 => {
-                    t.push(TraceInst::alu(
-                        4 * i,
-                        Opcode::Div,
-                        r((rng.next_u32() % 7 + 1) as u8),
-                        r((rng.next_u32() % 7 + 1) as u8),
-                        None,
-                        Some(3),
-                        0,
-                    ));
-                }
-                _ => {
-                    let mut inst = TraceInst::alu(
-                        4 * i,
-                        Opcode::Add,
-                        r((rng.next_u32() % 7 + 1) as u8),
-                        r((rng.next_u32() % 7 + 1) as u8),
-                        None,
-                        Some(1),
-                        0,
-                    );
-                    inst.value = Some(rng.next_u32());
-                    t.push(inst);
-                }
-            }
-        }
-        t
-    }
+    use super::testutil::mixed_trace;
 
     /// The ablation and extension variants whose streams fall off the
     /// default cached geometry — every fallback path in

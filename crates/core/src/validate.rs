@@ -198,7 +198,26 @@ impl TraceValidator {
     ///
     /// Returns the first [`ValidationError`] in trace order.
     pub fn validate(&self, trace: &Trace) -> Result<(), ValidationError> {
-        for (index, inst) in trace.iter().enumerate() {
+        self.validate_slice(trace.insts(), 0)
+    }
+
+    /// Validates one chunk of a streamed trace; `base` is the absolute
+    /// index of the chunk's first instruction, so diagnostics name
+    /// trace-global positions. Record-level rules only — they are
+    /// per-instruction, so chunked validation over a whole trace checks
+    /// exactly what [`TraceValidator::validate`] checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidationError`] in chunk order, indexed
+    /// from `base`.
+    pub fn validate_slice(
+        &self,
+        insts: &[ddsc_trace::TraceInst],
+        base: usize,
+    ) -> Result<(), ValidationError> {
+        for (offset, inst) in insts.iter().enumerate() {
+            let index = base + offset;
             for reg in [inst.dest, inst.rs1, inst.rs2, inst.data_reg]
                 .into_iter()
                 .flatten()

@@ -7,37 +7,67 @@
 //! (`{benchmark}-s{seed}-n{len}.bin`, conventionally under
 //! `results/traces/`) and serves it back on the next run.
 //!
+//! # Chunked format (version 2)
+//!
+//! Paper-scale traces (250M instructions ≈ 6.5 GB of records) rule out
+//! the version-1 layout, which checksummed and decoded the file as one
+//! unit. Version 2 stores the records as a sequence of independently
+//! checksummed *frames*:
+//!
+//! ```text
+//! header : magic "DDTC", version:u32, seed:u64, len:u64,
+//!          frame_records:u64, total:u64          (40 bytes)
+//! frame  : count:u64, fnv1a(payload):u64, payload (count × 26 bytes)
+//! ...
+//! ```
+//!
+//! Frames let both directions stream in O(frame) memory:
+//! [`TraceCache::store_source`] writes records as a
+//! [`TraceSource`] produces them, and [`TraceCache::open_stream`]
+//! returns a [`ChunkedReader`] — itself a [`TraceSource`] — that
+//! validates each frame's checksum as it is pulled, never holding more
+//! than one decoded frame.
+//!
 //! Robustness rules:
 //!
-//! * every file carries a header with a magic, a format version, the
-//!   generation key and an FNV-1a checksum of the payload — any
-//!   mismatch (truncation, corruption, stale format, foreign file)
-//!   makes [`TraceCache::load`] return `None` and the caller
-//!   regenerates;
+//! * every frame carries its own FNV-1a checksum, and the header binds
+//!   the generation key — any mismatch (truncation, corruption, stale
+//!   format, foreign file) fails the load and the caller regenerates;
 //! * writes go to a temporary sibling file first and are atomically
 //!   renamed into place, so a crashed or concurrent run can never
 //!   publish a half-written cache entry;
 //! * the cache is an optimisation only: store failures are reported to
-//!   the caller but safe to ignore (the in-memory trace is already
-//!   correct).
+//!   the caller but safe to ignore (the trace can be regenerated).
 
 use std::fmt;
 use std::fs;
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use ddsc_trace::io::{read_trace, write_trace};
-use ddsc_trace::Trace;
+use ddsc_trace::io::{decode_record, encode_record, TraceIoError, RECORD_LEN};
+use ddsc_trace::{SliceSource, SourceError, Trace, TraceInst, TraceSource};
 use ddsc_util::fault::{is_transient, Backoff};
-use ddsc_util::{fnv1a, publish_atomic};
+use ddsc_util::{fnv1a, publish_atomic_with};
 
 /// Cache-file magic: "DDSC Trace Cache".
 const MAGIC: &[u8; 4] = b"DDTC";
 /// Bump on any incompatible layout change; old files then just miss.
-const VERSION: u32 = 1;
-/// Magic + version + seed + len + payload_len + checksum.
+const VERSION: u32 = 2;
+/// Magic + version + seed + len + frame_records + total.
 const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8 + 8;
+/// Byte offset of the header's `total` field (patched after a
+/// streaming store discovers the final record count).
+const TOTAL_OFFSET: u64 = 32;
+/// Frame header: record count + payload checksum.
+const FRAME_HEADER_LEN: usize = 8 + 8;
+
+/// Records per frame when the caller does not choose: ~1.7 MB of
+/// payload — large enough to amortise the per-frame syscalls and
+/// checksum, small enough that one decoded frame is negligible next to
+/// the simulator's own window.
+pub const DEFAULT_FRAME_RECORDS: usize = 1 << 16;
 
 /// Why a cache lookup failed — so callers can distinguish "never
 /// cached" from "cached but damaged" from "the filesystem hiccuped",
@@ -114,6 +144,18 @@ impl TraceCache {
         self.dir.join(format!("{name}-s{seed}-n{len}.bin"))
     }
 
+    fn take_injected_fault(&self) -> Option<CacheError> {
+        self.transient_faults
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+            .then(|| {
+                CacheError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "injected transient cache fault",
+                ))
+            })
+    }
+
     /// Loads a cached trace, or `None` on any failure. Convenience
     /// wrapper over [`TraceCache::try_load`] for callers that treat
     /// every miss the same way.
@@ -121,73 +163,83 @@ impl TraceCache {
         self.try_load(name, seed, len).ok()
     }
 
-    /// Loads a cached trace, classifying any failure: [`CacheError::Missing`]
-    /// if no entry exists, [`CacheError::Corrupt`] naming the first failed
-    /// validation check, [`CacheError::Io`] for read failures.
+    /// Loads a cached trace whole, classifying any failure:
+    /// [`CacheError::Missing`] if no entry exists, [`CacheError::Corrupt`]
+    /// naming the first failed validation check, [`CacheError::Io`] for
+    /// read failures. Bounded-memory callers should prefer
+    /// [`TraceCache::open_stream`].
     ///
     /// # Errors
     ///
     /// See [`CacheError`]; transient `Io` errors are worth retrying
     /// ([`TraceCache::load_with_retry`] does).
     pub fn try_load(&self, name: &str, seed: u64, len: usize) -> Result<Trace, CacheError> {
-        if self
-            .transient_faults
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-            .is_ok()
-        {
-            return Err(CacheError::Io(std::io::Error::new(
-                std::io::ErrorKind::TimedOut,
-                "injected transient cache fault",
-            )));
+        let mut reader = self.open_stream(name, seed, len)?;
+        let mut insts = Vec::with_capacity(reader.remaining_total().min(1 << 24));
+        while reader.pull_into(&mut insts, usize::MAX)? > 0 {}
+        Ok(Trace::from_parts(name.to_string(), insts))
+    }
+
+    /// Opens a cached trace for streamed reading: the header and key
+    /// are validated up front, each frame's checksum as it is pulled.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TraceCache::try_load`]; frame-level corruption surfaces
+    /// later, from the reads themselves.
+    pub fn open_stream(
+        &self,
+        name: &str,
+        seed: u64,
+        len: usize,
+    ) -> Result<ChunkedReader, CacheError> {
+        if let Some(fault) = self.take_injected_fault() {
+            return Err(fault);
         }
-        let bytes = match fs::read(self.path_for(name, seed, len)) {
-            Ok(bytes) => bytes,
+        let file = match fs::File::open(self.path_for(name, seed, len)) {
+            Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(CacheError::Missing),
             Err(e) => return Err(CacheError::Io(e)),
         };
         let corrupt = |why: &str| CacheError::Corrupt(why.to_string());
-        if bytes.len() < HEADER_LEN {
-            return Err(corrupt("file shorter than the header"));
+        let mut file = BufReader::new(file);
+        let mut header = [0u8; HEADER_LEN];
+        match file.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(corrupt("file shorter than the header"))
+            }
+            Err(e) => return Err(CacheError::Io(e)),
         }
-        if &bytes[..4] != MAGIC {
+        if &header[..4] != MAGIC {
             return Err(corrupt("bad magic"));
         }
-        let u32_at = |o: usize| {
-            bytes[o..o + 4]
-                .first_chunk::<4>()
-                .map(|c| u32::from_le_bytes(*c))
-        };
-        let u64_at = |o: usize| {
-            bytes[o..o + 8]
-                .first_chunk::<8>()
-                .map(|c| u64::from_le_bytes(*c))
-        };
-        if u32_at(4) != Some(VERSION) {
+        let u64_at = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().expect("in range"));
+        if header[4..8] != VERSION.to_le_bytes() {
             return Err(corrupt("format version mismatch"));
         }
-        if u64_at(8) != Some(seed) || u64_at(16) != Some(len as u64) {
+        if u64_at(8) != seed || u64_at(16) != len as u64 {
             // The key is in the file name, so an in-file mismatch means
             // the entry was renamed or overwritten — corruption, not a
             // plain miss.
             return Err(corrupt("generation key does not match the file name"));
         }
-        let payload = &bytes[HEADER_LEN..];
-        if u64_at(24) != Some(payload.len() as u64) {
-            return Err(corrupt("payload length disagrees with the header"));
+        let frame_records = u64_at(24);
+        if frame_records == 0 {
+            return Err(corrupt("zero frame size"));
         }
-        if u64_at(32) != Some(fnv1a(payload)) {
-            return Err(corrupt("payload checksum mismatch"));
+        let total = u64_at(32);
+        if total > len as u64 {
+            return Err(corrupt("record total exceeds the generation key length"));
         }
-        let trace = match read_trace(payload) {
-            Ok(trace) => trace,
-            Err(e) => return Err(CacheError::Corrupt(format!("payload does not decode: {e}"))),
-        };
-        // Belt and braces: the payload parsed, but it must also be the
-        // trace the key promises.
-        if trace.len() != len {
-            return Err(corrupt("decoded trace length does not match the key"));
-        }
-        Ok(trace)
+        Ok(ChunkedReader {
+            file,
+            name: name.to_string(),
+            total,
+            loaded: 0,
+            pending: Vec::new(),
+            cursor: 0,
+        })
     }
 
     /// [`TraceCache::try_load`] with up to `retries` bounded-backoff
@@ -220,28 +272,182 @@ impl TraceCache {
         }
     }
 
-    /// Stores a trace under its generation key, atomically (via
-    /// [`publish_atomic`]: write to a temporary sibling, fsync, then
-    /// rename into place).
+    /// Stores a trace under its generation key, atomically (write to a
+    /// temporary sibling, fsync, then rename into place).
     ///
     /// # Errors
     ///
     /// Returns any underlying filesystem error. Callers may treat a
     /// failure as non-fatal — the cache is an optimisation.
     pub fn store(&self, name: &str, seed: u64, len: usize, trace: &Trace) -> std::io::Result<()> {
-        let mut payload = Vec::new();
-        write_trace(&mut payload, trace).map_err(std::io::Error::other)?;
+        self.store_source(
+            name,
+            seed,
+            len,
+            &mut SliceSource::new(trace),
+            DEFAULT_FRAME_RECORDS,
+        )
+        .map(drop)
+    }
 
-        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
-        bytes.extend_from_slice(MAGIC);
-        bytes.extend_from_slice(&VERSION.to_le_bytes());
-        bytes.extend_from_slice(&seed.to_le_bytes());
-        bytes.extend_from_slice(&(len as u64).to_le_bytes());
-        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-        bytes.extend_from_slice(&payload);
+    /// Stores the records a [`TraceSource`] produces, frame by frame,
+    /// never holding more than `frame_records` records in memory —
+    /// the write path for traces too large to materialise. Returns the
+    /// number of records stored.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error, or a source failure (as
+    /// [`std::io::ErrorKind::Other`]); either way the target path is
+    /// untouched.
+    pub fn store_source<S: TraceSource>(
+        &self,
+        name: &str,
+        seed: u64,
+        len: usize,
+        source: &mut S,
+        frame_records: usize,
+    ) -> std::io::Result<u64> {
+        let frame_records = frame_records.max(1);
+        let mut total: u64 = 0;
+        publish_atomic_with(&self.path_for(name, seed, len), |f| {
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(MAGIC);
+            header.extend_from_slice(&VERSION.to_le_bytes());
+            header.extend_from_slice(&seed.to_le_bytes());
+            header.extend_from_slice(&(len as u64).to_le_bytes());
+            header.extend_from_slice(&(frame_records as u64).to_le_bytes());
+            header.extend_from_slice(&0u64.to_le_bytes()); // total, patched below
+            f.write_all(&header)?;
 
-        publish_atomic(&self.path_for(name, seed, len), &bytes)
+            let mut records = Vec::with_capacity(frame_records);
+            let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + frame_records * RECORD_LEN);
+            loop {
+                records.clear();
+                let n = source
+                    .fill(&mut records, frame_records)
+                    .map_err(std::io::Error::other)?;
+                if n == 0 {
+                    break;
+                }
+                frame.clear();
+                frame.extend_from_slice(&(n as u64).to_le_bytes());
+                frame.extend_from_slice(&[0u8; 8]); // checksum, patched below
+                for rec in &records {
+                    encode_record(rec, &mut frame);
+                }
+                let checksum = fnv1a(&frame[FRAME_HEADER_LEN..]);
+                frame[8..16].copy_from_slice(&checksum.to_le_bytes());
+                f.write_all(&frame)?;
+                total += n as u64;
+            }
+            f.seek(SeekFrom::Start(TOTAL_OFFSET))?;
+            f.write_all(&total.to_le_bytes())?;
+            Ok(())
+        })?;
+        Ok(total)
+    }
+}
+
+/// A streamed view of one cached trace: a [`TraceSource`] that decodes
+/// and checksum-validates one frame at a time.
+#[derive(Debug)]
+pub struct ChunkedReader {
+    file: BufReader<fs::File>,
+    name: String,
+    /// Records the header promises.
+    total: u64,
+    /// Records decoded from frames so far.
+    loaded: u64,
+    /// The current decoded frame and the next record to serve from it.
+    pending: Vec<TraceInst>,
+    cursor: usize,
+}
+
+impl ChunkedReader {
+    /// Total records the cache entry holds.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn remaining_total(&self) -> usize {
+        usize::try_from(self.total - self.loaded).unwrap_or(usize::MAX)
+            + (self.pending.len() - self.cursor)
+    }
+
+    /// Reads and validates the next frame into `pending`.
+    fn read_frame(&mut self) -> Result<(), CacheError> {
+        let corrupt = |why: &str| CacheError::Corrupt(why.to_string());
+        let mut head = [0u8; FRAME_HEADER_LEN];
+        match self.file.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(corrupt("file ends before the promised record total"))
+            }
+            Err(e) => return Err(CacheError::Io(e)),
+        }
+        let count = u64::from_le_bytes(head[..8].try_into().expect("in range"));
+        let checksum = u64::from_le_bytes(head[8..].try_into().expect("in range"));
+        if count == 0 || self.loaded + count > self.total {
+            return Err(corrupt(
+                "frame record count disagrees with the header total",
+            ));
+        }
+        let mut payload = vec![0u8; count as usize * RECORD_LEN];
+        match self.file.read_exact(&mut payload) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(corrupt("frame payload is truncated"))
+            }
+            Err(e) => return Err(CacheError::Io(e)),
+        }
+        if fnv1a(&payload) != checksum {
+            return Err(corrupt("frame checksum mismatch"));
+        }
+        self.pending.clear();
+        self.cursor = 0;
+        for rec in payload.chunks_exact(RECORD_LEN) {
+            let rec: &[u8; RECORD_LEN] = rec.try_into().expect("chunks are exact");
+            self.pending.push(
+                decode_record(rec)
+                    .map_err(|e: TraceIoError| CacheError::Corrupt(format!("bad record: {e}")))?,
+            );
+        }
+        self.loaded += count;
+        Ok(())
+    }
+
+    /// The classified-error twin of [`TraceSource::fill`].
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Corrupt`] or [`CacheError::Io`] per frame.
+    pub fn pull_into(&mut self, out: &mut Vec<TraceInst>, max: usize) -> Result<usize, CacheError> {
+        let mut served = 0;
+        while served < max {
+            if self.cursor == self.pending.len() {
+                if self.loaded == self.total {
+                    break;
+                }
+                self.read_frame()?;
+            }
+            let take = (max - served).min(self.pending.len() - self.cursor);
+            out.extend_from_slice(&self.pending[self.cursor..self.cursor + take]);
+            self.cursor += take;
+            served += take;
+        }
+        Ok(served)
+    }
+}
+
+impl TraceSource for ChunkedReader {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fill(&mut self, out: &mut Vec<TraceInst>, max: usize) -> Result<usize, SourceError> {
+        self.pull_into(out, max)
+            .map_err(|e| SourceError::new(format!("trace cache: {e}")))
     }
 }
 
@@ -285,6 +491,49 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_across_frame_boundaries() {
+        let cache = TraceCache::new(tmpdir("frames"));
+        let t = sample(1000);
+        // Frame sizes that divide, straddle, and exceed the trace.
+        for frames in [1usize, 7, 1000, 4096] {
+            let stored = cache
+                .store_source("sample", 7, 1000, &mut SliceSource::new(&t), frames)
+                .unwrap();
+            assert_eq!(stored, 1000);
+            assert_eq!(
+                cache.load("sample", 7, 1000).expect("hits"),
+                t,
+                "frame size {frames}"
+            );
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn streamed_reads_match_whole_loads_at_any_pull_size() {
+        let cache = TraceCache::new(tmpdir("pulls"));
+        let t = sample(500);
+        cache
+            .store_source("sample", 7, 500, &mut SliceSource::new(&t), 64)
+            .unwrap();
+        for pull in [1usize, 13, 64, 100, 10_000] {
+            let mut reader = cache.open_stream("sample", 7, 500).unwrap();
+            assert_eq!(reader.total(), 500);
+            let mut insts = Vec::new();
+            loop {
+                let before = insts.len();
+                let n = reader.fill(&mut insts, pull).expect("clean read");
+                assert_eq!(insts.len() - before, n);
+                if n == 0 {
+                    break;
+                }
+            }
+            assert_eq!(insts, t.insts(), "pull size {pull}");
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
     fn key_mismatches_miss() {
         let cache = TraceCache::new(tmpdir("keys"));
         let t = sample(50);
@@ -302,14 +551,14 @@ mod tests {
         cache.store("sample", 3, 80, &t).unwrap();
         let path = cache.path_for("sample", 3, 80);
 
-        // Flip one payload byte: the checksum must catch it.
+        // Flip one payload byte: the frame checksum must catch it.
         let mut bytes = fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
         assert!(cache.load("sample", 3, 80).is_none(), "bit flip");
 
-        // Truncate mid-payload: the length check must catch it.
+        // Truncate mid-payload: the frame read must catch it.
         cache.store("sample", 3, 80, &t).unwrap();
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
@@ -318,6 +567,33 @@ mod tests {
         // Garbage shorter than a header.
         fs::write(&path, b"DD").unwrap();
         assert!(cache.load("sample", 3, 80).is_none(), "tiny file");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corruption_in_a_late_frame_fails_the_streamed_read_midway() {
+        let cache = TraceCache::new(tmpdir("lateframe"));
+        let t = sample(300);
+        cache
+            .store_source("sample", 3, 300, &mut SliceSource::new(&t), 100)
+            .unwrap();
+        // Flip a byte in the last frame's payload.
+        let path = cache.path_for("sample", 3, 300);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let mut reader = cache.open_stream("sample", 3, 300).unwrap();
+        let mut insts = Vec::new();
+        // The first two frames are intact and serve fine.
+        assert_eq!(reader.pull_into(&mut insts, 200).unwrap(), 200);
+        assert_eq!(insts, t.insts()[..200]);
+        // The damaged frame fails — and classifies as corruption.
+        match reader.pull_into(&mut insts, 100) {
+            Err(CacheError::Corrupt(why)) => assert!(why.contains("checksum"), "{why}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
         let _ = fs::remove_dir_all(cache.dir());
     }
 
@@ -341,10 +617,10 @@ mod tests {
             other => panic!("expected Corrupt, got {other:?}"),
         }
 
-        // Truncated mid-payload: header intact, payload short.
+        // Truncated mid-payload: header intact, frames short.
         fs::write(&path, &clean[..clean.len() - 13]).unwrap();
         match cache.try_load("sample", 3, 80) {
-            Err(CacheError::Corrupt(why)) => assert!(why.contains("length"), "{why}"),
+            Err(CacheError::Corrupt(why)) => assert!(why.contains("truncated"), "{why}"),
             other => panic!("expected Corrupt, got {other:?}"),
         }
 
@@ -408,6 +684,15 @@ mod tests {
             .map(|e| e.unwrap().file_name().into_string().unwrap())
             .collect();
         assert_eq!(entries, vec!["sample-s1-n20.bin".to_string()]);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn an_empty_trace_round_trips() {
+        let cache = TraceCache::new(tmpdir("empty"));
+        cache.store("sample", 1, 0, &sample(0)).unwrap();
+        let back = cache.load("sample", 1, 0).expect("hits");
+        assert!(back.is_empty());
         let _ = fs::remove_dir_all(cache.dir());
     }
 }

@@ -138,15 +138,42 @@ impl Suite {
                         None
                     }
                 };
-            let t = cached.unwrap_or_else(|| {
-                let t = b
-                    .trace(config.seed, config.trace_len)
-                    .unwrap_or_else(|e| panic!("workload {b} faulted: {e}"));
-                if let Err(e) = cache.store(b.name(), config.seed, config.trace_len, &t) {
-                    eprintln!("warning: could not cache {} trace: {e}", b.name());
+            // On a miss the workload is streamed straight into the
+            // cache file chunk by chunk (generation never holds the
+            // whole trace in memory) and loaded back for the in-memory
+            // suite. Any failure on that path falls back to plain
+            // in-memory generation, reported but never fatal.
+            let t = match cached {
+                Some(t) => t,
+                None => {
+                    let mut src = b.source(config.seed, config.trace_len);
+                    let streamed = cache
+                        .store_source(
+                            b.name(),
+                            config.seed,
+                            config.trace_len,
+                            &mut src,
+                            crate::cache::DEFAULT_FRAME_RECORDS,
+                        )
+                        .map_err(|e| e.to_string())
+                        .and_then(|_| {
+                            cache
+                                .try_load(b.name(), config.seed, config.trace_len)
+                                .map_err(|e| e.to_string())
+                        });
+                    match streamed {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!(
+                                "warning: could not cache {} trace ({e}); generating in memory",
+                                b.name()
+                            );
+                            b.trace(config.seed, config.trace_len)
+                                .unwrap_or_else(|e| panic!("workload {b} faulted: {e}"))
+                        }
+                    }
                 }
-                t
-            });
+            };
             (b, Arc::new(t))
         });
         Suite { traces, config }
@@ -199,6 +226,12 @@ pub struct CellTiming {
     pub instructions: u64,
     /// Host wall-clock seconds the simulation took.
     pub seconds: f64,
+    /// Process peak RSS (`VmHWM`) observed when the cell finished, in
+    /// bytes; 0 where the platform cannot report it. The measure is
+    /// process-wide — a high-water mark, not a per-cell delta — so
+    /// within one run it is monotone in completion order and its final
+    /// value is the run's memory footprint.
+    pub peak_rss_bytes: u64,
 }
 
 impl CellTiming {
@@ -699,6 +732,7 @@ impl Lab {
                 width,
                 instructions: sim.instructions,
                 seconds,
+                peak_rss_bytes: ddsc_util::peak_rss_bytes().unwrap_or(0),
             });
         if let Some(sup) = &self.supervision {
             let digest = self.cell_digest(cell);
@@ -1198,13 +1232,27 @@ impl LabReport {
     }
 
     /// Estimated wall-clock speedup of the parallel fan-out over a
-    /// serial evaluation of the same cells.
-    pub fn speedup_vs_serial(&self) -> f64 {
-        if self.wall_seconds <= 0.0 {
-            1.0
+    /// serial evaluation of the same cells, or `None` on a
+    /// single-threaded lab — with one worker the "serial equivalent"
+    /// *is* the wall clock, and reporting the residual ratio (≈0.99
+    /// from accounting noise) misread as a parallel slowdown.
+    pub fn speedup_vs_serial(&self) -> Option<f64> {
+        if self.threads <= 1 || self.wall_seconds <= 0.0 {
+            None
         } else {
-            self.serial_seconds / self.wall_seconds
+            Some(self.serial_seconds / self.wall_seconds)
         }
+    }
+
+    /// The run's peak RSS in bytes: the largest per-cell observation
+    /// (the process high-water mark at the last completed cell), 0 when
+    /// unavailable.
+    pub fn peak_rss_bytes(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.peak_rss_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Renders the human-readable `--timing` report.
@@ -1219,14 +1267,21 @@ impl LabReport {
             self.instructions(),
             self.threads
         );
+        let speedup = match self.speedup_vs_serial() {
+            Some(s) => format!("{s:.2}x"),
+            None => "n/a".to_string(),
+        };
         let _ = writeln!(
             out,
-            "wall {:.3} s (serial-equivalent {:.3} s, speedup {:.2}x), {:.2} MIPS aggregate",
+            "wall {:.3} s (serial-equivalent {:.3} s, speedup {speedup}), {:.2} MIPS aggregate",
             self.wall_seconds,
             self.serial_seconds,
-            self.speedup_vs_serial(),
             self.mips()
         );
+        let peak = self.peak_rss_bytes();
+        if peak > 0 {
+            let _ = writeln!(out, "peak RSS {:.1} MiB", peak as f64 / (1024.0 * 1024.0));
+        }
         let _ = writeln!(
             out,
             "analysis pre-pass: {:.3} s over {} traces ({:.1} cells amortised per pre-pass)",
@@ -1292,11 +1347,15 @@ impl LabReport {
             "  \"serial_equivalent_seconds\": {:.6},",
             self.serial_seconds
         );
-        let _ = writeln!(
-            out,
-            "  \"speedup_vs_serial\": {:.4},",
-            self.speedup_vs_serial()
-        );
+        match self.speedup_vs_serial() {
+            Some(s) => {
+                let _ = writeln!(out, "  \"speedup_vs_serial\": {s:.4},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"speedup_vs_serial\": null,");
+            }
+        }
+        let _ = writeln!(out, "  \"peak_rss_bytes\": {},", self.peak_rss_bytes());
         let _ = writeln!(out, "  \"total_instructions\": {},", self.instructions());
         let _ = writeln!(out, "  \"aggregate_mips\": {:.4},", self.mips());
         let _ = writeln!(out, "  \"prepass_seconds\": {:.6},", self.prepass_seconds());
@@ -1319,13 +1378,14 @@ impl LabReport {
         for (i, c) in self.cells.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"width\": {}, \"instructions\": {}, \"seconds\": {:.6}, \"mips\": {:.4}}}",
+                "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"width\": {}, \"instructions\": {}, \"seconds\": {:.6}, \"mips\": {:.4}, \"peak_rss_bytes\": {}}}",
                 c.benchmark.models(),
                 c.label,
                 c.width,
                 c.instructions,
                 c.seconds,
-                c.mips()
+                c.mips(),
+                c.peak_rss_bytes
             );
             out.push_str(if i + 1 < self.cells.len() {
                 ",\n"
@@ -1474,7 +1534,15 @@ mod tests {
         assert_eq!(report.instructions(), 3_000 * 30);
         assert!(report.serial_seconds > 0.0);
         assert!(report.wall_seconds > 0.0);
-        assert!(report.speedup_vs_serial() > 0.0);
+        // Single-threaded labs report no parallel speedup at all;
+        // multi-threaded ones report a positive ratio.
+        match report.speedup_vs_serial() {
+            Some(s) => {
+                assert!(report.threads > 1);
+                assert!(s > 0.0);
+            }
+            None => assert!(report.threads <= 1),
+        }
     }
 
     #[test]
@@ -1827,6 +1895,10 @@ mod tests {
         assert!(text.contains("026.compress"));
         let json = report.to_json();
         assert!(json.contains("\"speedup_vs_serial\""));
+        if report.threads <= 1 {
+            assert!(json.contains("\"speedup_vs_serial\": null"));
+        }
+        assert!(json.contains("\"peak_rss_bytes\""));
         assert!(json.contains("\"prepass_seconds\""));
         assert!(json.contains("\"cells_per_prepass\""));
         assert!(json.contains("\"benchmark\": \"026.compress\""));

@@ -45,6 +45,7 @@
 
 pub mod cache;
 pub mod cellstore;
+pub mod converge;
 pub mod extensions;
 pub mod figures;
 pub mod lab;
@@ -52,8 +53,9 @@ pub mod parallel;
 pub mod profile;
 pub mod tables;
 
-pub use cache::{CacheError, TraceCache};
+pub use cache::{CacheError, ChunkedReader, TraceCache, DEFAULT_FRAME_RECORDS};
 pub use cellstore::CellStore;
+pub use converge::{convergence_study, ConvergencePoint, ConvergenceReport};
 pub use lab::{
     Cell, CellFailure, CellMetrics, CellOutcome, CellTiming, FailedCell, Lab, LabReport,
     PrewarmError, Suite, SuiteConfig,

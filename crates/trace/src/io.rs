@@ -194,6 +194,71 @@ fn decode_reg(b: u8) -> Result<Option<Reg>, TraceIoError> {
     }
 }
 
+/// Appends one record in the canonical 26-byte wire form (the format
+/// shared by whole-trace files and chunked cache frames).
+pub fn encode_record(inst: &TraceInst, out: &mut Vec<u8>) {
+    let mut flags = inst.zero_flags & (FLAG_ZERO_RS1 | FLAG_ZERO_RS2);
+    if inst.imm.is_some() {
+        flags |= FLAG_HAS_IMM;
+    }
+    if inst.ea.is_some() {
+        flags |= FLAG_HAS_EA;
+    }
+    if inst.taken {
+        flags |= FLAG_TAKEN;
+    }
+    if inst.value.is_some() {
+        flags |= FLAG_HAS_VALUE;
+    }
+    out.extend_from_slice(&inst.pc.to_le_bytes());
+    out.extend_from_slice(&[
+        encode_op(inst.op),
+        encode_reg(inst.dest),
+        encode_reg(inst.rs1),
+        encode_reg(inst.rs2),
+        encode_reg(inst.data_reg),
+        flags,
+    ]);
+    out.extend_from_slice(&inst.imm.unwrap_or(0).to_le_bytes());
+    out.extend_from_slice(&inst.ea.unwrap_or(0).to_le_bytes());
+    out.extend_from_slice(&inst.target.to_le_bytes());
+    out.extend_from_slice(&inst.value.unwrap_or(0).to_le_bytes());
+}
+
+/// Decodes one record from its 26-byte wire form.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadOpcode`] or [`TraceIoError::BadReg`] for
+/// undecodable bytes.
+pub fn decode_record(rec: &[u8; RECORD_LEN]) -> Result<TraceInst, TraceIoError> {
+    let pc = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+    let op = decode_op(rec[4])?;
+    let dest = decode_reg(rec[5])?;
+    let rs1 = decode_reg(rec[6])?;
+    let rs2 = decode_reg(rec[7])?;
+    let data_reg = decode_reg(rec[8])?;
+    let flags = rec[9];
+    let imm = i32::from_le_bytes([rec[10], rec[11], rec[12], rec[13]]);
+    let ea = u32::from_le_bytes([rec[14], rec[15], rec[16], rec[17]]);
+    let target = u32::from_le_bytes([rec[18], rec[19], rec[20], rec[21]]);
+    let value = u32::from_le_bytes([rec[22], rec[23], rec[24], rec[25]]);
+    Ok(TraceInst {
+        pc,
+        op,
+        dest,
+        rs1,
+        rs2,
+        imm: (flags & FLAG_HAS_IMM != 0).then_some(imm),
+        data_reg,
+        zero_flags: flags & (FLAG_ZERO_RS1 | FLAG_ZERO_RS2),
+        ea: (flags & FLAG_HAS_EA != 0).then_some(ea),
+        taken: flags & FLAG_TAKEN != 0,
+        target,
+        value: (flags & FLAG_HAS_VALUE != 0).then_some(value),
+    })
+}
+
 /// Writes a trace to any writer. A `&mut` reference also works as the
 /// writer.
 ///
@@ -210,33 +275,11 @@ pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError
     w.write_all(&namelen.to_le_bytes())?;
     w.write_all(name)?;
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut rec = Vec::with_capacity(RECORD_LEN);
     for inst in trace {
-        let mut flags = inst.zero_flags & (FLAG_ZERO_RS1 | FLAG_ZERO_RS2);
-        if inst.imm.is_some() {
-            flags |= FLAG_HAS_IMM;
-        }
-        if inst.ea.is_some() {
-            flags |= FLAG_HAS_EA;
-        }
-        if inst.taken {
-            flags |= FLAG_TAKEN;
-        }
-        if inst.value.is_some() {
-            flags |= FLAG_HAS_VALUE;
-        }
-        w.write_all(&inst.pc.to_le_bytes())?;
-        w.write_all(&[
-            encode_op(inst.op),
-            encode_reg(inst.dest),
-            encode_reg(inst.rs1),
-            encode_reg(inst.rs2),
-            encode_reg(inst.data_reg),
-            flags,
-        ])?;
-        w.write_all(&inst.imm.unwrap_or(0).to_le_bytes())?;
-        w.write_all(&inst.ea.unwrap_or(0).to_le_bytes())?;
-        w.write_all(&inst.target.to_le_bytes())?;
-        w.write_all(&inst.value.unwrap_or(0).to_le_bytes())?;
+        rec.clear();
+        encode_record(inst, &mut rec);
+        w.write_all(&rec)?;
     }
     Ok(())
 }
@@ -269,34 +312,10 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
     r.read_exact(&mut buf8)?;
     let count = u64::from_le_bytes(buf8) as usize;
     let mut insts = Vec::with_capacity(count.min(1 << 24));
-    let mut rec = [0u8; 26];
+    let mut rec = [0u8; RECORD_LEN];
     for _ in 0..count {
         r.read_exact(&mut rec)?;
-        let pc = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
-        let op = decode_op(rec[4])?;
-        let dest = decode_reg(rec[5])?;
-        let rs1 = decode_reg(rec[6])?;
-        let rs2 = decode_reg(rec[7])?;
-        let data_reg = decode_reg(rec[8])?;
-        let flags = rec[9];
-        let imm = i32::from_le_bytes([rec[10], rec[11], rec[12], rec[13]]);
-        let ea = u32::from_le_bytes([rec[14], rec[15], rec[16], rec[17]]);
-        let target = u32::from_le_bytes([rec[18], rec[19], rec[20], rec[21]]);
-        let value = u32::from_le_bytes([rec[22], rec[23], rec[24], rec[25]]);
-        insts.push(TraceInst {
-            pc,
-            op,
-            dest,
-            rs1,
-            rs2,
-            imm: (flags & FLAG_HAS_IMM != 0).then_some(imm),
-            data_reg,
-            zero_flags: flags & (FLAG_ZERO_RS1 | FLAG_ZERO_RS2),
-            ea: (flags & FLAG_HAS_EA != 0).then_some(ea),
-            taken: flags & FLAG_TAKEN != 0,
-            target,
-            value: (flags & FLAG_HAS_VALUE != 0).then_some(value),
-        });
+        insts.push(decode_record(&rec)?);
     }
     Ok(Trace::from_parts(name, insts))
 }

@@ -11,7 +11,9 @@
 //! * [`io`] — a compact little-endian binary file format (the stand-in for
 //!   `qpt2` trace files), so traces can be saved and re-read by the CLI;
 //! * [`TraceStats`] — instruction-mix statistics backing Table 1/2-style
-//!   reports.
+//!   reports;
+//! * [`stream`] — the [`TraceSource`] abstraction for producing traces
+//!   incrementally, so paper-scale runs never materialise a whole trace.
 //!
 //! # Examples
 //!
@@ -28,11 +30,13 @@ pub mod fault;
 pub mod io;
 pub mod record;
 pub mod stats;
+pub mod stream;
 
 use std::ops::Index;
 
 pub use record::{SourceIter, TraceInst};
 pub use stats::TraceStats;
+pub use stream::{SliceSource, SourceError, TraceSource};
 
 /// An in-memory dynamic instruction trace.
 ///

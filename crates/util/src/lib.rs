@@ -25,7 +25,9 @@ pub mod hist;
 pub mod journal;
 pub mod json;
 pub mod publish;
+pub mod ring;
 pub mod rng;
+pub mod rss;
 pub mod stats;
 pub mod table;
 
@@ -36,7 +38,9 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hist::Histogram;
 pub use journal::{read_journal, Journal, JournalRecord};
 pub use json::{Json, JsonError};
-pub use publish::publish_atomic;
+pub use publish::{publish_atomic, publish_atomic_with};
+pub use ring::{RingBitSet, RingVec};
 pub use rng::{Pcg32, SplitMix64};
+pub use rss::peak_rss_bytes;
 pub use stats::{geometric_mean, harmonic_mean, mean, Percent};
 pub use table::TextTable;

@@ -35,6 +35,22 @@ use std::path::Path;
 /// let _ = std::fs::remove_dir_all(&dir);
 /// ```
 pub fn publish_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    publish_atomic_with(path, |f| f.write_all(bytes))
+}
+
+/// [`publish_atomic`] for writers that produce their bytes
+/// incrementally: `write` streams into the temporary sibling (so the
+/// full artifact never has to fit in memory), then the same
+/// fsync-and-rename publication applies.
+///
+/// # Errors
+///
+/// Any error from `write` or the underlying filesystem; the temporary
+/// file is removed and the target is untouched.
+pub fn publish_atomic_with<F>(path: &Path, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut fs::File) -> io::Result<()>,
+{
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             fs::create_dir_all(dir)?;
@@ -48,15 +64,17 @@ pub fn publish_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
             .unwrap_or_default(),
         std::process::id()
     ));
-    let mut f = fs::File::create(&tmp)?;
-    f.write_all(bytes)?;
-    f.sync_all()?;
-    drop(f);
-    let renamed = fs::rename(&tmp, path);
-    if renamed.is_err() {
+    let published = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        write(&mut f)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    if published.is_err() {
         let _ = fs::remove_file(&tmp);
     }
-    renamed
+    published
 }
 
 #[cfg(test)]

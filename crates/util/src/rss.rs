@@ -1,0 +1,69 @@
+//! Process peak-RSS measurement.
+//!
+//! The streaming simulator's bounded-memory claim is only credible if it
+//! is *measured*: the lab records the process high-water mark alongside
+//! every benchmark cell. On Linux this reads `VmHWM` from
+//! `/proc/self/status`; elsewhere it returns `None` and reports omit the
+//! field rather than fabricate it.
+//!
+//! Note the value is a process-lifetime high-water mark, not a per-cell
+//! delta — a later cell can never report less than an earlier one. The
+//! reports document this; it is still enough to bound the whole run.
+
+/// Peak resident set size of the current process in bytes, if the
+/// platform exposes it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    imp::peak_rss_bytes()
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    pub fn peak_rss_bytes() -> Option<u64> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+
+    pub fn parse_vm_hwm(status: &str) -> Option<u64> {
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        // Format: "VmHWM:\t   12345 kB"
+        let kb: u64 = line
+            .trim_start_matches("VmHWM:")
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse()
+            .ok()?;
+        Some(kb * 1024)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub fn peak_rss_bytes() -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::imp::parse_vm_hwm;
+    use super::peak_rss_bytes;
+
+    #[test]
+    fn parses_proc_status_line() {
+        let status = "Name:\tddsc\nVmPeak:\t  999 kB\nVmHWM:\t   2048 kB\nVmRSS:\t 1024 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(2048 * 1024));
+    }
+
+    #[test]
+    fn missing_line_is_none() {
+        assert_eq!(parse_vm_hwm("Name:\tddsc\n"), None);
+    }
+
+    #[test]
+    fn live_reading_is_plausible() {
+        let rss = peak_rss_bytes().expect("Linux exposes VmHWM");
+        // A running test binary occupies at least a megabyte.
+        assert!(rss > 1 << 20, "implausible peak RSS {rss}");
+    }
+}

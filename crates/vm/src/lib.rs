@@ -42,9 +42,11 @@ pub mod machine;
 pub mod mem;
 pub mod program;
 pub mod sched;
+pub mod source;
 
 pub use asm::{Asm, AsmError, Label};
 pub use machine::{Machine, VmError};
 pub use mem::Memory;
 pub use program::Program;
 pub use sched::{schedule, schedule_program};
+pub use source::MachineSource;

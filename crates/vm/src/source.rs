@@ -1,0 +1,150 @@
+//! Streaming trace generation: a [`TraceSource`] that runs the VM on
+//! demand instead of materialising the whole trace up front.
+//!
+//! [`Machine::run_trace`] collects every retired instruction into one
+//! O(trace-length) [`Trace`](ddsc_trace::Trace). [`MachineSource`]
+//! produces the *identical* record stream, but pull-driven: each
+//! [`fill`](ddsc_trace::TraceSource::fill) call steps the machine just
+//! far enough to satisfy the request, so a consumer that evicts as it
+//! goes (the streaming simulator) never holds more than its own window
+//! of records.
+
+use ddsc_trace::{SourceError, TraceInst, TraceSource};
+
+use crate::machine::Machine;
+
+/// A [`TraceSource`] that retires instructions from a [`Machine`] on
+/// demand, up to a run-length cap.
+///
+/// Emits exactly the record stream of
+/// [`Machine::run_trace`]`(name, max_insts)` on the same machine state:
+/// filtered steps (nops) are skipped, and the stream ends at the cap or
+/// when the program halts, whichever comes first.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_trace::TraceSource;
+/// use ddsc_vm::{Asm, Machine, MachineSource};
+/// use ddsc_isa::Reg;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut asm = Asm::new();
+/// asm.movi(Reg::new(1), 3);
+/// let program = asm.finish()?;
+/// let mut source = MachineSource::new(Machine::new(program), "movi", 100);
+/// let mut chunk = Vec::new();
+/// assert_eq!(source.fill(&mut chunk, 64)?, 1);
+/// assert_eq!(source.fill(&mut chunk, 64)?, 0, "halted");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MachineSource {
+    machine: Machine,
+    name: String,
+    remaining: usize,
+}
+
+impl MachineSource {
+    /// Wraps `machine`, capping the stream at `max_insts` retired
+    /// (non-nop) instructions.
+    pub fn new(machine: Machine, name: impl Into<String>, max_insts: usize) -> Self {
+        MachineSource {
+            machine,
+            name: name.into(),
+            remaining: max_insts,
+        }
+    }
+
+    /// The wrapped machine (inspection only; stepping it directly would
+    /// desynchronise the stream).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Instructions still available under the run-length cap.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl TraceSource for MachineSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fill(&mut self, out: &mut Vec<TraceInst>, max: usize) -> Result<usize, SourceError> {
+        let budget = max.min(self.remaining);
+        let mut emitted = 0;
+        while emitted < budget && !self.machine.is_halted() {
+            match self.machine.step() {
+                Ok(Some(rec)) => {
+                    out.push(rec);
+                    emitted += 1;
+                }
+                Ok(None) => {}
+                Err(e) => return Err(SourceError::new(format!("vm fault in {}: {e}", self.name))),
+            }
+        }
+        self.remaining -= emitted;
+        Ok(emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asm;
+    use ddsc_isa::Reg;
+
+    fn countdown(n: i32) -> Machine {
+        let r1 = Reg::new(1);
+        let mut asm = Asm::new();
+        asm.movi(r1, n);
+        let top = asm.label();
+        asm.bind(top);
+        asm.subi(r1, r1, 1);
+        asm.cmpi(r1, 0);
+        asm.bne(top);
+        Machine::new(asm.finish().expect("assembles"))
+    }
+
+    /// Drains a source in `chunk`-sized pulls.
+    fn drain(source: &mut MachineSource, chunk: usize) -> Vec<TraceInst> {
+        let mut all = Vec::new();
+        loop {
+            let before = all.len();
+            let n = source.fill(&mut all, chunk).expect("no fault");
+            assert_eq!(all.len() - before, n);
+            if n == 0 {
+                break;
+            }
+        }
+        // The end-of-stream condition is sticky.
+        assert_eq!(source.fill(&mut Vec::new(), chunk).expect("no fault"), 0);
+        all
+    }
+
+    #[test]
+    fn streams_the_exact_run_trace_records() {
+        let reference = countdown(50)
+            .run_trace("countdown", 1_000_000)
+            .expect("runs");
+        for chunk in [1usize, 7, 64, 1 << 20] {
+            let mut source = MachineSource::new(countdown(50), "countdown", 1_000_000);
+            let streamed = drain(&mut source, chunk);
+            assert_eq!(streamed, reference.insts(), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn the_cap_truncates_like_run_trace() {
+        let reference = countdown(50).run_trace("countdown", 33).expect("runs");
+        let mut source = MachineSource::new(countdown(50), "countdown", 33);
+        let streamed = drain(&mut source, 10);
+        assert_eq!(streamed.len(), 33);
+        assert_eq!(streamed, reference.insts());
+        assert_eq!(source.remaining(), 0);
+    }
+}

@@ -140,6 +140,16 @@ impl Benchmark {
         machine.run_trace(self.name(), max_insts)
     }
 
+    /// A streaming [`TraceSource`](ddsc_trace::TraceSource) over this
+    /// benchmark's execution: the machine is stepped lazily as the
+    /// consumer pulls, so up to `max_insts` dynamic instructions can be
+    /// generated without ever materialising the whole trace in memory.
+    /// The record stream is bit-identical to [`Benchmark::trace`] with
+    /// the same seed and cap.
+    pub fn source(self, seed: u64, max_insts: usize) -> ddsc_vm::MachineSource {
+        ddsc_vm::MachineSource::new(self.machine(seed), self.name(), max_insts)
+    }
+
     /// Like [`Benchmark::trace`], but with the program passed through the
     /// VM's list scheduler first — emulating compiler scheduling, which
     /// separates dependent instructions the way the paper's `gcc -O4`

@@ -1,23 +1,34 @@
 //! Timing-loop data-structure micro-benchmarks.
 //!
-//! Two questions the 10× timing-loop rework answered empirically, kept
-//! honest here so a regression (or a tempting revert) shows up as a
-//! number:
+//! Three questions the 10× timing-loop rework answered empirically,
+//! kept honest here so a regression (or a tempting revert) shows up as
+//! a number:
 //!
 //! 1. **Ready set**: the issue stage repeatedly wakes instructions out
 //!    of program order and drains the oldest ready ones each cycle.
-//!    The rework replaced a sorted `Vec<u32>` (binary-search insert,
-//!    front drain) with a [`RingBitSet`] (set bit on wake, scan from
-//!    the window base). Both are benched under the same synthetic
-//!    wake/drain churn the simulator produces.
+//!    The progression is benched in one bracket under the same
+//!    synthetic wake/drain churn the simulator produces: a sorted
+//!    `Vec<u32>` (binary-search insert, front drain — the pre-rework
+//!    structure), a [`RingBitSet`] drained with a per-bit
+//!    `next_set`/`clear` scan (the first bitset form), and the same
+//!    bitset drained with the word-wise [`RingBitSet::drain_in_order`]
+//!    pass the SoA issue loop uses now.
 //! 2. **Width monomorphisation**: the cycle loop is instantiated per
 //!    paper width so width compares fold to constants; any other width
 //!    takes the dynamic fallback. Benching a monomorphised width (8)
 //!    against its nearest dynamic neighbours (7, 9) bounds what the
 //!    dedicated instantiations buy.
+//! 3. **Event skip**: when nothing can issue, the loop jumps the cycle
+//!    counter to the wheel's next occupied bucket instead of walking
+//!    idle cycles one at a time. Benching the skipping loop against
+//!    the stepped loop (`simulate_prepared_stepped`, the bit-identity
+//!    harness's one-cycle gait) on a narrow-width config measures what
+//!    the jump buys on idle-heavy runs.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ddsc_core::{simulate, PaperConfig, SimConfig};
+use ddsc_core::{
+    simulate, simulate_prepared, simulate_prepared_stepped, PaperConfig, PreparedTrace, SimConfig,
+};
 use ddsc_util::{Pcg32, RingBitSet};
 use ddsc_workloads::Benchmark;
 
@@ -65,8 +76,8 @@ fn ready_set(c: &mut Criterion) {
         })
     });
 
-    // The post-rework structure: a windowed bitset; wake is a bit set,
-    // drain is a scan-and-clear from the old base, eviction is free.
+    // The first bitset form: wake is a bit set, drain is a per-bit
+    // next_set/clear scan from the old base, eviction is free.
     group.bench_function("ring_bitset", |b| {
         b.iter(|| {
             let mut ready = RingBitSet::with_capacity(1024);
@@ -87,6 +98,50 @@ fn ready_set(c: &mut Criterion) {
             }
             criterion::black_box(drained)
         })
+    });
+
+    // The SoA issue loop's drain: one word-wise in-order pass, bits
+    // cleared as they are consumed, early-out via the closure — the
+    // shape `run_timing_loop` uses for width-bounded issue.
+    group.bench_function("ring_bitset_word_drain", |b| {
+        b.iter(|| {
+            let mut ready = RingBitSet::with_capacity(1024);
+            let mut drained = 0usize;
+            for &(wake, base) in &script {
+                ready.grow_to(wake + 1);
+                ready.set(wake);
+                ready.drain_in_order(|j| {
+                    if j < base {
+                        drained += 1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                ready.evict_to(base.min(ready.end()));
+            }
+            criterion::black_box(drained)
+        })
+    });
+    group.finish();
+}
+
+fn event_skip(c: &mut Criterion) {
+    // Narrow width + base machine model: serial dependence chains leave
+    // plenty of idle cycles for the skip to jump. The stepped loop is
+    // the bit-identical reference gait, so the delta is pure idle-walk
+    // overhead.
+    let trace = Benchmark::Compress.trace(1996, LEN).expect("runs");
+    let prepared = PreparedTrace::build(&trace);
+    let config = SimConfig::paper(PaperConfig::A, 4);
+    let mut group = c.benchmark_group("event_skip");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(LEN as u64));
+    group.bench_function("skipping", |b| {
+        b.iter(|| criterion::black_box(simulate_prepared(&prepared, &config)))
+    });
+    group.bench_function("stepped", |b| {
+        b.iter(|| criterion::black_box(simulate_prepared_stepped(&prepared, &config)))
     });
     group.finish();
 }
@@ -110,5 +165,5 @@ fn width_monomorphisation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ready_set, width_monomorphisation);
+criterion_group!(benches, ready_set, width_monomorphisation, event_skip);
 criterion_main!(benches);

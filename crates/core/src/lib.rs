@@ -61,8 +61,9 @@ pub use prepass::{BranchStream, PreparedTrace, StreamingPrepass, ValueStream};
 pub use reference::simulate_reference;
 pub use result::{BranchRunStats, LoadClass, LoadSpecStats, SimResult, StallStats, ValueSpecStats};
 pub use simulator::{
-    simulate, simulate_prepared, simulate_prepared_observed, simulate_with_metrics,
-    try_simulate_prepared, try_simulate_prepared_observed, try_simulate_with_metrics,
+    simulate, simulate_prepared, simulate_prepared_observed, simulate_prepared_stepped,
+    simulate_with_metrics, simulate_with_metrics_stepped, try_simulate_prepared,
+    try_simulate_prepared_observed, try_simulate_with_metrics,
 };
 pub use stream::{
     simulate_stream, simulate_stream_with_metrics, try_simulate_stream,

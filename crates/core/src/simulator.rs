@@ -30,15 +30,21 @@
 //! path — `tests::matches_the_reference_simulator` and
 //! [`crate::reference`] hold the bit-identity invariant in place.
 //!
-//! The loop itself is built for throughput: wake-ups go through a
-//! 512-bucket timing wheel (latencies are `u8`, so a completion is never
-//! more than 255 cycles out and an idle skip never jumps further), the
-//! ready set is a ring bit set whose ascending scan yields oldest-first
-//! issue order for free, the cycle loop is monomorphised over the
-//! paper's issue widths the same way the `CANCELLABLE` const generic
-//! specialises cancellation, and all per-instruction state lives in ring
-//! buffers whose storage tracks the live window span — which is exactly
-//! what makes the streaming view's bounded memory possible.
+//! The loop itself is built for throughput: all per-instruction window
+//! state lives in structure-of-arrays ring columns ([`Cols`]) with
+//! fixed-capacity producer rows inlined ([`Deps`]) and consumer wake-up
+//! edges in an intrusive arena ([`EdgeArena`]), so fetch and issue
+//! touch no allocator and the hot scans walk contiguous memory;
+//! wake-ups go through a 512-bucket timing wheel with a bucket-occupancy
+//! bitmap (latencies are `u8`, so a completion is never more than 255
+//! cycles out and an idle skip never jumps further); idle stretches are
+//! skipped by jumping the cycle counter to the wheel's next occupied
+//! bucket ([`Wheel::next_event`]); the ready set is a ring bit set whose
+//! word-wise ascending drain yields oldest-first issue order for free;
+//! the cycle loop is monomorphised over the paper's issue widths the
+//! same way the `CANCELLABLE` const generic specialises cancellation;
+//! and every column's storage tracks the live window span — which is
+//! exactly what makes the streaming view's bounded memory possible.
 
 use std::cmp::Reverse;
 
@@ -74,184 +80,312 @@ fn comp(completion: &RingVec<u32>, p: u32) -> u32 {
     completion.get(p as usize).copied().unwrap_or(0)
 }
 
-#[derive(Debug, Default)]
-struct DepGroup {
-    /// Unresolved producer indices (producers still in flight).
-    producers: Vec<u32>,
+/// Inline capacity of a dependence group's pending-producer row.
+///
+/// At fetch a `main` group holds at most four deduplicated register
+/// producers plus a memory dependence plus a branch constraint — six —
+/// and an `addr` group at most the four register producers. Collapse
+/// inheritance can push a group past that (a consumer inherits its
+/// absorbed producer's own pending producers), so a heap `spill`
+/// catches the overflow; it stays `Vec::new()` (no allocation) on the
+/// hot path.
+const DEPS_INLINE: usize = 6;
+
+/// One dependence group as a packed SoA row: the resolved-ready floor,
+/// a fixed inline array of pending producers, and a rarely-touched
+/// spill for collapse-inherited overflow.
+///
+/// Replaces the `DepGroup { producers: Vec<u32>, ready }` per-entry
+/// struct: the row lives inline in a [`RingVec`] column, so the
+/// wake-up/issue scans touch contiguous memory and fetch allocates
+/// nothing.
+#[derive(Debug, Clone)]
+struct Deps {
     /// Max completion cycle among resolved producers.
     ready: u32,
+    /// Pending producers `inline[..inline_len]`, overflow in `spill`.
+    inline_len: u8,
+    inline: [u32; DEPS_INLINE],
+    spill: Vec<u32>,
 }
 
-impl DepGroup {
-    /// Adds producer `p` whose completion status is `c` (a [`comp`]
-    /// lookup): resolved producers raise the ready floor, in-flight ones
-    /// join the wait list.
-    fn add(&mut self, p: u32, c: u32) {
-        if c != NOT_DONE {
-            self.ready = self.ready.max(c);
-        } else if !self.producers.contains(&p) {
-            self.producers.push(p);
+impl Deps {
+    fn empty() -> Self {
+        Deps {
+            ready: 0,
+            inline_len: 0,
+            inline: [0; DEPS_INLINE],
+            spill: Vec::new(),
         }
     }
 
+    /// Number of pending (unresolved) producers.
+    #[inline]
+    fn pending(&self) -> usize {
+        self.inline_len as usize + self.spill.len()
+    }
+
+    #[inline]
+    fn contains(&self, p: u32) -> bool {
+        self.inline[..self.inline_len as usize].contains(&p) || self.spill.contains(&p)
+    }
+
+    /// Adds producer `p` whose completion status is `c` (a [`comp`]
+    /// lookup): resolved producers raise the ready floor, in-flight ones
+    /// join the pending row.
+    #[inline]
+    fn add(&mut self, p: u32, c: u32) {
+        if c != NOT_DONE {
+            self.ready = self.ready.max(c);
+        } else if !self.contains(p) {
+            if (self.inline_len as usize) < DEPS_INLINE {
+                self.inline[self.inline_len as usize] = p;
+                self.inline_len += 1;
+            } else {
+                self.spill.push(p);
+            }
+        }
+    }
+
+    /// Removes pending `p` if present (groups are deduplicated, so at
+    /// most one occurrence exists). Order within the row is not
+    /// meaningful — removal backfills from the tail.
+    fn remove(&mut self, p: u32) -> bool {
+        let il = self.inline_len as usize;
+        if let Some(k) = self.inline[..il].iter().position(|&x| x == p) {
+            if let Some(last) = self.spill.pop() {
+                self.inline[k] = last;
+            } else {
+                self.inline[k] = self.inline[il - 1];
+                self.inline_len -= 1;
+            }
+            true
+        } else if let Some(k) = self.spill.iter().position(|&x| x == p) {
+            self.spill.swap_remove(k);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resolves `p` at completion cycle `at`; `false` when `p` is not
+    /// pending here (e.g. the dependence was rewritten by collapsing).
+    #[inline]
     fn resolve(&mut self, p: u32, at: u32) -> bool {
-        if let Some(pos) = self.producers.iter().position(|&x| x == p) {
-            self.producers.swap_remove(pos);
+        if self.remove(p) {
             self.ready = self.ready.max(at);
             true
         } else {
             false
         }
     }
+
+    /// Iterates the pending producers (order is not meaningful).
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.inline[..self.inline_len as usize]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
 }
 
-#[derive(Debug)]
-struct Entry {
-    /// Non-bypassable dependences: data operands, memory dependence,
-    /// branch constraint. For loads this group excludes address
-    /// generation.
-    main: DepGroup,
-    /// Address-generation dependences (loads only).
-    addr: DepGroup,
-    /// Whether load-speculation lets this load ignore `addr`.
-    bypass_addr: bool,
-    /// Collapse expression state (None for non-pattern ops or when
-    /// collapsing is off).
-    expr: Option<ExprState>,
-    /// Unresolved producers that a *later* consumer could still absorb
-    /// transitively, with their operand slots inside this expression.
-    collapse_deps: Vec<(u32, Vec<AbsorbSlot>)>,
-    latency: u8,
-    entry_cycle: u32,
-    scheduled: bool,
-    /// Edges to in-window consumers: (consumer index, is-addr-group).
-    consumers: Vec<(u32, bool)>,
-    /// How many consumers absorbed this instruction.
-    absorbed_by: u32,
-    /// Total readers of this instruction's result in the whole trace.
-    readers_total: u32,
-    /// Basic-block sequence number (for the within-block ablation).
-    block_id: u32,
-    is_load: bool,
-    pred_conf: bool,
-    pred_correct: bool,
-    /// Attribution metadata: the memory-dependence and branch-constraint
-    /// producers inside `main`, and the readiness of each constraint
-    /// class (for the stall breakdown).
-    mem_dep: Option<u32>,
-    branch_dep: Option<u32>,
+/// Dependence index meaning "none" in an [`Attr`] row.
+const NO_DEP_IDX: u32 = u32::MAX;
+
+/// Stall-attribution metadata, one packed row per instruction: the
+/// memory-dependence and branch-constraint producers inside the `main`
+/// group, and the readiness watermark of each constraint class.
+#[derive(Debug, Clone, Copy)]
+struct Attr {
+    mem_dep: u32,
+    branch_dep: u32,
     data_ready: u32,
     mem_ready: u32,
     branch_ready: u32,
-    /// Whether the producer binding `data_ready` was a long-latency
-    /// (multiply/divide) operation — metrics-only metadata for the
-    /// per-cycle stall classification, never read by the timing logic.
-    data_long: bool,
 }
 
-impl Entry {
-    /// Classifies a resolved `main`-group producer for stall attribution.
-    fn note_main_ready(&mut self, p: u32, at: u32, long: bool) {
-        if self.mem_dep == Some(p) {
-            self.mem_ready = self.mem_ready.max(at);
-        } else if self.branch_dep == Some(p) {
-            self.branch_ready = self.branch_ready.max(at);
-        } else {
-            if at >= self.data_ready {
-                self.data_long = long;
-            }
-            self.data_ready = self.data_ready.max(at);
+impl Attr {
+    fn empty() -> Self {
+        Attr {
+            mem_dep: NO_DEP_IDX,
+            branch_dep: NO_DEP_IDX,
+            data_ready: 0,
+            mem_ready: 0,
+            branch_ready: 0,
         }
     }
 }
 
-impl Entry {
-    fn blocking(&self) -> usize {
-        self.main.producers.len()
-            + if self.bypass_addr {
-                0
-            } else {
-                self.addr.producers.len()
-            }
+// Per-instruction state bits in the `state` column.
+/// In the wheel or ready set (all dependences resolved).
+const S_SCHEDULED: u8 = 1 << 0;
+/// Load-speculation lets this load ignore its `addr` group.
+const S_BYPASS: u8 = 1 << 1;
+const S_LOAD: u8 = 1 << 2;
+/// Metrics-only: the producer binding `data_ready` was long-latency.
+const S_DATA_LONG: u8 = 1 << 3;
+/// Address predictor was confident (loads under [`LoadSpecMode::Real`]).
+const S_PRED_CONF: u8 = 1 << 4;
+/// Address predictor was correct.
+const S_PRED_CORRECT: u8 = 1 << 5;
+
+/// Edge id meaning "end of list" in the consumer-edge arena.
+const NO_EDGE: u32 = u32::MAX;
+/// Consumer-field bit marking an address-group (vs main-group) edge.
+const EDGE_ADDR: u32 = 1 << 31;
+
+/// One consumer edge: the consumer index (with [`EDGE_ADDR`] packed
+/// into bit 31) and the next edge of the same producer's list.
+#[derive(Debug, Clone, Copy)]
+struct EdgeNode {
+    cons: u32,
+    next: u32,
+}
+
+/// Arena of producer→consumer wake-up edges as intrusive singly-linked
+/// lists headed by the `cons_head` column.
+///
+/// Replaces the per-entry `consumers: Vec<(u32, bool)>`: fetch links a
+/// node in O(1) with no allocation (nodes are free-listed), and issue
+/// walks and frees the producer's list. List order is LIFO where the
+/// old vector was FIFO — safe because every notification effect is
+/// order-insensitive (max ready floors, set membership, wheel-bucket
+/// inserts whose per-bucket order is never observed).
+#[derive(Debug, Default)]
+struct EdgeArena {
+    nodes: Vec<EdgeNode>,
+    free: u32,
+}
+
+impl EdgeArena {
+    fn new() -> Self {
+        EdgeArena {
+            nodes: Vec::new(),
+            free: NO_EDGE,
+        }
     }
 
-    fn ready_cycle(&self) -> u32 {
-        let mut r = self.entry_cycle.max(self.main.ready);
-        if !self.bypass_addr {
-            r = r.max(self.addr.ready);
+    /// Links consumer `cons` onto producer list `*head`.
+    fn link(&mut self, head: &mut u32, cons: u32, is_addr: bool) {
+        debug_assert!(cons < EDGE_ADDR, "consumer index overflows the tag bit");
+        let cons = cons | if is_addr { EDGE_ADDR } else { 0 };
+        let node = EdgeNode { cons, next: *head };
+        let idx = if self.free == NO_EDGE {
+            self.nodes.push(node);
+            self.nodes.len() as u32 - 1
+        } else {
+            let idx = self.free;
+            self.free = self.nodes[idx as usize].next;
+            self.nodes[idx as usize] = node;
+            idx
+        };
+        *head = idx;
+    }
+
+    /// Returns node `idx` to the free list.
+    #[inline]
+    fn release(&mut self, idx: u32) {
+        self.nodes[idx as usize].next = self.free;
+        self.free = idx;
+    }
+}
+
+/// The in-window per-instruction state as structure-of-arrays ring
+/// columns, all addressed by absolute instruction index and evicted in
+/// lockstep at the retirement watermark.
+///
+/// Replaces the slab `Window` of boxed `Entry` structs: a lookup is one
+/// direct column read instead of `slot_of` → slab → heap pointer
+/// chases, the wake-up and issue scans walk contiguous packed rows, and
+/// fetch/issue touch no allocator (producer rows are inlined in
+/// [`Deps`], consumer lists live in the [`EdgeArena`]).
+///
+/// "In window" is now a property of the `completion` column — an
+/// instruction is in the window iff its completion reads [`NOT_DONE`]
+/// (fetched, not yet issued or eliminated, not evicted) — so there is
+/// no membership structure to maintain at all.
+struct Cols {
+    /// Completion cycle, [`NOT_DONE`] while in flight.
+    completion: RingVec<u32>,
+    /// [`S_SCHEDULED`]-style flag bits.
+    state: RingVec<u8>,
+    /// Cycle the instruction entered the window.
+    entry_cycle: RingVec<u32>,
+    /// Non-bypassable dependences: data operands, memory dependence,
+    /// branch constraint. For loads this group excludes address
+    /// generation.
+    main: RingVec<Deps>,
+    /// Address-generation dependences (loads only).
+    addr: RingVec<Deps>,
+    /// Stall-attribution rows.
+    attr: RingVec<Attr>,
+    /// How many consumers absorbed this instruction (node elimination).
+    absorbed: RingVec<u32>,
+    /// Head of the consumer-edge list in `edges`.
+    cons_head: RingVec<u32>,
+    /// Collapse expression state (`None` for non-pattern ops or when
+    /// collapsing is off). `ExprState` is `Copy`, so it packs into the
+    /// column directly.
+    expr: RingVec<Option<ExprState>>,
+    /// Unresolved producers a *later* consumer could still absorb
+    /// transitively, with their operand slots inside this expression.
+    /// The vectors are pool-recycled at issue, so ring-wrap overwrites
+    /// only ever drop empty ones.
+    cdeps: RingVec<Vec<(u32, Vec<AbsorbSlot>)>>,
+    edges: EdgeArena,
+}
+
+impl Cols {
+    fn new(cap: usize) -> Self {
+        Cols {
+            completion: RingVec::with_capacity(NOT_DONE, cap),
+            state: RingVec::with_capacity(0, cap),
+            entry_cycle: RingVec::with_capacity(0, cap),
+            main: RingVec::with_capacity(Deps::empty(), cap),
+            addr: RingVec::with_capacity(Deps::empty(), cap),
+            attr: RingVec::with_capacity(Attr::empty(), cap),
+            absorbed: RingVec::with_capacity(0, cap),
+            cons_head: RingVec::with_capacity(NO_EDGE, cap),
+            expr: RingVec::with_capacity(None, cap),
+            cdeps: RingVec::with_capacity(Vec::new(), cap),
+            edges: EdgeArena::new(),
+        }
+    }
+
+    /// Ready cycle of in-window instruction `i` from its packed rows.
+    #[inline]
+    fn ready_cycle(&self, i: usize) -> u32 {
+        let mut r = *self.entry_cycle.get(i).expect("in-window row");
+        r = r.max(self.main.get(i).expect("in-window row").ready);
+        if *self.state.get(i).expect("in-window row") & S_BYPASS == 0 {
+            r = r.max(self.addr.get(i).expect("in-window row").ready);
         }
         r
     }
-}
 
-/// Slot id meaning "not in the window".
-const NO_SLOT: u32 = u32::MAX;
-
-/// The scheduling window as a fixed-capacity slab.
-///
-/// At most `window_size` instructions are live at once, but their
-/// *indices* can span arbitrarily far (an old stalled instruction pins
-/// its slot while younger ones churn), so `index % capacity` would
-/// collide. Instead a free-list hands out slots and a ring
-/// `slot_of[inst_index]` table maps indices to slots — every lookup the
-/// cycle loop does becomes two array reads, no hashing — while indices
-/// behind the retirement watermark are evicted so the table's storage
-/// tracks the live span, not the trace length.
-#[derive(Debug)]
-struct Window {
-    slots: Vec<Option<Entry>>,
-    /// Instruction index → slot, or [`NO_SLOT`]; indexed in fetch order.
-    slot_of: RingVec<u32>,
-    free: Vec<u32>,
-}
-
-impl Window {
-    fn new(capacity: u32) -> Self {
-        Window {
-            slots: std::iter::repeat_with(|| None)
-                .take(capacity as usize)
-                .collect(),
-            slot_of: RingVec::with_capacity(NO_SLOT, capacity as usize * 2),
-            free: (0..capacity).rev().collect(),
-        }
-    }
-
-    /// Inserts the entry for instruction `index`, which must be the next
-    /// fetch-order index (the `slot_of` ring is append-only).
-    fn insert(&mut self, index: u32, entry: Entry) {
-        debug_assert_eq!(index as usize, self.slot_of.end());
-        let slot = self.free.pop().expect("window over capacity");
-        self.slots[slot as usize] = Some(entry);
-        self.slot_of.push(slot);
-    }
-
-    fn get(&self, index: u32) -> Option<&Entry> {
-        match self.slot_of.get(index as usize) {
-            None | Some(&NO_SLOT) => None,
-            Some(&slot) => self.slots[slot as usize].as_ref(),
-        }
-    }
-
-    fn get_mut(&mut self, index: u32) -> Option<&mut Entry> {
-        match self.slot_of.get(index as usize).copied() {
-            None | Some(NO_SLOT) => None,
-            Some(slot) => self.slots[slot as usize].as_mut(),
-        }
-    }
-
-    fn remove(&mut self, index: u32) -> Option<Entry> {
-        match std::mem::replace(self.slot_of.get_mut(index as usize), NO_SLOT) {
-            NO_SLOT => None,
-            slot => {
-                self.free.push(slot);
-                self.slots[slot as usize].take()
+    /// Pending-dependence count of in-window instruction `i`.
+    #[inline]
+    fn blocking(&self, i: usize) -> usize {
+        self.main.get(i).expect("in-window row").pending()
+            + if *self.state.get(i).expect("in-window row") & S_BYPASS != 0 {
+                0
+            } else {
+                self.addr.get(i).expect("in-window row").pending()
             }
-        }
     }
 
-    /// Forgets `slot_of` entries below `below` (all retired by then).
-    fn evict_to(&mut self, below: usize) {
-        self.slot_of.evict_to(below);
+    /// Evicts every column below the watermark in lockstep.
+    fn evict_to(&mut self, watermark: usize) {
+        self.completion.evict_to(watermark);
+        self.state.evict_to(watermark);
+        self.entry_cycle.evict_to(watermark);
+        self.main.evict_to(watermark);
+        self.addr.evict_to(watermark);
+        self.attr.evict_to(watermark);
+        self.absorbed.evict_to(watermark);
+        self.cons_head.evict_to(watermark);
+        self.expr.evict_to(watermark);
+        self.cdeps.evict_to(watermark);
     }
 }
 
@@ -262,6 +396,9 @@ impl Window {
 /// reason, so the distance between the oldest undrained bucket and the
 /// furthest future wake-up is bounded by 509 < 512.
 const WHEEL_BUCKETS: usize = 512;
+
+/// Words in the wheel's bucket-occupancy bitmap.
+const WHEEL_WORDS: usize = WHEEL_BUCKETS / 64;
 
 /// The pending set — scheduled instructions waiting for their ready
 /// cycle — as a timing wheel.
@@ -277,6 +414,11 @@ const WHEEL_BUCKETS: usize = 512;
 struct Wheel {
     /// `buckets[c % WHEEL_BUCKETS]` holds `(raw ready cycle, index)`.
     buckets: Vec<Vec<(u32, u32)>>,
+    /// Bit per bucket slot: set iff that bucket is non-empty. Makes the
+    /// next-event derivation an O([`WHEEL_WORDS`]) word scan instead of
+    /// an O(buckets × occupancy) walk — this is what lets the idle-skip
+    /// and the metrics head-classification stay cheap.
+    occupied: [u64; WHEEL_WORDS],
     count: usize,
     /// The next bucket cycle `drain_through` will visit; every entry in
     /// the wheel sits in a bucket `>= next_drain`.
@@ -289,6 +431,7 @@ impl Wheel {
             buckets: std::iter::repeat_with(Vec::new)
                 .take(WHEEL_BUCKETS)
                 .collect(),
+            occupied: [0; WHEEL_WORDS],
             count: 0,
             next_drain: 0,
         }
@@ -307,20 +450,52 @@ impl Wheel {
             "wake-up {bucket} overflows the wheel horizon {}",
             self.next_drain
         );
-        self.buckets[bucket as usize % WHEEL_BUCKETS].push((rc, idx));
+        let slot = bucket as usize % WHEEL_BUCKETS;
+        self.buckets[slot].push((rc, idx));
+        self.occupied[slot / 64] |= 1 << (slot % 64);
         self.count += 1;
     }
 
     /// Moves every entry due by `cycle` into the ready set.
     fn drain_through(&mut self, cycle: u32, ready: &mut RingBitSet) {
         while self.next_drain <= cycle {
-            let bucket = &mut self.buckets[self.next_drain as usize % WHEEL_BUCKETS];
+            let slot = self.next_drain as usize % WHEEL_BUCKETS;
+            let bucket = &mut self.buckets[slot];
             self.count -= bucket.len();
             for (_, idx) in bucket.drain(..) {
                 ready.set(idx as usize);
             }
+            self.occupied[slot / 64] &= !(1 << (slot % 64));
             self.next_drain += 1;
         }
+    }
+
+    /// The bucket cycle of the first non-empty bucket — the next cycle
+    /// at which anything can wake. Derived from the occupancy bitmap:
+    /// a cyclic word scan starting at `next_drain`'s slot, at most
+    /// [`WHEEL_WORDS`] + 1 word reads.
+    fn next_event(&self) -> Option<u32> {
+        if self.count == 0 {
+            return None;
+        }
+        let start = self.next_drain as usize % WHEEL_BUCKETS;
+        let (sw, sb) = (start / 64, start % 64);
+        // k == 0 masks bits below the start slot; k == WHEEL_WORDS
+        // revisits the start word for the wrapped-around low bits.
+        for k in 0..=WHEEL_WORDS {
+            let wi = (sw + k) % WHEEL_WORDS;
+            let w = match k {
+                0 => self.occupied[wi] & (!0u64 << sb),
+                WHEEL_WORDS => self.occupied[wi] & ((1u64 << sb) - 1),
+                _ => self.occupied[wi],
+            };
+            if w != 0 {
+                let slot = wi * 64 + w.trailing_zeros() as usize;
+                let delta = (slot + WHEEL_BUCKETS - start) % WHEEL_BUCKETS;
+                return Some(self.next_drain + delta as u32);
+            }
+        }
+        unreachable!("wheel count is positive but the occupancy map is empty")
     }
 
     /// The minimum `(raw ready cycle, index)` entry, heap-identically.
@@ -329,16 +504,11 @@ impl Wheel {
     /// `next_drain` bucket (older ones were drained), so the first
     /// non-empty bucket always contains the global minimum.
     fn peek_min(&self) -> Option<(u32, u32)> {
-        if self.count == 0 {
-            return None;
-        }
-        for d in 0..WHEEL_BUCKETS as u32 {
-            let bucket = &self.buckets[(self.next_drain + d) as usize % WHEEL_BUCKETS];
-            if let Some(&min) = bucket.iter().min() {
-                return Some(min);
-            }
-        }
-        unreachable!("wheel count is positive but every bucket is empty")
+        let bucket = self.next_event()?;
+        self.buckets[bucket as usize % WHEEL_BUCKETS]
+            .iter()
+            .min()
+            .copied()
     }
 }
 
@@ -426,7 +596,7 @@ pub(crate) enum RunError {
     Fault(StreamError),
 }
 
-///// The whole-trace view: borrowed [`PreparedTrace`] columns plus the
+/// The whole-trace view: borrowed [`PreparedTrace`] columns plus the
 /// config-resolved verdict streams.
 struct WholeView<'a> {
     p: &'a PreparedTrace,
@@ -653,6 +823,51 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
     config: &SimConfig,
     obs: &mut O,
 ) -> Result<SimResult, Cancelled> {
+    whole_trace_run(prepared, config, obs, false)
+}
+
+/// [`simulate_prepared`] with event-driven cycle skipping disabled: the
+/// loop walks every idle cycle one by one instead of jumping to the
+/// next wheel event.
+///
+/// Bit-identical to [`simulate_prepared`] by construction — the skipped
+/// span is provably inert — and kept as a public (hidden) entry point so
+/// the identity is *testable* from the outside, not just argued.
+#[doc(hidden)]
+pub fn simulate_prepared_stepped(prepared: &PreparedTrace, config: &SimConfig) -> SimResult {
+    whole_trace_run(prepared, config, &mut NoopObserver, true)
+        .unwrap_or_else(|_| unreachable!("NoopObserver cannot cancel"))
+}
+
+/// [`simulate_with_metrics`] with event-driven cycle skipping disabled;
+/// the per-cycle idle classification must agree with the span-at-a-time
+/// classification bit for bit.
+///
+/// # Panics
+///
+/// Panics if the attribution identity fails (a simulator bug).
+#[doc(hidden)]
+pub fn simulate_with_metrics_stepped(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+) -> (SimResult, SimMetrics) {
+    let mut collector = MetricsCollector::new(config);
+    let result = whole_trace_run(prepared, config, &mut collector, true)
+        .unwrap_or_else(|_| unreachable!("MetricsCollector cannot cancel"));
+    let metrics = collector
+        .finish(&result)
+        .expect("cycle-attribution identity must hold");
+    (result, metrics)
+}
+
+/// Shared body of the whole-trace entry points; `step` selects the
+/// non-skipping loop (see [`simulate_prepared_stepped`]).
+fn whole_trace_run<O: SimObserver>(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    obs: &mut O,
+    step: bool,
+) -> Result<SimResult, Cancelled> {
     let owned_branch;
     let branch: &BranchStream = if config.perfect_branches {
         owned_branch = prepared.perfect_branch_stream();
@@ -719,48 +934,30 @@ pub fn try_simulate_prepared_observed<O: SimObserver>(
         bypass,
         values,
     };
-    match run_dispatched(&mut view, config, obs) {
+    match run_dispatched(&mut view, config, obs, step) {
         Ok(r) => Ok(r),
         Err(RunError::Cancelled) => Err(Cancelled),
         Err(RunError::Fault(e)) => unreachable!("whole-trace view cannot fault: {e}"),
     }
 }
 
-/// Recycled heap buffers for the timing loop's per-entry lists.
+/// Recycled heap buffers for the collapse-dependence lists.
 ///
-/// Every entry owns up to four small vectors (two producer groups, a
-/// consumer list, and collapse-dependence slot lists); allocating them
-/// fresh per fetched instruction costs several mallocs per instruction
-/// and dominates the loop at paper scale. Buffers are drawn from these
-/// pools at fetch and returned when the entry issues, so a steady-state
-/// run allocates only while the pools warm up to window occupancy.
+/// Producer rows and consumer edges are allocation-free after the SoA
+/// rewrite ([`Deps`] inlines, [`EdgeArena`] free-lists), so only the
+/// collapse machinery still owns real vectors: the per-instruction
+/// transitive-absorb candidate list and its slot vectors. Both are
+/// drawn from these pools at fetch and returned at issue, so a
+/// steady-state run allocates only while the pools warm up to window
+/// occupancy — and the `cdeps` ring column only ever overwrites empty
+/// vectors on wrap-around.
 #[derive(Default)]
 struct Pools {
-    u32s: Vec<Vec<u32>>,
-    consumers: Vec<Vec<(u32, bool)>>,
     cdeps: Vec<Vec<(u32, Vec<AbsorbSlot>)>>,
     slots: Vec<Vec<AbsorbSlot>>,
 }
 
 impl Pools {
-    fn take_u32(&mut self) -> Vec<u32> {
-        self.u32s.pop().unwrap_or_else(|| Vec::with_capacity(4))
-    }
-
-    fn put_u32(&mut self, mut v: Vec<u32>) {
-        v.clear();
-        self.u32s.push(v);
-    }
-
-    fn take_consumers(&mut self) -> Vec<(u32, bool)> {
-        self.consumers.pop().unwrap_or_default()
-    }
-
-    fn put_consumers(&mut self, mut v: Vec<(u32, bool)>) {
-        v.clear();
-        self.consumers.push(v);
-    }
-
     fn take_cdeps(&mut self) -> Vec<(u32, Vec<AbsorbSlot>)> {
         self.cdeps.pop().unwrap_or_default()
     }
@@ -792,24 +989,33 @@ pub(crate) fn run_dispatched<V: PreparedSource, O: SimObserver>(
     view: &mut V,
     config: &SimConfig,
     obs: &mut O,
+    step: bool,
 ) -> Result<SimResult, RunError> {
     match config.issue_width {
-        4 => run_timing_loop::<V, O, 4>(view, config, obs),
-        8 => run_timing_loop::<V, O, 8>(view, config, obs),
-        16 => run_timing_loop::<V, O, 16>(view, config, obs),
-        32 => run_timing_loop::<V, O, 32>(view, config, obs),
-        2048 => run_timing_loop::<V, O, 2048>(view, config, obs),
-        _ => run_timing_loop::<V, O, 0>(view, config, obs),
+        4 => run_timing_loop::<V, O, 4>(view, config, obs, step),
+        8 => run_timing_loop::<V, O, 8>(view, config, obs, step),
+        16 => run_timing_loop::<V, O, 16>(view, config, obs, step),
+        32 => run_timing_loop::<V, O, 32>(view, config, obs, step),
+        2048 => run_timing_loop::<V, O, 2048>(view, config, obs, step),
+        _ => run_timing_loop::<V, O, 0>(view, config, obs, step),
     }
 }
 
 /// The generic timing loop: every simulation — whole-trace or streaming,
 /// observed or not, cancellable or not, any issue width — is one
 /// instantiation of this function.
+///
+/// `step` disables event-driven cycle skipping: the loop then walks
+/// every idle cycle one by one instead of jumping to the next wheel
+/// event. The skipped span is inert — nothing fetches, drains or
+/// issues inside it, so head-of-wheel classification and all counters
+/// are constant across it — which is why the two modes are bit-identical
+/// (pinned by `simulate_prepared_stepped` and its proptests).
 fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
     view: &mut V,
     config: &SimConfig,
     obs: &mut O,
+    step: bool,
 ) -> Result<SimResult, RunError> {
     let width = if W == 0 { config.issue_width } else { W };
     debug_assert_eq!(width, config.issue_width);
@@ -820,8 +1026,7 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
     };
 
     let ws = config.window_size as usize;
-    let mut completion = RingVec::with_capacity(NOT_DONE, ws * 4);
-    let mut window = Window::new(config.window_size);
+    let mut cols = Cols::new(ws * 4);
     let mut wheel = Wheel::new();
     let mut ready = RingBitSet::with_capacity(ws * 4);
     let mut last_mispred: Option<u32> = None;
@@ -840,7 +1045,6 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
     let mut pools = Pools::default();
     // Scratch reused across absorb iterations (see the collapse loop).
     let mut order: Vec<usize> = Vec::new();
-    let mut inh_scratch: Vec<(u32, Vec<AbsorbSlot>)> = Vec::new();
 
     let mut fetch = 0usize;
     let mut exhausted = false;
@@ -857,16 +1061,15 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
         // -- watermark: retire columns no live read can reach. Everything
         // below the first instruction whose completion is pending or
         // still in the future is dead to every remaining lookup. --
-        let mut watermark = completion.base();
+        let mut watermark = cols.completion.base();
         while watermark < fetch {
-            match completion.get(watermark) {
+            match cols.completion.get(watermark) {
                 Some(&c) if c != NOT_DONE && c < cycle => watermark += 1,
                 _ => break,
             }
         }
-        if watermark > completion.base() {
-            completion.evict_to(watermark);
-            window.evict_to(watermark);
+        if watermark > cols.completion.base() {
+            cols.evict_to(watermark);
             ready.evict_to(watermark);
             participant.evict_to(watermark);
             view.release(watermark);
@@ -885,14 +1088,11 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
             let i = fetch as u32;
             let pflags = view.flags(fetch);
             let is_load = pflags & F_LOAD != 0;
-            let mut main = DepGroup {
-                producers: pools.take_u32(),
-                ready: 0,
-            };
-            let mut addr = DepGroup {
-                producers: pools.take_u32(),
-                ready: 0,
-            };
+            // Dependence rows are built in locals (no allocation: the
+            // producer rows are inline) and moved into the columns at
+            // the end of the fetch step.
+            let mut e_main = Deps::empty();
+            let mut e_addr = Deps::empty();
 
             let row = view.producer_row(fetch);
             for (p, _) in row.iter() {
@@ -901,19 +1101,20 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
                     // this dependence carries no latency.
                     continue;
                 }
+                let c = comp(&cols.completion, p);
                 if is_load {
-                    addr.add(p, comp(&completion, p));
+                    e_addr.add(p, c);
                 } else {
-                    main.add(p, comp(&completion, p));
+                    e_main.add(p, c);
                 }
             }
-            let mut data_floor = main.ready;
+            let mut data_floor = e_main.ready;
             let mut data_long = false;
             if O::ENABLED && !is_load && data_floor > 0 {
                 // Which already-completed producer set the data floor,
                 // and was it a multiply/divide? Metrics-only.
                 for (p, _) in row.iter() {
-                    if comp(&completion, p) == data_floor
+                    if comp(&cols.completion, p) == data_floor
                         && !view.value_bypass(p as usize)
                         && view.flags(p as usize) & F_LOAD == 0
                         && view.latency(p as usize) > config.latencies.default
@@ -923,26 +1124,23 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
                     }
                 }
             }
-            let mut mem_dep = None;
-            let mut mem_ready = 0u32;
+            let mut a = Attr::empty();
             if let Some(s) = view.mem_dep_of(fetch) {
-                let c = comp(&completion, s);
-                main.add(s, c);
+                let c = comp(&cols.completion, s);
+                e_main.add(s, c);
                 if c != NOT_DONE {
-                    mem_ready = c;
+                    a.mem_ready = c;
                 } else {
-                    mem_dep = Some(s);
+                    a.mem_dep = s;
                 }
             }
-            let mut branch_dep = None;
-            let mut branch_ready = 0u32;
             if let Some(b) = last_mispred {
-                let c = comp(&completion, b);
-                main.add(b, c);
+                let c = comp(&cols.completion, b);
+                e_main.add(b, c);
                 if c != NOT_DONE {
-                    branch_ready = c;
+                    a.branch_ready = c;
                 } else {
-                    branch_dep = Some(b);
+                    a.branch_dep = b;
                     if O::ENABLED {
                         squash_pending += 1;
                     }
@@ -963,7 +1161,7 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
                 // exactly the nonzero-coded, still-pending edges.
                 for (p, code) in row.iter() {
                     if code != 0
-                        && comp(&completion, p) == NOT_DONE
+                        && comp(&cols.completion, p) == NOT_DONE
                         && !view.value_bypass(p as usize)
                     {
                         let (slots, count) = decode_slots(code);
@@ -982,13 +1180,17 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
                     order.sort_by_key(|&k| Reverse(collapse_deps[k].0));
                     for &k in &order {
                         let (p, ref slots) = collapse_deps[k];
-                        let Some(p_entry) = window.get(p) else {
+                        let pu = p as usize;
+                        // In-window is a completion-column property now:
+                        // anything issued, eliminated or evicted reads a
+                        // value other than NOT_DONE.
+                        if comp(&cols.completion, p) != NOT_DONE {
                             continue; // already issued
-                        };
-                        if config.collapse_within_block_only && p_entry.block_id != block_id {
+                        }
+                        if config.collapse_within_block_only && view.block_of(pu) != block_id {
                             continue;
                         }
-                        let Some(p_expr) = p_entry.expr.as_ref() else {
+                        let Some(p_expr) = cols.expr.get(pu).and_then(|o| o.as_ref()) else {
                             continue;
                         };
                         if let Some(merged) = cur.absorb_with(p_expr, slots, &opts) {
@@ -1000,50 +1202,54 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
                     let (p, slots) = collapse_deps.swap_remove(k);
                     let occ = slots.len();
                     pools.put_slots(slots);
+                    let pu = p as usize;
                     // Remove the collapsed dependence and inherit the
                     // producer's own dependences (leaf availability).
-                    let group = if is_load { &mut addr } else { &mut main };
-                    group.producers.retain(|&x| x != p);
-                    let p_entry = window.get_mut(p).expect("producer vanished mid-absorb");
-                    p_entry.absorbed_by += 1;
-                    group.ready = group.ready.max(p_entry.main.ready);
+                    // The consumer's groups are still locals, so the
+                    // producer's column rows can be read directly while
+                    // the groups are extended — no scratch copies.
+                    let group = if is_load { &mut e_addr } else { &mut e_main };
+                    group.remove(p);
+                    *cols.absorbed.get_mut(pu) += 1;
+                    let p_main = cols.main.get(pu).expect("in-window producer row");
+                    group.ready = group.ready.max(p_main.ready);
                     if !is_load {
                         // Inherited leaf availability counts as data
                         // readiness for the stall breakdown.
-                        if O::ENABLED && p_entry.main.ready > data_floor {
-                            data_long = p_entry.data_long;
+                        if O::ENABLED && p_main.ready > data_floor {
+                            data_long = *cols.state.get(pu).expect("in-window producer row")
+                                & S_DATA_LONG
+                                != 0;
                         }
-                        data_floor = data_floor.max(p_entry.main.ready);
+                        data_floor = data_floor.max(p_main.ready);
                     }
-                    let mut inherited = pools.take_u32();
-                    inherited.extend_from_slice(&p_entry.main.producers);
-                    inh_scratch.clear();
-                    for (q, s) in p_entry.collapse_deps.iter() {
-                        let mut rep = pools.take_slots();
-                        for _ in 0..occ {
-                            rep.extend_from_slice(s);
-                        }
-                        inh_scratch.push((*q, rep));
+                    for q in p_main.iter() {
+                        group.add(q, comp(&cols.completion, q));
                     }
-                    for &q in &inherited {
-                        let c = comp(&completion, q);
-                        group.add(q, c);
-                    }
-                    pools.put_u32(inherited);
-                    for (q, s) in inh_scratch.drain(..) {
-                        match collapse_deps.iter_mut().find(|(x, _)| *x == q) {
+                    // Inherit the producer's transitive collapse
+                    // candidates, replicating each slot list once per
+                    // operand slot the absorbed producer occupied.
+                    for (q, s) in cols.cdeps.get(pu).expect("in-window producer row") {
+                        match collapse_deps.iter_mut().find(|(x, _)| x == q) {
                             Some((_, existing)) => {
-                                existing.extend_from_slice(&s);
-                                pools.put_slots(s);
+                                for _ in 0..occ {
+                                    existing.extend_from_slice(s);
+                                }
                             }
-                            None => collapse_deps.push((q, s)),
+                            None => {
+                                let mut rep = pools.take_slots();
+                                for _ in 0..occ {
+                                    rep.extend_from_slice(s);
+                                }
+                                collapse_deps.push((*q, rep));
+                            }
                         }
                     }
                     expr = Some(merged);
                 }
             }
 
-            let flags = match config.load_spec {
+            let lflags = match config.load_spec {
                 LoadSpecMode::Off => 0,
                 LoadSpecMode::Ideal => {
                     if is_load {
@@ -1055,63 +1261,66 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
                 LoadSpecMode::Real => view.load_pred(fetch),
             };
             if O::ENABLED && is_load && config.load_spec == LoadSpecMode::Real {
-                obs.on_addr_prediction(flags & 1 != 0, flags & 2 != 0);
+                obs.on_addr_prediction(lflags & 1 != 0, lflags & 2 != 0);
             }
             let bypass_addr = is_load
                 && match config.load_spec {
                     LoadSpecMode::Off => false,
                     LoadSpecMode::Ideal => true,
-                    LoadSpecMode::Real => flags == 0b11, // confident && correct
+                    LoadSpecMode::Real => lflags == 0b11, // confident && correct
                 };
 
-            let entry = Entry {
-                main,
-                addr,
-                bypass_addr,
-                expr,
-                collapse_deps,
-                latency: view.latency(fetch),
-                entry_cycle: cycle,
-                scheduled: false,
-                consumers: pools.take_consumers(),
-                absorbed_by: 0,
-                readers_total: view.readers_of(fetch),
-                block_id,
-                is_load,
-                pred_conf: flags & 1 != 0,
-                pred_correct: flags & 2 != 0,
-                mem_dep,
-                branch_dep,
-                data_ready: data_floor,
-                mem_ready,
-                branch_ready,
-                data_long,
-            };
-
-            // Register edges on in-window producers. `entry` is still a
-            // local here, so its producer lists can be walked while the
-            // window is mutated — no intermediate edge list needed.
-            for &p in &entry.addr.producers {
-                window
-                    .get_mut(p)
-                    .expect("unresolved producer must be in window")
-                    .consumers
-                    .push((i, true));
+            let mut st = 0u8;
+            if bypass_addr {
+                st |= S_BYPASS;
             }
-            for &p in &entry.main.producers {
-                window
-                    .get_mut(p)
-                    .expect("unresolved producer must be in window")
-                    .consumers
-                    .push((i, false));
+            if is_load {
+                st |= S_LOAD;
+            }
+            if data_long {
+                st |= S_DATA_LONG;
+            }
+            if lflags & 1 != 0 {
+                st |= S_PRED_CONF;
+            }
+            if lflags & 2 != 0 {
+                st |= S_PRED_CORRECT;
             }
 
-            let schedulable = entry.blocking() == 0;
-            let rc = entry.ready_cycle();
-            completion.push(NOT_DONE);
-            window.insert(i, entry);
+            // Register wake-up edges on in-window producers while the
+            // rows are still locals (the columns only gain row `i`
+            // below, so producer slots are freely mutable here).
+            for p in e_addr.iter() {
+                cols.edges.link(cols.cons_head.get_mut(p as usize), i, true);
+            }
+            for p in e_main.iter() {
+                cols.edges
+                    .link(cols.cons_head.get_mut(p as usize), i, false);
+            }
+
+            let schedulable =
+                e_main.pending() + if bypass_addr { 0 } else { e_addr.pending() } == 0;
             if schedulable {
-                window.get_mut(i).expect("just inserted").scheduled = true;
+                st |= S_SCHEDULED;
+            }
+            let rc = {
+                let mut r = cycle.max(e_main.ready);
+                if !bypass_addr {
+                    r = r.max(e_addr.ready);
+                }
+                r
+            };
+            cols.completion.push(NOT_DONE);
+            cols.state.push(st);
+            cols.entry_cycle.push(cycle);
+            cols.main.push(e_main);
+            cols.addr.push(e_addr);
+            cols.attr.push(a);
+            cols.absorbed.push(0);
+            cols.cons_head.push(NO_EDGE);
+            cols.expr.push(expr);
+            cols.cdeps.push(collapse_deps);
+            if schedulable {
                 wheel.push(rc, i);
             }
             in_window += 1;
@@ -1134,56 +1343,66 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
         // -- promote pending entries whose ready cycle has arrived --
         wheel.drain_through(cycle, &mut ready);
 
-        // -- issue up to the width, oldest first (ascending bit scan) --
+        // -- issue up to the width, oldest first (word-wise bit drain) --
         let mut slots_used = 0u32;
         let mut popped = 0usize;
-        let mut scan = ready.base();
-        while slots_used < width {
-            let Some(idx_usize) = ready.next_set(scan) else {
-                break;
-            };
-            ready.clear(idx_usize);
-            scan = idx_usize + 1;
+        ready.drain_in_order(|idx_usize| {
+            if slots_used >= width {
+                return false;
+            }
             let idx = idx_usize as u32;
-            let mut entry = window.remove(idx).expect("ready entry must be in window");
             in_window -= 1;
             popped += 1;
 
             // Node elimination: if every reader absorbed this result, the
             // instruction need not execute at all (Figure 1f). It frees
             // its window slot without consuming issue bandwidth.
+            let st = *cols.state.get(idx_usize).expect("ready row in window");
+            let absorbed_by = *cols.absorbed.get(idx_usize).expect("ready row in window");
+            let iflags = view.flags(idx_usize);
             let eliminate = config.node_elimination
-                && entry.absorbed_by > 0
-                && entry.absorbed_by == entry.readers_total
-                && view.flags(idx_usize) & F_CAN_PRODUCE != 0;
+                && absorbed_by > 0
+                && absorbed_by == view.readers_of(idx_usize)
+                && iflags & F_CAN_PRODUCE != 0;
+            let latency = view.latency(idx_usize);
             let ct = if eliminate {
                 eliminated += 1;
                 cycle // value is never read; see readers accounting
             } else {
                 slots_used += 1;
                 last_issue_cycle = cycle;
-                cycle + u32::from(entry.latency)
+                cycle + u32::from(latency)
             };
-            *completion.get_mut(idx_usize) = ct;
+            // Writing the completion time is what removes the row from
+            // the window: in-window membership IS `completion == NOT_DONE`.
+            *cols.completion.get_mut(idx_usize) = ct;
 
             if !eliminate {
                 // Bottleneck attribution: the wait from window entry to
                 // readiness goes to the dominant constraint; ready to
                 // issue is bandwidth contention.
-                let rc = entry.ready_cycle();
+                let entry_cycle = *cols.entry_cycle.get(idx_usize).expect("row");
+                let main_ready = cols.main.get(idx_usize).expect("row").ready;
+                let addr_row = cols.addr.get(idx_usize).expect("row");
+                let (addr_row_ready, addr_pending) = (addr_row.ready, addr_row.pending());
+                let at = *cols.attr.get(idx_usize).expect("row");
+                let bypass_addr = st & S_BYPASS != 0;
+                let rc = {
+                    let mut r = entry_cycle.max(main_ready);
+                    if !bypass_addr {
+                        r = r.max(addr_row_ready);
+                    }
+                    r
+                };
                 stalls.insts += 1;
                 stalls.bandwidth += u64::from(cycle - rc);
-                let wait = rc - entry.entry_cycle;
+                let wait = rc - entry_cycle;
                 if wait > 0 {
-                    let addr_ready = if entry.bypass_addr {
-                        0
-                    } else {
-                        entry.addr.ready
-                    };
+                    let addr_ready = if bypass_addr { 0 } else { addr_row_ready };
                     // Priority for ties: the most external cause first.
-                    let attributed = if entry.branch_ready >= rc {
+                    let attributed = if at.branch_ready >= rc {
                         &mut stalls.branch
-                    } else if entry.mem_ready >= rc {
+                    } else if at.mem_ready >= rc {
                         &mut stalls.memory
                     } else if addr_ready >= rc {
                         &mut stalls.address
@@ -1192,25 +1411,25 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
                     };
                     *attributed += u64::from(wait);
                 }
-                if entry.is_load && config.load_spec != LoadSpecMode::Off {
-                    let t_addr_known = entry.addr.producers.is_empty();
-                    let comparator = if entry.bypass_addr {
+                if st & S_LOAD != 0 && config.load_spec != LoadSpecMode::Off {
+                    let t_addr_known = addr_pending == 0;
+                    let comparator = if bypass_addr {
                         cycle
                     } else {
-                        entry.main.ready.max(entry.entry_cycle)
+                        main_ready.max(entry_cycle)
                     };
-                    let class = if t_addr_known && entry.addr.ready <= comparator {
+                    let class = if t_addr_known && addr_row_ready <= comparator {
                         LoadClass::Ready
-                    } else if entry.pred_conf && entry.pred_correct {
+                    } else if st & S_PRED_CONF != 0 && st & S_PRED_CORRECT != 0 {
                         LoadClass::PredictedCorrect
-                    } else if entry.pred_conf {
+                    } else if st & S_PRED_CONF != 0 {
                         LoadClass::PredictedIncorrect
                     } else {
                         LoadClass::NotPredicted
                     };
                     loads.record(class);
                 }
-                if let Some(expr) = entry.expr.as_ref() {
+                if let Some(expr) = cols.expr.get(idx_usize).and_then(|o| o.as_ref()) {
                     // A collapse is only *executed* when the interlock is
                     // real: the consumer issues before some absorbed
                     // producer's result would have been available. Groups
@@ -1220,12 +1439,12 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
                     let effective = expr.is_collapsed()
                         && expr
                             .members()
-                            .any(|(m, _)| m != idx && comp(&completion, m) > cycle);
+                            .any(|(m, _)| m != idx && comp(&cols.completion, m) > cycle);
                     if effective {
                         collapse.record_group(expr);
                         participant.set(idx_usize);
                         for (m, _) in expr.members() {
-                            if m != idx && comp(&completion, m) > cycle {
+                            if m != idx && comp(&cols.completion, m) > cycle {
                                 participant.set(m as usize);
                             }
                         }
@@ -1236,39 +1455,78 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
                 }
             }
 
-            // Notify in-window consumers.
-            let p_long = O::ENABLED
-                && !eliminate
-                && !entry.is_load
-                && entry.latency > config.latencies.default;
-            let consumers = std::mem::take(&mut entry.consumers);
-            for &(cons, is_addr) in &consumers {
-                let Some(c) = window.get_mut(cons) else {
+            // Notify in-window consumers by walking the intrusive edge
+            // list headed at this row. List order is LIFO registration
+            // order; every notify effect is order-insensitive (max
+            // floors, set removals, wheel-bucket inserts whose
+            // per-bucket order is unobserved), so this matches the old
+            // push-order walk bit for bit.
+            let p_long =
+                O::ENABLED && !eliminate && st & S_LOAD == 0 && latency > config.latencies.default;
+            let mut edge = std::mem::replace(cols.cons_head.get_mut(idx_usize), NO_EDGE);
+            while edge != NO_EDGE {
+                let node = cols.edges.nodes[edge as usize];
+                cols.edges.release(edge);
+                edge = node.next;
+                let cons = (node.cons & !EDGE_ADDR) as usize;
+                if comp(&cols.completion, cons as u32) != NOT_DONE {
                     continue; // bypassed load already issued
-                };
-                let resolved = if is_addr {
-                    c.addr.resolve(idx, ct)
+                }
+                let resolved = if node.cons & EDGE_ADDR != 0 {
+                    cols.addr.get_mut(cons).resolve(idx, ct)
                 } else {
-                    let r = c.main.resolve(idx, ct);
+                    let r = cols.main.get_mut(cons).resolve(idx, ct);
                     if r {
-                        c.note_main_ready(idx, ct, p_long);
-                        if O::ENABLED && c.branch_dep == Some(idx) {
+                        // Inlined note_main_ready: classify the resolved
+                        // producer for stall attribution. The dep indices
+                        // are deliberately *not* cleared (the main group
+                        // dedups producers, so each pair resolves once) —
+                        // that keeps the follow-on squash check identical
+                        // to the struct-based loop.
+                        let data_long_write = {
+                            let a = cols.attr.get_mut(cons);
+                            if a.mem_dep == idx {
+                                a.mem_ready = a.mem_ready.max(ct);
+                                false
+                            } else if a.branch_dep == idx {
+                                a.branch_ready = a.branch_ready.max(ct);
+                                false
+                            } else {
+                                let write = ct >= a.data_ready;
+                                a.data_ready = a.data_ready.max(ct);
+                                write
+                            }
+                        };
+                        if data_long_write {
+                            let s = cols.state.get_mut(cons);
+                            if p_long {
+                                *s |= S_DATA_LONG;
+                            } else {
+                                *s &= !S_DATA_LONG;
+                            }
+                        }
+                        if O::ENABLED
+                            && cols.attr.get(cons).expect("consumer row").branch_dep == idx
+                        {
                             squash_pending -= 1;
                         }
                     }
                     r
                 };
-                if resolved && !c.scheduled && c.blocking() == 0 {
-                    c.scheduled = true;
-                    wheel.push(c.ready_cycle(), cons);
+                if resolved {
+                    let st_c = *cols.state.get(cons).expect("consumer row");
+                    if st_c & S_SCHEDULED == 0 && cols.blocking(cons) == 0 {
+                        *cols.state.get_mut(cons) |= S_SCHEDULED;
+                        wheel.push(cols.ready_cycle(cons), cons as u32);
+                    }
                 }
             }
-            // Return the issued entry's buffers to the pools.
-            pools.put_consumers(consumers);
-            pools.put_u32(entry.main.producers);
-            pools.put_u32(entry.addr.producers);
-            pools.put_cdeps(entry.collapse_deps);
-        }
+            // Return the issued row's collapse-candidate buffers to the
+            // pools (the dependence rows are inline — nothing to free).
+            let cd = std::mem::take(cols.cdeps.get_mut(idx_usize));
+            pools.put_cdeps(cd);
+            true
+        });
         // Batch retirement: one counter update per cycle, not per pop.
         retired += popped;
 
@@ -1292,10 +1550,18 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
         }
 
         // -- advance time --
-        let next = if ready.live() > 0 || (in_window < config.window_size && !exhausted) {
+        //
+        // Event skip: when nothing is ready and the window can't grow,
+        // no cycle before the wheel's next occupied bucket can issue,
+        // fetch or drain anything — the skipped span is provably inert
+        // (head entry, squash_pending and the idle cause are all static
+        // across it; watermark movement is storage-only) — so the
+        // counter jumps straight there. `step` forces the one-cycle
+        // gait for the bit-identity harness.
+        let next = if step || ready.live() > 0 || (in_window < config.window_size && !exhausted) {
             cycle + 1
-        } else if let Some((rc, _)) = wheel.peek_min() {
-            rc.max(cycle + 1)
+        } else if let Some(event) = wheel.next_event() {
+            event.max(cycle + 1)
         } else {
             debug_assert!(
                 !exhausted || in_window > 0,
@@ -1312,14 +1578,18 @@ fn run_timing_loop<V: PreparedSource, O: SimObserver, const W: u32>(
             if span > 0 {
                 let cause = match wheel.peek_min() {
                     Some((rc, head)) => {
-                        let e = window.get(head).expect("pending entry must be in window");
-                        if squash_pending > 0 || e.branch_ready >= rc {
+                        let hu = head as usize;
+                        let at = *cols.attr.get(hu).expect("pending row in window");
+                        let st = *cols.state.get(hu).expect("pending row in window");
+                        if squash_pending > 0 || at.branch_ready >= rc {
                             StallCause::Branch
-                        } else if e.mem_ready >= rc {
+                        } else if at.mem_ready >= rc {
                             StallCause::Memory
-                        } else if !e.bypass_addr && e.addr.ready >= rc {
+                        } else if st & S_BYPASS == 0
+                            && cols.addr.get(hu).expect("pending row in window").ready >= rc
+                        {
                             StallCause::Address
-                        } else if e.data_long && e.data_ready >= rc {
+                        } else if st & S_DATA_LONG != 0 && at.data_ready >= rc {
                             StallCause::LongLatency
                         } else {
                             let more = !exhausted && matches!(view.ensure(fetch), Ok(true));
@@ -2422,9 +2692,10 @@ mod tests {
     }
 
     #[test]
-    fn window_slab_recycles_slots() {
-        // Run something long enough that slots are freed and reused many
-        // times over; the slab must never exceed its capacity.
+    fn window_columns_recycle_storage() {
+        // Run something long enough that rows are evicted and the ring
+        // columns wrap many times over; storage must track the live
+        // span, not the trace length.
         let t = mixed_trace(6000, 7);
         let res = simulate(&t, &SimConfig::paper(PaperConfig::C, 4));
         assert_eq!(res.instructions, 6000);

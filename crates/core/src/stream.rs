@@ -285,7 +285,7 @@ pub fn try_simulate_stream_observed<S: TraceSource, O: SimObserver>(
         chunk: chunk_size.max(1),
         done: false,
     };
-    match run_dispatched(&mut view, config, obs) {
+    match run_dispatched(&mut view, config, obs, false) {
         Ok(r) => Ok(r),
         Err(RunError::Cancelled) => Err(StreamError::Cancelled),
         Err(RunError::Fault(e)) => Err(e),

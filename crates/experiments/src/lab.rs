@@ -227,11 +227,16 @@ pub struct CellTiming {
     /// Host wall-clock seconds the simulation took.
     pub seconds: f64,
     /// Process peak RSS (`VmHWM`) observed when the cell finished, in
-    /// bytes; 0 where the platform cannot report it. The measure is
-    /// process-wide — a high-water mark, not a per-cell delta — so
-    /// within one run it is monotone in completion order and its final
-    /// value is the run's memory footprint.
-    pub peak_rss_bytes: u64,
+    /// bytes; 0 where the platform cannot report it.
+    ///
+    /// The name says what it is: a *process-wide* high-water mark, not
+    /// a per-cell measurement. VmHWM never decreases, so within one run
+    /// the values are monotone in completion order — a later cell
+    /// "inherits" every earlier cell's peak — and only the final value
+    /// (the run-level `peak_rss_bytes`) means anything in isolation.
+    /// Serialised as `process_peak_rss_bytes` to keep readers from
+    /// summing or comparing cells as if it were per-cell usage.
+    pub process_peak_rss_bytes: u64,
 }
 
 impl CellTiming {
@@ -732,7 +737,7 @@ impl Lab {
                 width,
                 instructions: sim.instructions,
                 seconds,
-                peak_rss_bytes: ddsc_util::peak_rss_bytes().unwrap_or(0),
+                process_peak_rss_bytes: ddsc_util::peak_rss_bytes().unwrap_or(0),
             });
         if let Some(sup) = &self.supervision {
             let digest = self.cell_digest(cell);
@@ -1250,7 +1255,7 @@ impl LabReport {
     pub fn peak_rss_bytes(&self) -> u64 {
         self.cells
             .iter()
-            .map(|c| c.peak_rss_bytes)
+            .map(|c| c.process_peak_rss_bytes)
             .max()
             .unwrap_or(0)
     }
@@ -1378,14 +1383,14 @@ impl LabReport {
         for (i, c) in self.cells.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"width\": {}, \"instructions\": {}, \"seconds\": {:.6}, \"mips\": {:.4}, \"peak_rss_bytes\": {}}}",
+                "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"width\": {}, \"instructions\": {}, \"seconds\": {:.6}, \"mips\": {:.4}, \"process_peak_rss_bytes\": {}}}",
                 c.benchmark.models(),
                 c.label,
                 c.width,
                 c.instructions,
                 c.seconds,
                 c.mips(),
-                c.peak_rss_bytes
+                c.process_peak_rss_bytes
             );
             out.push_str(if i + 1 < self.cells.len() {
                 ",\n"
@@ -1898,7 +1903,11 @@ mod tests {
         if report.threads <= 1 {
             assert!(json.contains("\"speedup_vs_serial\": null"));
         }
+        // Top-level key keeps the plain name (it genuinely is the run's
+        // process peak); per-cell rows carry the process_ prefix so the
+        // monotone-inherited values can't be misread as per-cell usage.
         assert!(json.contains("\"peak_rss_bytes\""));
+        assert!(json.contains("\"process_peak_rss_bytes\""));
         assert!(json.contains("\"prepass_seconds\""));
         assert!(json.contains("\"cells_per_prepass\""));
         assert!(json.contains("\"benchmark\": \"026.compress\""));

@@ -93,6 +93,7 @@ impl<T: Clone> RingVec<T> {
     }
 
     /// Appends a value at index `end`, returning that index.
+    #[inline]
     pub fn push(&mut self, v: T) -> usize {
         if self.end - self.base == self.buf.len() {
             self.grow();
@@ -133,6 +134,7 @@ impl<T: Clone> RingVec<T> {
 
     /// Drops every element below `new_base` (clamped to `end`). Bases
     /// only move forward; an older `new_base` is a no-op.
+    #[inline]
     pub fn evict_to(&mut self, new_base: usize) {
         self.base = self.base.max(new_base.min(self.end));
     }
@@ -296,6 +298,45 @@ impl RingBitSet {
                 return None;
             }
             w = self.words[(i / 64) & self.mask];
+        }
+    }
+
+    /// Drains set bits in ascending order through `take`.
+    ///
+    /// For each set bit `i` (lowest first), `take(i)` decides its fate:
+    /// `true` consumes the bit (it is cleared and the scan continues),
+    /// `false` stops the drain immediately, leaving that bit and every
+    /// later one set. This is the issue-selection primitive: the caller
+    /// stops when its issue width is exhausted, and the scan itself is
+    /// word-at-a-time — one `trailing_zeros` per candidate, whole-word
+    /// skips over empty regions, no per-bit range rechecks.
+    pub fn drain_in_order(&mut self, mut take: impl FnMut(usize) -> bool) {
+        if self.live == 0 {
+            return;
+        }
+        let last = self.end.div_ceil(64);
+        let mut wi = self.base / 64;
+        // Mask off bits below the base in the first word; bits at or
+        // above `end` are structurally clear (`grow_to` zeroes every
+        // newly entered word), so no tail mask is needed.
+        let mut low_mask = !0u64 << (self.base % 64);
+        while wi < last {
+            let slot = wi & self.mask;
+            let mut w = self.words[slot] & low_mask;
+            while w != 0 {
+                let m = w & w.wrapping_neg();
+                if !take(wi * 64 + w.trailing_zeros() as usize) {
+                    return;
+                }
+                self.words[slot] &= !m;
+                self.live -= 1;
+                w &= !m;
+            }
+            if self.live == 0 {
+                return;
+            }
+            low_mask = !0;
+            wi += 1;
         }
     }
 
@@ -478,6 +519,115 @@ mod tests {
         b.set(99_999);
         assert!(b.get(5) && b.get(99) && b.get(99_999));
         assert_eq!(b.live(), 3);
+    }
+
+    #[test]
+    fn drain_in_order_visits_ascending_and_clears_consumed_bits() {
+        let mut b = RingBitSet::with_capacity(64);
+        b.grow_to(500);
+        for i in [3, 64, 65, 130, 300, 499] {
+            b.set(i);
+        }
+        let mut seen = Vec::new();
+        b.drain_in_order(|i| {
+            seen.push(i);
+            true
+        });
+        assert_eq!(seen, vec![3, 64, 65, 130, 300, 499]);
+        assert_eq!(b.live(), 0);
+        assert_eq!(b.next_set(0), None);
+    }
+
+    #[test]
+    fn drain_in_order_stop_leaves_the_rest_set() {
+        let mut b = RingBitSet::with_capacity(64);
+        b.grow_to(300);
+        for i in [10, 70, 200, 290] {
+            b.set(i);
+        }
+        let mut taken = Vec::new();
+        b.drain_in_order(|i| {
+            if taken.len() == 2 {
+                return false;
+            }
+            taken.push(i);
+            true
+        });
+        assert_eq!(taken, vec![10, 70]);
+        assert_eq!(b.live(), 2, "the refused bit and its successors stay");
+        assert!(b.get(200) && b.get(290));
+        assert!(!b.get(10) && !b.get(70));
+    }
+
+    #[test]
+    fn drain_in_order_respects_base_and_ring_wrap() {
+        let mut b = RingBitSet::with_capacity(128);
+        // Push the window far enough that physical words are reused.
+        for i in 0..10_000usize {
+            b.grow_to(i + 1);
+            if i >= 200 {
+                b.evict_to(i - 100);
+            }
+        }
+        for i in [9_905, 9_960, 9_999] {
+            b.set(i);
+        }
+        b.set(9_901);
+        b.evict_to(9_903); // drops 9_901 below the base
+        let mut seen = Vec::new();
+        b.drain_in_order(|i| {
+            seen.push(i);
+            true
+        });
+        assert_eq!(seen, vec![9_905, 9_960, 9_999], "evicted bits not visited");
+        assert_eq!(b.live(), 0);
+    }
+
+    #[test]
+    fn drain_in_order_matches_next_set_scan_under_churn() {
+        let mut a = RingBitSet::with_capacity(64);
+        let mut b = RingBitSet::with_capacity(64);
+        let mut rng = 0x2545_f491u64;
+        let mut next = || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) as usize
+        };
+        for round in 0..200 {
+            let end = (round + 1) * 97;
+            a.grow_to(end);
+            b.grow_to(end);
+            for _ in 0..20 {
+                let i = a.base() + next() % (end - a.base());
+                a.set(i);
+                b.set(i);
+            }
+            let budget = next() % 8;
+            // Reference: next_set/clear loop.
+            let mut want = Vec::new();
+            let mut scan = a.base();
+            while want.len() < budget {
+                let Some(i) = a.next_set(scan) else { break };
+                a.clear(i);
+                scan = i + 1;
+                want.push(i);
+            }
+            // Word drain with the same budget.
+            let mut got = Vec::new();
+            b.drain_in_order(|i| {
+                if got.len() == budget {
+                    return false;
+                }
+                got.push(i);
+                true
+            });
+            assert_eq!(got, want, "round {round}");
+            assert_eq!(a.live(), b.live(), "round {round}");
+            let base = end.saturating_sub(64);
+            a.evict_to(base);
+            b.evict_to(base);
+        }
     }
 
     #[test]

@@ -104,6 +104,8 @@ pub fn run_full(args: &[String]) -> Result<RunOutput, Box<dyn Error>> {
         Some("analyze") => analyze_cmd(&collect(args)).map(RunOutput::complete),
         Some("journal") => journal_cmd(&collect(args)).map(RunOutput::complete),
         Some("repro") => repro_cmd(&collect(args)),
+        Some("serve") => serve_cmd(&collect(args)).map(RunOutput::complete),
+        Some("loadtest") => loadtest_cmd(&collect(args)),
         Some(other) => Err(format!("unknown command `{other}` (try `ddsc help`)").into()),
     }
 }
@@ -161,6 +163,12 @@ USAGE:
                              [--cell-timeout SECS]
                              [--abort-after-cells N]
   ddsc journal FILE
+  ddsc serve [--addr HOST:PORT] [--workers N] [--queue-depth K]
+             [--cell-timeout SECS] [--run-dir DIR] [--fresh]
+             [--port-file FILE] [--max-trace-len N]
+  ddsc loadtest [--addr HOST:PORT] [--requests N] [--clients C]
+                [--dup-ratio R] [--len N] [--seed S] [--widths 4,8,...]
+                [--out FILE] [--shutdown]
 
 Benchmarks: compress espresso eqntott li go ijpeg
 
@@ -205,6 +213,25 @@ budget in seconds (cooperative cancellation; expired cells are
 reported as timed out and degrade the run). `ddsc journal FILE`
 dumps a run journal, one record per line. --abort-after-cells kills
 the process after N finished cells (crash-consistency testing).
+
+`ddsc serve` runs the lab as a long-running daemon: experiment
+requests (benchmark, config, width, trace_len, seed) arrive as
+checksummed binary frames over TCP, pass admission control (bounded
+queue; typed rejection when full), coalesce onto in-flight identical
+cells, and return the SimResult binary codec. With --run-dir the
+daemon journals progress and stores finished cells so a killed
+daemon restarted on the same directory re-serves them byte-identically
+without re-simulating (--fresh wipes that state first). --addr
+defaults to 127.0.0.1:4996; port 0 picks an ephemeral port, and
+--port-file publishes the actually bound address atomically.
+--cell-timeout bounds each cell's wall clock, returning a timed-out
+response instead of stalling a worker. `ddsc loadtest` is the
+closed-loop multi-client driver: it fires --requests grid requests
+from --clients connections with a --dup-ratio fraction of repeats
+(exercising coalescing), prints a latency/throughput summary, and
+publishes the BENCH payload (p50/p90/p99/p999, throughput, server
+coalesce/cache counters) to --out (default results/BENCH_serve.json);
+--shutdown stops the daemon afterwards.
 "
     .to_string()
 }
@@ -246,6 +273,132 @@ fn journal_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
     }
     let _ = writeln!(out, "{} records", records.len());
     Ok(out)
+}
+
+/// Runs the lab as a daemon: binds, prints the bound address (flushed,
+/// so supervisors and CI can wait on it), then blocks in the accept
+/// loop until a protocol `Shutdown` request stops it.
+fn serve_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:4996");
+    let workers = parse_num(args, "--workers", 2usize)?;
+    let queue_depth = parse_num(args, "--queue-depth", 64usize)?;
+    let deadline = match flag_value(args, "--cell-timeout") {
+        Some(v) => Some(Duration::from_secs_f64(v.parse::<f64>()?)),
+        None => None,
+    };
+    let run_dir = flag_value(args, "--run-dir").map(PathBuf::from);
+    let max_trace_len = parse_num(
+        args,
+        "--max-trace-len",
+        ddsc_serve::engine::DEFAULT_MAX_TRACE_LEN,
+    )?;
+    let port_file = flag_value(args, "--port-file").map(PathBuf::from);
+    if args.contains(&"--fresh") {
+        if let Some(dir) = &run_dir {
+            let _ = std::fs::remove_file(dir.join("serve_journal.bin"));
+            let _ = std::fs::remove_dir_all(dir.join("cells"));
+        }
+    }
+
+    let config = ddsc_serve::EngineConfig {
+        workers,
+        queue_depth,
+        deadline,
+        run_dir,
+        max_trace_len,
+        gate: None,
+    };
+    let server = ddsc_serve::Server::bind(addr, config, port_file.as_deref())?;
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        writeln!(stdout, "ddsc serve listening on {}", server.local_addr())?;
+        stdout.flush()?;
+    }
+    let summary = server.run();
+    let s = summary.stats;
+    let mut out = String::new();
+    let _ = writeln!(out, "ddsc serve shut down cleanly");
+    let _ = writeln!(
+        out,
+        "  connections {}  accepted {}  completed {}  failed {}  timed out {}",
+        summary.connections, s.accepted, s.completed, s.failed, s.timed_out
+    );
+    let _ = writeln!(
+        out,
+        "  coalesced {}  cache hits {}  resumed cells {}  rejected busy {}  rejected invalid {}",
+        s.coalesced, s.cache_hits, s.resumed_cells, s.rejected_busy, s.rejected_invalid
+    );
+    Ok(out)
+}
+
+/// Closed-loop multi-client load driver against a live `ddsc serve`.
+fn loadtest_cmd(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
+    let defaults = ddsc_serve::LoadtestConfig::default();
+    let widths = match flag_value(args, "--widths") {
+        None => defaults.widths.clone(),
+        Some(list) => list
+            .split(',')
+            .map(|w| w.trim().parse::<u32>())
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let cfg = ddsc_serve::LoadtestConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or(&defaults.addr)
+            .to_string(),
+        requests: parse_num(args, "--requests", defaults.requests)?,
+        clients: parse_num(args, "--clients", defaults.clients)?,
+        dup_ratio: parse_num(args, "--dup-ratio", defaults.dup_ratio)?,
+        trace_len: parse_num(args, "--len", defaults.trace_len)?,
+        seed: parse_num(args, "--seed", defaults.seed)?,
+        widths,
+        out: flag_value(args, "--out")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| defaults.out.clone()),
+        shutdown: args.contains(&"--shutdown"),
+    };
+
+    let report = ddsc_serve::run_loadtest(&cfg)?;
+    let (p50, p90, p99, p999) = report.latency_ms;
+    let s = &report.server;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve loadtest: {} requests, {} clients, dup ratio {:.2} against {}",
+        cfg.requests, cfg.clients, cfg.dup_ratio, cfg.addr
+    );
+    let _ = writeln!(
+        out,
+        "  completed {}  rejected {}  failed {}  timed out {}",
+        report.completed, report.rejected, report.failed, report.timed_out
+    );
+    let _ = writeln!(
+        out,
+        "  unique cells {}  planned duplicates {}",
+        report.unique_cells, report.duplicates
+    );
+    let _ = writeln!(
+        out,
+        "  wall {:.2} s  throughput {:.1} req/s",
+        report.wall_seconds, report.throughput_rps
+    );
+    let _ = writeln!(
+        out,
+        "  latency ms: p50 {p50:.2}  p90 {p90:.2}  p99 {p99:.2}  p999 {p999:.2}  mean {:.2}  max {:.2}",
+        report.mean_ms, report.max_ms
+    );
+    let _ = writeln!(
+        out,
+        "  server: simulated {}  coalesced {}  cache hits {}  resumed {}",
+        s.completed, s.coalesced, s.cache_hits, s.resumed_cells
+    );
+    let _ = writeln!(out, "  wrote {}", cfg.out.display());
+    let status = if report.failed + report.timed_out > 0 {
+        RunStatus::Degraded
+    } else {
+        RunStatus::Complete
+    };
+    Ok(RunOutput { text: out, status })
 }
 
 fn list() -> String {

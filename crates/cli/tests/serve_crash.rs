@@ -1,0 +1,212 @@
+//! SIGKILL crash-recovery test for the real `ddsc serve` daemon.
+//!
+//! Spawns the actual binary, fires a grid of submissions at it, kills
+//! the process with SIGKILL once the journal shows real progress, then
+//! restarts it on the same run directory and asserts (a) the journaled
+//! cells are resumed warm — served from the cell store without
+//! re-simulating — and (b) every response is byte-identical to a
+//! daemon that was never killed.
+
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ddsc_serve::proto::{read_response, write_request, Request, Response, SubmitRequest};
+use ddsc_util::JournalRecord;
+
+fn ddsc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddsc"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ddsc-serve-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// The grid this test serves: ten cells, long enough that a
+/// single-worker daemon is reliably mid-grid when the kill lands.
+fn grid() -> Vec<SubmitRequest> {
+    let mut cells = Vec::new();
+    for (i, bench) in ["compress", "espresso", "eqntott", "li", "go"]
+        .into_iter()
+        .enumerate()
+    {
+        for config in ["C", "D"] {
+            cells.push(SubmitRequest {
+                bench: bench.to_string(),
+                config: config.to_string(),
+                width: 4,
+                trace_len: 50_000,
+                seed: 1996 + i as u64,
+            });
+        }
+    }
+    cells
+}
+
+struct Daemon {
+    child: Child,
+    addr: std::net::SocketAddr,
+}
+
+fn spawn_daemon(run_dir: &Path, port_file: &Path, fresh: bool) -> Daemon {
+    let _ = std::fs::remove_file(port_file);
+    let mut cmd = ddsc();
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .args(["--run-dir", run_dir.to_str().unwrap()])
+        .args(["--port-file", port_file.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if fresh {
+        cmd.arg("--fresh");
+    }
+    let child = cmd.spawn().expect("spawn daemon");
+
+    // The daemon publishes its bound address atomically once listening.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never published its port");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    Daemon { child, addr }
+}
+
+/// Submits one cell over a fresh connection; `None` if the daemon died
+/// mid-request (expected around the kill).
+fn submit(addr: std::net::SocketAddr, req: &SubmitRequest) -> Option<Vec<u8>> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = BufWriter::new(stream);
+    write_request(&mut writer, &Request::Submit(req.clone())).ok()?;
+    writer.flush().ok()?;
+    loop {
+        match read_response(&mut reader).ok()?? {
+            Response::Queued { .. } | Response::Started => continue,
+            Response::Result { body, .. } => return Some(body),
+            other => panic!("unexpected terminal {other:?}"),
+        }
+    }
+}
+
+fn stats(addr: std::net::SocketAddr) -> ddsc_serve::StatsSnapshot {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+    write_request(&mut writer, &Request::Stats).unwrap();
+    writer.flush().unwrap();
+    match read_response(&mut reader).expect("read").expect("open") {
+        Response::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+fn shutdown(addr: std::net::SocketAddr) {
+    if let Ok(stream) = TcpStream::connect(addr) {
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let _ = write_request(&mut writer, &Request::Shutdown);
+        let _ = writer.flush();
+        let _ = read_response(&mut reader);
+    }
+}
+
+fn journal_finished(path: &Path) -> usize {
+    match ddsc_util::read_journal(path) {
+        Ok(records) => records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::CellFinished { .. }))
+            .count(),
+        Err(_) => 0,
+    }
+}
+
+#[test]
+fn sigkilled_daemon_restarts_warm_with_byte_identical_responses() {
+    let dir = tmpdir("warm");
+    let cells = grid();
+
+    // Reference: an uninterrupted daemon serves the whole grid.
+    let ref_daemon = spawn_daemon(&dir.join("ref-run"), &dir.join("ref-port"), true);
+    let mut reference = Vec::new();
+    for req in &cells {
+        reference.push(submit(ref_daemon.addr, req).expect("reference submit"));
+    }
+    shutdown(ref_daemon.addr);
+    let mut child = ref_daemon.child;
+    let _ = child.wait();
+
+    // Victim: same grid fired from background threads at a fresh
+    // single-worker daemon; SIGKILL once the journal shows at least two
+    // finished cells (and well before all ten).
+    let run_dir = dir.join("crash-run");
+    let victim = spawn_daemon(&run_dir, &dir.join("crash-port"), true);
+    let addr = victim.addr;
+    let submitters: Vec<_> = cells
+        .iter()
+        .cloned()
+        .map(|req| std::thread::spawn(move || submit(addr, &req)))
+        .collect();
+
+    let journal = run_dir.join("serve_journal.bin");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while journal_finished(&journal) < 2 {
+        assert!(Instant::now() < deadline, "daemon never finished two cells");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut child = victim.child;
+    child.kill().expect("SIGKILL the daemon"); // SIGKILL on unix
+    let _ = child.wait();
+    for handle in submitters {
+        let _ = handle.join(); // interrupted submits return None
+    }
+
+    let finished = journal_finished(&journal);
+    assert!(
+        (2..cells.len()).contains(&finished),
+        "kill must land mid-grid, finished {finished} of {}",
+        cells.len()
+    );
+
+    // Restart on the same run directory (no --fresh): every journaled
+    // cell is resumed from the store, and the whole grid comes back
+    // byte-identical to the never-killed daemon.
+    let restarted = spawn_daemon(&run_dir, &dir.join("restart-port"), false);
+    let s = stats(restarted.addr);
+    assert_eq!(
+        s.resumed_cells, finished as u64,
+        "every journaled cell must resume warm"
+    );
+
+    for (req, expected) in cells.iter().zip(&reference) {
+        let body = submit(restarted.addr, req).expect("post-restart submit");
+        assert_eq!(
+            &body, expected,
+            "post-restart response must be byte-identical for {req:?}"
+        );
+    }
+
+    let s = stats(restarted.addr);
+    assert_eq!(
+        s.completed,
+        (cells.len() - finished) as u64,
+        "resumed cells must not re-simulate"
+    );
+    assert_eq!(
+        s.cache_hits, finished as u64,
+        "resumed cells serve as cache hits"
+    );
+
+    shutdown(restarted.addr);
+    let mut child = restarted.child;
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

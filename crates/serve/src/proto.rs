@@ -1,0 +1,702 @@
+//! The `ddsc serve` wire protocol: checksummed binary frames over TCP.
+//!
+//! The service talks a length-prefixed binary protocol rather than
+//! HTTP: the repo deliberately has no external dependencies, the
+//! response body is already a binary codec ([`SimResult::encode_to`]),
+//! and the framing can then reuse the journal's proven recipe — every
+//! frame is `len:u32 ‖ payload ‖ fnv1a(payload):u64`, all integers
+//! little-endian, so a torn or corrupted frame is *detected*, never
+//! misparsed.
+//!
+//! ```text
+//! frame    := len:u32 payload[len] fnv1a(payload):u64
+//! payload  := kind:u8 fields...
+//! string   := len:u16 utf8[len]
+//! bytes    := len:u32 raw[len]
+//! ```
+//!
+//! A connection carries a sequence of client [`Request`] frames; the
+//! server answers each with one or more [`Response`] frames. A `Submit`
+//! is answered by zero or more *progress* frames (`Queued`, `Started`)
+//! followed by exactly one *terminal* frame (`Result`, `Rejected`,
+//! `Invalid`, `Failed` or `TimedOut` — see [`Response::is_terminal`]);
+//! every other request kind is answered by a single terminal frame.
+//!
+//! Decoding is total: any byte sequence produces either a value or a
+//! typed [`WireError`] — untrusted input can never panic the decoder.
+//! That property is pinned by the fault-plan proptests in
+//! `tests/proto_proptest.rs`, which mutate valid frames with
+//! [`ddsc_util::fault::FaultPlan`] and assert the decoder returns.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use ddsc_util::fnv1a;
+
+/// Protocol version, checked implicitly: the version byte leads every
+/// payload, and a mismatch is an [`WireError::UnknownVersion`].
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload. A `Submit` is tiny and a `Result`
+/// carries one encoded `SimResult` (a few hundred bytes plus bounded
+/// histograms); anything claiming to be larger than 4 MiB is corruption
+/// or abuse, rejected before allocation.
+pub const MAX_FRAME_LEN: u32 = 4 << 20;
+
+/// One experiment request: the full cell identity the digest is
+/// computed from. `bench` and `config` are carried as strings so the
+/// codec is closed under arbitrary inputs; semantic validation (known
+/// benchmark, known configuration, sane bounds) happens in the engine,
+/// not the decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitRequest {
+    /// Benchmark short name (`compress`, `li`, ...).
+    pub bench: String,
+    /// Paper configuration label (`A`..`E`).
+    pub config: String,
+    /// Issue width.
+    pub width: u32,
+    /// Dynamic instructions to simulate.
+    pub trace_len: u64,
+    /// Workload data seed.
+    pub seed: u64,
+}
+
+/// A client request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness / readiness probe.
+    Ping,
+    /// Submit one experiment cell.
+    Submit(SubmitRequest),
+    /// Fetch the server's counter snapshot.
+    Stats,
+    /// Ask the daemon to stop accepting work and exit its run loop.
+    Shutdown,
+}
+
+/// The server's counter snapshot (the "stats endpoint").
+///
+/// All counters are cumulative since daemon start except `queue_depth`
+/// (instantaneous) and `workers`/`resumed_cells` (fixed at start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Fresh submissions admitted to the job queue.
+    pub accepted: u64,
+    /// Jobs simulated to completion.
+    pub completed: u64,
+    /// Jobs whose simulation failed.
+    pub failed: u64,
+    /// Jobs cancelled on their wall-clock deadline.
+    pub timed_out: u64,
+    /// Submissions rejected because the queue was full (429-style).
+    pub rejected_busy: u64,
+    /// Submissions rejected by validation (400-style).
+    pub rejected_invalid: u64,
+    /// Submissions that joined an already in-flight identical cell.
+    pub coalesced: u64,
+    /// Submissions served from the in-memory result cache.
+    pub cache_hits: u64,
+    /// Cells restored from the journal + cell store at daemon start.
+    pub resumed_cells: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Fixed worker-pool size.
+    pub workers: u64,
+}
+
+/// A server response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Progress: the submission was admitted; `depth` is the queue
+    /// length just after the push.
+    Queued {
+        /// Queue length immediately after this job was enqueued.
+        depth: u32,
+    },
+    /// Progress: a worker picked the cell up.
+    Started,
+    /// Terminal: the cell's result. `body` is exactly the
+    /// [`SimResult::encode_to`](ddsc_core::SimResult::encode_to) bytes
+    /// — the same canonical codec the cell store persists, so identical
+    /// requests always receive byte-identical bodies.
+    Result {
+        /// The cell digest the result is stored under.
+        digest: u64,
+        /// Encoded `SimResult` bytes.
+        body: Vec<u8>,
+    },
+    /// Terminal: admission control turned the request away (queue
+    /// full). The client may retry later — nothing was enqueued.
+    Rejected {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// Terminal: the request failed validation (unknown benchmark,
+    /// width out of range, ...). Retrying the same bytes cannot
+    /// succeed.
+    Invalid {
+        /// What the validator objected to.
+        reason: String,
+    },
+    /// Terminal: the simulation ran and failed.
+    Failed {
+        /// Rendered failure message.
+        error: String,
+    },
+    /// Terminal: the cell exceeded its wall-clock deadline and was
+    /// cancelled cooperatively (the exit-2-equivalent outcome).
+    TimedOut {
+        /// Rendered timeout message.
+        error: String,
+    },
+    /// Terminal: answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Terminal: answer to [`Request::Shutdown`]; the daemon stops
+    /// accepting connections after this frame.
+    ShuttingDown,
+}
+
+impl Response {
+    /// Whether this frame ends a request's response sequence.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Response::Queued { .. } | Response::Started)
+    }
+}
+
+/// Why a byte sequence failed to parse as a frame or payload.
+///
+/// Every decoding path returns one of these — the wire-facing code has
+/// no panicking parse. `Io` carries transport errors so callers handle
+/// one error type end to end.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream ended inside a frame (length prefix promised more).
+    Truncated,
+    /// The frame checksum did not match its payload.
+    Checksum,
+    /// The length prefix exceeded [`MAX_FRAME_LEN`] (or was zero).
+    BadLength(u32),
+    /// The payload's version byte was not [`PROTO_VERSION`].
+    UnknownVersion(u8),
+    /// The payload's kind byte matched no known message.
+    UnknownKind(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// The payload decoded but left unconsumed bytes.
+    TrailingBytes,
+    /// An underlying transport error.
+    Io(io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Checksum => write!(f, "frame checksum mismatch"),
+            WireError::BadLength(n) => write!(f, "bad frame length {n}"),
+            WireError::UnknownVersion(v) => write!(f, "unknown protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after payload"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+const REQ_PING: u8 = 1;
+const REQ_SUBMIT: u8 = 2;
+const REQ_STATS: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+const RESP_PONG: u8 = 1;
+const RESP_QUEUED: u8 = 2;
+const RESP_STARTED: u8 = 3;
+const RESP_RESULT: u8 = 4;
+const RESP_REJECTED: u8 = 5;
+const RESP_INVALID: u8 = 6;
+const RESP_FAILED: u8 = 7;
+const RESP_TIMED_OUT: u8 = 8;
+const RESP_STATS: u8 = 9;
+const RESP_SHUTTING_DOWN: u8 = 10;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = s.len().min(u16::MAX as usize) as u16;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&s.as_bytes()[..len as usize]);
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// A bounds-checked cursor over one payload; every getter returns
+/// `Truncated` instead of slicing past the end.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos.checked_add(n).ok_or(WireError::Truncated)?)
+            .ok_or(WireError::Truncated)?;
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()?;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::BadLength(len));
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+impl Request {
+    /// Encodes the payload (version, kind, fields — no framing).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.push(PROTO_VERSION);
+        match self {
+            Request::Ping => out.push(REQ_PING),
+            Request::Submit(s) => {
+                out.push(REQ_SUBMIT);
+                put_str(&mut out, &s.bench);
+                put_str(&mut out, &s.config);
+                out.extend_from_slice(&s.width.to_le_bytes());
+                out.extend_from_slice(&s.trace_len.to_le_bytes());
+                out.extend_from_slice(&s.seed.to_le_bytes());
+            }
+            Request::Stats => out.push(REQ_STATS),
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes one payload. Total: any input yields a value or a typed
+    /// [`WireError`].
+    pub fn decode_payload(bytes: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(bytes);
+        let version = c.u8()?;
+        if version != PROTO_VERSION {
+            return Err(WireError::UnknownVersion(version));
+        }
+        let kind = c.u8()?;
+        let req = match kind {
+            REQ_PING => Request::Ping,
+            REQ_SUBMIT => Request::Submit(SubmitRequest {
+                bench: c.str()?,
+                config: c.str()?,
+                width: c.u32()?,
+                trace_len: c.u64()?,
+                seed: c.u64()?,
+            }),
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the payload (version, kind, fields — no framing).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.push(PROTO_VERSION);
+        match self {
+            Response::Pong => out.push(RESP_PONG),
+            Response::Queued { depth } => {
+                out.push(RESP_QUEUED);
+                out.extend_from_slice(&depth.to_le_bytes());
+            }
+            Response::Started => out.push(RESP_STARTED),
+            Response::Result { digest, body } => {
+                out.push(RESP_RESULT);
+                out.extend_from_slice(&digest.to_le_bytes());
+                put_bytes(&mut out, body);
+            }
+            Response::Rejected { reason } => {
+                out.push(RESP_REJECTED);
+                put_str(&mut out, reason);
+            }
+            Response::Invalid { reason } => {
+                out.push(RESP_INVALID);
+                put_str(&mut out, reason);
+            }
+            Response::Failed { error } => {
+                out.push(RESP_FAILED);
+                put_str(&mut out, error);
+            }
+            Response::TimedOut { error } => {
+                out.push(RESP_TIMED_OUT);
+                put_str(&mut out, error);
+            }
+            Response::Stats(s) => {
+                out.push(RESP_STATS);
+                for v in [
+                    s.accepted,
+                    s.completed,
+                    s.failed,
+                    s.timed_out,
+                    s.rejected_busy,
+                    s.rejected_invalid,
+                    s.coalesced,
+                    s.cache_hits,
+                    s.resumed_cells,
+                    s.queue_depth,
+                    s.workers,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::ShuttingDown => out.push(RESP_SHUTTING_DOWN),
+        }
+        out
+    }
+
+    /// Decodes one payload. Total: any input yields a value or a typed
+    /// [`WireError`].
+    pub fn decode_payload(bytes: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cursor::new(bytes);
+        let version = c.u8()?;
+        if version != PROTO_VERSION {
+            return Err(WireError::UnknownVersion(version));
+        }
+        let kind = c.u8()?;
+        let resp = match kind {
+            RESP_PONG => Response::Pong,
+            RESP_QUEUED => Response::Queued { depth: c.u32()? },
+            RESP_STARTED => Response::Started,
+            RESP_RESULT => Response::Result {
+                digest: c.u64()?,
+                body: c.bytes()?,
+            },
+            RESP_REJECTED => Response::Rejected { reason: c.str()? },
+            RESP_INVALID => Response::Invalid { reason: c.str()? },
+            RESP_FAILED => Response::Failed { error: c.str()? },
+            RESP_TIMED_OUT => Response::TimedOut { error: c.str()? },
+            RESP_STATS => Response::Stats(StatsSnapshot {
+                accepted: c.u64()?,
+                completed: c.u64()?,
+                failed: c.u64()?,
+                timed_out: c.u64()?,
+                rejected_busy: c.u64()?,
+                rejected_invalid: c.u64()?,
+                coalesced: c.u64()?,
+                cache_hits: c.u64()?,
+                resumed_cells: c.u64()?,
+                queue_depth: c.u64()?,
+                workers: c.u64()?,
+            }),
+            RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Wraps a payload in one complete frame: `len ‖ payload ‖ checksum`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 12);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    frame
+}
+
+/// Splits one frame off the front of `bytes`: returns the payload and
+/// the bytes consumed. Errors exactly where [`read_frame`] would.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Vec<u8>, usize), WireError> {
+    let len_bytes = bytes.get(..4).ok_or(WireError::Truncated)?;
+    let len = u32::from_le_bytes(len_bytes.try_into().unwrap());
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(WireError::BadLength(len));
+    }
+    let len = len as usize;
+    let payload = bytes.get(4..4 + len).ok_or(WireError::Truncated)?;
+    let sum = bytes.get(4 + len..12 + len).ok_or(WireError::Truncated)?;
+    if fnv1a(payload) != u64::from_le_bytes(sum.try_into().unwrap()) {
+        return Err(WireError::Checksum);
+    }
+    Ok((payload.to_vec(), 12 + len))
+}
+
+/// Reads one frame from a stream. `Ok(None)` is a clean end-of-stream
+/// (the peer closed between frames); EOF *inside* a frame is
+/// [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    // A clean close before any byte of the next frame is not an error.
+    match r.read(&mut len_bytes) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r
+            .read_exact(&mut len_bytes[n..])
+            .map_err(eof_as_truncated)?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut len_bytes).map_err(eof_as_truncated)?
+        }
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(WireError::BadLength(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(eof_as_truncated)?;
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum).map_err(eof_as_truncated)?;
+    if fnv1a(&payload) != u64::from_le_bytes(sum) {
+        return Err(WireError::Checksum);
+    }
+    Ok(Some(payload))
+}
+
+fn eof_as_truncated(e: io::Error) -> WireError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        WireError::Truncated
+    } else {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one request as a frame.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    w.write_all(&encode_frame(&req.encode_payload()))
+}
+
+/// Writes one response as a frame.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    w.write_all(&encode_frame(&resp.encode_payload()))
+}
+
+/// Reads one request frame; `Ok(None)` is clean end-of-stream.
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, WireError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => Request::decode_payload(&payload).map(Some),
+    }
+}
+
+/// Reads one response frame; `Ok(None)` is clean end-of-stream.
+pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, WireError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => Response::decode_payload(&payload).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Submit(SubmitRequest {
+                bench: "li".into(),
+                config: "D".into(),
+                width: 8,
+                trace_len: 300_000,
+                seed: 1996,
+            }),
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::Queued { depth: 3 },
+            Response::Started,
+            Response::Result {
+                digest: 0xdead_beef,
+                body: vec![1, 2, 3, 4, 5],
+            },
+            Response::Rejected {
+                reason: "queue full (depth 64)".into(),
+            },
+            Response::Invalid {
+                reason: "unknown benchmark `nope`".into(),
+            },
+            Response::Failed {
+                error: "cell panicked".into(),
+            },
+            Response::TimedOut {
+                error: "exceeded 0.5 s deadline".into(),
+            },
+            Response::Stats(StatsSnapshot {
+                accepted: 1,
+                completed: 2,
+                failed: 3,
+                timed_out: 4,
+                rejected_busy: 5,
+                rejected_invalid: 6,
+                coalesced: 7,
+                cache_hits: 8,
+                resumed_cells: 9,
+                queue_depth: 10,
+                workers: 11,
+            }),
+            Response::ShuttingDown,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_through_frames() {
+        for req in sample_requests() {
+            let frame = encode_frame(&req.encode_payload());
+            let (payload, used) = decode_frame(&frame).unwrap();
+            assert_eq!(used, frame.len());
+            assert_eq!(Request::decode_payload(&payload).unwrap(), req);
+        }
+        for resp in sample_responses() {
+            let frame = encode_frame(&resp.encode_payload());
+            let (payload, used) = decode_frame(&frame).unwrap();
+            assert_eq!(used, frame.len());
+            assert_eq!(Response::decode_payload(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn stream_io_round_trips_and_sees_clean_eof() {
+        let mut buf = Vec::new();
+        for req in sample_requests() {
+            write_request(&mut buf, &req).unwrap();
+        }
+        let mut r = &buf[..];
+        for req in sample_requests() {
+            assert_eq!(read_request(&mut r).unwrap(), Some(req));
+        }
+        assert!(read_request(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed_errors() {
+        let frame = encode_frame(&Request::Ping.encode_payload());
+        // Every proper prefix is Truncated (or a clean EOF at zero).
+        for cut in 1..frame.len() {
+            let err = decode_frame(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated),
+                "cut {cut} gave {err:?}"
+            );
+        }
+        // A flipped payload byte is a checksum error.
+        let mut bad = frame.clone();
+        bad[5] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&bad).unwrap_err(),
+            WireError::Checksum
+        ));
+        // An oversized length prefix is rejected before allocation.
+        let mut huge = frame.clone();
+        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&huge).unwrap_err(),
+            WireError::BadLength(_)
+        ));
+        // A zero length prefix is rejected too.
+        let mut zero = frame;
+        zero[..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&zero).unwrap_err(),
+            WireError::BadLength(0)
+        ));
+    }
+
+    #[test]
+    fn unknown_version_and_kind_are_rejected() {
+        let mut payload = Request::Ping.encode_payload();
+        payload[0] = 99;
+        assert!(matches!(
+            Request::decode_payload(&payload).unwrap_err(),
+            WireError::UnknownVersion(99)
+        ));
+        let mut payload = Request::Ping.encode_payload();
+        payload[1] = 200;
+        assert!(matches!(
+            Request::decode_payload(&payload).unwrap_err(),
+            WireError::UnknownKind(200)
+        ));
+        let mut payload = Response::Pong.encode_payload();
+        payload[1] = 200;
+        assert!(matches!(
+            Response::decode_payload(&payload).unwrap_err(),
+            WireError::UnknownKind(200)
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_inside_a_payload_are_rejected() {
+        let mut payload = Request::Stats.encode_payload();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode_payload(&payload).unwrap_err(),
+            WireError::TrailingBytes
+        ));
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(!Response::Queued { depth: 0 }.is_terminal());
+        assert!(!Response::Started.is_terminal());
+        for resp in sample_responses() {
+            if !matches!(resp, Response::Queued { .. } | Response::Started) {
+                assert!(resp.is_terminal(), "{resp:?}");
+            }
+        }
+    }
+}

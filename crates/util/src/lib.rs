@@ -42,5 +42,5 @@ pub use publish::{publish_atomic, publish_atomic_with};
 pub use ring::{RingBitSet, RingVec};
 pub use rng::{Pcg32, SplitMix64};
 pub use rss::peak_rss_bytes;
-pub use stats::{geometric_mean, harmonic_mean, mean, Percent};
+pub use stats::{geometric_mean, harmonic_mean, mean, percentile, Percent};
 pub use table::TextTable;

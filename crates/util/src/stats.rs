@@ -62,6 +62,37 @@ pub fn geometric_mean(values: &[f64]) -> Option<f64> {
     Some((log_sum / values.len() as f64).exp())
 }
 
+/// The `p`-th percentile of an ascending-sorted slice, by linear
+/// interpolation between closest ranks (the "exclusive" convention is
+/// avoided so `percentile(xs, 100)` is the maximum and
+/// `percentile(xs, 0)` the minimum).
+///
+/// Returns `None` for an empty slice or a `p` outside `0..=100`. The
+/// caller sorts — latency harnesses sort once and read many
+/// percentiles off the same slice.
+///
+/// # Examples
+///
+/// ```
+/// use ddsc_util::stats::percentile;
+///
+/// let xs = [10.0, 20.0, 30.0, 40.0];
+/// assert_eq!(percentile(&xs, 0.0), Some(10.0));
+/// assert_eq!(percentile(&xs, 50.0), Some(25.0));
+/// assert_eq!(percentile(&xs, 100.0), Some(40.0));
+/// assert_eq!(percentile(&[], 50.0), None);
+/// ```
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
 /// A ratio rendered as a percentage, e.g. in the load-classification and
 /// collapse-contribution tables.
 ///
@@ -144,6 +175,14 @@ mod tests {
     fn geometric_mean_rejects_nonpositive() {
         assert_eq!(geometric_mean(&[0.0]), None);
         assert_eq!(geometric_mean(&[]), None);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[5.0], 0.0), Some(5.0));
+        assert_eq!(percentile(&[5.0], 99.9), Some(5.0));
+        assert_eq!(percentile(&[1.0, 2.0], 101.0), None);
+        assert_eq!(percentile(&[1.0, 2.0], -1.0), None);
     }
 
     #[test]

@@ -143,6 +143,19 @@ fn event_skip(c: &mut Criterion) {
     group.bench_function("stepped", |b| {
         b.iter(|| criterion::black_box(simulate_prepared_stepped(&prepared, &config)))
     });
+    // Width 2 stretches the same chains over even more idle cycles, so
+    // the wheel's drain pass crosses long runs of empty buckets. This
+    // entry brackets the occupancy-bitmap bucket hop in
+    // `Wheel::drain_through` (bit-identity pinned by
+    // tests/event_skip_identity.rs): a revert to the slot-by-slot walk
+    // shows up here first.
+    let sparse = SimConfig::paper(PaperConfig::A, 2);
+    group.bench_function("skipping_sparse_w2", |b| {
+        b.iter(|| criterion::black_box(simulate_prepared(&prepared, &sparse)))
+    });
+    group.bench_function("stepped_sparse_w2", |b| {
+        b.iter(|| criterion::black_box(simulate_prepared_stepped(&prepared, &sparse)))
+    });
     group.finish();
 }
 

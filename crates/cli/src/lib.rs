@@ -32,8 +32,9 @@ use std::time::Duration;
 
 use ddsc_core::{
     analyze_dataflow, simulate, simulate_stream, Latencies, LoadClass, PaperConfig, SimConfig,
-    DEFAULT_CHUNK_SIZE,
+    SimResult, DEFAULT_CHUNK_SIZE,
 };
+use ddsc_dist::{run_worker, CellSpec, Coordinator, DistSinks, SchedOptions, WorkerOptions};
 use ddsc_experiments::{
     convergence_study, extensions, figures, tables, CellStore, Lab, Suite, SuiteConfig, TraceCache,
 };
@@ -106,6 +107,8 @@ pub fn run_full(args: &[String]) -> Result<RunOutput, Box<dyn Error>> {
         Some("repro") => repro_cmd(&collect(args)),
         Some("serve") => serve_cmd(&collect(args)).map(RunOutput::complete),
         Some("loadtest") => loadtest_cmd(&collect(args)),
+        Some("coordinator") => coordinator_cmd(&collect(args)),
+        Some("worker") => worker_cmd(&collect(args)).map(RunOutput::complete),
         Some(other) => Err(format!("unknown command `{other}` (try `ddsc help`)").into()),
     }
 }
@@ -162,6 +165,14 @@ USAGE:
                              [--resume | --fresh] [--run-dir DIR]
                              [--cell-timeout SECS]
                              [--abort-after-cells N]
+                             [--distributed N] [--dist-addr HOST:PORT]
+                             [--dist-port-file FILE] [--dist-json FILE]
+                             [--lease-timeout SECS]
+                             [--heartbeat-timeout SECS]
+                             [--poison-threshold K]
+  ddsc coordinator [--workers N] [repro-all flags...]
+  ddsc worker (--connect HOST:PORT | --connect-file FILE)
+              [--heartbeat-ms MS] [--reconnect-attempts N]
   ddsc journal FILE
   ddsc serve [--addr HOST:PORT] [--workers N] [--queue-depth K]
              [--cell-timeout SECS] [--run-dir DIR] [--fresh]
@@ -232,6 +243,24 @@ from --clients connections with a --dup-ratio fraction of repeats
 publishes the BENCH payload (p50/p90/p99/p999, throughput, server
 coalesce/cache counters) to --out (default results/BENCH_serve.json);
 --shutdown stops the daemon afterwards.
+
+`repro all --distributed N` runs the grid across worker *processes*:
+a coordinator hands out the not-yet-cached cells to N locally spawned
+`ddsc worker` children (N=0 accepts external workers only) over the
+checksummed frame protocol, with per-worker heartbeats, cell leases
+(straggler re-dispatch; first valid result wins), exponential-backoff
+reconnect and poison-cell quarantine after --poison-threshold distinct
+worker strikes (quarantined cells degrade the run, exit 2). The merged
+output is byte-identical to a single-process run, and with --fresh /
+--resume the merge is journaled so a killed coordinator resumes,
+re-dispatching only missing cells. The run report (per-worker cells,
+re-dispatches, speedup vs serial) lands in --dist-json (default
+results/BENCH_dist.json). `ddsc coordinator` is shorthand for
+`repro all --distributed 0` plus --workers N to spawn local workers;
+`ddsc worker --connect HOST:PORT` (or --connect-file FILE, polled
+until the coordinator publishes its address) joins any coordinator,
+exiting 0 when told the grid is done or the coordinator stays
+unreachable past its reconnect budget.
 "
     .to_string()
 }
@@ -660,6 +689,190 @@ fn parse_cell(spec: &str) -> Result<ddsc_experiments::Cell, Box<dyn Error>> {
     Ok((parse_bench(bench)?, parse_config(config)?, width.parse()?))
 }
 
+/// Runs the not-yet-cached grid cells through a coordinator + worker
+/// processes and installs the merged results into `lab`, leaving the
+/// cache in the same state a local prewarm would have: byte-identical
+/// results keyed by the same cells, quarantined cells recorded as
+/// failures feeding the exit-2 degraded contract.
+fn distributed_prewarm(lab: &Lab, args: &[&str], nworkers: usize) -> Result<(), Box<dyn Error>> {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let grid = lab.grid();
+    let todo = lab.uncached_cells(&grid);
+    if todo.is_empty() {
+        eprintln!(
+            "distributed: all {} grid cells already cached, nothing to dispatch",
+            grid.len()
+        );
+        return Ok(());
+    }
+    let sc = lab.suite().config();
+    let mut by_digest: HashMap<u64, ddsc_experiments::Cell> = HashMap::new();
+    let specs: Vec<CellSpec> = todo
+        .iter()
+        .map(|&cell| {
+            let (b, c, width) = cell;
+            let digest = lab.cell_digest(cell);
+            by_digest.insert(digest, cell);
+            CellSpec {
+                bench: b.name().to_string(),
+                config: c.label().to_string(),
+                width,
+                trace_len: sc.trace_len as u64,
+                seed: sc.seed,
+                digest,
+            }
+        })
+        .collect();
+    let mut opts = SchedOptions::default();
+    if let Some(v) = flag_value(args, "--lease-timeout") {
+        opts.lease_timeout = Duration::from_secs_f64(v.parse()?);
+    }
+    if let Some(v) = flag_value(args, "--heartbeat-timeout") {
+        opts.heartbeat_timeout = Duration::from_secs_f64(v.parse()?);
+    }
+    if let Some(v) = flag_value(args, "--poison-threshold") {
+        opts.poison_threshold = v.parse()?;
+    }
+    let coord = Coordinator::bind(
+        flag_value(args, "--dist-addr").unwrap_or("127.0.0.1:0"),
+        specs,
+        opts,
+    )?;
+    let addr = coord.local_addr();
+    eprintln!(
+        "distributed: coordinating {} cells on {addr} ({nworkers} local workers)",
+        todo.len()
+    );
+    if let Some(path) = flag_value(args, "--dist-port-file") {
+        publish_atomic(Path::new(path), addr.to_string().as_bytes())?;
+    }
+    let exe = std::env::current_exe()?;
+    let mut children = Vec::new();
+    for _ in 0..nworkers {
+        children.push(
+            std::process::Command::new(&exe)
+                .args(["worker", "--connect", &addr.to_string()])
+                .spawn()?,
+        );
+    }
+    // --abort-after-cells counts *merged* cells here: run_cell never
+    // fires in a distributed prewarm, so the lab's own abort hook would
+    // be dead code and the crash-consistency drill would lose its
+    // coordinator-kill scenario.
+    let abort_after: usize = parse_num(args, "--abort-after-cells", 0)?;
+    let merged = AtomicUsize::new(0);
+    let on_result = |spec: &CellSpec, result: &SimResult, seconds: f64| {
+        if let Some(&cell) = by_digest.get(&spec.digest) {
+            lab.install_result(cell, result.clone(), seconds);
+            let done = merged.fetch_add(1, Ordering::SeqCst) + 1;
+            if abort_after > 0 && done >= abort_after {
+                eprintln!("injected abort: exiting after {done} merged cells");
+                std::process::exit(3);
+            }
+        }
+    };
+    let on_quarantine = |spec: &CellSpec, error: &str| {
+        if let Some(&cell) = by_digest.get(&spec.digest) {
+            lab.install_failure(cell, format!("quarantined by coordinator: {error}"));
+        }
+    };
+    let report = coord.run(&DistSinks {
+        on_result: &on_result,
+        on_quarantine: &on_quarantine,
+    });
+    // Workers exit on AllDone by themselves; the kill only reaps a
+    // child wedged mid-reconnect so the CLI never hangs on wait().
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let json_path = flag_value(args, "--dist-json").unwrap_or("results/BENCH_dist.json");
+    if let Some(parent) = Path::new(json_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    publish_atomic(Path::new(json_path), report.to_json().as_bytes())?;
+    // Summary goes to stderr: stdout must stay byte-identical to a
+    // single-process run's.
+    eprintln!(
+        "distributed: merged {}/{} cells ({} quarantined) in {:.2} s, \
+         {} re-dispatches, {} duplicates, {} corrupt, {} worker deaths, \
+         speedup vs serial {:.2}x; wrote {json_path}",
+        report.cells_completed,
+        report.cells_total,
+        report.cells_quarantined,
+        report.wall_seconds,
+        report.redispatched,
+        report.duplicate_results,
+        report.corrupt_results,
+        report.worker_deaths,
+        report.speedup_vs_serial(),
+    );
+    Ok(())
+}
+
+/// `ddsc coordinator` — shorthand for `repro all --distributed N` with
+/// N taken from `--workers` (default 0: external workers only). Every
+/// other flag is passed straight through to `repro`.
+fn coordinator_cmd(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
+    let workers = flag_value(args, "--workers").unwrap_or("0");
+    let mut fwd = vec!["all", "--distributed", workers];
+    fwd.extend_from_slice(args);
+    repro_cmd(&fwd)
+}
+
+/// `ddsc worker` — joins a coordinator and computes cells until told
+/// the grid is done (or the coordinator stays unreachable past the
+/// reconnect budget; both exit 0, so supervising scripts only see a
+/// failure when the worker itself breaks).
+fn worker_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
+    let connect = match (
+        flag_value(args, "--connect"),
+        flag_value(args, "--connect-file"),
+    ) {
+        (Some(addr), None) => addr.to_string(),
+        (None, Some(path)) => {
+            // The coordinator publishes its bound address atomically;
+            // poll until it appears so workers can be started first.
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            loop {
+                match std::fs::read_to_string(path) {
+                    Ok(s) if !s.trim().is_empty() => break s.trim().to_string(),
+                    _ if std::time::Instant::now() > deadline => {
+                        return Err(format!("no coordinator address in {path} after 30 s").into());
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        }
+        _ => {
+            return Err("worker needs exactly one of --connect ADDR or --connect-file FILE".into())
+        }
+    };
+    let mut opts = WorkerOptions::new(connect);
+    if let Some(ms) = flag_value(args, "--heartbeat-ms") {
+        opts.heartbeat_every = Duration::from_millis(ms.parse()?);
+    }
+    if let Some(n) = flag_value(args, "--reconnect-attempts") {
+        opts.reconnect_attempts = n.parse()?;
+    }
+    let summary = run_worker(&opts)?;
+    Ok(format!(
+        "worker {}: {} cells completed, {} failed{}\n",
+        summary.worker_id,
+        summary.completed,
+        summary.failed,
+        if summary.all_done {
+            " (grid complete)"
+        } else {
+            " (coordinator gone)"
+        }
+    ))
+}
+
 fn repro_cmd(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
     let what = args.first().copied().unwrap_or("all");
     let len: usize = parse_num(args, "--len", 300_000)?;
@@ -747,6 +960,14 @@ fn repro_cmd(args: &[&str]) -> Result<RunOutput, Box<dyn Error>> {
             eprintln!("warning: could not append to run journal: {e}");
         }
         journal = Some(j);
+    }
+    // Distributed prewarm: fan the not-yet-cached cells out to worker
+    // processes before rendering. Merged results land in the lab cache
+    // (and, under supervision, the journal + cell store) exactly as a
+    // local run's would, so everything below this block is unchanged.
+    if let Some(spec) = flag_value(args, "--distributed") {
+        let nworkers: usize = spec.parse()?;
+        distributed_prewarm(&lab, args, nworkers)?;
     }
     let journal_artifact = |path: &str| {
         if let Some(j) = &journal {

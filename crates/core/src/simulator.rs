@@ -457,16 +457,34 @@ impl Wheel {
     }
 
     /// Moves every entry due by `cycle` into the ready set.
+    ///
+    /// Hops between occupied buckets via [`Wheel::next_event`] instead
+    /// of visiting every cycle in `(next_drain..=cycle)`: after a long
+    /// idle skip most of that span is empty buckets, and the per-cycle
+    /// walk was the remaining O(span) cost. The drain order over
+    /// occupied buckets — and therefore the contents of `ready`, a set
+    /// — is unchanged, so results stay bit-identical (pinned by
+    /// `tests/event_skip_identity.rs`).
     fn drain_through(&mut self, cycle: u32, ready: &mut RingBitSet) {
         while self.next_drain <= cycle {
-            let slot = self.next_drain as usize % WHEEL_BUCKETS;
-            let bucket = &mut self.buckets[slot];
-            self.count -= bucket.len();
-            for (_, idx) in bucket.drain(..) {
-                ready.set(idx as usize);
+            match self.next_event() {
+                Some(due) if due <= cycle => {
+                    let slot = due as usize % WHEEL_BUCKETS;
+                    let bucket = &mut self.buckets[slot];
+                    self.count -= bucket.len();
+                    for (_, idx) in bucket.drain(..) {
+                        ready.set(idx as usize);
+                    }
+                    self.occupied[slot / 64] &= !(1 << (slot % 64));
+                    self.next_drain = due + 1;
+                }
+                // Nothing due inside the span: it is all empty buckets,
+                // skip it wholesale.
+                _ => {
+                    self.next_drain = cycle + 1;
+                    return;
+                }
             }
-            self.occupied[slot / 64] &= !(1 << (slot % 64));
-            self.next_drain += 1;
         }
     }
 

@@ -1,0 +1,1042 @@
+//! The coordinator: a pull-based cell scheduler with a failure model,
+//! and the TCP server that exposes it to worker processes.
+//!
+//! The scheduling logic lives in [`Scheduler`], a pure state machine
+//! that takes the current `Instant` as an argument everywhere — the
+//! seeded chaos tests drive it with synthetic clocks and scripted
+//! worker failures, while the [`Coordinator`] drives it with wall time
+//! and real sockets. One body of logic, two harnesses.
+//!
+//! The failure model, in one pass:
+//!
+//! - every dispatched cell carries a **lease** (worker, start time);
+//! - workers send **heartbeats** while computing; a silent worker is
+//!   declared dead after `heartbeat_timeout`, a closed connection
+//!   immediately;
+//! - a dead worker's leases **strike** their cells and re-enqueue them
+//!   at the front of the queue;
+//! - a cell struck by `poison_threshold` *distinct* workers is
+//!   **quarantined** — recorded as failed (the exit-2 degraded
+//!   contract) instead of wedging the run;
+//! - a lease older than `lease_timeout` is revoked and its cell
+//!   re-enqueued (deadline re-dispatch); an idle worker may also
+//!   duplicate a lease older than half the timeout (**straggler
+//!   re-dispatch** / work stealing) — the first valid result wins and
+//!   late duplicates are discarded by digest, which is safe because
+//!   simulation is a pure function of the digest-keyed inputs: every
+//!   valid result for a digest is byte-identical.
+//!
+//! Result ingest is paranoid about the bytes, not the physics: frames
+//! are checksummed, the body must decode as a canonical
+//! [`SimResult::encode_to`] encoding with no trailing bytes, and the
+//! counters must satisfy the simulator's structural invariants
+//! (instructions match the requested trace length, cycles bounded
+//! below by the issue-width limit). A rejected result strikes the
+//! sending worker and re-dispatches the cell — it is never merged.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ddsc_core::{PaperConfig, SimConfig, SimResult};
+
+use crate::proto::{read_worker_msg, write_coord_msg, CellSpec, CoordMsg, WireError, WorkerMsg};
+
+/// Tunables of the scheduler's failure model.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedOptions {
+    /// Age at which a lease is revoked and its cell re-enqueued.
+    pub lease_timeout: Duration,
+    /// Silence after which a worker is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Distinct workers a cell may strike (kill or fail on) before it
+    /// is quarantined as failed.
+    pub poison_threshold: usize,
+    /// Poll delay suggested to workers when nothing is dispatchable.
+    pub idle_wait_ms: u32,
+}
+
+impl Default for SchedOptions {
+    fn default() -> SchedOptions {
+        SchedOptions {
+            lease_timeout: Duration::from_secs(60),
+            heartbeat_timeout: Duration::from_secs(10),
+            poison_threshold: 3,
+            idle_wait_ms: 50,
+        }
+    }
+}
+
+/// What a worker's work request yields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Assignment {
+    /// Compute this cell.
+    Cell(CellSpec),
+    /// Nothing dispatchable; ask again after `wait_ms`.
+    Idle {
+        /// Suggested poll delay in milliseconds.
+        wait_ms: u32,
+    },
+    /// The grid is complete; exit.
+    AllDone,
+}
+
+/// What the scheduler decided about a submitted result or failure.
+///
+/// A short-lived, one-per-submission value, so the size of the
+/// `Merged` variant is irrelevant — no point boxing it.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum Ingest {
+    /// First valid result for its cell: merge it.
+    Merged {
+        /// The completed cell.
+        spec: CellSpec,
+        /// The decoded, validated result.
+        result: SimResult,
+        /// Worker-reported compute seconds.
+        seconds: f64,
+    },
+    /// The cell was already completed (or quarantined) — a straggler's
+    /// duplicate, discarded by digest.
+    Duplicate,
+    /// The body failed validation; the worker was struck and the cell
+    /// re-dispatched. Never merged.
+    Rejected {
+        /// Why the body was refused.
+        reason: String,
+    },
+    /// The strike tipped the cell over the poison threshold.
+    Quarantined {
+        /// The quarantined cell.
+        spec: CellSpec,
+        /// The rendered quarantine reason.
+        error: String,
+    },
+    /// A failure was recorded and the cell re-dispatched.
+    Recorded,
+    /// No cell with that digest exists in this run.
+    Unknown,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellState {
+    Pending,
+    Leased,
+    Done,
+    Quarantined,
+}
+
+#[derive(Debug)]
+struct CellEntry {
+    spec: CellSpec,
+    state: CellState,
+    /// Distinct workers that died on or failed this cell.
+    strikes: HashSet<u64>,
+    /// Outstanding leases on this cell (0, 1 or 2 — duplicates capped).
+    active_leases: usize,
+}
+
+#[derive(Debug)]
+struct Lease {
+    cell: usize,
+    worker: u64,
+    since: Instant,
+}
+
+#[derive(Debug)]
+struct WorkerInfo {
+    last_seen: Instant,
+    alive: bool,
+    completed: u64,
+}
+
+/// Per-worker slice of the run report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// The worker's assigned id.
+    pub id: u64,
+    /// Cells whose first valid result this worker delivered.
+    pub cells: u64,
+    /// Whether the worker was still alive at the end of the run.
+    pub alive: bool,
+}
+
+/// The distributed run's outcome counters (`BENCH_dist.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistReport {
+    /// Cells the run was asked to complete.
+    pub cells_total: usize,
+    /// Cells completed with a valid result.
+    pub cells_completed: usize,
+    /// Cells quarantined as poison.
+    pub cells_quarantined: usize,
+    /// Re-dispatch decisions: death re-enqueues, deadline revocations
+    /// and straggler duplicates.
+    pub redispatched: u64,
+    /// Valid-but-late results discarded by digest.
+    pub duplicate_results: u64,
+    /// Results rejected by ingest validation.
+    pub corrupt_results: u64,
+    /// Workers declared dead (connection loss or heartbeat silence
+    /// while holding a lease).
+    pub worker_deaths: u64,
+    /// Per-worker completion counts.
+    pub workers: Vec<WorkerReport>,
+    /// Sum of worker-reported per-cell compute seconds — the serial
+    /// cost the run avoided paying on one core.
+    pub compute_seconds: f64,
+    /// Coordinator wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+}
+
+impl DistReport {
+    /// Wall-clock speedup over computing the same cells serially:
+    /// `compute_seconds / wall_seconds`.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.compute_seconds / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the report as stable JSON (`ddsc-dist-bench-v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"ddsc-dist-bench-v1\",");
+        let _ = writeln!(out, "  \"cells_total\": {},", self.cells_total);
+        let _ = writeln!(out, "  \"cells_completed\": {},", self.cells_completed);
+        let _ = writeln!(out, "  \"cells_quarantined\": {},", self.cells_quarantined);
+        let _ = writeln!(out, "  \"redispatched\": {},", self.redispatched);
+        let _ = writeln!(out, "  \"duplicate_results\": {},", self.duplicate_results);
+        let _ = writeln!(out, "  \"corrupt_results\": {},", self.corrupt_results);
+        let _ = writeln!(out, "  \"worker_deaths\": {},", self.worker_deaths);
+        let _ = writeln!(out, "  \"compute_seconds\": {:.6},", self.compute_seconds);
+        let _ = writeln!(out, "  \"wall_seconds\": {:.6},", self.wall_seconds);
+        let _ = writeln!(
+            out,
+            "  \"speedup_vs_serial\": {:.4},",
+            self.speedup_vs_serial()
+        );
+        let _ = writeln!(out, "  \"workers\": [");
+        for (i, w) in self.workers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"id\": {}, \"cells\": {}, \"alive\": {}}}{}",
+                w.id,
+                w.cells,
+                w.alive,
+                if i + 1 < self.workers.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Validates one result body against its cell: canonical codec,
+/// no trailing bytes, and the structural invariants the simulator
+/// guarantees. `Err` is the rejection reason.
+pub fn validate_body(spec: &CellSpec, body: &[u8]) -> Result<SimResult, String> {
+    let pc = PaperConfig::ALL
+        .iter()
+        .copied()
+        .find(|c| c.label() == spec.config)
+        .ok_or_else(|| format!("unknown config label `{}`", spec.config))?;
+    let config = SimConfig::paper(pc, spec.width);
+    let mut pos = 0usize;
+    let result = SimResult::decode(body, &mut pos, config)
+        .ok_or_else(|| "undecodable result body".to_string())?;
+    if pos != body.len() {
+        return Err(format!(
+            "trailing bytes after result body ({pos} of {})",
+            body.len()
+        ));
+    }
+    if result.instructions != spec.trace_len {
+        return Err(format!(
+            "instruction count {} does not match trace length {}",
+            result.instructions, spec.trace_len
+        ));
+    }
+    // No machine issues more than `width` instructions per cycle, so
+    // any valid run satisfies cycles ≥ ⌈insts / width⌉.
+    let floor = spec.trace_len.div_ceil(spec.width.max(1) as u64);
+    if result.cycles < floor {
+        return Err(format!(
+            "cycle count {} below the width-{} issue floor {floor}",
+            result.cycles, spec.width
+        ));
+    }
+    let mut canonical = Vec::with_capacity(body.len());
+    result.encode_to(&mut canonical);
+    if canonical != body {
+        return Err("non-canonical result encoding".to_string());
+    }
+    Ok(result)
+}
+
+/// The pure scheduling state machine. All methods take `now` so tests
+/// can drive it with a synthetic clock; the TCP layer passes
+/// `Instant::now()`.
+#[derive(Debug)]
+pub struct Scheduler {
+    cells: Vec<CellEntry>,
+    by_digest: HashMap<u64, usize>,
+    pending: VecDeque<usize>,
+    leases: Vec<Lease>,
+    workers: HashMap<u64, WorkerInfo>,
+    next_worker_id: u64,
+    opts: SchedOptions,
+    done: usize,
+    quarantined: usize,
+    redispatched: u64,
+    duplicate_results: u64,
+    corrupt_results: u64,
+    worker_deaths: u64,
+    compute_seconds: f64,
+}
+
+impl Scheduler {
+    /// A scheduler over `cells`, dispatched in input order.
+    pub fn new(cells: Vec<CellSpec>, opts: SchedOptions) -> Scheduler {
+        let mut by_digest = HashMap::with_capacity(cells.len());
+        let entries: Vec<CellEntry> = cells
+            .into_iter()
+            .map(|spec| CellEntry {
+                spec,
+                state: CellState::Pending,
+                strikes: HashSet::new(),
+                active_leases: 0,
+            })
+            .collect();
+        for (i, e) in entries.iter().enumerate() {
+            let prev = by_digest.insert(e.spec.digest, i);
+            debug_assert!(prev.is_none(), "duplicate cell digest in grid");
+        }
+        Scheduler {
+            pending: (0..entries.len()).collect(),
+            cells: entries,
+            by_digest,
+            leases: Vec::new(),
+            workers: HashMap::new(),
+            next_worker_id: 1,
+            opts,
+            done: 0,
+            quarantined: 0,
+            redispatched: 0,
+            duplicate_results: 0,
+            corrupt_results: 0,
+            worker_deaths: 0,
+            compute_seconds: 0.0,
+        }
+    }
+
+    /// Registers (or revives) a worker. `want_id` 0 — or an id this
+    /// scheduler never issued — yields a fresh identity; a known id
+    /// reconnects with its history (completion counts, strikes against
+    /// it) intact.
+    pub fn register(&mut self, want_id: u64, now: Instant) -> u64 {
+        if want_id != 0 {
+            if let Some(info) = self.workers.get_mut(&want_id) {
+                info.alive = true;
+                info.last_seen = now;
+                return want_id;
+            }
+        }
+        let id = self.next_worker_id;
+        self.next_worker_id += 1;
+        self.workers.insert(
+            id,
+            WorkerInfo {
+                last_seen: now,
+                alive: true,
+                completed: 0,
+            },
+        );
+        id
+    }
+
+    fn touch(&mut self, worker: u64, now: Instant) {
+        if let Some(info) = self.workers.get_mut(&worker) {
+            info.last_seen = now;
+            info.alive = true;
+        }
+    }
+
+    /// Records a heartbeat.
+    pub fn heartbeat(&mut self, worker: u64, now: Instant) {
+        self.touch(worker, now);
+    }
+
+    /// Whether every cell is completed or quarantined.
+    pub fn is_complete(&self) -> bool {
+        self.done + self.quarantined == self.cells.len()
+    }
+
+    /// Completed-cell count (progress probes).
+    pub fn cells_done(&self) -> usize {
+        self.done
+    }
+
+    /// Strikes `cell` on behalf of `worker` (death or failure). Either
+    /// quarantines the cell (returned for the failure sink) or makes
+    /// sure it is re-dispatched.
+    fn strike(&mut self, ci: usize, worker: u64, reason: &str) -> Option<(CellSpec, String)> {
+        let threshold = self.opts.poison_threshold;
+        let entry = &mut self.cells[ci];
+        if matches!(entry.state, CellState::Done | CellState::Quarantined) {
+            return None;
+        }
+        entry.strikes.insert(worker);
+        if entry.strikes.len() >= threshold {
+            entry.state = CellState::Quarantined;
+            let spec = entry.spec.clone();
+            let error = format!(
+                "cell quarantined as poison: struck {} distinct workers (last: {reason})",
+                entry.strikes.len()
+            );
+            entry.active_leases = 0;
+            self.quarantined += 1;
+            self.leases.retain(|l| l.cell != ci);
+            return Some((spec, error));
+        }
+        if entry.active_leases == 0 && entry.state != CellState::Pending {
+            entry.state = CellState::Pending;
+            self.pending.push_front(ci);
+            self.redispatched += 1;
+        }
+        None
+    }
+
+    /// Declares a worker dead: its leases strike their cells and are
+    /// re-enqueued (or quarantined — returned for the failure sink).
+    fn kill_worker(&mut self, worker: u64, reason: &str) -> Vec<(CellSpec, String)> {
+        let Some(info) = self.workers.get_mut(&worker) else {
+            return Vec::new();
+        };
+        if !info.alive {
+            return Vec::new();
+        }
+        info.alive = false;
+        let held: Vec<usize> = self
+            .leases
+            .iter()
+            .filter(|l| l.worker == worker)
+            .map(|l| l.cell)
+            .collect();
+        if held.is_empty() {
+            // A leaving worker with nothing in flight is a clean exit,
+            // not a death.
+            return Vec::new();
+        }
+        self.worker_deaths += 1;
+        self.leases.retain(|l| l.worker != worker);
+        let mut quarantines = Vec::new();
+        for ci in held {
+            self.cells[ci].active_leases = self.cells[ci].active_leases.saturating_sub(1);
+            if let Some(q) = self.strike(ci, worker, reason) {
+                quarantines.push(q);
+            }
+        }
+        quarantines
+    }
+
+    /// Handles a closed or corrupted worker connection.
+    pub fn disconnect(&mut self, worker: u64) -> Vec<(CellSpec, String)> {
+        self.kill_worker(worker, "connection lost")
+    }
+
+    /// Applies the timeouts: silent workers die, expired leases are
+    /// revoked and their cells re-enqueued. Returns fresh quarantines.
+    pub fn reap(&mut self, now: Instant) -> Vec<(CellSpec, String)> {
+        let silent: Vec<u64> = self
+            .workers
+            .iter()
+            .filter(|(_, info)| {
+                info.alive && now.duration_since(info.last_seen) > self.opts.heartbeat_timeout
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        let mut quarantines = Vec::new();
+        for w in silent {
+            quarantines.extend(self.kill_worker(w, "heartbeat timeout"));
+        }
+        // Deadline re-dispatch: revoke expired leases. The straggler
+        // may still deliver — its late result is merged if first,
+        // discarded as a duplicate otherwise.
+        let lease_timeout = self.opts.lease_timeout;
+        let expired: Vec<usize> = self
+            .leases
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| now.duration_since(l.since) >= lease_timeout)
+            .map(|(i, _)| i)
+            .collect();
+        for i in expired.into_iter().rev() {
+            let lease = self.leases.swap_remove(i);
+            let entry = &mut self.cells[lease.cell];
+            entry.active_leases = entry.active_leases.saturating_sub(1);
+            if entry.state == CellState::Leased && entry.active_leases == 0 {
+                entry.state = CellState::Pending;
+                self.pending.push_back(lease.cell);
+                self.redispatched += 1;
+            }
+        }
+        quarantines
+    }
+
+    /// Answers a worker's work request: the next pending cell, a
+    /// straggler duplicate to steal, or idle/done.
+    pub fn next_assignment(&mut self, worker: u64, now: Instant) -> Assignment {
+        self.touch(worker, now);
+        if self.is_complete() {
+            return Assignment::AllDone;
+        }
+        while let Some(ci) = self.pending.pop_front() {
+            if self.cells[ci].state != CellState::Pending {
+                continue; // stale queue entry (completed or quarantined meanwhile)
+            }
+            self.cells[ci].state = CellState::Leased;
+            self.cells[ci].active_leases += 1;
+            self.leases.push(Lease {
+                cell: ci,
+                worker,
+                since: now,
+            });
+            return Assignment::Cell(self.cells[ci].spec.clone());
+        }
+        // Straggler re-dispatch: duplicate the oldest single-leased
+        // cell another worker has been sitting on for more than half
+        // the lease timeout. First valid result wins; the duplicate is
+        // capped at two leases so a slow grid tail cannot stampede.
+        let steal_after = self.opts.lease_timeout / 2;
+        let candidate = self
+            .leases
+            .iter()
+            .filter(|l| {
+                l.worker != worker
+                    && self.cells[l.cell].state == CellState::Leased
+                    && self.cells[l.cell].active_leases == 1
+                    && now.duration_since(l.since) >= steal_after
+            })
+            .min_by_key(|l| l.since)
+            .map(|l| l.cell);
+        if let Some(ci) = candidate {
+            self.cells[ci].active_leases += 1;
+            self.leases.push(Lease {
+                cell: ci,
+                worker,
+                since: now,
+            });
+            self.redispatched += 1;
+            return Assignment::Cell(self.cells[ci].spec.clone());
+        }
+        Assignment::Idle {
+            wait_ms: self.opts.idle_wait_ms,
+        }
+    }
+
+    /// Ingests one submitted result: validate, dedup by digest, merge
+    /// the first valid body per cell.
+    pub fn submit_result(
+        &mut self,
+        worker: u64,
+        digest: u64,
+        seconds: f64,
+        body: &[u8],
+        now: Instant,
+    ) -> Ingest {
+        self.touch(worker, now);
+        let Some(&ci) = self.by_digest.get(&digest) else {
+            return Ingest::Unknown;
+        };
+        // This worker's lease (if any) is settled by this submission.
+        if let Some(i) = self
+            .leases
+            .iter()
+            .position(|l| l.cell == ci && l.worker == worker)
+        {
+            self.leases.swap_remove(i);
+            self.cells[ci].active_leases = self.cells[ci].active_leases.saturating_sub(1);
+        }
+        if matches!(
+            self.cells[ci].state,
+            CellState::Done | CellState::Quarantined
+        ) {
+            self.duplicate_results += 1;
+            return Ingest::Duplicate;
+        }
+        match validate_body(&self.cells[ci].spec, body) {
+            Ok(result) => {
+                self.cells[ci].state = CellState::Done;
+                self.done += 1;
+                // Any other outstanding leases on this cell are now
+                // moot; their late results will dedup as duplicates.
+                self.leases.retain(|l| l.cell != ci);
+                self.cells[ci].active_leases = 0;
+                self.compute_seconds += seconds;
+                if let Some(info) = self.workers.get_mut(&worker) {
+                    info.completed += 1;
+                }
+                Ingest::Merged {
+                    spec: self.cells[ci].spec.clone(),
+                    result,
+                    seconds,
+                }
+            }
+            Err(reason) => {
+                self.corrupt_results += 1;
+                match self.strike(ci, worker, &reason) {
+                    Some((spec, error)) => Ingest::Quarantined { spec, error },
+                    None => Ingest::Rejected { reason },
+                }
+            }
+        }
+    }
+
+    /// Ingests a worker-reported failure (contained panic, digest
+    /// mismatch, trace generation error).
+    pub fn submit_failure(
+        &mut self,
+        worker: u64,
+        digest: u64,
+        error: &str,
+        now: Instant,
+    ) -> Ingest {
+        self.touch(worker, now);
+        let Some(&ci) = self.by_digest.get(&digest) else {
+            return Ingest::Unknown;
+        };
+        if let Some(i) = self
+            .leases
+            .iter()
+            .position(|l| l.cell == ci && l.worker == worker)
+        {
+            self.leases.swap_remove(i);
+            self.cells[ci].active_leases = self.cells[ci].active_leases.saturating_sub(1);
+        }
+        if matches!(
+            self.cells[ci].state,
+            CellState::Done | CellState::Quarantined
+        ) {
+            return Ingest::Duplicate;
+        }
+        match self.strike(ci, worker, error) {
+            Some((spec, error)) => Ingest::Quarantined { spec, error },
+            None => Ingest::Recorded,
+        }
+    }
+
+    /// The run's counters as a report; `wall_seconds` comes from the
+    /// caller (the scheduler has no clock of its own).
+    pub fn report(&self, wall_seconds: f64) -> DistReport {
+        let mut workers: Vec<WorkerReport> = self
+            .workers
+            .iter()
+            .map(|(&id, info)| WorkerReport {
+                id,
+                cells: info.completed,
+                alive: info.alive,
+            })
+            .collect();
+        workers.sort_by_key(|w| w.id);
+        DistReport {
+            cells_total: self.cells.len(),
+            cells_completed: self.done,
+            cells_quarantined: self.quarantined,
+            redispatched: self.redispatched,
+            duplicate_results: self.duplicate_results,
+            corrupt_results: self.corrupt_results,
+            worker_deaths: self.worker_deaths,
+            workers,
+            compute_seconds: self.compute_seconds,
+            wall_seconds,
+        }
+    }
+}
+
+/// Merge sinks the coordinator calls as cells settle. `on_result`
+/// receives each cell's first valid result exactly once, in completion
+/// order; `on_quarantine` receives each poisoned cell exactly once.
+pub struct DistSinks<'a> {
+    /// Called with (cell, validated result, worker-reported seconds).
+    pub on_result: &'a (dyn Fn(&CellSpec, &SimResult, f64) + Sync),
+    /// Called with (cell, quarantine reason).
+    pub on_quarantine: &'a (dyn Fn(&CellSpec, &str) + Sync),
+}
+
+struct Shared {
+    sched: Mutex<Scheduler>,
+    complete: Condvar,
+}
+
+/// The TCP face of the [`Scheduler`]: accepts worker connections,
+/// answers the dist protocol, reaps timeouts on a timer, and returns
+/// when the grid is complete.
+pub struct Coordinator {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Shared,
+}
+
+impl Coordinator {
+    /// Binds the coordinator (pass port 0 for an ephemeral port; read
+    /// it back with [`Coordinator::local_addr`]).
+    pub fn bind(addr: &str, cells: Vec<CellSpec>, opts: SchedOptions) -> io::Result<Coordinator> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Coordinator {
+            listener,
+            addr,
+            shared: Shared {
+                sched: Mutex::new(Scheduler::new(cells, opts)),
+                complete: Condvar::new(),
+            },
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves workers until every cell is completed or quarantined,
+    /// then returns the run report. Blocks; sinks are invoked from
+    /// connection-handler threads as cells settle.
+    pub fn run(self, sinks: &DistSinks<'_>) -> DistReport {
+        let t0 = Instant::now();
+        let stop = AtomicBool::new(false);
+        let shared = &self.shared;
+        let addr = self.addr;
+        std::thread::scope(|s| {
+            // Reaper + completion monitor: applies the timeouts, sinks
+            // any quarantines, and unblocks the accept loop when the
+            // grid is complete.
+            s.spawn(|| loop {
+                let (quarantines, complete) = {
+                    let mut sched = shared.sched.lock().expect("scheduler poisoned");
+                    (sched.reap(Instant::now()), sched.is_complete())
+                };
+                for (spec, why) in &quarantines {
+                    (sinks.on_quarantine)(spec, why);
+                }
+                if complete {
+                    stop.store(true, Ordering::SeqCst);
+                    shared.complete.notify_all();
+                    let _ = TcpStream::connect(addr); // unblock accept
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            });
+            for stream in self.listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                s.spawn(|| handle_conn(stream, shared, sinks));
+            }
+        });
+        let sched = shared.sched.lock().expect("scheduler poisoned");
+        sched.report(t0.elapsed().as_secs_f64())
+    }
+}
+
+/// One worker connection: a strict request/response loop (heartbeats
+/// are one-way). Read timeouts double as a completion poll so handler
+/// threads always exit shortly after the grid finishes, even if their
+/// worker hangs mid-cell.
+fn handle_conn(stream: TcpStream, shared: &Shared, sinks: &DistSinks<'_>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut worker_id = 0u64;
+    let mut quiet_ticks = 0u32;
+    loop {
+        let msg = match read_worker_msg(&mut reader) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => break, // clean close
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // No frame within the poll window. Once the grid is
+                // complete, give the worker a few windows to come back
+                // for its AllDone, then hang up.
+                let complete = shared
+                    .sched
+                    .lock()
+                    .expect("scheduler poisoned")
+                    .is_complete();
+                if complete {
+                    quiet_ticks += 1;
+                    if quiet_ticks > 10 {
+                        break;
+                    }
+                } else {
+                    quiet_ticks = 0;
+                }
+                continue;
+            }
+            Err(_) => {
+                // Corrupt frame or transport error: the checksummed
+                // framing can no longer be trusted — treat the worker
+                // as lost so its leases re-dispatch.
+                disconnect(shared, sinks, worker_id);
+                return;
+            }
+        };
+        quiet_ticks = 0;
+        let now = Instant::now();
+        let reply = match msg {
+            WorkerMsg::Hello {
+                worker_id: want, ..
+            } => {
+                let id = {
+                    let mut sched = shared.sched.lock().expect("scheduler poisoned");
+                    sched.register(want, now)
+                };
+                worker_id = id;
+                Some(CoordMsg::Welcome { worker_id: id })
+            }
+            WorkerMsg::Heartbeat { worker_id: w } => {
+                let mut sched = shared.sched.lock().expect("scheduler poisoned");
+                sched.heartbeat(w, now);
+                None
+            }
+            WorkerMsg::Request { worker_id: w } => {
+                let assignment = {
+                    let mut sched = shared.sched.lock().expect("scheduler poisoned");
+                    sched.next_assignment(w, now)
+                };
+                Some(match assignment {
+                    Assignment::Cell(spec) => CoordMsg::Assign(spec),
+                    Assignment::Idle { wait_ms } => CoordMsg::Idle { wait_ms },
+                    Assignment::AllDone => CoordMsg::AllDone,
+                })
+            }
+            WorkerMsg::Result {
+                worker_id: w,
+                digest,
+                seconds_bits,
+                body,
+            } => {
+                let ingest = {
+                    let mut sched = shared.sched.lock().expect("scheduler poisoned");
+                    sched.submit_result(w, digest, f64::from_bits(seconds_bits), &body, now)
+                };
+                settle(shared, sinks, ingest);
+                Some(CoordMsg::Ack)
+            }
+            WorkerMsg::Failed {
+                worker_id: w,
+                digest,
+                error,
+            } => {
+                let ingest = {
+                    let mut sched = shared.sched.lock().expect("scheduler poisoned");
+                    sched.submit_failure(w, digest, &error, now)
+                };
+                settle(shared, sinks, ingest);
+                Some(CoordMsg::Ack)
+            }
+        };
+        if let Some(reply) = reply {
+            if write_coord_msg(&mut writer, &reply)
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                disconnect(shared, sinks, worker_id);
+                return;
+            }
+        }
+    }
+    disconnect(shared, sinks, worker_id);
+}
+
+/// Runs the sinks for one settled ingest (outside the scheduler lock)
+/// and wakes the completion monitor.
+fn settle(shared: &Shared, sinks: &DistSinks<'_>, ingest: Ingest) {
+    match ingest {
+        Ingest::Merged {
+            spec,
+            result,
+            seconds,
+        } => (sinks.on_result)(&spec, &result, seconds),
+        Ingest::Quarantined { spec, error } => (sinks.on_quarantine)(&spec, &error),
+        Ingest::Duplicate | Ingest::Rejected { .. } | Ingest::Recorded | Ingest::Unknown => {}
+    }
+    let complete = shared
+        .sched
+        .lock()
+        .expect("scheduler poisoned")
+        .is_complete();
+    if complete {
+        shared.complete.notify_all();
+    }
+}
+
+fn disconnect(shared: &Shared, sinks: &DistSinks<'_>, worker_id: u64) {
+    if worker_id == 0 {
+        return;
+    }
+    let quarantines = {
+        let mut sched = shared.sched.lock().expect("scheduler poisoned");
+        sched.disconnect(worker_id)
+    };
+    for (spec, why) in &quarantines {
+        (sinks.on_quarantine)(spec, why);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(digest: u64) -> CellSpec {
+        CellSpec {
+            bench: "compress".into(),
+            config: "A".into(),
+            width: 4,
+            trace_len: 1000,
+            seed: 1996,
+            digest,
+        }
+    }
+
+    fn opts() -> SchedOptions {
+        SchedOptions {
+            lease_timeout: Duration::from_millis(100),
+            heartbeat_timeout: Duration::from_millis(50),
+            poison_threshold: 2,
+            idle_wait_ms: 5,
+        }
+    }
+
+    #[test]
+    fn cells_dispatch_in_order_and_complete() {
+        let mut s = Scheduler::new(vec![spec(1), spec(2)], opts());
+        let t = Instant::now();
+        let w = s.register(0, t);
+        let Assignment::Cell(c1) = s.next_assignment(w, t) else {
+            panic!("expected a cell");
+        };
+        assert_eq!(c1.digest, 1);
+        assert!(!s.is_complete());
+        // An unknown digest is not merged.
+        assert!(matches!(
+            s.submit_result(w, 999, 0.0, &[], t),
+            Ingest::Unknown
+        ));
+    }
+
+    #[test]
+    fn dead_worker_cells_requeue_and_poison_quarantines() {
+        let mut s = Scheduler::new(vec![spec(1)], opts());
+        let t = Instant::now();
+        let w1 = s.register(0, t);
+        assert!(matches!(s.next_assignment(w1, t), Assignment::Cell(_)));
+        // First death: requeued, not quarantined.
+        assert!(s.disconnect(w1).is_empty());
+        let w2 = s.register(0, t);
+        assert!(matches!(s.next_assignment(w2, t), Assignment::Cell(_)));
+        // Second distinct death crosses poison_threshold 2.
+        let quarantined = s.disconnect(w2);
+        assert_eq!(quarantined.len(), 1);
+        assert!(s.is_complete());
+        let report = s.report(1.0);
+        assert_eq!(report.cells_quarantined, 1);
+        assert_eq!(report.worker_deaths, 2);
+    }
+
+    #[test]
+    fn heartbeat_timeout_reaps_silent_workers() {
+        let mut s = Scheduler::new(vec![spec(1)], opts());
+        let t = Instant::now();
+        let w = s.register(0, t);
+        assert!(matches!(s.next_assignment(w, t), Assignment::Cell(_)));
+        // Within the window: nothing happens.
+        assert!(s.reap(t + Duration::from_millis(10)).is_empty());
+        assert_eq!(s.report(0.0).worker_deaths, 0);
+        // Past the window: the worker dies, the cell requeues.
+        let _ = s.reap(t + Duration::from_millis(60));
+        assert_eq!(s.report(0.0).worker_deaths, 1);
+        let w2 = s.register(0, t + Duration::from_millis(61));
+        assert!(matches!(
+            s.next_assignment(w2, t + Duration::from_millis(61)),
+            Assignment::Cell(_)
+        ));
+    }
+
+    #[test]
+    fn straggler_lease_is_stolen_once() {
+        let mut s = Scheduler::new(vec![spec(1)], opts());
+        let t = Instant::now();
+        let w1 = s.register(0, t);
+        let w2 = s.register(0, t);
+        assert!(matches!(s.next_assignment(w1, t), Assignment::Cell(_)));
+        // Too early to steal.
+        let early = t + Duration::from_millis(10);
+        s.heartbeat(w1, early);
+        assert!(matches!(
+            s.next_assignment(w2, early),
+            Assignment::Idle { .. }
+        ));
+        // Past half the lease timeout: the idle worker duplicates it.
+        let late = t + Duration::from_millis(60);
+        s.heartbeat(w1, late);
+        assert!(matches!(s.next_assignment(w2, late), Assignment::Cell(_)));
+        // Both leases outstanding; a third worker cannot triple it.
+        let w3 = s.register(0, late);
+        assert!(matches!(
+            s.next_assignment(w3, late),
+            Assignment::Idle { .. }
+        ));
+        assert_eq!(s.report(0.0).redispatched, 1);
+    }
+
+    #[test]
+    fn corrupt_results_are_rejected_and_requeued() {
+        let mut s = Scheduler::new(vec![spec(1)], opts());
+        let t = Instant::now();
+        let w = s.register(0, t);
+        let Assignment::Cell(c) = s.next_assignment(w, t) else {
+            panic!("expected a cell");
+        };
+        let ingest = s.submit_result(w, c.digest, 0.1, b"garbage", t);
+        assert!(matches!(ingest, Ingest::Rejected { .. }));
+        assert!(!s.is_complete());
+        // The cell is immediately dispatchable again.
+        let w2 = s.register(0, t);
+        assert!(matches!(s.next_assignment(w2, t), Assignment::Cell(_)));
+        assert_eq!(s.report(0.0).corrupt_results, 1);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let s = Scheduler::new(vec![spec(1)], opts());
+        let json = s.report(2.0).to_json();
+        for key in [
+            "\"schema\": \"ddsc-dist-bench-v1\"",
+            "\"cells_total\"",
+            "\"redispatched\"",
+            "\"speedup_vs_serial\"",
+            "\"workers\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Fault-tolerant distributed execution of the paper grid.
+//!
+//! `ddsc-dist` runs the MICRO-29 scenario grid across worker
+//! *processes* while keeping the single-process guarantee: the merged
+//! grid is byte-identical to a local run. Cells are identified by the
+//! lab's input digests (`fnv1a(trace checksum ‖ config label ‖
+//! width)`), travel over the checksummed frame protocol `ddsc serve`
+//! introduced, and carry results as the canonical
+//! [`SimResult::encode_to`](ddsc_core::SimResult::encode_to) bytes the
+//! cell store persists — so "merge" is just "insert the first valid
+//! result per digest".
+//!
+//! Three layers:
+//!
+//! - [`proto`] — the coordinator/worker message vocabulary over
+//!   [`ddsc_serve::proto`] frames; decoding is total.
+//! - [`coordinator`] — the [`Scheduler`] failure model (leases,
+//!   heartbeats, straggler re-dispatch, poison quarantine) as a pure
+//!   state machine, plus the [`Coordinator`] TCP server that drives it
+//!   with wall time and sinks merged results to the caller.
+//! - [`worker`] — the pull-loop worker process: reconnect with backoff,
+//!   digest self-verification, contained panics, memoized prepared
+//!   traces.
+//!
+//! Crash consistency is the caller's (the CLI's) job: merged results
+//! flow into the PR 5 journal + cell store via
+//! `Lab::install_result`, so a SIGKILLed coordinator `--resume`s from
+//! its journal and only re-dispatches the missing cells.
+
+pub mod coordinator;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{
+    validate_body, Assignment, Coordinator, DistReport, DistSinks, Ingest, SchedOptions, Scheduler,
+    WorkerReport,
+};
+pub use proto::{CellSpec, CoordMsg, WireError, WorkerMsg, DIST_VERSION};
+pub use worker::{run_worker, WorkerOptions, WorkerSummary};

@@ -1,0 +1,374 @@
+//! The worker process: connects to a coordinator, pulls cells,
+//! simulates them, and reports canonical result bytes.
+//!
+//! Robustness properties:
+//!
+//! - **Reconnect with backoff** — a lost connection is retried through
+//!   the `ddsc-util` [`Backoff`] schedule; when the coordinator stays
+//!   unreachable (it finished and exited, or crashed for good) the
+//!   worker exits cleanly rather than spinning.
+//! - **Digest verification** — before simulating, the worker recomputes
+//!   the cell digest from its *own* trace bytes
+//!   (`fnv1a(trace checksum ‖ config label ‖ width)`); a mismatch means
+//!   worker/coordinator drift (different binary, workload code or
+//!   seed), reported as a failure instead of silently producing bytes
+//!   that could never merge.
+//! - **Containment** — a panicking simulation is caught and reported as
+//!   [`WorkerMsg::Failed`]; the worker lives on to compute other cells.
+//! - **Heartbeats** — a background thread emits one-way heartbeats
+//!   while the main thread computes, so a long cell does not read as a
+//!   dead worker.
+//!
+//! The prepared trace (the expensive shared pre-pass) is memoized per
+//! `(benchmark, seed, length)` across cells and reconnects — the same
+//! amortization [`ddsc_experiments`]'s lab does per process, and the
+//! reason a small worker fleet scales near-linearly on the paper grid.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ddsc_core::{simulate_prepared, PaperConfig, PreparedTrace, SimConfig};
+use ddsc_trace::io::write_trace;
+use ddsc_util::{fnv1a, Backoff};
+use ddsc_workloads::Benchmark;
+
+use crate::proto::{read_coord_msg, write_worker_msg, CellSpec, CoordMsg, WorkerMsg};
+
+/// Worker tunables.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator address (`host:port`).
+    pub connect: String,
+    /// Heartbeat period while computing.
+    pub heartbeat_every: Duration,
+    /// Reconnect attempts before concluding the coordinator is gone.
+    pub reconnect_attempts: usize,
+}
+
+impl WorkerOptions {
+    /// Defaults for a given coordinator address.
+    pub fn new(connect: impl Into<String>) -> WorkerOptions {
+        WorkerOptions {
+            connect: connect.into(),
+            heartbeat_every: Duration::from_millis(200),
+            reconnect_attempts: 8,
+        }
+    }
+}
+
+/// What one worker process did with its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// The coordinator-assigned worker id (0 if never welcomed).
+    pub worker_id: u64,
+    /// Cells computed and submitted successfully.
+    pub completed: u64,
+    /// Cells reported as failed.
+    pub failed: u64,
+    /// Whether the run ended with an explicit `AllDone` (as opposed to
+    /// the coordinator becoming unreachable).
+    pub all_done: bool,
+}
+
+enum SessionEnd {
+    AllDone,
+    Lost,
+}
+
+/// One prepared benchmark trace plus its serialized checksum, memoized
+/// per `(bench, seed, len)`.
+struct PreparedCell {
+    checksum: u64,
+    prepared: Arc<PreparedTrace>,
+}
+
+type PrepCache = HashMap<(String, u64, u64), PreparedCell>;
+
+/// Runs a worker until the coordinator reports the grid complete (or
+/// stays unreachable through the whole backoff schedule — also a clean
+/// exit: the coordinator owns run state, a worker holds none).
+pub fn run_worker(opts: &WorkerOptions) -> io::Result<WorkerSummary> {
+    let mut summary = WorkerSummary {
+        worker_id: 0,
+        completed: 0,
+        failed: 0,
+        all_done: false,
+    };
+    let mut cache: PrepCache = HashMap::new();
+    loop {
+        let Some(stream) = connect_with_backoff(opts) else {
+            eprintln!("ddsc worker: coordinator unreachable, exiting");
+            return Ok(summary);
+        };
+        let _ = stream.set_nodelay(true);
+        // The read timeout bounds how long a worker can hang on a
+        // silent coordinator before treating the session as lost.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let writer = Arc::new(Mutex::new(stream));
+
+        // Introduce ourselves (or re-introduce after a reconnect).
+        let hello = WorkerMsg::Hello {
+            worker_id: summary.worker_id,
+            pid: std::process::id() as u64,
+        };
+        if send(&writer, &hello).is_err() {
+            continue;
+        }
+        match read_coord_msg(&mut reader) {
+            Ok(Some(CoordMsg::Welcome { worker_id })) => summary.worker_id = worker_id,
+            _ => continue,
+        }
+
+        // Heartbeats flow from a side thread through the shared writer;
+        // the mutex serializes them against the main request stream.
+        let stop = Arc::new(AtomicBool::new(false));
+        let beat = {
+            let writer = Arc::clone(&writer);
+            let stop = Arc::clone(&stop);
+            let every = opts.heartbeat_every;
+            let worker_id = summary.worker_id;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(every);
+                    if send(&writer, &WorkerMsg::Heartbeat { worker_id }).is_err() {
+                        return;
+                    }
+                }
+            })
+        };
+
+        let end = session(&mut reader, &writer, &mut summary, &mut cache);
+        stop.store(true, Ordering::SeqCst);
+        let _ = beat.join();
+        match end {
+            SessionEnd::AllDone => {
+                summary.all_done = true;
+                return Ok(summary);
+            }
+            SessionEnd::Lost => continue,
+        }
+    }
+}
+
+fn connect_with_backoff(opts: &WorkerOptions) -> Option<TcpStream> {
+    let backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(1));
+    let mut delays = backoff.delays();
+    for attempt in 0..opts.reconnect_attempts {
+        match TcpStream::connect(&opts.connect) {
+            Ok(stream) => return Some(stream),
+            Err(_) if attempt + 1 < opts.reconnect_attempts => {
+                std::thread::sleep(delays.next().unwrap_or(Duration::from_secs(1)));
+            }
+            Err(_) => break,
+        }
+    }
+    None
+}
+
+fn send(writer: &Mutex<TcpStream>, msg: &WorkerMsg) -> io::Result<()> {
+    let mut stream = writer.lock().expect("worker writer poisoned");
+    write_worker_msg(&mut *stream, msg)?;
+    stream.flush()
+}
+
+/// The request/compute/report loop over one live connection.
+fn session(
+    reader: &mut BufReader<TcpStream>,
+    writer: &Mutex<TcpStream>,
+    summary: &mut WorkerSummary,
+    cache: &mut PrepCache,
+) -> SessionEnd {
+    let worker_id = summary.worker_id;
+    loop {
+        if send(writer, &WorkerMsg::Request { worker_id }).is_err() {
+            return SessionEnd::Lost;
+        }
+        match read_coord_msg(reader) {
+            Ok(Some(CoordMsg::AllDone)) => return SessionEnd::AllDone,
+            Ok(Some(CoordMsg::Idle { wait_ms })) => {
+                std::thread::sleep(Duration::from_millis(u64::from(wait_ms).min(1000)));
+            }
+            Ok(Some(CoordMsg::Assign(spec))) => {
+                let report = match compute(&spec, cache) {
+                    Ok((body, seconds)) => {
+                        summary.completed += 1;
+                        WorkerMsg::Result {
+                            worker_id,
+                            digest: spec.digest,
+                            seconds_bits: seconds.to_bits(),
+                            body,
+                        }
+                    }
+                    Err(error) => {
+                        summary.failed += 1;
+                        WorkerMsg::Failed {
+                            worker_id,
+                            digest: spec.digest,
+                            error,
+                        }
+                    }
+                };
+                if send(writer, &report).is_err() {
+                    return SessionEnd::Lost;
+                }
+                match read_coord_msg(reader) {
+                    Ok(Some(CoordMsg::Ack)) => {}
+                    Ok(Some(CoordMsg::AllDone)) => return SessionEnd::AllDone,
+                    _ => return SessionEnd::Lost,
+                }
+            }
+            // Welcome out of sequence, clean close, or any wire error:
+            // tear the session down and reconnect.
+            _ => return SessionEnd::Lost,
+        }
+    }
+}
+
+/// Simulates one cell: returns the canonical result bytes and the
+/// compute seconds, or a rendered failure.
+fn compute(spec: &CellSpec, cache: &mut PrepCache) -> Result<(Vec<u8>, f64), String> {
+    let bench = Benchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name() == spec.bench)
+        .ok_or_else(|| format!("unknown benchmark `{}`", spec.bench))?;
+    let pc = PaperConfig::ALL
+        .iter()
+        .copied()
+        .find(|c| c.label() == spec.config)
+        .ok_or_else(|| format!("unknown config label `{}`", spec.config))?;
+    let t0 = Instant::now();
+    let key = (spec.bench.clone(), spec.seed, spec.trace_len);
+    if !cache.contains_key(&key) {
+        let trace = bench
+            .trace(spec.seed, spec.trace_len as usize)
+            .map_err(|e| format!("trace generation failed: {e}"))?;
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).map_err(|e| format!("trace serialization failed: {e}"))?;
+        cache.insert(
+            key.clone(),
+            PreparedCell {
+                checksum: fnv1a(&bytes),
+                prepared: Arc::new(PreparedTrace::build(&trace)),
+            },
+        );
+    }
+    let cell = &cache[&key];
+
+    // Recompute the digest from our own bytes: catches any drift
+    // between this binary and the coordinator before it can produce a
+    // result that looks mergeable.
+    let mut ident = Vec::new();
+    ident.extend_from_slice(&cell.checksum.to_le_bytes());
+    ident.extend_from_slice(spec.config.as_bytes());
+    ident.extend_from_slice(&spec.width.to_le_bytes());
+    let digest = fnv1a(&ident);
+    if digest != spec.digest {
+        return Err(format!(
+            "cell digest mismatch: worker computed {digest:#x}, coordinator sent {:#x} \
+             (worker/coordinator version drift?)",
+            spec.digest
+        ));
+    }
+
+    let config = SimConfig::paper(pc, spec.width);
+    let prepared = Arc::clone(&cell.prepared);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        simulate_prepared(&prepared, &config)
+    }))
+    .map_err(|payload| format!("cell panicked: {}", panic_message(payload.as_ref())))?;
+    let mut body = Vec::with_capacity(256);
+    result.encode_to(&mut body);
+    Ok((body, t0.elapsed().as_secs_f64()))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_for(bench: &str, config: &str, width: u32, len: u64) -> CellSpec {
+        // Recompute the digest the same way the lab does.
+        let b = Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name() == bench)
+            .unwrap();
+        let trace = b.trace(1996, len as usize).unwrap();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        let mut ident = Vec::new();
+        ident.extend_from_slice(&fnv1a(&bytes).to_le_bytes());
+        ident.extend_from_slice(config.as_bytes());
+        ident.extend_from_slice(&width.to_le_bytes());
+        CellSpec {
+            bench: bench.into(),
+            config: config.into(),
+            width,
+            trace_len: len,
+            seed: 1996,
+            digest: fnv1a(&ident),
+        }
+    }
+
+    #[test]
+    fn compute_produces_canonical_bytes_matching_local_simulation() {
+        let spec = spec_for("compress", "D", 4, 2000);
+        let mut cache = PrepCache::new();
+        let (body, seconds) = compute(&spec, &mut cache).expect("cell computes");
+        assert!(seconds >= 0.0);
+        let b = Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name() == "compress")
+            .unwrap();
+        let trace = b.trace(1996, 2000).unwrap();
+        let prepared = PreparedTrace::build(&trace);
+        let config = SimConfig::paper(PaperConfig::D, 4);
+        let local = simulate_prepared(&prepared, &config);
+        let mut expected = Vec::new();
+        local.encode_to(&mut expected);
+        assert_eq!(body, expected, "worker bytes must match local simulation");
+        // And the coordinator-side validator accepts them.
+        let validated = crate::coordinator::validate_body(&spec, &body).expect("validates");
+        assert_eq!(validated.cycles, local.cycles);
+    }
+
+    #[test]
+    fn digest_mismatch_is_refused_before_simulation() {
+        let mut spec = spec_for("compress", "A", 4, 2000);
+        spec.digest ^= 1;
+        let mut cache = PrepCache::new();
+        let err = compute(&spec, &mut cache).unwrap_err();
+        assert!(err.contains("digest mismatch"), "{err}");
+    }
+
+    #[test]
+    fn unknown_inputs_are_clean_failures() {
+        let mut cache = PrepCache::new();
+        let mut spec = spec_for("compress", "A", 4, 1000);
+        spec.bench = "nope".into();
+        assert!(compute(&spec, &mut cache)
+            .unwrap_err()
+            .contains("unknown benchmark"));
+        let mut spec = spec_for("compress", "A", 4, 1000);
+        spec.config = "Z".into();
+        assert!(compute(&spec, &mut cache)
+            .unwrap_err()
+            .contains("unknown config"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Loopback TCP integration tests: a real [`Coordinator`] serving real
+//! [`run_worker`] loops (in threads, not processes — the process-level
+//! SIGKILL drills live in the CLI's `dist.rs` tests) plus hand-rolled
+//! protocol clients playing misbehaving workers.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::thread;
+
+use ddsc_core::{simulate_prepared, PaperConfig, PreparedTrace, SimConfig};
+use ddsc_dist::proto::{read_coord_msg, write_worker_msg};
+use ddsc_dist::{
+    run_worker, CellSpec, CoordMsg, Coordinator, DistSinks, SchedOptions, WorkerMsg, WorkerOptions,
+};
+use ddsc_trace::io::write_trace;
+use ddsc_util::fnv1a;
+use ddsc_workloads::Benchmark;
+
+const SEED: u64 = 1996;
+
+fn bench(name: &str) -> Benchmark {
+    Benchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name() == name)
+        .expect("known benchmark")
+}
+
+/// A cell spec whose digest matches what a worker will recompute from
+/// its own trace bytes — the lab's `fnv1a(checksum ‖ label ‖ width)`.
+fn spec_for(bench_name: &str, config: &str, width: u32, len: u64) -> CellSpec {
+    let trace = bench(bench_name).trace(SEED, len as usize).unwrap();
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &trace).unwrap();
+    let mut ident = Vec::new();
+    ident.extend_from_slice(&fnv1a(&bytes).to_le_bytes());
+    ident.extend_from_slice(config.as_bytes());
+    ident.extend_from_slice(&width.to_le_bytes());
+    CellSpec {
+        bench: bench_name.into(),
+        config: config.into(),
+        width,
+        trace_len: len,
+        seed: SEED,
+        digest: fnv1a(&ident),
+    }
+}
+
+/// The canonical result bytes a local single-process run produces.
+fn local_body(spec: &CellSpec) -> Vec<u8> {
+    let trace = bench(&spec.bench)
+        .trace(spec.seed, spec.trace_len as usize)
+        .unwrap();
+    let prepared = PreparedTrace::build(&trace);
+    let config = PaperConfig::ALL
+        .iter()
+        .copied()
+        .find(|c| c.label() == spec.config)
+        .unwrap();
+    let result = simulate_prepared(&prepared, &SimConfig::paper(config, spec.width));
+    let mut body = Vec::new();
+    result.encode_to(&mut body);
+    body
+}
+
+fn collecting_run(
+    coord: Coordinator,
+    quarantines: &Mutex<Vec<(u64, String)>>,
+    merged: &Mutex<HashMap<u64, Vec<u8>>>,
+) -> ddsc_dist::DistReport {
+    let on_result = |spec: &CellSpec, result: &ddsc_core::SimResult, _seconds: f64| {
+        let mut body = Vec::new();
+        result.encode_to(&mut body);
+        merged.lock().unwrap().insert(spec.digest, body);
+    };
+    let on_quarantine = |spec: &CellSpec, error: &str| {
+        quarantines
+            .lock()
+            .unwrap()
+            .push((spec.digest, error.to_string()));
+    };
+    coord.run(&DistSinks {
+        on_result: &on_result,
+        on_quarantine: &on_quarantine,
+    })
+}
+
+#[test]
+fn worker_fleet_over_tcp_merges_byte_identical_grid() {
+    let mut specs = Vec::new();
+    for bench_name in ["compress", "li"] {
+        for config in ["A", "D"] {
+            for width in [4, 8] {
+                specs.push(spec_for(bench_name, config, width, 1500));
+            }
+        }
+    }
+    let expected: HashMap<u64, Vec<u8>> = specs.iter().map(|s| (s.digest, local_body(s))).collect();
+    let coord = Coordinator::bind("127.0.0.1:0", specs.clone(), SchedOptions::default()).unwrap();
+    let addr = coord.local_addr().to_string();
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            thread::spawn(move || run_worker(&WorkerOptions::new(addr)).unwrap())
+        })
+        .collect();
+    let merged = Mutex::new(HashMap::new());
+    let quarantines = Mutex::new(Vec::new());
+    let report = collecting_run(coord, &quarantines, &merged);
+    let summaries: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    assert_eq!(report.cells_completed, specs.len());
+    assert_eq!(report.cells_quarantined, 0);
+    assert_eq!(report.worker_deaths, 0);
+    assert!(quarantines.lock().unwrap().is_empty());
+    assert_eq!(
+        *merged.lock().unwrap(),
+        expected,
+        "merged grid must be byte-identical"
+    );
+    // Every worker saw the clean shutdown and together they did all the work.
+    assert!(summaries.iter().all(|s| s.all_done));
+    assert_eq!(
+        summaries.iter().map(|s| s.completed).sum::<u64>(),
+        specs.len() as u64
+    );
+    assert!(report.compute_seconds > 0.0 && report.wall_seconds > 0.0);
+}
+
+#[test]
+fn deserting_worker_dies_and_its_cell_is_redispatched() {
+    let specs = vec![spec_for("compress", "B", 4, 1200)];
+    let expected = local_body(&specs[0]);
+    let coord = Coordinator::bind("127.0.0.1:0", specs, SchedOptions::default()).unwrap();
+    let addr = coord.local_addr();
+    let merged = Mutex::new(HashMap::new());
+    let quarantines = Mutex::new(Vec::new());
+
+    let (report, leased, summary) = thread::scope(|s| {
+        let run = s.spawn(|| collecting_run(coord, &quarantines, &merged));
+
+        // A protocol-fluent deserter: takes the lease, then vanishes.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_worker_msg(
+            &mut stream,
+            &WorkerMsg::Hello {
+                worker_id: 0,
+                pid: 1,
+            },
+        )
+        .unwrap();
+        let Some(CoordMsg::Welcome { worker_id }) = read_coord_msg(&mut stream).unwrap() else {
+            panic!("expected Welcome");
+        };
+        write_worker_msg(&mut stream, &WorkerMsg::Request { worker_id }).unwrap();
+        let Some(CoordMsg::Assign(leased)) = read_coord_msg(&mut stream).unwrap() else {
+            panic!("expected Assign");
+        };
+        drop(stream); // the desertion
+
+        let addr = addr.to_string();
+        let honest = s.spawn(move || run_worker(&WorkerOptions::new(addr)).unwrap());
+        (run.join().unwrap(), leased, honest.join().unwrap())
+    });
+    assert_eq!(leased.bench, "compress");
+
+    assert_eq!(report.cells_completed, 1);
+    assert_eq!(
+        report.worker_deaths, 1,
+        "the deserter must be declared dead"
+    );
+    assert!(report.redispatched >= 1, "its lease must be re-dispatched");
+    assert_eq!(summary.completed, 1);
+    assert_eq!(merged.lock().unwrap().get(&leased.digest), Some(&expected));
+}
+
+#[test]
+fn corrupt_result_is_rejected_and_cell_still_completes() {
+    let specs = vec![spec_for("eqntott", "C", 8, 1200)];
+    let digest = specs[0].digest;
+    let expected = local_body(&specs[0]);
+    let opts = SchedOptions {
+        poison_threshold: 3, // one strike must not quarantine
+        ..SchedOptions::default()
+    };
+    let coord = Coordinator::bind("127.0.0.1:0", specs, opts).unwrap();
+    let addr = coord.local_addr();
+    let merged = Mutex::new(HashMap::new());
+    let quarantines = Mutex::new(Vec::new());
+
+    let report = thread::scope(|s| {
+        let run = s.spawn(|| collecting_run(coord, &quarantines, &merged));
+
+        // A liar: takes the lease, submits garbage bytes as the result.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_worker_msg(
+            &mut stream,
+            &WorkerMsg::Hello {
+                worker_id: 0,
+                pid: 2,
+            },
+        )
+        .unwrap();
+        let Some(CoordMsg::Welcome { worker_id }) = read_coord_msg(&mut stream).unwrap() else {
+            panic!("expected Welcome");
+        };
+        write_worker_msg(&mut stream, &WorkerMsg::Request { worker_id }).unwrap();
+        let Some(CoordMsg::Assign(spec)) = read_coord_msg(&mut stream).unwrap() else {
+            panic!("expected Assign");
+        };
+        write_worker_msg(
+            &mut stream,
+            &WorkerMsg::Result {
+                worker_id,
+                digest: spec.digest,
+                seconds_bits: 0.0f64.to_bits(),
+                body: b"not a simulation result".to_vec(),
+            },
+        )
+        .unwrap();
+        // The coordinator acknowledges receipt even of a rejected result.
+        assert!(matches!(
+            read_coord_msg(&mut stream).unwrap(),
+            Some(CoordMsg::Ack)
+        ));
+        drop(stream);
+
+        let addr = addr.to_string();
+        let honest = s.spawn(move || run_worker(&WorkerOptions::new(addr)).unwrap());
+        let report = run.join().unwrap();
+        honest.join().unwrap();
+        report
+    });
+
+    assert_eq!(report.cells_completed, 1);
+    assert_eq!(report.cells_quarantined, 0);
+    assert!(
+        report.corrupt_results >= 1,
+        "the garbage body must be counted"
+    );
+    assert_eq!(merged.lock().unwrap().get(&digest), Some(&expected));
+}

@@ -773,6 +773,72 @@ impl Lab {
         Arc::clone(cache.entry(cell).or_insert(result))
     }
 
+    /// Installs a cell result computed *outside* this process (a
+    /// distributed worker), through the same supervision path
+    /// [`Lab::result`] uses: the result is published to the cell store
+    /// before `CellFinished` is journaled, a [`CellTiming`] carrying the
+    /// worker-reported seconds is recorded, and the result lands in the
+    /// shared cache. Already-cached cells are left untouched (the first
+    /// result wins, as everywhere else in the lab).
+    pub fn install_result(&self, cell: Cell, result: SimResult, seconds: f64) {
+        if self.cached(&cell).is_some() {
+            return;
+        }
+        let (b, c, width) = cell;
+        self.timings
+            .lock()
+            .expect("lab timings poisoned")
+            .push(CellTiming {
+                benchmark: b,
+                label: c.label().to_string(),
+                width,
+                instructions: result.instructions,
+                seconds,
+                process_peak_rss_bytes: ddsc_util::peak_rss_bytes().unwrap_or(0),
+            });
+        if let Some(sup) = &self.supervision {
+            let digest = self.cell_digest(cell);
+            if let Err(e) = sup.store.save(digest, &result) {
+                eprintln!(
+                    "warning: could not store result of cell ({}, config {}, width {}): {e}",
+                    b.name(),
+                    c.label(),
+                    width
+                );
+            }
+            self.journal_append(&JournalRecord::CellFinished {
+                bench: b.name().to_string(),
+                config: c.label().to_string(),
+                width,
+                digest,
+            });
+        }
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        self.insert(cell, Arc::new(result));
+    }
+
+    /// Records a cell failure decided *outside* this process (a
+    /// distributed quarantine): journaled as `CellFailed` and visible to
+    /// [`Lab::outcome`] / [`Lab::failed_cells`] exactly like a locally
+    /// contained panic, so it feeds the same degraded-run contract.
+    pub fn install_failure(&self, cell: Cell, message: String) {
+        self.record_failure(cell, message);
+    }
+
+    /// The subset of `cells` that is neither cached nor recorded as
+    /// failed, deduplicated, in input order — the work a distributed run
+    /// still has to dispatch after a journal resume.
+    pub fn uncached_cells(&self, cells: &[Cell]) -> Vec<Cell> {
+        let cache = self.cache.read().expect("lab cache poisoned");
+        let failed = self.failed.read().expect("lab failure map poisoned");
+        let mut seen = HashSet::new();
+        cells
+            .iter()
+            .filter(|c| !cache.contains_key(*c) && !failed.contains_key(*c) && seen.insert(**c))
+            .copied()
+            .collect()
+    }
+
     /// Simulates (or returns the cached result of) one combination.
     ///
     /// # Panics
@@ -1035,10 +1101,14 @@ impl Lab {
     pub fn prewarm_degraded(&self, cells: &[Cell]) -> usize {
         let todo: Vec<Cell> = {
             let cache = self.cache.read().expect("lab cache poisoned");
+            let failed = self.failed.read().expect("lab failure map poisoned");
             let mut seen = HashSet::new();
+            // Cells with a recorded failure fail fast (matching
+            // `Lab::outcome`) instead of re-running — a distributed run
+            // quarantines poison cells before this prewarm sees them.
             cells
                 .iter()
-                .filter(|c| !cache.contains_key(*c) && seen.insert(**c))
+                .filter(|c| !cache.contains_key(*c) && !failed.contains_key(*c) && seen.insert(**c))
                 .copied()
                 .collect()
         };

@@ -109,6 +109,7 @@ pub fn run_full(args: &[String]) -> Result<RunOutput, Box<dyn Error>> {
         Some("loadtest") => loadtest_cmd(&collect(args)),
         Some("coordinator") => coordinator_cmd(&collect(args)),
         Some("worker") => worker_cmd(&collect(args)).map(RunOutput::complete),
+        Some("chaosproxy") => chaosproxy_cmd(&collect(args)).map(RunOutput::complete),
         Some(other) => Err(format!("unknown command `{other}` (try `ddsc help`)").into()),
     }
 }
@@ -167,12 +168,19 @@ USAGE:
                              [--abort-after-cells N]
                              [--distributed N] [--dist-addr HOST:PORT]
                              [--dist-port-file FILE] [--dist-json FILE]
-                             [--lease-timeout SECS]
+                             [--dist-via-file FILE]
+                             [--lease-timeout SECS] [--no-adaptive-lease]
                              [--heartbeat-timeout SECS]
                              [--poison-threshold K]
+                             [--spot-check PCT] [--spot-check-seed S]
+                             [--byzantine-workers K]
   ddsc coordinator [--workers N] [repro-all flags...]
   ddsc worker (--connect HOST:PORT | --connect-file FILE)
               [--heartbeat-ms MS] [--reconnect-attempts N]
+  ddsc chaosproxy (--upstream HOST:PORT | --upstream-file FILE)
+                  [--listen HOST:PORT] [--port-file FILE] [--seed S]
+                  [--events N] [--min-gap B] [--max-gap B]
+                  [--print-script N]
   ddsc journal FILE
   ddsc serve [--addr HOST:PORT] [--workers N] [--queue-depth K]
              [--cell-timeout SECS] [--run-dir DIR] [--fresh]
@@ -261,6 +269,31 @@ results/BENCH_dist.json). `ddsc coordinator` is shorthand for
 until the coordinator publishes its address) joins any coordinator,
 exiting 0 when told the grid is done or the coordinator stays
 unreachable past its reconnect budget.
+
+The coordinator verifies its fleet: --spot-check PCT (default 10)
+dispatches a seeded, deterministic PCT% of cells to two distinct
+workers and compares the canonical result bytes — a mismatch holds
+both answers, re-dispatches to a third worker as tiebreak, and bans
+the outvoted worker for the run (its leases drain, its results are
+ignored, reconnection is refused). Lease timeouts adapt online from
+per-benchmark compute-time estimates (EWMA + p95); --lease-timeout
+SECS is both the pre-estimate fallback and a floor the estimator
+never undercuts, and --no-adaptive-lease pins timeouts to the flag.
+Spot-check counters, per-benchmark lease stats and mismatch
+incidents land in --dist-json (schema ddsc-dist-bench-v2).
+
+`ddsc chaosproxy` interposes a deterministic fault box between
+workers and a coordinator (or any loopback TCP service): each
+connection suffers a --seed-scripted sequence of delays, dropped and
+duplicated bytes, bit-flips, truncations and mid-stream resets, the
+same every run. --upstream-file polls the coordinator's
+--dist-port-file; --port-file publishes the proxy's own address for
+workers' --connect-file; --print-script N renders the first N
+connections' scripts and exits. `repro all --distributed N
+--dist-via-file FILE` starts local workers against the proxy's
+address file instead of the coordinator, and --byzantine-workers K
+makes the first K spawned workers lie (well-formed, perturbed
+results) so trust drills have an adversary to catch.
 "
     .to_string()
 }
@@ -727,7 +760,10 @@ fn distributed_prewarm(lab: &Lab, args: &[&str], nworkers: usize) -> Result<(), 
         .collect();
     let mut opts = SchedOptions::default();
     if let Some(v) = flag_value(args, "--lease-timeout") {
+        // The fixed flag doubles as the adaptive floor: an explicit
+        // operator timeout is never shortened by the estimator.
         opts.lease_timeout = Duration::from_secs_f64(v.parse()?);
+        opts.lease_floor = opts.lease_timeout;
     }
     if let Some(v) = flag_value(args, "--heartbeat-timeout") {
         opts.heartbeat_timeout = Duration::from_secs_f64(v.parse()?);
@@ -735,6 +771,11 @@ fn distributed_prewarm(lab: &Lab, args: &[&str], nworkers: usize) -> Result<(), 
     if let Some(v) = flag_value(args, "--poison-threshold") {
         opts.poison_threshold = v.parse()?;
     }
+    if args.contains(&"--no-adaptive-lease") {
+        opts.adaptive_lease = false;
+    }
+    opts.spot_check_percent = parse_num(args, "--spot-check", 10u8)?.min(100);
+    opts.spot_check_seed = parse_num(args, "--spot-check-seed", opts.spot_check_seed)?;
     let coord = Coordinator::bind(
         flag_value(args, "--dist-addr").unwrap_or("127.0.0.1:0"),
         specs,
@@ -749,13 +790,22 @@ fn distributed_prewarm(lab: &Lab, args: &[&str], nworkers: usize) -> Result<(), 
         publish_atomic(Path::new(path), addr.to_string().as_bytes())?;
     }
     let exe = std::env::current_exe()?;
+    let byzantine_workers: usize = parse_num(args, "--byzantine-workers", 0)?;
     let mut children = Vec::new();
-    for _ in 0..nworkers {
-        children.push(
-            std::process::Command::new(&exe)
-                .args(["worker", "--connect", &addr.to_string()])
-                .spawn()?,
-        );
+    for i in 0..nworkers {
+        let mut cmd = std::process::Command::new(&exe);
+        // --dist-via-file routes local workers through an address file
+        // (typically published by `ddsc chaosproxy`) instead of the
+        // coordinator's own socket, so chaos drills interpose on every
+        // worker byte without the workers knowing.
+        match flag_value(args, "--dist-via-file") {
+            Some(path) => cmd.args(["worker", "--connect-file", path]),
+            None => cmd.args(["worker", "--connect", &addr.to_string()]),
+        };
+        if i < byzantine_workers {
+            cmd.arg("--byzantine");
+        }
+        children.push(cmd.spawn()?);
     }
     // --abort-after-cells counts *merged* cells here: run_cell never
     // fires in a distributed prewarm, so the lab's own abort hook would
@@ -811,6 +861,18 @@ fn distributed_prewarm(lab: &Lab, args: &[&str], nworkers: usize) -> Result<(), 
         report.worker_deaths,
         report.speedup_vs_serial(),
     );
+    if report.spot_checked > 0 || report.mismatches > 0 || !report.byzantine_workers.is_empty() {
+        eprintln!(
+            "distributed: {} cells spot-checked, {} mismatches, \
+             {} byzantine workers banned ({:?}), \
+             {} revocation false positives",
+            report.spot_checked,
+            report.mismatches,
+            report.byzantine_workers.len(),
+            report.byzantine_workers,
+            report.revocation_false_positives,
+        );
+    }
     Ok(())
 }
 
@@ -859,6 +921,10 @@ fn worker_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
     if let Some(n) = flag_value(args, "--reconnect-attempts") {
         opts.reconnect_attempts = n.parse()?;
     }
+    // Hidden test mode (documented in DESIGN.md §8.2, not in usage):
+    // compute honestly, then perturb the cycle count before reporting.
+    // Exists so trust drills have a live adversary to catch.
+    opts.byzantine = args.contains(&"--byzantine");
     let summary = run_worker(&opts)?;
     Ok(format!(
         "worker {}: {} cells completed, {} failed{}\n",
@@ -870,6 +936,100 @@ fn worker_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
         } else {
             " (coordinator gone)"
         }
+    ))
+}
+
+/// `ddsc chaosproxy` — a deterministic network-chaos proxy for
+/// loopback TCP. Every connection through it suffers a seeded script
+/// of delays, drops, bit-flips, duplicated bytes, truncations and
+/// mid-stream resets; the same `--seed` always produces the same
+/// per-connection scripts, so a chaos drill that fails in CI replays
+/// bit-identically on a laptop. Runs until killed.
+fn chaosproxy_cmd(args: &[&str]) -> Result<String, Box<dyn Error>> {
+    use ddsc_dist::{chaos, ChaosOptions, Direction};
+
+    let mut opts = ChaosOptions::default();
+    if let Some(v) = flag_value(args, "--seed") {
+        opts.seed = v.parse()?;
+    }
+    if let Some(v) = flag_value(args, "--events") {
+        opts.events_per_conn = v.parse()?;
+    }
+    if let Some(v) = flag_value(args, "--min-gap") {
+        opts.min_gap = v.parse()?;
+    }
+    if let Some(v) = flag_value(args, "--max-gap") {
+        opts.max_gap = v.parse()?;
+    }
+    if opts.min_gap > opts.max_gap {
+        return Err("--min-gap must not exceed --max-gap".into());
+    }
+
+    // Dry run: render the first N connections' fault scripts (both
+    // directions) without touching the network — the reviewable artifact
+    // form of "what will this seed do to me".
+    if let Some(n) = flag_value(args, "--print-script") {
+        let n: u64 = n.parse()?;
+        let mut out = String::new();
+        for conn in 0..n {
+            for dir in [Direction::Upstream, Direction::Downstream] {
+                let plan = chaos::script(&opts, conn, dir);
+                let _ = writeln!(out, "# conn {conn} {dir:?}");
+                out.push_str(&plan.render());
+            }
+        }
+        return Ok(out);
+    }
+
+    let upstream = match (
+        flag_value(args, "--upstream"),
+        flag_value(args, "--upstream-file"),
+    ) {
+        (Some(addr), None) => addr.to_string(),
+        (None, Some(path)) => {
+            // The coordinator publishes its address atomically; poll so
+            // the proxy can be started before (or alongside) it.
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            loop {
+                match std::fs::read_to_string(path) {
+                    Ok(s) if !s.trim().is_empty() => break s.trim().to_string(),
+                    _ if std::time::Instant::now() > deadline => {
+                        return Err(format!("no upstream address in {path} after 30 s").into());
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        }
+        _ => {
+            return Err(
+                "chaosproxy needs exactly one of --upstream ADDR or --upstream-file FILE".into(),
+            )
+        }
+    };
+    let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:0");
+    let proxy = ddsc_dist::ChaosProxy::bind(listen, upstream, opts)?;
+    let addr = proxy.local_addr();
+    // Publish the bound address exactly like the coordinator does, so
+    // workers can `--connect-file` the proxy instead of the real thing.
+    if let Some(path) = flag_value(args, "--port-file") {
+        publish_atomic(Path::new(path), addr.to_string().as_bytes())?;
+    }
+    println!("{addr}");
+    {
+        use std::io::Write as _;
+        std::io::stdout().flush()?;
+    }
+    let summary = proxy.run();
+    Ok(format!(
+        "chaosproxy: {} connections; {} delays, {} drops, {} bit-flips, \
+         {} duplications, {} truncations, {} resets\n",
+        summary.connections,
+        summary.delays,
+        summary.drops,
+        summary.flips,
+        summary.duplicates,
+        summary.truncations,
+        summary.resets,
     ))
 }
 

@@ -18,9 +18,12 @@
 //! - a cell struck by `poison_threshold` *distinct* workers is
 //!   **quarantined** — recorded as failed (the exit-2 degraded
 //!   contract) instead of wedging the run;
-//! - a lease older than `lease_timeout` is revoked and its cell
-//!   re-enqueued (deadline re-dispatch); an idle worker may also
-//!   duplicate a lease older than half the timeout (**straggler
+//! - every lease carries a **deadline fixed at dispatch time**
+//!   (adaptive: per-benchmark EWMA + p95 of observed compute times,
+//!   with the fixed `lease_timeout` as fallback and floor — see
+//!   [`estimate`](crate::estimate)); an expired lease is revoked and
+//!   its cell re-enqueued (deadline re-dispatch); an idle worker may
+//!   also duplicate a lease past half its deadline (**straggler
 //!   re-dispatch** / work stealing) — the first valid result wins and
 //!   late duplicates are discarded by digest, which is safe because
 //!   simulation is a pure function of the digest-keyed inputs: every
@@ -33,6 +36,18 @@
 //! (instructions match the requested trace length, cycles bounded
 //! below by the issue-width limit). A rejected result strikes the
 //! sending worker and re-dispatches the cell — it is never merged.
+//!
+//! Structural validation cannot catch a **byzantine** worker emitting
+//! well-formed but wrong counters, so the scheduler adds
+//! **double-compute spot checks**: a seeded, deterministic K% of cells
+//! require the same canonical bytes from two *distinct* workers before
+//! merging. On a byte mismatch both candidates' pending trust is
+//! quarantined (their other leases are revoked, their future results
+//! are held for verification), the cell is re-dispatched to a third
+//! worker as tiebreak, and the minority side of the vote is marked
+//! byzantine — its leases drain, its results are discarded, and a
+//! reconnect under the same identity is refused for the rest of the
+//! run. Each incident lands in `BENCH_dist.json`.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt::Write as _;
@@ -43,13 +58,20 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ddsc_core::{PaperConfig, SimConfig, SimResult};
+use ddsc_util::fnv1a;
 
+use crate::estimate::{ComputeEstimator, LeaseStat};
 use crate::proto::{read_worker_msg, write_coord_msg, CellSpec, CoordMsg, WireError, WorkerMsg};
+
+/// Distinct result bodies a spot-checked cell may accumulate before
+/// the conflict is declared unresolvable and the cell quarantined.
+const MAX_CANDIDATES: usize = 4;
 
 /// Tunables of the scheduler's failure model.
 #[derive(Debug, Clone, Copy)]
 pub struct SchedOptions {
-    /// Age at which a lease is revoked and its cell re-enqueued.
+    /// Fixed lease timeout: the deadline granted before enough compute
+    /// samples exist, and the fallback when `adaptive_lease` is off.
     pub lease_timeout: Duration,
     /// Silence after which a worker is declared dead.
     pub heartbeat_timeout: Duration,
@@ -58,6 +80,17 @@ pub struct SchedOptions {
     pub poison_threshold: usize,
     /// Poll delay suggested to workers when nothing is dispatchable.
     pub idle_wait_ms: u32,
+    /// Derive lease deadlines from observed per-benchmark compute
+    /// times (EWMA + p95) instead of the fixed `lease_timeout`.
+    pub adaptive_lease: bool,
+    /// Hard floor under adaptive deadlines: the estimate never revokes
+    /// a lease younger than this.
+    pub lease_floor: Duration,
+    /// Percentage of cells (seeded, deterministic selection) that must
+    /// be confirmed by a second, distinct worker before merging.
+    pub spot_check_percent: u8,
+    /// Seed for the deterministic spot-check selection.
+    pub spot_check_seed: u64,
 }
 
 impl Default for SchedOptions {
@@ -67,8 +100,28 @@ impl Default for SchedOptions {
             heartbeat_timeout: Duration::from_secs(10),
             poison_threshold: 3,
             idle_wait_ms: 50,
+            adaptive_lease: true,
+            lease_floor: Duration::from_secs(1),
+            spot_check_percent: 0,
+            spot_check_seed: 0xDD5C,
         }
     }
+}
+
+/// Whether `digest`'s cell is spot-checked under `seed`/`percent`: a
+/// pure function, so the selection is identical across coordinator
+/// restarts and reproducible from the seed alone.
+pub fn spot_selected(seed: u64, digest: u64, percent: u8) -> bool {
+    if percent == 0 {
+        return false;
+    }
+    if percent >= 100 {
+        return true;
+    }
+    let mut key = [0u8; 16];
+    key[..8].copy_from_slice(&seed.to_le_bytes());
+    key[8..].copy_from_slice(&digest.to_le_bytes());
+    fnv1a(&key) % 100 < percent as u64
 }
 
 /// What a worker's work request yields.
@@ -119,6 +172,10 @@ pub enum Ingest {
     },
     /// A failure was recorded and the cell re-dispatched.
     Recorded,
+    /// A valid result for a spot-checked cell was recorded as a
+    /// candidate; the merge waits for a confirming byte-identical
+    /// result from a distinct worker.
+    HeldForVerification,
     /// No cell with that digest exists in this run.
     Unknown,
 }
@@ -131,6 +188,14 @@ enum CellState {
     Quarantined,
 }
 
+/// One held result body on a spot-checked cell, awaiting confirmation.
+#[derive(Debug)]
+struct Candidate {
+    worker: u64,
+    body: Vec<u8>,
+    seconds: f64,
+}
+
 #[derive(Debug)]
 struct CellEntry {
     spec: CellSpec,
@@ -139,6 +204,18 @@ struct CellEntry {
     strikes: HashSet<u64>,
     /// Outstanding leases on this cell (0, 1 or 2 — duplicates capped).
     active_leases: usize,
+    /// Whether merging requires two distinct workers to agree on the
+    /// canonical bytes (seeded selection, or escalated because a
+    /// suspect worker submitted first).
+    spot_check: bool,
+    /// Held result bodies, one per distinct submitting worker.
+    candidates: Vec<Candidate>,
+    /// Workers whose body is (or was) on file for this cell — they may
+    /// not confirm their own computation.
+    verifiers: HashSet<u64>,
+    /// When the first candidate disagreement was observed, for the
+    /// unresolvable-conflict quarantine clock.
+    mismatch_since: Option<Instant>,
 }
 
 #[derive(Debug)]
@@ -146,6 +223,9 @@ struct Lease {
     cell: usize,
     worker: u64,
     since: Instant,
+    /// Revocation deadline fixed at dispatch time — later estimate
+    /// changes never retro-extend (or retro-shrink) a granted lease.
+    deadline: Instant,
 }
 
 #[derive(Debug)]
@@ -153,6 +233,13 @@ struct WorkerInfo {
     last_seen: Instant,
     alive: bool,
     completed: u64,
+    /// Trust on hold: this worker was party to an unresolved
+    /// spot-check mismatch. Its results are held for verification
+    /// until a consensus exonerates it.
+    suspect: bool,
+    /// Lost the spot-check vote: leases drained, results discarded,
+    /// reconnect refused for the rest of the run.
+    banned: bool,
 }
 
 /// Per-worker slice of the run report.
@@ -164,6 +251,29 @@ pub struct WorkerReport {
     pub cells: u64,
     /// Whether the worker was still alive at the end of the run.
     pub alive: bool,
+    /// Whether the worker was marked byzantine (lost a spot-check
+    /// vote) and drained from the run.
+    pub byzantine: bool,
+}
+
+/// One spot-check mismatch, as recorded in `BENCH_dist.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MismatchIncident {
+    /// The contested cell's digest.
+    pub digest: u64,
+    /// The contested cell's benchmark.
+    pub bench: String,
+    /// The contested cell's config label.
+    pub config: String,
+    /// The contested cell's issue width.
+    pub width: u32,
+    /// Candidate submitters, in submission order.
+    pub workers: Vec<u64>,
+    /// The minority side of the resolved vote (empty if unresolved).
+    pub byzantine: Vec<u64>,
+    /// Whether a tiebreak consensus settled the cell (false: the cell
+    /// was quarantined with the conflict undecided).
+    pub resolved: bool,
 }
 
 /// The distributed run's outcome counters (`BENCH_dist.json`).
@@ -185,6 +295,28 @@ pub struct DistReport {
     /// Workers declared dead (connection loss or heartbeat silence
     /// while holding a lease).
     pub worker_deaths: u64,
+    /// Cells merged only after a second distinct worker confirmed the
+    /// canonical bytes.
+    pub spot_checked: u64,
+    /// Spot-check byte mismatches observed (each one is a byzantine
+    /// incident; see `incidents`).
+    pub mismatches: u64,
+    /// Workers marked byzantine and drained from the run, in ban order.
+    pub byzantine_workers: Vec<u64>,
+    /// Revoked leases whose worker later delivered a valid result
+    /// after genuinely computing for the whole allotment — the
+    /// deadline was too tight (adaptive-timeout quality signal; a
+    /// fast result merely *delivered* late counts against the
+    /// network, not the estimator).
+    pub revocation_false_positives: u64,
+    /// Whether lease deadlines were derived from observed compute
+    /// times.
+    pub adaptive_lease: bool,
+    /// Per-benchmark observed compute percentiles and the lease
+    /// timeout in force.
+    pub lease_stats: Vec<LeaseStat>,
+    /// Spot-check mismatch incidents, in detection order.
+    pub incidents: Vec<MismatchIncident>,
     /// Per-worker completion counts.
     pub workers: Vec<WorkerReport>,
     /// Sum of worker-reported per-cell compute seconds — the serial
@@ -205,11 +337,17 @@ impl DistReport {
         }
     }
 
-    /// Renders the report as stable JSON (`ddsc-dist-bench-v1`).
+    /// Renders the report as stable JSON (`ddsc-dist-bench-v2`; every
+    /// v1 field is unchanged, v2 appends the trust and adaptive-lease
+    /// accounting).
     pub fn to_json(&self) -> String {
+        fn ids(ids: &[u64]) -> String {
+            let inner: Vec<String> = ids.iter().map(|id| id.to_string()).collect();
+            format!("[{}]", inner.join(", "))
+        }
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"ddsc-dist-bench-v1\",");
+        let _ = writeln!(out, "  \"schema\": \"ddsc-dist-bench-v2\",");
         let _ = writeln!(out, "  \"cells_total\": {},", self.cells_total);
         let _ = writeln!(out, "  \"cells_completed\": {},", self.cells_completed);
         let _ = writeln!(out, "  \"cells_quarantined\": {},", self.cells_quarantined);
@@ -217,6 +355,19 @@ impl DistReport {
         let _ = writeln!(out, "  \"duplicate_results\": {},", self.duplicate_results);
         let _ = writeln!(out, "  \"corrupt_results\": {},", self.corrupt_results);
         let _ = writeln!(out, "  \"worker_deaths\": {},", self.worker_deaths);
+        let _ = writeln!(out, "  \"spot_checked\": {},", self.spot_checked);
+        let _ = writeln!(out, "  \"mismatches\": {},", self.mismatches);
+        let _ = writeln!(
+            out,
+            "  \"byzantine_workers\": {},",
+            ids(&self.byzantine_workers)
+        );
+        let _ = writeln!(
+            out,
+            "  \"revocation_false_positives\": {},",
+            self.revocation_false_positives
+        );
+        let _ = writeln!(out, "  \"adaptive_lease\": {},", self.adaptive_lease);
         let _ = writeln!(out, "  \"compute_seconds\": {:.6},", self.compute_seconds);
         let _ = writeln!(out, "  \"wall_seconds\": {:.6},", self.wall_seconds);
         let _ = writeln!(
@@ -224,14 +375,45 @@ impl DistReport {
             "  \"speedup_vs_serial\": {:.4},",
             self.speedup_vs_serial()
         );
+        let _ = writeln!(out, "  \"lease_stats\": [");
+        for (i, s) in self.lease_stats.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"bench\": \"{}\", \"samples\": {}, \"p50_s\": {:.6}, \"p95_s\": {:.6}, \"timeout_s\": {:.3}}}{}",
+                s.bench,
+                s.samples,
+                s.p50_s,
+                s.p95_s,
+                s.timeout_s,
+                if i + 1 < self.lease_stats.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"incidents\": [");
+        for (i, inc) in self.incidents.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"digest\": \"0x{:016x}\", \"bench\": \"{}\", \"config\": \"{}\", \"width\": {}, \"workers\": {}, \"byzantine\": {}, \"resolved\": {}}}{}",
+                inc.digest,
+                inc.bench,
+                inc.config,
+                inc.width,
+                ids(&inc.workers),
+                ids(&inc.byzantine),
+                inc.resolved,
+                if i + 1 < self.incidents.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ],");
         let _ = writeln!(out, "  \"workers\": [");
         for (i, w) in self.workers.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "    {{\"id\": {}, \"cells\": {}, \"alive\": {}}}{}",
+                "    {{\"id\": {}, \"cells\": {}, \"alive\": {}, \"byzantine\": {}}}{}",
                 w.id,
                 w.cells,
                 w.alive,
+                w.byzantine,
                 if i + 1 < self.workers.len() { "," } else { "" }
             );
         }
@@ -295,6 +477,7 @@ pub struct Scheduler {
     workers: HashMap<u64, WorkerInfo>,
     next_worker_id: u64,
     opts: SchedOptions,
+    estimator: ComputeEstimator,
     done: usize,
     quarantined: usize,
     redispatched: u64,
@@ -302,6 +485,18 @@ pub struct Scheduler {
     corrupt_results: u64,
     worker_deaths: u64,
     compute_seconds: f64,
+    spot_checked: u64,
+    mismatches: u64,
+    byzantine: Vec<u64>,
+    /// (digest, worker) pairs whose lease was revoked at deadline,
+    /// with the lease's allotted duration. A later valid delivery
+    /// whose reported compute time filled the allotment is a
+    /// revocation false positive — the estimator under-budgeted. A
+    /// *fast* result arriving late was delayed in transit; that is
+    /// the network's fault, not the deadline's, and does not count.
+    revoked: HashMap<(u64, u64), Duration>,
+    revocation_false_positives: u64,
+    incidents: Vec<MismatchIncident>,
 }
 
 impl Scheduler {
@@ -310,11 +505,19 @@ impl Scheduler {
         let mut by_digest = HashMap::with_capacity(cells.len());
         let entries: Vec<CellEntry> = cells
             .into_iter()
-            .map(|spec| CellEntry {
-                spec,
-                state: CellState::Pending,
-                strikes: HashSet::new(),
-                active_leases: 0,
+            .map(|spec| {
+                let spot_check =
+                    spot_selected(opts.spot_check_seed, spec.digest, opts.spot_check_percent);
+                CellEntry {
+                    spec,
+                    state: CellState::Pending,
+                    strikes: HashSet::new(),
+                    active_leases: 0,
+                    spot_check,
+                    candidates: Vec::new(),
+                    verifiers: HashSet::new(),
+                    mismatch_since: None,
+                }
             })
             .collect();
         for (i, e) in entries.iter().enumerate() {
@@ -329,6 +532,7 @@ impl Scheduler {
             workers: HashMap::new(),
             next_worker_id: 1,
             opts,
+            estimator: ComputeEstimator::new(),
             done: 0,
             quarantined: 0,
             redispatched: 0,
@@ -336,16 +540,25 @@ impl Scheduler {
             corrupt_results: 0,
             worker_deaths: 0,
             compute_seconds: 0.0,
+            spot_checked: 0,
+            mismatches: 0,
+            byzantine: Vec::new(),
+            revoked: HashMap::new(),
+            revocation_false_positives: 0,
+            incidents: Vec::new(),
         }
     }
 
     /// Registers (or revives) a worker. `want_id` 0 — or an id this
     /// scheduler never issued — yields a fresh identity; a known id
     /// reconnects with its history (completion counts, strikes against
-    /// it) intact.
+    /// it, and any byzantine ban) intact.
     pub fn register(&mut self, want_id: u64, now: Instant) -> u64 {
         if want_id != 0 {
             if let Some(info) = self.workers.get_mut(&want_id) {
+                // A banned identity stays banned: the reconnect is
+                // answered, but every work request it makes gets
+                // `AllDone` — refused for the rest of the run.
                 info.alive = true;
                 info.last_seen = now;
                 return want_id;
@@ -359,9 +572,114 @@ impl Scheduler {
                 last_seen: now,
                 alive: true,
                 completed: 0,
+                suspect: false,
+                banned: false,
             },
         );
         id
+    }
+
+    /// Whether `worker` has been marked byzantine.
+    pub fn is_banned(&self, worker: u64) -> bool {
+        self.workers.get(&worker).is_some_and(|i| i.banned)
+    }
+
+    /// The lease timeout a fresh lease on `ci` would get right now.
+    fn cell_timeout(&self, ci: usize) -> Duration {
+        if !self.opts.adaptive_lease {
+            return self.opts.lease_timeout;
+        }
+        self.estimator.timeout_for(
+            &self.cells[ci].spec.bench,
+            self.opts.lease_timeout,
+            self.opts.lease_floor,
+        )
+    }
+
+    /// Whether any alive, non-banned worker other than `exclude`
+    /// exists — the guard for single-worker liveness fallbacks.
+    fn other_live_worker(&self, exclude: u64) -> bool {
+        self.workers
+            .iter()
+            .any(|(&id, info)| id != exclude && info.alive && !info.banned)
+    }
+
+    /// Whether some alive, non-banned worker that has *not* yet
+    /// submitted a body for `ci` exists to confirm or tiebreak it.
+    fn eligible_verifier_exists(&self, ci: usize) -> bool {
+        self.workers.iter().any(|(&id, info)| {
+            info.alive && !info.banned && !self.cells[ci].verifiers.contains(&id)
+        })
+    }
+
+    /// Re-enqueues `ci` at the front of the queue unless it is already
+    /// pending, settled, or still leased elsewhere.
+    fn ensure_dispatchable(&mut self, ci: usize) {
+        let entry = &mut self.cells[ci];
+        if entry.state == CellState::Leased && entry.active_leases == 0 {
+            entry.state = CellState::Pending;
+            self.pending.push_front(ci);
+            self.redispatched += 1;
+        }
+    }
+
+    /// Puts a worker's trust on hold after a spot-check mismatch: its
+    /// in-flight leases are revoked (the cells re-dispatch to workers
+    /// still in good standing) and its future results are held for
+    /// verification until a consensus exonerates it.
+    fn mark_suspect(&mut self, worker: u64) {
+        if let Some(info) = self.workers.get_mut(&worker) {
+            if info.banned || info.suspect {
+                return;
+            }
+            info.suspect = true;
+        } else {
+            return;
+        }
+        self.drain_leases(worker);
+    }
+
+    /// Marks a worker byzantine: leases drained, results discarded,
+    /// reconnects refused, and its held candidates on other cells
+    /// purged (they are known-bad).
+    fn mark_byzantine(&mut self, worker: u64) {
+        if let Some(info) = self.workers.get_mut(&worker) {
+            if info.banned {
+                return;
+            }
+            info.banned = true;
+            info.suspect = false;
+        } else {
+            return;
+        }
+        self.byzantine.push(worker);
+        self.drain_leases(worker);
+        for ci in 0..self.cells.len() {
+            let entry = &mut self.cells[ci];
+            if matches!(entry.state, CellState::Done | CellState::Quarantined) {
+                continue;
+            }
+            entry.candidates.retain(|c| c.worker != worker);
+            if entry.candidates.len() < 2 {
+                entry.mismatch_since = None;
+            }
+        }
+    }
+
+    /// Revokes every lease `worker` holds and re-dispatches the cells.
+    /// Not a death: the worker may still be connected.
+    fn drain_leases(&mut self, worker: u64) {
+        let held: Vec<usize> = self
+            .leases
+            .iter()
+            .filter(|l| l.worker == worker)
+            .map(|l| l.cell)
+            .collect();
+        self.leases.retain(|l| l.worker != worker);
+        for ci in held {
+            self.cells[ci].active_leases = self.cells[ci].active_leases.saturating_sub(1);
+            self.ensure_dispatchable(ci);
+        }
     }
 
     fn touch(&mut self, worker: u64, now: Instant) {
@@ -469,19 +787,24 @@ impl Scheduler {
         for w in silent {
             quarantines.extend(self.kill_worker(w, "heartbeat timeout"));
         }
-        // Deadline re-dispatch: revoke expired leases. The straggler
-        // may still deliver — its late result is merged if first,
-        // discarded as a duplicate otherwise.
-        let lease_timeout = self.opts.lease_timeout;
+        // Deadline re-dispatch: revoke expired leases against the
+        // deadline fixed when each lease was granted — an estimate
+        // that moved since never retro-extends an already-expired
+        // lease. The straggler may still deliver; if its result is
+        // valid the revocation is counted as a false positive.
         let expired: Vec<usize> = self
             .leases
             .iter()
             .enumerate()
-            .filter(|(_, l)| now.duration_since(l.since) >= lease_timeout)
+            .filter(|(_, l)| now >= l.deadline)
             .map(|(i, _)| i)
             .collect();
         for i in expired.into_iter().rev() {
             let lease = self.leases.swap_remove(i);
+            self.revoked.insert(
+                (self.cells[lease.cell].spec.digest, lease.worker),
+                lease.deadline.duration_since(lease.since),
+            );
             let entry = &mut self.cells[lease.cell];
             entry.active_leases = entry.active_leases.saturating_sub(1);
             if entry.state == CellState::Leased && entry.active_leases == 0 {
@@ -490,34 +813,120 @@ impl Scheduler {
                 self.redispatched += 1;
             }
         }
+        // A mismatched spot-check needs a worker that has not yet
+        // weighed in to tiebreak it. If no such worker exists and none
+        // has shown up within the fixed lease window, the conflict is
+        // undecidable (e.g. a 1-vs-1 fleet) — quarantine instead of
+        // wedging the run.
+        let stuck: Vec<usize> = (0..self.cells.len())
+            .filter(|&ci| {
+                let entry = &self.cells[ci];
+                !matches!(entry.state, CellState::Done | CellState::Quarantined)
+                    && entry.candidates.len() >= 2
+                    && entry
+                        .mismatch_since
+                        .is_some_and(|t| now.duration_since(t) >= self.opts.lease_timeout)
+                    && !self.eligible_verifier_exists(ci)
+            })
+            .collect();
+        for ci in stuck {
+            quarantines.push(self.quarantine_unresolved(ci));
+        }
         quarantines
     }
 
-    /// Answers a worker's work request: the next pending cell, a
-    /// straggler duplicate to steal, or idle/done.
+    /// Quarantines a spot-checked cell whose candidate conflict cannot
+    /// be resolved, recording the incident as unresolved.
+    fn quarantine_unresolved(&mut self, ci: usize) -> (CellSpec, String) {
+        let entry = &mut self.cells[ci];
+        let workers: Vec<u64> = entry.candidates.iter().map(|c| c.worker).collect();
+        entry.state = CellState::Quarantined;
+        entry.active_leases = 0;
+        self.quarantined += 1;
+        self.leases.retain(|l| l.cell != ci);
+        let spec = self.cells[ci].spec.clone();
+        let error = format!(
+            "spot-check mismatch unresolved: {} distinct result bodies from workers {workers:?}, no eligible tiebreak worker",
+            self.cells[ci].candidates.len()
+        );
+        self.incidents.push(MismatchIncident {
+            digest: spec.digest,
+            bench: spec.bench.clone(),
+            config: spec.config.clone(),
+            width: spec.width,
+            workers,
+            byzantine: Vec::new(),
+            resolved: false,
+        });
+        (spec, error)
+    }
+
+    /// Grants `worker` a lease on `ci`, with the deadline fixed now.
+    fn grant(&mut self, ci: usize, worker: u64, now: Instant) -> Assignment {
+        let timeout = self.cell_timeout(ci);
+        self.cells[ci].state = CellState::Leased;
+        self.cells[ci].active_leases += 1;
+        self.leases.push(Lease {
+            cell: ci,
+            worker,
+            since: now,
+            deadline: now + timeout,
+        });
+        Assignment::Cell(self.cells[ci].spec.clone())
+    }
+
+    /// Answers a worker's work request: the next pending cell it is
+    /// eligible for, a straggler duplicate to steal, or idle/done.
     pub fn next_assignment(&mut self, worker: u64, now: Instant) -> Assignment {
         self.touch(worker, now);
+        if self.is_banned(worker) {
+            // A byzantine worker is drained from the run: telling it
+            // the grid is done makes it exit cleanly, and a reconnect
+            // under the same identity lands right back here.
+            return Assignment::AllDone;
+        }
         if self.is_complete() {
             return Assignment::AllDone;
         }
+        // The next pending cell this worker may take — it must not
+        // confirm its own spot-check candidate, so cells it already
+        // submitted a body for are skipped (preserving their order).
+        let mut skipped: Vec<usize> = Vec::new();
+        let mut chosen: Option<usize> = None;
         while let Some(ci) = self.pending.pop_front() {
             if self.cells[ci].state != CellState::Pending {
                 continue; // stale queue entry (completed or quarantined meanwhile)
             }
-            self.cells[ci].state = CellState::Leased;
-            self.cells[ci].active_leases += 1;
-            self.leases.push(Lease {
-                cell: ci,
-                worker,
-                since: now,
-            });
-            return Assignment::Cell(self.cells[ci].spec.clone());
+            if self.cells[ci].verifiers.contains(&worker) {
+                skipped.push(ci);
+                continue;
+            }
+            chosen = Some(ci);
+            break;
+        }
+        for ci in skipped.into_iter().rev() {
+            self.pending.push_front(ci);
+        }
+        // Liveness fallback: if this worker is the whole fleet,
+        // insisting on a distinct confirmer would wedge the run — let
+        // it re-compute its own cell (degenerate self-confirmation;
+        // mismatched cells still refuse to resolve this way).
+        if chosen.is_none() && !self.other_live_worker(worker) {
+            if let Some(pos) = self
+                .pending
+                .iter()
+                .position(|&ci| self.cells[ci].state == CellState::Pending)
+            {
+                chosen = self.pending.remove(pos);
+            }
+        }
+        if let Some(ci) = chosen {
+            return self.grant(ci, worker, now);
         }
         // Straggler re-dispatch: duplicate the oldest single-leased
         // cell another worker has been sitting on for more than half
-        // the lease timeout. First valid result wins; the duplicate is
-        // capped at two leases so a slow grid tail cannot stampede.
-        let steal_after = self.opts.lease_timeout / 2;
+        // its lease deadline. First valid result wins; the duplicate
+        // is capped at two leases so a slow grid tail cannot stampede.
         let candidate = self
             .leases
             .iter()
@@ -525,19 +934,14 @@ impl Scheduler {
                 l.worker != worker
                     && self.cells[l.cell].state == CellState::Leased
                     && self.cells[l.cell].active_leases == 1
-                    && now.duration_since(l.since) >= steal_after
+                    && !self.cells[l.cell].verifiers.contains(&worker)
+                    && now >= l.since + l.deadline.duration_since(l.since) / 2
             })
             .min_by_key(|l| l.since)
             .map(|l| l.cell);
         if let Some(ci) = candidate {
-            self.cells[ci].active_leases += 1;
-            self.leases.push(Lease {
-                cell: ci,
-                worker,
-                since: now,
-            });
             self.redispatched += 1;
-            return Assignment::Cell(self.cells[ci].spec.clone());
+            return self.grant(ci, worker, now);
         }
         Assignment::Idle {
             wait_ms: self.opts.idle_wait_ms,
@@ -545,7 +949,9 @@ impl Scheduler {
     }
 
     /// Ingests one submitted result: validate, dedup by digest, merge
-    /// the first valid body per cell.
+    /// the first valid body per cell — unless the cell is spot-checked,
+    /// in which case the body is held until a distinct worker confirms
+    /// the same canonical bytes.
     pub fn submit_result(
         &mut self,
         worker: u64,
@@ -567,6 +973,15 @@ impl Scheduler {
             self.leases.swap_remove(i);
             self.cells[ci].active_leases = self.cells[ci].active_leases.saturating_sub(1);
         }
+        let valid = validate_body(&self.cells[ci].spec, body);
+        if let Some(allotted) = self.revoked.remove(&(digest, worker)) {
+            if valid.is_ok() && Duration::from_secs_f64(seconds.max(0.0)) >= allotted {
+                // The worker delivered a valid result whose compute
+                // time filled its revoked lease: the deadline really
+                // was too tight for this cell.
+                self.revocation_false_positives += 1;
+            }
+        }
         if matches!(
             self.cells[ci].state,
             CellState::Done | CellState::Quarantined
@@ -574,32 +989,189 @@ impl Scheduler {
             self.duplicate_results += 1;
             return Ingest::Duplicate;
         }
-        match validate_body(&self.cells[ci].spec, body) {
-            Ok(result) => {
-                self.cells[ci].state = CellState::Done;
-                self.done += 1;
-                // Any other outstanding leases on this cell are now
-                // moot; their late results will dedup as duplicates.
-                self.leases.retain(|l| l.cell != ci);
-                self.cells[ci].active_leases = 0;
-                self.compute_seconds += seconds;
-                if let Some(info) = self.workers.get_mut(&worker) {
-                    info.completed += 1;
-                }
-                Ingest::Merged {
-                    spec: self.cells[ci].spec.clone(),
-                    result,
-                    seconds,
-                }
-            }
+        let result = match valid {
+            Ok(result) => result,
             Err(reason) => {
                 self.corrupt_results += 1;
-                match self.strike(ci, worker, &reason) {
+                return match self.strike(ci, worker, &reason) {
                     Some((spec, error)) => Ingest::Quarantined { spec, error },
                     None => Ingest::Rejected { reason },
-                }
+                };
+            }
+        };
+        self.estimator.observe(&self.cells[ci].spec.bench, seconds);
+        if self.is_banned(worker) {
+            // No trust left: the body is discarded outright; the cell
+            // stays dispatchable for workers in good standing.
+            self.duplicate_results += 1;
+            self.ensure_dispatchable(ci);
+            return Ingest::Duplicate;
+        }
+        let suspect = self.workers.get(&worker).is_some_and(|i| i.suspect);
+        if !self.cells[ci].spot_check && !suspect {
+            return self.complete_cell(ci, worker, result, seconds);
+        }
+        // A suspect's first result escalates the cell to spot-checked:
+        // its trust is on hold, so the bytes need a confirmer.
+        self.cells[ci].spot_check = true;
+        self.verify_candidate(ci, worker, seconds, body, result, now)
+    }
+
+    /// Merges `ci` as done, crediting `worker` with the completion and
+    /// `seconds` toward the serial-cost ledger.
+    fn complete_cell(&mut self, ci: usize, worker: u64, result: SimResult, seconds: f64) -> Ingest {
+        self.cells[ci].state = CellState::Done;
+        self.done += 1;
+        // Any other outstanding leases on this cell are now moot;
+        // their late results will dedup as duplicates.
+        self.leases.retain(|l| l.cell != ci);
+        self.cells[ci].active_leases = 0;
+        self.compute_seconds += seconds;
+        if let Some(info) = self.workers.get_mut(&worker) {
+            info.completed += 1;
+        }
+        Ingest::Merged {
+            spec: self.cells[ci].spec.clone(),
+            result,
+            seconds,
+        }
+    }
+
+    /// The spot-check state machine for one valid submission on a
+    /// spot-checked cell.
+    fn verify_candidate(
+        &mut self,
+        ci: usize,
+        worker: u64,
+        seconds: f64,
+        body: &[u8],
+        result: SimResult,
+        now: Instant,
+    ) -> Ingest {
+        // Re-submission by a worker whose body is already on file?
+        if let Some(prev) = self.cells[ci]
+            .candidates
+            .iter()
+            .position(|c| c.worker == worker)
+        {
+            if self.cells[ci].candidates[prev].body != body {
+                // Two different bodies for the same digest from one
+                // worker: it is broken regardless of which (if either)
+                // is right.
+                self.corrupt_results += 1;
+                let reason = "self-contradictory results for a spot-checked cell".to_string();
+                return match self.strike(ci, worker, &reason) {
+                    Some((spec, error)) => Ingest::Quarantined { spec, error },
+                    None => {
+                        self.ensure_dispatchable(ci);
+                        Ingest::Rejected { reason }
+                    }
+                };
+            }
+            // Identical re-submission adds no information — unless no
+            // distinct confirmer can ever exist (single-worker fleet),
+            // where a degenerate self-confirmation beats wedging. A
+            // *mismatched* cell never resolves this way: one worker
+            // must not outvote another by repeating itself.
+            if self.cells[ci].candidates.len() == 1 && !self.eligible_verifier_exists(ci) {
+                return self.resolve_consensus(ci, prev, worker, result, now);
+            }
+            self.ensure_dispatchable(ci);
+            return Ingest::HeldForVerification;
+        }
+        // Agreement with a held candidate: two distinct workers
+        // reproduced the same canonical bytes — consensus.
+        if let Some(winner) = self.cells[ci]
+            .candidates
+            .iter()
+            .position(|c| c.body == body)
+        {
+            self.cells[ci].verifiers.insert(worker);
+            return self.resolve_consensus(ci, winner, worker, result, now);
+        }
+        // A new, disagreeing (or first) candidate body.
+        self.cells[ci].candidates.push(Candidate {
+            worker,
+            body: body.to_vec(),
+            seconds,
+        });
+        self.cells[ci].verifiers.insert(worker);
+        if self.cells[ci].candidates.len() == 1 {
+            self.ensure_dispatchable(ci);
+            return Ingest::HeldForVerification;
+        }
+        // Two or more distinct bodies: a byzantine incident. Every
+        // candidate's pending trust is quarantined until the tiebreak
+        // settles who was wrong.
+        self.mismatches += 1;
+        if self.cells[ci].mismatch_since.is_none() {
+            self.cells[ci].mismatch_since = Some(now);
+        }
+        let suspects: Vec<u64> = self.cells[ci].candidates.iter().map(|c| c.worker).collect();
+        for w in suspects {
+            self.mark_suspect(w);
+        }
+        if self.cells[ci].candidates.len() >= MAX_CANDIDATES {
+            let (spec, error) = self.quarantine_unresolved(ci);
+            return Ingest::Quarantined { spec, error };
+        }
+        self.ensure_dispatchable(ci);
+        Ingest::HeldForVerification
+    }
+
+    /// Settles a spot-checked cell on the candidate at `winner`:
+    /// agreeing workers are exonerated, every minority candidate's
+    /// worker is marked byzantine, and the cell merges with the first
+    /// submitter credited.
+    fn resolve_consensus(
+        &mut self,
+        ci: usize,
+        winner: usize,
+        confirmer: u64,
+        result: SimResult,
+        _now: Instant,
+    ) -> Ingest {
+        let candidates = std::mem::take(&mut self.cells[ci].candidates);
+        let submitters: Vec<u64> = candidates.iter().map(|c| c.worker).collect();
+        let winning_worker = candidates[winner].worker;
+        let winning_seconds = candidates[winner].seconds;
+        let minority: Vec<u64> = candidates
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != winner)
+            .map(|(_, c)| c.worker)
+            .collect();
+        let had_mismatch = self.cells[ci].mismatch_since.is_some() || !minority.is_empty();
+        self.cells[ci].mismatch_since = None;
+        for &w in &[winning_worker, confirmer] {
+            if let Some(info) = self.workers.get_mut(&w) {
+                info.suspect = false;
             }
         }
+        if had_mismatch {
+            let spec = &self.cells[ci].spec;
+            let mut workers = submitters;
+            if !workers.contains(&confirmer) {
+                workers.push(confirmer);
+            }
+            self.incidents.push(MismatchIncident {
+                digest: spec.digest,
+                bench: spec.bench.clone(),
+                config: spec.config.clone(),
+                width: spec.width,
+                workers,
+                byzantine: minority.clone(),
+                resolved: true,
+            });
+        }
+        for w in minority {
+            self.mark_byzantine(w);
+        }
+        self.spot_checked += 1;
+        // The serial-cost ledger counts the winning computation once;
+        // the confirming duplicate is verification overhead, not
+        // avoided serial work.
+        self.complete_cell(ci, winning_worker, result, winning_seconds)
     }
 
     /// Ingests a worker-reported failure (contained panic, digest
@@ -629,6 +1201,12 @@ impl Scheduler {
         ) {
             return Ingest::Duplicate;
         }
+        if self.is_banned(worker) {
+            // A byzantine worker must not be able to strike cells
+            // toward quarantine by spamming failure reports.
+            self.ensure_dispatchable(ci);
+            return Ingest::Duplicate;
+        }
         match self.strike(ci, worker, error) {
             Some((spec, error)) => Ingest::Quarantined { spec, error },
             None => Ingest::Recorded,
@@ -645,6 +1223,7 @@ impl Scheduler {
                 id,
                 cells: info.completed,
                 alive: info.alive,
+                byzantine: info.banned,
             })
             .collect();
         workers.sort_by_key(|w| w.id);
@@ -656,6 +1235,17 @@ impl Scheduler {
             duplicate_results: self.duplicate_results,
             corrupt_results: self.corrupt_results,
             worker_deaths: self.worker_deaths,
+            spot_checked: self.spot_checked,
+            mismatches: self.mismatches,
+            byzantine_workers: self.byzantine.clone(),
+            revocation_false_positives: self.revocation_false_positives,
+            adaptive_lease: self.opts.adaptive_lease,
+            lease_stats: self.estimator.stats(
+                self.opts.lease_timeout,
+                self.opts.lease_floor,
+                self.opts.adaptive_lease,
+            ),
+            incidents: self.incidents.clone(),
             workers,
             compute_seconds: self.compute_seconds,
             wall_seconds,
@@ -756,6 +1346,12 @@ impl Coordinator {
 fn handle_conn(stream: TcpStream, shared: &Shared, sinks: &DistSinks<'_>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // Writes must be bounded too: a peer (or an interposed proxy)
+    // that stops draining would otherwise wedge this handler in a
+    // blocked `write` forever — and `run`'s thread scope with it.
+    // A timed-out write errors into the `disconnect` path below, so
+    // the worker is treated as lost and its leases re-dispatch.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -877,7 +1473,11 @@ fn settle(shared: &Shared, sinks: &DistSinks<'_>, ingest: Ingest) {
             seconds,
         } => (sinks.on_result)(&spec, &result, seconds),
         Ingest::Quarantined { spec, error } => (sinks.on_quarantine)(&spec, &error),
-        Ingest::Duplicate | Ingest::Rejected { .. } | Ingest::Recorded | Ingest::Unknown => {}
+        Ingest::Duplicate
+        | Ingest::Rejected { .. }
+        | Ingest::Recorded
+        | Ingest::HeldForVerification
+        | Ingest::Unknown => {}
     }
     let complete = shared
         .sched
@@ -923,7 +1523,33 @@ mod tests {
             heartbeat_timeout: Duration::from_millis(50),
             poison_threshold: 2,
             idle_wait_ms: 5,
+            adaptive_lease: false,
+            ..SchedOptions::default()
         }
+    }
+
+    /// A valid canonical body for `spec` with the given cycle count
+    /// (all other counters zero) — enough to pass ingest validation.
+    fn body_for(spec: &CellSpec, cycles: u64) -> Vec<u8> {
+        let pc = PaperConfig::ALL
+            .iter()
+            .copied()
+            .find(|c| c.label() == spec.config)
+            .unwrap();
+        let result = SimResult {
+            config: SimConfig::paper(pc, spec.width),
+            instructions: spec.trace_len,
+            cycles,
+            loads: Default::default(),
+            values: Default::default(),
+            branches: Default::default(),
+            stalls: Default::default(),
+            collapse: Default::default(),
+            eliminated: 0,
+        };
+        let mut out = Vec::new();
+        result.encode_to(&mut out);
+        out
     }
 
     #[test]
@@ -1030,13 +1656,242 @@ mod tests {
         let s = Scheduler::new(vec![spec(1)], opts());
         let json = s.report(2.0).to_json();
         for key in [
-            "\"schema\": \"ddsc-dist-bench-v1\"",
+            "\"schema\": \"ddsc-dist-bench-v2\"",
             "\"cells_total\"",
             "\"redispatched\"",
             "\"speedup_vs_serial\"",
             "\"workers\"",
+            "\"spot_checked\"",
+            "\"mismatches\"",
+            "\"byzantine_workers\"",
+            "\"revocation_false_positives\"",
+            "\"adaptive_lease\"",
+            "\"lease_stats\"",
+            "\"incidents\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    fn spot_opts() -> SchedOptions {
+        SchedOptions {
+            spot_check_percent: 100,
+            ..opts()
+        }
+    }
+
+    #[test]
+    fn spot_checked_cell_waits_for_a_distinct_confirmer() {
+        let mut s = Scheduler::new(vec![spec(1)], spot_opts());
+        let t = Instant::now();
+        let w1 = s.register(0, t);
+        let w2 = s.register(0, t);
+        let Assignment::Cell(c) = s.next_assignment(w1, t) else {
+            panic!("expected a cell");
+        };
+        let body = body_for(&c, 300);
+        assert!(matches!(
+            s.submit_result(w1, c.digest, 0.1, &body, t),
+            Ingest::HeldForVerification
+        ));
+        assert!(!s.is_complete());
+        // The submitter must not confirm its own candidate.
+        assert!(matches!(s.next_assignment(w1, t), Assignment::Idle { .. }));
+        // A distinct worker gets the re-dispatch and its agreeing
+        // bytes merge the cell.
+        assert!(matches!(s.next_assignment(w2, t), Assignment::Cell(_)));
+        assert!(matches!(
+            s.submit_result(w2, c.digest, 0.1, &body, t),
+            Ingest::Merged { .. }
+        ));
+        assert!(s.is_complete());
+        let report = s.report(1.0);
+        assert_eq!(report.spot_checked, 1);
+        assert_eq!(report.mismatches, 0);
+        assert!(report.byzantine_workers.is_empty());
+        // Only the winning computation counts toward the serial ledger.
+        assert!((report.compute_seconds - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatch_tiebreak_bans_the_minority_worker() {
+        let mut s = Scheduler::new(vec![spec(1), spec(2)], spot_opts());
+        let t = Instant::now();
+        let byz = s.register(0, t);
+        let w2 = s.register(0, t);
+        let w3 = s.register(0, t);
+        let Assignment::Cell(c) = s.next_assignment(byz, t) else {
+            panic!("expected a cell");
+        };
+        let honest = body_for(&c, 300);
+        let perturbed = body_for(&c, 333); // well-formed, wrong counters
+        assert!(matches!(
+            s.submit_result(byz, c.digest, 0.1, &perturbed, t),
+            Ingest::HeldForVerification
+        ));
+        // The honest worker disagrees: mismatch, both suspect.
+        assert!(matches!(s.next_assignment(w2, t), Assignment::Cell(_)));
+        assert!(matches!(
+            s.submit_result(w2, c.digest, 0.1, &honest, t),
+            Ingest::HeldForVerification
+        ));
+        assert_eq!(s.report(0.0).mismatches, 1);
+        // The tiebreak worker sides with the honest bytes.
+        let Assignment::Cell(c3) = s.next_assignment(w3, t) else {
+            panic!("expected the tiebreak re-dispatch");
+        };
+        assert_eq!(c3.digest, c.digest);
+        let Ingest::Merged { result, .. } = s.submit_result(w3, c.digest, 0.1, &honest, t) else {
+            panic!("consensus must merge");
+        };
+        assert_eq!(result.cycles, 300, "the majority bytes must win");
+        let report = s.report(1.0);
+        assert_eq!(report.byzantine_workers, vec![byz]);
+        assert_eq!(report.incidents.len(), 1);
+        assert!(report.incidents[0].resolved);
+        assert_eq!(report.incidents[0].byzantine, vec![byz]);
+        // The banned worker is drained: refused work, its results
+        // discarded, its reconnect still banned.
+        assert!(matches!(s.next_assignment(byz, t), Assignment::AllDone));
+        assert_eq!(s.register(byz, t), byz);
+        assert!(s.is_banned(byz));
+        let Assignment::Cell(c2) = s.next_assignment(w2, t) else {
+            panic!("expected the second cell");
+        };
+        assert!(matches!(
+            s.submit_result(byz, c2.digest, 0.1, &body_for(&c2, 333), t),
+            Ingest::Duplicate
+        ));
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn single_worker_fleet_self_confirms_instead_of_wedging() {
+        let mut s = Scheduler::new(vec![spec(1)], spot_opts());
+        let t = Instant::now();
+        let w = s.register(0, t);
+        let Assignment::Cell(c) = s.next_assignment(w, t) else {
+            panic!("expected a cell");
+        };
+        let body = body_for(&c, 300);
+        assert!(matches!(
+            s.submit_result(w, c.digest, 0.1, &body, t),
+            Ingest::HeldForVerification
+        ));
+        // Alone in the fleet: the liveness fallback re-assigns the
+        // cell to the same worker, and its identical re-computation
+        // resolves degenerately.
+        let Assignment::Cell(c2) = s.next_assignment(w, t) else {
+            panic!("expected the fallback re-dispatch");
+        };
+        assert_eq!(c2.digest, c.digest);
+        assert!(matches!(
+            s.submit_result(w, c.digest, 0.1, &body, t),
+            Ingest::Merged { .. }
+        ));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn unresolvable_one_vs_one_mismatch_quarantines() {
+        let mut s = Scheduler::new(vec![spec(1)], spot_opts());
+        let t = Instant::now();
+        let w1 = s.register(0, t);
+        let w2 = s.register(0, t);
+        let Assignment::Cell(c) = s.next_assignment(w1, t) else {
+            panic!("expected a cell");
+        };
+        assert!(matches!(
+            s.submit_result(w1, c.digest, 0.1, &body_for(&c, 300), t),
+            Ingest::HeldForVerification
+        ));
+        assert!(matches!(s.next_assignment(w2, t), Assignment::Cell(_)));
+        assert!(matches!(
+            s.submit_result(w2, c.digest, 0.1, &body_for(&c, 333), t),
+            Ingest::HeldForVerification
+        ));
+        // No third worker exists: after the fixed lease window the
+        // undecidable conflict quarantines instead of wedging.
+        assert!(s.reap(t + Duration::from_millis(50)).is_empty());
+        let quarantines = s.reap(t + Duration::from_millis(150));
+        assert_eq!(quarantines.len(), 1);
+        assert!(quarantines[0].1.contains("spot-check mismatch unresolved"));
+        assert!(s.is_complete());
+        let report = s.report(1.0);
+        assert_eq!(report.cells_quarantined, 1);
+        assert_eq!(report.incidents.len(), 1);
+        assert!(!report.incidents[0].resolved);
+        // Neither side can be banned on a 1-vs-1 vote.
+        assert!(report.byzantine_workers.is_empty());
+    }
+
+    #[test]
+    fn late_valid_result_after_revocation_counts_false_positive() {
+        let mut s = Scheduler::new(vec![spec(1)], opts());
+        let t = Instant::now();
+        let w = s.register(0, t);
+        let Assignment::Cell(c) = s.next_assignment(w, t) else {
+            panic!("expected a cell");
+        };
+        // Past the (fixed) deadline the lease is revoked...
+        s.heartbeat(w, t + Duration::from_millis(99));
+        let _ = s.reap(t + Duration::from_millis(100));
+        assert_eq!(s.report(0.0).redispatched, 1);
+        // ...but the worker was alive all along and delivers: that
+        // revocation was a false positive.
+        let late = t + Duration::from_millis(110);
+        assert!(matches!(
+            s.submit_result(w, c.digest, 0.1, &body_for(&c, 300), late),
+            Ingest::Merged { .. }
+        ));
+        assert_eq!(s.report(1.0).revocation_false_positives, 1);
+    }
+
+    #[test]
+    fn adaptive_deadline_is_fixed_at_dispatch_time() {
+        let mut s = Scheduler::new(
+            (1..=8).map(spec).collect(),
+            SchedOptions {
+                adaptive_lease: true,
+                lease_floor: Duration::from_millis(40),
+                lease_timeout: Duration::from_millis(100),
+                // Keep heartbeat reaping out of this test's way.
+                heartbeat_timeout: Duration::from_secs(60),
+                ..opts()
+            },
+        );
+        let t = Instant::now();
+        let w1 = s.register(0, t);
+        let w2 = s.register(0, t);
+        // Lease granted before any samples exist: fixed 100ms deadline.
+        let Assignment::Cell(_c1) = s.next_assignment(w1, t) else {
+            panic!("expected a cell");
+        };
+        // Feed the estimator fast samples so later leases get the
+        // 40ms floor instead of the 100ms fallback.
+        for _ in 0..6 {
+            let Assignment::Cell(c) = s.next_assignment(w2, t) else {
+                panic!("expected a cell");
+            };
+            assert!(matches!(
+                s.submit_result(w2, c.digest, 0.001, &body_for(&c, 300), t),
+                Ingest::Merged { .. }
+            ));
+        }
+        // The pre-existing lease keeps its dispatch-time deadline: the
+        // now-shorter estimate must not retro-shrink it...
+        let _ = s.reap(t + Duration::from_millis(60));
+        assert_eq!(s.report(0.0).redispatched, 0, "lease revoked early");
+        // ...but does expire at its own 100ms deadline.
+        let _ = s.reap(t + Duration::from_millis(100));
+        assert_eq!(s.report(0.0).redispatched, 1);
+        // A fresh lease granted now carries the adaptive ~40ms floor
+        // deadline, so a dead worker on a short cell reclaims fast.
+        let t2 = t + Duration::from_millis(200);
+        let Assignment::Cell(_c) = s.next_assignment(w2, t2) else {
+            panic!("expected a cell");
+        };
+        let _ = s.reap(t2 + Duration::from_millis(45));
+        assert_eq!(s.report(0.0).redispatched, 2);
     }
 }

@@ -1,0 +1,234 @@
+//! Online per-benchmark compute-time estimation for adaptive lease
+//! timeouts.
+//!
+//! The convergence study established an order-of-magnitude spread in
+//! per-cell compute times across benchmarks and trace lengths, so one
+//! fixed `--lease-timeout` is always wrong somewhere: too short and
+//! long cells are falsely revoked (wasted re-computes), too long and a
+//! dead worker's short cell sits unreclaimed for the full window. The
+//! [`ComputeEstimator`] tracks observed compute seconds *per
+//! benchmark* (an EWMA for the central tendency plus a p95 over a ring
+//! of recent samples for the tail) and derives a lease timeout with
+//! generous slack — the estimate only replaces the fixed timeout once
+//! enough samples exist, and never drops below the configured floor,
+//! so a healthy-but-slow worker is never revoked by an overconfident
+//! estimate.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use ddsc_util::percentile;
+
+/// Samples required per benchmark before the estimate replaces the
+/// fixed fallback timeout.
+pub const MIN_SAMPLES: usize = 5;
+/// EWMA smoothing factor (weight of the newest sample).
+const EWMA_ALPHA: f64 = 0.25;
+/// Slack multiplier on the EWMA estimate.
+const EWMA_SLACK: f64 = 6.0;
+/// Slack multiplier on the p95 tail estimate.
+const P95_SLACK: f64 = 3.0;
+/// Ring capacity for the per-benchmark recent-sample window.
+const RING_CAP: usize = 128;
+
+#[derive(Debug)]
+struct BenchTimes {
+    ewma: f64,
+    recent: Vec<f64>,
+    /// Next overwrite position once `recent` is full.
+    head: usize,
+    observed: u64,
+}
+
+/// One benchmark's slice of the adaptive-timeout report
+/// (`lease_stats` in `BENCH_dist.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseStat {
+    /// Benchmark name the samples are keyed by.
+    pub bench: String,
+    /// Valid compute-time samples observed.
+    pub samples: u64,
+    /// Median observed compute seconds (over the recent window).
+    pub p50_s: f64,
+    /// 95th-percentile observed compute seconds.
+    pub p95_s: f64,
+    /// The lease timeout the scheduler currently derives for this
+    /// benchmark (seconds).
+    pub timeout_s: f64,
+}
+
+/// Online EWMA + p95 estimator of per-benchmark compute times.
+#[derive(Debug, Default)]
+pub struct ComputeEstimator {
+    by_bench: HashMap<String, BenchTimes>,
+}
+
+impl ComputeEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> ComputeEstimator {
+        ComputeEstimator::default()
+    }
+
+    /// Records one observed compute time. Non-finite or negative
+    /// samples (a worker is free to lie about its clock) are ignored —
+    /// they could only distort the estimate.
+    pub fn observe(&mut self, bench: &str, seconds: f64) {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return;
+        }
+        let times = self
+            .by_bench
+            .entry(bench.to_string())
+            .or_insert_with(|| BenchTimes {
+                ewma: seconds,
+                recent: Vec::with_capacity(RING_CAP.min(16)),
+                head: 0,
+                observed: 0,
+            });
+        times.ewma = EWMA_ALPHA * seconds + (1.0 - EWMA_ALPHA) * times.ewma;
+        if times.recent.len() < RING_CAP {
+            times.recent.push(seconds);
+        } else {
+            times.recent[times.head] = seconds;
+            times.head = (times.head + 1) % RING_CAP;
+        }
+        times.observed += 1;
+    }
+
+    /// Total samples recorded for `bench`.
+    pub fn samples(&self, bench: &str) -> u64 {
+        self.by_bench.get(bench).map_or(0, |t| t.observed)
+    }
+
+    /// The lease timeout to grant a cell of `bench`: `fallback` until
+    /// [`MIN_SAMPLES`] samples exist, then
+    /// `max(floor, max(6·EWMA, 3·p95))` — slack is deliberately
+    /// generous because a premature revocation costs a duplicate
+    /// compute while a late one only delays reclaiming a dead worker's
+    /// cell.
+    pub fn timeout_for(&self, bench: &str, fallback: Duration, floor: Duration) -> Duration {
+        let Some(times) = self.by_bench.get(bench) else {
+            return fallback;
+        };
+        if times.recent.len() < MIN_SAMPLES {
+            return fallback;
+        }
+        let (_, p95) = self.tail(times);
+        let est = (EWMA_SLACK * times.ewma).max(P95_SLACK * p95);
+        // Clamp: a byzantine worker reporting absurd compute times can
+        // stretch the estimate, never wedge the run on an infinite one.
+        let est = Duration::from_secs_f64(est.clamp(0.0, 3600.0));
+        est.max(floor)
+    }
+
+    fn tail(&self, times: &BenchTimes) -> (f64, f64) {
+        let mut sorted = times.recent.clone();
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("non-finite sample rejected on entry")
+        });
+        let p50 = percentile(&sorted, 50.0).unwrap_or(times.ewma);
+        let p95 = percentile(&sorted, 95.0).unwrap_or(times.ewma);
+        (p50, p95)
+    }
+
+    /// Per-benchmark observed stats plus the timeout currently in
+    /// force (the fixed `fallback` when `adaptive` is off or samples
+    /// are short).
+    pub fn stats(&self, fallback: Duration, floor: Duration, adaptive: bool) -> Vec<LeaseStat> {
+        let mut out: Vec<LeaseStat> = self
+            .by_bench
+            .iter()
+            .map(|(bench, times)| {
+                let (p50, p95) = self.tail(times);
+                let timeout = if adaptive {
+                    self.timeout_for(bench, fallback, floor)
+                } else {
+                    fallback
+                };
+                LeaseStat {
+                    bench: bench.clone(),
+                    samples: times.observed,
+                    p50_s: p50,
+                    p95_s: p95,
+                    timeout_s: timeout.as_secs_f64(),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.bench.cmp(&b.bench));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FALLBACK: Duration = Duration::from_secs(60);
+    const FLOOR: Duration = Duration::from_secs(1);
+
+    #[test]
+    fn falls_back_until_enough_samples() {
+        let mut est = ComputeEstimator::new();
+        assert_eq!(est.timeout_for("compress", FALLBACK, FLOOR), FALLBACK);
+        for _ in 0..MIN_SAMPLES - 1 {
+            est.observe("compress", 0.050);
+        }
+        assert_eq!(est.timeout_for("compress", FALLBACK, FLOOR), FALLBACK);
+        est.observe("compress", 0.050);
+        let t = est.timeout_for("compress", FALLBACK, FLOOR);
+        assert!(t < FALLBACK, "estimate should undercut the 60s fallback");
+        assert!(t >= FLOOR, "estimate must respect the floor");
+    }
+
+    #[test]
+    fn long_cells_stretch_the_timeout_past_the_floor() {
+        let mut est = ComputeEstimator::new();
+        for _ in 0..20 {
+            est.observe("li", 2.0);
+        }
+        let t = est.timeout_for("li", FALLBACK, FLOOR);
+        // 6× the 2s EWMA: a healthy long cell gets real headroom.
+        assert!(t >= Duration::from_secs(10), "got {t:?}");
+    }
+
+    #[test]
+    fn keys_are_per_benchmark() {
+        let mut est = ComputeEstimator::new();
+        for _ in 0..10 {
+            est.observe("compress", 0.01);
+            est.observe("li", 5.0);
+        }
+        let short = est.timeout_for("compress", FALLBACK, FLOOR);
+        let long = est.timeout_for("li", FALLBACK, FLOOR);
+        assert!(long > short * 4, "short {short:?} long {long:?}");
+    }
+
+    #[test]
+    fn bogus_samples_are_ignored() {
+        let mut est = ComputeEstimator::new();
+        est.observe("go", f64::NAN);
+        est.observe("go", f64::INFINITY);
+        est.observe("go", -3.0);
+        assert_eq!(est.samples("go"), 0);
+        assert_eq!(est.timeout_for("go", FALLBACK, FLOOR), FALLBACK);
+    }
+
+    #[test]
+    fn stats_report_percentiles_and_timeouts() {
+        let mut est = ComputeEstimator::new();
+        for i in 0..20 {
+            est.observe("compress", 0.010 + 0.001 * i as f64);
+        }
+        let stats = est.stats(FALLBACK, FLOOR, true);
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.bench, "compress");
+        assert_eq!(s.samples, 20);
+        assert!(s.p50_s > 0.0 && s.p95_s >= s.p50_s);
+        assert!((s.timeout_s - FLOOR.as_secs_f64()).abs() < 1e-9);
+        // With adaptive off the fixed fallback is reported.
+        let fixed = est.stats(FALLBACK, FLOOR, false);
+        assert!((fixed[0].timeout_s - FALLBACK.as_secs_f64()).abs() < 1e-9);
+    }
+}

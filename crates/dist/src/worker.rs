@@ -47,6 +47,11 @@ pub struct WorkerOptions {
     pub heartbeat_every: Duration,
     /// Reconnect attempts before concluding the coordinator is gone.
     pub reconnect_attempts: usize,
+    /// Test-only adversary mode: simulate honestly, then perturb the
+    /// cycle count before canonical re-encoding. The body stays
+    /// well-formed (it passes [`crate::coordinator::validate_body`]),
+    /// which is exactly what spot checks exist to catch.
+    pub byzantine: bool,
 }
 
 impl WorkerOptions {
@@ -56,6 +61,7 @@ impl WorkerOptions {
             connect: connect.into(),
             heartbeat_every: Duration::from_millis(200),
             reconnect_attempts: 8,
+            byzantine: false,
         }
     }
 }
@@ -99,15 +105,32 @@ pub fn run_worker(opts: &WorkerOptions) -> io::Result<WorkerSummary> {
         all_done: false,
     };
     let mut cache: PrepCache = HashMap::new();
+    // Sessions that die before a `Welcome` arrives count against the
+    // reconnect budget too: behind a proxy (or any forwarder) the
+    // TCP connect can keep succeeding while the coordinator behind it
+    // is gone, and without this a worker would hot-loop forever on
+    // connect → Hello → dead session.
+    let mut strikes = 0usize;
     loop {
+        if strikes >= opts.reconnect_attempts {
+            eprintln!("ddsc worker: coordinator unreachable, exiting");
+            return Ok(summary);
+        }
+        if strikes > 0 {
+            std::thread::sleep(Duration::from_millis(50 << strikes.min(5)));
+        }
         let Some(stream) = connect_with_backoff(opts) else {
             eprintln!("ddsc worker: coordinator unreachable, exiting");
             return Ok(summary);
         };
         let _ = stream.set_nodelay(true);
         // The read timeout bounds how long a worker can hang on a
-        // silent coordinator before treating the session as lost.
+        // silent coordinator before treating the session as lost; the
+        // write timeout does the same for a coordinator (or proxy)
+        // that stops draining — either way the session errors out and
+        // the reconnect loop takes over.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
         let mut reader = BufReader::new(stream.try_clone()?);
         let writer = Arc::new(Mutex::new(stream));
 
@@ -117,11 +140,18 @@ pub fn run_worker(opts: &WorkerOptions) -> io::Result<WorkerSummary> {
             pid: std::process::id() as u64,
         };
         if send(&writer, &hello).is_err() {
+            strikes += 1;
             continue;
         }
         match read_coord_msg(&mut reader) {
-            Ok(Some(CoordMsg::Welcome { worker_id })) => summary.worker_id = worker_id,
-            _ => continue,
+            Ok(Some(CoordMsg::Welcome { worker_id })) => {
+                summary.worker_id = worker_id;
+                strikes = 0;
+            }
+            _ => {
+                strikes += 1;
+                continue;
+            }
         }
 
         // Heartbeats flow from a side thread through the shared writer;
@@ -142,7 +172,13 @@ pub fn run_worker(opts: &WorkerOptions) -> io::Result<WorkerSummary> {
             })
         };
 
-        let end = session(&mut reader, &writer, &mut summary, &mut cache);
+        let end = session(
+            &mut reader,
+            &writer,
+            &mut summary,
+            &mut cache,
+            opts.byzantine,
+        );
         stop.store(true, Ordering::SeqCst);
         let _ = beat.join();
         match end {
@@ -182,6 +218,7 @@ fn session(
     writer: &Mutex<TcpStream>,
     summary: &mut WorkerSummary,
     cache: &mut PrepCache,
+    byzantine: bool,
 ) -> SessionEnd {
     let worker_id = summary.worker_id;
     loop {
@@ -194,7 +231,7 @@ fn session(
                 std::thread::sleep(Duration::from_millis(u64::from(wait_ms).min(1000)));
             }
             Ok(Some(CoordMsg::Assign(spec))) => {
-                let report = match compute(&spec, cache) {
+                let report = match compute_with(&spec, cache, byzantine) {
                     Ok((body, seconds)) => {
                         summary.completed += 1;
                         WorkerMsg::Result {
@@ -230,8 +267,16 @@ fn session(
 }
 
 /// Simulates one cell: returns the canonical result bytes and the
-/// compute seconds, or a rendered failure.
-fn compute(spec: &CellSpec, cache: &mut PrepCache) -> Result<(Vec<u8>, f64), String> {
+/// compute seconds, or a rendered failure. The hidden `--byzantine`
+/// adversary knob simulates honestly, then inflates the cycle count
+/// (keeping instructions and every sub-statistic intact) and re-encodes
+/// canonically, so the lie is structurally valid and only a second
+/// opinion can expose it.
+fn compute_with(
+    spec: &CellSpec,
+    cache: &mut PrepCache,
+    byzantine: bool,
+) -> Result<(Vec<u8>, f64), String> {
     let bench = Benchmark::ALL
         .iter()
         .copied()
@@ -278,10 +323,17 @@ fn compute(spec: &CellSpec, cache: &mut PrepCache) -> Result<(Vec<u8>, f64), Str
 
     let config = SimConfig::paper(pc, spec.width);
     let prepared = Arc::clone(&cell.prepared);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let mut result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         simulate_prepared(&prepared, &config)
     }))
     .map_err(|payload| format!("cell panicked: {}", panic_message(payload.as_ref())))?;
+    if byzantine {
+        // Deterministic perturbation: always an over-count, so the lie
+        // cannot collide with the honest value and is itself stable
+        // across re-computation (a byzantine worker that confirms its
+        // own earlier answer is the hard case for the coordinator).
+        result.cycles += 1 + result.cycles / 64;
+    }
     let mut body = Vec::with_capacity(256);
     result.encode_to(&mut body);
     Ok((body, t0.elapsed().as_secs_f64()))
@@ -329,7 +381,7 @@ mod tests {
     fn compute_produces_canonical_bytes_matching_local_simulation() {
         let spec = spec_for("compress", "D", 4, 2000);
         let mut cache = PrepCache::new();
-        let (body, seconds) = compute(&spec, &mut cache).expect("cell computes");
+        let (body, seconds) = compute_with(&spec, &mut cache, false).expect("cell computes");
         assert!(seconds >= 0.0);
         let b = Benchmark::ALL
             .iter()
@@ -349,11 +401,30 @@ mod tests {
     }
 
     #[test]
+    fn byzantine_bytes_validate_but_differ_from_honest_bytes() {
+        let spec = spec_for("compress", "D", 4, 2000);
+        let mut cache = PrepCache::new();
+        let (honest, _) = compute_with(&spec, &mut cache, false).expect("honest computes");
+        let (lie, _) = compute_with(&spec, &mut cache, true).expect("byzantine computes");
+        assert_ne!(honest, lie, "perturbation must change the bytes");
+        // The lie is well-formed: it decodes and passes every structural
+        // check the coordinator applies — only a second opinion differs.
+        let honest_r = crate::coordinator::validate_body(&spec, &honest).expect("honest valid");
+        let lie_r = crate::coordinator::validate_body(&spec, &lie).expect("lie valid");
+        assert!(lie_r.cycles > honest_r.cycles);
+        assert_eq!(lie_r.instructions, honest_r.instructions);
+        // And it is stable: a byzantine worker re-asked for the same
+        // cell confirms its own earlier lie.
+        let (lie2, _) = compute_with(&spec, &mut cache, true).unwrap();
+        assert_eq!(lie, lie2);
+    }
+
+    #[test]
     fn digest_mismatch_is_refused_before_simulation() {
         let mut spec = spec_for("compress", "A", 4, 2000);
         spec.digest ^= 1;
         let mut cache = PrepCache::new();
-        let err = compute(&spec, &mut cache).unwrap_err();
+        let err = compute_with(&spec, &mut cache, false).unwrap_err();
         assert!(err.contains("digest mismatch"), "{err}");
     }
 
@@ -362,12 +433,12 @@ mod tests {
         let mut cache = PrepCache::new();
         let mut spec = spec_for("compress", "A", 4, 1000);
         spec.bench = "nope".into();
-        assert!(compute(&spec, &mut cache)
+        assert!(compute_with(&spec, &mut cache, false)
             .unwrap_err()
             .contains("unknown benchmark"));
         let mut spec = spec_for("compress", "A", 4, 1000);
         spec.config = "Z".into();
-        assert!(compute(&spec, &mut cache)
+        assert!(compute_with(&spec, &mut cache, false)
             .unwrap_err()
             .contains("unknown config"));
     }

@@ -195,6 +195,8 @@ fn merged_grid_is_byte_identical_across_chaos_seeds() {
         heartbeat_timeout: Duration::from_millis(200),
         poison_threshold: usize::MAX, // chaos must never quarantine a cell
         idle_wait_ms: 1,
+        adaptive_lease: false, // the campaign's stall timing assumes fixed leases
+        ..SchedOptions::default()
     };
     for chaos_seed in [7, 1996, 0xDDC5] {
         let (merged, sched) = chaos_campaign(&grid, chaos_seed, &opts);
@@ -224,6 +226,8 @@ fn poison_threshold_quarantines_instead_of_wedging() {
         heartbeat_timeout: Duration::from_millis(200),
         poison_threshold: 2,
         idle_wait_ms: 1,
+        adaptive_lease: false,
+        ..SchedOptions::default()
     };
     let (merged, sched) = chaos_campaign(&grid, 42, &opts);
     let report = sched.report(1.0);

@@ -5,10 +5,11 @@
 //! soup — must never be merged into the grid, and a rejected result
 //! must leave its cell re-dispatchable. The one thing validation
 //! cannot catch is a well-formed body with plausibly wrong counters
-//! (a byzantine worker); that is out of scope by design and documented
-//! in DESIGN.md §8.1 — these tests assert exactly the contract the
-//! coordinator does make: whatever merges is canonical bytes that
-//! satisfy the simulator's structural invariants.
+//! (a byzantine worker); that is the spot-check layer's job
+//! (DESIGN.md §8.2, pinned by `tests/spotcheck.rs`) — these tests
+//! assert exactly the contract structural validation does make:
+//! whatever merges is canonical bytes that satisfy the simulator's
+//! structural invariants.
 
 use std::sync::OnceLock;
 use std::time::Instant;

@@ -186,6 +186,24 @@ mod tests {
     }
 
     #[test]
+    fn save_surfaces_filesystem_errors_without_panicking() {
+        // Root the store under a path whose parent is a regular file:
+        // directory creation fails with a typed error, and the caller
+        // (the lab treats a failed save as non-fatal) gets an Err, not
+        // a panic. Permission-denied is unreliable under root, so the
+        // blocking file stands in for every "cannot write here" fault.
+        let base = tmpdir("badroot");
+        fs::create_dir_all(&base).unwrap();
+        let blocker = base.join("blocker");
+        fs::write(&blocker, b"file").unwrap();
+        let store = CellStore::new(blocker.join("cells"));
+        let err = store.save(1, &sample_result()).expect_err("must fail");
+        assert_ne!(err.kind(), std::io::ErrorKind::Other);
+        assert!(store.load(1, sample_result().config).is_none());
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
     fn saves_leave_no_temp_files_behind() {
         let store = CellStore::new(tmpdir("atomic"));
         let result = sample_result();

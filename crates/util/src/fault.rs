@@ -8,8 +8,15 @@
 //! * [`FaultPlan`] — a seeded, replayable sequence of byte-level faults
 //!   (bit flips, byte mutations, truncations, range drops) applied to any
 //!   serialized artifact;
+//! * [`StreamFaultPlan`] — the stream-level counterpart: a seeded
+//!   script of delays, drops, bit flips, duplications, truncations and
+//!   resets at byte *offsets* in a live stream (the network-chaos
+//!   proxy's vocabulary);
 //! * [`FlakyReader`] — an [`io::Read`] wrapper that fails a configured
 //!   number of reads before succeeding, modelling transient I/O;
+//! * [`FailingWriter`] — an [`io::Write`] wrapper with a byte budget
+//!   that then fails with `StorageFull`, modelling ENOSPC and short
+//!   writes;
 //! * [`Backoff`] — the bounded exponential retry delay policy retry
 //!   loops share, so the schedule is one definition instead of N copies.
 //!
@@ -311,6 +318,150 @@ impl Iterator for BackoffDelays {
     }
 }
 
+/// One fault in a byte *stream* (as opposed to a finished buffer): the
+/// vocabulary of the network-chaos proxy. Each event is anchored at a
+/// byte offset in the source stream, not at a read-call boundary, so a
+/// plan's effect is independent of how the transport happens to chunk
+/// its reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFault {
+    /// Pause forwarding for `ms` milliseconds.
+    Delay {
+        /// Delay in milliseconds.
+        ms: u32,
+    },
+    /// Silently discard the next `len` source bytes.
+    Drop {
+        /// Bytes to swallow.
+        len: u32,
+    },
+    /// XOR `bit` (in `0..8`) into the next forwarded byte.
+    FlipBit {
+        /// Bit index to flip.
+        bit: u8,
+    },
+    /// Re-send up to `len` of the most recently forwarded bytes
+    /// (duplicated frames on the wire).
+    Duplicate {
+        /// Bytes to replay.
+        len: u32,
+    },
+    /// Stop forwarding: everything after this offset is discarded
+    /// while the connection stays open (a truncated stream).
+    Truncate,
+    /// Tear the connection down mid-stream.
+    Reset,
+}
+
+/// A seeded, replayable script of [`StreamFault`]s at increasing byte
+/// offsets. The same seed always yields the same `(offset, fault)`
+/// sequence, so a chaos drill that fails is reproducible from its seed
+/// alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamFaultPlan {
+    events: Vec<(u64, StreamFault)>,
+}
+
+impl StreamFaultPlan {
+    /// A plan of up to `events` faults with gaps drawn uniformly from
+    /// `[min_gap, max_gap)` bytes. Generation stops early at a
+    /// terminal fault (`Truncate`/`Reset`) — nothing after one could
+    /// ever apply.
+    pub fn seeded(seed: u64, events: usize, min_gap: u64, max_gap: u64) -> StreamFaultPlan {
+        let mut rng = Pcg32::new(seed);
+        let (lo, hi) = (min_gap.max(1), max_gap.max(min_gap.max(1) + 1));
+        let mut offset = 0u64;
+        let mut out = Vec::with_capacity(events);
+        for _ in 0..events {
+            offset += lo + rng.next_u64() % (hi - lo);
+            let fault = match rng.range(0, 100) {
+                0..=39 => StreamFault::Delay {
+                    ms: 1 + rng.range(0, 40),
+                },
+                40..=57 => StreamFault::FlipBit {
+                    bit: rng.range(0, 8) as u8,
+                },
+                58..=74 => StreamFault::Drop {
+                    len: 1 + rng.range(0, 64),
+                },
+                75..=91 => StreamFault::Duplicate {
+                    len: 1 + rng.range(0, 128),
+                },
+                92..=95 => StreamFault::Truncate,
+                _ => StreamFault::Reset,
+            };
+            let terminal = matches!(fault, StreamFault::Truncate | StreamFault::Reset);
+            out.push((offset, fault));
+            if terminal {
+                break;
+            }
+        }
+        StreamFaultPlan { events: out }
+    }
+
+    /// The `(byte offset, fault)` script, offsets strictly increasing.
+    pub fn events(&self) -> &[(u64, StreamFault)] {
+        &self.events
+    }
+
+    /// Renders the script one event per line (`offset<TAB>fault`) —
+    /// the reproducible artifact a chaos drill can log or diff.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (offset, fault) in &self.events {
+            out.push_str(&format!("{offset}\t{fault:?}\n"));
+        }
+        out
+    }
+}
+
+/// An [`io::Write`] that accepts `budget` bytes and then fails every
+/// further write with [`io::ErrorKind::StorageFull`] — a deterministic
+/// stand-in for a full disk (ENOSPC), including the short-write case:
+/// a write straddling the budget boundary is *partially* applied, as a
+/// real filesystem may do, before the error surfaces on the remainder.
+#[derive(Debug)]
+pub struct FailingWriter<W> {
+    inner: W,
+    budget: usize,
+}
+
+impl<W: io::Write> FailingWriter<W> {
+    /// Wraps `inner`, accepting `budget` bytes before failing.
+    pub fn new(inner: W, budget: usize) -> FailingWriter<W> {
+        FailingWriter { inner, budget }
+    }
+
+    /// Bytes still accepted before writes fail.
+    pub fn budget_left(&self) -> usize {
+        self.budget
+    }
+
+    /// Unwraps the inner writer (inspect what actually landed).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: io::Write> io::Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected ENOSPC: write budget exhausted",
+            ));
+        }
+        let n = buf.len().min(self.budget);
+        let written = self.inner.write(&buf[..n])?;
+        self.budget -= written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,5 +596,53 @@ mod tests {
         assert_eq!(first, vec![1, 2, 4, 8, 8]);
         let second = ms(policy.delays());
         assert_eq!(second, first, "second operation must restart at base");
+    }
+
+    #[test]
+    fn stream_plans_are_deterministic_and_seed_sensitive() {
+        let a = StreamFaultPlan::seeded(1996, 32, 100, 500);
+        let b = StreamFaultPlan::seeded(1996, 32, 100, 500);
+        assert_eq!(a, b, "same seed must replay the same script");
+        assert_eq!(a.render(), b.render());
+        let c = StreamFaultPlan::seeded(1997, 32, 100, 500);
+        assert_ne!(a, c, "different seeds must diverge");
+        // Offsets strictly increase and respect the gap bounds.
+        let mut prev = 0u64;
+        for &(offset, _) in a.events() {
+            assert!(offset > prev);
+            assert!(offset - prev >= 100 && offset - prev < 500);
+            prev = offset;
+        }
+    }
+
+    #[test]
+    fn stream_plans_stop_at_terminal_faults() {
+        for seed in 0..200u64 {
+            let plan = StreamFaultPlan::seeded(seed, 64, 10, 20);
+            for (i, &(_, fault)) in plan.events().iter().enumerate() {
+                let terminal = matches!(fault, StreamFault::Truncate | StreamFault::Reset);
+                assert!(
+                    !terminal || i == plan.events().len() - 1,
+                    "terminal fault mid-script for seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failing_writer_short_writes_then_reports_storage_full() {
+        use std::io::Write as _;
+        let mut w = FailingWriter::new(Vec::new(), 10);
+        assert_eq!(w.write(b"01234567").unwrap(), 8);
+        // Straddling the budget: a short write, then hard failure.
+        assert_eq!(w.write(b"abcdef").unwrap(), 2);
+        assert_eq!(w.budget_left(), 0);
+        let err = w.write(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(w.into_inner(), b"01234567ab");
+        // write_all surfaces the typed error instead of panicking.
+        let mut w = FailingWriter::new(Vec::new(), 4);
+        let err = w.write_all(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
     }
 }

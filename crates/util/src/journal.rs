@@ -236,6 +236,22 @@ pub fn encode_record(rec: &JournalRecord) -> Vec<u8> {
     frame
 }
 
+/// Writes one record's frame to any writer as a single `write_all`.
+///
+/// This is the injectable seam [`Journal::append`] goes through: tests
+/// drive it with a failing writer (e.g.
+/// [`FailingWriter`](crate::fault::FailingWriter)) to prove that a
+/// disk-full or short-write failure surfaces as a typed [`io::Error`]
+/// — never a panic — and that whatever partial frame reached the disk
+/// is exactly what [`decode_records`] truncates away on recovery.
+///
+/// # Errors
+///
+/// Any error from the underlying writer, `ErrorKind` preserved.
+pub fn write_frame(w: &mut impl io::Write, rec: &JournalRecord) -> io::Result<()> {
+    w.write_all(&encode_record(rec))
+}
+
 /// Decodes a journal byte stream (header + frames) into the longest
 /// valid record prefix.
 ///
@@ -381,9 +397,8 @@ impl Journal {
     /// Any underlying filesystem error; on error the tail may hold a
     /// torn frame, which the next [`Journal::open`] truncates away.
     pub fn append(&self, rec: &JournalRecord) -> io::Result<()> {
-        let frame = encode_record(rec);
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        file.write_all(&frame)?;
+        write_frame(&mut *file, rec)?;
         file.sync_data()
     }
 
@@ -539,6 +554,54 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert_eq!(read_journal(&path).unwrap().len(), 1);
         assert_eq!(std::fs::read(&path).unwrap().len(), clean_len + 5);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn disk_full_mid_frame_is_a_typed_error_and_recovery_drops_the_torn_tail() {
+        use crate::fault::FailingWriter;
+
+        // A "disk" with room for the header, two whole records, and
+        // half of a third: the classic ENOSPC-mid-append shape.
+        let recs = sample_records();
+        let mut disk = Vec::new();
+        disk.extend_from_slice(&JOURNAL_MAGIC);
+        disk.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        let header = disk.len();
+        let frame_len = |r: &JournalRecord| encode_record(r).len();
+        // The header is already on the "disk"; the budget meters only
+        // what flows through the failing writer.
+        let budget = frame_len(&recs[0]) + frame_len(&recs[1]) + 5;
+
+        let mut w = FailingWriter::new(disk, budget);
+        write_frame(&mut w, &recs[0]).unwrap();
+        write_frame(&mut w, &recs[1]).unwrap();
+        let err = write_frame(&mut w, &recs[2]).expect_err("device is full");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+
+        // The short write left a torn third frame on the "disk";
+        // recovery trusts exactly the two whole records before it.
+        let disk = w.into_inner();
+        assert_eq!(
+            disk.len(),
+            header + budget,
+            "partial frame reached the disk"
+        );
+        let (recovered, valid) = decode_records(&disk);
+        assert_eq!(recovered, recs[..2]);
+        assert_eq!(valid, header + frame_len(&recs[0]) + frame_len(&recs[1]));
+    }
+
+    #[test]
+    fn append_surfaces_write_errors_without_panicking() {
+        // A directory is not writable as a file: opening the journal at
+        // a path whose parent is a regular file must error, not panic.
+        let path = tmpfile("notadir");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let blocker = path.parent().unwrap().join("blocker");
+        std::fs::write(&blocker, b"file").unwrap();
+        let under_file = blocker.join("run_journal.bin");
+        assert!(Journal::open(&under_file).is_err());
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 

@@ -33,7 +33,10 @@ pub mod table;
 
 pub use bits::BitSet;
 pub use checksum::fnv1a;
-pub use fault::{Backoff, BackoffDelays, FaultOp, FaultPlan, FlakyReader};
+pub use fault::{
+    Backoff, BackoffDelays, FailingWriter, FaultOp, FaultPlan, FlakyReader, StreamFault,
+    StreamFaultPlan,
+};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hist::Histogram;
 pub use journal::{read_journal, Journal, JournalRecord};

@@ -108,6 +108,34 @@ mod tests {
     }
 
     #[test]
+    fn disk_full_mid_stream_keeps_the_old_artifact_and_leaves_no_debris() {
+        use crate::fault::FailingWriter;
+        use std::io::Write as _;
+
+        let dir = tmpdir("enospc");
+        let path = dir.join("artifact.json");
+        publish_atomic(&path, b"previous, intact contents").unwrap();
+
+        // Stream a new version through a writer that runs out of space
+        // mid-artifact: the error must come back typed, the published
+        // file must still hold the old bytes in full, and no temporary
+        // sibling may survive.
+        let err = publish_atomic_with(&path, |f| {
+            let mut w = FailingWriter::new(f, 10);
+            w.write_all(&[0xAB; 4096])
+        })
+        .expect_err("device is full");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(fs::read(&path).unwrap(), b"previous, intact contents");
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names, vec!["artifact.json".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn leaves_no_temporary_siblings_behind() {
         let dir = tmpdir("clean");
         let path = dir.join("artifact.bin");
